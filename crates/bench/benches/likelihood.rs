@@ -1,0 +1,64 @@
+//! Benchmarks of the grouped-data likelihood (Eq. (2)) — the hot path
+//! of every Gibbs sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srm_data::datasets;
+use srm_model::{DetectionModel, GroupedLikelihood};
+use std::hint::black_box;
+
+fn bench_joint_likelihood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("likelihood/joint");
+    for day in [48usize, 96, 146] {
+        let data = if day <= 96 {
+            datasets::musa_cc96().truncated(day).unwrap()
+        } else {
+            datasets::musa_cc96().extended_with_zeros(day - 96)
+        };
+        let lik = GroupedLikelihood::new(&data);
+        let probs = DetectionModel::PadgettSpurrier
+            .probs(&[0.9, 0.08], day)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(day), &day, |b, _| {
+            b.iter(|| black_box(lik.ln_likelihood(black_box(400), &probs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pointwise_terms(c: &mut Criterion) {
+    let data = datasets::musa_cc96();
+    let lik = GroupedLikelihood::new(&data);
+    let probs = DetectionModel::Constant.probs(&[0.05], 96).unwrap();
+    c.bench_function("likelihood/pointwise_all_96", |b| {
+        b.iter(|| black_box(lik.ln_pointwise_all(black_box(400), &probs)));
+    });
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("likelihood/schedule");
+    let cases: [(DetectionModel, Vec<f64>); 5] = [
+        (DetectionModel::Constant, vec![0.05]),
+        (DetectionModel::PadgettSpurrier, vec![0.9, 0.08]),
+        (DetectionModel::LogLogistic, vec![0.4, 1.0]),
+        (DetectionModel::Pareto, vec![0.3]),
+        (DetectionModel::Weibull, vec![0.5, 0.6]),
+    ];
+    for (model, zeta) in cases {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &model,
+            |b, m| {
+                b.iter(|| black_box(m.probs(black_box(&zeta), 96).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_joint_likelihood,
+    bench_pointwise_terms,
+    bench_schedule_generation
+);
+criterion_main!(benches);

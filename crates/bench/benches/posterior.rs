@@ -1,0 +1,71 @@
+//! Benchmarks of the residual-count posterior, including
+//! **ablation-b** (DESIGN.md): analytic posterior summaries
+//! (Props. 1–2, closed form) versus summaries estimated from sampled
+//! draws — the trade the full hierarchical model forces us to make.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use srm_data::datasets;
+use srm_mcmc::PosteriorSummary;
+use srm_model::{nb_posterior, poisson_posterior, DetectionModel};
+use srm_rand::SplitMix64;
+use std::hint::black_box;
+
+fn bench_analytic_construction(c: &mut Criterion) {
+    let data = datasets::musa_cc96();
+    let probs = DetectionModel::PadgettSpurrier
+        .probs(&[0.9, 0.08], 96)
+        .unwrap();
+    c.bench_function("posterior/analytic_poisson", |b| {
+        b.iter(|| black_box(poisson_posterior(black_box(200.0), &probs, &data)));
+    });
+    c.bench_function("posterior/analytic_negbinom", |b| {
+        b.iter(|| black_box(nb_posterior(black_box(5.0), black_box(0.2), &probs, &data)));
+    });
+}
+
+fn bench_ablation_analytic_vs_sampled_summary(c: &mut Criterion) {
+    let data = datasets::musa_cc96();
+    let probs = DetectionModel::Constant.probs(&[0.03], 96).unwrap();
+    let post = poisson_posterior(400.0, &probs, &data);
+
+    let mut group = c.benchmark_group("posterior/ablation_summary");
+    group.bench_function("analytic_closed_form", |b| {
+        b.iter(|| {
+            black_box((post.mean(), post.median(), post.mode(), post.sd()));
+        });
+    });
+    // Pre-draw a posterior sample once; benchmark only the summary.
+    let mut rng = SplitMix64::seed_from(42);
+    let draws: Vec<f64> = (0..10_000).map(|_| post.sample(&mut rng) as f64).collect();
+    group.bench_function("sampled_10k_summary", |b| {
+        b.iter(|| black_box(PosteriorSummary::from_draws(&draws)));
+    });
+    group.bench_function("sampled_10k_draw_and_summarise", |b| {
+        b.iter(|| {
+            let mut rng = SplitMix64::seed_from(43);
+            let draws: Vec<f64> =
+                (0..10_000).map(|_| post.sample(&mut rng) as f64).collect();
+            black_box(PosteriorSummary::from_draws(&draws))
+        });
+    });
+    group.finish();
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let post = poisson_posterior(
+        500.0,
+        &DetectionModel::Constant.probs(&[0.01], 96).unwrap(),
+        &datasets::musa_cc96(),
+    );
+    c.bench_function("posterior/quantile_scan", |b| {
+        b.iter(|| black_box(post.quantile(black_box(0.975))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_analytic_construction,
+    bench_ablation_analytic_vs_sampled_summary,
+    bench_quantiles
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Benchmarks of the distribution samplers, including the regime
+//! switches (Poisson inversion↔PTRS, Binomial inversion↔split,
+//! truncated-gamma rejection↔inverse-CDF).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srm_rand::{
+    Beta, Binomial, Distribution, Gamma, NegativeBinomial, Poisson, SplitMix64,
+    TruncatedGamma, Xoshiro256StarStar,
+};
+use std::hint::black_box;
+
+fn bench_core_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("splitmix64", |b| {
+        let mut rng = SplitMix64::seed_from(1);
+        b.iter(|| black_box(srm_rand::Rng::next_u64(&mut rng)));
+    });
+    group.bench_function("xoshiro256starstar", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from(1);
+        b.iter(|| black_box(srm_rand::Rng::next_u64(&mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_poisson_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/poisson");
+    for mean in [0.5f64, 5.0, 9.9, 10.1, 100.0, 5_000.0] {
+        let dist = Poisson::new(mean).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(mean), &dist, |b, d| {
+            let mut rng = SplitMix64::seed_from(2);
+            b.iter(|| black_box(d.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_binomial_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/binomial");
+    for n in [16u64, 64, 65, 1_000, 100_000] {
+        let dist = Binomial::new(n, 0.3).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dist, |b, d| {
+            let mut rng = SplitMix64::seed_from(3);
+            b.iter(|| black_box(d.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gamma_beta_nb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/continuous");
+    let gamma_small = Gamma::new(0.3, 1.0).unwrap();
+    let gamma_large = Gamma::new(137.0, 1.0).unwrap();
+    let beta = Beta::new(3.0, 97.0).unwrap();
+    let nb = NegativeBinomial::new(12.0, 0.4).unwrap();
+    group.bench_function("gamma_shape_0.3", |b| {
+        let mut rng = SplitMix64::seed_from(4);
+        b.iter(|| black_box(gamma_small.sample(&mut rng)));
+    });
+    group.bench_function("gamma_shape_137", |b| {
+        let mut rng = SplitMix64::seed_from(5);
+        b.iter(|| black_box(gamma_large.sample(&mut rng)));
+    });
+    group.bench_function("beta_3_97", |b| {
+        let mut rng = SplitMix64::seed_from(6);
+        b.iter(|| black_box(beta.sample(&mut rng)));
+    });
+    group.bench_function("negbinom_12_0.4", |b| {
+        let mut rng = SplitMix64::seed_from(7);
+        b.iter(|| black_box(nb.sample(&mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_truncated_gamma_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/truncated_gamma");
+    // High kept mass → rejection path.
+    let rejection = TruncatedGamma::new(137.0, 1.0, 400.0).unwrap();
+    // Tiny kept mass → inverse-CDF path.
+    let inverse = TruncatedGamma::new(137.0, 1.0, 90.0).unwrap();
+    group.bench_function("rejection_path", |b| {
+        let mut rng = SplitMix64::seed_from(8);
+        b.iter(|| black_box(rejection.sample(&mut rng)));
+    });
+    group.bench_function("inverse_cdf_path", |b| {
+        let mut rng = SplitMix64::seed_from(9);
+        b.iter(|| black_box(inverse.sample(&mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_core_generators,
+    bench_poisson_regimes,
+    bench_binomial_regimes,
+    bench_gamma_beta_nb,
+    bench_truncated_gamma_paths
+);
+criterion_main!(benches);

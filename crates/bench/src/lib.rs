@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see the `benches/` directory. Each bench
+//! target covers one subsystem (likelihood, samplers, Gibbs, WAIC,
+//! diagnostics, posterior) plus the two ablations from DESIGN.md.

@@ -1,0 +1,327 @@
+//! The full 2-priors × 5-models × observation-plan experiment.
+
+use crate::fit::{Fit, FitConfig};
+use srm_data::{BugCountData, ObservationPlan, ObservationPoint};
+use srm_mcmc::gibbs::PriorSpec;
+use srm_mcmc::runner::McmcConfig;
+use srm_model::{DetectionModel, ZetaBounds};
+
+/// Identifies one cell of the experiment design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitKey {
+    /// Which prior family.
+    pub prior: PriorSpec,
+    /// Which detection model.
+    pub model: DetectionModel,
+    /// Which observation point.
+    pub observation: ObservationPoint,
+}
+
+/// Configuration of a full experiment sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// The prior specifications to fit (both paper priors by default).
+    pub priors: Vec<PriorSpec>,
+    /// The detection models to fit (all five by default).
+    pub models: Vec<DetectionModel>,
+    /// MCMC run lengths per fit.
+    pub mcmc: McmcConfig,
+    /// Detection-parameter prior limits.
+    pub zeta_bounds: ZetaBounds,
+}
+
+impl ExperimentConfig {
+    /// The paper's design with the given run lengths.
+    #[must_use]
+    pub fn paper_design(mcmc: McmcConfig) -> Self {
+        Self {
+            priors: vec![
+                PriorSpec::Poisson { lambda_max: 2_000.0 },
+                PriorSpec::NegBinomial { alpha_max: 100.0 },
+            ],
+            models: DetectionModel::ALL.to_vec(),
+            mcmc,
+            zeta_bounds: ZetaBounds::default(),
+        }
+    }
+
+    /// A reduced design (both priors, models 0/1/3) for tests and
+    /// quick demos.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            priors: vec![
+                PriorSpec::Poisson { lambda_max: 2_000.0 },
+                PriorSpec::NegBinomial { alpha_max: 100.0 },
+            ],
+            models: vec![
+                DetectionModel::Constant,
+                DetectionModel::PadgettSpurrier,
+                DetectionModel::Pareto,
+            ],
+            mcmc: McmcConfig::smoke(seed),
+            zeta_bounds: ZetaBounds::default(),
+        }
+    }
+}
+
+/// One completed cell: the key, the data window context, and the fit.
+#[derive(Debug, Clone)]
+pub struct ExperimentCell {
+    /// Which design cell this is.
+    pub key: FitKey,
+    /// True residual bugs at the observation point (dataset total
+    /// minus detected — the paper's comparison baseline).
+    pub true_residual: u64,
+    /// The Bayesian fit.
+    pub fit: Fit,
+}
+
+/// All fits of an experiment, in (prior, model, observation) order.
+#[derive(Debug, Clone)]
+pub struct ExperimentResults {
+    cells: Vec<ExperimentCell>,
+}
+
+impl ExperimentResults {
+    /// All cells in design order.
+    #[must_use]
+    pub fn cells(&self) -> &[ExperimentCell] {
+        &self.cells
+    }
+
+    /// Looks up one cell by prior label, model, and observation day.
+    #[must_use]
+    pub fn get(
+        &self,
+        prior_label: &str,
+        model: DetectionModel,
+        day: usize,
+    ) -> Option<&ExperimentCell> {
+        self.cells.iter().find(|c| {
+            c.key.prior.label() == prior_label
+                && c.key.model == model
+                && c.key.observation.day() == day
+        })
+    }
+
+    /// The observation days visited, in order.
+    #[must_use]
+    pub fn days(&self) -> Vec<usize> {
+        let mut days: Vec<usize> = self
+            .cells
+            .iter()
+            .map(|c| c.key.observation.day())
+            .collect();
+        days.sort_unstable();
+        days.dedup();
+        days
+    }
+
+    /// Fraction of cells whose diagnostics passed.
+    #[must_use]
+    pub fn convergence_rate(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 1.0;
+        }
+        self.cells.iter().filter(|c| c.fit.converged()).count() as f64
+            / self.cells.len() as f64
+    }
+}
+
+/// The experiment driver.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    data: BugCountData,
+    plan: ObservationPlan,
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Creates an experiment over `data` with the paper's observation
+    /// plan.
+    #[must_use]
+    pub fn new(data: BugCountData, config: ExperimentConfig) -> Self {
+        let plan = ObservationPlan::paper_default(&data);
+        Self { data, plan, config }
+    }
+
+    /// Overrides the observation plan.
+    #[must_use]
+    pub fn with_plan(mut self, plan: ObservationPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The dataset under analysis.
+    #[must_use]
+    pub fn data(&self) -> &BugCountData {
+        &self.data
+    }
+
+    /// The observation plan.
+    #[must_use]
+    pub fn plan(&self) -> &ObservationPlan {
+        &self.plan
+    }
+
+    /// Runs every design cell. Cells are independent; they run on
+    /// parallel threads (each fit already seeds its chains from the
+    /// experiment seed plus a per-cell offset, so results do not
+    /// depend on scheduling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation plan is invalid for the data (day 0).
+    #[must_use]
+    pub fn run(&self) -> ExperimentResults {
+        let windows = self
+            .plan
+            .windows(&self.data)
+            .expect("observation plan valid for data");
+
+        // Materialise the work list first so each cell has a stable
+        // seed offset.
+        struct Job {
+            key: FitKey,
+            window: BugCountData,
+            true_residual: u64,
+            seed: u64,
+        }
+        let mut jobs = Vec::new();
+        let mut offset = 0u64;
+        for &prior in &self.config.priors {
+            for &model in &self.config.models {
+                for (point, window) in &windows {
+                    jobs.push(Job {
+                        key: FitKey {
+                            prior,
+                            model,
+                            observation: *point,
+                        },
+                        window: window.clone(),
+                        true_residual: point.true_residual(&self.data),
+                        seed: self.config.mcmc.seed.wrapping_add(offset * 7_919),
+                    });
+                    offset += 1;
+                }
+            }
+        }
+
+        let mut cells: Vec<Option<ExperimentCell>> = (0..jobs.len()).map(|_| None).collect();
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        let jobs_ref = &jobs;
+        let config = &self.config;
+        crossbeam::thread::scope(|scope| {
+            // Chunk the slots across a bounded worker pool.
+            let chunk = cells.len().div_ceil(threads).max(1);
+            for (chunk_idx, slot_chunk) in cells.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                        let job = &jobs_ref[chunk_idx * chunk + i];
+                        let fit_config = FitConfig {
+                            mcmc: McmcConfig {
+                                seed: job.seed,
+                                ..config.mcmc
+                            },
+                            zeta_bounds: config.zeta_bounds,
+                        };
+                        let fit =
+                            Fit::run(job.key.prior, job.key.model, &job.window, &fit_config);
+                        *slot = Some(ExperimentCell {
+                            key: job.key,
+                            true_residual: job.true_residual,
+                            fit,
+                        });
+                    }
+                });
+            }
+        })
+        .expect("experiment worker panicked");
+
+        ExperimentResults {
+            cells: cells.into_iter().map(|c| c.expect("cell ran")).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srm_data::datasets;
+
+    fn tiny_experiment(seed: u64) -> Experiment {
+        let mut config = ExperimentConfig::smoke(seed);
+        config.models = vec![DetectionModel::Constant];
+        config.mcmc = McmcConfig {
+            chains: 1,
+            burn_in: 100,
+            samples: 200,
+            thin: 1,
+            seed,
+        };
+        let data = datasets::musa_cc96();
+        Experiment::new(data, config)
+            .with_plan(ObservationPlan::from_days(&[48, 96, 146]))
+    }
+
+    #[test]
+    fn runs_full_design_grid() {
+        let results = tiny_experiment(61).run();
+        // 2 priors × 1 model × 3 observation points.
+        assert_eq!(results.cells().len(), 6);
+        assert_eq!(results.days(), vec![48, 96, 146]);
+        assert!(results
+            .get("poisson", DetectionModel::Constant, 48)
+            .is_some());
+        assert!(results
+            .get("negbinom", DetectionModel::Constant, 146)
+            .is_some());
+        assert!(results
+            .get("poisson", DetectionModel::Weibull, 48)
+            .is_none());
+    }
+
+    #[test]
+    fn true_residuals_recorded() {
+        let results = tiny_experiment(62).run();
+        let c48 = results
+            .get("poisson", DetectionModel::Constant, 48)
+            .unwrap();
+        assert_eq!(c48.true_residual, 94);
+        let c96 = results
+            .get("poisson", DetectionModel::Constant, 96)
+            .unwrap();
+        assert_eq!(c96.true_residual, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = tiny_experiment(63).run();
+        let b = tiny_experiment(63).run();
+        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(ca.fit.residual, cb.fit.residual);
+        }
+    }
+
+    #[test]
+    fn posterior_shrinks_with_virtual_testing() {
+        let results = tiny_experiment(64).run();
+        let mean_at = |day: usize| {
+            results
+                .get("poisson", DetectionModel::Constant, day)
+                .unwrap()
+                .fit
+                .residual
+                .mean
+        };
+        assert!(
+            mean_at(146) < mean_at(96),
+            "virtual testing should shrink the posterior: {} vs {}",
+            mean_at(96),
+            mean_at(146)
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Minimal, dependency-free argument parsing.
+//!
+//! Grammar: `srm <command> [--flag value]... [--switch]...`. Flags
+//! take exactly one value; unknown flags are an error so typos fail
+//! fast.
+
+use std::collections::HashMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// `allowed_flags` / `allowed_switches` define the vocabulary for
+    /// the chosen command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a missing command, unknown flag,
+    /// missing flag value, or stray positional argument.
+    pub fn parse(
+        raw: &[String],
+        allowed_flags: &[&str],
+        allowed_switches: &[&str],
+    ) -> Result<Self, ArgError> {
+        let mut iter = raw.iter();
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing command".into()))?
+            .clone();
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument `{token}`")));
+            };
+            if allowed_switches.contains(&name) {
+                switches.push(name.to_owned());
+            } else if allowed_flags.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError(format!("flag `--{name}` needs a value")))?;
+                flags.insert(name.to_owned(), value.clone());
+            } else {
+                return Err(ArgError(format!("unknown flag `--{name}`")));
+            }
+        }
+        Ok(Self {
+            command,
+            flags,
+            switches,
+        })
+    }
+
+    /// String flag value.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when absent.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError(format!("missing required flag `--{name}`")))
+    }
+
+    /// Parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a malformed value.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value `{v}` for `--{name}`"))),
+        }
+    }
+
+    /// Whether a switch was given.
+    #[must_use]
+    pub fn has_switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_command_flags_switches() {
+        let args = Args::parse(
+            &raw(&["fit", "--data", "x.csv", "--seed", "7", "--verbose"]),
+            &["data", "seed"],
+            &["verbose"],
+        )
+        .unwrap();
+        assert_eq!(args.command, "fit");
+        assert_eq!(args.get("data"), Some("x.csv"));
+        assert_eq!(args.get_parsed::<u64>("seed", 0).unwrap(), 7);
+        assert!(args.has_switch("verbose"));
+        assert!(!args.has_switch("quiet"));
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let args = Args::parse(&raw(&["fit"]), &["data"], &[]).unwrap();
+        assert_eq!(args.get_parsed::<usize>("chains", 4).unwrap(), 4);
+        assert!(args.require("data").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let err = Args::parse(&raw(&["fit", "--bogus", "1"]), &["data"], &[]).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_missing_value_and_positional() {
+        assert!(Args::parse(&raw(&["fit", "--data"]), &["data"], &[]).is_err());
+        assert!(Args::parse(&raw(&["fit", "stray"]), &["data"], &[]).is_err());
+        assert!(Args::parse(&raw(&[]), &[], &[]).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_number() {
+        let args = Args::parse(&raw(&["fit", "--seed", "abc"]), &["seed"], &[]).unwrap();
+        assert!(args.get_parsed::<u64>("seed", 0).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! `srm fit` — one Bayesian fit with full reporting.
+
+use crate::args::{ArgError, Args};
+use crate::commands::{load_data, parse_mcmc, parse_model, parse_prior};
+use srm_core::{Fit, FitConfig};
+use srm_mcmc::PosteriorSummary;
+
+const FLAGS: &[&str] = &[
+    "data", "model", "prior", "chains", "samples", "burn-in", "thin", "seed", "lambda-max",
+    "alpha-max",
+];
+const SWITCHES: &[&str] = &["diagnostics"];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] on bad flags or unreadable data.
+pub fn run(raw: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(raw, FLAGS, SWITCHES)?;
+    let data = load_data(&args)?;
+    let model = parse_model(&args)?;
+    let prior = parse_prior(&args)?;
+    let mcmc = parse_mcmc(&args)?;
+
+    let fit = Fit::run(
+        prior,
+        model,
+        &data,
+        &FitConfig {
+            mcmc,
+            ..FitConfig::default()
+        },
+    );
+
+    let (lo, hi) = PosteriorSummary::credible_interval(&fit.residual_draws, 0.05);
+    let (hlo, hhi) = PosteriorSummary::hpd_interval(&fit.residual_draws, 0.05);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "data      : {} bugs over {} days\n",
+        data.total(),
+        data.len()
+    ));
+    out.push_str(&format!("model     : {} | prior: {}\n", model, prior.label()));
+    out.push_str(&format!(
+        "draws     : {} kept ({} chains)\n",
+        fit.residual_draws.len(),
+        mcmc.chains
+    ));
+    out.push_str("\nposterior of the residual bug count\n");
+    out.push_str(&format!("  mean    : {:10.3}\n", fit.residual.mean));
+    out.push_str(&format!("  median  : {:10.3}\n", fit.residual.median));
+    out.push_str(&format!("  mode    : {:10.3}\n", fit.residual.mode));
+    out.push_str(&format!("  sd      : {:10.3}\n", fit.residual.sd));
+    out.push_str(&format!("  95% CI  : [{lo:.1}, {hi:.1}]\n"));
+    out.push_str(&format!("  95% HPD : [{hlo:.1}, {hhi:.1}]\n"));
+    out.push_str(&format!(
+        "\nWAIC      : {:.3} (se {:.3}, p_waic {:.2})\n",
+        fit.waic.total(),
+        fit.waic.se(),
+        fit.waic.p_waic()
+    ));
+    out.push_str(&format!("converged : {}\n", fit.converged()));
+
+    if args.has_switch("diagnostics") {
+        out.push_str("\nper-parameter diagnostics (PSRF | Geweke Z | ESS | MCSE)\n");
+        for (name, d) in &fit.diagnostics {
+            out.push_str(&format!(
+                "  {name:10} {:8.4} {:8.2} {:10.0} {:10.4}\n",
+                d.psrf, d.geweke_z, d.ess, d.mcse
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn write_csv() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join("srm_cli_fit_test.csv");
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "day,count").unwrap();
+        for (day, count) in srm_data::datasets::musa_cc96()
+            .truncated(30)
+            .unwrap()
+            .iter()
+        {
+            writeln!(f, "{day},{count}").unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn fit_renders_summary() {
+        let path = write_csv();
+        let raw: Vec<String> = [
+            "fit",
+            "--data",
+            path.to_str().unwrap(),
+            "--model",
+            "model0",
+            "--chains",
+            "2",
+            "--samples",
+            "300",
+            "--burn-in",
+            "100",
+            "--diagnostics",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let out = run(&raw).unwrap();
+        assert!(out.contains("posterior of the residual bug count"));
+        assert!(out.contains("WAIC"));
+        assert!(out.contains("PSRF"));
+        assert!(out.contains("model0 | prior: poisson"));
+    }
+}

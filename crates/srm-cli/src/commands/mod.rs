@@ -1,0 +1,158 @@
+//! The CLI subcommands.
+
+pub mod fit;
+pub mod predict;
+pub mod select;
+pub mod simulate;
+pub mod trend;
+
+use crate::args::{ArgError, Args};
+use srm_data::BugCountData;
+use srm_mcmc::gibbs::PriorSpec;
+use srm_mcmc::runner::McmcConfig;
+use srm_model::DetectionModel;
+
+/// The help text shown by `srm help`.
+#[must_use]
+pub fn help_text() -> String {
+    "srm — Bayesian estimation of the residual number of software bugs
+
+USAGE:
+    srm <command> [flags]
+
+COMMANDS:
+    fit       Fit one model/prior and report the residual-bug posterior
+    select    WAIC comparison of all five detection models
+    predict   Reliability and expected detections over a future horizon
+    trend     Laplace trend test and dataset summary
+    simulate  Generate synthetic bug-count data (CSV on stdout)
+    help      Show this message
+
+COMMON FLAGS:
+    --data <file.csv>       day,count input data (fit/select/predict/trend)
+    --model model0..model4  detection model        [default: model1]
+    --prior poisson|negbinom                        [default: poisson]
+    --chains N --samples N --burn-in N --thin N --seed N
+    --lambda-max X --alpha-max X
+
+EXAMPLES:
+    srm fit --data counts.csv --model model1 --prior poisson
+    srm simulate --bugs 200 --days 60 --p 0.05 --seed 1 > synth.csv
+"
+    .to_owned()
+}
+
+/// Loads the `--data` CSV.
+pub(crate) fn load_data(args: &Args) -> Result<BugCountData, ArgError> {
+    let path = args.require("data")?;
+    let file = std::fs::File::open(path)
+        .map_err(|e| ArgError(format!("cannot open `{path}`: {e}")))?;
+    srm_data::csv::read_counts(file).map_err(|e| ArgError(format!("bad data in `{path}`: {e}")))
+}
+
+/// Parses `--model`.
+pub(crate) fn parse_model(args: &Args) -> Result<DetectionModel, ArgError> {
+    let name = args.get("model").unwrap_or("model1");
+    DetectionModel::ALL
+        .into_iter()
+        .find(|m| m.name() == name)
+        .ok_or_else(|| ArgError(format!("unknown model `{name}` (model0..model4)")))
+}
+
+/// Parses `--prior` plus its limit flag.
+pub(crate) fn parse_prior(args: &Args) -> Result<PriorSpec, ArgError> {
+    match args.get("prior").unwrap_or("poisson") {
+        "poisson" => Ok(PriorSpec::Poisson {
+            lambda_max: args.get_parsed("lambda-max", 2_000.0)?,
+        }),
+        "negbinom" => Ok(PriorSpec::NegBinomial {
+            alpha_max: args.get_parsed("alpha-max", 100.0)?,
+        }),
+        other => Err(ArgError(format!(
+            "unknown prior `{other}` (poisson|negbinom)"
+        ))),
+    }
+}
+
+/// Parses the MCMC run-length flags.
+pub(crate) fn parse_mcmc(args: &Args) -> Result<McmcConfig, ArgError> {
+    Ok(McmcConfig {
+        chains: args.get_parsed("chains", 4usize)?,
+        burn_in: args.get_parsed("burn-in", 1_000usize)?,
+        samples: args.get_parsed("samples", 4_000usize)?,
+        thin: args.get_parsed("thin", 1usize)?,
+        seed: args.get_parsed("seed", 2_024u64)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_from(parts: &[&str]) -> Args {
+        let raw: Vec<String> = parts.iter().map(|s| (*s).to_owned()).collect();
+        Args::parse(
+            &raw,
+            &[
+                "data", "model", "prior", "chains", "samples", "burn-in", "thin", "seed",
+                "lambda-max", "alpha-max",
+            ],
+            &[],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn model_and_prior_defaults() {
+        let args = args_from(&["fit"]);
+        assert_eq!(parse_model(&args).unwrap(), DetectionModel::PadgettSpurrier);
+        assert!(matches!(
+            parse_prior(&args).unwrap(),
+            PriorSpec::Poisson { lambda_max } if lambda_max == 2_000.0
+        ));
+    }
+
+    #[test]
+    fn explicit_model_and_prior() {
+        let args = args_from(&["fit", "--model", "model3", "--prior", "negbinom", "--alpha-max", "40"]);
+        assert_eq!(parse_model(&args).unwrap(), DetectionModel::Pareto);
+        assert!(matches!(
+            parse_prior(&args).unwrap(),
+            PriorSpec::NegBinomial { alpha_max } if alpha_max == 40.0
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_model_and_prior() {
+        assert!(parse_model(&args_from(&["fit", "--model", "model9"])).is_err());
+        assert!(parse_prior(&args_from(&["fit", "--prior", "cauchy"])).is_err());
+    }
+
+    #[test]
+    fn mcmc_flags_round_trip() {
+        let args = args_from(&[
+            "fit", "--chains", "2", "--samples", "100", "--burn-in", "50", "--seed", "9",
+        ]);
+        let mcmc = parse_mcmc(&args).unwrap();
+        assert_eq!(mcmc.chains, 2);
+        assert_eq!(mcmc.samples, 100);
+        assert_eq!(mcmc.burn_in, 50);
+        assert_eq!(mcmc.seed, 9);
+        assert_eq!(mcmc.thin, 1);
+    }
+
+    #[test]
+    fn missing_data_file_reported() {
+        let args = args_from(&["fit", "--data", "/no/such/file.csv"]);
+        let err = load_data(&args).unwrap_err();
+        assert!(err.to_string().contains("cannot open"));
+    }
+
+    #[test]
+    fn help_mentions_all_commands() {
+        let h = help_text();
+        for cmd in ["fit", "select", "predict", "trend", "simulate"] {
+            assert!(h.contains(cmd), "missing {cmd}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! `srm predict` — release-readiness prediction: reliability and
+//! expected detections over a future horizon.
+
+use crate::args::{ArgError, Args};
+use crate::commands::{load_data, parse_mcmc, parse_model, parse_prior};
+use srm_core::{Fit, FitConfig};
+use srm_mcmc::gibbs::PriorSpec;
+use srm_model::predictive::expected_future_detections;
+use srm_model::reliability::reliability_curve;
+use srm_model::{nb_posterior, poisson_posterior};
+
+const FLAGS: &[&str] = &[
+    "data", "model", "prior", "horizon", "chains", "samples", "burn-in", "thin", "seed",
+    "lambda-max", "alpha-max",
+];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] on bad flags or unreadable data.
+pub fn run(raw: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(raw, FLAGS, &[])?;
+    let data = load_data(&args)?;
+    let model = parse_model(&args)?;
+    let prior = parse_prior(&args)?;
+    let mcmc = parse_mcmc(&args)?;
+    let horizon: usize = args.get_parsed("horizon", 30usize)?;
+    if horizon == 0 {
+        return Err(ArgError("`--horizon` must be positive".into()));
+    }
+
+    let fit = Fit::run(
+        prior,
+        model,
+        &data,
+        &FitConfig {
+            mcmc,
+            ..FitConfig::default()
+        },
+    );
+
+    // Plug-in analytic posterior at the posterior-mean parameters.
+    let mean_of = |name: &str| -> f64 {
+        let d = fit.output.pooled(name);
+        d.iter().sum::<f64>() / d.len() as f64
+    };
+    let zeta: Vec<f64> = model.param_names().iter().map(|n| mean_of(n)).collect();
+    let schedule = model
+        .probs(&zeta, data.len())
+        .map_err(|e| ArgError(format!("fitted parameters invalid: {e}")))?;
+    let posterior = match prior {
+        PriorSpec::Poisson { .. } => poisson_posterior(mean_of("lambda0"), &schedule, &data),
+        PriorSpec::NegBinomial { .. } => nb_posterior(
+            mean_of("alpha0").max(1e-9),
+            mean_of("beta0").clamp(1e-9, 1.0 - 1e-9),
+            &schedule,
+            &data,
+        ),
+    };
+    let future: Vec<f64> = ((data.len() + 1) as u64..=(data.len() + horizon) as u64)
+        .map(|i| model.prob_unchecked(&zeta, i))
+        .collect();
+    let curve = reliability_curve(&posterior, &future, horizon);
+    let expected = expected_future_detections(&posterior, &future, horizon);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "posterior residual after day {}: mean {:.2}, sd {:.2}\n",
+        data.len(),
+        fit.residual.mean,
+        fit.residual.sd
+    ));
+    out.push_str(&format!(
+        "expected detections in the next {horizon} days: {expected:.2}\n\n"
+    ));
+    out.push_str("reliability R(h) = P(no detection within h days):\n");
+    for (h, r) in curve.iter().enumerate() {
+        if (h + 1) % 5 == 0 || h == 0 || h + 1 == horizon {
+            out.push_str(&format!("  h = {:3}: {:.4}\n", h + 1, r));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    #[test]
+    fn predict_reports_reliability() {
+        let path = std::env::temp_dir().join("srm_cli_predict_test.csv");
+        let mut f = std::fs::File::create(&path).unwrap();
+        for (day, count) in srm_data::datasets::musa_cc96().iter() {
+            writeln!(f, "{day},{count}").unwrap();
+        }
+        let raw: Vec<String> = [
+            "predict",
+            "--data",
+            path.to_str().unwrap(),
+            "--model",
+            "model1",
+            "--horizon",
+            "10",
+            "--chains",
+            "1",
+            "--samples",
+            "300",
+            "--burn-in",
+            "100",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let out = run(&raw).unwrap();
+        assert!(out.contains("reliability R(h)"));
+        assert!(out.contains("h =  10"));
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let raw: Vec<String> = ["predict", "--data", "x.csv", "--horizon", "0"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        // The data flag is checked after horizon parsing? No: data is
+        // loaded first, so use an existing file to reach the check.
+        let path = std::env::temp_dir().join("srm_cli_predict_zero.csv");
+        std::fs::write(&path, "1,2\n2,1\n").unwrap();
+        let raw2: Vec<String> = [
+            "predict",
+            "--data",
+            path.to_str().unwrap(),
+            "--horizon",
+            "0",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        assert!(run(&raw2).is_err());
+        let _ = raw;
+    }
+}

@@ -1,0 +1,45 @@
+//! Library backing the `srm` command-line tool.
+//!
+//! The CLI wraps the workspace's Bayesian SRM pipeline for users who
+//! have grouped bug-count data in a CSV file and want estimates
+//! without writing Rust:
+//!
+//! ```text
+//! srm fit      --data counts.csv --model model1 --prior poisson
+//! srm select   --data counts.csv --prior poisson
+//! srm predict  --data counts.csv --model model1 --horizon 30
+//! srm trend    --data counts.csv
+//! srm simulate --bugs 200 --days 60 --p 0.05 --seed 1
+//! ```
+//!
+//! Everything is implemented as library functions returning strings,
+//! so the commands are unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+
+/// Exit-status-friendly runner: dispatches a raw argument vector and
+/// returns the rendered output or a user-facing error.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for parse failures and command errors.
+pub fn run(raw: &[String]) -> Result<String, ArgError> {
+    let command = raw.first().map(String::as_str).unwrap_or("");
+    match command {
+        "fit" => commands::fit::run(raw),
+        "select" => commands::select::run(raw),
+        "predict" => commands::predict::run(raw),
+        "trend" => commands::trend::run(raw),
+        "simulate" => commands::simulate::run(raw),
+        "help" | "--help" | "-h" | "" => Ok(commands::help_text()),
+        other => Err(ArgError(format!(
+            "unknown command `{other}` (try `srm help`)"
+        ))),
+    }
+}

@@ -1,0 +1,18 @@
+//! The `srm` command-line entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match srm_cli::run(&raw) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("srm: {e}");
+            eprintln!("try `srm help`");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end CLI workflows exercised through the library entry
+//! point (`srm_cli::run`), covering the full simulate → trend →
+//! select → fit → predict loop a practitioner would run.
+
+use std::io::Write as _;
+
+fn run(parts: &[&str]) -> Result<String, srm_cli::ArgError> {
+    let raw: Vec<String> = parts.iter().map(|s| (*s).to_owned()).collect();
+    srm_cli::run(&raw)
+}
+
+fn temp_csv(name: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(body.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn full_workflow_simulate_to_predict() {
+    // 1. Simulate a project.
+    let csv = run(&[
+        "simulate", "--bugs", "250", "--days", "40", "--p", "0.05", "--seed", "11",
+    ])
+    .unwrap();
+    let path = temp_csv("srm_cli_e2e.csv", &csv);
+    let path = path.to_str().unwrap();
+
+    // 2. Trend: simulated constant-p data on a finite pool exhibits
+    // reliability growth (the pool drains).
+    let trend = run(&["trend", "--data", path]).unwrap();
+    assert!(trend.contains("Laplace trend"));
+
+    // 3. Select with short chains: the output lists all models.
+    let select = run(&[
+        "select", "--data", path, "--chains", "1", "--samples", "200", "--burn-in", "80",
+    ])
+    .unwrap();
+    for m in ["model0", "model1", "model2", "model3", "model4"] {
+        assert!(select.contains(m), "missing {m}");
+    }
+    assert!(select.contains("best model"));
+
+    // 4. Fit the homogeneous model (matching the generator).
+    let fit = run(&[
+        "fit", "--data", path, "--model", "model0", "--chains", "2", "--samples", "400",
+        "--burn-in", "150", "--seed", "3",
+    ])
+    .unwrap();
+    assert!(fit.contains("posterior of the residual bug count"));
+    assert!(fit.contains("95% CI"));
+
+    // 5. Predict over a horizon.
+    let predict = run(&[
+        "predict", "--data", path, "--model", "model0", "--horizon", "15", "--chains", "1",
+        "--samples", "300", "--burn-in", "100",
+    ])
+    .unwrap();
+    assert!(predict.contains("expected detections in the next 15 days"));
+    assert!(predict.contains("h =  15"));
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let help = run(&["help"]).unwrap();
+    assert!(help.contains("USAGE"));
+    let empty = run(&[]).unwrap();
+    assert!(empty.contains("USAGE"));
+    let err = run(&["frobnicate"]).unwrap_err();
+    assert!(err.to_string().contains("unknown command"));
+}
+
+#[test]
+fn fit_rejects_malformed_csv() {
+    let path = temp_csv("srm_cli_bad.csv", "day,count\n1,2\n5,1\n");
+    let err = run(&["fit", "--data", path.to_str().unwrap()]).unwrap_err();
+    assert!(err.to_string().contains("bad data"));
+}
+
+#[test]
+fn deterministic_across_invocations() {
+    let csv = run(&[
+        "simulate", "--bugs", "120", "--days", "25", "--p", "0.06", "--seed", "77",
+    ])
+    .unwrap();
+    let path = temp_csv("srm_cli_det.csv", &csv);
+    let args = [
+        "fit",
+        "--data",
+        path.to_str().unwrap(),
+        "--model",
+        "model0",
+        "--chains",
+        "1",
+        "--samples",
+        "200",
+        "--burn-in",
+        "100",
+        "--seed",
+        "5",
+    ];
+    assert_eq!(run(&args).unwrap(), run(&args).unwrap());
+}

@@ -1,0 +1,225 @@
+//! Trend analysis of grouped bug-count data.
+//!
+//! Before fitting a reliability-growth model it is standard practice
+//! to test whether the data exhibit growth at all. The Laplace trend
+//! test is the classic tool: for grouped counts `x_1..x_k` with total
+//! `s`, the statistic
+//!
+//! ```text
+//! u = ( Σ_i i·x_i / s  −  (k+1)/2 ) / sqrt( (k² − 1) / (12 s) )
+//! ```
+//!
+//! is asymptotically standard normal under a homogeneous Poisson
+//! process. `u < −1.96` indicates significant reliability growth
+//! (detections drifting earlier), `u > 1.96` significant decay.
+
+use crate::dataset::BugCountData;
+
+/// The outcome of a Laplace trend test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceTrend {
+    /// The test statistic `u`.
+    pub statistic: f64,
+    /// Two-sided p-value under the standard normal reference.
+    pub p_value: f64,
+}
+
+/// The qualitative verdict at the 5 % level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendVerdict {
+    /// `u < −1.96`: detections concentrate early — reliability growth.
+    Growth,
+    /// `|u| ≤ 1.96`: no significant trend (stable).
+    Stable,
+    /// `u > 1.96`: detections concentrate late — reliability decay.
+    Decay,
+}
+
+impl LaplaceTrend {
+    /// The 5 %-level verdict.
+    #[must_use]
+    pub fn verdict(&self) -> TrendVerdict {
+        if self.statistic < -1.96 {
+            TrendVerdict::Growth
+        } else if self.statistic > 1.96 {
+            TrendVerdict::Decay
+        } else {
+            TrendVerdict::Stable
+        }
+    }
+}
+
+/// Runs the Laplace trend test on grouped data.
+///
+/// Returns `None` when fewer than two days or fewer than two bugs are
+/// available (the statistic is undefined).
+///
+/// # Examples
+///
+/// ```
+/// use srm_data::analysis::{laplace_trend, TrendVerdict};
+/// use srm_data::datasets;
+///
+/// // The primary dataset back-loads its detections (activity rises
+/// // mid-campaign), so the test reports decay — exactly why the
+/// // heterogeneous models with a time axis (model1/model2) win.
+/// let trend = laplace_trend(&datasets::musa_cc96()).unwrap();
+/// assert_eq!(trend.verdict(), TrendVerdict::Decay);
+/// ```
+#[must_use]
+pub fn laplace_trend(data: &BugCountData) -> Option<LaplaceTrend> {
+    let k = data.len();
+    let s = data.total();
+    if k < 2 || s < 2 {
+        return None;
+    }
+    let kf = k as f64;
+    let sf = s as f64;
+    let weighted: f64 = data.iter().map(|(day, x)| day as f64 * x as f64).sum();
+    let mean_day = weighted / sf;
+    let statistic = (mean_day - (kf + 1.0) / 2.0) / ((kf * kf - 1.0) / (12.0 * sf)).sqrt();
+    let p_value = 2.0 * (1.0 - srm_math::norm_cdf(statistic.abs()));
+    Some(LaplaceTrend { statistic, p_value })
+}
+
+/// The Laplace statistic evaluated at every prefix of the data — the
+/// running trend chart practitioners plot to spot change points.
+///
+/// Index `i` holds the statistic for days `1..=i+2` (prefixes shorter
+/// than 2 days are skipped).
+#[must_use]
+pub fn running_laplace_trend(data: &BugCountData) -> Vec<f64> {
+    (2..=data.len())
+        .filter_map(|day| {
+            let prefix = data.truncated(day).ok()?;
+            laplace_trend(&prefix).map(|t| t.statistic)
+        })
+        .collect()
+}
+
+/// Simple descriptive statistics of a grouped dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSummary {
+    /// Number of testing days.
+    pub days: usize,
+    /// Total bugs detected.
+    pub total: u64,
+    /// Mean bugs per day.
+    pub mean_per_day: f64,
+    /// Sample variance of the daily counts.
+    pub variance_per_day: f64,
+    /// Index of dispersion (variance / mean); > 1 suggests
+    /// over-dispersion relative to a homogeneous Poisson process.
+    pub dispersion: f64,
+    /// Fraction of days with zero detections.
+    pub zero_fraction: f64,
+}
+
+/// Computes [`DatasetSummary`].
+///
+/// # Examples
+///
+/// ```
+/// let s = srm_data::analysis::summarize(&srm_data::datasets::musa_cc96());
+/// assert_eq!(s.days, 96);
+/// assert_eq!(s.total, 136);
+/// assert!(s.mean_per_day > 1.0 && s.mean_per_day < 2.0);
+/// ```
+#[must_use]
+pub fn summarize(data: &BugCountData) -> DatasetSummary {
+    let days = data.len();
+    let total = data.total();
+    let mean = total as f64 / days as f64;
+    let variance = data
+        .counts()
+        .iter()
+        .map(|&x| (x as f64 - mean).powi(2))
+        .sum::<f64>()
+        / (days as f64 - 1.0).max(1.0);
+    let zeros = data.counts().iter().filter(|&&x| x == 0).count();
+    DatasetSummary {
+        days,
+        total,
+        mean_per_day: mean,
+        variance_per_day: variance,
+        dispersion: if mean > 0.0 { variance / mean } else { 0.0 },
+        zero_fraction: zeros as f64 / days as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn decaying_series_shows_growth() {
+        let t = laplace_trend(&datasets::decaying_growth_60()).unwrap();
+        assert_eq!(t.verdict(), TrendVerdict::Growth, "u = {}", t.statistic);
+        assert!(t.p_value < 0.05);
+    }
+
+    #[test]
+    fn late_surge_shows_decay() {
+        let t = laplace_trend(&datasets::late_surge_50()).unwrap();
+        assert_eq!(t.verdict(), TrendVerdict::Decay, "u = {}", t.statistic);
+    }
+
+    #[test]
+    fn flat_series_is_stable() {
+        let data = BugCountData::new(vec![2; 50]).unwrap();
+        let t = laplace_trend(&data).unwrap();
+        assert_eq!(t.verdict(), TrendVerdict::Stable, "u = {}", t.statistic);
+        assert!(t.statistic.abs() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(laplace_trend(&BugCountData::new(vec![5]).unwrap()).is_none());
+        assert!(laplace_trend(&BugCountData::new(vec![1, 0]).unwrap()).is_none());
+        assert!(laplace_trend(&BugCountData::new(vec![0, 0, 0]).unwrap()).is_none());
+    }
+
+    #[test]
+    fn statistic_sign_matches_mass_location() {
+        // All bugs on day 1 → strongly negative; all on the last day
+        // → strongly positive.
+        let early = BugCountData::new(vec![20, 0, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        let late = BugCountData::new(vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 20]).unwrap();
+        assert!(laplace_trend(&early).unwrap().statistic < -3.0);
+        assert!(laplace_trend(&late).unwrap().statistic > 3.0);
+    }
+
+    #[test]
+    fn running_trend_has_one_entry_per_prefix() {
+        let data = datasets::musa_cc96();
+        let running = running_laplace_trend(&data);
+        // Prefixes with fewer than two bugs are skipped (the primary
+        // dataset opens with three empty days), so the series is at
+        // most len − 1 and close to it.
+        assert!(running.len() <= data.len() - 1);
+        assert!(running.len() >= data.len() - 6, "len = {}", running.len());
+        // The final entry equals the full-data statistic.
+        let full = laplace_trend(&data).unwrap().statistic;
+        assert!((running.last().unwrap() - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let s = summarize(&datasets::musa_cc96());
+        assert_eq!(s.days, 96);
+        assert_eq!(s.total, 136);
+        assert!((s.mean_per_day - 136.0 / 96.0).abs() < 1e-12);
+        assert!(s.zero_fraction > 0.0 && s.zero_fraction < 1.0);
+        assert!(s.dispersion > 0.0);
+    }
+
+    #[test]
+    fn p_value_in_unit_interval() {
+        for (_, data) in datasets::all_named() {
+            if let Some(t) = laplace_trend(&data) {
+                assert!((0.0..=1.0).contains(&t.p_value));
+            }
+        }
+    }
+}

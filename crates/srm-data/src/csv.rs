@@ -1,0 +1,195 @@
+//! Minimal CSV import/export for bug-count data.
+//!
+//! The format is two columns, `day,count`, with an optional header
+//! row. Days must be the consecutive integers `1..=k` — grouped SRM
+//! data has no gaps (a day with no findings is an explicit zero).
+
+use crate::dataset::BugCountData;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Error raised while parsing CSV bug-count data.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Parse { line, message } => write!(f, "line {line}: {message}"),
+            Self::Empty => write!(f, "no data rows found"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads `day,count` rows from `reader`. A first row whose fields are
+/// not numeric is treated as a header and skipped.
+///
+/// Pass `&mut reader` if you need the reader back afterwards.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on I/O failure, malformed rows, non-consecutive
+/// days or an empty body.
+///
+/// # Examples
+///
+/// ```
+/// let csv = "day,count\n1,3\n2,0\n3,2\n";
+/// let data = srm_data::csv::read_counts(csv.as_bytes()).unwrap();
+/// assert_eq!(data.counts(), &[3, 0, 2]);
+/// ```
+pub fn read_counts<R: Read>(reader: R) -> Result<BugCountData, CsvError> {
+    let buf = BufReader::new(reader);
+    let mut counts: Vec<u64> = Vec::new();
+    let mut expected_day = 1u64;
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(',').map(str::trim);
+        let day_field = fields.next().unwrap_or("");
+        let count_field = fields.next().ok_or_else(|| CsvError::Parse {
+            line: line_no,
+            message: "expected two comma-separated fields".into(),
+        })?;
+        if fields.next().is_some() {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: "expected exactly two fields".into(),
+            });
+        }
+        let day: u64 = match day_field.parse() {
+            Ok(d) => d,
+            Err(_) if counts.is_empty() && expected_day == 1 => continue, // header
+            Err(_) => {
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    message: format!("invalid day `{day_field}`"),
+                })
+            }
+        };
+        let count: u64 = count_field.parse().map_err(|_| CsvError::Parse {
+            line: line_no,
+            message: format!("invalid count `{count_field}`"),
+        })?;
+        if day != expected_day {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("expected day {expected_day}, found {day}"),
+            });
+        }
+        expected_day += 1;
+        counts.push(count);
+    }
+    BugCountData::new(counts).map_err(|_| CsvError::Empty)
+}
+
+/// Writes `data` as `day,count` rows with a header.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+///
+/// # Examples
+///
+/// ```
+/// use srm_data::BugCountData;
+/// let data = BugCountData::new(vec![1, 2]).unwrap();
+/// let mut out = Vec::new();
+/// srm_data::csv::write_counts(&data, &mut out).unwrap();
+/// assert_eq!(String::from_utf8(out).unwrap(), "day,count\n1,1\n2,2\n");
+/// ```
+pub fn write_counts<W: Write>(data: &BugCountData, writer: &mut W) -> std::io::Result<()> {
+    writeln!(writer, "day,count")?;
+    for (day, count) in data.iter() {
+        writeln!(writer, "{day},{count}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = BugCountData::new(vec![3, 0, 5, 1]).unwrap();
+        let mut out = Vec::new();
+        write_counts(&data, &mut out).unwrap();
+        let back = read_counts(out.as_slice()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn headerless_input_accepted() {
+        let data = read_counts("1,2\n2,3\n".as_bytes()).unwrap();
+        assert_eq!(data.counts(), &[2, 3]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let src = "# project X\nday,count\n\n1,4\n# mid comment\n2,1\n";
+        let data = read_counts(src.as_bytes()).unwrap();
+        assert_eq!(data.counts(), &[4, 1]);
+    }
+
+    #[test]
+    fn rejects_gap_in_days() {
+        let err = read_counts("1,2\n3,1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_count() {
+        let err = read_counts("1,-2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid count"));
+    }
+
+    #[test]
+    fn rejects_extra_fields() {
+        let err = read_counts("1,2,3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exactly two"));
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        let err = read_counts("day,count\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Empty));
+    }
+
+    #[test]
+    fn rejects_second_header() {
+        let err = read_counts("1,2\nday,count\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid day"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Embedded datasets.
+//!
+//! The primary series, [`musa_cc96`], is a deterministic synthetic
+//! stand-in for the Musa RADC dataset (136 bugs over 96 testing days
+//! of a real-time command & control system; Musa, *Software
+//! Reliability Data*, RADC TR, 1979) which is not redistributable.
+//! It preserves every invariant of the original that the paper's
+//! tables expose:
+//!
+//! * 96 testing days, 136 bugs in total;
+//! * cumulative counts 42 by day 48, 84 by day 67 and 132 by day 86
+//!   (recoverable from the parenthesised deviations in Tables II–IV);
+//! * a reliability-growth shape with a quiet tail after day 86.
+//!
+//! The remaining datasets are synthetic series with distinct growth
+//! shapes used by the multi-dataset extension experiment (§6 of the
+//! paper lists this as future work).
+
+use crate::dataset::BugCountData;
+
+/// Daily counts of the primary dataset (see module docs).
+const MUSA_CC96: [u64; 96] = [
+    0, 0, 0, 2, 1, 0, 1, 0, 0, 0, 1, 0, 0, 3, 0, 0, 1, 1, 1, 0, 0, 1, 1, 3, 1, 0, 2, 1, 1, 1, 1,
+    0, 0, 1, 3, 1, 1, 2, 3, 0, 2, 1, 0, 1, 1, 0, 1, 2, 2, 1, 2, 2, 4, 3, 2, 2, 1, 3, 3, 5, 3, 1,
+    2, 3, 0, 2, 1, 3, 5, 1, 4, 4, 2, 5, 3, 3, 3, 2, 3, 3, 1, 1, 3, 1, 1, 0, 1, 0, 1, 0, 0, 0, 2,
+    0, 0, 0,
+];
+
+/// The primary dataset: 136 bugs over 96 testing days (synthetic
+/// stand-in for the Musa command & control data; see module docs).
+///
+/// # Examples
+///
+/// ```
+/// let d = srm_data::datasets::musa_cc96();
+/// assert_eq!(d.len(), 96);
+/// assert_eq!(d.total(), 136);
+/// assert_eq!(d.detected_by(48), 42);
+/// assert_eq!(d.detected_by(67), 84);
+/// assert_eq!(d.detected_by(86), 132);
+/// ```
+#[must_use]
+pub fn musa_cc96() -> BugCountData {
+    BugCountData::new(MUSA_CC96.to_vec()).expect("embedded data is non-empty")
+}
+
+/// A steadily decaying series (classic exponential reliability
+/// growth): 86 bugs over 60 days, most found early.
+#[must_use]
+pub fn decaying_growth_60() -> BugCountData {
+    let counts: Vec<u64> = (0..60)
+        .map(|i| {
+            // Deterministic decay with small oscillation.
+            let base = 5.0 * (-0.06 * i as f64).exp();
+            let wobble = ((i * 7 + 3) % 5) as f64 * 0.2;
+            (base + wobble).floor() as u64
+        })
+        .collect();
+    BugCountData::new(counts).expect("constructed non-empty")
+}
+
+/// An S-shaped series (slow start, burst, saturation): 120 bugs over
+/// 80 days — the delayed-S-shape often seen when test cases mature.
+#[must_use]
+pub fn s_shaped_80() -> BugCountData {
+    let counts: Vec<u64> = (0..80)
+        .map(|i| {
+            let t = i as f64 / 80.0;
+            // Logistic bump peaked near t = 0.45.
+            let rate = 4.2 * (-(t - 0.45).powi(2) / 0.03).exp();
+            let wobble = ((i * 11 + 1) % 3) as f64 * 0.3;
+            (rate + wobble).floor() as u64
+        })
+        .collect();
+    BugCountData::new(counts).expect("constructed non-empty")
+}
+
+/// A short, intense test campaign: 45 bugs over 25 days.
+#[must_use]
+pub fn short_campaign_25() -> BugCountData {
+    let counts = vec![
+        4, 3, 5, 2, 4, 3, 2, 3, 2, 2, 1, 2, 2, 1, 1, 2, 1, 1, 1, 0, 1, 1, 0, 1, 0,
+    ];
+    BugCountData::new(counts).expect("constructed non-empty")
+}
+
+/// A plateaued series where detection never clearly decays: 150 bugs
+/// over 100 days — the adversarial case for reliability-growth models.
+#[must_use]
+pub fn plateau_100() -> BugCountData {
+    let counts: Vec<u64> = (0..100).map(|i| ((i * 13 + 5) % 4) as u64).collect();
+    BugCountData::new(counts).expect("constructed non-empty")
+}
+
+/// A late-surge series: quiet start, most bugs near the end — the
+/// shape that penalises models assuming monotone growth. 70 bugs over
+/// 50 days.
+#[must_use]
+pub fn late_surge_50() -> BugCountData {
+    let counts: Vec<u64> = (0..50)
+        .map(|i| {
+            let t = i as f64 / 50.0;
+            let rate = 3.5 * t * t + ((i % 3) as f64) * 0.4;
+            rate.floor() as u64
+        })
+        .collect();
+    BugCountData::new(counts).expect("constructed non-empty")
+}
+
+/// Every embedded dataset with a short identifying name, for the
+/// multi-dataset extension experiment.
+#[must_use]
+pub fn all_named() -> Vec<(&'static str, BugCountData)> {
+    vec![
+        ("musa_cc96", musa_cc96()),
+        ("decaying_growth_60", decaying_growth_60()),
+        ("s_shaped_80", s_shaped_80()),
+        ("short_campaign_25", short_campaign_25()),
+        ("plateau_100", plateau_100()),
+        ("late_surge_50", late_surge_50()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn musa_invariants_match_paper() {
+        let d = musa_cc96();
+        assert_eq!(d.len(), 96);
+        assert_eq!(d.total(), 136);
+        // The paper's Tables II–IV imply these cumulative milestones.
+        assert_eq!(d.detected_by(48), 42);
+        assert_eq!(d.detected_by(67), 84);
+        assert_eq!(d.detected_by(86), 132);
+        assert_eq!(d.detected_by(96), 136);
+    }
+
+    #[test]
+    fn musa_has_quiet_tail() {
+        let d = musa_cc96();
+        // Only 4 bugs in the last 10 days: the growth has saturated.
+        assert_eq!(d.total() - d.detected_by(86), 4);
+    }
+
+    #[test]
+    fn all_datasets_are_nonempty_and_consistent() {
+        for (name, d) in all_named() {
+            assert!(d.len() >= 20, "{name} too short");
+            assert!(d.total() >= 40, "{name} too sparse: {}", d.total());
+            assert_eq!(
+                d.total(),
+                d.counts().iter().sum::<u64>(),
+                "{name} cumulative mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_shapes_differ() {
+        // First-half fraction distinguishes decaying / S / late-surge.
+        let frac = |d: &crate::BugCountData| {
+            d.detected_by(d.len() / 2) as f64 / d.total() as f64
+        };
+        let decay = frac(&decaying_growth_60());
+        let surge = frac(&late_surge_50());
+        assert!(decay > 0.6, "decaying should front-load: {decay}");
+        assert!(surge < 0.4, "late surge should back-load: {surge}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let named = all_named();
+        let mut names: Vec<_> = named.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), named.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! Synthetic workload generation.
+//!
+//! [`DetectionSimulator`] simulates the paper's data-generating
+//! process *exactly*: a project starts with `N` bugs, and on testing
+//! day `i` every remaining bug is independently detected with
+//! probability `p_i`. Synthetic-recovery experiments fit the Bayesian
+//! models to such data and check the posterior covers the true `N`.
+
+use crate::dataset::BugCountData;
+use srm_rand::{Binomial, Distribution, Pcg64, Rng};
+
+/// Simulates the binomial-thinning bug-detection process.
+///
+/// # Examples
+///
+/// ```
+/// use srm_data::DetectionSimulator;
+///
+/// // Constant 5 % detection probability for 30 days.
+/// let sim = DetectionSimulator::new(200, (1..=30).map(|_| 0.05).collect());
+/// let project = sim.run(12345);
+/// assert_eq!(project.data.len(), 30);
+/// assert!(project.data.total() <= 200);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionSimulator {
+    initial_bugs: u64,
+    detection_probs: Vec<f64>,
+}
+
+/// The outcome of one simulated project.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedProject {
+    /// The grouped daily counts, ready for model fitting.
+    pub data: BugCountData,
+    /// The true initial bug content the simulator started from.
+    pub true_initial_bugs: u64,
+    /// Bugs still undetected after the last day.
+    pub true_residual: u64,
+}
+
+impl DetectionSimulator {
+    /// Creates a simulator with `initial_bugs` bugs and a per-day
+    /// detection-probability schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty or any probability is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn new(initial_bugs: u64, detection_probs: Vec<f64>) -> Self {
+        assert!(!detection_probs.is_empty(), "schedule must be non-empty");
+        for (i, &p) in detection_probs.iter().enumerate() {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "p[{i}] = {p} outside [0, 1]"
+            );
+        }
+        Self {
+            initial_bugs,
+            detection_probs,
+        }
+    }
+
+    /// Number of testing days in the schedule.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.detection_probs.len()
+    }
+
+    /// The initial bug content.
+    #[must_use]
+    pub fn initial_bugs(&self) -> u64 {
+        self.initial_bugs
+    }
+
+    /// Runs one simulation with the given seed (PCG64 stream, kept
+    /// disjoint from the MCMC xoshiro streams by construction).
+    #[must_use]
+    pub fn run(&self, seed: u64) -> SimulatedProject {
+        let mut rng = Pcg64::seed_from(seed);
+        self.run_with(&mut rng)
+    }
+
+    /// Runs one simulation drawing from the supplied RNG.
+    pub fn run_with<R: Rng + ?Sized>(&self, rng: &mut R) -> SimulatedProject {
+        let mut remaining = self.initial_bugs;
+        let mut counts = Vec::with_capacity(self.detection_probs.len());
+        for &p in &self.detection_probs {
+            let found = if remaining == 0 || p == 0.0 {
+                0
+            } else {
+                Binomial::new(remaining, p)
+                    .expect("validated probability")
+                    .sample(rng)
+            };
+            counts.push(found);
+            remaining -= found;
+        }
+        SimulatedProject {
+            data: BugCountData::new(counts).expect("non-empty schedule"),
+            true_initial_bugs: self.initial_bugs,
+            true_residual: remaining,
+        }
+    }
+
+    /// Runs `n` independent replications with consecutive seeds.
+    #[must_use]
+    pub fn replicate(&self, base_seed: u64, n: usize) -> Vec<SimulatedProject> {
+        (0..n).map(|i| self.run(base_seed + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_schedule_panics() {
+        let _ = DetectionSimulator::new(10, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = DetectionSimulator::new(10, vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn conservation_of_bugs() {
+        let sim = DetectionSimulator::new(500, vec![0.1; 40]);
+        let project = sim.run(1);
+        assert_eq!(project.data.total() + project.true_residual, 500);
+    }
+
+    #[test]
+    fn zero_bugs_yield_empty_counts() {
+        let sim = DetectionSimulator::new(0, vec![0.5; 10]);
+        let project = sim.run(2);
+        assert_eq!(project.data.total(), 0);
+        assert_eq!(project.true_residual, 0);
+    }
+
+    #[test]
+    fn certain_detection_drains_first_day() {
+        let sim = DetectionSimulator::new(77, vec![1.0, 0.5, 0.5]);
+        let project = sim.run(3);
+        assert_eq!(project.data.count_on(1), 77);
+        assert_eq!(project.true_residual, 0);
+    }
+
+    #[test]
+    fn zero_probability_finds_nothing() {
+        let sim = DetectionSimulator::new(50, vec![0.0; 5]);
+        let project = sim.run(4);
+        assert_eq!(project.data.total(), 0);
+        assert_eq!(project.true_residual, 50);
+    }
+
+    #[test]
+    fn detection_fraction_matches_theory() {
+        // After k days at constant p, E[detected] = N(1 − (1−p)^k).
+        let n = 10_000u64;
+        let p = 0.05;
+        let k = 20;
+        let sim = DetectionSimulator::new(n, vec![p; k]);
+        let mut total = 0u64;
+        for project in sim.replicate(100, 30) {
+            total += project.data.total();
+        }
+        let avg = total as f64 / 30.0;
+        let expected = n as f64 * (1.0 - (1.0 - p).powi(k as i32));
+        assert!(
+            (avg - expected).abs() < 0.02 * expected,
+            "avg = {avg}, expected = {expected}"
+        );
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let sim = DetectionSimulator::new(300, vec![0.07; 25]);
+        assert_eq!(sim.run(42), sim.run(42));
+        assert_ne!(sim.run(42), sim.run(43));
+    }
+
+    #[test]
+    fn replicates_are_distinct_and_counted() {
+        let sim = DetectionSimulator::new(100, vec![0.1; 10]);
+        let reps = sim.replicate(7, 5);
+        assert_eq!(reps.len(), 5);
+        assert!(reps.windows(2).any(|w| w[0] != w[1]));
+    }
+}

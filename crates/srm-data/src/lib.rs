@@ -1,0 +1,41 @@
+//! Bug-count datasets, observation windows and workload generation for
+//! the `srm-bayes` workspace.
+//!
+//! The paper's experiments run on *grouped* software bug-count data:
+//! the number of bugs found on each testing day. This crate provides
+//!
+//! * [`BugCountData`] — the validated grouped-count container used by
+//!   every model and sampler;
+//! * [`datasets`] — embedded datasets, including the primary
+//!   [`datasets::musa_cc96`] series (a documented synthetic stand-in
+//!   for the Musa RADC 136-bug / 96-day data; see DESIGN.md);
+//! * [`observation`] — observation points and the paper's
+//!   virtual-testing protocol (zero-count extension after release);
+//! * [`generator`] — a simulator of the exact binomial-thinning
+//!   detection process, for synthetic-recovery experiments;
+//! * [`csv`] — minimal CSV import/export, no external dependency.
+//!
+//! # Examples
+//!
+//! ```
+//! use srm_data::datasets;
+//!
+//! let data = datasets::musa_cc96();
+//! assert_eq!(data.len(), 96);
+//! assert_eq!(data.total(), 136);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bootstrap;
+pub mod csv;
+pub mod dataset;
+pub mod datasets;
+pub mod generator;
+pub mod observation;
+
+pub use dataset::{BugCountData, DataError};
+pub use generator::{DetectionSimulator, SimulatedProject};
+pub use observation::{ObservationPlan, ObservationPoint};

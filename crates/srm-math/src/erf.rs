@@ -1,0 +1,193 @@
+//! Error function, complementary error function, and the standard
+//! normal CDF/quantile.
+//!
+//! The quantile (`norm_quantile`) is Acklam's rational approximation
+//! refined by one Halley step, giving full double accuracy; it seeds
+//! the incomplete-gamma inverse and the Geweke/Gelman diagnostics.
+
+/// Error function `erf(x)`, accurate to ~1e-15 (Abramowitz–Stegun 7.1.26
+/// refined via the incomplete-gamma connection for |x| ≥ 0.5).
+///
+/// # Examples
+///
+/// ```
+/// assert!((srm_math::erf(0.0)).abs() < 1e-15);
+/// assert!((srm_math::erf(1.0) - 0.8427007929497149).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    // erf(x) = P(1/2, x²) for x ≥ 0.
+    crate::incgamma::inc_gamma_p(0.5, x * x)
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`, accurate in the
+/// far tail (uses `Q(1/2, x²)` directly for positive `x`).
+///
+/// # Examples
+///
+/// ```
+/// let x: f64 = 6.0;
+/// let t = srm_math::erfc(x);
+/// assert!(t > 0.0 && t < 1e-15);
+/// ```
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x == 0.0 {
+        return 1.0;
+    }
+    crate::incgamma::inc_gamma_q(0.5, x * x)
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+///
+/// # Examples
+///
+/// ```
+/// assert!((srm_math::norm_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((srm_math::norm_cdf(1.959963984540054) - 0.975).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal quantile `Φ^{-1}(p)` (Acklam's algorithm + one
+/// Halley refinement step).
+///
+/// # Panics
+///
+/// Panics if `p ∉ (0, 1)`; the endpoints map to ±∞ which callers must
+/// request explicitly if they want them.
+///
+/// # Examples
+///
+/// ```
+/// let z = srm_math::norm_quantile(0.975);
+/// assert!((z - 1.959963984540054).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn norm_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "norm_quantile requires p in (0, 1), got {p}");
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step against the true CDF.
+    let e = norm_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn erf_known_values() {
+        let cases = [
+            (0.5, 0.520_499_877_813_046_5),
+            (1.0, 0.842_700_792_949_714_9),
+            (2.0, 0.995_322_265_018_952_7),
+            (3.0, 0.999_977_909_503_001_4),
+        ];
+        for &(x, v) in &cases {
+            assert!(approx_eq(erf(x), v, 1e-11), "x = {x}");
+            assert!(approx_eq(erf(-x), -v, 1e-11), "x = -{x}");
+        }
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one() {
+        for &x in &[-4.0, -1.0, -0.1, 0.0, 0.3, 2.0, 7.0] {
+            assert!(approx_eq(erf(x) + erfc(x), 1.0, 1e-12), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_far_tail_positive() {
+        let v = erfc(10.0);
+        assert!(v > 0.0 && v < 1e-40);
+    }
+
+    #[test]
+    fn norm_cdf_symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.5, 5.0] {
+            assert!(approx_eq(norm_cdf(x) + norm_cdf(-x), 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn quantile_round_trips() {
+        for &p in &[1e-10, 1e-4, 0.01, 0.2, 0.5, 0.8, 0.99, 1.0 - 1e-7] {
+            let z = norm_quantile(p);
+            assert!(approx_eq(norm_cdf(z), p, 1e-10), "p = {p}, z = {z}");
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!(approx_eq(norm_quantile(0.5), 0.0, 1e-12));
+        assert!(approx_eq(norm_quantile(0.975), 1.959_963_984_540_054, 1e-9));
+        assert!(approx_eq(norm_quantile(0.841_344_746_068_543), 1.0, 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0, 1)")]
+    fn quantile_rejects_endpoints() {
+        let _ = norm_quantile(1.0);
+    }
+}

@@ -1,0 +1,495 @@
+//! Derivative-free multivariate minimisation (Nelder–Mead).
+//!
+//! The MLE baseline fits the discrete NHPP models by maximising the
+//! grouped-data log-likelihood over 2–3 parameters; Nelder–Mead with
+//! adaptive coefficients and box constraints (via reflection at the
+//! bounds) is plenty for these small, smooth problems.
+
+/// Configuration for [`nelder_mead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex' objective spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex diameter falls below this.
+    pub x_tol: f64,
+    /// Initial simplex edge length relative to each coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        Self {
+            max_evals: 20_000,
+            f_tol: 1e-10,
+            x_tol: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+    /// Whether a tolerance criterion (rather than the budget) stopped
+    /// the search.
+    pub converged: bool,
+}
+
+/// Minimises `f` starting from `x0` with the Nelder–Mead simplex
+/// method (adaptive parameters of Gao & Han for dimension `n`).
+///
+/// The optional `bounds` give `(lo, hi)` per coordinate; trial points
+/// are clamped into the box, which is adequate for the well-interior
+/// optima of the SRM likelihoods.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty or `bounds` (when given) has a different
+/// length than `x0`.
+///
+/// # Examples
+///
+/// ```
+/// use srm_math::optim::{nelder_mead, NelderMeadConfig};
+/// let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+/// let r = nelder_mead(rosen, &[-1.2, 1.0], None, &NelderMeadConfig::default());
+/// assert!(r.fx < 1e-8);
+/// ```
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    bounds: Option<&[(f64, f64)]>,
+    config: &NelderMeadConfig,
+) -> OptimResult {
+    let n = x0.len();
+    assert!(n > 0, "nelder_mead requires at least one dimension");
+    if let Some(b) = bounds {
+        assert_eq!(b.len(), n, "bounds length must match x0 length");
+    }
+
+    let clamp = |x: &mut [f64]| {
+        if let Some(b) = bounds {
+            for (xi, &(lo, hi)) in x.iter_mut().zip(b) {
+                *xi = xi.clamp(lo, hi);
+            }
+        }
+    };
+
+    // Adaptive coefficients (Gao & Han 2012).
+    let nf = n as f64;
+    let alpha = 1.0;
+    let beta = 1.0 + 2.0 / nf;
+    let gamma = 0.75 - 1.0 / (2.0 * nf);
+    let delta = 1.0 - 1.0 / nf;
+
+    // Initial simplex: x0 plus a perturbation along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    let mut start = x0.to_vec();
+    clamp(&mut start);
+    simplex.push(start.clone());
+    for i in 0..n {
+        let mut v = start.clone();
+        let step = if v[i].abs() > 1e-12 {
+            config.initial_step * v[i].abs()
+        } else {
+            config.initial_step
+        };
+        v[i] += step;
+        clamp(&mut v);
+        if v == simplex[0] {
+            v[i] -= 2.0 * step;
+            clamp(&mut v);
+        }
+        simplex.push(v);
+    }
+
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    let mut fvals: Vec<f64> = simplex.iter().map(|x| eval(x, &mut evals)).collect();
+
+    let mut converged = false;
+    while evals < config.max_evals {
+        // Order the simplex.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&i, &j| fvals[i].partial_cmp(&fvals[j]).unwrap());
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        let spread = fvals[worst] - fvals[best];
+        let diameter = simplex
+            .iter()
+            .map(|x| {
+                x.iter()
+                    .zip(&simplex[best])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        if spread.abs() <= config.f_tol && diameter <= config.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (i, x) in simplex.iter().enumerate() {
+            if i == worst {
+                continue;
+            }
+            for (c, &xi) in centroid.iter_mut().zip(x) {
+                *c += xi / nf;
+            }
+        }
+
+        let point_along = |t: f64| -> Vec<f64> {
+            let mut p: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(&c, &w)| c + t * (c - w))
+                .collect();
+            clamp(&mut p);
+            p
+        };
+
+        let reflected = point_along(alpha);
+        let f_reflected = eval(&reflected, &mut evals);
+
+        if f_reflected < fvals[best] {
+            // Try expanding.
+            let expanded = point_along(beta);
+            let f_expanded = eval(&expanded, &mut evals);
+            if f_expanded < f_reflected {
+                simplex[worst] = expanded;
+                fvals[worst] = f_expanded;
+            } else {
+                simplex[worst] = reflected;
+                fvals[worst] = f_reflected;
+            }
+        } else if f_reflected < fvals[second_worst] {
+            simplex[worst] = reflected;
+            fvals[worst] = f_reflected;
+        } else {
+            // Contract (outside if the reflection helped at all).
+            let (contracted, f_contracted) = if f_reflected < fvals[worst] {
+                let c = point_along(alpha * gamma);
+                let fc = eval(&c, &mut evals);
+                (c, fc)
+            } else {
+                let c = point_along(-gamma);
+                let fc = eval(&c, &mut evals);
+                (c, fc)
+            };
+            if f_contracted < fvals[worst].min(f_reflected) {
+                simplex[worst] = contracted;
+                fvals[worst] = f_contracted;
+            } else {
+                // Shrink toward the best vertex.
+                let best_point = simplex[best].clone();
+                for (i, x) in simplex.iter_mut().enumerate() {
+                    if i == best {
+                        continue;
+                    }
+                    for (xi, &bi) in x.iter_mut().zip(&best_point) {
+                        *xi = bi + delta * (*xi - bi);
+                    }
+                    clamp(x);
+                    fvals[i] = eval(x, &mut evals);
+                }
+            }
+        }
+    }
+
+    let (best_idx, _) = fvals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .expect("simplex is non-empty");
+    OptimResult {
+        x: simplex[best_idx].clone(),
+        fx: fvals[best_idx],
+        evals,
+        converged,
+    }
+}
+
+/// Central-difference numerical Hessian of `f` at `x`.
+///
+/// Step sizes are `rel_step · max(|x_i|, 1)` per coordinate; the
+/// matrix is symmetrised. Intended for the small (≤ 4-dimensional)
+/// likelihood Hessians behind MLE standard errors.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `rel_step <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use srm_math::optim::numerical_hessian;
+/// // f(x, y) = x² + 3xy + 5y² has Hessian [[2, 3], [3, 10]].
+/// let f = |v: &[f64]| v[0] * v[0] + 3.0 * v[0] * v[1] + 5.0 * v[1] * v[1];
+/// let h = numerical_hessian(f, &[0.3, -0.2], 1e-4);
+/// assert!((h[0][0] - 2.0).abs() < 1e-5);
+/// assert!((h[0][1] - 3.0).abs() < 1e-5);
+/// assert!((h[1][1] - 10.0).abs() < 1e-4);
+/// ```
+pub fn numerical_hessian<F: Fn(&[f64]) -> f64>(
+    f: F,
+    x: &[f64],
+    rel_step: f64,
+) -> Vec<Vec<f64>> {
+    assert!(!x.is_empty(), "hessian of a zero-dimensional function");
+    assert!(rel_step > 0.0, "step must be positive");
+    let n = x.len();
+    let step: Vec<f64> = x.iter().map(|&v| rel_step * v.abs().max(1.0)).collect();
+    let mut point = x.to_vec();
+    let mut eval = |deltas: &[(usize, f64)]| -> f64 {
+        for &(i, d) in deltas {
+            point[i] += d;
+        }
+        let v = f(&point);
+        for &(i, d) in deltas {
+            point[i] -= d;
+        }
+        v
+    };
+
+    let f0 = eval(&[]);
+    let mut h = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        let hi = step[i];
+        // Diagonal: (f(x+h) − 2f(x) + f(x−h)) / h².
+        let fp = eval(&[(i, hi)]);
+        let fm = eval(&[(i, -hi)]);
+        h[i][i] = (fp - 2.0 * f0 + fm) / (hi * hi);
+        for j in (i + 1)..n {
+            let hj = step[j];
+            let fpp = eval(&[(i, hi), (j, hj)]);
+            let fpm = eval(&[(i, hi), (j, -hj)]);
+            let fmp = eval(&[(i, -hi), (j, hj)]);
+            let fmm = eval(&[(i, -hi), (j, -hj)]);
+            let v = (fpp - fpm - fmp + fmm) / (4.0 * hi * hj);
+            h[i][j] = v;
+            h[j][i] = v;
+        }
+    }
+    h
+}
+
+/// Inverts a small symmetric positive-definite matrix by
+/// Gauss–Jordan elimination with partial pivoting; returns `None` if
+/// the matrix is (numerically) singular.
+///
+/// # Panics
+///
+/// Panics on a non-square input.
+///
+/// # Examples
+///
+/// ```
+/// use srm_math::optim::invert_matrix;
+/// let inv = invert_matrix(&[vec![2.0, 0.0], vec![0.0, 4.0]]).unwrap();
+/// assert!((inv[0][0] - 0.5).abs() < 1e-12);
+/// assert!((inv[1][1] - 0.25).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn invert_matrix(matrix: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = matrix.len();
+    for row in matrix {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    // Augmented [A | I].
+    let mut a: Vec<Vec<f64>> = matrix
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| if i == j { 1.0 } else { 0.0 }));
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("no NaN in matrix")
+        })?;
+        if a[pivot_row][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        let pivot = a[col][col];
+        for v in &mut a[col] {
+            *v /= pivot;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = a[row][col];
+            if factor == 0.0 {
+                continue;
+            }
+            let (upper, lower) = a.split_at_mut(row.max(col));
+            let (src, dst) = if row < col {
+                (&lower[0], &mut upper[row])
+            } else {
+                (&upper[col], &mut lower[0])
+            };
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d -= factor * s;
+            }
+        }
+    }
+    Some(a.into_iter().map(|row| row[n..].to_vec()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn hessian_of_quadratic_is_exact() {
+        // f = x'Ax/2 with A = [[4, 1, 0], [1, 3, 2], [0, 2, 6]].
+        let a = [[4.0, 1.0, 0.0], [1.0, 3.0, 2.0], [0.0, 2.0, 6.0]];
+        let f = |v: &[f64]| {
+            let mut acc = 0.0;
+            for i in 0..3 {
+                for j in 0..3 {
+                    acc += 0.5 * a[i][j] * v[i] * v[j];
+                }
+            }
+            acc
+        };
+        let h = numerical_hessian(f, &[0.5, -1.0, 2.0], 1e-4);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx_eq(h[i][j], a[i][j], 1e-4), "({i},{j}): {}", h[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        let m = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 6.0],
+        ];
+        let inv = invert_matrix(&m).unwrap();
+        // M · M⁻¹ = I.
+        for i in 0..3 {
+            for j in 0..3 {
+                let prod: f64 = (0..3).map(|k| m[i][k] * inv[k][j]).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(prod, expected, 1e-10), "({i},{j}): {prod}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let m = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(invert_matrix(&m).is_none());
+    }
+
+    #[test]
+    fn one_by_one_inverse() {
+        let inv = invert_matrix(&[vec![5.0]]).unwrap();
+        assert!(approx_eq(inv[0][0], 0.2, 1e-12));
+    }
+
+    #[test]
+    fn minimises_sphere() {
+        let r = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[3.0, -4.0, 5.0],
+            None,
+            &NelderMeadConfig::default(),
+        );
+        assert!(r.fx < 1e-12, "fx = {}", r.fx);
+        for v in &r.x {
+            assert!(v.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn minimises_rosenbrock() {
+        let rosen =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = nelder_mead(rosen, &[-1.2, 1.0], None, &NelderMeadConfig::default());
+        assert!(approx_eq(r.x[0], 1.0, 1e-3));
+        assert!(approx_eq(r.x[1], 1.0, 1e-3));
+    }
+
+    #[test]
+    fn respects_bounds() {
+        // Unconstrained optimum at 5; box caps at 2.
+        let r = nelder_mead(
+            |x| (x[0] - 5.0).powi(2),
+            &[1.0],
+            Some(&[(0.0, 2.0)]),
+            &NelderMeadConfig::default(),
+        );
+        assert!(r.x[0] <= 2.0 + 1e-12);
+        assert!(approx_eq(r.x[0], 2.0, 1e-4));
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let r = nelder_mead(
+            |x| (x[0] - 0.25).powi(2) + 3.0,
+            &[10.0],
+            None,
+            &NelderMeadConfig::default(),
+        );
+        assert!(approx_eq(r.x[0], 0.25, 1e-4));
+        assert!(approx_eq(r.fx, 3.0, 1e-8));
+    }
+
+    #[test]
+    fn nan_objective_treated_as_infinite() {
+        // NaN outside the unit disc must not poison the search.
+        let f = |x: &[f64]| {
+            let r2 = x[0] * x[0] + x[1] * x[1];
+            if r2 > 1.0 {
+                f64::NAN
+            } else {
+                r2
+            }
+        };
+        let r = nelder_mead(f, &[0.5, 0.5], None, &NelderMeadConfig::default());
+        assert!(r.fx < 1e-6);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let cfg = NelderMeadConfig {
+            max_evals: 25,
+            ..NelderMeadConfig::default()
+        };
+        let r = nelder_mead(|x| x[0] * x[0], &[100.0], None, &cfg);
+        assert!(r.evals <= 27); // budget plus the in-flight expansion pair
+    }
+}

@@ -1,0 +1,108 @@
+//! Adaptive Simpson quadrature.
+//!
+//! Used by validation tests to integrate continuous densities (e.g.
+//! checking that a sampled Gamma/Beta histogram matches its density)
+//! and by the NHPP mean-value-function correspondence checks.
+
+/// Adaptively integrates `f` over `[a, b]` to absolute tolerance
+/// `tol` with Simpson's rule and Richardson error control.
+///
+/// Depth is capped (2^20 subdivisions) so pathological integrands
+/// terminate; the cap is far beyond anything the SRM validation needs.
+///
+/// # Examples
+///
+/// ```
+/// let v = srm_math::quadrature::integrate(|x: f64| x.sin(), 0.0, std::f64::consts::PI, 1e-10);
+/// assert!((v - 2.0).abs() < 1e-9);
+/// ```
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    if a > b {
+        return -integrate(f, b, a, tol);
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    adaptive(&f, a, b, fa, fm, fb, whole, tol, 40)
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        adaptive(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + adaptive(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn polynomial_exact() {
+        // Simpson is exact for cubics.
+        let v = integrate(|x| x * x * x - 2.0 * x + 1.0, -1.0, 3.0, 1e-12);
+        let exact = (81.0 / 4.0 - 9.0 + 3.0) - (1.0 / 4.0 - 1.0 - 1.0);
+        assert!(approx_eq(v, exact, 1e-10));
+    }
+
+    #[test]
+    fn gaussian_integral() {
+        // ∫ φ(x) dx over ±8 ≈ 1.
+        let phi = |x: f64| (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        let v = integrate(phi, -8.0, 8.0, 1e-12);
+        assert!(approx_eq(v, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn reversed_limits_negate() {
+        let v1 = integrate(|x| x.exp(), 0.0, 1.0, 1e-12);
+        let v2 = integrate(|x| x.exp(), 1.0, 0.0, 1e-12);
+        assert!(approx_eq(v1, -v2, 1e-12));
+        assert!(approx_eq(v1, std::f64::consts::E - 1.0, 1e-10));
+    }
+
+    #[test]
+    fn zero_width_interval() {
+        assert_eq!(integrate(|x| x * x, 2.0, 2.0, 1e-12), 0.0);
+    }
+
+    #[test]
+    fn sharply_peaked_integrand() {
+        // Narrow Gaussian at 0.3 — exercises the adaptive refinement.
+        let f = |x: f64| (-(x - 0.3).powi(2) / (2.0 * 1e-4)).exp();
+        let v = integrate(f, 0.0, 1.0, 1e-12);
+        let exact = (2.0 * std::f64::consts::PI * 1e-4).sqrt();
+        assert!(approx_eq(v, exact, 1e-6), "v = {v}, exact = {exact}");
+    }
+}

@@ -1,0 +1,332 @@
+//! One-dimensional root finding and minimisation.
+//!
+//! Brent's method is used to invert CDFs that have no analytic
+//! quantile, and the scalar minimiser drives one-parameter MLE fits
+//! (model0/model3 baselines).
+
+/// Error produced by the bracketing routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BracketError {
+    /// `f(lo)` and `f(hi)` have the same sign, so no root is bracketed.
+    NotBracketed,
+    /// The iteration budget was exhausted before reaching tolerance.
+    MaxIterations,
+}
+
+impl std::fmt::Display for BracketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotBracketed => write!(f, "interval does not bracket a root"),
+            Self::MaxIterations => write!(f, "iteration budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for BracketError {}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Robust but linear; preferred when `f` is cheap and possibly
+/// non-smooth (e.g. step-function CDFs of discrete distributions).
+///
+/// # Errors
+///
+/// Returns [`BracketError::NotBracketed`] if `f(lo)` and `f(hi)` share
+/// a sign.
+///
+/// # Examples
+///
+/// ```
+/// let root = srm_math::roots::bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+/// assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, BracketError> {
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(BracketError::NotBracketed);
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= tol {
+            return Ok(mid);
+        }
+        let fm = f(mid);
+        if fm == 0.0 {
+            return Ok(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(BracketError::MaxIterations)
+}
+
+/// Brent's root finder: bisection safeguarded inverse quadratic
+/// interpolation. Superlinear on smooth functions.
+///
+/// # Errors
+///
+/// Returns [`BracketError::NotBracketed`] when `[a, b]` does not
+/// bracket a sign change, [`BracketError::MaxIterations`] on budget
+/// exhaustion.
+///
+/// # Examples
+///
+/// ```
+/// let root = srm_math::roots::brent_root(|x: f64| x.cos() - x, 0.0, 1.0, 1e-14, 100).unwrap();
+/// assert!((root - 0.7390851332151607).abs() < 1e-12);
+/// ```
+pub fn brent_root<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, BracketError> {
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(BracketError::NotBracketed);
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() <= tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond = !((lo.min(b) < s && s < lo.max(b))
+            && !(mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            && !(!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            && !(mflag && (b - c).abs() < tol)
+            && !(!mflag && (c - d).abs() < tol));
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(BracketError::MaxIterations)
+}
+
+/// Brent's scalar minimiser (golden-section + parabolic interpolation)
+/// on `[a, b]`. Returns `(x_min, f(x_min))`.
+///
+/// # Examples
+///
+/// ```
+/// let (x, fx) = srm_math::roots::brent_min(|x: f64| (x - 2.0).powi(2) + 1.0, 0.0, 5.0, 1e-10, 200);
+/// assert!((x - 2.0).abs() < 1e-7);
+/// assert!((fx - 1.0).abs() < 1e-10);
+/// ```
+pub fn brent_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> (f64, f64) {
+    const GOLD: f64 = 0.381_966_011_250_105; // (3 − √5)/2
+    let (mut a, mut b) = (a.min(b), a.max(b));
+    let mut x = a + GOLD * (b - a);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+    for _ in 0..max_iter {
+        let m = 0.5 * (a + b);
+        let tol1 = tol * x.abs() + 1e-15;
+        let tol2 = 2.0 * tol1;
+        if (x - m).abs() <= tol2 - 0.5 * (b - a) {
+            break;
+        }
+        let mut take_golden = true;
+        if e.abs() > tol1 {
+            // Parabolic fit through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q0 = (x - v) * (fx - fw);
+            let mut p = (x - v) * q0 - (x - w) * r;
+            let mut q = 2.0 * (q0 - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let e_old = e;
+            e = d;
+            if p.abs() < (0.5 * q * e_old).abs() && p > q * (a - x) && p < q * (b - x) {
+                d = p / q;
+                let u = x + d;
+                if u - a < tol2 || b - u < tol2 {
+                    d = if m > x { tol1 } else { -tol1 };
+                }
+                take_golden = false;
+            }
+        }
+        if take_golden {
+            e = if x < m { b - x } else { a - x };
+            d = GOLD * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else if d > 0.0 {
+            x + tol1
+        } else {
+            x - tol1
+        };
+        let fu = f(u);
+        if fu <= fx {
+            if u < x {
+                b = x;
+            } else {
+                a = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                a = u;
+            } else {
+                b = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    (x, fx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 100).unwrap();
+        assert!(approx_eq(r, std::f64::consts::SQRT_2, 1e-10));
+    }
+
+    #[test]
+    fn bisect_reports_missing_bracket() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-10, 100),
+            Err(BracketError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn bisect_accepts_root_at_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, 1e-10, 100).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn brent_root_cubic() {
+        let r = brent_root(|x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 0.5), 0.0, 0.9, 1e-14, 100)
+            .unwrap();
+        assert!(approx_eq(r, 0.5, 1e-9));
+    }
+
+    #[test]
+    fn brent_root_transcendental() {
+        let r = brent_root(|x: f64| x.exp() - 3.0, 0.0, 2.0, 1e-14, 100).unwrap();
+        assert!(approx_eq(r, 3.0_f64.ln(), 1e-11));
+    }
+
+    #[test]
+    fn brent_root_missing_bracket() {
+        assert_eq!(
+            brent_root(|x| x * x + 1.0, -2.0, 2.0, 1e-10, 100),
+            Err(BracketError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn brent_min_quadratic() {
+        let (x, _) = brent_min(|x| (x - 0.7).powi(2), 0.0, 1.0, 1e-12, 200);
+        assert!(approx_eq(x, 0.7, 1e-6));
+    }
+
+    #[test]
+    fn brent_min_asymmetric() {
+        // min of x − ln x at x = 1.
+        let (x, fx) = brent_min(|x: f64| x - x.ln(), 0.1, 5.0, 1e-12, 200);
+        assert!(approx_eq(x, 1.0, 1e-6));
+        assert!(approx_eq(fx, 1.0, 1e-10));
+    }
+
+    #[test]
+    fn brent_min_boundary_minimum() {
+        // Monotone increasing on the interval: minimiser hugs `a`.
+        let (x, _) = brent_min(|x| x, 2.0, 3.0, 1e-10, 200);
+        assert!(x < 2.0 + 1e-4);
+    }
+}

@@ -1,0 +1,198 @@
+//! Goodness-of-fit tests: one-sample Kolmogorov–Smirnov and the
+//! chi-square test.
+//!
+//! Used by the test suites of `srm-rand` (sampler validation against
+//! analytic CDFs) and available to users checking model fit.
+
+use crate::incgamma::inc_gamma_p;
+
+/// One-sample Kolmogorov–Smirnov statistic `D_n = sup |F_n − F|`
+/// against the CDF `cdf`.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// use srm_math::stats::ks_statistic;
+/// // A perfectly uniform grid against the uniform CDF: D ≈ 1/(2n).
+/// let sample: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+/// let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+/// assert!(d < 0.011);
+/// ```
+pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &[f64], cdf: F) -> f64 {
+    assert!(!sample.is_empty(), "KS requires a non-empty sample");
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample must not contain NaN"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let ecdf_hi = (i as f64 + 1.0) / n;
+        let ecdf_lo = i as f64 / n;
+        d = d.max((ecdf_hi - f).abs()).max((f - ecdf_lo).abs());
+    }
+    d
+}
+
+/// Asymptotic p-value of the KS statistic via the Kolmogorov
+/// distribution `Q(λ) = 2 Σ (−1)^{j−1} e^{−2 j² λ²}` with the
+/// Stephens small-sample correction.
+///
+/// # Examples
+///
+/// ```
+/// use srm_math::stats::{ks_statistic, ks_p_value};
+/// let sample: Vec<f64> = (0..200).map(|i| (i as f64 + 0.5) / 200.0).collect();
+/// let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+/// assert!(ks_p_value(d, sample.len()) > 0.9); // perfect fit
+/// ```
+#[must_use]
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    if n == 0 || d <= 0.0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+    let lambda = (nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d;
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Chi-square survival function `P(X > x)` with `k` degrees of
+/// freedom.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// // P(X > k) ≈ 0.5-ish near the mean; exact for df = 2: e^{−x/2}.
+/// let p = srm_math::stats::chi2_sf(4.0, 2);
+/// assert!((p - (-2.0f64).exp()).abs() < 1e-10);
+/// ```
+#[must_use]
+pub fn chi2_sf(x: f64, k: usize) -> f64 {
+    assert!(k > 0, "chi-square needs at least one degree of freedom");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    1.0 - inc_gamma_p(k as f64 / 2.0, x / 2.0)
+}
+
+/// Pearson chi-square goodness-of-fit test of observed counts against
+/// expected counts. Returns `(statistic, p_value)` with
+/// `len − 1 − constrained` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are shorter than 2 after
+/// accounting for constraints, or any expected count is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use srm_math::stats::chi2_gof;
+/// let observed = [48.0, 52.0];
+/// let expected = [50.0, 50.0];
+/// let (stat, p) = chi2_gof(&observed, &expected, 0);
+/// assert!(stat < 1.0);
+/// assert!(p > 0.5);
+/// ```
+#[must_use]
+pub fn chi2_gof(observed: &[f64], expected: &[f64], constrained: usize) -> (f64, f64) {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    assert!(
+        observed.len() > constrained + 1,
+        "not enough cells for the degrees of freedom"
+    );
+    let mut stat = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(e > 0.0, "expected counts must be positive");
+        stat += (o - e) * (o - e) / e;
+    }
+    let df = observed.len() - 1 - constrained;
+    (stat, chi2_sf(stat, df))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn ks_detects_wrong_distribution() {
+        // Uniform sample tested against a shifted CDF: D large.
+        let sample: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 500.0).collect();
+        let d = ks_statistic(&sample, |x| (x * x).clamp(0.0, 1.0));
+        assert!(d > 0.2, "d = {d}");
+        assert!(ks_p_value(d, sample.len()) < 1e-6);
+    }
+
+    #[test]
+    fn ks_accepts_correct_distribution() {
+        let sample: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(ks_p_value(d, 1000) > 0.99);
+    }
+
+    #[test]
+    fn ks_p_value_monotone_in_d() {
+        let p1 = ks_p_value(0.02, 500);
+        let p2 = ks_p_value(0.05, 500);
+        let p3 = ks_p_value(0.10, 500);
+        assert!(p1 > p2 && p2 > p3);
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // df = 2: SF(x) = e^{−x/2}.
+        for &x in &[0.5f64, 2.0, 10.0] {
+            assert!(approx_eq(chi2_sf(x, 2), (-x / 2.0).exp(), 1e-10));
+        }
+        // df = 1: SF(x) = 2(1 − Φ(√x)).
+        let x = 3.84f64;
+        let expected = 2.0 * (1.0 - crate::erf::norm_cdf(x.sqrt()));
+        assert!(approx_eq(chi2_sf(x, 1), expected, 1e-9));
+        // The 95th percentile of χ²₁ is ≈ 3.84.
+        assert!((chi2_sf(3.841, 1) - 0.05).abs() < 0.001);
+    }
+
+    #[test]
+    fn chi2_gof_detects_bias() {
+        let observed = [80.0, 20.0];
+        let expected = [50.0, 50.0];
+        let (stat, p) = chi2_gof(&observed, &expected, 0);
+        assert!(stat > 30.0);
+        assert!(p < 1e-6);
+    }
+
+    #[test]
+    fn chi2_gof_constrained_df() {
+        let observed = [10.0, 12.0, 9.0, 11.0];
+        let expected = [10.5, 10.5, 10.5, 10.5];
+        let (_, p_free) = chi2_gof(&observed, &expected, 0);
+        let (_, p_constrained) = chi2_gof(&observed, &expected, 1);
+        // Fewer degrees of freedom make the same statistic less
+        // probable under the null.
+        assert!(p_constrained <= p_free);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ks_empty_sample_panics() {
+        let _ = ks_statistic(&[], |x| x);
+    }
+}

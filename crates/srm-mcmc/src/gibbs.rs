@@ -1,0 +1,855 @@
+//! The Gibbs samplers of Eqs. (14)–(22).
+//!
+//! Each sweep updates, in order:
+//!
+//! 1. `N` — exact: the residual `R = N − s_k` is `Poisson(λ0 Π q_i)`
+//!    (Prop. 1) or `NB(α0 + s_k, 1 − (1−β0) Π q_i)` (corrected
+//!    Prop. 2);
+//! 2. the prior hyper-parameters — `λ0 | N ~ Gamma(N+1, 1)` truncated
+//!    to `(0, λ_max)`; `β0 | N, α0 ~ Beta(α0+1, N+1)`;
+//!    `α0 | N, β0` by slice sampling on `(0, α_max)`;
+//! 3. the detection parameters `ζ` — coordinate-wise slice sampling
+//!    of `Σ x_i ln p_i + Σ (N − s_i) ln q_i` on their uniform-prior
+//!    boxes.
+//!
+//! All conditional densities follow directly from the joint
+//! `P(N) · P(x | N, p(ζ)) · priors`, so the sweep targets the exact
+//! posterior of the paper's hierarchical model.
+
+use crate::chain::Chain;
+use crate::metropolis::AdaptiveRw;
+use crate::slice::{slice_sample, SliceConfig};
+use srm_data::BugCountData;
+use srm_math::special::ln_gamma;
+use srm_model::detection::OPEN_EPS;
+
+/// Tiny positive shift keeping exact conditionals strictly inside
+/// their open supports after floating-point round-off.
+const OPEN_SHIFT: f64 = 1e-12;
+use srm_model::{DetectionModel, GroupedLikelihood, ZetaBounds};
+use srm_rand::{Beta, Distribution, NegativeBinomial, Poisson, Rng, TruncatedGamma};
+
+/// Which prior (and hyper-prior upper limit) the sampler runs with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PriorSpec {
+    /// `N ~ Poisson(λ0)`, `λ0 ~ Uniform(0, λ_max)` (Eqs. (14)–(17)).
+    Poisson {
+        /// Upper limit of the uniform hyper-prior on `λ0`.
+        lambda_max: f64,
+    },
+    /// `N ~ NB(α0, β0)`, `α0 ~ Uniform(0, α_max)`,
+    /// `β0 ~ Uniform(0, 1)` (Eqs. (18)–(22)).
+    NegBinomial {
+        /// Upper limit of the uniform hyper-prior on `α0`.
+        alpha_max: f64,
+    },
+}
+
+impl PriorSpec {
+    /// Short label used in table headers.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Poisson { .. } => "poisson",
+            Self::NegBinomial { .. } => "negbinom",
+        }
+    }
+}
+
+/// One kept sweep, handed to observers (WAIC accumulators, tracers).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRecord<'a> {
+    /// Current initial bug content `N`.
+    pub n: u64,
+    /// Current residual `R = N − s_k`.
+    pub residual: u64,
+    /// Current detection parameters `ζ`.
+    pub zeta: &'a [f64],
+    /// Current `λ0` (NaN under the NB prior).
+    pub lambda0: f64,
+    /// Current `α0` (NaN under the Poisson prior).
+    pub alpha0: f64,
+    /// Current `β0` (NaN under the Poisson prior).
+    pub beta0: f64,
+    /// The detection schedule `p_1..p_k` at the current `ζ`.
+    pub probs: &'a [f64],
+}
+
+/// Which non-informative hyper-prior to place on the prior's
+/// hyper-parameters.
+///
+/// The paper uses uniform hyper-priors throughout and names the
+/// Jeffreys prior as future work (§6); both are implemented here.
+/// For the Poisson-prior rate, Jeffreys is `p(λ0) ∝ λ0^{−1/2}`
+/// (truncated to the same `(0, λ_max)` support so the two variants
+/// stay comparable). For the NB prior we use the Jeffreys prior of a
+/// proportion, `β0 ~ Beta(1/2, 1/2)` (arcsine), keeping `α0` uniform —
+/// the joint Jeffreys prior of the NB size has no closed form and is
+/// dominated by the `β0` factor in this model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HyperPrior {
+    /// Flat hyper-priors on their supports (the paper's Eqs. (15),
+    /// (19)–(20)).
+    #[default]
+    Uniform,
+    /// Jeffreys-style non-informative hyper-priors (paper §6).
+    Jeffreys,
+}
+
+impl HyperPrior {
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Uniform => "uniform",
+            Self::Jeffreys => "jeffreys",
+        }
+    }
+}
+
+/// Which transition kernel updates the detection parameters `ζ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ZetaKernel {
+    /// Stepping-out slice sampling (default; tuning-free, exact).
+    #[default]
+    Slice,
+    /// Adaptive random-walk Metropolis (cheaper per iteration;
+    /// adaptation runs during burn-in and freezes afterwards).
+    AdaptiveRw,
+}
+
+/// Which Gibbs sweep to run.
+///
+/// The collapsed sweep integrates `N` out of every hyper-parameter
+/// and `ζ` update analytically (the thinned model's marginal is a
+/// product of independent Poissons given `λ0`, and a closed-form
+/// negative-multinomial given `(α0, β0)`), which removes the strong
+/// `λ0 ↔ N` posterior coupling and mixes dramatically better. The
+/// naive sweep conditions every update on the current `N` — the
+/// textbook scheme of Eqs. (14)–(22) — and is kept as an ablation
+/// target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepKind {
+    /// Marginalise `N` in the hyper-parameter and `ζ` updates
+    /// (default).
+    #[default]
+    Collapsed,
+    /// Condition every update on the current `N`.
+    Naive,
+}
+
+/// The Gibbs sampler for one (prior, detection-model, dataset)
+/// combination.
+///
+/// See the crate-level example for typical use through
+/// [`crate::runner::run_chains`].
+#[derive(Debug, Clone)]
+pub struct GibbsSampler {
+    prior: PriorSpec,
+    model: DetectionModel,
+    bounds: ZetaBounds,
+    lik: GroupedLikelihood,
+    cumulative: Vec<u64>,
+    total: u64,
+    horizon: usize,
+    slice_config: SliceConfig,
+    sweep_kind: SweepKind,
+    hyper_prior: HyperPrior,
+    zeta_kernel: ZetaKernel,
+}
+
+impl GibbsSampler {
+    /// Creates a sampler for the given configuration and data window.
+    #[must_use]
+    pub fn new(
+        prior: PriorSpec,
+        model: DetectionModel,
+        bounds: ZetaBounds,
+        data: &BugCountData,
+    ) -> Self {
+        Self {
+            prior,
+            model,
+            bounds,
+            lik: GroupedLikelihood::new(data),
+            cumulative: data.cumulative().to_vec(),
+            total: data.total(),
+            horizon: data.len(),
+            slice_config: SliceConfig::default(),
+            sweep_kind: SweepKind::default(),
+            hyper_prior: HyperPrior::default(),
+            zeta_kernel: ZetaKernel::default(),
+        }
+    }
+
+    /// Selects the `ζ` transition kernel (slice by default).
+    #[must_use]
+    pub fn with_zeta_kernel(mut self, kernel: ZetaKernel) -> Self {
+        self.zeta_kernel = kernel;
+        self
+    }
+
+    /// The configured `ζ` kernel.
+    #[must_use]
+    pub fn zeta_kernel(&self) -> ZetaKernel {
+        self.zeta_kernel
+    }
+
+    /// Selects the sweep variant (collapsed by default).
+    #[must_use]
+    pub fn with_sweep_kind(mut self, kind: SweepKind) -> Self {
+        self.sweep_kind = kind;
+        self
+    }
+
+    /// The configured sweep variant.
+    #[must_use]
+    pub fn sweep_kind(&self) -> SweepKind {
+        self.sweep_kind
+    }
+
+    /// Selects the non-informative hyper-prior (uniform by default).
+    #[must_use]
+    pub fn with_hyper_prior(mut self, hyper: HyperPrior) -> Self {
+        self.hyper_prior = hyper;
+        self
+    }
+
+    /// The configured hyper-prior.
+    #[must_use]
+    pub fn hyper_prior(&self) -> HyperPrior {
+        self.hyper_prior
+    }
+
+    /// The extra Gamma-shape mass contributed by the λ0 hyper-prior:
+    /// uniform adds 0, Jeffreys (`∝ λ^{−1/2}`) subtracts one half.
+    fn lambda_shape_shift(&self) -> f64 {
+        match self.hyper_prior {
+            HyperPrior::Uniform => 0.0,
+            HyperPrior::Jeffreys => -0.5,
+        }
+    }
+
+    /// Log hyper-prior density of `β0` up to a constant.
+    fn ln_beta0_hyper_prior(&self, beta0: f64) -> f64 {
+        match self.hyper_prior {
+            HyperPrior::Uniform => 0.0,
+            // Arcsine / Beta(1/2, 1/2).
+            HyperPrior::Jeffreys => -0.5 * beta0.ln() - 0.5 * (1.0 - beta0).ln(),
+        }
+    }
+
+    /// The prior specification.
+    #[must_use]
+    pub fn prior(&self) -> PriorSpec {
+        self.prior
+    }
+
+    /// The detection model.
+    #[must_use]
+    pub fn model(&self) -> DetectionModel {
+        self.model
+    }
+
+    /// The likelihood evaluator (shared with WAIC computation).
+    #[must_use]
+    pub fn likelihood(&self) -> &GroupedLikelihood {
+        &self.lik
+    }
+
+    /// Total observed bugs `s_k`.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Chain column names: `residual`, `n`, the hyper-parameters of
+    /// the chosen prior, then the `ζ` components.
+    #[must_use]
+    pub fn param_names(&self) -> Vec<&'static str> {
+        let mut names = vec!["residual", "n"];
+        match self.prior {
+            PriorSpec::Poisson { .. } => names.push("lambda0"),
+            PriorSpec::NegBinomial { .. } => {
+                names.push("alpha0");
+                names.push("beta0");
+            }
+        }
+        names.extend_from_slice(self.model.param_names());
+        names
+    }
+
+    /// The detection-data part of the log posterior as a function of
+    /// `ζ` for fixed `N` (the slice-sampling target).
+    fn zeta_log_target(&self, zeta: &[f64], n: u64) -> f64 {
+        let counts = self.lik.counts();
+        let mut ll = 0.0;
+        for i in 0..self.horizon {
+            let p = self.model.prob_unchecked(zeta, (i + 1) as u64);
+            let q = 1.0 - p;
+            ll += counts[i] as f64 * p.ln() + (n - self.cumulative[i]) as f64 * q.ln();
+        }
+        ll
+    }
+
+    fn ln_survival(&self, zeta: &[f64]) -> f64 {
+        (1..=self.horizon as u64)
+            .map(|i| (1.0 - self.model.prob_unchecked(zeta, i)).ln())
+            .sum()
+    }
+
+    /// One pass over the schedule yielding `(Σ x_i ln w_i, ln Π q_i)`
+    /// with `w_i = p_i Π_{j<i} q_j` — the sufficient statistics of
+    /// the collapsed (N-marginalised) likelihood.
+    fn collapsed_stats(&self, zeta: &[f64]) -> (f64, f64) {
+        let counts = self.lik.counts();
+        let mut cum_ln_q = 0.0;
+        let mut sum_x_ln_w = 0.0;
+        for i in 0..self.horizon {
+            let p = self.model.prob_unchecked(zeta, (i + 1) as u64);
+            if counts[i] > 0 {
+                sum_x_ln_w += counts[i] as f64 * (p.ln() + cum_ln_q);
+            }
+            cum_ln_q += (1.0 - p).ln();
+        }
+        (sum_x_ln_w, cum_ln_q)
+    }
+
+    /// Collapsed log marginal of the data as a function of the NB
+    /// hyper-parameters (ζ fixed): the negative-multinomial kernel
+    /// `ln Γ(α0+s_k) − ln Γ(α0) + α0 ln β0 + s_k ln(1−β0)
+    ///  − (α0+s_k) ln(1 − (1−β0) Q)`.
+    fn nb_collapsed_kernel(&self, alpha0: f64, beta0: f64, survival: f64) -> f64 {
+        let s_k = self.total as f64;
+        let beta_k = (1.0 - (1.0 - beta0) * survival).max(OPEN_SHIFT);
+        ln_gamma(alpha0 + s_k) - ln_gamma(alpha0) + alpha0 * beta0.ln()
+            + s_k * (1.0 - beta0).ln()
+            - (alpha0 + s_k) * beta_k.ln()
+    }
+
+    /// Runs one chain, returning the kept draws. `observer` is called
+    /// once per kept draw (after thinning) with the full sweep state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0` or `thin == 0`.
+    pub fn run_chain<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        burn_in: usize,
+        samples: usize,
+        thin: usize,
+        observer: &mut dyn FnMut(&SweepRecord<'_>),
+    ) -> Chain {
+        assert!(samples > 0, "samples must be positive");
+        assert!(thin > 0, "thin must be positive");
+
+        // --- Initial state -------------------------------------------------
+        let zeta_bounds = self.model.bounds(&self.bounds);
+        let mut zeta: Vec<f64> =
+            zeta_bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect();
+        let (mut lambda0, mut alpha0, mut beta0) = match self.prior {
+            PriorSpec::Poisson { lambda_max } => {
+                let init = (2.0 * self.total as f64 + 10.0).min(0.9 * lambda_max);
+                (init.max(OPEN_SHIFT), f64::NAN, f64::NAN)
+            }
+            PriorSpec::NegBinomial { alpha_max } => (f64::NAN, 0.5 * alpha_max, 0.5),
+        };
+        let mut n;
+        // The N the naive sweep conditions on (initialised at s_k).
+        let mut last_n = self.total;
+
+        let names = self.param_names();
+        let mut chain = Chain::new(&names);
+        chain.reserve(samples);
+
+        let total_sweeps = burn_in + samples * thin;
+        let mut kept = 0usize;
+        let mut probs: Vec<f64>;
+        let mut rw_kernels: Vec<AdaptiveRw> = zeta_bounds
+            .iter()
+            .map(|&(lo, hi)| AdaptiveRw::new(0.0, lo, hi))
+            .collect();
+
+        for sweep in 0..total_sweeps {
+            if sweep == burn_in {
+                for kernel in &mut rw_kernels {
+                    kernel.freeze();
+                }
+            }
+            match self.sweep_kind {
+                SweepKind::Collapsed => {
+                    // --- 1. Hyper-parameters | ζ (N marginalised out) -----
+                    let (_, ln_q) = self.collapsed_stats(&zeta);
+                    let survival = ln_q.exp();
+                    match self.prior {
+                        PriorSpec::Poisson { lambda_max } => {
+                            // Marginally x_i ~ Poisson(λ0 w_i), so
+                            // λ0 | x, ζ ~ Gamma(s_k+1+shift, 1/Σw_i)
+                            // on (0, λ_max); Σ w_i = 1 − Π q_i. The
+                            // Jeffreys hyper-prior shifts the shape
+                            // by −1/2.
+                            let w_sum = (1.0 - survival).max(OPEN_SHIFT);
+                            let shape =
+                                (self.total as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
+                            lambda0 = TruncatedGamma::new(shape, 1.0 / w_sum, lambda_max)
+                                .expect("valid conditional")
+                                .sample(rng);
+                        }
+                        PriorSpec::NegBinomial { alpha_max } => {
+                            // β0 | α0, ζ, x via the collapsed kernel.
+                            let a0 = alpha0;
+                            let ln_f_beta = |b: f64| {
+                                self.nb_collapsed_kernel(a0, b, survival)
+                                    + self.ln_beta0_hyper_prior(b)
+                            };
+                            beta0 = slice_sample(
+                                ln_f_beta,
+                                beta0.clamp(OPEN_EPS, 1.0 - OPEN_EPS),
+                                OPEN_EPS,
+                                1.0 - OPEN_EPS,
+                                &self.slice_config,
+                                rng,
+                            );
+                            // α0 | β0, ζ, x via the same kernel.
+                            let b0 = beta0;
+                            let ln_f_alpha = |a: f64| self.nb_collapsed_kernel(a, b0, survival);
+                            alpha0 = slice_sample(
+                                ln_f_alpha,
+                                alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
+                                OPEN_EPS,
+                                alpha_max,
+                                &self.slice_config,
+                                rng,
+                            );
+                        }
+                    }
+
+                    // --- 2. ζ | hyper-parameters (N marginalised) ----------
+                    for j in 0..zeta.len() {
+                        let (lo, hi) = zeta_bounds[j];
+                        let current = zeta[j].clamp(lo, hi);
+                        let snapshot = zeta.clone();
+                        let ln_f = |v: f64| {
+                            let mut z = snapshot.clone();
+                            z[j] = v;
+                            let (sum_x_ln_w, ln_qz) = self.collapsed_stats(&z);
+                            match self.prior {
+                                PriorSpec::Poisson { .. } => {
+                                    sum_x_ln_w - lambda0 * (1.0 - ln_qz.exp())
+                                }
+                                PriorSpec::NegBinomial { .. } => {
+                                    let beta_k = (1.0 - (1.0 - beta0) * ln_qz.exp())
+                                        .max(OPEN_SHIFT);
+                                    sum_x_ln_w
+                                        - (alpha0 + self.total as f64) * beta_k.ln()
+                                }
+                            }
+                        };
+                        zeta[j] = match self.zeta_kernel {
+                            ZetaKernel::Slice => slice_sample(
+                                ln_f,
+                                current,
+                                lo,
+                                hi,
+                                &self.slice_config,
+                                rng,
+                            ),
+                            ZetaKernel::AdaptiveRw => {
+                                rw_kernels[j].step(ln_f, current, rng)
+                            }
+                        };
+                    }
+                }
+                SweepKind::Naive => {
+                    // --- 1. Hyper-parameters | current N -------------------
+                    match self.prior {
+                        PriorSpec::Poisson { lambda_max } => {
+                            // λ0 | N ∝ hyper(λ0) · λ0^N e^{−λ0} on
+                            // (0, λ_max).
+                            let shape =
+                                (last_n as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
+                            lambda0 = TruncatedGamma::new(shape, 1.0, lambda_max)
+                                .expect("valid conditional")
+                                .sample(rng);
+                        }
+                        PriorSpec::NegBinomial { alpha_max } => {
+                            // β0 | N, α0 ~ Beta(α0 + 1 + a, N + 1 + b)
+                            // where (a, b) = (−1/2, −1/2) under the
+                            // arcsine Jeffreys hyper-prior.
+                            let (da, db) = match self.hyper_prior {
+                                HyperPrior::Uniform => (0.0, 0.0),
+                                HyperPrior::Jeffreys => (-0.5, -0.5),
+                            };
+                            beta0 = Beta::new(alpha0 + 1.0 + da, last_n as f64 + 1.0 + db)
+                                .expect("valid conditional")
+                                .sample(rng)
+                                .clamp(OPEN_SHIFT, 1.0 - OPEN_SHIFT);
+                            // α0 | N, β0 ∝ Γ(N + α0)/Γ(α0) · β0^{α0}.
+                            let ln_target = |a: f64| {
+                                ln_gamma(last_n as f64 + a) - ln_gamma(a) + a * beta0.ln()
+                            };
+                            alpha0 = slice_sample(
+                                ln_target,
+                                alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
+                                OPEN_EPS,
+                                alpha_max,
+                                &self.slice_config,
+                                rng,
+                            );
+                        }
+                    }
+
+                    // --- 2. ζ | current N --------------------------------
+                    for j in 0..zeta.len() {
+                        let (lo, hi) = zeta_bounds[j];
+                        let current = zeta[j].clamp(lo, hi);
+                        let snapshot = zeta.clone();
+                        let ln_f = |v: f64| {
+                            let mut z = snapshot.clone();
+                            z[j] = v;
+                            self.zeta_log_target(&z, last_n)
+                        };
+                        zeta[j] = match self.zeta_kernel {
+                            ZetaKernel::Slice => slice_sample(
+                                ln_f,
+                                current,
+                                lo,
+                                hi,
+                                &self.slice_config,
+                                rng,
+                            ),
+                            ZetaKernel::AdaptiveRw => {
+                                rw_kernels[j].step(ln_f, current, rng)
+                            }
+                        };
+                    }
+                }
+            }
+
+            // --- 3. N | everything else (exact, Props. 1–2) ----------------
+            let ln_q = self.ln_survival(&zeta);
+            let survival = ln_q.exp();
+            let residual = match self.prior {
+                PriorSpec::Poisson { .. } => {
+                    let rate = lambda0 * survival;
+                    if rate > 0.0 && rate.is_finite() {
+                        Poisson::new(rate).expect("positive rate").sample(rng)
+                    } else {
+                        0
+                    }
+                }
+                PriorSpec::NegBinomial { .. } => {
+                    let alpha_k = alpha0 + self.total as f64;
+                    let beta_k = (1.0 - (1.0 - beta0) * survival).clamp(OPEN_SHIFT, 1.0);
+                    NegativeBinomial::new(alpha_k, beta_k)
+                        .expect("valid posterior parameters")
+                        .sample(rng)
+                }
+            };
+            n = self.total + residual;
+            last_n = n;
+
+            // --- Record ----------------------------------------------------
+            if sweep >= burn_in && (sweep - burn_in) % thin == 0 && kept < samples {
+                probs = self
+                    .model
+                    .probs(&zeta, self.horizon)
+                    .expect("sampled parameters stay in bounds");
+                let mut row: Vec<f64> = vec![residual as f64, n as f64];
+                match self.prior {
+                    PriorSpec::Poisson { .. } => row.push(lambda0),
+                    PriorSpec::NegBinomial { .. } => {
+                        row.push(alpha0);
+                        row.push(beta0);
+                    }
+                }
+                row.extend_from_slice(&zeta);
+                chain.push(&row);
+                kept += 1;
+                observer(&SweepRecord {
+                    n,
+                    residual,
+                    zeta: &zeta,
+                    lambda0,
+                    alpha0,
+                    beta0,
+                    probs: &probs,
+                });
+            }
+        }
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srm_data::datasets;
+    use srm_rand::Xoshiro256StarStar;
+
+    fn small_data() -> BugCountData {
+        datasets::musa_cc96().truncated(30).unwrap()
+    }
+
+    fn run(
+        prior: PriorSpec,
+        model: DetectionModel,
+        data: &BugCountData,
+        seed: u64,
+        samples: usize,
+    ) -> Chain {
+        let sampler = GibbsSampler::new(prior, model, ZetaBounds::default(), data);
+        let mut rng = Xoshiro256StarStar::seed_from(seed);
+        sampler.run_chain(&mut rng, 300, samples, 1, &mut |_| {})
+    }
+
+    #[test]
+    fn param_names_match_prior() {
+        let data = small_data();
+        let s = GibbsSampler::new(
+            PriorSpec::Poisson { lambda_max: 1e3 },
+            DetectionModel::PadgettSpurrier,
+            ZetaBounds::default(),
+            &data,
+        );
+        assert_eq!(s.param_names(), ["residual", "n", "lambda0", "mu", "theta"]);
+        let s = GibbsSampler::new(
+            PriorSpec::NegBinomial { alpha_max: 40.0 },
+            DetectionModel::Constant,
+            ZetaBounds::default(),
+            &data,
+        );
+        assert_eq!(s.param_names(), ["residual", "n", "alpha0", "beta0", "mu"]);
+    }
+
+    #[test]
+    fn chain_has_requested_length_and_valid_support() {
+        let data = small_data();
+        let chain = run(
+            PriorSpec::Poisson { lambda_max: 2e3 },
+            DetectionModel::Constant,
+            &data,
+            100,
+            400,
+        );
+        assert_eq!(chain.len(), 400);
+        let total = data.total() as f64;
+        for (&r, &n) in chain
+            .draws("residual")
+            .unwrap()
+            .iter()
+            .zip(chain.draws("n").unwrap())
+        {
+            assert!(r >= 0.0);
+            assert!((n - r - total).abs() < 1e-9);
+        }
+        for &l in chain.draws("lambda0").unwrap() {
+            assert!(l > 0.0 && l < 2e3);
+        }
+        for &m in chain.draws("mu").unwrap() {
+            assert!(m > 0.0 && m < 1.0);
+        }
+    }
+
+    #[test]
+    fn nb_chain_hyperparameters_in_support() {
+        let data = small_data();
+        let chain = run(
+            PriorSpec::NegBinomial { alpha_max: 50.0 },
+            DetectionModel::Constant,
+            &data,
+            101,
+            400,
+        );
+        for &a in chain.draws("alpha0").unwrap() {
+            assert!(a > 0.0 && a < 50.0);
+        }
+        for &b in chain.draws("beta0").unwrap() {
+            assert!(b > 0.0 && b < 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = small_data();
+        let a = run(
+            PriorSpec::Poisson { lambda_max: 1e3 },
+            DetectionModel::Weibull,
+            &data,
+            7,
+            100,
+        );
+        let b = run(
+            PriorSpec::Poisson { lambda_max: 1e3 },
+            DetectionModel::Weibull,
+            &data,
+            7,
+            100,
+        );
+        assert_eq!(a, b);
+        let c = run(
+            PriorSpec::Poisson { lambda_max: 1e3 },
+            DetectionModel::Weibull,
+            &data,
+            8,
+            100,
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn observer_sees_every_kept_draw() {
+        let data = small_data();
+        let sampler = GibbsSampler::new(
+            PriorSpec::Poisson { lambda_max: 1e3 },
+            DetectionModel::Constant,
+            ZetaBounds::default(),
+            &data,
+        );
+        let mut rng = Xoshiro256StarStar::seed_from(11);
+        let mut seen = 0usize;
+        let chain = sampler.run_chain(&mut rng, 50, 120, 2, &mut |rec| {
+            seen += 1;
+            assert_eq!(rec.n, data.total() + rec.residual);
+            assert_eq!(rec.probs.len(), data.len());
+            assert!(rec.lambda0.is_finite());
+            assert!(rec.alpha0.is_nan() && rec.beta0.is_nan());
+        });
+        assert_eq!(seen, 120);
+        assert_eq!(chain.len(), 120);
+    }
+
+    #[test]
+    fn posterior_mean_reacts_to_zero_count_extension() {
+        // Virtual testing must pull the posterior residual down.
+        let base = datasets::musa_cc96();
+        let mean_residual = |extra: usize, seed: u64| {
+            let data = base.extended_with_zeros(extra);
+            let chain = run(
+                PriorSpec::Poisson { lambda_max: 3e3 },
+                DetectionModel::PadgettSpurrier,
+                &data,
+                seed,
+                600,
+            );
+            let r = chain.draws("residual").unwrap();
+            r.iter().sum::<f64>() / r.len() as f64
+        };
+        let at_96 = mean_residual(0, 500);
+        let at_146 = mean_residual(50, 501);
+        assert!(
+            at_146 < at_96,
+            "virtual testing failed to shrink: {at_96} -> {at_146}"
+        );
+    }
+
+    #[test]
+    fn jeffreys_hyper_prior_runs_and_stays_in_support() {
+        let data = small_data();
+        for prior in [
+            PriorSpec::Poisson { lambda_max: 2e3 },
+            PriorSpec::NegBinomial { alpha_max: 50.0 },
+        ] {
+            let sampler = GibbsSampler::new(
+                prior,
+                DetectionModel::Constant,
+                ZetaBounds::default(),
+                &data,
+            )
+            .with_hyper_prior(HyperPrior::Jeffreys);
+            assert_eq!(sampler.hyper_prior().label(), "jeffreys");
+            let mut rng = Xoshiro256StarStar::seed_from(201);
+            let chain = sampler.run_chain(&mut rng, 200, 300, 1, &mut |_| {});
+            for &r in chain.draws("residual").unwrap() {
+                assert!(r >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn jeffreys_and_uniform_agree_when_data_dominate() {
+        // With 96 informative days the hyper-prior choice must wash
+        // out: posterior residual means should be close.
+        let data = datasets::musa_cc96();
+        let mean_with = |hyper, seed| {
+            let sampler = GibbsSampler::new(
+                PriorSpec::Poisson { lambda_max: 3e3 },
+                DetectionModel::PadgettSpurrier,
+                ZetaBounds::default(),
+                &data,
+            )
+            .with_hyper_prior(hyper);
+            let mut rng = Xoshiro256StarStar::seed_from(seed);
+            let chain = sampler.run_chain(&mut rng, 500, 1_500, 1, &mut |_| {});
+            let d = chain.draws("residual").unwrap();
+            d.iter().sum::<f64>() / d.len() as f64
+        };
+        let uniform = mean_with(HyperPrior::Uniform, 202);
+        let jeffreys = mean_with(HyperPrior::Jeffreys, 203);
+        assert!(
+            (uniform - jeffreys).abs() < 0.35 * uniform.max(5.0),
+            "uniform {uniform} vs jeffreys {jeffreys}"
+        );
+    }
+
+    #[test]
+    fn adaptive_rw_kernel_agrees_with_slice() {
+        // Both ζ kernels target the same posterior; the residual
+        // means must match within MC error.
+        let data = datasets::musa_cc96().truncated(60).unwrap();
+        let mean_with = |kernel, seed| {
+            let sampler = GibbsSampler::new(
+                PriorSpec::Poisson { lambda_max: 2e3 },
+                DetectionModel::Constant,
+                ZetaBounds::default(),
+                &data,
+            )
+            .with_zeta_kernel(kernel);
+            let mut rng = Xoshiro256StarStar::seed_from(seed);
+            let chain = sampler.run_chain(&mut rng, 800, 3_000, 1, &mut |_| {});
+            let d = chain.draws("residual").unwrap();
+            d.iter().sum::<f64>() / d.len() as f64
+        };
+        let slice = mean_with(ZetaKernel::Slice, 401);
+        let rw = mean_with(ZetaKernel::AdaptiveRw, 402);
+        assert!(
+            (slice - rw).abs() < 0.3 * slice.max(10.0),
+            "slice {slice} vs adaptive RW {rw}"
+        );
+    }
+
+    #[test]
+    fn naive_sweep_jeffreys_also_valid() {
+        let data = small_data();
+        let sampler = GibbsSampler::new(
+            PriorSpec::NegBinomial { alpha_max: 40.0 },
+            DetectionModel::Constant,
+            ZetaBounds::default(),
+            &data,
+        )
+        .with_hyper_prior(HyperPrior::Jeffreys)
+        .with_sweep_kind(SweepKind::Naive);
+        let mut rng = Xoshiro256StarStar::seed_from(204);
+        let chain = sampler.run_chain(&mut rng, 200, 300, 1, &mut |_| {});
+        for &b in chain.draws("beta0").unwrap() {
+            assert!(b > 0.0 && b < 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_thin_panics() {
+        let data = small_data();
+        let sampler = GibbsSampler::new(
+            PriorSpec::Poisson { lambda_max: 1e3 },
+            DetectionModel::Constant,
+            ZetaBounds::default(),
+            &data,
+        );
+        let mut rng = Xoshiro256StarStar::seed_from(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sampler.run_chain(&mut rng, 10, 10, 0, &mut |_| {})
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Multi-chain parallel MCMC driver.
+//!
+//! Chains run on crossbeam scoped threads; chain `i` draws from the
+//! `i`-th xoshiro256\*\* jump stream of the seed, so results are
+//! bit-identical whether chains run serially or in parallel.
+
+use crate::chain::Chain;
+use crate::gibbs::{GibbsSampler, SweepRecord};
+
+/// Run-length and seeding configuration for an MCMC run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McmcConfig {
+    /// Number of independent chains (≥ 1; Gelman–Rubin needs ≥ 2).
+    pub chains: usize,
+    /// Discarded warm-up sweeps per chain.
+    pub burn_in: usize,
+    /// Kept draws per chain.
+    pub samples: usize,
+    /// Keep every `thin`-th sweep after burn-in.
+    pub thin: usize,
+    /// Base seed; chain `i` uses jump stream `i`.
+    pub seed: u64,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        Self {
+            chains: 4,
+            burn_in: 2_000,
+            samples: 10_000,
+            thin: 1,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl McmcConfig {
+    /// A small configuration for unit tests and smoke runs.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            chains: 2,
+            burn_in: 300,
+            samples: 500,
+            thin: 1,
+            seed,
+        }
+    }
+
+    /// Total kept draws across chains.
+    #[must_use]
+    pub fn total_samples(&self) -> usize {
+        self.chains * self.samples
+    }
+}
+
+/// The output of a multi-chain run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McmcOutput {
+    /// One chain per configured stream, in stream order.
+    pub chains: Vec<Chain>,
+}
+
+impl McmcOutput {
+    /// Concatenates the draws of one parameter across all chains.
+    #[must_use]
+    pub fn pooled(&self, name: &str) -> Vec<f64> {
+        let mut out = Vec::new();
+        for chain in &self.chains {
+            if let Some(d) = chain.draws(name) {
+                out.extend_from_slice(d);
+            }
+        }
+        out
+    }
+
+    /// Per-chain draw slices for one parameter (for diagnostics).
+    #[must_use]
+    pub fn per_chain(&self, name: &str) -> Vec<&[f64]> {
+        self.chains
+            .iter()
+            .filter_map(|c| c.draws(name))
+            .collect()
+    }
+
+    /// Parameter names (identical across chains).
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        self.chains[0].names()
+    }
+}
+
+/// Runs `config.chains` chains of `sampler` in parallel and collects
+/// them. Observers are not supported on the parallel path — use
+/// [`run_chains_observed`] when WAIC accumulators must see each draw.
+///
+/// # Panics
+///
+/// Panics if `config.chains == 0`.
+#[must_use]
+pub fn run_chains(sampler: &GibbsSampler, config: &McmcConfig) -> McmcOutput {
+    assert!(config.chains > 0, "at least one chain is required");
+    let base = srm_rand::Xoshiro256StarStar::seed_from(config.seed);
+    let mut chains: Vec<Option<Chain>> = (0..config.chains).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (i, slot) in chains.iter_mut().enumerate() {
+            let mut rng = base.split_stream(i as u64);
+            scope.spawn(move |_| {
+                *slot = Some(sampler.run_chain(
+                    &mut rng,
+                    config.burn_in,
+                    config.samples,
+                    config.thin,
+                    &mut |_| {},
+                ));
+            });
+        }
+    })
+    .expect("chain thread panicked");
+    McmcOutput {
+        chains: chains.into_iter().map(|c| c.expect("chain ran")).collect(),
+    }
+}
+
+/// Runs the chains *serially*, invoking `observer` on every kept draw
+/// of every chain (chain order, then draw order). Deterministic and
+/// identical to [`run_chains`] in the produced chains.
+///
+/// # Panics
+///
+/// Panics if `config.chains == 0`.
+pub fn run_chains_observed(
+    sampler: &GibbsSampler,
+    config: &McmcConfig,
+    observer: &mut dyn FnMut(&SweepRecord<'_>),
+) -> McmcOutput {
+    assert!(config.chains > 0, "at least one chain is required");
+    let base = srm_rand::Xoshiro256StarStar::seed_from(config.seed);
+    let mut chains = Vec::with_capacity(config.chains);
+    for i in 0..config.chains {
+        let mut rng = base.split_stream(i as u64);
+        chains.push(sampler.run_chain(
+            &mut rng,
+            config.burn_in,
+            config.samples,
+            config.thin,
+            observer,
+        ));
+    }
+    McmcOutput { chains }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::PriorSpec;
+    use srm_data::datasets;
+    use srm_model::{DetectionModel, ZetaBounds};
+
+    fn sampler(data: &srm_data::BugCountData) -> GibbsSampler {
+        GibbsSampler::new(
+            PriorSpec::Poisson { lambda_max: 2e3 },
+            DetectionModel::Constant,
+            ZetaBounds::default(),
+            data,
+        )
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let data = datasets::musa_cc96().truncated(25).unwrap();
+        let s = sampler(&data);
+        let config = McmcConfig {
+            chains: 3,
+            burn_in: 100,
+            samples: 150,
+            thin: 1,
+            seed: 99,
+        };
+        let par = run_chains(&s, &config);
+        let ser = run_chains_observed(&s, &config, &mut |_| {});
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn pooled_concatenates_all_chains() {
+        let data = datasets::musa_cc96().truncated(25).unwrap();
+        let s = sampler(&data);
+        let config = McmcConfig::smoke(3);
+        let out = run_chains(&s, &config);
+        assert_eq!(out.pooled("residual").len(), config.total_samples());
+        assert_eq!(out.per_chain("residual").len(), config.chains);
+        assert!(out.names().iter().any(|n| n == "lambda0"));
+    }
+
+    #[test]
+    fn chains_differ_across_streams() {
+        let data = datasets::musa_cc96().truncated(25).unwrap();
+        let s = sampler(&data);
+        let out = run_chains(&s, &McmcConfig::smoke(4));
+        assert_ne!(out.chains[0], out.chains[1]);
+    }
+
+    #[test]
+    fn observer_counts_total_draws() {
+        let data = datasets::musa_cc96().truncated(25).unwrap();
+        let s = sampler(&data);
+        let config = McmcConfig {
+            chains: 2,
+            burn_in: 50,
+            samples: 80,
+            thin: 1,
+            seed: 5,
+        };
+        let mut seen = 0usize;
+        let _ = run_chains_observed(&s, &config, &mut |_| seen += 1);
+        assert_eq!(seen, 160);
+    }
+
+    #[test]
+    fn default_config_is_paper_scale() {
+        let c = McmcConfig::default();
+        assert_eq!(c.chains, 4);
+        assert!(c.samples >= 10_000);
+    }
+}

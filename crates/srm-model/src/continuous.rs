@@ -1,0 +1,282 @@
+//! Classic continuous-time NHPP software reliability models and the
+//! discretisation bridge.
+//!
+//! The paper's discrete detection-probability curves are discrete
+//! analogues of the classic continuous NHPP SRMs (its references
+//! \[16\]–\[20\]): a continuous model has mean value function `m(t) =
+//! ω F(t)` for a lifetime CDF `F`, and the induced *discrete* per-day
+//! detection probability is the discrete hazard
+//!
+//! ```text
+//! p_i = (F(i) − F(i−1)) / (1 − F(i−1)) = 1 − S(i)/S(i−1).
+//! ```
+//!
+//! This module implements the standard lifetime families, the
+//! discretisation, and group-data expectations, so the discrete
+//! models can be validated against (and compared with) their
+//! continuous ancestors.
+
+/// A continuous lifetime distribution underlying an NHPP SRM.
+///
+/// # Examples
+///
+/// ```
+/// use srm_model::continuous::Lifetime;
+///
+/// let exp = Lifetime::Exponential { rate: 0.1 };
+/// assert!((exp.cdf(0.0)).abs() < 1e-12);
+/// assert!(exp.cdf(10.0) > 0.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lifetime {
+    /// Exponential detection times (Goel–Okumoto model):
+    /// `F(t) = 1 − e^{−bt}`.
+    Exponential {
+        /// Rate `b > 0`.
+        rate: f64,
+    },
+    /// Weibull detection times: `F(t) = 1 − e^{−(t/λ)^k}`.
+    Weibull {
+        /// Shape `k > 0`.
+        shape: f64,
+        /// Scale `λ > 0`.
+        scale: f64,
+    },
+    /// Pareto (Lomax) detection times:
+    /// `F(t) = 1 − (1 + t/σ)^{−α}`.
+    Pareto {
+        /// Tail index `α > 0`.
+        alpha: f64,
+        /// Scale `σ > 0`.
+        sigma: f64,
+    },
+    /// Log-logistic detection times:
+    /// `F(t) = 1 / (1 + (t/α)^{−β})`.
+    LogLogistic {
+        /// Scale `α > 0`.
+        alpha: f64,
+        /// Shape `β > 0`.
+        beta: f64,
+    },
+    /// Gamma detection times of integer shape 2 (the delayed
+    /// S-shaped model): `F(t) = 1 − (1 + bt) e^{−bt}`.
+    DelayedSShaped {
+        /// Rate `b > 0`.
+        rate: f64,
+    },
+}
+
+impl Lifetime {
+    /// The CDF `F(t)` (0 for negative `t`).
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        match *self {
+            Self::Exponential { rate } => -(-rate * t).exp_m1(),
+            Self::Weibull { shape, scale } => -(-(t / scale).powf(shape)).exp_m1(),
+            Self::Pareto { alpha, sigma } => 1.0 - (1.0 + t / sigma).powf(-alpha),
+            Self::LogLogistic { alpha, beta } => {
+                1.0 / (1.0 + (t / alpha).powf(-beta))
+            }
+            Self::DelayedSShaped { rate } => {
+                1.0 - (1.0 + rate * t) * (-rate * t).exp()
+            }
+        }
+    }
+
+    /// The survival function `S(t) = 1 − F(t)`.
+    #[must_use]
+    pub fn survival(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// The discrete per-period hazard `p_i = 1 − S(i)/S(i−1)` for the
+    /// 1-based period `i` (the paper's detection probability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == 0`.
+    #[must_use]
+    pub fn discrete_hazard(&self, i: u64) -> f64 {
+        assert!(i >= 1, "periods are 1-based");
+        let s_prev = self.survival((i - 1) as f64);
+        if s_prev <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.survival(i as f64) / s_prev).clamp(0.0, 1.0)
+    }
+
+    /// The full discrete schedule `p_1..p_horizon`.
+    #[must_use]
+    pub fn discrete_schedule(&self, horizon: usize) -> Vec<f64> {
+        (1..=horizon as u64).map(|i| self.discrete_hazard(i)).collect()
+    }
+}
+
+/// A continuous NHPP SRM: expected `ω` total bugs with detection
+/// times from `lifetime`; mean value function `m(t) = ω F(t)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuousSrm {
+    /// Expected total bug content `ω > 0`.
+    pub omega: f64,
+    /// Detection-time distribution.
+    pub lifetime: Lifetime,
+}
+
+impl ContinuousSrm {
+    /// Mean value function `m(t) = ω F(t)`.
+    #[must_use]
+    pub fn mean_value(&self, t: f64) -> f64 {
+        self.omega * self.lifetime.cdf(t)
+    }
+
+    /// Expected count in the grouped period `(i−1, i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == 0`.
+    #[must_use]
+    pub fn expected_period_count(&self, i: u64) -> f64 {
+        assert!(i >= 1, "periods are 1-based");
+        self.mean_value(i as f64) - self.mean_value((i - 1) as f64)
+    }
+
+    /// Expected residual bugs after time `t`: `ω S(t)`.
+    #[must_use]
+    pub fn expected_residual(&self, t: f64) -> f64 {
+        self.omega * self.lifetime.survival(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::DetectionModel;
+    use srm_math::approx_eq;
+
+    #[test]
+    fn cdfs_are_valid() {
+        let models = [
+            Lifetime::Exponential { rate: 0.2 },
+            Lifetime::Weibull { shape: 0.7, scale: 15.0 },
+            Lifetime::Pareto { alpha: 1.5, sigma: 10.0 },
+            Lifetime::LogLogistic { alpha: 20.0, beta: 2.0 },
+            Lifetime::DelayedSShaped { rate: 0.1 },
+        ];
+        for m in models {
+            assert_eq!(m.cdf(-1.0), 0.0);
+            let mut prev = 0.0;
+            for i in 1..200 {
+                let f = m.cdf(i as f64);
+                assert!((0.0..=1.0).contains(&f), "{m:?} at {i}");
+                assert!(f >= prev, "{m:?} not monotone at {i}");
+                prev = f;
+            }
+            assert!(m.cdf(1e6) > 0.9, "{m:?} tail");
+        }
+    }
+
+    #[test]
+    fn exponential_discretises_to_constant_p() {
+        // Memorylessness ⇒ the discrete hazard of the exponential is
+        // constant: p = 1 − e^{−b}, i.e. the paper's model0.
+        let b = 0.08;
+        let lt = Lifetime::Exponential { rate: b };
+        let expected = 1.0 - (-b_f(b)).exp();
+        for i in 1..100u64 {
+            assert!(approx_eq(lt.discrete_hazard(i), expected, 1e-12), "i = {i}");
+        }
+        // And matches model0 with μ = 1 − e^{−b}.
+        let p_model0 = DetectionModel::Constant
+            .prob(&[expected], 17)
+            .unwrap();
+        assert!(approx_eq(lt.discrete_hazard(17), p_model0, 1e-9));
+    }
+
+    fn b_f(b: f64) -> f64 {
+        b
+    }
+
+    #[test]
+    fn weibull_discretisation_matches_discrete_weibull_model() {
+        // The discrete Weibull model4 is p_i = 1 − μ^{i^ω − (i−1)^ω};
+        // with μ = e^{−(1/λ)^k} and ω = k it equals the discretised
+        // continuous Weibull: S(i)/S(i−1) = e^{−((i/λ)^k − ((i−1)/λ)^k)}.
+        let (k, lambda) = (0.6f64, 12.0f64);
+        let mu = (-(1.0 / lambda).powf(k)).exp();
+        let lt = Lifetime::Weibull { shape: k, scale: lambda };
+        for i in 1..60u64 {
+            let continuous = lt.discrete_hazard(i);
+            let discrete = DetectionModel::Weibull.prob(&[mu, k], i).unwrap();
+            assert!(
+                approx_eq(continuous, discrete, 1e-9),
+                "i = {i}: {continuous} vs {discrete}"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_hazard_decays_like_model3() {
+        let lt = Lifetime::Pareto { alpha: 1.2, sigma: 5.0 };
+        let schedule = lt.discrete_schedule(100);
+        for w in schedule.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn delayed_s_shaped_peaks_then_decays() {
+        let srm = ContinuousSrm {
+            omega: 100.0,
+            lifetime: Lifetime::DelayedSShaped { rate: 0.15 },
+        };
+        let counts: Vec<f64> = (1..=60).map(|i| srm.expected_period_count(i)).collect();
+        let peak = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak > 0 && peak < 30, "peak at {peak}");
+    }
+
+    #[test]
+    fn mean_value_accounting() {
+        let srm = ContinuousSrm {
+            omega: 150.0,
+            lifetime: Lifetime::Exponential { rate: 0.05 },
+        };
+        let total_in_periods: f64 = (1..=200).map(|i| srm.expected_period_count(i)).sum();
+        assert!(approx_eq(total_in_periods, srm.mean_value(200.0), 1e-9));
+        assert!(approx_eq(
+            srm.mean_value(200.0) + srm.expected_residual(200.0),
+            150.0,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn discretised_schedule_drives_simulator() {
+        // The continuous model's discrete schedule plugs straight into
+        // the exact simulator; expected detections match ω F(t).
+        let srm = ContinuousSrm {
+            omega: 400.0,
+            lifetime: Lifetime::Weibull { shape: 0.8, scale: 20.0 },
+        };
+        let schedule = srm.lifetime.discrete_schedule(30);
+        let sim = srm_data::DetectionSimulator::new(400, schedule);
+        let mean_total: f64 = sim
+            .replicate(501, 40)
+            .iter()
+            .map(|p| p.data.total() as f64)
+            .sum::<f64>()
+            / 40.0;
+        let expected = srm.mean_value(30.0);
+        assert!(
+            (mean_total - expected).abs() < 0.05 * expected,
+            "simulated {mean_total} vs expected {expected}"
+        );
+    }
+}

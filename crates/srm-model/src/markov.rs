@@ -1,0 +1,379 @@
+//! The unified non-homogeneous Markov (pure-death) process view.
+//!
+//! Li, Dohi & Okamura (2023) — cited by the paper — observe that both
+//! the NHPP- and NHMPP-based SRMs are special cases of one
+//! non-homogeneous Markov process: the remaining-bug count is a death
+//! chain whose day-`i` transition is binomial thinning with
+//! probability `p_i`, and the prior on the initial state is
+//! arbitrary. This module implements exact forward filtering for that
+//! general chain:
+//!
+//! * any prior p.m.f. over the initial content (truncated support);
+//! * exact posterior of the residual count after the data;
+//! * exact marginal log-likelihood (the filter's normalising
+//!   constants).
+//!
+//! Besides being a modelling generalisation, this is an independent
+//! numerical oracle: for Poisson/NB priors its output must equal
+//! Propositions 1–2, which the tests verify.
+
+use srm_data::BugCountData;
+use srm_math::special::ln_binomial;
+
+/// Error raised by the forward filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterError {
+    /// The prior p.m.f. was empty or had no positive mass.
+    DegeneratePrior,
+    /// The data contain more bugs than the prior support allows.
+    SupportExceeded {
+        /// Total bugs in the data.
+        total: u64,
+        /// Largest initial content with prior mass.
+        support_max: usize,
+    },
+    /// The probability schedule is shorter than the data.
+    ScheduleTooShort,
+}
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DegeneratePrior => write!(f, "prior has no positive mass"),
+            Self::SupportExceeded { total, support_max } => write!(
+                f,
+                "data total {total} exceeds prior support maximum {support_max}"
+            ),
+            Self::ScheduleTooShort => write!(f, "schedule shorter than data"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// The outcome of exact forward filtering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilteredPosterior {
+    /// `posterior[r]` = P(residual = r | data), r = 0.. .
+    pub residual_pmf: Vec<f64>,
+    /// Exact marginal log-likelihood `ln P(x)` under the prior.
+    pub log_marginal: f64,
+}
+
+impl FilteredPosterior {
+    /// Posterior mean of the residual count.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.residual_pmf
+            .iter()
+            .enumerate()
+            .map(|(r, &p)| r as f64 * p)
+            .sum()
+    }
+
+    /// Posterior variance of the residual count.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.residual_pmf
+            .iter()
+            .enumerate()
+            .map(|(r, &p)| (r as f64 - mean).powi(2) * p)
+            .sum()
+    }
+
+    /// Smallest `r` with cumulative mass ≥ `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> usize {
+        assert!(p > 0.0 && p < 1.0, "quantile needs p in (0, 1)");
+        let mut acc = 0.0;
+        for (r, &mass) in self.residual_pmf.iter().enumerate() {
+            acc += mass;
+            if acc >= p {
+                return r;
+            }
+        }
+        self.residual_pmf.len().saturating_sub(1)
+    }
+}
+
+/// Exact forward filter for the death chain: takes an arbitrary prior
+/// p.m.f. over the *initial* bug content (index = count, truncated
+/// support) and returns the residual posterior and marginal
+/// likelihood.
+///
+/// Complexity is O(support × days); supports of a few thousand run in
+/// milliseconds.
+///
+/// # Errors
+///
+/// Returns [`FilterError`] on degenerate priors, insufficient support
+/// or short schedules.
+///
+/// # Examples
+///
+/// ```
+/// use srm_data::BugCountData;
+/// use srm_model::markov::forward_filter;
+///
+/// // A uniform prior over 0..=50 initial bugs — something neither
+/// // Proposition covers.
+/// let prior = vec![1.0; 51];
+/// let data = BugCountData::new(vec![3, 2]).unwrap();
+/// let post = forward_filter(&prior, &[0.2, 0.2], &data).unwrap();
+/// let total: f64 = post.residual_pmf.iter().sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+pub fn forward_filter(
+    prior_pmf: &[f64],
+    probs: &[f64],
+    data: &BugCountData,
+) -> Result<FilteredPosterior, FilterError> {
+    let support = prior_pmf.len();
+    let prior_total: f64 = prior_pmf.iter().sum();
+    if support == 0 || prior_total <= 0.0 {
+        return Err(FilterError::DegeneratePrior);
+    }
+    if probs.len() < data.len() {
+        return Err(FilterError::ScheduleTooShort);
+    }
+    let total = data.total();
+    if (total as usize) >= support {
+        return Err(FilterError::SupportExceeded {
+            total,
+            support_max: support - 1,
+        });
+    }
+
+    // State: unnormalised density over the *remaining* count.
+    // Initially remaining = initial content.
+    let mut state: Vec<f64> = prior_pmf.iter().map(|&w| w / prior_total).collect();
+    let mut log_marginal = 0.0;
+
+    for (day, &x) in data.counts().iter().enumerate() {
+        let p = probs[day];
+        let x = x as usize;
+        // P(next remaining = m − x, observe x | remaining = m)
+        //   = C(m, x) p^x q^{m−x}.
+        let mut next = vec![0.0f64; state.len().saturating_sub(x)];
+        let (ln_p, ln_q) = if p <= 0.0 {
+            (f64::NEG_INFINITY, 0.0)
+        } else if p >= 1.0 {
+            (0.0, f64::NEG_INFINITY)
+        } else {
+            (p.ln(), (1.0 - p).ln())
+        };
+        for (m, &w) in state.iter().enumerate().skip(x) {
+            if w <= 0.0 {
+                continue;
+            }
+            let ln_trans = if p <= 0.0 {
+                if x == 0 {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else if p >= 1.0 {
+                if m == x {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else {
+                ln_binomial(m as u64, x as u64)
+                    + x as f64 * ln_p
+                    + (m - x) as f64 * ln_q
+            };
+            if ln_trans > f64::NEG_INFINITY {
+                next[m - x] += w * ln_trans.exp();
+            }
+        }
+        let step_mass: f64 = next.iter().sum();
+        if step_mass <= 0.0 {
+            // Data impossible under this prior/schedule.
+            return Ok(FilteredPosterior {
+                residual_pmf: vec![1.0],
+                log_marginal: f64::NEG_INFINITY,
+            });
+        }
+        log_marginal += step_mass.ln();
+        for w in &mut next {
+            *w /= step_mass;
+        }
+        state = next;
+    }
+
+    Ok(FilteredPosterior {
+        residual_pmf: state,
+        log_marginal,
+    })
+}
+
+/// Builds a truncated prior p.m.f. from a [`crate::prior::BugPrior`],
+/// keeping mass up to `support_max` (the tail is dropped; choose the
+/// truncation so the dropped mass is negligible).
+///
+/// # Examples
+///
+/// ```
+/// use srm_model::markov::truncated_prior_pmf;
+/// use srm_model::BugPrior;
+///
+/// let prior = BugPrior::poisson(20.0).unwrap();
+/// let pmf = truncated_prior_pmf(&prior, 200);
+/// let total: f64 = pmf.iter().sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn truncated_prior_pmf(prior: &crate::prior::BugPrior, support_max: usize) -> Vec<f64> {
+    (0..=support_max as u64).map(|n| prior.ln_pmf(n).exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posterior::{nb_posterior, poisson_posterior};
+    use crate::prior::BugPrior;
+    use srm_math::approx_eq;
+
+    fn case() -> (BugCountData, Vec<f64>) {
+        let data = BugCountData::new(vec![4, 1, 0, 3]).unwrap();
+        (data, vec![0.25, 0.15, 0.3, 0.2])
+    }
+
+    #[test]
+    fn matches_proposition_one() {
+        let (data, probs) = case();
+        let prior = BugPrior::poisson(25.0).unwrap();
+        let pmf = truncated_prior_pmf(&prior, 400);
+        let filtered = forward_filter(&pmf, &probs, &data).unwrap();
+        let analytic = poisson_posterior(25.0, &probs, &data);
+        for r in 0..60u64 {
+            assert!(
+                approx_eq(
+                    filtered.residual_pmf[r as usize],
+                    analytic.ln_pmf(r).exp(),
+                    1e-8
+                ),
+                "r = {r}"
+            );
+        }
+        assert!(approx_eq(filtered.mean(), analytic.mean(), 1e-6));
+    }
+
+    #[test]
+    fn matches_corrected_proposition_two() {
+        let (data, probs) = case();
+        let prior = BugPrior::neg_binomial(3.0, 0.2).unwrap();
+        let pmf = truncated_prior_pmf(&prior, 1_500);
+        let filtered = forward_filter(&pmf, &probs, &data).unwrap();
+        let analytic = nb_posterior(3.0, 0.2, &probs, &data);
+        for r in 0..100u64 {
+            assert!(
+                approx_eq(
+                    filtered.residual_pmf[r as usize],
+                    analytic.ln_pmf(r).exp(),
+                    1e-7
+                ),
+                "r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_matches_direct_sum() {
+        // ln P(x) = ln Σ_n prior(n) L(x | n) computed directly.
+        let (data, probs) = case();
+        let prior = BugPrior::poisson(15.0).unwrap();
+        let pmf = truncated_prior_pmf(&prior, 300);
+        let filtered = forward_filter(&pmf, &probs, &data).unwrap();
+        let lik = crate::likelihood::GroupedLikelihood::new(&data);
+        let logs: Vec<f64> = (0..300u64)
+            .map(|n| prior.ln_pmf(n) + lik.ln_likelihood(n, &probs))
+            .collect();
+        let direct = srm_math::log_sum_exp(&logs);
+        assert!(
+            approx_eq(filtered.log_marginal, direct, 1e-8),
+            "{} vs {direct}",
+            filtered.log_marginal
+        );
+    }
+
+    #[test]
+    fn arbitrary_prior_is_supported() {
+        // A bimodal prior no Proposition covers: mass at 10 and 40.
+        let mut pmf = vec![0.0; 60];
+        pmf[10] = 0.5;
+        pmf[40] = 0.5;
+        let data = BugCountData::new(vec![8, 4]).unwrap();
+        let filtered = forward_filter(&pmf, &[0.4, 0.4], &data).unwrap();
+        // 12 bugs found: the 10-mode cannot explain the data, so the
+        // posterior is the point mass at 40 − 12 = 28 residual bugs.
+        assert!(filtered.residual_pmf.len() <= 48);
+        let mean = filtered.mean();
+        assert!(approx_eq(mean, 28.0, 1e-9), "mean = {mean}");
+        assert!(approx_eq(filtered.residual_pmf[28], 1.0, 1e-9));
+        let total: f64 = filtered.residual_pmf.iter().sum();
+        assert!(approx_eq(total, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn impossible_data_reported() {
+        // Prior support max 5 but 8 bugs observed.
+        let pmf = vec![1.0; 6];
+        let data = BugCountData::new(vec![8]).unwrap();
+        let err = forward_filter(&pmf, &[0.5], &data).unwrap_err();
+        assert!(matches!(err, FilterError::SupportExceeded { total: 8, .. }));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let data = BugCountData::new(vec![1]).unwrap();
+        assert_eq!(
+            forward_filter(&[], &[0.5], &data).unwrap_err(),
+            FilterError::DegeneratePrior
+        );
+        assert_eq!(
+            forward_filter(&[0.0, 0.0], &[0.5], &data).unwrap_err(),
+            FilterError::DegeneratePrior
+        );
+        assert_eq!(
+            forward_filter(&[1.0; 10], &[], &data).unwrap_err(),
+            FilterError::ScheduleTooShort
+        );
+    }
+
+    #[test]
+    fn edge_probabilities() {
+        // p = 1 drains everything on day one.
+        let pmf = truncated_prior_pmf(&BugPrior::poisson(5.0).unwrap(), 60);
+        let data = BugCountData::new(vec![7]).unwrap();
+        let filtered = forward_filter(&pmf, &[1.0], &data).unwrap();
+        assert!(approx_eq(filtered.residual_pmf[0], 1.0, 1e-12));
+        // p = 0 with zero observations leaves the prior intact
+        // (shifted by nothing).
+        let data0 = BugCountData::new(vec![0]).unwrap();
+        let filtered0 = forward_filter(&pmf, &[0.0], &data0).unwrap();
+        for (r, &m) in filtered0.residual_pmf.iter().enumerate().take(20) {
+            assert!(approx_eq(m, pmf[r] / pmf.iter().sum::<f64>(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn quantile_consistency() {
+        let pmf = truncated_prior_pmf(&BugPrior::poisson(30.0).unwrap(), 300);
+        let data = BugCountData::new(vec![2, 3]).unwrap();
+        let filtered = forward_filter(&pmf, &[0.1, 0.1], &data).unwrap();
+        let median = filtered.quantile(0.5);
+        let mut acc = 0.0;
+        for &m in &filtered.residual_pmf[..median] {
+            acc += m;
+        }
+        assert!(acc < 0.5);
+        assert!(acc + filtered.residual_pmf[median] >= 0.5);
+    }
+}

@@ -1,0 +1,396 @@
+//! Analytic posteriors of the residual bug count (Propositions 1–2).
+//!
+//! With the probability schedule known, both priors are conjugate for
+//! the residual count `R = N − s_k`:
+//!
+//! * **Proposition 1** (Poisson prior): `R | x ~ Poisson(λ_k)` with
+//!   `λ_k = λ0 Π_{i≤k} q_i`.
+//! * **Proposition 2** (negative-binomial prior, *corrected*; see
+//!   DESIGN.md): `R | x ~ NB(α_k, β_k)` with `α_k = α0 + s_k` and
+//!   `1 − β_k = (1 − β0) Π_{i≤k} q_i`. The paper prints
+//!   `β_k = β0 Π q_i` (Eq. (13)), which does not reduce to the prior
+//!   at `k = 0`; the corrected form does, and
+//!   the `nb_posterior_matches_enumeration` test verifies it against
+//!   brute-force Bayes.
+
+use crate::likelihood::GroupedLikelihood;
+use srm_data::BugCountData;
+use srm_rand::{Distribution, NegativeBinomial, Poisson, Rng};
+
+/// The posterior distribution of the residual number of bugs
+/// `R = N − s_k` after the `k`-th testing day.
+///
+/// # Examples
+///
+/// ```
+/// use srm_data::BugCountData;
+/// use srm_model::posterior::poisson_posterior;
+///
+/// let data = BugCountData::new(vec![5, 3]).unwrap();
+/// let probs = [0.5, 0.5];
+/// let post = poisson_posterior(20.0, &probs, &data);
+/// // λ_k = 20 · 0.5 · 0.5 = 5
+/// assert!((post.mean() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResidualPosterior {
+    /// `R ~ Poisson(λ_k)`; `λ_k = 0` degenerates to the point mass at
+    /// zero.
+    Poisson {
+        /// The posterior rate `λ_k >= 0`.
+        lambda_k: f64,
+    },
+    /// `R ~ NB(α_k, β_k)` with success probability `β_k`.
+    NegBinomial {
+        /// Posterior size `α_k = α0 + s_k`.
+        alpha_k: f64,
+        /// Posterior success probability `β_k ∈ (0, 1]`.
+        beta_k: f64,
+    },
+}
+
+impl ResidualPosterior {
+    /// Posterior mean of the residual count.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Self::Poisson { lambda_k } => lambda_k,
+            Self::NegBinomial { alpha_k, beta_k } => alpha_k * (1.0 - beta_k) / beta_k,
+        }
+    }
+
+    /// Posterior variance.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Self::Poisson { lambda_k } => lambda_k,
+            Self::NegBinomial { alpha_k, beta_k } => {
+                alpha_k * (1.0 - beta_k) / (beta_k * beta_k)
+            }
+        }
+    }
+
+    /// Posterior standard deviation.
+    #[must_use]
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Log posterior mass `ln P(R = r | x)`.
+    #[must_use]
+    pub fn ln_pmf(&self, r: u64) -> f64 {
+        match *self {
+            Self::Poisson { lambda_k } => {
+                if lambda_k <= 0.0 {
+                    return if r == 0 { 0.0 } else { f64::NEG_INFINITY };
+                }
+                r as f64 * lambda_k.ln() - lambda_k - srm_math::ln_factorial(r)
+            }
+            Self::NegBinomial { alpha_k, beta_k } => {
+                if beta_k >= 1.0 {
+                    return if r == 0 { 0.0 } else { f64::NEG_INFINITY };
+                }
+                srm_math::special::ln_nb_coeff(alpha_k, r)
+                    + alpha_k * beta_k.ln()
+                    + r as f64 * (1.0 - beta_k).ln()
+            }
+        }
+    }
+
+    /// Cumulative probability `P(R <= r | x)` by direct summation.
+    #[must_use]
+    pub fn cdf(&self, r: u64) -> f64 {
+        let mut acc = 0.0;
+        for j in 0..=r {
+            acc += self.ln_pmf(j).exp();
+        }
+        acc.min(1.0)
+    }
+
+    /// Smallest `r` with `P(R <= r) >= p` — the posterior quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
+        let mut acc = 0.0;
+        let mut r = 0u64;
+        // Hard cap far beyond any plausible posterior mass to keep the
+        // loop finite under numerical underflow.
+        let cap = (self.mean() + 20.0 * self.sd() + 1_000.0) as u64;
+        loop {
+            acc += self.ln_pmf(r).exp();
+            if acc >= p || r >= cap {
+                return r;
+            }
+            r += 1;
+        }
+    }
+
+    /// Posterior median (the 0.5 quantile).
+    #[must_use]
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Posterior mode (closed form for both families).
+    #[must_use]
+    pub fn mode(&self) -> u64 {
+        match *self {
+            Self::Poisson { lambda_k } => lambda_k.floor() as u64,
+            Self::NegBinomial { alpha_k, beta_k } => {
+                if alpha_k <= 1.0 || beta_k >= 1.0 {
+                    0
+                } else {
+                    ((alpha_k - 1.0) * (1.0 - beta_k) / beta_k).floor() as u64
+                }
+            }
+        }
+    }
+
+    /// Draws one residual count from the posterior.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            Self::Poisson { lambda_k } => {
+                if lambda_k <= 0.0 {
+                    0
+                } else {
+                    Poisson::new(lambda_k)
+                        .expect("positive rate")
+                        .sample(rng)
+                }
+            }
+            Self::NegBinomial { alpha_k, beta_k } => NegativeBinomial::new(alpha_k, beta_k)
+                .expect("validated update")
+                .sample(rng),
+        }
+    }
+}
+
+/// Proposition 1: the residual-count posterior under the Poisson
+/// prior, `R ~ Poisson(λ0 Π q_i)`.
+///
+/// # Panics
+///
+/// Panics if `lambda0 <= 0` or the schedule is shorter than the data.
+#[must_use]
+pub fn poisson_posterior(lambda0: f64, probs: &[f64], data: &BugCountData) -> ResidualPosterior {
+    assert!(lambda0 > 0.0, "lambda0 must be > 0, got {lambda0}");
+    let lik = GroupedLikelihood::new(data);
+    let lambda_k = lambda0 * lik.ln_survival(probs).exp();
+    ResidualPosterior::Poisson { lambda_k }
+}
+
+/// Proposition 2 (corrected): the residual-count posterior under the
+/// negative-binomial prior, `R ~ NB(α0 + s_k, β_k)` with
+/// `1 − β_k = (1 − β0) Π q_i`.
+///
+/// # Panics
+///
+/// Panics if `alpha0 <= 0`, `beta0 ∉ (0, 1)` or the schedule is
+/// shorter than the data.
+#[must_use]
+pub fn nb_posterior(
+    alpha0: f64,
+    beta0: f64,
+    probs: &[f64],
+    data: &BugCountData,
+) -> ResidualPosterior {
+    assert!(alpha0 > 0.0, "alpha0 must be > 0, got {alpha0}");
+    assert!(
+        beta0 > 0.0 && beta0 < 1.0,
+        "beta0 must be in (0, 1), got {beta0}"
+    );
+    let lik = GroupedLikelihood::new(data);
+    let survival = lik.ln_survival(probs).exp();
+    let alpha_k = alpha0 + data.total() as f64;
+    let beta_k = 1.0 - (1.0 - beta0) * survival;
+    ResidualPosterior::NegBinomial { alpha_k, beta_k }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::prior::BugPrior;
+    use srm_math::approx_eq;
+
+    /// Brute-force posterior of R by enumerating N = s_k + r and
+    /// applying Bayes with the full likelihood (Eq. (2)).
+    fn enumerate_posterior(
+        prior: &BugPrior,
+        probs: &[f64],
+        data: &BugCountData,
+        max_r: u64,
+    ) -> Vec<f64> {
+        let lik = GroupedLikelihood::new(data);
+        let s_k = data.total();
+        let logs: Vec<f64> = (0..=max_r)
+            .map(|r| prior.ln_pmf(s_k + r) + lik.ln_likelihood(s_k + r, probs))
+            .collect();
+        let z = srm_math::log_sum_exp(&logs);
+        logs.iter().map(|l| (l - z).exp()).collect()
+    }
+
+    fn small_case() -> (BugCountData, Vec<f64>) {
+        let data = BugCountData::new(vec![3, 1, 2]).unwrap();
+        (data, vec![0.3, 0.2, 0.25])
+    }
+
+    #[test]
+    fn poisson_posterior_matches_enumeration() {
+        let (data, probs) = small_case();
+        let lambda0 = 15.0;
+        let analytic = poisson_posterior(lambda0, &probs, &data);
+        let prior = BugPrior::poisson(lambda0).unwrap();
+        let brute = enumerate_posterior(&prior, &probs, &data, 120);
+        for (r, &b) in brute.iter().enumerate().take(60) {
+            let a = analytic.ln_pmf(r as u64).exp();
+            assert!(approx_eq(a, b, 1e-8), "r = {r}: analytic {a} vs brute {b}");
+        }
+    }
+
+    #[test]
+    fn nb_posterior_matches_enumeration() {
+        // Verifies the *corrected* Proposition 2 against brute-force
+        // Bayes — this is the reconciliation test promised in
+        // DESIGN.md.
+        let (data, probs) = small_case();
+        let (alpha0, beta0) = (2.5, 0.15);
+        let analytic = nb_posterior(alpha0, beta0, &probs, &data);
+        let prior = BugPrior::neg_binomial(alpha0, beta0).unwrap();
+        let brute = enumerate_posterior(&prior, &probs, &data, 400);
+        for (r, &b) in brute.iter().enumerate().take(150) {
+            let a = analytic.ln_pmf(r as u64).exp();
+            assert!(approx_eq(a, b, 1e-7), "r = {r}: analytic {a} vs brute {b}");
+        }
+    }
+
+    #[test]
+    fn paper_printed_update_fails_enumeration() {
+        // The literal Eq. (13) update (β_k = β0 Π q_i) disagrees with
+        // brute-force Bayes — documenting that the correction is
+        // necessary, not cosmetic.
+        let (data, probs) = small_case();
+        let (alpha0, beta0) = (2.5, 0.15);
+        let lik = GroupedLikelihood::new(&data);
+        let survival = lik.ln_survival(&probs).exp();
+        let printed = ResidualPosterior::NegBinomial {
+            alpha_k: alpha0 + data.total() as f64,
+            beta_k: beta0 * survival,
+        };
+        let prior = BugPrior::neg_binomial(alpha0, beta0).unwrap();
+        let brute = enumerate_posterior(&prior, &probs, &data, 400);
+        let mut max_err = 0.0f64;
+        for (r, &b) in brute.iter().enumerate().take(150) {
+            max_err = max_err.max((printed.ln_pmf(r as u64).exp() - b).abs());
+        }
+        assert!(max_err > 1e-3, "printed update unexpectedly close: {max_err}");
+    }
+
+    #[test]
+    fn homogeneous_nb_reduces_to_chun() {
+        // In the homogeneous case p_i = p, 1 − β_k = (1 − β0) q^k.
+        let data = BugCountData::new(vec![2, 2, 1]).unwrap();
+        let p = 0.2;
+        let post = nb_posterior(3.0, 0.4, &vec![p; 3], &data);
+        match post {
+            ResidualPosterior::NegBinomial { alpha_k, beta_k } => {
+                assert!(approx_eq(alpha_k, 8.0, 1e-12));
+                assert!(approx_eq(1.0 - beta_k, 0.6 * 0.8f64.powi(3), 1e-12));
+            }
+            ResidualPosterior::Poisson { .. } => panic!("wrong family"),
+        }
+    }
+
+    #[test]
+    fn k_zero_reduces_to_prior() {
+        // With no informative days (p → 0 so nothing can be seen and
+        // the single count is 0), the posterior equals the prior.
+        let data = BugCountData::new(vec![0]).unwrap();
+        let probs = [1e-15];
+        let post = nb_posterior(3.0, 0.4, &probs, &data);
+        let prior = BugPrior::neg_binomial(3.0, 0.4).unwrap();
+        for r in 0..50u64 {
+            assert!(approx_eq(
+                post.ln_pmf(r).exp(),
+                prior.ln_pmf(r).exp(),
+                1e-9
+            ));
+        }
+    }
+
+    #[test]
+    fn summaries_are_consistent() {
+        let post = ResidualPosterior::Poisson { lambda_k: 7.3 };
+        assert_eq!(post.mode(), 7);
+        assert!(post.cdf(post.median()) >= 0.5);
+        if post.median() > 0 {
+            assert!(post.cdf(post.median() - 1) < 0.5);
+        }
+        assert!(approx_eq(post.sd(), 7.3f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn nb_mode_closed_form_agrees_with_argmax() {
+        for &(a, b) in &[(5.0, 0.3), (1.5, 0.6), (0.8, 0.5), (20.0, 0.1)] {
+            let post = ResidualPosterior::NegBinomial {
+                alpha_k: a,
+                beta_k: b,
+            };
+            let argmax = (0..5_000u64)
+                .max_by(|&x, &y| post.ln_pmf(x).partial_cmp(&post.ln_pmf(y)).unwrap())
+                .unwrap();
+            assert_eq!(post.mode(), argmax, "a = {a}, b = {b}");
+        }
+    }
+
+    #[test]
+    fn degenerate_posteriors_are_point_masses() {
+        let p = ResidualPosterior::Poisson { lambda_k: 0.0 };
+        assert_eq!(p.ln_pmf(0), 0.0);
+        assert_eq!(p.mean(), 0.0);
+        let nb = ResidualPosterior::NegBinomial {
+            alpha_k: 3.0,
+            beta_k: 1.0,
+        };
+        assert_eq!(nb.ln_pmf(0), 0.0);
+        assert_eq!(nb.ln_pmf(2), f64::NEG_INFINITY);
+        let mut rng = srm_rand::SplitMix64::seed_from(61);
+        assert_eq!(nb.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn sampling_matches_analytic_mean() {
+        use srm_rand::SplitMix64;
+        let (data, probs) = small_case();
+        let post = nb_posterior(2.0, 0.2, &probs, &data);
+        let mut rng = SplitMix64::seed_from(62);
+        let n = 100_000;
+        let m: f64 = (0..n).map(|_| post.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!(
+            (m - post.mean()).abs() < 0.02 * post.mean().max(1.0),
+            "{m} vs {}",
+            post.mean()
+        );
+    }
+
+    #[test]
+    fn virtual_testing_collapses_posterior() {
+        // Appending zero-count days shrinks the posterior mean toward
+        // 0 under both priors (the paper's Figs. 2–3 behaviour).
+        let base = srm_data::datasets::musa_cc96();
+        let model = crate::detection::DetectionModel::PadgettSpurrier;
+        let zeta = [0.9, 0.08];
+        let mean_at = |extra: usize| {
+            let data = base.extended_with_zeros(extra);
+            let probs = model.probs(&zeta, data.len()).unwrap();
+            poisson_posterior(200.0, &probs, &data).mean()
+        };
+        let m0 = mean_at(0);
+        let m20 = mean_at(20);
+        let m50 = mean_at(50);
+        assert!(m0 > m20 && m20 > m50, "{m0} > {m20} > {m50} violated");
+    }
+}

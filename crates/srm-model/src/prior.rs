@@ -1,0 +1,212 @@
+//! Priors on the initial software bug content `N`.
+
+use srm_math::special::{ln_factorial, ln_nb_coeff};
+use srm_rand::{Distribution, NegativeBinomial, Poisson, Rng};
+
+/// Prior distribution of the initial number of bugs.
+///
+/// * `Poisson(λ0)` — the discrete counterpart of the NHPP-based SRM
+///   (Rallis & Lansdowne).
+/// * `NegBinomial(α0, β0)` — `P(N = n) = C(n+α0−1, n) β0^{α0} (1−β0)^n`,
+///   the counterpart of the NHMPP-based SRM (Chun, generalised).
+///
+/// # Examples
+///
+/// ```
+/// use srm_model::BugPrior;
+///
+/// let prior = BugPrior::poisson(100.0).unwrap();
+/// assert_eq!(prior.mean(), 100.0);
+/// let nb = BugPrior::neg_binomial(4.0, 0.2).unwrap();
+/// assert!(nb.variance() > nb.mean()); // over-dispersed
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BugPrior {
+    /// `N ~ Poisson(λ0)`.
+    Poisson {
+        /// The prior mean `λ0 > 0`.
+        lambda0: f64,
+    },
+    /// `N ~ NB(α0, β0)` with success probability `β0`.
+    NegBinomial {
+        /// Size parameter `α0 > 0`.
+        alpha0: f64,
+        /// Success probability `β0 ∈ (0, 1)`.
+        beta0: f64,
+    },
+}
+
+/// Validation error for prior parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorError {
+    /// Offending parameter name.
+    pub name: &'static str,
+    /// Rejected value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for PriorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid prior parameter `{}` = {}", self.name, self.value)
+    }
+}
+
+impl std::error::Error for PriorError {}
+
+impl BugPrior {
+    /// Creates a Poisson prior.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `lambda0 > 0` and finite.
+    pub fn poisson(lambda0: f64) -> Result<Self, PriorError> {
+        if !(lambda0.is_finite() && lambda0 > 0.0) {
+            return Err(PriorError {
+                name: "lambda0",
+                value: lambda0,
+            });
+        }
+        Ok(Self::Poisson { lambda0 })
+    }
+
+    /// Creates a negative-binomial prior.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `alpha0 > 0` and `beta0 ∈ (0, 1)`.
+    pub fn neg_binomial(alpha0: f64, beta0: f64) -> Result<Self, PriorError> {
+        if !(alpha0.is_finite() && alpha0 > 0.0) {
+            return Err(PriorError {
+                name: "alpha0",
+                value: alpha0,
+            });
+        }
+        if !(beta0.is_finite() && beta0 > 0.0 && beta0 < 1.0) {
+            return Err(PriorError {
+                name: "beta0",
+                value: beta0,
+            });
+        }
+        Ok(Self::NegBinomial { alpha0, beta0 })
+    }
+
+    /// Short label used in tables: `"poisson"` / `"negbinom"`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Poisson { .. } => "poisson",
+            Self::NegBinomial { .. } => "negbinom",
+        }
+    }
+
+    /// Prior mean of `N`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Self::Poisson { lambda0 } => lambda0,
+            Self::NegBinomial { alpha0, beta0 } => alpha0 * (1.0 - beta0) / beta0,
+        }
+    }
+
+    /// Prior variance of `N`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Self::Poisson { lambda0 } => lambda0,
+            Self::NegBinomial { alpha0, beta0 } => alpha0 * (1.0 - beta0) / (beta0 * beta0),
+        }
+    }
+
+    /// Log prior mass `ln P(N = n)`.
+    #[must_use]
+    pub fn ln_pmf(&self, n: u64) -> f64 {
+        match *self {
+            Self::Poisson { lambda0 } => {
+                n as f64 * lambda0.ln() - lambda0 - ln_factorial(n)
+            }
+            Self::NegBinomial { alpha0, beta0 } => {
+                ln_nb_coeff(alpha0, n) + alpha0 * beta0.ln() + n as f64 * (1.0 - beta0).ln()
+            }
+        }
+    }
+
+    /// Draws an initial bug content from the prior.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            Self::Poisson { lambda0 } => Poisson::new(lambda0)
+                .expect("validated at construction")
+                .sample(rng),
+            Self::NegBinomial { alpha0, beta0 } => NegativeBinomial::new(alpha0, beta0)
+                .expect("validated at construction")
+                .sample(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srm_math::approx_eq;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(BugPrior::poisson(0.0).is_err());
+        assert!(BugPrior::poisson(f64::NAN).is_err());
+        assert!(BugPrior::neg_binomial(0.0, 0.5).is_err());
+        assert!(BugPrior::neg_binomial(1.0, 1.0).is_err());
+        assert!(BugPrior::neg_binomial(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn poisson_pmf_normalises() {
+        let prior = BugPrior::poisson(12.0).unwrap();
+        let total: f64 = (0..200).map(|n| prior.ln_pmf(n).exp()).sum();
+        assert!(approx_eq(total, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn nb_pmf_normalises_and_matches_moments() {
+        let prior = BugPrior::neg_binomial(3.0, 0.3).unwrap();
+        let mut total = 0.0;
+        let mut mean = 0.0;
+        let mut second = 0.0;
+        for n in 0..2_000u64 {
+            let p = prior.ln_pmf(n).exp();
+            total += p;
+            mean += n as f64 * p;
+            second += (n as f64) * (n as f64) * p;
+        }
+        assert!(approx_eq(total, 1.0, 1e-9));
+        assert!(approx_eq(mean, prior.mean(), 1e-6));
+        assert!(approx_eq(second - mean * mean, prior.variance(), 1e-4));
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        use srm_rand::SplitMix64;
+        let mut rng = SplitMix64::seed_from(60);
+        for prior in [
+            BugPrior::poisson(40.0).unwrap(),
+            BugPrior::neg_binomial(5.0, 0.25).unwrap(),
+        ] {
+            let n = 50_000;
+            let m: f64 =
+                (0..n).map(|_| prior.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (m - prior.mean()).abs() < 0.03 * prior.mean(),
+                "{}: {m} vs {}",
+                prior.label(),
+                prior.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BugPrior::poisson(1.0).unwrap().label(), "poisson");
+        assert_eq!(
+            BugPrior::neg_binomial(1.0, 0.5).unwrap().label(),
+            "negbinom"
+        );
+    }
+}

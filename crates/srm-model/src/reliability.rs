@@ -1,0 +1,240 @@
+//! Software reliability metrics derived from the residual-count
+//! posterior.
+//!
+//! The operational question behind the whole model: *if we release
+//! now, what is the probability that no bug surfaces in the next `h`
+//! days?* Each remaining bug independently stays undetected through
+//! days `k+1..k+h` with probability `z = Π q_i`, so the reliability is
+//! the probability generating function of the residual count at `z`:
+//!
+//! * Poisson posterior: `E[z^R] = exp(λ_k (z − 1))`;
+//! * NB posterior: `E[z^R] = ( β_k / (1 − (1−β_k) z) )^{α_k}`.
+
+use crate::posterior::ResidualPosterior;
+
+/// Evaluates the probability generating function `E[z^R]` of the
+/// residual posterior at `z ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `z ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use srm_model::posterior::ResidualPosterior;
+/// use srm_model::reliability::pgf;
+///
+/// let post = ResidualPosterior::Poisson { lambda_k: 2.0 };
+/// // z = 1: certainty. z = 0: P(R = 0) = e^{−2}.
+/// assert!((pgf(&post, 1.0) - 1.0).abs() < 1e-12);
+/// assert!((pgf(&post, 0.0) - (-2.0f64).exp()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pgf(posterior: &ResidualPosterior, z: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&z), "pgf requires z in [0, 1], got {z}");
+    match *posterior {
+        ResidualPosterior::Poisson { lambda_k } => (lambda_k * (z - 1.0)).exp(),
+        ResidualPosterior::NegBinomial { alpha_k, beta_k } => {
+            if beta_k >= 1.0 {
+                return 1.0; // point mass at R = 0
+            }
+            let denom = 1.0 - (1.0 - beta_k) * z;
+            (beta_k / denom).powf(alpha_k)
+        }
+    }
+}
+
+/// The software reliability over the next `horizon` days: the
+/// posterior probability that *no* residual bug is detected during
+/// days `k+1..k+horizon`, given the future detection-probability
+/// schedule.
+///
+/// # Panics
+///
+/// Panics if `future_probs` is shorter than `horizon` or contains
+/// values outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use srm_model::posterior::ResidualPosterior;
+/// use srm_model::reliability::reliability;
+///
+/// let post = ResidualPosterior::Poisson { lambda_k: 1.5 };
+/// let r10 = reliability(&post, &[0.1; 30], 10);
+/// let r30 = reliability(&post, &[0.1; 30], 30);
+/// assert!(r10 > r30);                       // longer exposure, more risk
+/// assert!((0.0..=1.0).contains(&r30));
+/// ```
+#[must_use]
+pub fn reliability(
+    posterior: &ResidualPosterior,
+    future_probs: &[f64],
+    horizon: usize,
+) -> f64 {
+    assert!(
+        future_probs.len() >= horizon,
+        "schedule shorter than horizon"
+    );
+    let mut z = 1.0;
+    for &p in &future_probs[..horizon] {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        z *= 1.0 - p;
+    }
+    pgf(posterior, z)
+}
+
+/// The reliability curve `R(1), …, R(horizon)` — one value per future
+/// day, suitable for plotting release-readiness.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`reliability`].
+#[must_use]
+pub fn reliability_curve(
+    posterior: &ResidualPosterior,
+    future_probs: &[f64],
+    horizon: usize,
+) -> Vec<f64> {
+    assert!(
+        future_probs.len() >= horizon,
+        "schedule shorter than horizon"
+    );
+    let mut z = 1.0;
+    future_probs[..horizon]
+        .iter()
+        .map(|&p| {
+            z *= 1.0 - p;
+            pgf(posterior, z)
+        })
+        .collect()
+}
+
+/// Smallest horizon (in days) after which the reliability first drops
+/// below `threshold`, or `None` if it never does within the schedule.
+///
+/// Useful inverted: "how many more quiet days until we trust the
+/// release at level `threshold`" is answered by fitting at later
+/// observation points and re-evaluating.
+#[must_use]
+pub fn days_until_reliability_below(
+    posterior: &ResidualPosterior,
+    future_probs: &[f64],
+    threshold: f64,
+) -> Option<usize> {
+    let curve = reliability_curve(posterior, future_probs, future_probs.len());
+    curve.iter().position(|&r| r < threshold).map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srm_math::approx_eq;
+    use srm_rand::{Rng, SplitMix64};
+
+    #[test]
+    fn pgf_endpoints() {
+        let nb = ResidualPosterior::NegBinomial {
+            alpha_k: 3.0,
+            beta_k: 0.4,
+        };
+        assert!(approx_eq(pgf(&nb, 1.0), 1.0, 1e-12));
+        // z = 0 gives P(R = 0) = β^α.
+        assert!(approx_eq(pgf(&nb, 0.0), 0.4f64.powf(3.0), 1e-12));
+    }
+
+    #[test]
+    fn pgf_matches_series_expansion() {
+        for post in [
+            ResidualPosterior::Poisson { lambda_k: 3.7 },
+            ResidualPosterior::NegBinomial {
+                alpha_k: 2.2,
+                beta_k: 0.35,
+            },
+        ] {
+            for &z in &[0.2f64, 0.5, 0.9] {
+                let series: f64 = (0..400)
+                    .map(|r| post.ln_pmf(r).exp() * z.powi(r as i32))
+                    .sum();
+                assert!(
+                    approx_eq(pgf(&post, z), series, 1e-9),
+                    "z = {z}: {} vs {series}",
+                    pgf(&post, z)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pgf_degenerate_nb_is_one() {
+        let point = ResidualPosterior::NegBinomial {
+            alpha_k: 5.0,
+            beta_k: 1.0,
+        };
+        assert_eq!(pgf(&point, 0.3), 1.0);
+    }
+
+    #[test]
+    fn reliability_matches_monte_carlo() {
+        // Simulate: draw R, then thin through the schedule; compare
+        // the zero-detection frequency with the closed form.
+        let post = ResidualPosterior::Poisson { lambda_k: 4.0 };
+        let schedule = [0.15, 0.1, 0.2, 0.05];
+        let analytic = reliability(&post, &schedule, 4);
+        let mut rng = SplitMix64::seed_from(71);
+        let trials = 200_000;
+        let mut silent = 0usize;
+        for _ in 0..trials {
+            let r = post.sample(&mut rng);
+            let mut undetected = true;
+            'bugs: for _ in 0..r {
+                for &p in &schedule {
+                    if rng.next_f64() < p {
+                        undetected = false;
+                        break 'bugs;
+                    }
+                }
+            }
+            if undetected {
+                silent += 1;
+            }
+        }
+        let empirical = silent as f64 / trials as f64;
+        assert!(
+            (empirical - analytic).abs() < 0.005,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn curve_is_nonincreasing() {
+        let post = ResidualPosterior::NegBinomial {
+            alpha_k: 6.0,
+            beta_k: 0.5,
+        };
+        let curve = reliability_curve(&post, &[0.08; 50], 50);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(curve[0] < 1.0);
+    }
+
+    #[test]
+    fn threshold_crossing() {
+        let post = ResidualPosterior::Poisson { lambda_k: 10.0 };
+        let probs = vec![0.2; 30];
+        let day = days_until_reliability_below(&post, &probs, 0.5).unwrap();
+        // R(h) = exp(10(0.8^h − 1)); drops below 0.5 on day 1 already.
+        assert_eq!(day, 1);
+        // A tiny residual never crosses a generous threshold.
+        let safe = ResidualPosterior::Poisson { lambda_k: 1e-6 };
+        assert_eq!(days_until_reliability_below(&safe, &probs, 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "z in [0, 1]")]
+    fn pgf_rejects_bad_z() {
+        let _ = pgf(&ResidualPosterior::Poisson { lambda_k: 1.0 }, 1.5);
+    }
+}

@@ -1,0 +1,183 @@
+//! Beta distribution (ratio-of-gammas sampling).
+
+use crate::error::{require, DistributionError};
+use crate::gamma::Gamma;
+use crate::{Distribution, Rng};
+use srm_math::incbeta::{inc_beta_reg, inv_inc_beta_reg};
+
+/// Beta distribution with shape parameters `a, b > 0`.
+///
+/// The β0 conditional of the negative-binomial Gibbs sweep is an exact
+/// Beta draw (`Beta(α0 + 1, N + 1)` under the uniform hyper-prior).
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Beta, Distribution, SplitMix64};
+/// let b = Beta::new(2.0, 5.0).unwrap();
+/// let mut rng = SplitMix64::seed_from(6);
+/// let x = b.sample(&mut rng);
+/// assert!((0.0..=1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    a: f64,
+    b: f64,
+}
+
+impl Beta {
+    /// Creates a beta distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both shapes are finite and positive.
+    pub fn new(a: f64, b: f64) -> Result<Self, DistributionError> {
+        require(a.is_finite() && a > 0.0, "a", a, "must be > 0")?;
+        require(b.is_finite() && b > 0.0, "b", b, "must be > 0")?;
+        Ok(Self { a, b })
+    }
+
+    /// First shape parameter.
+    #[must_use]
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Second shape parameter.
+    #[must_use]
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Mean `a/(a+b)`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.a / (self.a + self.b)
+    }
+
+    /// Variance `ab/((a+b)²(a+b+1))`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let s = self.a + self.b;
+        self.a * self.b / (s * s * (s + 1.0))
+    }
+
+    /// CDF `I_x(a, b)`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            inc_beta_reg(self.a, self.b, x)
+        }
+    }
+
+    /// Quantile function (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        inv_inc_beta_reg(self.a, self.b, p)
+    }
+}
+
+impl Distribution for Beta {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // X = G_a/(G_a + G_b) with independent standard gammas.
+        let ga = Gamma::new(self.a, 1.0).expect("validated shape");
+        let gb = Gamma::new(self.b, 1.0).expect("validated shape");
+        let x = ga.sample(rng);
+        let y = gb.sample(rng);
+        // Both draws are strictly positive, so the ratio is in (0, 1).
+        x / (x + y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -1.0).is_err());
+        assert!(Beta::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn empirical_moments() {
+        let d = Beta::new(2.0, 5.0).unwrap();
+        let mut rng = SplitMix64::seed_from(21);
+        let n = 200_000;
+        let xs = d.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 0.005, "mean = {mean}");
+        assert!((var - d.variance()).abs() < 0.002, "var = {var}");
+    }
+
+    #[test]
+    fn symmetric_case_centred() {
+        let d = Beta::new(3.0, 3.0).unwrap();
+        let mut rng = SplitMix64::seed_from(22);
+        let n = 100_000;
+        let mean = d.sample_n(&mut rng, n).iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005);
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        // Beta(1, 1) = Uniform(0, 1): quartile counts should be even.
+        let d = Beta::new(1.0, 1.0).unwrap();
+        let mut rng = SplitMix64::seed_from(23);
+        let n = 100_000;
+        let below_quarter = d
+            .sample_n(&mut rng, n)
+            .into_iter()
+            .filter(|&x| x < 0.25)
+            .count() as f64
+            / n as f64;
+        assert!((below_quarter - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn samples_in_open_unit_interval() {
+        let d = Beta::new(0.4, 0.7).unwrap();
+        let mut rng = SplitMix64::seed_from(24);
+        for _ in 0..20_000 {
+            let x = d.sample(&mut rng);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = Beta::new(4.0, 2.0).unwrap();
+        for &p in &[0.05, 0.3, 0.5, 0.95] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cdf_empirical_agreement() {
+        let d = Beta::new(2.5, 1.5).unwrap();
+        let mut rng = SplitMix64::seed_from(25);
+        let n = 100_000;
+        let t = 0.6;
+        let below = d
+            .sample_n(&mut rng, n)
+            .into_iter()
+            .filter(|&x| x <= t)
+            .count() as f64
+            / n as f64;
+        assert!((below - d.cdf(t)).abs() < 0.01);
+    }
+}

@@ -1,0 +1,259 @@
+//! Binomial distribution.
+//!
+//! The workload generator simulates the paper's detection process —
+//! every remaining bug is caught with probability `p_i` on day `i` —
+//! which is exactly repeated Binomial thinning. Small cases use CDF
+//! inversion; large `n` recurses through the beta order-statistic
+//! split, which reduces `n` geometrically while staying exact.
+
+use crate::beta::Beta;
+use crate::error::{require, DistributionError};
+use crate::{Distribution, Rng};
+use srm_math::special::ln_binomial;
+
+/// Binomial distribution counting successes among `n` trials with
+/// success probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Binomial, Distribution, SplitMix64};
+/// let b = Binomial::new(20, 0.25).unwrap();
+/// let mut rng = SplitMix64::seed_from(8);
+/// assert!(b.sample(&mut rng) <= 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+/// Below this trial count the sampler uses direct inversion.
+const INVERSION_LIMIT: u64 = 64;
+
+impl Binomial {
+    /// Creates a binomial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `p ∈ [0, 1]`. (`n = 0` is allowed: the
+    /// distribution is the point mass at 0.)
+    pub fn new(n: u64, p: f64) -> Result<Self, DistributionError> {
+        require(p.is_finite() && (0.0..=1.0).contains(&p), "p", p, "must be in [0, 1]")?;
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `np`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `np(1−p)`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Natural log of the p.m.f. at `k` (`-inf` outside `0..=n`).
+    #[must_use]
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        // Handle the degenerate endpoints without 0·ln 0 = NaN.
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_binomial(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    /// Sequential CDF inversion, O(np) expected — used for small `n`.
+    fn sample_inversion<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+        // Work on the smaller tail for speed.
+        if p > 0.5 {
+            return n - Self::sample_inversion(n, 1.0 - p, rng);
+        }
+        if p == 0.0 {
+            return 0;
+        }
+        let q = 1.0 - p;
+        let s = p / q;
+        let mut pmf = q.powi(n as i32);
+        let mut cdf = pmf;
+        let mut k = 0u64;
+        let u = rng.next_f64();
+        while u > cdf && k < n {
+            k += 1;
+            pmf *= s * (n - k + 1) as f64 / k as f64;
+            cdf += pmf;
+        }
+        k
+    }
+
+    /// Beta order-statistic split: with `m = 1 + n/2`, the `m`-th
+    /// smallest of `n` uniforms is `Beta(m, n + 1 − m)`; conditioning
+    /// on it lands the problem on a binomial with roughly half the
+    /// trials. Exact, O(log n) beta draws.
+    fn sample_split<R: Rng + ?Sized>(mut n: u64, mut p: f64, rng: &mut R) -> u64 {
+        let mut acc = 0u64;
+        loop {
+            if p <= 0.0 {
+                return acc;
+            }
+            if p >= 1.0 {
+                return acc + n;
+            }
+            if n <= INVERSION_LIMIT {
+                return acc + Self::sample_inversion(n, p, rng);
+            }
+            let m = 1 + n / 2;
+            let x = Beta::new(m as f64, (n + 1 - m) as f64)
+                .expect("shapes are positive integers")
+                .sample(rng);
+            if x <= p {
+                // m of the uniforms are below x ≤ p: all successes.
+                acc += m;
+                p = (p - x) / (1.0 - x);
+                n -= m;
+            } else {
+                // The top n − m + 1 uniforms are above x > p: failures.
+                p /= x;
+                n = m - 1;
+            }
+        }
+    }
+}
+
+impl Distribution for Binomial {
+    type Value = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        Self::sample_split(self.n, self.p, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    fn empirical(n: u64, p: f64, seed: u64, draws: usize) -> (f64, f64) {
+        let b = Binomial::new(n, p).unwrap();
+        let mut rng = SplitMix64::seed_from(seed);
+        let xs = b.sample_n(&mut rng, draws);
+        let m = xs.iter().map(|&x| x as f64).sum::<f64>() / draws as f64;
+        let v = xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / draws as f64;
+        (m, v)
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = SplitMix64::seed_from(33);
+        let zero = Binomial::new(0, 0.5).unwrap();
+        assert_eq!(zero.sample(&mut rng), 0);
+        let never = Binomial::new(50, 0.0).unwrap();
+        assert_eq!(never.sample(&mut rng), 0);
+        let always = Binomial::new(50, 1.0).unwrap();
+        assert_eq!(always.sample(&mut rng), 50);
+    }
+
+    #[test]
+    fn moments_small_n() {
+        let (m, v) = empirical(20, 0.3, 34, 200_000);
+        assert!((m - 6.0).abs() < 0.03, "mean = {m}");
+        assert!((v - 4.2).abs() < 0.1, "var = {v}");
+    }
+
+    #[test]
+    fn moments_large_n_split_path() {
+        let (m, v) = empirical(10_000, 0.37, 35, 50_000);
+        assert!((m - 3_700.0).abs() < 1.5, "mean = {m}");
+        assert!((v - 2_331.0).abs() < 60.0, "var = {v}");
+    }
+
+    #[test]
+    fn moments_high_p() {
+        let (m, v) = empirical(100, 0.9, 36, 100_000);
+        assert!((m - 90.0).abs() < 0.1, "mean = {m}");
+        assert!((v - 9.0).abs() < 0.3, "var = {v}");
+    }
+
+    #[test]
+    fn samples_never_exceed_n() {
+        let b = Binomial::new(500, 0.95).unwrap();
+        let mut rng = SplitMix64::seed_from(37);
+        for _ in 0..20_000 {
+            assert!(b.sample(&mut rng) <= 500);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(30, 0.42).unwrap();
+        let total: f64 = (0..=30).map(|k| b.ln_pmf(k).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_degenerate_endpoints() {
+        let b = Binomial::new(5, 0.0).unwrap();
+        assert_eq!(b.ln_pmf(0), 0.0);
+        assert_eq!(b.ln_pmf(1), f64::NEG_INFINITY);
+        let b = Binomial::new(5, 1.0).unwrap();
+        assert_eq!(b.ln_pmf(5), 0.0);
+        assert_eq!(b.ln_pmf(4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pmf_matches_empirical_frequencies() {
+        let b = Binomial::new(12, 0.55).unwrap();
+        let mut rng = SplitMix64::seed_from(38);
+        let n = 300_000;
+        let mut hist = [0usize; 13];
+        for x in b.sample_n(&mut rng, n) {
+            hist[x as usize] += 1;
+        }
+        for k in 0..=12u64 {
+            let expected = b.ln_pmf(k).exp();
+            let observed = hist[k as usize] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.005,
+                "k = {k}: obs {observed} vs exp {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_and_inversion_agree_in_distribution() {
+        // Same (n, p) straddling the split threshold: compare means.
+        let (m_small, _) = empirical(INVERSION_LIMIT, 0.4, 39, 100_000);
+        let (m_large, _) = empirical(INVERSION_LIMIT + 1, 0.4, 40, 100_000);
+        assert!((m_small - 0.4 * INVERSION_LIMIT as f64).abs() < 0.1);
+        assert!((m_large - 0.4 * (INVERSION_LIMIT + 1) as f64).abs() < 0.1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Categorical distribution via Walker/Vose alias tables.
+//!
+//! Posterior-mode extraction and the synthetic multi-dataset generator
+//! repeatedly draw from fixed finite distributions; the alias method
+//! makes each draw O(1) after O(n) setup.
+
+use crate::error::DistributionError;
+use crate::{Distribution, Rng};
+
+/// Categorical distribution over `0..n` built from non-negative
+/// weights (not necessarily normalised).
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Categorical, Distribution, SplitMix64};
+/// let c = Categorical::new(&[1.0, 2.0, 7.0]).unwrap();
+/// let mut rng = SplitMix64::seed_from(11);
+/// let idx = c.sample(&mut rng);
+/// assert!(idx < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    prob: Vec<f64>,  // scaled acceptance probabilities
+    alias: Vec<usize>,
+    weights: Vec<f64>, // normalised input weights (for pmf queries)
+}
+
+impl Categorical {
+    /// Builds the alias table from `weights`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::DegenerateWeights`] if `weights`
+    /// is empty or sums to zero, and
+    /// [`DistributionError::InvalidParameter`] if any weight is
+    /// negative or non-finite.
+    pub fn new(weights: &[f64]) -> Result<Self, DistributionError> {
+        if weights.is_empty() {
+            return Err(DistributionError::DegenerateWeights);
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(DistributionError::InvalidParameter {
+                    name: "weights",
+                    value: w,
+                    constraint: if i == 0 {
+                        "must be finite and >= 0"
+                    } else {
+                        "must be finite and >= 0"
+                    },
+                });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(DistributionError::DegenerateWeights);
+        }
+        let n = weights.len();
+        let normalised: Vec<f64> = weights.iter().map(|w| w / total).collect();
+
+        // Vose's stable alias construction.
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut scaled: Vec<f64> = normalised.iter().map(|w| w * n as f64).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &i in large.iter().chain(small.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+
+        Ok(Self {
+            prob,
+            alias,
+            weights: normalised,
+        })
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The normalised probability of category `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn pmf(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+}
+
+impl Distribution for Categorical {
+    type Value = usize;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert_eq!(Categorical::new(&[]), Err(DistributionError::DegenerateWeights));
+        assert_eq!(
+            Categorical::new(&[0.0, 0.0]),
+            Err(DistributionError::DegenerateWeights)
+        );
+        assert!(Categorical::new(&[1.0, -0.5]).is_err());
+        assert!(Categorical::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn single_category_always_chosen() {
+        let c = Categorical::new(&[3.0]).unwrap();
+        let mut rng = SplitMix64::seed_from(49);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let c = Categorical::new(&[0.0, 1.0, 0.0, 1.0]).unwrap();
+        let mut rng = SplitMix64::seed_from(50);
+        for _ in 0..50_000 {
+            let i = c.sample(&mut rng);
+            assert!(i == 1 || i == 3, "drew zero-weight category {i}");
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let c = Categorical::new(&weights).unwrap();
+        let mut rng = SplitMix64::seed_from(51);
+        let n = 400_000;
+        let mut hist = [0usize; 4];
+        for _ in 0..n {
+            hist[c.sample(&mut rng)] += 1;
+        }
+        for (i, &h) in hist.iter().enumerate() {
+            let expected = weights[i] / 10.0;
+            let observed = h as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.005,
+                "i = {i}: obs {observed} vs exp {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_is_normalised_input() {
+        let c = Categorical::new(&[2.0, 6.0]).unwrap();
+        assert!((c.pmf(0) - 0.25).abs() < 1e-15);
+        assert!((c.pmf(1) - 0.75).abs() < 1e-15);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn highly_skewed_weights() {
+        let c = Categorical::new(&[1e-12, 1.0]).unwrap();
+        let mut rng = SplitMix64::seed_from(52);
+        let zeros = (0..100_000).filter(|_| c.sample(&mut rng) == 0).count();
+        assert!(zeros < 5, "zeros = {zeros}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Exponential distribution (inverse-CDF sampling).
+
+use crate::error::{require, DistributionError};
+use crate::{Distribution, Rng};
+
+/// Exponential distribution with rate `λ > 0` (mean `1/λ`).
+///
+/// Exponential draws power the slice sampler's vertical step
+/// (`ln u ~ −Exp(1)`).
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Distribution, Exponential, SplitMix64};
+/// let e = Exponential::new(2.0).unwrap();
+/// let mut rng = SplitMix64::seed_from(3);
+/// assert!(e.sample(&mut rng) >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `rate > 0` and finite.
+    pub fn new(rate: f64) -> Result<Self, DistributionError> {
+        require(rate.is_finite() && rate > 0.0, "rate", rate, "must be > 0")?;
+        Ok(Self { rate })
+    }
+
+    /// The rate parameter `λ`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean `1/λ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Variance `1/λ²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    /// CDF `1 − e^{−λx}` (0 for negative `x`).
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+}
+
+impl Distribution for Exponential {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -rng.next_open_f64().ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn rejects_nonpositive_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empirical_mean_and_variance() {
+        let e = Exponential::new(0.5).unwrap();
+        let mut rng = SplitMix64::seed_from(10);
+        let n = 200_000;
+        let xs = e.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.03, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn samples_nonnegative() {
+        let e = Exponential::new(3.0).unwrap();
+        let mut rng = SplitMix64::seed_from(11);
+        for _ in 0..10_000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cdf_matches_empirical_fraction() {
+        let e = Exponential::new(1.5).unwrap();
+        let mut rng = SplitMix64::seed_from(12);
+        let n = 100_000;
+        let threshold = 0.8;
+        let below = e
+            .sample_n(&mut rng, n)
+            .into_iter()
+            .filter(|&x| x <= threshold)
+            .count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - e.cdf(threshold)).abs() < 0.01);
+    }
+
+    #[test]
+    fn cdf_edges() {
+        let e = Exponential::new(1.0).unwrap();
+        assert_eq!(e.cdf(-1.0), 0.0);
+        assert!(e.cdf(100.0) > 1.0 - 1e-12);
+    }
+}

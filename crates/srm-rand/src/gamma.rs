@@ -1,0 +1,209 @@
+//! Gamma distribution (Marsaglia–Tsang squeeze method).
+
+use crate::error::{require, DistributionError};
+use crate::normal::Normal;
+use crate::{Distribution, Rng};
+use srm_math::incgamma::inc_gamma_p;
+use srm_math::special::ln_gamma;
+
+/// Gamma distribution with shape `k > 0` and scale `θ > 0`
+/// (density `x^{k−1} e^{−x/θ} / (Γ(k) θ^k)`, mean `kθ`).
+///
+/// The λ0 conditional of the Poisson-prior Gibbs sweep and the mixing
+/// distribution of the negative binomial are both Gammas.
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Distribution, Gamma, SplitMix64};
+/// let g = Gamma::new(2.0, 3.0).unwrap();
+/// assert_eq!(g.mean(), 6.0);
+/// let mut rng = SplitMix64::seed_from(5);
+/// assert!(g.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with the given shape and scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistributionError> {
+        require(shape.is_finite() && shape > 0.0, "shape", shape, "must be > 0")?;
+        require(scale.is_finite() && scale > 0.0, "scale", scale, "must be > 0")?;
+        Ok(Self { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `θ`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Mean `kθ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Variance `kθ²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// CDF `P(k, x/θ)` via the regularised incomplete gamma.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            inc_gamma_p(self.shape, x / self.scale)
+        }
+    }
+
+    /// Natural log of the density at `x` (`-inf` for `x <= 0`).
+    #[must_use]
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.shape - 1.0) * x.ln() - x / self.scale
+            - ln_gamma(self.shape)
+            - self.shape * self.scale.ln()
+    }
+
+    /// Draws from the *standard* gamma (scale 1) with shape `>= 1`
+    /// using Marsaglia–Tsang.
+    fn sample_standard_ge1<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        debug_assert!(shape >= 1.0);
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let normal = Normal::standard();
+        loop {
+            let x = normal.sample(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = rng.next_open_f64();
+            // Squeeze test, then the full acceptance test.
+            if u < 1.0 - 0.0331 * x.powi(4)
+                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
+            {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Distribution for Gamma {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let std = if self.shape >= 1.0 {
+            Self::sample_standard_ge1(self.shape, rng)
+        } else {
+            // Boost for shape < 1: G(a) = G(a+1) · U^{1/a}.
+            let g = Self::sample_standard_ge1(self.shape + 1.0, rng);
+            let u = rng.next_open_f64();
+            g * u.powf(1.0 / self.shape)
+        };
+        std * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    fn moments(shape: f64, scale: f64, seed: u64, n: usize) -> (f64, f64) {
+        let g = Gamma::new(shape, scale).unwrap();
+        let mut rng = SplitMix64::seed_from(seed);
+        let xs = g.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-2.0, 1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn moments_large_shape() {
+        let (mean, var) = moments(9.0, 0.5, 16, 200_000);
+        assert!((mean - 4.5).abs() < 0.02, "mean = {mean}");
+        assert!((var - 2.25).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn moments_shape_one_is_exponential() {
+        let (mean, var) = moments(1.0, 2.0, 17, 200_000);
+        assert!((mean - 2.0).abs() < 0.03, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var = {var}");
+    }
+
+    #[test]
+    fn moments_small_shape() {
+        let (mean, var) = moments(0.3, 1.0, 18, 300_000);
+        assert!((mean - 0.3).abs() < 0.01, "mean = {mean}");
+        assert!((var - 0.3).abs() < 0.04, "var = {var}");
+    }
+
+    #[test]
+    fn samples_positive() {
+        let g = Gamma::new(0.1, 1.0).unwrap();
+        let mut rng = SplitMix64::seed_from(19);
+        for _ in 0..20_000 {
+            assert!(g.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn cdf_empirical_agreement() {
+        let g = Gamma::new(3.0, 2.0).unwrap();
+        let mut rng = SplitMix64::seed_from(20);
+        let n = 100_000;
+        let t = 5.0;
+        let below = g
+            .sample_n(&mut rng, n)
+            .into_iter()
+            .filter(|&x| x <= t)
+            .count() as f64
+            / n as f64;
+        assert!((below - g.cdf(t)).abs() < 0.01);
+    }
+
+    #[test]
+    fn ln_pdf_integrates_to_one() {
+        let g = Gamma::new(2.5, 1.3).unwrap();
+        let total =
+            srm_math::quadrature::integrate(|x| g.ln_pdf(x).exp(), 1e-9, 60.0, 1e-10);
+        assert!((total - 1.0).abs() < 1e-6, "total = {total}");
+    }
+
+    #[test]
+    fn ln_pdf_outside_support() {
+        let g = Gamma::new(2.0, 1.0).unwrap();
+        assert_eq!(g.ln_pdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(g.ln_pdf(-1.0), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,135 @@
+//! Geometric distribution (number of failures before the first
+//! success).
+
+use crate::error::{require, DistributionError};
+use crate::{Distribution, Rng};
+
+/// Geometric distribution on `{0, 1, 2, …}` with success probability
+/// `p ∈ (0, 1]`: `P(K = k) = p (1 − p)^k`.
+///
+/// Used by the synthetic workload generator to model per-bug dormancy
+/// (days until a bug first becomes detectable).
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Distribution, Geometric, SplitMix64};
+/// let g = Geometric::new(0.25).unwrap();
+/// assert_eq!(g.mean(), 3.0);
+/// let mut rng = SplitMix64::seed_from(10);
+/// let _k = g.sample(&mut rng);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `p ∈ (0, 1]`.
+    pub fn new(p: f64) -> Result<Self, DistributionError> {
+        require(p.is_finite() && p > 0.0 && p <= 1.0, "p", p, "must be in (0, 1]")?;
+        Ok(Self { p })
+    }
+
+    /// Success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `(1−p)/p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+
+    /// Variance `(1−p)/p²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        (1.0 - self.p) / (self.p * self.p)
+    }
+
+    /// Natural log of the p.m.f. at `k`.
+    #[must_use]
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if self.p == 1.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        self.p.ln() + k as f64 * (1.0 - self.p).ln()
+    }
+}
+
+impl Distribution for Geometric {
+    type Value = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inverse CDF: K = floor(ln U / ln(1 − p)).
+        let u = rng.next_open_f64();
+        let k = (u.ln() / (1.0 - self.p).ln()).floor();
+        if k < 0.0 {
+            0
+        } else {
+            k as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.5).is_err());
+    }
+
+    #[test]
+    fn certain_success_is_zero() {
+        let g = Geometric::new(1.0).unwrap();
+        let mut rng = SplitMix64::seed_from(46);
+        for _ in 0..50 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn empirical_moments() {
+        let g = Geometric::new(0.2).unwrap();
+        let mut rng = SplitMix64::seed_from(47);
+        let n = 200_000;
+        let xs = g.sample_n(&mut rng, n);
+        let m = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let v = xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n as f64;
+        assert!((m - 4.0).abs() < 0.05, "mean = {m}");
+        assert!((v - 20.0).abs() < 0.6, "var = {v}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let g = Geometric::new(0.3).unwrap();
+        let total: f64 = (0..200).map(|k| g.ln_pmf(k).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memorylessness() {
+        // P(K >= a + b | K >= a) = P(K >= b), checked empirically.
+        let g = Geometric::new(0.25).unwrap();
+        let mut rng = SplitMix64::seed_from(48);
+        let n = 300_000;
+        let xs = g.sample_n(&mut rng, n);
+        let ge = |t: u64| xs.iter().filter(|&&x| x >= t).count() as f64;
+        let cond = ge(5) / ge(2);
+        let marginal = ge(3) / n as f64;
+        assert!((cond - marginal).abs() < 0.01, "{cond} vs {marginal}");
+    }
+}

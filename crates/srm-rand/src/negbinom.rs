@@ -1,0 +1,260 @@
+//! Negative binomial distribution (gamma–Poisson mixture).
+//!
+//! Parametrised as the paper's Proposition 2: success probability
+//! `beta` and (real) size `r`, with p.m.f.
+//! `P(K = k) = C(k + r − 1, k) · beta^r · (1 − beta)^k`, mean
+//! `r (1 − beta) / beta`. The corrected posterior of the residual bug
+//! count under the NB prior is exactly this distribution.
+
+use crate::error::{require, DistributionError};
+use crate::gamma::Gamma;
+use crate::poisson::Poisson;
+use crate::{Distribution, Rng};
+use srm_math::special::ln_nb_coeff;
+
+/// Negative binomial distribution with real size `r > 0` and success
+/// probability `beta ∈ (0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Distribution, NegativeBinomial, SplitMix64};
+/// let nb = NegativeBinomial::new(3.0, 0.4).unwrap();
+/// assert!((nb.mean() - 4.5).abs() < 1e-12);
+/// let mut rng = SplitMix64::seed_from(9);
+/// let _k = nb.sample(&mut rng);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegativeBinomial {
+    r: f64,
+    beta: f64,
+}
+
+impl NegativeBinomial {
+    /// Creates a negative binomial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `r > 0` and `beta ∈ (0, 1]`. `beta = 1`
+    /// gives the point mass at zero (the fully collapsed posterior
+    /// after long zero-count virtual testing).
+    pub fn new(r: f64, beta: f64) -> Result<Self, DistributionError> {
+        require(r.is_finite() && r > 0.0, "r", r, "must be > 0")?;
+        require(
+            beta.is_finite() && beta > 0.0 && beta <= 1.0,
+            "beta",
+            beta,
+            "must be in (0, 1]",
+        )?;
+        Ok(Self { r, beta })
+    }
+
+    /// Size parameter `r`.
+    #[must_use]
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Success probability `beta`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mean `r(1−beta)/beta`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.r * (1.0 - self.beta) / self.beta
+    }
+
+    /// Variance `r(1−beta)/beta²` — always over-dispersed relative to
+    /// a Poisson with the same mean.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.r * (1.0 - self.beta) / (self.beta * self.beta)
+    }
+
+    /// Natural log of the p.m.f. at `k`.
+    #[must_use]
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if self.beta == 1.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_nb_coeff(self.r, k) + self.r * self.beta.ln() + k as f64 * (1.0 - self.beta).ln()
+    }
+
+    /// CDF `P(X <= k)` via the incomplete-beta identity
+    /// `P(X <= k) = I_{beta}(r, k + 1)`.
+    #[must_use]
+    pub fn cdf(&self, k: u64) -> f64 {
+        if self.beta >= 1.0 {
+            return 1.0;
+        }
+        srm_math::inc_beta_reg(self.r, k as f64 + 1.0, self.beta)
+    }
+
+    /// Smallest `k` with `P(X <= k) >= p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+        if self.beta >= 1.0 {
+            return 0;
+        }
+        let mut hi = (self.mean() + 10.0 * self.variance().sqrt()).max(4.0) as u64;
+        while self.cdf(hi) < p {
+            hi = hi * 2 + 1;
+        }
+        let mut lo = 0u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= p {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+}
+
+impl Distribution for NegativeBinomial {
+    type Value = u64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.beta >= 1.0 {
+            return 0;
+        }
+        // λ ~ Gamma(r, (1 − beta)/beta), K | λ ~ Poisson(λ).
+        let scale = (1.0 - self.beta) / self.beta;
+        let lambda = Gamma::new(self.r, scale)
+            .expect("validated parameters")
+            .sample(rng);
+        if lambda <= 0.0 {
+            return 0;
+        }
+        match Poisson::new(lambda) {
+            Ok(p) => p.sample(rng),
+            Err(_) => 0, // λ underflowed to 0: the mixture mass is at 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    fn empirical(r: f64, beta: f64, seed: u64, n: usize) -> (f64, f64) {
+        let d = NegativeBinomial::new(r, beta).unwrap();
+        let mut rng = SplitMix64::seed_from(seed);
+        let xs = d.sample_n(&mut rng, n);
+        let m = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let v = xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n as f64;
+        (m, v)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(NegativeBinomial::new(0.0, 0.5).is_err());
+        assert!(NegativeBinomial::new(1.0, 0.0).is_err());
+        assert!(NegativeBinomial::new(1.0, 1.5).is_err());
+        assert!(NegativeBinomial::new(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn beta_one_is_point_mass_at_zero() {
+        let d = NegativeBinomial::new(5.0, 1.0).unwrap();
+        let mut rng = SplitMix64::seed_from(41);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+        assert_eq!(d.ln_pmf(0), 0.0);
+        assert_eq!(d.ln_pmf(1), f64::NEG_INFINITY);
+        assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn moments_integer_size() {
+        let (m, v) = empirical(5.0, 0.5, 42, 200_000);
+        assert!((m - 5.0).abs() < 0.05, "mean = {m}");
+        assert!((v - 10.0).abs() < 0.3, "var = {v}");
+    }
+
+    #[test]
+    fn moments_real_size() {
+        let d = NegativeBinomial::new(2.7, 0.3).unwrap();
+        let (m, v) = empirical(2.7, 0.3, 43, 200_000);
+        assert!((m - d.mean()).abs() < 0.1, "mean = {m} vs {}", d.mean());
+        assert!((v - d.variance()).abs() < 1.5, "var = {v} vs {}", d.variance());
+    }
+
+    #[test]
+    fn overdispersion_relative_to_poisson() {
+        let (m, v) = empirical(3.0, 0.2, 44, 100_000);
+        assert!(v > m, "NB must be over-dispersed: var {v} <= mean {m}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = NegativeBinomial::new(2.5, 0.45).unwrap();
+        let total: f64 = (0..500).map(|k| d.ln_pmf(k).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-10, "total = {total}");
+    }
+
+    #[test]
+    fn cdf_matches_pmf_partial_sums() {
+        let d = NegativeBinomial::new(3.3, 0.4).unwrap();
+        let mut acc = 0.0;
+        for k in 0..40u64 {
+            acc += d.ln_pmf(k).exp();
+            assert!((d.cdf(k) - acc).abs() < 1e-10, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_cdf_inverse() {
+        let d = NegativeBinomial::new(2.5, 0.3).unwrap();
+        for &p in &[0.05, 0.5, 0.95, 0.999] {
+            let k = d.quantile(p);
+            assert!(d.cdf(k) >= p);
+            if k > 0 {
+                assert!(d.cdf(k - 1) < p);
+            }
+        }
+        // Degenerate point mass.
+        assert_eq!(NegativeBinomial::new(2.0, 1.0).unwrap().quantile(0.9), 0);
+    }
+
+    #[test]
+    fn geometric_special_case() {
+        // r = 1 is the geometric distribution: P(0) = beta.
+        let d = NegativeBinomial::new(1.0, 0.35).unwrap();
+        assert!((d.ln_pmf(0).exp() - 0.35).abs() < 1e-12);
+        assert!((d.ln_pmf(3).exp() - 0.35 * 0.65f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_matches_empirical_frequencies() {
+        let d = NegativeBinomial::new(4.0, 0.6).unwrap();
+        let mut rng = SplitMix64::seed_from(45);
+        let n = 300_000;
+        let mut hist = vec![0usize; 40];
+        for x in d.sample_n(&mut rng, n) {
+            if (x as usize) < hist.len() {
+                hist[x as usize] += 1;
+            }
+        }
+        for k in 0..10u64 {
+            let expected = d.ln_pmf(k).exp();
+            let observed = hist[k as usize] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.005,
+                "k = {k}: obs {observed} vs exp {expected}"
+            );
+        }
+    }
+}

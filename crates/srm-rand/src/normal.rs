@@ -1,0 +1,144 @@
+//! Normal distribution (Marsaglia polar method).
+
+use crate::error::{require, DistributionError};
+use crate::{Distribution, Rng};
+
+/// Normal distribution with mean `μ` and standard deviation `σ > 0`.
+///
+/// Sampling uses the Marsaglia polar transform; the spare variate is
+/// intentionally *not* cached so that `sample` stays `&self` and each
+/// draw's RNG consumption is independent of call history (important
+/// for reproducible parallel chains).
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Distribution, Normal, SplitMix64};
+/// let n = Normal::new(10.0, 2.0).unwrap();
+/// let mut rng = SplitMix64::seed_from(4);
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `sd > 0` and both parameters are finite.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, DistributionError> {
+        require(mean.is_finite(), "mean", mean, "must be finite")?;
+        require(sd.is_finite() && sd > 0.0, "sd", sd, "must be > 0")?;
+        Ok(Self { mean, sd })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { mean: 0.0, sd: 1.0 }
+    }
+
+    /// Mean `μ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation `σ`.
+    #[must_use]
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Variance `σ²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.sd * self.sd
+    }
+
+    /// CDF via [`srm_math::norm_cdf`].
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        srm_math::norm_cdf((x - self.mean) / self.sd)
+    }
+}
+
+impl Distribution for Normal {
+    type Value = f64;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar: accept (u, v) in the unit disc, transform.
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.sd * u * factor;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn empirical_moments() {
+        let d = Normal::new(5.0, 3.0).unwrap();
+        let mut rng = SplitMix64::seed_from(13);
+        let n = 200_000;
+        let xs = d.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.03, "mean = {mean}");
+        assert!((var - 9.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn standard_normal_tail_fractions() {
+        let d = Normal::standard();
+        let mut rng = SplitMix64::seed_from(14);
+        let n = 200_000;
+        let beyond_2sd = d
+            .sample_n(&mut rng, n)
+            .into_iter()
+            .filter(|x| x.abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        // P(|Z| > 2) ≈ 0.0455.
+        assert!((beyond_2sd - 0.0455).abs() < 0.004, "frac = {beyond_2sd}");
+    }
+
+    #[test]
+    fn skewness_near_zero() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = SplitMix64::seed_from(15);
+        let n = 100_000;
+        let xs = d.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        let skew = xs.iter().map(|x| ((x - mean) / sd).powi(3)).sum::<f64>() / n as f64;
+        assert!(skew.abs() < 0.05, "skew = {skew}");
+    }
+
+    #[test]
+    fn cdf_median() {
+        let d = Normal::new(7.0, 2.5).unwrap();
+        assert!((d.cdf(7.0) - 0.5).abs() < 1e-12);
+    }
+}

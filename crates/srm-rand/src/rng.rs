@@ -1,0 +1,376 @@
+//! Pseudo-random number generator cores.
+//!
+//! Three generators are provided:
+//!
+//! * [`SplitMix64`] — tiny, fast, used for seeding and tests;
+//! * [`Xoshiro256StarStar`] — the workhorse for MCMC chains, with the
+//!   standard `jump()` (2^128 steps) so parallel chains draw from
+//!   provably non-overlapping subsequences;
+//! * [`Pcg64`] — an independent family used by the workload generator,
+//!   so synthetic-data streams can never collide with sampler streams.
+//!
+//! All are deterministic across platforms: they use only wrapping
+//! integer arithmetic.
+
+/// A source of uniformly distributed 64-bit words.
+///
+/// The provided combinators derive floats and bounded integers from the
+/// raw stream; implementors only supply [`Rng::next_u64`].
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in the half-open interval `[0, 1)` with 53-bit
+    /// resolution.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits — the weakest bits of many generators
+        // are the low ones.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1)`; never returns an
+    /// exact 0, so it is safe to take logarithms of the result.
+    fn next_open_f64(&mut self) -> f64 {
+        loop {
+            let v = self.next_f64();
+            if v > 0.0 {
+                return v;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` by Lemire's rejection method
+    /// (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a positive bound");
+        // Lemire's multiply-shift with rejection of the biased zone.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while l < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A Bernoulli trial with success probability `p` (clamped to
+    /// `[0, 1]`).
+    fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// SplitMix64 (Steele, Lea & Flood): a 64-bit state generator used to
+/// expand seeds and in throwaway contexts.
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Rng, SplitMix64};
+/// let mut a = SplitMix64::seed_from(7);
+/// let mut b = SplitMix64::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Any seed is valid.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* 1.0 (Blackman & Vigna): 256-bit state, period
+/// 2^256 − 1, with a `jump()` advancing 2^128 steps for parallel
+/// streams.
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Rng, Xoshiro256StarStar};
+/// let mut rng = Xoshiro256StarStar::seed_from(123);
+/// let mut other = rng.clone();
+/// other.jump();
+/// assert_ne!(rng.next_u64(), other.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator, expanding the seed through SplitMix64 as
+    /// the authors recommend. Any seed is valid (the expansion cannot
+    /// produce the all-zero state).
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::seed_from(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15; // unreachable, but stay safe
+        }
+        Self { s }
+    }
+
+    /// Advances the state by 2^128 steps in O(1) word operations —
+    /// equivalent to that many `next_u64` calls. Chain `i` of a
+    /// parallel run uses `i` jumps from a common seed.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_6F22_9FCD_339D,
+            0x3982_3B1F_6E80_24BD,
+        ];
+        let mut acc = [0u64; 4];
+        for &word in &JUMP {
+            for bit in 0..64 {
+                if (word >> bit) & 1 == 1 {
+                    for (a, &s) in acc.iter_mut().zip(&self.s) {
+                        *a ^= s;
+                    }
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+
+    /// Returns the `index`-th jumped stream from this generator's
+    /// current state, leaving `self` untouched.
+    #[must_use]
+    pub fn split_stream(&self, index: u64) -> Self {
+        let mut out = self.clone();
+        for _ in 0..=index {
+            out.jump();
+        }
+        out
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// PCG64 (XSL-RR 128/64, O'Neill): independent family used for data
+/// generation so workload streams never alias MCMC streams.
+///
+/// # Examples
+///
+/// ```
+/// use srm_rand::{Pcg64, Rng};
+/// let mut rng = Pcg64::seed_from(99);
+/// let x = rng.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pcg64 {
+    state: u128,
+    increment: u128,
+}
+
+const PCG_MULTIPLIER: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
+
+impl Pcg64 {
+    /// Creates a generator on the default stream.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        Self::seed_stream(seed, 0)
+    }
+
+    /// Creates a generator on a specific stream; distinct streams are
+    /// statistically independent sequences.
+    #[must_use]
+    pub fn seed_stream(seed: u64, stream: u64) -> Self {
+        let mut sm = SplitMix64::seed_from(seed ^ stream.rotate_left(32));
+        let seed128 = ((sm.next_u64() as u128) << 64) | sm.next_u64() as u128;
+        let inc = (((stream as u128) << 64) | sm.next_u64() as u128) | 1;
+        let mut rng = Self {
+            state: 0,
+            increment: inc,
+        };
+        rng.step();
+        rng.state = rng.state.wrapping_add(seed128);
+        rng.step();
+        rng
+    }
+
+    fn step(&mut self) {
+        self.state = self
+            .state
+            .wrapping_mul(PCG_MULTIPLIER)
+            .wrapping_add(self.increment);
+    }
+}
+
+impl Rng for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        self.step();
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 0 from the published splitmix64.c.
+        let mut rng = SplitMix64::seed_from(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256StarStar::seed_from(1);
+        let mut b = Xoshiro256StarStar::seed_from(1);
+        let mut c = Xoshiro256StarStar::seed_from(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn jump_streams_do_not_collide() {
+        let base = Xoshiro256StarStar::seed_from(42);
+        let mut s0 = base.split_stream(0);
+        let mut s1 = base.split_stream(1);
+        let v0: Vec<u64> = (0..64).map(|_| s0.next_u64()).collect();
+        let v1: Vec<u64> = (0..64).map(|_| s1.next_u64()).collect();
+        assert_ne!(v0, v1);
+        // No shared element in a short window (overwhelmingly likely
+        // for independent streams; deterministic given the seed).
+        for x in &v0 {
+            assert!(!v1.contains(x));
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::seed_from(7);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_open_f64_never_zero() {
+        let mut rng = SplitMix64::seed_from(3);
+        for _ in 0..10_000 {
+            assert!(rng.next_open_f64() > 0.0);
+        }
+    }
+
+    #[test]
+    fn next_below_unbiased_range() {
+        let mut rng = Xoshiro256StarStar::seed_from(11);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.next_below(7) as usize] += 1;
+        }
+        let expected = n as f64 / 7.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "bucket {i}: {c}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn next_below_zero_bound_panics() {
+        let mut rng = SplitMix64::seed_from(0);
+        let _ = rng.next_below(0);
+    }
+
+    #[test]
+    fn pcg_streams_differ() {
+        let mut a = Pcg64::seed_stream(5, 0);
+        let mut b = Pcg64::seed_stream(5, 1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn uniformity_of_mean_xoshiro() {
+        let mut rng = Xoshiro256StarStar::seed_from(1234);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        // sd of the mean is 1/sqrt(12 n) ≈ 0.00065.
+        assert!((mean - 0.5).abs() < 0.004, "mean = {mean}");
+    }
+
+    #[test]
+    fn rng_trait_object_safe_via_mut_ref() {
+        fn takes_dyn(rng: &mut dyn Rng) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = SplitMix64::seed_from(9);
+        let _ = takes_dyn(&mut rng);
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = SplitMix64::seed_from(21);
+        for _ in 0..100 {
+            assert!(!rng.next_bool(0.0));
+            assert!(rng.next_bool(1.0));
+        }
+    }
+}

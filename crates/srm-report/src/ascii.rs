@@ -1,0 +1,248 @@
+//! Simple ASCII charts (Fig. 1: daily bars + cumulative line).
+
+use std::fmt::Write as _;
+
+/// Renders a vertical-bar chart of non-negative integer series
+/// (e.g. daily bug counts), `height` rows tall.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `height == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let chart = srm_report::ascii::bar_chart(&[0, 2, 5, 1], 5);
+/// assert!(chart.contains('#'));
+/// ```
+#[must_use]
+pub fn bar_chart(values: &[u64], height: usize) -> String {
+    assert!(!values.is_empty(), "no values to chart");
+    assert!(height > 0, "height must be positive");
+    let max = *values.iter().max().expect("non-empty").max(&1);
+    let mut out = String::new();
+    for row in (1..=height).rev() {
+        let threshold = max as f64 * row as f64 / height as f64;
+        let _ = write!(out, "{:>4} |", if row == height { max.to_string() } else { String::new() });
+        for &v in values {
+            out.push(if v as f64 >= threshold { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{:>4} +", "0");
+    out.push_str(&"-".repeat(values.len()));
+    out.push('\n');
+    out
+}
+
+/// Renders a monotone line chart (e.g. cumulative bug counts) by
+/// placing one `*` per column at the scaled height.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `height == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let chart = srm_report::ascii::line_chart(&[1.0, 2.0, 4.0, 8.0], 6);
+/// assert!(chart.contains('*'));
+/// ```
+#[must_use]
+pub fn line_chart(values: &[f64], height: usize) -> String {
+    assert!(!values.is_empty(), "no values to chart");
+    assert!(height > 0, "height must be positive");
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let levels: Vec<usize> = values
+        .iter()
+        .map(|&v| (((v - lo) / span) * (height - 1) as f64).round() as usize)
+        .collect();
+    let mut out = String::new();
+    for row in (0..height).rev() {
+        let label = if row == height - 1 {
+            format!("{hi:>7.1}")
+        } else if row == 0 {
+            format!("{lo:>7.1}")
+        } else {
+            " ".repeat(7)
+        };
+        let _ = write!(out, "{label} |");
+        for &lvl in &levels {
+            out.push(if lvl == row { '*' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{} +", " ".repeat(7));
+    out.push_str(&"-".repeat(values.len()));
+    out.push('\n');
+    out
+}
+
+/// Renders an MCMC trace plot: the chain is bucketed into `width`
+/// column segments; each column shows the segment's min..max span as
+/// a vertical bar with the segment mean marked, so mixing problems
+/// (drifts, sticky modes) are visible at a glance.
+///
+/// # Panics
+///
+/// Panics if `draws` is empty or `height == 0` or `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let draws: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).sin()).collect();
+/// let plot = srm_report::ascii::trace_plot(&draws, 40, 8);
+/// assert!(plot.contains('o'));
+/// ```
+#[must_use]
+pub fn trace_plot(draws: &[f64], width: usize, height: usize) -> String {
+    assert!(!draws.is_empty(), "no draws to plot");
+    assert!(width > 0 && height > 0, "degenerate plot size");
+    let width = width.min(draws.len());
+    let lo = draws.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = draws.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let level = |v: f64| (((v - lo) / span) * (height - 1) as f64).round() as usize;
+
+    // Per-column min / mean / max.
+    let chunk = draws.len().div_ceil(width);
+    let columns: Vec<(usize, usize, usize)> = draws
+        .chunks(chunk)
+        .map(|c| {
+            let cmin = c.iter().copied().fold(f64::INFINITY, f64::min);
+            let cmax = c.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let cmean = c.iter().sum::<f64>() / c.len() as f64;
+            (level(cmin), level(cmean), level(cmax))
+        })
+        .collect();
+
+    let mut out = String::new();
+    for row in (0..height).rev() {
+        let label = if row == height - 1 {
+            format!("{hi:>9.2}")
+        } else if row == 0 {
+            format!("{lo:>9.2}")
+        } else {
+            " ".repeat(9)
+        };
+        let _ = write!(out, "{label} |");
+        for &(cmin, cmean, cmax) in &columns {
+            out.push(if row == cmean {
+                'o'
+            } else if row >= cmin && row <= cmax {
+                '|'
+            } else {
+                ' '
+            });
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{} +", " ".repeat(9));
+    out.push_str(&"-".repeat(columns.len()));
+    out.push('\n');
+    out
+}
+
+/// A sparkline: one character per value using eighth-block glyphs.
+///
+/// # Examples
+///
+/// ```
+/// let s = srm_report::ascii::sparkline(&[0.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(s.chars().count(), 4);
+/// ```
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_shape() {
+        let chart = bar_chart(&[1, 3, 0, 2], 3);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4); // 3 rows + axis
+        // The tallest bar reaches the top row.
+        assert!(lines[0].contains('#'));
+        // Zero column never gets a glyph.
+        for line in &lines[..3] {
+            assert_eq!(line.as_bytes()[6 + 2], b' ', "zero column marked in {line}");
+        }
+    }
+
+    #[test]
+    fn bar_chart_all_zeros() {
+        let chart = bar_chart(&[0, 0, 0], 3);
+        assert!(!chart.contains('#'));
+    }
+
+    #[test]
+    fn line_chart_monotone_rises() {
+        let values: Vec<f64> = (0..20).map(f64::from).collect();
+        let chart = line_chart(&values, 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Top row has the last point, bottom row the first.
+        assert!(lines[0].ends_with('*'));
+        assert!(lines[4].contains('*'));
+        assert!(chart.contains("19.0"));
+        assert!(chart.contains("0.0"));
+    }
+
+    #[test]
+    fn line_chart_constant_series() {
+        let chart = line_chart(&[5.0; 10], 4);
+        assert_eq!(chart.matches('*').count(), 10);
+    }
+
+    #[test]
+    fn trace_plot_shape() {
+        let draws: Vec<f64> = (0..1000).map(|i| (i as f64 / 40.0).sin() * 3.0).collect();
+        let plot = trace_plot(&draws, 60, 10);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(plot.contains('o'));
+        assert!(plot.contains('|'));
+        // Bounds labels present.
+        assert!(plot.contains("3.00") || plot.contains("2.9"));
+    }
+
+    #[test]
+    fn trace_plot_constant_chain() {
+        let plot = trace_plot(&[7.0; 50], 20, 5);
+        assert!(plot.matches('o').count() >= 10);
+    }
+
+    #[test]
+    fn trace_plot_fewer_draws_than_width() {
+        let plot = trace_plot(&[1.0, 2.0, 3.0], 50, 4);
+        // Width collapses to the number of draws.
+        let first_line_len = plot.lines().next().unwrap().len();
+        assert!(first_line_len <= 9 + 2 + 3);
+    }
+
+    #[test]
+    fn sparkline_extremes() {
+        let s = sparkline(&[0.0, 7.0]);
+        assert_eq!(s.chars().next().unwrap(), '▁');
+        assert_eq!(s.chars().last().unwrap(), '█');
+        assert_eq!(sparkline(&[]), "");
+    }
+}

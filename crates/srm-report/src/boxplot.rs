@@ -1,0 +1,161 @@
+//! Box-plot statistics and ASCII rendering (Figs. 2–3).
+
+use srm_mcmc::PosteriorSummary;
+
+/// The geometry of one box: five numbers plus Tukey whiskers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Label-free numeric summary.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lower whisker (most extreme draw within 1.5 IQR of q1).
+    pub whisker_lo: f64,
+    /// Upper whisker (most extreme draw within 1.5 IQR of q3).
+    pub whisker_hi: f64,
+    /// Mean (plotted as a marker in many box-plot styles).
+    pub mean: f64,
+}
+
+impl BoxStats {
+    /// Computes the box geometry from raw draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input.
+    #[must_use]
+    pub fn from_draws(draws: &[f64]) -> Self {
+        let s = PosteriorSummary::from_draws(draws);
+        let (whisker_lo, whisker_hi) = s.whiskers(draws);
+        Self {
+            q1: s.q1,
+            median: s.median,
+            q3: s.q3,
+            whisker_lo,
+            whisker_hi,
+            mean: s.mean,
+        }
+    }
+}
+
+/// Renders a group of labelled boxes on a shared horizontal axis.
+///
+/// Each line shows `|---[  |  ]---|` glyphs: whiskers, box and
+/// median, scaled into `width` characters over the global range.
+///
+/// # Panics
+///
+/// Panics if `boxes` is empty or `width < 20`.
+///
+/// # Examples
+///
+/// ```
+/// use srm_report::boxplot::{render_boxes, BoxStats};
+/// let a = BoxStats::from_draws(&[1.0, 2.0, 3.0, 4.0, 10.0]);
+/// let b = BoxStats::from_draws(&[5.0, 6.0, 7.0, 8.0, 9.0]);
+/// let text = render_boxes(&[("a", a), ("b", b)], 60);
+/// assert!(text.contains('['));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[must_use]
+pub fn render_boxes(boxes: &[(&str, BoxStats)], width: usize) -> String {
+    assert!(!boxes.is_empty(), "no boxes to render");
+    assert!(width >= 20, "width too small");
+
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, b) in boxes {
+        lo = lo.min(b.whisker_lo);
+        hi = hi.max(b.whisker_hi);
+    }
+    if hi <= lo {
+        hi = lo + 1.0;
+    }
+    let span = hi - lo;
+    let label_width = boxes.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
+    let scale = |v: f64| -> usize {
+        (((v - lo) / span) * (width - 1) as f64).round() as usize
+    };
+
+    let mut out = String::new();
+    for (label, b) in boxes {
+        let mut line = vec![b' '; width];
+        let wl = scale(b.whisker_lo);
+        let wh = scale(b.whisker_hi);
+        let q1 = scale(b.q1);
+        let q3 = scale(b.q3);
+        let med = scale(b.median);
+        for cell in line.iter_mut().take(wh.max(wl) + 1).skip(wl) {
+            *cell = b'-';
+        }
+        line[wl] = b'|';
+        line[wh] = b'|';
+        for cell in line.iter_mut().take(q3.max(q1) + 1).skip(q1.min(q3)) {
+            *cell = b'=';
+        }
+        line[q1] = b'[';
+        line[q3.max(q1)] = b']';
+        line[med] = b'*';
+        out.push_str(&format!(
+            "{label:label_width$} {}\n",
+            String::from_utf8(line).expect("ascii")
+        ));
+    }
+    out.push_str(&format!(
+        "{:label_width$} {:<.3} .. {:<.3}\n",
+        "range", lo, hi
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_order() {
+        let draws: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let b = BoxStats::from_draws(&draws);
+        assert!(b.whisker_lo <= b.q1);
+        assert!(b.q1 <= b.median);
+        assert!(b.median <= b.q3);
+        assert!(b.q3 <= b.whisker_hi);
+        assert_eq!(b.median, 50.0);
+    }
+
+    #[test]
+    fn outliers_do_not_stretch_whiskers() {
+        let mut draws: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        draws.push(1_000.0);
+        let b = BoxStats::from_draws(&draws);
+        assert!(b.whisker_hi < 30.0, "whisker_hi = {}", b.whisker_hi);
+    }
+
+    #[test]
+    fn render_is_aligned_and_bounded() {
+        let a = BoxStats::from_draws(&(0..50).map(f64::from).collect::<Vec<_>>());
+        let b = BoxStats::from_draws(&(25..100).map(f64::from).collect::<Vec<_>>());
+        let text = render_boxes(&[("model0", a), ("model1", b)], 72);
+        for line in text.lines() {
+            assert!(line.len() <= 72 + 8, "line too long: {line}");
+        }
+        assert!(text.contains("model0"));
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn degenerate_single_value_box() {
+        // All glyphs collapse onto one cell; the median marker wins.
+        let b = BoxStats::from_draws(&[5.0; 20]);
+        let text = render_boxes(&[("flat", b)], 40);
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "no boxes")]
+    fn empty_group_panics() {
+        let _ = render_boxes(&[], 40);
+    }
+}

@@ -1,0 +1,32 @@
+//! Reporting: paper-style tables, box-plot statistics and ASCII
+//! charts for the figures.
+//!
+//! * [`tables`] — fixed-width table rendering matching the layout of
+//!   the paper's Tables I–V (model columns, `NNdays` row labels,
+//!   parenthesised deviations);
+//! * [`boxplot`] — the five-number + whiskers geometry behind
+//!   Figs. 2–3, with an ASCII renderer;
+//! * [`ascii`] — simple line/bar charts for Fig. 1 (daily and
+//!   cumulative bug counts).
+//!
+//! # Examples
+//!
+//! ```
+//! use srm_report::tables::Table;
+//!
+//! let mut t = Table::new("demo", &["model0", "model1"]);
+//! t.row("48days", &[171.812, 168.560]);
+//! let text = t.render();
+//! assert!(text.contains("48days"));
+//! assert!(text.contains("171.812"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod boxplot;
+pub mod tables;
+
+pub use boxplot::BoxStats;
+pub use tables::Table;

@@ -1,0 +1,27 @@
+//! Regenerates every table and figure in one run (the experiment is
+//! executed once and shared).
+fn main() {
+    print!("{}", srm_repro::render_fig1());
+    println!();
+    let results = srm_repro::run_paper_experiment();
+    for prior in ["poisson", "negbinom"] {
+        println!("{}", srm_repro::render_table1(&results, prior).render());
+    }
+    for stat in [
+        srm_repro::Statistic::Mean,
+        srm_repro::Statistic::Median,
+        srm_repro::Statistic::Mode,
+        srm_repro::Statistic::Sd,
+    ] {
+        for prior in ["poisson", "negbinom"] {
+            println!(
+                "{}",
+                srm_repro::render_stat_table(&results, prior, stat).render()
+            );
+        }
+    }
+    for prior in ["poisson", "negbinom"] {
+        println!("{}", srm_repro::render_boxplot_figure(&results, prior));
+    }
+    print!("{}", srm_repro::render_convergence_summary(&results));
+}

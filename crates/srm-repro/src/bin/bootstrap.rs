@@ -1,0 +1,69 @@
+//! Robustness extension: is the WAIC ranking (model1 wins) stable
+//! under moving-block bootstrap resampling of the dataset?
+
+use srm_data::bootstrap::BlockBootstrap;
+use srm_data::datasets;
+use srm_mcmc::gibbs::{GibbsSampler, PriorSpec};
+use srm_mcmc::runner::McmcConfig;
+use srm_model::{DetectionModel, ZetaBounds};
+use srm_report::Table;
+use srm_select::waic::waic_for;
+
+fn main() {
+    let data = datasets::musa_cc96();
+    // Long blocks (a quarter of the horizon): the quantity under test
+    // is the *ranking given the growth trend*, so the resampling must
+    // preserve trend segments. Cube-root blocks would scramble the
+    // arrangement into near-exchangeability and test a different null.
+    let boot = BlockBootstrap::new(data.len() / 4);
+    let replicates = if srm_repro::fast_mode() { 8 } else { 20 };
+    let mcmc = McmcConfig {
+        chains: 2,
+        burn_in: 400,
+        samples: 1_000,
+        thin: 1,
+        seed: srm_repro::seed(),
+    };
+
+    let mut wins = vec![0usize; DetectionModel::ALL.len()];
+    let mut mean_waic = vec![0.0f64; DetectionModel::ALL.len()];
+    for rep in 0..replicates {
+        let sample = boot.resample(&data, srm_repro::seed() + 1 + rep as u64);
+        let mut best = (usize::MAX, f64::INFINITY);
+        for (idx, model) in DetectionModel::ALL.iter().enumerate() {
+            let sampler = GibbsSampler::new(
+                PriorSpec::Poisson { lambda_max: 2_000.0 },
+                *model,
+                ZetaBounds::default(),
+                &sample,
+            );
+            let waic = waic_for(
+                &sampler,
+                &McmcConfig {
+                    seed: mcmc.seed + rep as u64 * 101,
+                    ..mcmc
+                },
+            )
+            .total();
+            mean_waic[idx] += waic / replicates as f64;
+            if waic < best.1 {
+                best = (idx, waic);
+            }
+        }
+        wins[best.0] += 1;
+    }
+
+    let mut table = Table::new(
+        &format!(
+            "Bootstrap stability of the WAIC ranking ({replicates} replicates, block = {})",
+            boot.block_len()
+        ),
+        &["mean WAIC", "wins"],
+    );
+    for (idx, model) in DetectionModel::ALL.iter().enumerate() {
+        table.row(model.name(), &[mean_waic[idx], wins[idx] as f64]);
+    }
+    println!("{}", table.render());
+    println!("Expectation: model1 wins the plurality of replicates and model3 none —");
+    println!("the paper's ranking follows the growth shape, which long blocks preserve.");
+}

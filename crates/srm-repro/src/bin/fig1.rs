@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1: the bug-count dataset.
+fn main() {
+    print!("{}", srm_repro::render_fig1());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 2: box plots of the residual-bug posterior under
+//! the Poisson prior.
+fn main() {
+    let results = srm_repro::run_paper_experiment();
+    print!("{}", srm_repro::render_boxplot_figure(&results, "poisson"));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table I: WAIC comparison, both priors, 5 models,
+//! 9 observation points.
+fn main() {
+    let results = srm_repro::run_paper_experiment();
+    for prior in ["poisson", "negbinom"] {
+        println!("{}", srm_repro::render_table1(&results, prior).render());
+    }
+    print!("{}", srm_repro::render_convergence_summary(&results));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table V: posterior sds of the residual bug
+//! count, both priors.
+fn main() {
+    let results = srm_repro::run_paper_experiment();
+    for prior in ["poisson", "negbinom"] {
+        println!(
+            "{}",
+            srm_repro::render_stat_table(&results, prior, srm_repro::Statistic::Sd).render()
+        );
+    }
+}

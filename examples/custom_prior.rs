@@ -1,0 +1,94 @@
+//! Custom priors via the unified Markov-filter view: the exact
+//! residual posterior for *any* prior p.m.f. on the initial bug
+//! content — the generalisation (Li, Dohi & Okamura 2023) that
+//! subsumes both of the paper's priors.
+//!
+//! ```text
+//! cargo run --release --example custom_prior
+//! ```
+
+use srm::model::markov::{forward_filter, truncated_prior_pmf};
+use srm::model::{nb_posterior, poisson_posterior, BugPrior, DetectionModel};
+use srm::prelude::*;
+use srm::report::Table;
+
+fn main() {
+    let data = datasets::musa_cc96().truncated(48).expect("valid day");
+    // A gentle constant schedule (≈1.2 %/day ⇒ 42 expected detections
+    // from ~150 bugs in 48 days) keeps the posterior informative
+    // rather than collapsed.
+    let zeta = [0.012];
+    let probs = DetectionModel::Constant
+        .probs(&zeta, data.len())
+        .expect("valid parameters");
+
+    let mut table = Table::new(
+        "Exact residual posteriors at 48 days (fixed detection parameters)",
+        &["mean", "sd", "median", "log-marginal"],
+    );
+
+    // 1. Poisson prior — filter must equal Proposition 1.
+    let prior = BugPrior::poisson(200.0).expect("valid");
+    let pmf = truncated_prior_pmf(&prior, 2_000);
+    let filtered = forward_filter(&pmf, &probs, &data).expect("filter runs");
+    let analytic = poisson_posterior(200.0, &probs, &data);
+    table.row(
+        "poisson(200) filter",
+        &[
+            filtered.mean(),
+            filtered.variance().sqrt(),
+            filtered.quantile(0.5) as f64,
+            filtered.log_marginal,
+        ],
+    );
+    table.row(
+        "poisson(200) Prop.1",
+        &[analytic.mean(), analytic.sd(), analytic.median() as f64, f64::NAN],
+    );
+
+    // 2. NB prior — filter must equal the corrected Proposition 2.
+    let prior = BugPrior::neg_binomial(4.0, 0.02).expect("valid");
+    let pmf = truncated_prior_pmf(&prior, 4_000);
+    let filtered = forward_filter(&pmf, &probs, &data).expect("filter runs");
+    let analytic = nb_posterior(4.0, 0.02, &probs, &data);
+    table.row(
+        "nb(4,0.02) filter",
+        &[
+            filtered.mean(),
+            filtered.variance().sqrt(),
+            filtered.quantile(0.5) as f64,
+            filtered.log_marginal,
+        ],
+    );
+    table.row(
+        "nb(4,0.02) Prop.2",
+        &[analytic.mean(), analytic.sd(), analytic.median() as f64, f64::NAN],
+    );
+
+    // 3. Something neither Proposition covers: an expert's two-point
+    // prior — "either the usual ~150 bugs, or (if the new subsystem
+    // is broken) ~600".
+    let mut expert = vec![0.0; 1_001];
+    for n in 120..=180 {
+        expert[n] = 0.7 / 61.0;
+    }
+    for n in 550..=650 {
+        expert[n] = 0.3 / 101.0;
+    }
+    let filtered = forward_filter(&expert, &probs, &data).expect("filter runs");
+    table.row(
+        "expert two-regime",
+        &[
+            filtered.mean(),
+            filtered.variance().sqrt(),
+            filtered.quantile(0.5) as f64,
+            filtered.log_marginal,
+        ],
+    );
+
+    println!("{}", table.render());
+    println!("The filter rows reproduce the analytic Propositions exactly, and the");
+    println!("expert-prior row shows the machinery handles priors the closed forms");
+    println!("cannot — after 42 detected bugs the data already discount the");
+    println!("600-bug regime.");
+}

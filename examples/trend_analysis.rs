@@ -1,0 +1,42 @@
+//! Trend analysis: run the Laplace trend test on every embedded
+//! dataset and show the running-trend chart for the primary one —
+//! the pre-modelling step that motivates heterogeneous detection
+//! probabilities (models 1–4) over the homogeneous model 0.
+//!
+//! ```text
+//! cargo run --release --example trend_analysis
+//! ```
+
+use srm::data::analysis::{laplace_trend, running_laplace_trend, summarize, TrendVerdict};
+use srm::data::datasets;
+use srm::report::ascii::line_chart;
+
+fn main() {
+    println!("Laplace trend test across datasets (u < -1.96: growth, u > 1.96: decay)\n");
+    for (name, data) in datasets::all_named() {
+        let s = summarize(&data);
+        match laplace_trend(&data) {
+            Some(t) => {
+                let verdict = match t.verdict() {
+                    TrendVerdict::Growth => "reliability GROWTH",
+                    TrendVerdict::Stable => "stable",
+                    TrendVerdict::Decay => "reliability DECAY",
+                };
+                println!(
+                    "{name:20} days={:3} bugs={:3} dispersion={:4.2}  u={:7.2}  p={:6.4}  {verdict}",
+                    s.days, s.total, s.dispersion, t.statistic, t.p_value
+                );
+            }
+            None => println!("{name:20} (too little data for the trend test)"),
+        }
+    }
+
+    println!("\nRunning Laplace statistic on the primary dataset (one point per prefix):");
+    let running = running_laplace_trend(&datasets::musa_cc96());
+    print!("{}", line_chart(&running, 12));
+    println!(
+        "\nThe statistic climbs while detection activity intensifies mid-campaign and"
+    );
+    println!("only turns after the quiet tail — a clearly non-homogeneous environment,");
+    println!("which is why the time-aware models (model1/model2) dominate the WAIC table.");
+}

@@ -1,0 +1,55 @@
+//! Virtual testing: track the posterior of the residual bug count as
+//! zero-count days accumulate after release (the mechanism behind the
+//! collapse visible in the paper's Figs. 2–3).
+//!
+//! ```text
+//! cargo run --release --example virtual_testing
+//! ```
+
+use srm::prelude::*;
+use srm::report::Table;
+
+fn main() {
+    let data = datasets::musa_cc96();
+    let plan = ObservationPlan::paper_default(&data);
+    let mcmc = McmcConfig {
+        chains: 2,
+        burn_in: 500,
+        samples: 1_500,
+        thin: 1,
+        seed: 11,
+    };
+
+    let mut table = Table::new(
+        "Posterior residual bugs by observation point — model1",
+        &["poisson mean", "poisson sd", "negbinom mean", "negbinom sd", "true"],
+    );
+
+    for point in plan.points() {
+        let window = point.window(&data).expect("valid plan");
+        let mut row = Vec::new();
+        for prior in [
+            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::NegBinomial { alpha_max: 100.0 },
+        ] {
+            let fit = srm::core::Fit::run(
+                prior,
+                DetectionModel::PadgettSpurrier,
+                &window,
+                &srm::core::FitConfig {
+                    mcmc,
+                    ..srm::core::FitConfig::default()
+                },
+            );
+            row.push(fit.residual.mean);
+            row.push(fit.residual.sd);
+        }
+        row.push(point.true_residual(&data) as f64);
+        table.row(&point.to_string(), &row);
+    }
+
+    println!("{}", table.render());
+    println!("After the 96th day only zero counts are (virtually) observed, so the");
+    println!("posterior mass of the residual count collapses toward zero — faster and");
+    println!("with less spread under the Poisson prior (the paper's headline result).");
+}

@@ -1,0 +1,59 @@
+//! WAIC with its standard error: is the model ranking statistically
+//! meaningful? A WAIC gap smaller than ~2 SE of the difference is
+//! noise — this is the calibration the paper's Table I implicitly
+//! relies on when calling model1 the winner.
+//!
+//! ```text
+//! cargo run --release --example waic_uncertainty
+//! ```
+
+use srm::prelude::*;
+use srm::report::Table;
+
+fn main() {
+    let data = datasets::musa_cc96().truncated(48).expect("valid day");
+    let mcmc = McmcConfig {
+        chains: 2,
+        burn_in: 500,
+        samples: 2_000,
+        thin: 1,
+        seed: 29,
+    };
+
+    let mut table = Table::new(
+        "WAIC ± SE at 48 days — Poisson prior",
+        &["WAIC", "SE", "gap to best", "distinguishable"],
+    );
+    let mut rows = Vec::new();
+    for model in DetectionModel::ALL {
+        let sampler = GibbsSampler::new(
+            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            model,
+            ZetaBounds::default(),
+            &data,
+        );
+        let waic = waic_for(&sampler, &mcmc);
+        rows.push((model, waic));
+    }
+    let best = rows
+        .iter()
+        .map(|(_, w)| w.total())
+        .fold(f64::INFINITY, f64::min);
+    for (model, waic) in &rows {
+        let gap = waic.total() - best;
+        table.row(
+            model.name(),
+            &[
+                waic.total(),
+                waic.se(),
+                gap,
+                if gap > 2.0 * waic.se() { 1.0 } else { 0.0 },
+            ],
+        );
+    }
+    println!("{}", table.render());
+    println!("'distinguishable' = the gap to the best model exceeds 2 SE. Expect");
+    println!("model3 to be clearly distinguishable (bad), while model0/2/4 sit");
+    println!("within noise of each other — the paper's ranking of the middle pack");
+    println!("is not statistically sharp, but model1-vs-model3 is.");
+}
