@@ -2,7 +2,9 @@
 //! of **ablation-a** (DESIGN.md): effective sample size per sweep for
 //! the collapsed versus naive Gibbs sweeps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench setup
+
+use srm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srm_data::datasets;
 use srm_mcmc::diagnostics::{effective_sample_size, geweke_z, psrf};
 use srm_mcmc::gibbs::{GibbsSampler, PriorSpec, SweepKind};

@@ -5,7 +5,9 @@
 //! magnitude in effective samples; the per-sweep cost comparison
 //! lives here, the mixing comparison in `diagnostics`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench setup
+
+use srm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srm_data::datasets;
 use srm_mcmc::gibbs::{GibbsSampler, PriorSpec, SweepKind, ZetaKernel};
 use srm_model::{DetectionModel, ZetaBounds};

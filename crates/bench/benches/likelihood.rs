@@ -1,7 +1,9 @@
 //! Benchmarks of the grouped-data likelihood (Eq. (2)) — the hot path
 //! of every Gibbs sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench setup
+
+use srm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srm_data::datasets;
 use srm_model::{DetectionModel, GroupedLikelihood};
 use std::hint::black_box;

@@ -3,7 +3,9 @@
 //! (Props. 1–2, closed form) versus summaries estimated from sampled
 //! draws — the trade the full hierarchical model forces us to make.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench setup
+
+use srm_bench::{criterion_group, criterion_main, Criterion};
 use srm_data::datasets;
 use srm_mcmc::PosteriorSummary;
 use srm_model::{nb_posterior, poisson_posterior, DetectionModel};

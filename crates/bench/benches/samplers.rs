@@ -2,7 +2,9 @@
 //! switches (Poisson inversion↔PTRS, Binomial inversion↔split,
 //! truncated-gamma rejection↔inverse-CDF).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench setup
+
+use srm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srm_rand::{
     Beta, Binomial, Distribution, Gamma, NegativeBinomial, Poisson, SplitMix64,
     TruncatedGamma, Xoshiro256StarStar,

@@ -1,7 +1,9 @@
 //! Benchmarks of WAIC accumulation (Eqs. (23)–(25)): the per-draw
 //! streaming update and the finalisation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench setup
+
+use srm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srm_data::datasets;
 use srm_model::DetectionModel;
 use srm_select::waic::WaicAccumulator;

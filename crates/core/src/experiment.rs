@@ -3,8 +3,10 @@
 use crate::fit::{Fit, FitConfig};
 use srm_data::{BugCountData, ObservationPlan, ObservationPoint};
 use srm_mcmc::gibbs::PriorSpec;
-use srm_mcmc::runner::McmcConfig;
+use srm_mcmc::runner::{McmcConfig, RunOptions};
+use srm_mcmc::{ChainReport, SrmError};
 use srm_model::{DetectionModel, ZetaBounds};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Identifies one cell of the experiment design.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,12 +77,34 @@ pub struct ExperimentCell {
     pub true_residual: u64,
     /// The Bayesian fit.
     pub fit: Fit,
+    /// Per-chain recovery reports from the fault-tolerant runner
+    /// (empty reports never occur: one entry per configured chain).
+    pub chain_reports: Vec<ChainReport>,
+}
+
+impl ExperimentCell {
+    /// Whether this cell lost at least one chain.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.chain_reports.iter().any(|r| !r.recovered)
+    }
+}
+
+/// A design cell that produced no fit at all: every chain was lost,
+/// the configuration was rejected, or the fit assembly panicked.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Which design cell failed.
+    pub key: FitKey,
+    /// The typed fault that took the cell down.
+    pub error: SrmError,
 }
 
 /// All fits of an experiment, in (prior, model, observation) order.
 #[derive(Debug, Clone)]
 pub struct ExperimentResults {
     cells: Vec<ExperimentCell>,
+    failures: Vec<CellFailure>,
 }
 
 impl ExperimentResults {
@@ -88,6 +112,48 @@ impl ExperimentResults {
     #[must_use]
     pub fn cells(&self) -> &[ExperimentCell] {
         &self.cells
+    }
+
+    /// Design cells that produced no fit, in design order.
+    #[must_use]
+    pub fn failures(&self) -> &[CellFailure] {
+        &self.failures
+    }
+
+    /// Whether any cell failed outright or lost a chain.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty() || self.cells.iter().any(ExperimentCell::is_degraded)
+    }
+
+    /// Aggregated fault counters across every cell, keyed by the
+    /// kebab-case fault kind (see [`SrmError::kind`]). Counts both
+    /// faults that retries recovered from and faults that lost a
+    /// chain or a whole cell.
+    #[must_use]
+    pub fn fault_counters(&self) -> Vec<(String, usize)> {
+        let mut counts = std::collections::BTreeMap::<String, usize>::new();
+        for cell in &self.cells {
+            for report in &cell.chain_reports {
+                if let Some(fault) = &report.fault {
+                    *counts.entry(fault.kind().to_owned()).or_insert(0) += 1;
+                }
+            }
+        }
+        for failure in &self.failures {
+            *counts.entry(failure.error.kind().to_owned()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Total sweep retries across all cells and chains.
+    #[must_use]
+    pub fn total_retries(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.chain_reports)
+            .map(|r| r.retries)
+            .sum()
     }
 
     /// Looks up one cell by prior label, model, and observation day.
@@ -165,20 +231,56 @@ impl Experiment {
         &self.plan
     }
 
-    /// Runs every design cell. Cells are independent; they run on
-    /// parallel threads (each fit already seeds its chains from the
-    /// experiment seed plus a per-cell offset, so results do not
-    /// depend on scheduling).
+    /// Runs every design cell, panicking on the first failure (the
+    /// strict historical behaviour). Delegates to [`Experiment::try_run`]
+    /// with no retries and no fault injection, which is bit-identical
+    /// to the original direct path on fault-free runs.
     ///
     /// # Panics
     ///
-    /// Panics if the observation plan is invalid for the data (day 0).
+    /// Panics if the observation plan is invalid for the data (day 0)
+    /// or any cell fails.
     #[must_use]
     pub fn run(&self) -> ExperimentResults {
+        let results = match self.try_run(&RunOptions::none()) {
+            Ok(results) => results,
+            Err(e) => panic!("experiment configuration rejected: {e}"),
+        };
+        if let Some(failure) = results.failures.first() {
+            panic!(
+                "cell ({}, {:?}, day {}) failed: {}",
+                failure.key.prior.label(),
+                failure.key.model,
+                failure.key.observation.day(),
+                failure.error
+            );
+        }
+        results
+    }
+
+    /// Runs every design cell under the fault-tolerant pipeline.
+    /// Cells are independent; they run on parallel threads (each fit
+    /// already seeds its chains from the experiment seed plus a
+    /// per-cell offset, so results do not depend on scheduling). A
+    /// cell whose every chain is lost — or that panics outside the
+    /// chain loop — becomes a [`CellFailure`] instead of aborting the
+    /// sweep, so the experiment degrades to partial output.
+    ///
+    /// Note: `options.fault_plan` addresses chains *within each
+    /// fit*, so a plan built for `config.mcmc.chains` chains applies
+    /// to every cell identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SrmError::InvalidConfig`] when the observation plan
+    /// is invalid for the data (day 0).
+    pub fn try_run(&self, options: &RunOptions) -> Result<ExperimentResults, SrmError> {
         let windows = self
             .plan
             .windows(&self.data)
-            .expect("observation plan valid for data");
+            .map_err(|e| SrmError::InvalidConfig {
+                detail: format!("observation plan invalid for data: {e:?}"),
+            })?;
 
         // Materialise the work list first so each cell has a stable
         // seed offset.
@@ -208,17 +310,18 @@ impl Experiment {
             }
         }
 
-        let mut cells: Vec<Option<ExperimentCell>> = (0..jobs.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<ExperimentCell, CellFailure>>> =
+            (0..jobs.len()).map(|_| None).collect();
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4);
         let jobs_ref = &jobs;
         let config = &self.config;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             // Chunk the slots across a bounded worker pool.
-            let chunk = cells.len().div_ceil(threads).max(1);
-            for (chunk_idx, slot_chunk) in cells.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
+            let chunk = slots.len().div_ceil(threads).max(1);
+            for (chunk_idx, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
                     for (i, slot) in slot_chunk.iter_mut().enumerate() {
                         let job = &jobs_ref[chunk_idx * chunk + i];
                         let fit_config = FitConfig {
@@ -228,22 +331,55 @@ impl Experiment {
                             },
                             zeta_bounds: config.zeta_bounds,
                         };
-                        let fit =
-                            Fit::run(job.key.prior, job.key.model, &job.window, &fit_config);
-                        *slot = Some(ExperimentCell {
-                            key: job.key,
-                            true_residual: job.true_residual,
-                            fit,
+                        // The chain loop is already panic-contained;
+                        // this guard catches panics from summary /
+                        // diagnostics assembly so one bad cell cannot
+                        // take down the sweep.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            Fit::try_run(
+                                job.key.prior,
+                                job.key.model,
+                                &job.window,
+                                &fit_config,
+                                options,
+                            )
+                        }));
+                        *slot = Some(match outcome {
+                            Ok(Ok(tolerant)) => Ok(ExperimentCell {
+                                key: job.key,
+                                true_residual: job.true_residual,
+                                fit: tolerant.fit,
+                                chain_reports: tolerant.chain_reports,
+                            }),
+                            Ok(Err(error)) => Err(CellFailure {
+                                key: job.key,
+                                error,
+                            }),
+                            Err(payload) => Err(CellFailure {
+                                key: job.key,
+                                error: SrmError::DegeneratePosterior {
+                                    detail: format!(
+                                        "fit assembly panicked: {}",
+                                        srm_mcmc::fault::panic_message(payload.as_ref())
+                                    ),
+                                    sweep: 0,
+                                },
+                            }),
                         });
                     }
                 });
             }
-        })
-        .expect("experiment worker panicked");
+        });
 
-        ExperimentResults {
-            cells: cells.into_iter().map(|c| c.expect("cell ran")).collect(),
+        let mut cells = Vec::new();
+        let mut failures = Vec::new();
+        for slot in slots.into_iter().flatten() {
+            match slot {
+                Ok(cell) => cells.push(cell),
+                Err(failure) => failures.push(failure),
+            }
         }
+        Ok(ExperimentResults { cells, failures })
     }
 }
 
@@ -303,6 +439,77 @@ mod tests {
         let b = tiny_experiment(63).run();
         for (ca, cb) in a.cells().iter().zip(b.cells()) {
             assert_eq!(ca.fit.residual, cb.fit.residual);
+        }
+    }
+
+    #[test]
+    fn injected_panic_degrades_not_aborts() {
+        let mut config = ExperimentConfig::smoke(65);
+        config.models = vec![DetectionModel::Constant];
+        config.mcmc = McmcConfig {
+            chains: 2,
+            burn_in: 100,
+            samples: 200,
+            thin: 1,
+            seed: 65,
+        };
+        let exp = Experiment::new(datasets::musa_cc96(), config)
+            .with_plan(ObservationPlan::from_days(&[48]));
+        let options = RunOptions {
+            retry: srm_mcmc::RetryPolicy::none(),
+            fault_plan: srm_mcmc::FaultPlan::new(vec![srm_mcmc::FaultPoint {
+                chain: 1,
+                sweep: 3,
+                kind: srm_mcmc::FaultKind::Panic,
+            }]),
+        };
+        let results = exp.try_run(&options).unwrap();
+        // 2 priors × 1 model × 1 day, each losing chain 1 of 2.
+        assert!(results.failures().is_empty());
+        assert_eq!(results.cells().len(), 2);
+        assert!(results.is_degraded());
+        assert!(results.cells().iter().all(ExperimentCell::is_degraded));
+        assert_eq!(
+            results.fault_counters(),
+            vec![("chain-panicked".to_owned(), 2)]
+        );
+    }
+
+    #[test]
+    fn all_chains_lost_becomes_cell_failure() {
+        let exp = tiny_experiment(66); // single-chain fits
+        let options = RunOptions {
+            retry: srm_mcmc::RetryPolicy::none(),
+            fault_plan: srm_mcmc::FaultPlan::new(vec![srm_mcmc::FaultPoint {
+                chain: 0,
+                sweep: 2,
+                kind: srm_mcmc::FaultKind::Panic,
+            }]),
+        };
+        let results = exp.try_run(&options).unwrap();
+        // The only chain of every cell panics: no cells, all failures,
+        // but the sweep itself completes.
+        assert!(results.cells().is_empty());
+        assert_eq!(results.failures().len(), 6);
+        assert!(results.is_degraded());
+        for failure in results.failures() {
+            assert_eq!(failure.error.kind(), "chain-panicked");
+        }
+    }
+
+    #[test]
+    fn fault_free_try_run_matches_run() {
+        let exp = tiny_experiment(67);
+        let strict = exp.run();
+        let tolerant = exp.try_run(&RunOptions::default()).unwrap();
+        assert!(!tolerant.is_degraded());
+        assert_eq!(tolerant.total_retries(), 0);
+        for (a, b) in strict.cells().iter().zip(tolerant.cells()) {
+            assert_eq!(a.fit.residual, b.fit.residual);
+            assert_eq!(
+                a.fit.waic.total().to_bits(),
+                b.fit.waic.total().to_bits()
+            );
         }
     }
 

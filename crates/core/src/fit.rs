@@ -3,13 +3,13 @@
 use srm_data::BugCountData;
 use srm_mcmc::diagnostics::{report, DiagnosticsReport};
 use srm_mcmc::gibbs::{GibbsSampler, PriorSpec};
-use srm_mcmc::runner::{McmcConfig, McmcOutput};
-use srm_mcmc::PosteriorSummary;
+use srm_mcmc::runner::{run_chains_fault_tolerant, McmcConfig, McmcOutput, RunOptions};
+use srm_mcmc::{ChainReport, PosteriorSummary, SrmError};
 use srm_model::{DetectionModel, ZetaBounds};
-use srm_select::waic::{waic_and_chains, Waic};
+use srm_select::waic::{waic_and_chains, waic_from_output, Waic};
 
 /// Configuration of a single fit.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FitConfig {
     /// MCMC run lengths and seed.
     pub mcmc: McmcConfig,
@@ -17,12 +17,30 @@ pub struct FitConfig {
     pub zeta_bounds: ZetaBounds,
 }
 
-impl Default for FitConfig {
-    fn default() -> Self {
-        Self {
-            mcmc: McmcConfig::default(),
-            zeta_bounds: ZetaBounds::default(),
-        }
+
+
+/// A fit produced by the fault-tolerant pipeline: the fit itself plus
+/// the per-chain recovery reports, so callers can tell a pristine run
+/// from a degraded one.
+#[derive(Debug, Clone)]
+pub struct FaultTolerantFit {
+    /// The assembled fit (over surviving chains only).
+    pub fit: Fit,
+    /// One report per configured chain, in chain order.
+    pub chain_reports: Vec<ChainReport>,
+}
+
+impl FaultTolerantFit {
+    /// Whether at least one chain was lost.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.chain_reports.iter().any(|r| !r.recovered)
+    }
+
+    /// Total retries across all chains (recovered or not).
+    #[must_use]
+    pub fn total_retries(&self) -> usize {
+        self.chain_reports.iter().map(|r| r.retries).sum()
     }
 }
 
@@ -64,8 +82,12 @@ impl Fit {
         let mut diagnostics = Vec::new();
         if config.mcmc.chains >= 2 {
             for name in output.names().to_vec() {
-                let per_chain = output.per_chain(&name);
-                diagnostics.push((name.clone(), report(&per_chain)));
+                // Every chain of a run shares one parameter set, so a
+                // missing name cannot occur here; skip rather than
+                // abort if it ever does.
+                if let Ok(per_chain) = output.per_chain(&name) {
+                    diagnostics.push((name.clone(), report(&per_chain)));
+                }
             }
         }
 
@@ -78,6 +100,60 @@ impl Fit {
             diagnostics,
             output,
         }
+    }
+
+    /// Runs the sampler under the fault-tolerant runner and assembles
+    /// a fit from whatever chains survive.
+    ///
+    /// WAIC is replayed from the surviving chains' stored draws
+    /// ([`waic_from_output`]); on fault-free runs the result is
+    /// bit-identical to [`Fit::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first chain's fault when every chain is lost, and
+    /// propagates configuration and replay errors as [`SrmError`].
+    pub fn try_run(
+        prior: PriorSpec,
+        model: DetectionModel,
+        data: &BugCountData,
+        config: &FitConfig,
+        options: &RunOptions,
+    ) -> Result<FaultTolerantFit, SrmError> {
+        let sampler = GibbsSampler::new(prior, model, config.zeta_bounds, data);
+        let run = run_chains_fault_tolerant(&sampler, &config.mcmc, options)?;
+        let waic = waic_from_output(&sampler, &run.output)?;
+
+        let residual_draws = run.output.pooled("residual");
+        if residual_draws.is_empty() {
+            return Err(SrmError::DegeneratePosterior {
+                detail: "surviving chains hold no residual draws".into(),
+                sweep: 0,
+            });
+        }
+        let residual = PosteriorSummary::from_draws(&residual_draws);
+
+        let mut diagnostics = Vec::new();
+        if run.output.chains.len() >= 2 {
+            for name in run.output.names().to_vec() {
+                if let Ok(per_chain) = run.output.per_chain(&name) {
+                    diagnostics.push((name.clone(), report(&per_chain)));
+                }
+            }
+        }
+
+        Ok(FaultTolerantFit {
+            fit: Self {
+                prior,
+                model,
+                residual,
+                residual_draws,
+                waic,
+                diagnostics,
+                output: run.output,
+            },
+            chain_reports: run.reports,
+        })
     }
 
     /// Whether every monitored parameter passed PSRF < 1.1 and
@@ -100,6 +176,7 @@ impl Fit {
 mod tests {
     use super::*;
     use srm_data::datasets;
+    use srm_mcmc::{FaultKind, FaultPlan, FaultPoint, RetryPolicy};
 
     fn smoke_fit(prior: PriorSpec, model: DetectionModel, seed: u64) -> Fit {
         let data = datasets::musa_cc96().truncated(48).unwrap();
@@ -159,6 +236,74 @@ mod tests {
         );
         assert!(fit.diagnostics.is_empty());
         assert!(fit.converged()); // vacuous
+    }
+
+    #[test]
+    fn try_run_matches_run_when_fault_free() {
+        let data = datasets::musa_cc96().truncated(48).unwrap();
+        let config = FitConfig {
+            mcmc: McmcConfig::smoke(61),
+            ..FitConfig::default()
+        };
+        let prior = PriorSpec::Poisson { lambda_max: 2_000.0 };
+        let model = DetectionModel::Constant;
+        let strict = Fit::run(prior, model, &data, &config);
+        let tolerant =
+            Fit::try_run(prior, model, &data, &config, &RunOptions::default()).unwrap();
+        assert!(!tolerant.is_degraded());
+        assert_eq!(tolerant.total_retries(), 0);
+        // Bit-identical draws and a bit-identical replayed WAIC.
+        assert_eq!(strict.residual_draws, tolerant.fit.residual_draws);
+        assert_eq!(
+            strict.waic.total().to_bits(),
+            tolerant.fit.waic.total().to_bits()
+        );
+        assert_eq!(
+            strict.residual.mean.to_bits(),
+            tolerant.fit.residual.mean.to_bits()
+        );
+    }
+
+    #[test]
+    fn try_run_survives_an_injected_chain_panic() {
+        let data = datasets::musa_cc96().truncated(48).unwrap();
+        let config = FitConfig {
+            mcmc: McmcConfig {
+                chains: 2,
+                burn_in: 100,
+                samples: 200,
+                thin: 1,
+                seed: 62,
+            },
+            ..FitConfig::default()
+        };
+        let options = RunOptions {
+            retry: RetryPolicy::none(),
+            fault_plan: FaultPlan::new(vec![FaultPoint {
+                chain: 1,
+                sweep: 5,
+                kind: FaultKind::Panic,
+            }]),
+        };
+        let out = Fit::try_run(
+            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            DetectionModel::Constant,
+            &data,
+            &config,
+            &options,
+        )
+        .unwrap();
+        assert!(out.is_degraded());
+        assert_eq!(out.fit.output.chains.len(), 1);
+        assert_eq!(out.fit.residual_draws.len(), 200);
+        assert!(out.fit.waic.total().is_finite());
+        let failed: Vec<usize> = out
+            .chain_reports
+            .iter()
+            .filter(|r| !r.recovered)
+            .map(|r| r.chain)
+            .collect();
+        assert_eq!(failed, vec![1]);
     }
 
     #[test]

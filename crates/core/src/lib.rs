@@ -36,8 +36,10 @@ pub mod multidata;
 pub mod ppc;
 pub mod tuning;
 
-pub use experiment::{Experiment, ExperimentConfig, ExperimentResults, FitKey};
-pub use fit::{Fit, FitConfig};
+pub use experiment::{
+    CellFailure, Experiment, ExperimentCell, ExperimentConfig, ExperimentResults, FitKey,
+};
+pub use fit::{FaultTolerantFit, Fit, FitConfig};
 pub use multidata::{compare_across_datasets, MultiDatasetResults};
 pub use ppc::{posterior_predictive_check, PpcResult};
 pub use tuning::{tuned_fit, TunedFit};

@@ -3,11 +3,22 @@
 use crate::args::{ArgError, Args};
 use crate::commands::{load_data, parse_mcmc, parse_model, parse_prior};
 use srm_core::{Fit, FitConfig};
-use srm_mcmc::PosteriorSummary;
+use srm_mcmc::runner::RunOptions;
+use srm_mcmc::{FaultPlan, PosteriorSummary, RetryPolicy};
 
 const FLAGS: &[&str] = &[
-    "data", "model", "prior", "chains", "samples", "burn-in", "thin", "seed", "lambda-max",
+    "data",
+    "model",
+    "prior",
+    "chains",
+    "samples",
+    "burn-in",
+    "thin",
+    "seed",
+    "lambda-max",
     "alpha-max",
+    "max-retries",
+    "inject-faults",
 ];
 const SWITCHES: &[&str] = &["diagnostics"];
 
@@ -15,7 +26,8 @@ const SWITCHES: &[&str] = &["diagnostics"];
 ///
 /// # Errors
 ///
-/// Returns [`ArgError`] on bad flags or unreadable data.
+/// Returns [`ArgError`] on bad flags, unreadable data, or when every
+/// chain of the run is lost to faults.
 pub fn run(raw: &[String]) -> Result<String, ArgError> {
     let args = Args::parse(raw, FLAGS, SWITCHES)?;
     let data = load_data(&args)?;
@@ -23,7 +35,20 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
     let prior = parse_prior(&args)?;
     let mcmc = parse_mcmc(&args)?;
 
-    let fit = Fit::run(
+    let inject: usize = args.get_parsed("inject-faults", 0usize)?;
+    let options = RunOptions {
+        retry: RetryPolicy {
+            max_retries: args.get_parsed("max-retries", 3usize)?,
+        },
+        fault_plan: if inject == 0 {
+            FaultPlan::none()
+        } else {
+            let total_sweeps = mcmc.burn_in + mcmc.samples * mcmc.thin;
+            FaultPlan::from_seed(mcmc.seed, mcmc.chains, total_sweeps, inject)
+        },
+    };
+
+    let tolerant = Fit::try_run(
         prior,
         model,
         &data,
@@ -31,7 +56,10 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             mcmc,
             ..FitConfig::default()
         },
-    );
+        &options,
+    )
+    .map_err(|e| ArgError(format!("fit failed: {e}")))?;
+    let fit = &tolerant.fit;
 
     let (lo, hi) = PosteriorSummary::credible_interval(&fit.residual_draws, 0.05);
     let (hlo, hhi) = PosteriorSummary::hpd_interval(&fit.residual_draws, 0.05);
@@ -43,8 +71,9 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
     ));
     out.push_str(&format!("model     : {} | prior: {}\n", model, prior.label()));
     out.push_str(&format!(
-        "draws     : {} kept ({} chains)\n",
+        "draws     : {} kept ({} of {} chains)\n",
         fit.residual_draws.len(),
+        fit.output.chains.len(),
         mcmc.chains
     ));
     out.push_str("\nposterior of the residual bug count\n");
@@ -61,6 +90,28 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         fit.waic.p_waic()
     ));
     out.push_str(&format!("converged : {}\n", fit.converged()));
+
+    if tolerant.is_degraded() || tolerant.total_retries() > 0 || inject > 0 {
+        out.push_str("\nfault report (per chain)\n");
+        for report in &tolerant.chain_reports {
+            out.push_str(&format!("  {report}\n"));
+        }
+        let mut counters = std::collections::BTreeMap::<&str, usize>::new();
+        for report in &tolerant.chain_reports {
+            if let Some(fault) = &report.fault {
+                *counters.entry(fault.kind()).or_insert(0) += 1;
+            }
+        }
+        if counters.is_empty() {
+            out.push_str("  fault counters: none\n");
+        } else {
+            let listed: Vec<String> = counters
+                .iter()
+                .map(|(kind, n)| format!("{kind} x{n}"))
+                .collect();
+            out.push_str(&format!("  fault counters: {}\n", listed.join(", ")));
+        }
+    }
 
     if args.has_switch("diagnostics") {
         out.push_str("\nper-parameter diagnostics (PSRF | Geweke Z | ESS | MCSE)\n");
@@ -118,5 +169,39 @@ mod tests {
         assert!(out.contains("WAIC"));
         assert!(out.contains("PSRF"));
         assert!(out.contains("model0 | prior: poisson"));
+        // Fault-free run with no injection: no fault section.
+        assert!(!out.contains("fault report"));
+    }
+
+    #[test]
+    fn fit_with_injected_faults_reports_counters() {
+        let path = write_csv();
+        let raw: Vec<String> = [
+            "fit",
+            "--data",
+            path.to_str().unwrap(),
+            "--model",
+            "model0",
+            "--chains",
+            "2",
+            "--samples",
+            "200",
+            "--burn-in",
+            "80",
+            "--seed",
+            "9",
+            "--inject-faults",
+            "2",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        // The plan cycles panic/nan-rate/slice kinds, so at most one
+        // of the two chains is lost; the fit must still succeed and
+        // name the faults it saw.
+        let out = run(&raw).unwrap();
+        assert!(out.contains("fault report (per chain)"));
+        assert!(out.contains("fault counters:"));
+        assert!(out.contains("posterior of the residual bug count"));
     }
 }

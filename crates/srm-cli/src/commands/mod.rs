@@ -34,6 +34,8 @@ COMMON FLAGS:
     --prior poisson|negbinom                        [default: poisson]
     --chains N --samples N --burn-in N --thin N --seed N
     --lambda-max X --alpha-max X
+    --max-retries N         per-chain sweep retries on faults (fit) [default: 3]
+    --inject-faults N       inject N seed-deterministic faults (fit; testing)
 
 EXAMPLES:
     srm fit --data counts.csv --model model1 --prior poisson
@@ -74,15 +76,26 @@ pub(crate) fn parse_prior(args: &Args) -> Result<PriorSpec, ArgError> {
     }
 }
 
-/// Parses the MCMC run-length flags.
+/// Parses the MCMC run-length flags, rejecting configurations the
+/// sampler cannot run (zero chains, zero samples, zero thinning).
 pub(crate) fn parse_mcmc(args: &Args) -> Result<McmcConfig, ArgError> {
-    Ok(McmcConfig {
+    let mcmc = McmcConfig {
         chains: args.get_parsed("chains", 4usize)?,
         burn_in: args.get_parsed("burn-in", 1_000usize)?,
         samples: args.get_parsed("samples", 4_000usize)?,
         thin: args.get_parsed("thin", 1usize)?,
         seed: args.get_parsed("seed", 2_024u64)?,
-    })
+    };
+    for (flag, value) in [
+        ("chains", mcmc.chains),
+        ("samples", mcmc.samples),
+        ("thin", mcmc.thin),
+    ] {
+        if value == 0 {
+            return Err(ArgError(format!("`--{flag}` must be at least 1")));
+        }
+    }
+    Ok(mcmc)
 }
 
 #[cfg(test)]
@@ -139,6 +152,17 @@ mod tests {
         assert_eq!(mcmc.burn_in, 50);
         assert_eq!(mcmc.seed, 9);
         assert_eq!(mcmc.thin, 1);
+    }
+
+    #[test]
+    fn zero_run_lengths_rejected() {
+        for flag in ["--chains", "--samples", "--thin"] {
+            let err = parse_mcmc(&args_from(&["fit", flag, "0"])).unwrap_err();
+            assert!(
+                err.to_string().contains("must be at least 1"),
+                "{flag}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -50,7 +50,8 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
     let mut out = Vec::new();
     srm_data::csv::write_counts(&project.data, &mut out)
         .map_err(|e| ArgError(format!("write failed: {e}")))?;
-    let mut text = String::from_utf8(out).expect("CSV is UTF-8");
+    // The writer above only emits ASCII digits, commas, and newlines.
+    let mut text = String::from_utf8(out).unwrap_or_else(|_| unreachable!());
     text.push_str(&format!(
         "# true initial bugs: {bugs}, residual after day {days}: {}\n",
         project.true_residual

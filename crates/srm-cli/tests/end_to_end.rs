@@ -2,6 +2,8 @@
 //! point (`srm_cli::run`), covering the full simulate → trend →
 //! select → fit → predict loop a practitioner would run.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
 use std::io::Write as _;
 
 fn run(parts: &[&str]) -> Result<String, srm_cli::ArgError> {
@@ -75,6 +77,64 @@ fn fit_rejects_malformed_csv() {
     let path = temp_csv("srm_cli_bad.csv", "day,count\n1,2\n5,1\n");
     let err = run(&["fit", "--data", path.to_str().unwrap()]).unwrap_err();
     assert!(err.to_string().contains("bad data"));
+}
+
+#[test]
+fn fit_rejects_unknown_model_with_one_line_diagnostic() {
+    let path = temp_csv("srm_cli_badmodel.csv", "day,count\n1,5\n2,3\n3,2\n");
+    let err = run(&["fit", "--data", path.to_str().unwrap(), "--model", "model9"]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("unknown model"), "{msg}");
+    assert!(!msg.contains('\n'), "diagnostic must be one line: {msg}");
+}
+
+#[test]
+fn fit_rejects_unknown_prior_with_one_line_diagnostic() {
+    let path = temp_csv("srm_cli_badprior.csv", "day,count\n1,5\n2,3\n3,2\n");
+    let err = run(&["fit", "--data", path.to_str().unwrap(), "--prior", "cauchy"]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("unknown prior"), "{msg}");
+    assert!(!msg.contains('\n'), "diagnostic must be one line: {msg}");
+}
+
+#[test]
+fn fit_rejects_zero_chain_config() {
+    let path = temp_csv("srm_cli_zerochain.csv", "day,count\n1,5\n2,3\n3,2\n");
+    for flag in ["--chains", "--samples", "--thin"] {
+        let err = run(&["fit", "--data", path.to_str().unwrap(), flag, "0"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("must be at least 1"), "{flag}: {msg}");
+        assert!(!msg.contains('\n'), "diagnostic must be one line: {msg}");
+    }
+}
+
+#[test]
+fn fit_survives_injected_faults_end_to_end() {
+    let csv = run(&[
+        "simulate", "--bugs", "150", "--days", "30", "--p", "0.05", "--seed", "41",
+    ])
+    .unwrap();
+    let path = temp_csv("srm_cli_faulty.csv", &csv);
+    let out = run(&[
+        "fit",
+        "--data",
+        path.to_str().unwrap(),
+        "--model",
+        "model0",
+        "--chains",
+        "2",
+        "--samples",
+        "200",
+        "--burn-in",
+        "80",
+        "--seed",
+        "13",
+        "--inject-faults",
+        "2",
+    ])
+    .unwrap();
+    assert!(out.contains("fault report (per chain)"));
+    assert!(out.contains("posterior of the residual bug count"));
 }
 
 #[test]

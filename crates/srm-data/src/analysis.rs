@@ -197,7 +197,7 @@ mod tests {
         // Prefixes with fewer than two bugs are skipped (the primary
         // dataset opens with three empty days), so the series is at
         // most len − 1 and close to it.
-        assert!(running.len() <= data.len() - 1);
+        assert!(running.len() < data.len());
         assert!(running.len() >= data.len() - 6, "len = {}", running.len());
         // The final entry equals the full-data statistic.
         let full = laplace_trend(&data).unwrap().statistic;

@@ -90,7 +90,8 @@ impl BlockBootstrap {
             let take = self.block_len.min(k - out.len());
             out.extend_from_slice(&counts[start..start + take]);
         }
-        BugCountData::new(out).expect("replicate is non-empty")
+        // Non-empty by the block-length assertion above.
+        BugCountData::new(out).unwrap_or_else(|_| unreachable!())
     }
 
     /// `n` replicates with consecutive seeds.

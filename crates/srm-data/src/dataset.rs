@@ -45,7 +45,6 @@ impl std::error::Error for DataError {}
 /// assert_eq!(data.detected_by(2), 3);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BugCountData {
     counts: Vec<u64>,
     cumulative: Vec<u64>,
@@ -98,7 +97,7 @@ impl BugCountData {
     /// Total number of bugs detected, `s_k`.
     #[must_use]
     pub fn total(&self) -> u64 {
-        *self.cumulative.last().expect("non-empty by construction")
+        self.cumulative.last().copied().unwrap_or_else(|| unreachable!())
     }
 
     /// Count on day `day` (1-based).
@@ -154,10 +153,10 @@ impl BugCountData {
     #[must_use]
     pub fn extended_with_zeros(&self, extra: usize) -> Self {
         let mut counts = self.counts.clone();
-        counts.extend(std::iter::repeat(0).take(extra));
+        counts.extend(std::iter::repeat_n(0, extra));
         let mut cumulative = self.cumulative.clone();
         let last = self.total();
-        cumulative.extend(std::iter::repeat(last).take(extra));
+        cumulative.extend(std::iter::repeat_n(last, extra));
         Self { counts, cumulative }
     }
 
@@ -181,7 +180,7 @@ impl BugCountData {
             .chunks(width)
             .map(|c| c.iter().sum())
             .collect();
-        Self::new(counts).expect("aggregation preserves non-emptiness")
+        Self::new(counts).unwrap_or_else(|_| unreachable!())
     }
 
     /// Number of days with at least one detection.
@@ -193,7 +192,7 @@ impl BugCountData {
     /// Largest single-day count.
     #[must_use]
     pub fn max_daily(&self) -> u64 {
-        *self.counts.iter().max().expect("non-empty by construction")
+        self.counts.iter().max().copied().unwrap_or_else(|| unreachable!())
     }
 }
 

@@ -41,7 +41,7 @@ const MUSA_CC96: [u64; 96] = [
 /// ```
 #[must_use]
 pub fn musa_cc96() -> BugCountData {
-    BugCountData::new(MUSA_CC96.to_vec()).expect("embedded data is non-empty")
+    BugCountData::new(MUSA_CC96.to_vec()).unwrap_or_else(|_| unreachable!())
 }
 
 /// A steadily decaying series (classic exponential reliability
@@ -56,7 +56,7 @@ pub fn decaying_growth_60() -> BugCountData {
             (base + wobble).floor() as u64
         })
         .collect();
-    BugCountData::new(counts).expect("constructed non-empty")
+    BugCountData::new(counts).unwrap_or_else(|_| unreachable!())
 }
 
 /// An S-shaped series (slow start, burst, saturation): 120 bugs over
@@ -72,7 +72,7 @@ pub fn s_shaped_80() -> BugCountData {
             (rate + wobble).floor() as u64
         })
         .collect();
-    BugCountData::new(counts).expect("constructed non-empty")
+    BugCountData::new(counts).unwrap_or_else(|_| unreachable!())
 }
 
 /// A short, intense test campaign: 45 bugs over 25 days.
@@ -81,7 +81,7 @@ pub fn short_campaign_25() -> BugCountData {
     let counts = vec![
         4, 3, 5, 2, 4, 3, 2, 3, 2, 2, 1, 2, 2, 1, 1, 2, 1, 1, 1, 0, 1, 1, 0, 1, 0,
     ];
-    BugCountData::new(counts).expect("constructed non-empty")
+    BugCountData::new(counts).unwrap_or_else(|_| unreachable!())
 }
 
 /// A plateaued series where detection never clearly decays: 150 bugs
@@ -89,7 +89,7 @@ pub fn short_campaign_25() -> BugCountData {
 #[must_use]
 pub fn plateau_100() -> BugCountData {
     let counts: Vec<u64> = (0..100).map(|i| ((i * 13 + 5) % 4) as u64).collect();
-    BugCountData::new(counts).expect("constructed non-empty")
+    BugCountData::new(counts).unwrap_or_else(|_| unreachable!())
 }
 
 /// A late-surge series: quiet start, most bugs near the end — the
@@ -104,7 +104,7 @@ pub fn late_surge_50() -> BugCountData {
             rate.floor() as u64
         })
         .collect();
-    BugCountData::new(counts).expect("constructed non-empty")
+    BugCountData::new(counts).unwrap_or_else(|_| unreachable!())
 }
 
 /// Every embedded dataset with a short identifying name, for the

@@ -90,15 +90,16 @@ impl DetectionSimulator {
             let found = if remaining == 0 || p == 0.0 {
                 0
             } else {
+                // p was validated in (0, 1] at construction.
                 Binomial::new(remaining, p)
-                    .expect("validated probability")
+                    .unwrap_or_else(|_| unreachable!())
                     .sample(rng)
             };
             counts.push(found);
             remaining -= found;
         }
         SimulatedProject {
-            data: BugCountData::new(counts).expect("non-empty schedule"),
+            data: BugCountData::new(counts).unwrap_or_else(|_| unreachable!()),
             true_initial_bugs: self.initial_bugs,
             true_residual: remaining,
         }

@@ -25,7 +25,6 @@ use crate::dataset::{BugCountData, DataError};
 /// assert_eq!(window.total(), 136); // zero-count days add no bugs
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObservationPoint {
     day: usize,
 }

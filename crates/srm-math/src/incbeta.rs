@@ -132,7 +132,7 @@ pub fn inv_inc_beta_reg(a: f64, b: f64, p: f64) -> f64 {
         }
         let ln_pdf = (a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - ln_b;
         let mut next = x - fx / ln_pdf.exp();
-        if !(next > lo && next < hi) || !next.is_finite() {
+        if next <= lo || next >= hi || !next.is_finite() {
             next = 0.5 * (lo + hi);
         }
         if (next - x).abs() <= 1e-15 {

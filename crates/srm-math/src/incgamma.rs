@@ -181,7 +181,7 @@ pub fn inv_inc_gamma_p(a: f64, p: f64) -> f64 {
         let ln_pdf = (a - 1.0) * x.ln() - x - ln_gamma(a);
         let step = fx / ln_pdf.exp();
         let mut next = x - step;
-        if !(next > lo && next < hi) || !next.is_finite() {
+        if next <= lo || next >= hi || !next.is_finite() {
             next = 0.5 * (lo + hi);
         }
         if (next - x).abs() <= 1e-14 * x.abs().max(1e-14) {

@@ -128,7 +128,7 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     while evals < config.max_evals {
         // Order the simplex.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&i, &j| fvals[i].partial_cmp(&fvals[j]).unwrap());
+        order.sort_by(|&i, &j| fvals[i].total_cmp(&fvals[j]));
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -217,11 +217,13 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         }
     }
 
-    let (best_idx, _) = fvals
+    // The simplex always holds n+1 ≥ 1 vertices, so a best index
+    // exists; index 0 is an unreachable fallback, not a default.
+    let best_idx = fvals
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .expect("simplex is non-empty");
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i);
     OptimResult {
         x: simplex[best_idx].clone(),
         fx: fvals[best_idx],
@@ -328,12 +330,7 @@ pub fn invert_matrix(matrix: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
         .collect();
     for col in 0..n {
         // Partial pivot.
-        let pivot_row = (col..n).max_by(|&i, &j| {
-            a[i][col]
-                .abs()
-                .partial_cmp(&a[j][col].abs())
-                .expect("no NaN in matrix")
-        })?;
+        let pivot_row = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
         if a[pivot_row][col].abs() < 1e-300 {
             return None;
         }
@@ -399,9 +396,9 @@ mod tests {
         ];
         let inv = invert_matrix(&m).unwrap();
         // M · M⁻¹ = I.
-        for i in 0..3 {
-            for j in 0..3 {
-                let prod: f64 = (0..3).map(|k| m[i][k] * inv[k][j]).sum();
+        for (i, row) in m.iter().enumerate() {
+            for (j, _) in inv.iter().enumerate() {
+                let prod: f64 = (0..3).map(|k| row[k] * inv[k][j]).sum();
                 let expected = if i == j { 1.0 } else { 0.0 };
                 assert!(approx_eq(prod, expected, 1e-10), "({i},{j}): {prod}");
             }

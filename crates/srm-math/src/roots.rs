@@ -133,6 +133,9 @@ pub fn brent_root<F: FnMut(f64) -> f64>(
             b - fb * (b - a) / (fb - fa)
         };
         let lo = (3.0 * a + b) / 4.0;
+        // Written to mirror the textbook acceptance condition; clippy's
+        // "minimal" form obscures the five named sub-conditions.
+        #[allow(clippy::nonminimal_bool)]
         let cond = !((lo.min(b) < s && s < lo.max(b))
             && !(mflag && (s - b).abs() >= (b - c).abs() / 2.0)
             && !(!mflag && (s - b).abs() >= (c - d).abs() / 2.0)

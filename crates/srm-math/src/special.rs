@@ -7,11 +7,12 @@
 //! (Eq. (2) of the paper) evaluates `ln n!` millions of times per
 //! Gibbs run with small, repeating arguments.
 
-use parking_lot::RwLock;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// Lanczos coefficients (g = 7, n = 9), Boost/Numerical Recipes set.
 const LANCZOS_G: f64 = 7.0;
+// Coefficients kept digit-for-digit as published, beyond f64 precision.
+#[allow(clippy::excessive_precision)]
 const LANCZOS: [f64; 9] = [
     0.999_999_999_999_809_93,
     676.520_368_121_885_1,
@@ -115,12 +116,19 @@ pub fn ln_factorial(n: u64) -> f64 {
     }
     let idx = n as usize;
     {
-        let cache = ln_fact_cache().read();
+        // A poisoned lock only means another thread panicked while
+        // extending the cache; the prefix it wrote is still exact, so
+        // recover the guard instead of propagating the panic.
+        let cache = ln_fact_cache()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if idx < cache.len() {
             return cache[idx];
         }
     }
-    let mut cache = ln_fact_cache().write();
+    let mut cache = ln_fact_cache()
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     while cache.len() <= idx {
         let len = cache.len();
         let prev = cache[len - 1];

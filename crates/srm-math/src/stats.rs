@@ -25,7 +25,7 @@ use crate::incgamma::inc_gamma_p;
 pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &[f64], cdf: F) -> f64 {
     assert!(!sample.is_empty(), "KS requires a non-empty sample");
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {

@@ -283,7 +283,7 @@ pub fn split_rhat_rank_normalized(chains: &[&[f64]]) -> f64 {
     }
     let total = indexed.len();
     let mut order: Vec<usize> = (0..total).collect();
-    order.sort_by(|&i, &j| indexed[i].0.partial_cmp(&indexed[j].0).expect("no NaN draws"));
+    order.sort_by(|&i, &j| indexed[i].0.total_cmp(&indexed[j].0));
     let mut ranks = vec![0.0f64; total];
     let mut i = 0;
     while i < total {

@@ -17,8 +17,9 @@
 //! posterior of the paper's hierarchical model.
 
 use crate::chain::Chain;
+use crate::fault::{ChainFailure, FaultInjector, FaultKind, RecoveryLog, RetryPolicy, SrmError};
 use crate::metropolis::AdaptiveRw;
-use crate::slice::{slice_sample, SliceConfig};
+use crate::slice::{try_slice_sample, SliceConfig, SliceError};
 use srm_data::BugCountData;
 use srm_math::special::ln_gamma;
 use srm_model::detection::OPEN_EPS;
@@ -284,10 +285,10 @@ impl GibbsSampler {
     fn zeta_log_target(&self, zeta: &[f64], n: u64) -> f64 {
         let counts = self.lik.counts();
         let mut ll = 0.0;
-        for i in 0..self.horizon {
+        for (i, (&count, &cum)) in counts.iter().zip(&self.cumulative).enumerate() {
             let p = self.model.prob_unchecked(zeta, (i + 1) as u64);
             let q = 1.0 - p;
-            ll += counts[i] as f64 * p.ln() + (n - self.cumulative[i]) as f64 * q.ln();
+            ll += count as f64 * p.ln() + (n - cum) as f64 * q.ln();
         }
         ll
     }
@@ -305,10 +306,10 @@ impl GibbsSampler {
         let counts = self.lik.counts();
         let mut cum_ln_q = 0.0;
         let mut sum_x_ln_w = 0.0;
-        for i in 0..self.horizon {
+        for (i, &count) in counts.iter().enumerate() {
             let p = self.model.prob_unchecked(zeta, (i + 1) as u64);
-            if counts[i] > 0 {
-                sum_x_ln_w += counts[i] as f64 * (p.ln() + cum_ln_q);
+            if count > 0 {
+                sum_x_ln_w += count as f64 * (p.ln() + cum_ln_q);
             }
             cum_ln_q += (1.0 - p).ln();
         }
@@ -330,9 +331,13 @@ impl GibbsSampler {
     /// Runs one chain, returning the kept draws. `observer` is called
     /// once per kept draw (after thinning) with the full sweep state.
     ///
+    /// Thin wrapper over [`GibbsSampler::try_run_chain`] with no retry
+    /// and no fault injection: any sampler fault aborts the process.
+    /// Bit-identical to the fault-tolerant path on fault-free runs.
+    ///
     /// # Panics
     ///
-    /// Panics if `samples == 0` or `thin == 0`.
+    /// Panics if `samples == 0`, `thin == 0`, or a sweep faults.
     pub fn run_chain<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -343,21 +348,87 @@ impl GibbsSampler {
     ) -> Chain {
         assert!(samples > 0, "samples must be positive");
         assert!(thin > 0, "thin must be positive");
+        match self.try_run_chain(
+            rng,
+            burn_in,
+            samples,
+            thin,
+            &RetryPolicy::none(),
+            &mut FaultInjector::empty(),
+            observer,
+        ) {
+            Ok((chain, _)) => chain,
+            Err(failure) => panic!("{}", failure.fault),
+        }
+    }
+
+    /// Runs one chain with bounded retry and optional fault injection,
+    /// returning the kept draws plus a [`RecoveryLog`].
+    ///
+    /// A faulted sweep is retried up to `retry.max_retries` times
+    /// (per chain): the sampler state is restored to its value at the
+    /// start of the failed sweep, but the RNG is **not** rewound, so
+    /// the retry consumes fresh draws from the chain's deterministic
+    /// stream. With no faults this path consumes the RNG identically
+    /// to [`GibbsSampler::run_chain`], so fault-free output is
+    /// bit-identical.
+    ///
+    /// `injector` fires scheduled faults at the start of their sweep
+    /// (consume-once, so a retried sweep runs clean).
+    /// [`FaultKind::Panic`] deliberately panics the calling thread to
+    /// exercise the runner's containment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainFailure`] when the configuration is invalid or
+    /// a sweep still faults after the retry budget is spent.
+    #[allow(clippy::too_many_arguments)] // mirrors run_chain + the three fault knobs
+    pub fn try_run_chain<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        burn_in: usize,
+        samples: usize,
+        thin: usize,
+        retry: &RetryPolicy,
+        injector: &mut FaultInjector,
+        observer: &mut dyn FnMut(&SweepRecord<'_>),
+    ) -> Result<(Chain, RecoveryLog), ChainFailure> {
+        let invalid = |detail: String| ChainFailure {
+            fault: SrmError::InvalidConfig { detail },
+            retries: 0,
+        };
+        if samples == 0 {
+            return Err(invalid("samples must be positive".into()));
+        }
+        if thin == 0 {
+            return Err(invalid("thin must be positive".into()));
+        }
 
         // --- Initial state -------------------------------------------------
         let zeta_bounds = self.model.bounds(&self.bounds);
-        let mut zeta: Vec<f64> =
-            zeta_bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect();
-        let (mut lambda0, mut alpha0, mut beta0) = match self.prior {
+        let mut rw_kernels = Vec::with_capacity(zeta_bounds.len());
+        for &(lo, hi) in &zeta_bounds {
+            rw_kernels.push(AdaptiveRw::try_new(0.0, lo, hi).map_err(|fault| ChainFailure {
+                fault,
+                retries: 0,
+            })?);
+        }
+        let (lambda0, alpha0, beta0) = match self.prior {
             PriorSpec::Poisson { lambda_max } => {
                 let init = (2.0 * self.total as f64 + 10.0).min(0.9 * lambda_max);
                 (init.max(OPEN_SHIFT), f64::NAN, f64::NAN)
             }
             PriorSpec::NegBinomial { alpha_max } => (f64::NAN, 0.5 * alpha_max, 0.5),
         };
-        let mut n;
-        // The N the naive sweep conditions on (initialised at s_k).
-        let mut last_n = self.total;
+        let mut state = SweepState {
+            zeta: zeta_bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect(),
+            lambda0,
+            alpha0,
+            beta0,
+            // The N the naive sweep conditions on (initialised at s_k).
+            last_n: self.total,
+            rw_kernels,
+        };
 
         let names = self.param_names();
         let mut chain = Chain::new(&names);
@@ -365,220 +436,362 @@ impl GibbsSampler {
 
         let total_sweeps = burn_in + samples * thin;
         let mut kept = 0usize;
-        let mut probs: Vec<f64>;
-        let mut rw_kernels: Vec<AdaptiveRw> = zeta_bounds
-            .iter()
-            .map(|&(lo, hi)| AdaptiveRw::new(0.0, lo, hi))
-            .collect();
+        let mut log = RecoveryLog::default();
 
-        for sweep in 0..total_sweeps {
+        let mut sweep = 0usize;
+        while sweep < total_sweeps {
             if sweep == burn_in {
-                for kernel in &mut rw_kernels {
+                for kernel in &mut state.rw_kernels {
                     kernel.freeze();
                 }
             }
-            match self.sweep_kind {
-                SweepKind::Collapsed => {
-                    // --- 1. Hyper-parameters | ζ (N marginalised out) -----
-                    let (_, ln_q) = self.collapsed_stats(&zeta);
-                    let survival = ln_q.exp();
-                    match self.prior {
-                        PriorSpec::Poisson { lambda_max } => {
-                            // Marginally x_i ~ Poisson(λ0 w_i), so
-                            // λ0 | x, ζ ~ Gamma(s_k+1+shift, 1/Σw_i)
-                            // on (0, λ_max); Σ w_i = 1 − Π q_i. The
-                            // Jeffreys hyper-prior shifts the shape
-                            // by −1/2.
-                            let w_sum = (1.0 - survival).max(OPEN_SHIFT);
-                            let shape =
-                                (self.total as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
-                            lambda0 = TruncatedGamma::new(shape, 1.0 / w_sum, lambda_max)
-                                .expect("valid conditional")
-                                .sample(rng);
-                        }
-                        PriorSpec::NegBinomial { alpha_max } => {
-                            // β0 | α0, ζ, x via the collapsed kernel.
-                            let a0 = alpha0;
-                            let ln_f_beta = |b: f64| {
-                                self.nb_collapsed_kernel(a0, b, survival)
-                                    + self.ln_beta0_hyper_prior(b)
-                            };
-                            beta0 = slice_sample(
-                                ln_f_beta,
-                                beta0.clamp(OPEN_EPS, 1.0 - OPEN_EPS),
-                                OPEN_EPS,
-                                1.0 - OPEN_EPS,
-                                &self.slice_config,
-                                rng,
-                            );
-                            // α0 | β0, ζ, x via the same kernel.
-                            let b0 = beta0;
-                            let ln_f_alpha = |a: f64| self.nb_collapsed_kernel(a, b0, survival);
-                            alpha0 = slice_sample(
-                                ln_f_alpha,
-                                alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
-                                OPEN_EPS,
-                                alpha_max,
-                                &self.slice_config,
-                                rng,
-                            );
-                        }
-                    }
-
-                    // --- 2. ζ | hyper-parameters (N marginalised) ----------
-                    for j in 0..zeta.len() {
-                        let (lo, hi) = zeta_bounds[j];
-                        let current = zeta[j].clamp(lo, hi);
-                        let snapshot = zeta.clone();
-                        let ln_f = |v: f64| {
-                            let mut z = snapshot.clone();
-                            z[j] = v;
-                            let (sum_x_ln_w, ln_qz) = self.collapsed_stats(&z);
-                            match self.prior {
-                                PriorSpec::Poisson { .. } => {
-                                    sum_x_ln_w - lambda0 * (1.0 - ln_qz.exp())
-                                }
-                                PriorSpec::NegBinomial { .. } => {
-                                    let beta_k = (1.0 - (1.0 - beta0) * ln_qz.exp())
-                                        .max(OPEN_SHIFT);
-                                    sum_x_ln_w
-                                        - (alpha0 + self.total as f64) * beta_k.ln()
-                                }
-                            }
-                        };
-                        zeta[j] = match self.zeta_kernel {
-                            ZetaKernel::Slice => slice_sample(
-                                ln_f,
-                                current,
-                                lo,
-                                hi,
-                                &self.slice_config,
-                                rng,
-                            ),
-                            ZetaKernel::AdaptiveRw => {
-                                rw_kernels[j].step(ln_f, current, rng)
-                            }
-                        };
-                    }
-                }
-                SweepKind::Naive => {
-                    // --- 1. Hyper-parameters | current N -------------------
-                    match self.prior {
-                        PriorSpec::Poisson { lambda_max } => {
-                            // λ0 | N ∝ hyper(λ0) · λ0^N e^{−λ0} on
-                            // (0, λ_max).
-                            let shape =
-                                (last_n as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
-                            lambda0 = TruncatedGamma::new(shape, 1.0, lambda_max)
-                                .expect("valid conditional")
-                                .sample(rng);
-                        }
-                        PriorSpec::NegBinomial { alpha_max } => {
-                            // β0 | N, α0 ~ Beta(α0 + 1 + a, N + 1 + b)
-                            // where (a, b) = (−1/2, −1/2) under the
-                            // arcsine Jeffreys hyper-prior.
-                            let (da, db) = match self.hyper_prior {
-                                HyperPrior::Uniform => (0.0, 0.0),
-                                HyperPrior::Jeffreys => (-0.5, -0.5),
-                            };
-                            beta0 = Beta::new(alpha0 + 1.0 + da, last_n as f64 + 1.0 + db)
-                                .expect("valid conditional")
-                                .sample(rng)
-                                .clamp(OPEN_SHIFT, 1.0 - OPEN_SHIFT);
-                            // α0 | N, β0 ∝ Γ(N + α0)/Γ(α0) · β0^{α0}.
-                            let ln_target = |a: f64| {
-                                ln_gamma(last_n as f64 + a) - ln_gamma(a) + a * beta0.ln()
-                            };
-                            alpha0 = slice_sample(
-                                ln_target,
-                                alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
-                                OPEN_EPS,
-                                alpha_max,
-                                &self.slice_config,
-                                rng,
-                            );
-                        }
-                    }
-
-                    // --- 2. ζ | current N --------------------------------
-                    for j in 0..zeta.len() {
-                        let (lo, hi) = zeta_bounds[j];
-                        let current = zeta[j].clamp(lo, hi);
-                        let snapshot = zeta.clone();
-                        let ln_f = |v: f64| {
-                            let mut z = snapshot.clone();
-                            z[j] = v;
-                            self.zeta_log_target(&z, last_n)
-                        };
-                        zeta[j] = match self.zeta_kernel {
-                            ZetaKernel::Slice => slice_sample(
-                                ln_f,
-                                current,
-                                lo,
-                                hi,
-                                &self.slice_config,
-                                rng,
-                            ),
-                            ZetaKernel::AdaptiveRw => {
-                                rw_kernels[j].step(ln_f, current, rng)
-                            }
-                        };
-                    }
-                }
+            // Consume-once injection: a retried sweep runs clean.
+            let forced = injector.take(sweep);
+            if matches!(forced, Some(FaultKind::Panic)) {
+                panic!("injected fault: chain panic at sweep {sweep}");
             }
+            // Snapshot only when retry could use it; the fault-free
+            // wrapper path pays nothing.
+            let snapshot = (retry.max_retries > 0).then(|| state.clone());
+            let will_record =
+                sweep >= burn_in && (sweep - burn_in).is_multiple_of(thin) && kept < samples;
 
-            // --- 3. N | everything else (exact, Props. 1–2) ----------------
-            let ln_q = self.ln_survival(&zeta);
-            let survival = ln_q.exp();
-            let residual = match self.prior {
-                PriorSpec::Poisson { .. } => {
-                    let rate = lambda0 * survival;
-                    if rate > 0.0 && rate.is_finite() {
-                        Poisson::new(rate).expect("positive rate").sample(rng)
+            let outcome = self
+                .try_sweep(&mut state, &zeta_bounds, rng, sweep, forced)
+                .and_then(|residual| {
+                    if will_record {
+                        let probs = self.model.probs(&state.zeta, self.horizon).map_err(|e| {
+                            SrmError::DegeneratePosterior {
+                                detail: format!("detection schedule at kept draw: {e:?}"),
+                                sweep,
+                            }
+                        })?;
+                        Ok((residual, Some(probs)))
                     } else {
-                        0
+                        Ok((residual, None))
                     }
-                }
-                PriorSpec::NegBinomial { .. } => {
-                    let alpha_k = alpha0 + self.total as f64;
-                    let beta_k = (1.0 - (1.0 - beta0) * survival).clamp(OPEN_SHIFT, 1.0);
-                    NegativeBinomial::new(alpha_k, beta_k)
-                        .expect("valid posterior parameters")
-                        .sample(rng)
-                }
-            };
-            n = self.total + residual;
-            last_n = n;
-
-            // --- Record ----------------------------------------------------
-            if sweep >= burn_in && (sweep - burn_in) % thin == 0 && kept < samples {
-                probs = self
-                    .model
-                    .probs(&zeta, self.horizon)
-                    .expect("sampled parameters stay in bounds");
-                let mut row: Vec<f64> = vec![residual as f64, n as f64];
-                match self.prior {
-                    PriorSpec::Poisson { .. } => row.push(lambda0),
-                    PriorSpec::NegBinomial { .. } => {
-                        row.push(alpha0);
-                        row.push(beta0);
-                    }
-                }
-                row.extend_from_slice(&zeta);
-                chain.push(&row);
-                kept += 1;
-                observer(&SweepRecord {
-                    n,
-                    residual,
-                    zeta: &zeta,
-                    lambda0,
-                    alpha0,
-                    beta0,
-                    probs: &probs,
                 });
+
+            match outcome {
+                Ok((residual, probs)) => {
+                    let n = self.total + residual;
+                    if let Some(probs) = probs {
+                        let mut row: Vec<f64> = vec![residual as f64, n as f64];
+                        match self.prior {
+                            PriorSpec::Poisson { .. } => row.push(state.lambda0),
+                            PriorSpec::NegBinomial { .. } => {
+                                row.push(state.alpha0);
+                                row.push(state.beta0);
+                            }
+                        }
+                        row.extend_from_slice(&state.zeta);
+                        chain.push(&row);
+                        kept += 1;
+                        observer(&SweepRecord {
+                            n,
+                            residual,
+                            zeta: &state.zeta,
+                            lambda0: state.lambda0,
+                            alpha0: state.alpha0,
+                            beta0: state.beta0,
+                            probs: &probs,
+                        });
+                    }
+                    sweep += 1;
+                }
+                Err(fault) => {
+                    if log.retries < retry.max_retries {
+                        log.retries += 1;
+                        log.last_fault = Some(fault);
+                        if let Some(snap) = snapshot {
+                            state = snap;
+                        }
+                        // Re-run the same sweep on fresh draws.
+                    } else {
+                        return Err(ChainFailure {
+                            fault,
+                            retries: log.retries,
+                        });
+                    }
+                }
             }
         }
-        chain
+        Ok((chain, log))
+    }
+
+    /// One full Gibbs sweep (hyper-parameters, ζ, then the exact
+    /// N-step) over `state`, returning the new residual draw.
+    fn try_sweep<R: Rng + ?Sized>(
+        &self,
+        state: &mut SweepState,
+        zeta_bounds: &[(f64, f64)],
+        rng: &mut R,
+        sweep: usize,
+        forced: Option<FaultKind>,
+    ) -> Result<u64, SrmError> {
+        // A forced exhaustion fires before any RNG use, so a retried
+        // sweep replays exactly what the unfaulted sweep would have.
+        if matches!(forced, Some(FaultKind::SliceExhausted)) {
+            return Err(SrmError::SliceExhausted {
+                parameter: "injected",
+                sweep,
+            });
+        }
+        let zeta_names = self.model.param_names();
+        match self.sweep_kind {
+            SweepKind::Collapsed => {
+                // --- 1. Hyper-parameters | ζ (N marginalised out) -----
+                let (_, ln_q) = self.collapsed_stats(&state.zeta);
+                let survival = ln_q.exp();
+                match self.prior {
+                    PriorSpec::Poisson { lambda_max } => {
+                        // Marginally x_i ~ Poisson(λ0 w_i), so
+                        // λ0 | x, ζ ~ Gamma(s_k+1+shift, 1/Σw_i)
+                        // on (0, λ_max); Σ w_i = 1 − Π q_i. The
+                        // Jeffreys hyper-prior shifts the shape
+                        // by −1/2.
+                        let w_sum = (1.0 - survival).max(OPEN_SHIFT);
+                        let shape =
+                            (self.total as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
+                        state.lambda0 = TruncatedGamma::new(shape, 1.0 / w_sum, lambda_max)
+                            .map_err(|e| degenerate("lambda0 conditional", &e, sweep))?
+                            .sample(rng);
+                    }
+                    PriorSpec::NegBinomial { alpha_max } => {
+                        // β0 | α0, ζ, x via the collapsed kernel.
+                        let a0 = state.alpha0;
+                        let ln_f_beta = |b: f64| {
+                            self.nb_collapsed_kernel(a0, b, survival)
+                                + self.ln_beta0_hyper_prior(b)
+                        };
+                        state.beta0 = try_slice_sample(
+                            ln_f_beta,
+                            state.beta0.clamp(OPEN_EPS, 1.0 - OPEN_EPS),
+                            OPEN_EPS,
+                            1.0 - OPEN_EPS,
+                            &self.slice_config,
+                            rng,
+                        )
+                        .map_err(|e| slice_fault(e, "beta0", sweep))?;
+                        // α0 | β0, ζ, x via the same kernel.
+                        let b0 = state.beta0;
+                        let ln_f_alpha = |a: f64| self.nb_collapsed_kernel(a, b0, survival);
+                        state.alpha0 = try_slice_sample(
+                            ln_f_alpha,
+                            state.alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
+                            OPEN_EPS,
+                            alpha_max,
+                            &self.slice_config,
+                            rng,
+                        )
+                        .map_err(|e| slice_fault(e, "alpha0", sweep))?;
+                    }
+                }
+
+                // --- 2. ζ | hyper-parameters (N marginalised) ----------
+                let (lambda0, alpha0, beta0) = (state.lambda0, state.alpha0, state.beta0);
+                for j in 0..state.zeta.len() {
+                    let (lo, hi) = zeta_bounds[j];
+                    let current = state.zeta[j].clamp(lo, hi);
+                    let snapshot = state.zeta.clone();
+                    let ln_f = |v: f64| {
+                        let mut z = snapshot.clone();
+                        z[j] = v;
+                        let (sum_x_ln_w, ln_qz) = self.collapsed_stats(&z);
+                        match self.prior {
+                            PriorSpec::Poisson { .. } => {
+                                sum_x_ln_w - lambda0 * (1.0 - ln_qz.exp())
+                            }
+                            PriorSpec::NegBinomial { .. } => {
+                                let beta_k = (1.0 - (1.0 - beta0) * ln_qz.exp())
+                                    .max(OPEN_SHIFT);
+                                sum_x_ln_w
+                                    - (alpha0 + self.total as f64) * beta_k.ln()
+                            }
+                        }
+                    };
+                    state.zeta[j] = match self.zeta_kernel {
+                        ZetaKernel::Slice => try_slice_sample(
+                            ln_f,
+                            current,
+                            lo,
+                            hi,
+                            &self.slice_config,
+                            rng,
+                        )
+                        .map_err(|e| slice_fault(e, zeta_names[j], sweep))?,
+                        ZetaKernel::AdaptiveRw => state.rw_kernels[j]
+                            .try_step(ln_f, current, rng)
+                            .map_err(|value| SrmError::NonFiniteLikelihood {
+                                parameter: zeta_names[j],
+                                value,
+                                sweep,
+                            })?,
+                    };
+                }
+            }
+            SweepKind::Naive => {
+                // --- 1. Hyper-parameters | current N -------------------
+                match self.prior {
+                    PriorSpec::Poisson { lambda_max } => {
+                        // λ0 | N ∝ hyper(λ0) · λ0^N e^{−λ0} on
+                        // (0, λ_max).
+                        let shape =
+                            (state.last_n as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
+                        state.lambda0 = TruncatedGamma::new(shape, 1.0, lambda_max)
+                            .map_err(|e| degenerate("lambda0 conditional", &e, sweep))?
+                            .sample(rng);
+                    }
+                    PriorSpec::NegBinomial { alpha_max } => {
+                        // β0 | N, α0 ~ Beta(α0 + 1 + a, N + 1 + b)
+                        // where (a, b) = (−1/2, −1/2) under the
+                        // arcsine Jeffreys hyper-prior.
+                        let (da, db) = match self.hyper_prior {
+                            HyperPrior::Uniform => (0.0, 0.0),
+                            HyperPrior::Jeffreys => (-0.5, -0.5),
+                        };
+                        state.beta0 =
+                            Beta::new(state.alpha0 + 1.0 + da, state.last_n as f64 + 1.0 + db)
+                                .map_err(|e| degenerate("beta0 conditional", &e, sweep))?
+                                .sample(rng)
+                                .clamp(OPEN_SHIFT, 1.0 - OPEN_SHIFT);
+                        // α0 | N, β0 ∝ Γ(N + α0)/Γ(α0) · β0^{α0}.
+                        let beta0 = state.beta0;
+                        let last_n = state.last_n;
+                        let ln_target = |a: f64| {
+                            ln_gamma(last_n as f64 + a) - ln_gamma(a) + a * beta0.ln()
+                        };
+                        state.alpha0 = try_slice_sample(
+                            ln_target,
+                            state.alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
+                            OPEN_EPS,
+                            alpha_max,
+                            &self.slice_config,
+                            rng,
+                        )
+                        .map_err(|e| slice_fault(e, "alpha0", sweep))?;
+                    }
+                }
+
+                // --- 2. ζ | current N --------------------------------
+                let last_n = state.last_n;
+                for j in 0..state.zeta.len() {
+                    let (lo, hi) = zeta_bounds[j];
+                    let current = state.zeta[j].clamp(lo, hi);
+                    let snapshot = state.zeta.clone();
+                    let ln_f = |v: f64| {
+                        let mut z = snapshot.clone();
+                        z[j] = v;
+                        self.zeta_log_target(&z, last_n)
+                    };
+                    state.zeta[j] = match self.zeta_kernel {
+                        ZetaKernel::Slice => try_slice_sample(
+                            ln_f,
+                            current,
+                            lo,
+                            hi,
+                            &self.slice_config,
+                            rng,
+                        )
+                        .map_err(|e| slice_fault(e, zeta_names[j], sweep))?,
+                        ZetaKernel::AdaptiveRw => state.rw_kernels[j]
+                            .try_step(ln_f, current, rng)
+                            .map_err(|value| SrmError::NonFiniteLikelihood {
+                                parameter: zeta_names[j],
+                                value,
+                                sweep,
+                            })?,
+                    };
+                }
+            }
+        }
+
+        // --- 3. N | everything else (exact, Props. 1–2) ----------------
+        let ln_q = self.ln_survival(&state.zeta);
+        let survival = ln_q.exp();
+        let force_nan = matches!(forced, Some(FaultKind::NanRate));
+        let residual = match self.prior {
+            PriorSpec::Poisson { .. } => {
+                let rate = if force_nan {
+                    f64::NAN
+                } else {
+                    state.lambda0 * survival
+                };
+                if rate.is_nan() || rate == f64::INFINITY {
+                    return Err(SrmError::NonFiniteLikelihood {
+                        parameter: "rate",
+                        value: rate,
+                        sweep,
+                    });
+                }
+                if rate > 0.0 {
+                    Poisson::new(rate)
+                        .map_err(|e| degenerate("residual rate", &e, sweep))?
+                        .sample(rng)
+                } else {
+                    0
+                }
+            }
+            PriorSpec::NegBinomial { .. } => {
+                let alpha_k = state.alpha0 + self.total as f64;
+                let beta_k = if force_nan {
+                    f64::NAN
+                } else {
+                    (1.0 - (1.0 - state.beta0) * survival).clamp(OPEN_SHIFT, 1.0)
+                };
+                if !alpha_k.is_finite() || !beta_k.is_finite() {
+                    return Err(SrmError::NonFiniteLikelihood {
+                        parameter: "beta_k",
+                        value: if alpha_k.is_finite() { beta_k } else { alpha_k },
+                        sweep,
+                    });
+                }
+                NegativeBinomial::new(alpha_k, beta_k)
+                    .map_err(|e| degenerate("residual posterior", &e, sweep))?
+                    .sample(rng)
+            }
+        };
+        state.last_n = self.total + residual;
+        Ok(residual)
+    }
+}
+
+/// Mutable sampler state snapshotted at sweep start so a faulted
+/// sweep can be retried from where it began.
+#[derive(Debug, Clone)]
+struct SweepState {
+    zeta: Vec<f64>,
+    lambda0: f64,
+    alpha0: f64,
+    beta0: f64,
+    last_n: u64,
+    rw_kernels: Vec<AdaptiveRw>,
+}
+
+/// Maps a [`SliceError`] onto the workspace taxonomy with the sweep
+/// context the slice sampler does not know.
+fn slice_fault(e: SliceError, parameter: &'static str, sweep: usize) -> SrmError {
+    match e {
+        SliceError::Exhausted => SrmError::SliceExhausted { parameter, sweep },
+        SliceError::InfeasibleStart { ln_f0, .. } => SrmError::NonFiniteLikelihood {
+            parameter,
+            value: ln_f0,
+            sweep,
+        },
+        SliceError::InvalidInterval { lo, hi } => SrmError::InvalidConfig {
+            detail: format!("slice interval for {parameter} inverted ({lo} >= {hi})"),
+        },
+        SliceError::StartOutOfRange { x0, lo, hi } => SrmError::InvalidConfig {
+            detail: format!("{parameter} start {x0} outside [{lo}, {hi}]"),
+        },
+    }
+}
+
+/// A distribution construction failure at a Gibbs conditional.
+fn degenerate(what: &str, err: &impl std::fmt::Debug, sweep: usize) -> SrmError {
+    SrmError::DegeneratePosterior {
+        detail: format!("{what}: {err:?}"),
+        sweep,
     }
 }
 

@@ -8,8 +8,12 @@
 //!   Eqs. (14)–(22): exact conjugate draws for `N`, `λ0` and `β0`,
 //!   slice steps for `ζ` and `α0`;
 //! * [`chain`] — chain storage with named parameters;
-//! * [`runner`] — the multi-chain parallel driver (crossbeam scoped
-//!   threads, one xoshiro jump-stream per chain);
+//! * [`fault`] — the typed error taxonomy ([`SrmError`]), retry
+//!   policy, and deterministic fault-injection harness;
+//! * [`runner`] — the multi-chain parallel driver (std scoped
+//!   threads, one xoshiro jump-stream per chain), with panic-contained
+//!   fault-tolerant execution via
+//!   [`runner::run_chains_fault_tolerant`];
 //! * [`diagnostics`] — Gelman–Rubin PSRF (Eq. (26)), Geweke Z
 //!   (Eq. (30), standard form), effective sample size and MCSE;
 //! * [`summary`] — posterior summaries: mean / median / mode / sd /
@@ -40,6 +44,7 @@
 
 pub mod chain;
 pub mod diagnostics;
+pub mod fault;
 pub mod gibbs;
 pub mod metropolis;
 pub mod runner;
@@ -48,6 +53,12 @@ pub mod summary;
 
 pub use chain::Chain;
 pub use diagnostics::{effective_sample_size, geweke_z, psrf, DiagnosticsReport};
+pub use fault::{
+    ChainFailure, ChainReport, FaultInjector, FaultKind, FaultPlan, FaultPoint, RecoveryLog,
+    RetryPolicy, SrmError,
+};
 pub use gibbs::{GibbsSampler, HyperPrior, PriorSpec, SweepKind, SweepRecord, ZetaKernel};
-pub use runner::{run_chains, McmcConfig, McmcOutput};
+pub use runner::{
+    run_chains, run_chains_fault_tolerant, FaultTolerantRun, McmcConfig, McmcOutput, RunOptions,
+};
 pub use summary::PosteriorSummary;

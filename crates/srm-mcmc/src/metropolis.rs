@@ -69,6 +69,24 @@ impl AdaptiveRw {
         }
     }
 
+    /// Fallible form of [`AdaptiveRw::new`]: an inverted support comes
+    /// back as [`crate::fault::SrmError::InvalidConfig`] instead of a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::fault::SrmError::InvalidConfig`] if
+    /// `lo >= hi`.
+    pub fn try_new(initial_step: f64, lo: f64, hi: f64) -> Result<Self, crate::fault::SrmError> {
+        if lo < hi {
+            Ok(Self::new(initial_step, lo, hi))
+        } else {
+            Err(crate::fault::SrmError::InvalidConfig {
+                detail: format!("AdaptiveRw requires lo < hi (got {lo} >= {hi})"),
+            })
+        }
+    }
+
     /// Freezes adaptation (call after burn-in for exact invariance).
     pub fn freeze(&mut self) {
         self.adapt = false;
@@ -134,6 +152,27 @@ impl AdaptiveRw {
         } else {
             x0
         }
+    }
+
+    /// Fallible form of [`AdaptiveRw::step`]: a non-finite density at
+    /// the current state is reported instead of silently stepping (or
+    /// tripping the debug assertion). Consumes the RNG identically to
+    /// [`AdaptiveRw::step`] on the success path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the non-finite `ln_f(x0)` value if the starting point
+    /// is infeasible.
+    pub fn try_step<F, R>(&mut self, ln_f: F, x0: f64, rng: &mut R) -> Result<f64, f64>
+    where
+        F: Fn(f64) -> f64,
+        R: Rng + ?Sized,
+    {
+        let f0 = ln_f(x0);
+        if !f0.is_finite() {
+            return Err(f0);
+        }
+        Ok(self.step(ln_f, x0, rng))
     }
 }
 
@@ -219,5 +258,31 @@ mod tests {
     #[should_panic(expected = "requires lo < hi")]
     fn inverted_support_panics() {
         let _ = AdaptiveRw::new(1.0, 5.0, 5.0);
+    }
+
+    #[test]
+    fn try_new_types_inverted_support() {
+        assert!(AdaptiveRw::try_new(1.0, 5.0, 5.0).is_err());
+        assert!(AdaptiveRw::try_new(1.0, 0.0, 5.0).is_ok());
+    }
+
+    #[test]
+    fn try_step_matches_step_and_types_infeasible_start() {
+        let ln_f = |x: f64| -0.5 * x * x;
+        let mut rng_a = SplitMix64::seed_from(305);
+        let mut rng_b = SplitMix64::seed_from(305);
+        let mut ka = AdaptiveRw::new(0.5, -5.0, 5.0);
+        let mut kb = AdaptiveRw::new(0.5, -5.0, 5.0);
+        let mut xa = 0.2;
+        let mut xb = 0.2;
+        for _ in 0..500 {
+            xa = ka.step(ln_f, xa, &mut rng_a);
+            xb = kb.try_step(ln_f, xb, &mut rng_b).unwrap();
+            assert_eq!(xa.to_bits(), xb.to_bits());
+        }
+        let mut rng = SplitMix64::seed_from(306);
+        let mut kernel = AdaptiveRw::new(0.5, -5.0, 5.0);
+        let err = kernel.try_step(|_| f64::NAN, 0.0, &mut rng).unwrap_err();
+        assert!(err.is_nan());
     }
 }

@@ -1,11 +1,21 @@
 //! Multi-chain parallel MCMC driver.
 //!
-//! Chains run on crossbeam scoped threads; chain `i` draws from the
+//! Chains run on std scoped threads; chain `i` draws from the
 //! `i`-th xoshiro256\*\* jump stream of the seed, so results are
 //! bit-identical whether chains run serially or in parallel.
+//!
+//! [`run_chains_fault_tolerant`] is the panic-contained entry point:
+//! each chain thread is wrapped in `catch_unwind`, faulted sweeps are
+//! retried per [`RetryPolicy`], and a failed chain degrades the run to
+//! partial output with an explicit [`ChainReport`] instead of aborting
+//! the process.
 
 use crate::chain::Chain;
+use crate::fault::{
+    panic_message, ChainReport, FaultPlan, RecoveryLog, RetryPolicy, SrmError,
+};
 use crate::gibbs::{GibbsSampler, SweepRecord};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Run-length and seeding configuration for an MCMC run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,50 +85,210 @@ impl McmcOutput {
     }
 
     /// Per-chain draw slices for one parameter (for diagnostics).
-    #[must_use]
-    pub fn per_chain(&self, name: &str) -> Vec<&[f64]> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SrmError::MissingParameter`] naming the first chain
+    /// that lacks `name` — a silent partial answer would corrupt
+    /// cross-chain diagnostics.
+    pub fn per_chain(&self, name: &str) -> Result<Vec<&[f64]>, SrmError> {
         self.chains
             .iter()
-            .filter_map(|c| c.draws(name))
+            .enumerate()
+            .map(|(i, c)| {
+                c.draws(name).ok_or_else(|| SrmError::MissingParameter {
+                    parameter: name.to_owned(),
+                    chain: i,
+                })
+            })
             .collect()
     }
 
-    /// Parameter names (identical across chains).
+    /// Parameter names (identical across chains); empty when the
+    /// output holds no chains.
     #[must_use]
     pub fn names(&self) -> &[String] {
-        self.chains[0].names()
+        self.chains.first().map_or(&[], |c| c.names())
     }
+}
+
+/// Fault-handling configuration for [`run_chains_fault_tolerant`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Per-chain retry budget for faulted sweeps.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection (empty = none).
+    pub fault_plan: FaultPlan,
+}
+
+impl RunOptions {
+    /// No retries, no injection: the strictest configuration.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            retry: RetryPolicy::none(),
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// The outcome of a fault-tolerant run: the surviving chains plus one
+/// health report per configured chain.
+#[derive(Debug, Clone)]
+pub struct FaultTolerantRun {
+    /// Surviving chains, in stream order (failed chains are absent).
+    pub output: McmcOutput,
+    /// One report per configured chain, in stream order.
+    pub reports: Vec<ChainReport>,
+}
+
+impl FaultTolerantRun {
+    /// Stream indices of chains that produced no output.
+    #[must_use]
+    pub fn failed_chains(&self) -> Vec<usize> {
+        self.reports
+            .iter()
+            .filter(|r| !r.recovered)
+            .map(|r| r.chain)
+            .collect()
+    }
+
+    /// Whether any chain was lost (output is partial).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.reports.iter().any(|r| !r.recovered)
+    }
+
+    /// Total retries consumed across all chains.
+    #[must_use]
+    pub fn total_retries(&self) -> usize {
+        self.reports.iter().map(|r| r.retries).sum()
+    }
+}
+
+/// Runs `config.chains` chains in parallel with panic containment,
+/// bounded retry, and optional deterministic fault injection.
+///
+/// Each chain thread is wrapped in `catch_unwind`; a panicking or
+/// faulted chain is dropped from the output and described in its
+/// [`ChainReport`], so the run degrades to partial output instead of
+/// aborting. With default options and no faults the output is
+/// bit-identical to [`run_chains`].
+///
+/// # Errors
+///
+/// Returns [`SrmError::InvalidConfig`] when `config.chains == 0`, and
+/// the first failed chain's fault when *every* chain is lost.
+pub fn run_chains_fault_tolerant(
+    sampler: &GibbsSampler,
+    config: &McmcConfig,
+    options: &RunOptions,
+) -> Result<FaultTolerantRun, SrmError> {
+    if config.chains == 0 {
+        return Err(SrmError::InvalidConfig {
+            detail: "at least one chain is required".into(),
+        });
+    }
+    let base = srm_rand::Xoshiro256StarStar::seed_from(config.seed);
+    type Slot = Option<(Option<Chain>, ChainReport)>;
+    let mut slots: Vec<Slot> = (0..config.chains).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let mut rng = base.split_stream(i as u64);
+            let mut injector = options.fault_plan.injector_for(i);
+            let retry = options.retry;
+            scope.spawn(move || {
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    sampler.try_run_chain(
+                        &mut rng,
+                        config.burn_in,
+                        config.samples,
+                        config.thin,
+                        &retry,
+                        &mut injector,
+                        &mut |_| {},
+                    )
+                }));
+                *slot = Some(match caught {
+                    Ok(Ok((chain, RecoveryLog { retries, last_fault }))) => (
+                        Some(chain),
+                        ChainReport {
+                            chain: i,
+                            fault: last_fault,
+                            retries,
+                            recovered: true,
+                        },
+                    ),
+                    Ok(Err(failure)) => (
+                        None,
+                        ChainReport {
+                            chain: i,
+                            fault: Some(failure.fault),
+                            retries: failure.retries,
+                            recovered: false,
+                        },
+                    ),
+                    Err(payload) => (
+                        None,
+                        ChainReport {
+                            chain: i,
+                            fault: Some(SrmError::ChainPanicked {
+                                chain: i,
+                                message: panic_message(payload.as_ref()),
+                            }),
+                            retries: 0,
+                            recovered: false,
+                        },
+                    ),
+                });
+            });
+        }
+    });
+
+    let mut chains = Vec::with_capacity(config.chains);
+    let mut reports = Vec::with_capacity(config.chains);
+    for slot in slots.into_iter().flatten() {
+        let (chain, report) = slot;
+        chains.extend(chain);
+        reports.push(report);
+    }
+    if chains.is_empty() {
+        let fault = reports
+            .iter()
+            .find_map(|r| r.fault.clone())
+            .unwrap_or(SrmError::InvalidConfig {
+                detail: "no chains produced output".into(),
+            });
+        return Err(fault);
+    }
+    Ok(FaultTolerantRun {
+        output: McmcOutput { chains },
+        reports,
+    })
 }
 
 /// Runs `config.chains` chains of `sampler` in parallel and collects
 /// them. Observers are not supported on the parallel path — use
 /// [`run_chains_observed`] when WAIC accumulators must see each draw.
 ///
+/// Thin strict wrapper over [`run_chains_fault_tolerant`] with no
+/// retry and no injection: bit-identical output on fault-free runs,
+/// and any fault aborts the process.
+///
 /// # Panics
 ///
-/// Panics if `config.chains == 0`.
+/// Panics if `config.chains == 0` or any chain faults.
 #[must_use]
 pub fn run_chains(sampler: &GibbsSampler, config: &McmcConfig) -> McmcOutput {
     assert!(config.chains > 0, "at least one chain is required");
-    let base = srm_rand::Xoshiro256StarStar::seed_from(config.seed);
-    let mut chains: Vec<Option<Chain>> = (0..config.chains).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (i, slot) in chains.iter_mut().enumerate() {
-            let mut rng = base.split_stream(i as u64);
-            scope.spawn(move |_| {
-                *slot = Some(sampler.run_chain(
-                    &mut rng,
-                    config.burn_in,
-                    config.samples,
-                    config.thin,
-                    &mut |_| {},
-                ));
-            });
+    match run_chains_fault_tolerant(sampler, config, &RunOptions::none()) {
+        Ok(run) => {
+            if let Some(report) = run.reports.iter().find(|r| !r.recovered) {
+                panic!("{report}");
+            }
+            run.output
         }
-    })
-    .expect("chain thread panicked");
-    McmcOutput {
-        chains: chains.into_iter().map(|c| c.expect("chain ran")).collect(),
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -189,8 +359,59 @@ mod tests {
         let config = McmcConfig::smoke(3);
         let out = run_chains(&s, &config);
         assert_eq!(out.pooled("residual").len(), config.total_samples());
-        assert_eq!(out.per_chain("residual").len(), config.chains);
+        assert_eq!(out.per_chain("residual").unwrap().len(), config.chains);
         assert!(out.names().iter().any(|n| n == "lambda0"));
+    }
+
+    #[test]
+    fn empty_output_has_no_names_and_missing_params_are_typed() {
+        let empty = McmcOutput { chains: Vec::new() };
+        assert!(empty.names().is_empty());
+        assert!(empty.pooled("residual").is_empty());
+        assert_eq!(empty.per_chain("residual").unwrap(), Vec::<&[f64]>::new());
+
+        let data = datasets::musa_cc96().truncated(25).unwrap();
+        let s = sampler(&data);
+        let out = run_chains(&s, &McmcConfig::smoke(9));
+        let err = out.per_chain("not_a_param").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::fault::SrmError::MissingParameter { ref parameter, chain: 0 }
+                if parameter == "not_a_param"
+        ));
+    }
+
+    #[test]
+    fn fault_tolerant_run_matches_strict_run_when_fault_free() {
+        let data = datasets::musa_cc96().truncated(25).unwrap();
+        let s = sampler(&data);
+        let config = McmcConfig::smoke(12);
+        let strict = run_chains(&s, &config);
+        let tolerant = run_chains_fault_tolerant(
+            &s,
+            &config,
+            &RunOptions {
+                retry: RetryPolicy::default(),
+                fault_plan: FaultPlan::none(),
+            },
+        )
+        .unwrap();
+        assert_eq!(strict, tolerant.output);
+        assert!(!tolerant.is_degraded());
+        assert_eq!(tolerant.total_retries(), 0);
+        assert!(tolerant.reports.iter().all(|r| r.fault.is_none()));
+    }
+
+    #[test]
+    fn zero_chains_is_a_typed_error() {
+        let data = datasets::musa_cc96().truncated(25).unwrap();
+        let s = sampler(&data);
+        let config = McmcConfig {
+            chains: 0,
+            ..McmcConfig::smoke(1)
+        };
+        let err = run_chains_fault_tolerant(&s, &config, &RunOptions::none()).unwrap_err();
+        assert!(matches!(err, crate::fault::SrmError::InvalidConfig { .. }));
     }
 
     #[test]

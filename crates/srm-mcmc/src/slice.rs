@@ -7,6 +7,41 @@
 
 use srm_rand::Rng;
 
+/// Why a slice update could not produce a draw. Mapped onto
+/// [`crate::fault::SrmError`] by the Gibbs sweep, which knows the
+/// parameter name and sweep index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SliceError {
+    /// `lo >= hi`: no interval to sample on.
+    InvalidInterval {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// The starting point lies outside `[lo, hi]`.
+    StartOutOfRange {
+        /// The starting point.
+        x0: f64,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// `ln_f(x0)` is −∞ or NaN: the chain sits on a zero-density
+    /// point and the vertical step is undefined.
+    InfeasibleStart {
+        /// The starting point.
+        x0: f64,
+        /// The non-finite log-density observed there.
+        ln_f0: f64,
+    },
+    /// Shrinkage collapsed the bracket to zero width without finding
+    /// a point inside the slice (a pathologically discontinuous
+    /// target).
+    Exhausted,
+}
+
 /// Configuration of the stepping-out slice sampler.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SliceConfig {
@@ -68,16 +103,57 @@ where
     F: Fn(f64) -> f64,
     R: Rng + ?Sized,
 {
-    assert!(lo < hi, "slice_sample requires lo < hi ({lo} >= {hi})");
-    assert!(
-        (lo..=hi).contains(&x0),
-        "starting point {x0} outside [{lo}, {hi}]"
-    );
+    match try_slice_sample(ln_f, x0, lo, hi, config, rng) {
+        Ok(x) => x,
+        // Historical behaviour: an exhausted bracket keeps the current
+        // point (a formally valid, if wasteful, move).
+        Err(SliceError::Exhausted) => x0,
+        Err(SliceError::InvalidInterval { lo, hi }) => {
+            panic!("slice_sample requires lo < hi ({lo} >= {hi})")
+        }
+        Err(SliceError::StartOutOfRange { x0, lo, hi }) => {
+            panic!("starting point {x0} outside [{lo}, {hi}]")
+        }
+        Err(SliceError::InfeasibleStart { .. }) => {
+            panic!("slice_sample requires a feasible starting point")
+        }
+    }
+}
+
+/// Fallible form of [`slice_sample`]: the same update, but invalid
+/// intervals, infeasible starting points, and exhausted brackets come
+/// back as [`SliceError`] values instead of panics. Consumes the RNG
+/// identically to [`slice_sample`] on the success path.
+///
+/// # Errors
+///
+/// See [`SliceError`] for the failure cases.
+pub fn try_slice_sample<F, R>(
+    ln_f: F,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    config: &SliceConfig,
+    rng: &mut R,
+) -> Result<f64, SliceError>
+where
+    F: Fn(f64) -> f64,
+    R: Rng + ?Sized,
+{
+    // Negated comparisons are deliberate throughout: a NaN bound or
+    // NaN log-density must take the error path.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(lo < hi) {
+        return Err(SliceError::InvalidInterval { lo, hi });
+    }
+    if !(lo..=hi).contains(&x0) {
+        return Err(SliceError::StartOutOfRange { x0, lo, hi });
+    }
     let f0 = ln_f(x0);
-    assert!(
-        f0 > f64::NEG_INFINITY,
-        "slice_sample requires a feasible starting point"
-    );
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be infeasible too
+    if !(f0 > f64::NEG_INFINITY) {
+        return Err(SliceError::InfeasibleStart { x0, ln_f0: f0 });
+    }
 
     // Vertical step: ln u = ln f(x0) − Exp(1).
     let ln_u = f0 + rng.next_open_f64().ln();
@@ -105,7 +181,7 @@ where
     for _ in 0..config.max_shrink {
         let x = left + (right - left) * rng.next_f64();
         if ln_f(x) > ln_u {
-            return x;
+            return Ok(x);
         }
         if x < x0 {
             left = x;
@@ -113,10 +189,10 @@ where
             right = x;
         }
         if (right - left) < 1e-300 {
-            break;
+            return Err(SliceError::Exhausted);
         }
     }
-    x0
+    Ok(x0)
 }
 
 #[cfg(test)]
@@ -209,6 +285,49 @@ mod tests {
     fn inverted_interval_panics() {
         let mut rng = SplitMix64::seed_from(76);
         let _ = slice_sample(|_| 0.0, 0.5, 1.0, 0.0, &SliceConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn try_variant_types_the_failures() {
+        let mut rng = SplitMix64::seed_from(78);
+        let cfg = SliceConfig::default();
+        assert_eq!(
+            try_slice_sample(|_| 0.0, 0.5, 1.0, 0.0, &cfg, &mut rng),
+            Err(SliceError::InvalidInterval { lo: 1.0, hi: 0.0 })
+        );
+        assert_eq!(
+            try_slice_sample(|_| 0.0, 2.0, 0.0, 1.0, &cfg, &mut rng),
+            Err(SliceError::StartOutOfRange {
+                x0: 2.0,
+                lo: 0.0,
+                hi: 1.0
+            })
+        );
+        assert!(matches!(
+            try_slice_sample(|_| f64::NEG_INFINITY, 0.5, 0.0, 1.0, &cfg, &mut rng),
+            Err(SliceError::InfeasibleStart { x0, ln_f0 })
+                if x0 == 0.5 && ln_f0 == f64::NEG_INFINITY
+        ));
+        assert!(matches!(
+            try_slice_sample(|_| f64::NAN, 0.5, 0.0, 1.0, &cfg, &mut rng),
+            Err(SliceError::InfeasibleStart { x0, ln_f0 })
+                if x0 == 0.5 && ln_f0.is_nan()
+        ));
+    }
+
+    #[test]
+    fn try_variant_matches_panicking_form_on_success() {
+        let ln_f = |x: f64| -0.5 * x * x;
+        let cfg = SliceConfig::default();
+        let mut rng_a = SplitMix64::seed_from(79);
+        let mut rng_b = SplitMix64::seed_from(79);
+        let mut xa = 0.3;
+        let mut xb = 0.3;
+        for _ in 0..500 {
+            xa = slice_sample(ln_f, xa, -4.0, 4.0, &cfg, &mut rng_a);
+            xb = try_slice_sample(ln_f, xb, -4.0, 4.0, &cfg, &mut rng_b).unwrap();
+            assert_eq!(xa.to_bits(), xb.to_bits());
+        }
     }
 
     #[test]

@@ -14,12 +14,16 @@ use srm_math::accum::RunningMoments;
 /// let s = PosteriorSummary::from_draws(&draws);
 /// assert_eq!(s.median, 2.0);
 /// assert_eq!(s.mode, 2.0);
+/// assert_eq!(s.nan_draws, 0);
 /// assert!((s.mean - 2.4).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PosteriorSummary {
-    /// Number of draws summarised.
+    /// Number of (non-NaN) draws summarised.
     pub count: usize,
+    /// Number of NaN draws excluded from the summary. Non-zero values
+    /// indicate an upstream numerical fault worth investigating.
+    pub nan_draws: usize,
     /// Posterior mean.
     pub mean: f64,
     /// Posterior median (type-7 interpolated quantile).
@@ -40,25 +44,30 @@ pub struct PosteriorSummary {
 }
 
 impl PosteriorSummary {
-    /// Summarises a slice of draws.
+    /// Summarises a slice of draws. NaN draws are excluded from every
+    /// statistic and counted in [`PosteriorSummary::nan_draws`].
     ///
     /// # Panics
     ///
-    /// Panics on empty input.
+    /// Panics on empty input or when every draw is NaN (zero usable
+    /// draws).
     #[must_use]
     pub fn from_draws(draws: &[f64]) -> Self {
-        assert!(!draws.is_empty(), "cannot summarise zero draws");
-        let mut sorted = draws.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("draws must not be NaN"));
-        let moments: RunningMoments = draws.iter().copied().collect();
+        let nan_draws = draws.iter().filter(|d| d.is_nan()).count();
+        let finite: Vec<f64> = draws.iter().copied().filter(|d| !d.is_nan()).collect();
+        assert!(!finite.is_empty(), "cannot summarise zero draws");
+        let mut sorted = finite.clone();
+        sorted.sort_by(f64::total_cmp);
+        let moments: RunningMoments = finite.iter().copied().collect();
         Self {
-            count: draws.len(),
+            count: finite.len(),
+            nan_draws,
             mean: moments.mean(),
             median: quantile_sorted(&sorted, 0.5),
-            mode: mode_of(draws, &sorted),
+            mode: mode_of(&finite, &sorted),
             sd: moments.sample_sd(),
             min: sorted[0],
-            max: *sorted.last().expect("non-empty"),
+            max: sorted[sorted.len() - 1],
             q1: quantile_sorted(&sorted, 0.25),
             q3: quantile_sorted(&sorted, 0.75),
         }
@@ -98,7 +107,7 @@ impl PosteriorSummary {
     pub fn credible_interval(draws: &[f64], alpha: f64) -> (f64, f64) {
         assert!(alpha > 0.0 && alpha < 1.0, "alpha out of range");
         let mut sorted = draws.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("draws must not be NaN"));
+        sorted.sort_by(f64::total_cmp);
         (
             quantile_sorted(&sorted, alpha / 2.0),
             quantile_sorted(&sorted, 1.0 - alpha / 2.0),
@@ -116,7 +125,7 @@ impl PosteriorSummary {
         assert!(alpha > 0.0 && alpha < 1.0, "alpha out of range");
         assert!(!draws.is_empty(), "empty draws");
         let mut sorted = draws.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("draws must not be NaN"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let keep = (((1.0 - alpha) * n as f64).ceil() as usize).clamp(1, n);
         let mut best = (sorted[0], sorted[n - 1]);
@@ -243,6 +252,24 @@ mod tests {
     #[should_panic(expected = "zero draws")]
     fn empty_draws_panic() {
         let _ = PosteriorSummary::from_draws(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero draws")]
+    fn all_nan_draws_panic() {
+        let _ = PosteriorSummary::from_draws(&[f64::NAN, f64::NAN]);
+    }
+
+    #[test]
+    fn nan_draws_counted_not_fatal() {
+        let draws = [1.0, f64::NAN, 2.0, 2.0, f64::NAN, 3.0, 4.0];
+        let s = PosteriorSummary::from_draws(&draws);
+        assert_eq!(s.nan_draws, 2);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.4).abs() < 1e-12);
     }
 
     #[test]

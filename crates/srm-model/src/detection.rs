@@ -185,7 +185,7 @@ impl DetectionModel {
             });
         }
         let mu = zeta[0];
-        if !(mu > 0.0 && mu < 1.0) || !mu.is_finite() {
+        if !(mu > 0.0 && mu < 1.0 && mu.is_finite()) {
             return Err(ModelError::OutOfRange {
                 name: "mu",
                 value: mu,
@@ -195,7 +195,7 @@ impl DetectionModel {
         match self {
             Self::PadgettSpurrier => {
                 let theta = zeta[1];
-                if !(theta > 0.0) || !theta.is_finite() {
+                if !(theta > 0.0 && theta.is_finite()) {
                     return Err(ModelError::OutOfRange {
                         name: "theta",
                         value: theta,
@@ -215,7 +215,7 @@ impl DetectionModel {
             }
             Self::Weibull => {
                 let omega = zeta[1];
-                if !(omega > 0.0 && omega < 1.0) || !omega.is_finite() {
+                if !(omega > 0.0 && omega < 1.0 && omega.is_finite()) {
                     return Err(ModelError::OutOfRange {
                         name: "omega",
                         value: omega,

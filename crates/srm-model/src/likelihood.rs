@@ -91,13 +91,12 @@ impl GroupedLikelihood {
             return f64::NEG_INFINITY;
         }
         let mut ll = ln_factorial(n) - ln_factorial(n - self.total) - self.ln_fact_counts;
-        for i in 0..self.counts.len() {
-            let p = probs[i];
+        for ((&count, &p), &cum) in self.counts.iter().zip(probs).zip(&self.cumulative) {
             let q = 1.0 - p;
-            let x = self.counts[i] as f64;
-            let remaining_after = (n - self.cumulative[i]) as f64;
+            let x = count as f64;
+            let remaining_after = (n - cum) as f64;
             if p <= 0.0 {
-                if self.counts[i] > 0 {
+                if count > 0 {
                     return f64::NEG_INFINITY;
                 }
                 continue; // x_i = 0 and p = 0 contributes factor 1

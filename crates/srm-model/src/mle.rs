@@ -39,10 +39,12 @@ impl MleFit {
     /// `λ̂0 Π q̂_i`.
     #[must_use]
     pub fn expected_residual(&self, horizon: usize) -> f64 {
+        // The optimiser only ever stores in-domain parameters; an
+        // out-of-domain vector would have scored -inf and been rejected.
         let probs = self
             .model
             .probs(&self.zeta, horizon)
-            .expect("fitted parameters are valid");
+            .unwrap_or_else(|_| unreachable!());
         let survival: f64 = probs.iter().map(|&p| (1.0 - p).ln()).sum();
         self.lambda0 * survival.exp()
     }
@@ -183,7 +185,7 @@ pub fn fit_nhpp(
     for start in starts {
         let r = nelder_mead(objective, &start, Some(&bounds), &config);
         if r.fx.is_finite() {
-            let better = best.as_ref().map_or(true, |(_, fx, _)| r.fx < *fx);
+            let better = best.as_ref().is_none_or(|(_, fx, _)| r.fx < *fx);
             if better {
                 best = Some((r.x, r.fx, r.converged));
             }

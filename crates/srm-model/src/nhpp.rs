@@ -34,7 +34,10 @@ pub fn mean_value_curve(
     zeta: &[f64],
     horizon: usize,
 ) -> Vec<f64> {
-    let probs = model.probs(zeta, horizon).expect("valid parameters");
+    let probs = match model.probs(zeta, horizon) {
+        Ok(p) => p,
+        Err(e) => panic!("mean_value_curve: {e:?}"),
+    };
     let mean_n = prior.mean();
     let mut survival = 1.0;
     probs

@@ -157,13 +157,15 @@ impl ResidualPosterior {
                 if lambda_k <= 0.0 {
                     0
                 } else {
+                    // lambda_k > 0 was checked just above.
                     Poisson::new(lambda_k)
-                        .expect("positive rate")
+                        .unwrap_or_else(|_| unreachable!())
                         .sample(rng)
                 }
             }
+            // The update rules keep alpha_k > 0 and beta_k in (0, 1].
             Self::NegBinomial { alpha_k, beta_k } => NegativeBinomial::new(alpha_k, beta_k)
-                .expect("validated update")
+                .unwrap_or_else(|_| unreachable!())
                 .sample(rng),
         }
     }
@@ -294,7 +296,7 @@ pub(crate) mod tests {
         // In the homogeneous case p_i = p, 1 − β_k = (1 − β0) q^k.
         let data = BugCountData::new(vec![2, 2, 1]).unwrap();
         let p = 0.2;
-        let post = nb_posterior(3.0, 0.4, &vec![p; 3], &data);
+        let post = nb_posterior(3.0, 0.4, &[p; 3], &data);
         match post {
             ResidualPosterior::NegBinomial { alpha_k, beta_k } => {
                 assert!(approx_eq(alpha_k, 8.0, 1e-12));

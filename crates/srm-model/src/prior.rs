@@ -133,11 +133,12 @@ impl BugPrior {
     /// Draws an initial bug content from the prior.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match *self {
+            // Both parameter sets were validated at construction.
             Self::Poisson { lambda0 } => Poisson::new(lambda0)
-                .expect("validated at construction")
+                .unwrap_or_else(|_| unreachable!())
                 .sample(rng),
             Self::NegBinomial { alpha0, beta0 } => NegativeBinomial::new(alpha0, beta0)
-                .expect("validated at construction")
+                .unwrap_or_else(|_| unreachable!())
                 .sample(rng),
         }
     }

@@ -90,8 +90,9 @@ impl Distribution for Beta {
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // X = G_a/(G_a + G_b) with independent standard gammas.
-        let ga = Gamma::new(self.a, 1.0).expect("validated shape");
-        let gb = Gamma::new(self.b, 1.0).expect("validated shape");
+        // Shapes were validated positive at construction.
+        let ga = Gamma::new(self.a, 1.0).unwrap_or_else(|_| unreachable!());
+        let gb = Gamma::new(self.b, 1.0).unwrap_or_else(|_| unreachable!());
         let x = ga.sample(rng);
         let y = gb.sample(rng);
         // Both draws are strictly positive, so the ratio is in (0, 1).

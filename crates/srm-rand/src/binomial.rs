@@ -125,8 +125,9 @@ impl Binomial {
                 return acc + Self::sample_inversion(n, p, rng);
             }
             let m = 1 + n / 2;
+            // Both shapes are positive integers, so `new` cannot fail.
             let x = Beta::new(m as f64, (n + 1 - m) as f64)
-                .expect("shapes are positive integers")
+                .unwrap_or_else(|_| unreachable!())
                 .sample(rng);
             if x <= p {
                 // m of the uniforms are below x ≤ p: all successes.

@@ -39,16 +39,12 @@ impl Categorical {
         if weights.is_empty() {
             return Err(DistributionError::DegenerateWeights);
         }
-        for (i, &w) in weights.iter().enumerate() {
+        for &w in weights {
             if !w.is_finite() || w < 0.0 {
                 return Err(DistributionError::InvalidParameter {
                     name: "weights",
                     value: w,
-                    constraint: if i == 0 {
-                        "must be finite and >= 0"
-                    } else {
-                        "must be finite and >= 0"
-                    },
+                    constraint: "must be finite and >= 0",
                 });
             }
         }

@@ -130,8 +130,10 @@ impl Distribution for NegativeBinomial {
         }
         // λ ~ Gamma(r, (1 − beta)/beta), K | λ ~ Poisson(λ).
         let scale = (1.0 - self.beta) / self.beta;
+        // r was validated positive at construction and beta < 1.0
+        // here, so the scale is positive and `new` cannot fail.
         let lambda = Gamma::new(self.r, scale)
-            .expect("validated parameters")
+            .unwrap_or_else(|_| unreachable!())
             .sample(rng);
         if lambda <= 0.0 {
             return 0;

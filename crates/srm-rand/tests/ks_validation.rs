@@ -3,6 +3,8 @@
 //! sharper than moment checks because the whole distribution shape is
 //! tested.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
 use srm_math::stats::{chi2_gof, ks_p_value, ks_statistic};
 use srm_rand::{
     Beta, Distribution, Exponential, Gamma, NegativeBinomial, Normal, Poisson, SplitMix64,

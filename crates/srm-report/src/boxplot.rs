@@ -98,9 +98,10 @@ pub fn render_boxes(boxes: &[(&str, BoxStats)], width: usize) -> String {
         line[q1] = b'[';
         line[q3.max(q1)] = b']';
         line[med] = b'*';
+        // The line buffer only ever holds single-byte ASCII glyphs.
         out.push_str(&format!(
             "{label:label_width$} {}\n",
-            String::from_utf8(line).expect("ascii")
+            String::from_utf8(line).unwrap_or_else(|_| unreachable!())
         ));
     }
     out.push_str(&format!(

@@ -4,6 +4,8 @@
 //! calibration per model and prior across the in-data observation
 //! points (where a nonzero ground truth exists).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // reproduction script
+
 use srm_core::{Fit, FitConfig};
 use srm_data::{datasets, ObservationPoint};
 use srm_mcmc::gibbs::PriorSpec;

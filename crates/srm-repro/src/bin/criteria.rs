@@ -3,6 +3,8 @@
 //! the 50 % observation point — demonstrating that the paper's
 //! model1-wins conclusion is criterion-robust.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // reproduction script
+
 use srm_data::datasets;
 use srm_mcmc::gibbs::{GibbsSampler, PriorSpec};
 use srm_mcmc::runner::run_chains_observed;

@@ -3,6 +3,8 @@
 //! Jeffreys hyper-priors and compare posterior residual summaries and
 //! WAIC at each observation point.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // reproduction script
+
 use srm_data::{datasets, ObservationPlan};
 use srm_mcmc::gibbs::{GibbsSampler, HyperPrior, PriorSpec};
 use srm_mcmc::runner::run_chains_observed;

@@ -2,6 +2,8 @@
 //! Poisson and negative-binomial priors across several datasets with
 //! different growth shapes, using the WAIC-best model1.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // reproduction script
+
 use srm_core::multidata::compare_across_datasets;
 use srm_core::FitConfig;
 use srm_data::datasets;

@@ -2,6 +2,8 @@
 //! residual mean to the hyper-prior upper limits (the quantities the
 //! paper tunes by WAIC minimisation).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // reproduction script
+
 use srm_data::datasets;
 use srm_mcmc::runner::McmcConfig;
 use srm_model::DetectionModel;

@@ -14,7 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use srm_core::{Experiment, ExperimentConfig, ExperimentResults};
+use srm_core::{Experiment, ExperimentCell, ExperimentConfig, ExperimentResults};
 use srm_data::{datasets, BugCountData};
 use srm_mcmc::runner::McmcConfig;
 use srm_model::DetectionModel;
@@ -66,7 +66,7 @@ pub fn seed() -> u64 {
 /// Whether fast (smoke-scale) runs were requested.
 #[must_use]
 pub fn fast_mode() -> bool {
-    std::env::var("SRM_REPRO_FAST").map_or(false, |v| v != "0" && !v.is_empty())
+    std::env::var("SRM_REPRO_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// The MCMC scale for the current mode.
@@ -110,6 +110,20 @@ pub fn model_columns() -> Vec<&'static str> {
     DetectionModel::ALL.iter().map(|m| m.name()).collect()
 }
 
+/// Looks up a cell that the full paper design must have produced;
+/// rendering a degraded run that dropped cells is a caller error.
+fn full_design_cell<'a>(
+    results: &'a ExperimentResults,
+    prior_label: &str,
+    model: DetectionModel,
+    day: usize,
+) -> &'a ExperimentCell {
+    match results.get(prior_label, model, day) {
+        Some(cell) => cell,
+        None => panic!("missing cell ({prior_label}, {model:?}, day {day}): rendering requires the full design"),
+    }
+}
+
 /// Renders Table I (WAIC comparison) for one prior family.
 #[must_use]
 pub fn render_table1(results: &ExperimentResults, prior_label: &str) -> Table {
@@ -123,9 +137,7 @@ pub fn render_table1(results: &ExperimentResults, prior_label: &str) -> Table {
         let values: Vec<f64> = DetectionModel::ALL
             .iter()
             .map(|&m| {
-                results
-                    .get(prior_label, m, day)
-                    .expect("full design ran")
+                full_design_cell(results, prior_label, m, day)
                     .fit
                     .waic
                     .total()
@@ -153,7 +165,7 @@ pub fn render_stat_table(
         let mut plain = Vec::new();
         let mut with_dev = Vec::new();
         for &m in &DetectionModel::ALL {
-            let cell = results.get(prior_label, m, day).expect("full design ran");
+            let cell = full_design_cell(results, prior_label, m, day);
             let value = match stat {
                 Statistic::Mean => cell.fit.residual.mean,
                 Statistic::Median => cell.fit.residual.median,
@@ -186,7 +198,7 @@ pub fn render_boxplot_figure(results: &ExperimentResults, prior_label: &str) -> 
         let boxes: Vec<(&str, BoxStats)> = DetectionModel::ALL
             .iter()
             .map(|&m| {
-                let cell = results.get(prior_label, m, day).expect("full design ran");
+                let cell = full_design_cell(results, prior_label, m, day);
                 (m.name(), BoxStats::from_draws(&cell.fit.residual_draws))
             })
             .collect();

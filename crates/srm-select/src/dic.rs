@@ -67,7 +67,10 @@ pub fn dic_from_output(
         for (slot, column) in zeta.iter_mut().zip(&zeta_draws) {
             *slot = column[idx];
         }
-        let probs = model.probs(&zeta, horizon).expect("sampled values valid");
+        let probs = match model.probs(&zeta, horizon) {
+            Ok(p) => p,
+            Err(e) => panic!("DIC replay hit an out-of-domain draw: {e:?}"),
+        };
         let deviance = -2.0 * lik.ln_likelihood(n_draws[idx] as u64, &probs);
         total += deviance;
         best = best.min(deviance);

@@ -101,10 +101,10 @@ impl GridSearch {
         }
 
         let mut cells: Vec<Option<GridCell>> = vec![None; combos.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, &(limit, theta_max)) in cells.iter_mut().zip(&combos) {
                 let mcmc = self.mcmc;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let prior = if poisson_prior {
                         PriorSpec::Poisson { lambda_max: limit }
                     } else {
@@ -123,19 +123,15 @@ impl GridSearch {
                     });
                 });
             }
-        })
-        .expect("grid cell thread panicked");
+        });
 
-        let cells: Vec<GridCell> = cells.into_iter().map(|c| c.expect("cell ran")).collect();
+        let cells: Vec<GridCell> = cells.into_iter().flatten().collect();
+        // The grid always has at least one cell; the fallback index
+        // is unreachable.
         let best = cells
             .iter()
-            .min_by(|a, b| {
-                a.waic
-                    .total()
-                    .partial_cmp(&b.waic.total())
-                    .expect("WAIC totals are finite")
-            })
-            .expect("grid non-empty")
+            .min_by(|a, b| a.waic.total().total_cmp(&b.waic.total()))
+            .unwrap_or_else(|| unreachable!())
             .clone();
         GridSearchResult { best, cells }
     }

@@ -109,8 +109,9 @@ impl Loo {
 /// Runs the sampler with a LOO observer and returns the estimate.
 #[must_use]
 pub fn loo_for(sampler: &GibbsSampler, config: &McmcConfig) -> Loo {
+    // The sampler can only be built from non-empty data.
     let data = srm_data::BugCountData::new(sampler.likelihood().counts().to_vec())
-        .expect("sampler data is non-empty");
+        .unwrap_or_else(|_| unreachable!());
     let mut acc = LooAccumulator::new(&data);
     let _ = run_chains_observed(sampler, config, &mut |rec| acc.observe(rec));
     acc.finish()
@@ -198,7 +199,7 @@ mod tests {
         }
         // One pathological draw: tiny detection probability makes the
         // observed counts nearly impossible.
-        acc.add_draw(200, &vec![1e-9; 10]);
+        acc.add_draw(200, &[1e-9; 10]);
         let loo = acc.finish();
         assert!(loo.elpd.is_finite());
     }

@@ -17,6 +17,7 @@ use srm_math::accum::RunningMoments;
 use srm_math::logsumexp::StreamingLogSumExp;
 use srm_mcmc::gibbs::{GibbsSampler, SweepRecord};
 use srm_mcmc::runner::{run_chains_observed, McmcConfig, McmcOutput};
+use srm_mcmc::SrmError;
 use srm_model::GroupedLikelihood;
 
 /// Streaming WAIC accumulator over posterior draws.
@@ -173,11 +174,68 @@ pub fn waic_and_chains(sampler: &GibbsSampler, config: &McmcConfig) -> (Waic, Mc
     (acc.finish(), output)
 }
 
+/// Replays recorded chains through a fresh WAIC accumulator,
+/// recomputing each draw's detection schedule from its stored `ζ`.
+///
+/// Because the schedule is a deterministic function of `ζ`, the result
+/// is bit-identical to the streaming observer over the same chains —
+/// which lets the fault-tolerant pipeline compute WAIC from whatever
+/// chains survived a degraded run.
+///
+/// # Errors
+///
+/// Returns [`SrmError::MissingParameter`] when a chain lacks `n` or a
+/// detection parameter, [`SrmError::DegeneratePosterior`] when a
+/// stored `ζ` is outside the model's domain, and
+/// [`SrmError::InvalidConfig`] when `output` holds no draws at all.
+pub fn waic_from_output(sampler: &GibbsSampler, output: &McmcOutput) -> Result<Waic, SrmError> {
+    let data = reconstruct_data(sampler);
+    let mut acc = WaicAccumulator::new(&data);
+    let model = sampler.model();
+    let zeta_names = model.param_names();
+    let horizon = data.len();
+    let mut zeta = vec![0.0; zeta_names.len()];
+    for (ci, chain) in output.chains.iter().enumerate() {
+        let n_draws = chain.draws("n").ok_or_else(|| SrmError::MissingParameter {
+            parameter: "n".into(),
+            chain: ci,
+        })?;
+        let zeta_cols: Vec<&[f64]> = zeta_names
+            .iter()
+            .map(|nm| {
+                chain.draws(nm).ok_or_else(|| SrmError::MissingParameter {
+                    parameter: (*nm).to_owned(),
+                    chain: ci,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        for t in 0..n_draws.len() {
+            for (j, col) in zeta_cols.iter().enumerate() {
+                zeta[j] = col[t];
+            }
+            let probs = model
+                .probs(&zeta, horizon)
+                .map_err(|e| SrmError::DegeneratePosterior {
+                    detail: format!("replayed zeta outside model domain: {e:?}"),
+                    sweep: t,
+                })?;
+            acc.add_draw(n_draws[t] as u64, &probs);
+        }
+    }
+    if acc.draws() == 0 {
+        return Err(SrmError::InvalidConfig {
+            detail: "WAIC replay over empty output".into(),
+        });
+    }
+    Ok(acc.finish())
+}
+
 /// The sampler holds its data only through the likelihood evaluator;
 /// rebuild an equivalent `BugCountData` for the accumulator.
 fn reconstruct_data(sampler: &GibbsSampler) -> srm_data::BugCountData {
+    // The sampler can only be built from non-empty data.
     srm_data::BugCountData::new(sampler.likelihood().counts().to_vec())
-        .expect("sampler data is non-empty")
+        .unwrap_or_else(|_| unreachable!())
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! cargo run --release --example convergence_report
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use srm::mcmc::diagnostics::{autocorrelation, report, split_rhat_rank_normalized};
 use srm::prelude::*;
 use srm::report::ascii::trace_plot;
@@ -33,14 +35,14 @@ fn main() {
         &["PSRF", "Geweke Z", "ESS", "MCSE"],
     );
     for name in output.names().to_vec() {
-        let d = report(&output.per_chain(&name));
+        let d = report(&output.per_chain(&name).expect("shared parameter set"));
         table.row(&name, &[d.psrf, d.geweke_z, d.ess, d.mcse]);
     }
     println!("{}", table.render());
     println!("pass criteria: PSRF < 1.1 and |Z| < 1.96 (the paper's thresholds)\n");
 
     // Modern companion diagnostic + visual check on the key quantity.
-    let residual_chains = output.per_chain("residual");
+    let residual_chains = output.per_chain("residual").expect("shared parameter set");
     println!(
         "rank-normalised split-Rhat (residual): {:.4}",
         split_rhat_rank_normalized(&residual_chains)

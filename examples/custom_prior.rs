@@ -7,6 +7,8 @@
 //! cargo run --release --example custom_prior
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use srm::model::markov::{forward_filter, truncated_prior_pmf};
 use srm::model::{nb_posterior, poisson_posterior, BugPrior, DetectionModel};
 use srm::prelude::*;
@@ -69,12 +71,8 @@ fn main() {
     // prior — "either the usual ~150 bugs, or (if the new subsystem
     // is broken) ~600".
     let mut expert = vec![0.0; 1_001];
-    for n in 120..=180 {
-        expert[n] = 0.7 / 61.0;
-    }
-    for n in 550..=650 {
-        expert[n] = 0.3 / 101.0;
-    }
+    expert[120..=180].fill(0.7 / 61.0);
+    expert[550..=650].fill(0.3 / 101.0);
     let filtered = forward_filter(&expert, &probs, &data).expect("filter runs");
     table.row(
         "expert two-regime",

@@ -7,6 +7,8 @@
 //! cargo run --release --example ess_ablation
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use srm::mcmc::diagnostics::effective_sample_size;
 use srm::mcmc::gibbs::{SweepKind, ZetaKernel};
 use srm::prelude::*;

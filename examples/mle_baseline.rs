@@ -7,6 +7,8 @@
 //! cargo run --release --example mle_baseline
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use srm::model::mle::fit_nhpp;
 use srm::prelude::*;
 use srm::report::Table;

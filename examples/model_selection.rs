@@ -6,6 +6,8 @@
 //! cargo run --release --example model_selection
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use srm::prelude::*;
 use srm::report::Table;
 

@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use srm::prelude::*;
 
 fn main() {

@@ -7,6 +7,8 @@
 //! cargo run --release --example release_readiness
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use srm::model::reliability::{days_until_reliability_below, reliability_curve};
 use srm::prelude::*;
 use srm::report::Table;

@@ -7,6 +7,8 @@
 //! cargo run --release --example waic_uncertainty
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // example code
+
 use srm::prelude::*;
 use srm::report::Table;
 

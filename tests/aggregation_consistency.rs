@@ -3,6 +3,8 @@
 //! probability `1 − (1−p)^7`), so fitting the daily data and the
 //! weekly-aggregated data must tell the same story about `N`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
 use srm::core::{Fit, FitConfig};
 use srm::mcmc::runner::McmcConfig;
 use srm::prelude::*;

@@ -2,6 +2,8 @@
 //! through every layer of the stack, and the parallel runner must
 //! match the serial runner.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
 use srm::core::{Experiment, ExperimentConfig};
 use srm::data::{datasets, ObservationPlan};
 use srm::mcmc::runner::{run_chains, run_chains_observed, McmcConfig};

@@ -3,6 +3,8 @@
 //! numbers differ — synthetic data, different sampler — but who wins,
 //! by what order, and where mass collapses must match.)
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
 use srm::core::{Experiment, ExperimentConfig};
 use srm::data::{datasets, ObservationPlan};
 use srm::mcmc::runner::McmcConfig;

@@ -13,6 +13,8 @@
 //! which one-dimensional quadrature evaluates to machine precision.
 //! The MCMC estimate must agree within Monte-Carlo error.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
 use srm::math::incgamma::inc_gamma_p;
 use srm::math::quadrature::integrate;
 use srm::model::GroupedLikelihood;

@@ -2,6 +2,8 @@
 //! model, and check the reliability function against what actually
 //! happens in a simulated continuation of testing.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
 use srm::core::{Fit, FitConfig};
 use srm::mcmc::runner::McmcConfig;
 use srm::model::reliability::{pgf, reliability, reliability_curve};
