@@ -46,9 +46,14 @@ fn bench_ess_per_sweep_ablation(c: &mut Criterion) {
     let data = datasets::musa_cc96();
     let mut group = c.benchmark_group("diagnostics/ablation_ess_per_2k_sweeps");
     group.sample_size(10);
-    for (label, kind) in [("collapsed", SweepKind::Collapsed), ("naive", SweepKind::Naive)] {
+    for (label, kind) in [
+        ("collapsed", SweepKind::Collapsed),
+        ("naive", SweepKind::Naive),
+    ] {
         let sampler = GibbsSampler::new(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::Constant,
             ZetaBounds::default(),
             &data,

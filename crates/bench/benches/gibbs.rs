@@ -26,7 +26,9 @@ fn bench_sweep_cost_by_model(c: &mut Criterion) {
     group.sample_size(20);
     for model in DetectionModel::ALL {
         let sampler = GibbsSampler::new(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             model,
             ZetaBounds::default(),
             &data,
@@ -47,7 +49,12 @@ fn bench_sweep_cost_by_prior(c: &mut Criterion) {
     let mut group = c.benchmark_group("gibbs/100_sweeps_model1");
     group.sample_size(20);
     for (label, prior) in [
-        ("poisson", PriorSpec::Poisson { lambda_max: 2_000.0 }),
+        (
+            "poisson",
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
+        ),
         ("negbinom", PriorSpec::NegBinomial { alpha_max: 100.0 }),
     ] {
         let sampler = GibbsSampler::new(
@@ -67,9 +74,14 @@ fn bench_ablation_collapsed_vs_naive(c: &mut Criterion) {
     let data = datasets::musa_cc96();
     let mut group = c.benchmark_group("gibbs/ablation_sweep_kind");
     group.sample_size(20);
-    for (label, kind) in [("collapsed", SweepKind::Collapsed), ("naive", SweepKind::Naive)] {
+    for (label, kind) in [
+        ("collapsed", SweepKind::Collapsed),
+        ("naive", SweepKind::Naive),
+    ] {
         let sampler = GibbsSampler::new(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::Constant,
             ZetaBounds::default(),
             &data,
@@ -86,10 +98,14 @@ fn bench_ablation_zeta_kernel(c: &mut Criterion) {
     let data = datasets::musa_cc96();
     let mut group = c.benchmark_group("gibbs/ablation_zeta_kernel");
     group.sample_size(20);
-    for (label, kernel) in [("slice", ZetaKernel::Slice), ("adaptive_rw", ZetaKernel::AdaptiveRw)]
-    {
+    for (label, kernel) in [
+        ("slice", ZetaKernel::Slice),
+        ("adaptive_rw", ZetaKernel::AdaptiveRw),
+    ] {
         let sampler = GibbsSampler::new(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::PadgettSpurrier,
             ZetaBounds::default(),
             &data,

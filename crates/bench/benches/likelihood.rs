@@ -46,13 +46,9 @@ fn bench_schedule_generation(c: &mut Criterion) {
         (DetectionModel::Weibull, vec![0.5, 0.6]),
     ];
     for (model, zeta) in cases {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(model.name()),
-            &model,
-            |b, m| {
-                b.iter(|| black_box(m.probs(black_box(&zeta), 96).unwrap()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &model, |b, m| {
+            b.iter(|| black_box(m.probs(black_box(&zeta), 96).unwrap()));
+        });
     }
     group.finish();
 }

@@ -45,8 +45,7 @@ fn bench_ablation_analytic_vs_sampled_summary(c: &mut Criterion) {
     group.bench_function("sampled_10k_draw_and_summarise", |b| {
         b.iter(|| {
             let mut rng = SplitMix64::seed_from(43);
-            let draws: Vec<f64> =
-                (0..10_000).map(|_| post.sample(&mut rng) as f64).collect();
+            let draws: Vec<f64> = (0..10_000).map(|_| post.sample(&mut rng) as f64).collect();
             black_box(PosteriorSummary::from_draws(&draws))
         });
     });

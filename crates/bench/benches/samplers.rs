@@ -6,8 +6,8 @@
 
 use srm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srm_rand::{
-    Beta, Binomial, Distribution, Gamma, NegativeBinomial, Poisson, SplitMix64,
-    TruncatedGamma, Xoshiro256StarStar,
+    Beta, Binomial, Distribution, Gamma, NegativeBinomial, Poisson, SplitMix64, TruncatedGamma,
+    Xoshiro256StarStar,
 };
 use std::hint::black_box;
 

@@ -11,7 +11,91 @@
 //! and prints the median/min/max time per iteration.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use srm_obs::json::{parse, Value};
+
+/// One benchmark's measurement, as recorded in `BENCH_mcmc.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark label (`group` context is part of the label).
+    pub label: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Inner iterations per sample.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+fn record_result(result: BenchResult) {
+    RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(result);
+}
+
+/// All results recorded by this process so far, in execution order.
+#[must_use]
+pub fn recorded_results() -> Vec<BenchResult> {
+    RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Default output path for [`write_results`]; override with the
+/// `SRM_BENCH_OUT` environment variable.
+pub const BENCH_OUT_DEFAULT: &str = "BENCH_mcmc.json";
+
+/// Writes this process's measurements to the bench JSON document,
+/// merging with any existing file so the per-subsystem bench binaries
+/// accumulate into one report. Returns the path written.
+///
+/// The document shape is
+/// `{"benchmarks": {"<label>": {"median_ns": …, "min_ns": …,
+/// "max_ns": …, "samples": …, "iters": …}}}`; re-running a benchmark
+/// replaces its entry.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] when the file cannot be written.
+pub fn write_results() -> std::io::Result<String> {
+    let path = std::env::var("SRM_BENCH_OUT").unwrap_or_else(|_| BENCH_OUT_DEFAULT.to_owned());
+    let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(&path) {
+        Ok(text) => parse(&text)
+            .ok()
+            .and_then(|doc| {
+                doc.get("benchmarks")
+                    .and_then(|b| b.as_obj().map(<[(String, Value)]>::to_vec))
+            })
+            .unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    for r in recorded_results() {
+        let entry = Value::obj(vec![
+            ("median_ns", Value::Num(r.median_ns)),
+            ("min_ns", Value::Num(r.min_ns)),
+            ("max_ns", Value::Num(r.max_ns)),
+            ("samples", Value::Num(r.samples as f64)),
+            ("iters", Value::Num(r.iters as f64)),
+        ]);
+        match entries.iter_mut().find(|(label, _)| *label == r.label) {
+            Some((_, slot)) => *slot = entry,
+            None => entries.push((r.label.clone(), entry)),
+        }
+    }
+    let doc = Value::obj(vec![("benchmarks", Value::Obj(entries))]);
+    std::fs::write(&path, doc.to_json_pretty())?;
+    Ok(path)
+}
 
 /// Measurement entry point, mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
@@ -149,6 +233,14 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, routine: &
         fmt_ns(min),
         fmt_ns(max),
     );
+    record_result(BenchResult {
+        label: label.to_owned(),
+        median_ns: median,
+        min_ns: min,
+        max_ns: max,
+        samples,
+        iters,
+    });
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -176,12 +268,17 @@ macro_rules! criterion_group {
 }
 
 /// Expands to `fn main` running the given groups, like
-/// `criterion::criterion_main!`.
+/// `criterion::criterion_main!`, then merges this binary's medians
+/// into `BENCH_mcmc.json` (path overridable via `SRM_BENCH_OUT`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            match $crate::harness::write_results() {
+                Ok(path) => println!("\nbench medians written to {path}"),
+                Err(e) => eprintln!("\ncould not write bench results: {e}"),
+            }
         }
     };
 }
@@ -205,6 +302,43 @@ mod tests {
         group.bench_function("noop", |b| b.iter(|| ran += 1));
         group.finish();
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmarks_land_in_the_registry_and_merge_into_json() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("registry-self-test");
+        group.sample_size(2);
+        group.bench_function("fast", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let results = recorded_results();
+        let mine = results
+            .iter()
+            .find(|r| r.label == "fast")
+            .unwrap_or_else(|| unreachable!("benchmark not recorded"));
+        assert!(mine.median_ns > 0.0);
+        assert!(mine.min_ns <= mine.median_ns && mine.median_ns <= mine.max_ns);
+        assert_eq!(mine.samples, 2);
+
+        let path = std::env::temp_dir().join("srm_bench_self_test.json");
+        // Seed the file with a stale entry for the same label plus an
+        // entry from "another binary"; the write must replace the
+        // former and keep the latter.
+        std::fs::write(
+            &path,
+            r#"{"benchmarks": {"fast": {"median_ns": 1e9}, "other/bench": {"median_ns": 2.0}}}"#,
+        )
+        .unwrap_or_else(|_| unreachable!());
+        std::env::set_var("SRM_BENCH_OUT", &path);
+        let written = write_results().unwrap_or_else(|_| unreachable!());
+        std::env::remove_var("SRM_BENCH_OUT");
+        assert_eq!(written, path.to_string_lossy());
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|_| unreachable!());
+        let doc = parse(&text).unwrap_or_else(|_| unreachable!());
+        let benches = doc.get("benchmarks").unwrap_or_else(|| unreachable!());
+        let fast = benches.get("fast").unwrap_or_else(|| unreachable!());
+        assert!(fast.get("median_ns").and_then(Value::as_f64) < Some(1e9));
+        assert!(benches.get("other/bench").is_some());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use srm_mcmc::gibbs::PriorSpec;
 use srm_mcmc::runner::{McmcConfig, RunOptions};
 use srm_mcmc::{ChainReport, SrmError};
 use srm_model::{DetectionModel, ZetaBounds};
+use srm_obs::{Event, Recorder, NOOP};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Identifies one cell of the experiment design.
@@ -38,7 +39,9 @@ impl ExperimentConfig {
     pub fn paper_design(mcmc: McmcConfig) -> Self {
         Self {
             priors: vec![
-                PriorSpec::Poisson { lambda_max: 2_000.0 },
+                PriorSpec::Poisson {
+                    lambda_max: 2_000.0,
+                },
                 PriorSpec::NegBinomial { alpha_max: 100.0 },
             ],
             models: DetectionModel::ALL.to_vec(),
@@ -53,7 +56,9 @@ impl ExperimentConfig {
     pub fn smoke(seed: u64) -> Self {
         Self {
             priors: vec![
-                PriorSpec::Poisson { lambda_max: 2_000.0 },
+                PriorSpec::Poisson {
+                    lambda_max: 2_000.0,
+                },
                 PriorSpec::NegBinomial { alpha_max: 100.0 },
             ],
             models: vec![
@@ -174,11 +179,7 @@ impl ExperimentResults {
     /// The observation days visited, in order.
     #[must_use]
     pub fn days(&self) -> Vec<usize> {
-        let mut days: Vec<usize> = self
-            .cells
-            .iter()
-            .map(|c| c.key.observation.day())
-            .collect();
+        let mut days: Vec<usize> = self.cells.iter().map(|c| c.key.observation.day()).collect();
         days.sort_unstable();
         days.dedup();
         days
@@ -190,8 +191,7 @@ impl ExperimentResults {
         if self.cells.is_empty() {
             return 1.0;
         }
-        self.cells.iter().filter(|c| c.fit.converged()).count() as f64
-            / self.cells.len() as f64
+        self.cells.iter().filter(|c| c.fit.converged()).count() as f64 / self.cells.len() as f64
     }
 }
 
@@ -275,6 +275,26 @@ impl Experiment {
     /// Returns [`SrmError::InvalidConfig`] when the observation plan
     /// is invalid for the data (day 0).
     pub fn try_run(&self, options: &RunOptions) -> Result<ExperimentResults, SrmError> {
+        self.try_run_traced(options, &NOOP)
+    }
+
+    /// [`Experiment::try_run`] with instrumentation: each design cell
+    /// emits [`Event::CellStart`] / [`Event::CellEnd`] (or
+    /// [`Event::CellFailure`] with the terminal fault kind), and the
+    /// recorder is threaded into every cell's
+    /// [`Fit::try_run_traced`]. Cells run on parallel worker threads,
+    /// so sinks see their events interleaved; every event carries its
+    /// own cell/chain coordinates. With a disabled recorder the
+    /// results are bit-identical to [`Experiment::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Experiment::try_run`].
+    pub fn try_run_traced(
+        &self,
+        options: &RunOptions,
+        recorder: &dyn Recorder,
+    ) -> Result<ExperimentResults, SrmError> {
         let windows = self
             .plan
             .windows(&self.data)
@@ -331,20 +351,34 @@ impl Experiment {
                             },
                             zeta_bounds: config.zeta_bounds,
                         };
+                        let on = recorder.enabled();
+                        let cell_coords = || {
+                            (
+                                job.key.prior.label().to_owned(),
+                                format!("{:?}", job.key.model),
+                                job.key.observation.day(),
+                            )
+                        };
+                        if on {
+                            let (prior, model, day) = cell_coords();
+                            recorder.record(&Event::CellStart { prior, model, day });
+                        }
+                        let started = std::time::Instant::now();
                         // The chain loop is already panic-contained;
                         // this guard catches panics from summary /
                         // diagnostics assembly so one bad cell cannot
                         // take down the sweep.
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            Fit::try_run(
+                            Fit::try_run_traced(
                                 job.key.prior,
                                 job.key.model,
                                 &job.window,
                                 &fit_config,
                                 options,
+                                recorder,
                             )
                         }));
-                        *slot = Some(match outcome {
+                        let outcome = match outcome {
                             Ok(Ok(tolerant)) => Ok(ExperimentCell {
                                 key: job.key,
                                 true_residual: job.true_residual,
@@ -365,7 +399,25 @@ impl Experiment {
                                     sweep: 0,
                                 },
                             }),
-                        });
+                        };
+                        if on {
+                            let (prior, model, day) = cell_coords();
+                            match &outcome {
+                                Ok(_) => recorder.record(&Event::CellEnd {
+                                    prior,
+                                    model,
+                                    day,
+                                    wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
+                                }),
+                                Err(failure) => recorder.record(&Event::CellFailure {
+                                    prior,
+                                    model,
+                                    day,
+                                    kind: failure.error.kind().to_owned(),
+                                }),
+                            }
+                        }
+                        *slot = Some(outcome);
                     }
                 });
             }
@@ -399,8 +451,7 @@ mod tests {
             seed,
         };
         let data = datasets::musa_cc96();
-        Experiment::new(data, config)
-            .with_plan(ObservationPlan::from_days(&[48, 96, 146]))
+        Experiment::new(data, config).with_plan(ObservationPlan::from_days(&[48, 96, 146]))
     }
 
     #[test]
@@ -506,10 +557,7 @@ mod tests {
         assert_eq!(tolerant.total_retries(), 0);
         for (a, b) in strict.cells().iter().zip(tolerant.cells()) {
             assert_eq!(a.fit.residual, b.fit.residual);
-            assert_eq!(
-                a.fit.waic.total().to_bits(),
-                b.fit.waic.total().to_bits()
-            );
+            assert_eq!(a.fit.waic.total().to_bits(), b.fit.waic.total().to_bits());
         }
     }
 

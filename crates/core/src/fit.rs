@@ -3,10 +3,11 @@
 use srm_data::BugCountData;
 use srm_mcmc::diagnostics::{report, DiagnosticsReport};
 use srm_mcmc::gibbs::{GibbsSampler, PriorSpec};
-use srm_mcmc::runner::{run_chains_fault_tolerant, McmcConfig, McmcOutput, RunOptions};
+use srm_mcmc::runner::{run_chains_fault_tolerant_traced, McmcConfig, McmcOutput, RunOptions};
 use srm_mcmc::{ChainReport, PosteriorSummary, SrmError};
 use srm_model::{DetectionModel, ZetaBounds};
-use srm_select::waic::{waic_and_chains, waic_from_output, Waic};
+use srm_obs::{Event, Recorder, Span, NOOP};
+use srm_select::waic::{waic_and_chains, waic_from_output_traced, Waic};
 
 /// Configuration of a single fit.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -16,8 +17,6 @@ pub struct FitConfig {
     /// Uniform-prior limits on the detection parameters.
     pub zeta_bounds: ZetaBounds,
 }
-
-
 
 /// A fit produced by the fault-tolerant pipeline: the fit itself plus
 /// the per-chain recovery reports, so callers can tell a pristine run
@@ -106,8 +105,8 @@ impl Fit {
     /// a fit from whatever chains survive.
     ///
     /// WAIC is replayed from the surviving chains' stored draws
-    /// ([`waic_from_output`]); on fault-free runs the result is
-    /// bit-identical to [`Fit::run`].
+    /// ([`srm_select::waic::waic_from_output`]); on fault-free runs
+    /// the result is bit-identical to [`Fit::run`].
     ///
     /// # Errors
     ///
@@ -120,10 +119,35 @@ impl Fit {
         config: &FitConfig,
         options: &RunOptions,
     ) -> Result<FaultTolerantFit, SrmError> {
-        let sampler = GibbsSampler::new(prior, model, config.zeta_bounds, data);
-        let run = run_chains_fault_tolerant(&sampler, &config.mcmc, options)?;
-        let waic = waic_from_output(&sampler, &run.output)?;
+        Self::try_run_traced(prior, model, data, config, options, &NOOP)
+    }
 
+    /// [`Fit::try_run`] with instrumentation: the sampling, WAIC,
+    /// summary and diagnostics phases run under [`Span`]s, chain
+    /// events flow through `recorder`, and each monitored parameter's
+    /// final convergence diagnostics are emitted as
+    /// [`Event::Diagnostic`]. With a disabled recorder (the default
+    /// [`NOOP`]) the numeric output is bit-identical to
+    /// [`Fit::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Fit::try_run`].
+    pub fn try_run_traced(
+        prior: PriorSpec,
+        model: DetectionModel,
+        data: &BugCountData,
+        config: &FitConfig,
+        options: &RunOptions,
+        recorder: &dyn Recorder,
+    ) -> Result<FaultTolerantFit, SrmError> {
+        let sampler = GibbsSampler::new(prior, model, config.zeta_bounds, data);
+        let span = Span::enter(recorder, "sampling");
+        let run = run_chains_fault_tolerant_traced(&sampler, &config.mcmc, options, recorder)?;
+        span.end();
+        let waic = waic_from_output_traced(&sampler, &run.output, recorder)?;
+
+        let span = Span::enter(recorder, "summary");
         let residual_draws = run.output.pooled("residual");
         if residual_draws.is_empty() {
             return Err(SrmError::DegeneratePosterior {
@@ -132,13 +156,26 @@ impl Fit {
             });
         }
         let residual = PosteriorSummary::from_draws(&residual_draws);
+        span.end();
 
+        let span = Span::enter(recorder, "diagnostics");
         let mut diagnostics = Vec::new();
         if run.output.chains.len() >= 2 {
             for name in run.output.names().to_vec() {
                 if let Ok(per_chain) = run.output.per_chain(&name) {
                     diagnostics.push((name.clone(), report(&per_chain)));
                 }
+            }
+        }
+        span.end();
+        if recorder.enabled() {
+            for (name, d) in &diagnostics {
+                recorder.record(&Event::Diagnostic {
+                    parameter: name.clone(),
+                    psrf: d.psrf,
+                    geweke_z: d.geweke_z,
+                    ess: d.ess,
+                });
             }
         }
 
@@ -190,7 +227,9 @@ mod tests {
     #[test]
     fn fit_bundles_consistent_pieces() {
         let fit = smoke_fit(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::Constant,
             51,
         );
@@ -198,10 +237,7 @@ mod tests {
         assert_eq!(fit.residual.count, 1_000);
         assert!(fit.waic.total().is_finite());
         assert!(!fit.diagnostics.is_empty());
-        assert!(fit
-            .diagnostics
-            .iter()
-            .any(|(name, _)| name == "residual"));
+        assert!(fit.diagnostics.iter().any(|(name, _)| name == "residual"));
     }
 
     #[test]
@@ -229,7 +265,9 @@ mod tests {
             ..FitConfig::default()
         };
         let fit = Fit::run(
-            PriorSpec::Poisson { lambda_max: 1_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 1_000.0,
+            },
             DetectionModel::Constant,
             &data,
             &config,
@@ -245,11 +283,12 @@ mod tests {
             mcmc: McmcConfig::smoke(61),
             ..FitConfig::default()
         };
-        let prior = PriorSpec::Poisson { lambda_max: 2_000.0 };
+        let prior = PriorSpec::Poisson {
+            lambda_max: 2_000.0,
+        };
         let model = DetectionModel::Constant;
         let strict = Fit::run(prior, model, &data, &config);
-        let tolerant =
-            Fit::try_run(prior, model, &data, &config, &RunOptions::default()).unwrap();
+        let tolerant = Fit::try_run(prior, model, &data, &config, &RunOptions::default()).unwrap();
         assert!(!tolerant.is_degraded());
         assert_eq!(tolerant.total_retries(), 0);
         // Bit-identical draws and a bit-identical replayed WAIC.
@@ -286,7 +325,9 @@ mod tests {
             }]),
         };
         let out = Fit::try_run(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::Constant,
             &data,
             &config,
@@ -311,14 +352,18 @@ mod tests {
         // The paper's Table V: model1's posterior sd is far below
         // model3's at every observation point.
         let sd1 = smoke_fit(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::PadgettSpurrier,
             54,
         )
         .residual
         .sd;
         let sd3 = smoke_fit(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::Pareto,
             55,
         )

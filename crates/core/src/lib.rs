@@ -42,4 +42,4 @@ pub use experiment::{
 pub use fit::{FaultTolerantFit, Fit, FitConfig};
 pub use multidata::{compare_across_datasets, MultiDatasetResults};
 pub use ppc::{posterior_predictive_check, PpcResult};
-pub use tuning::{tuned_fit, TunedFit};
+pub use tuning::{tuned_fit, tuned_fit_traced, TunedFit};

@@ -121,7 +121,9 @@ mod tests {
 
     fn two_priors() -> Vec<PriorSpec> {
         vec![
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             PriorSpec::NegBinomial { alpha_max: 100.0 },
         ]
     }

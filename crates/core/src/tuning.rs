@@ -9,6 +9,7 @@ use srm_data::BugCountData;
 use srm_mcmc::gibbs::PriorSpec;
 use srm_mcmc::runner::McmcConfig;
 use srm_model::{DetectionModel, ZetaBounds};
+use srm_obs::{Recorder, Span, NOOP};
 use srm_select::grid::{GridSearch, GridSearchResult};
 
 /// A fit whose hyper-prior limits were selected by grid search.
@@ -33,7 +34,24 @@ pub fn tuned_fit(
     search: &GridSearch,
     final_mcmc: McmcConfig,
 ) -> TunedFit {
+    tuned_fit_traced(poisson_prior, model, data, search, final_mcmc, &NOOP)
+}
+
+/// [`tuned_fit`] with instrumentation: the grid search and the final
+/// refit run under `grid-search` / `final-fit` phase [`Span`]s. With
+/// a disabled recorder the result is bit-identical to [`tuned_fit`].
+#[must_use]
+pub fn tuned_fit_traced(
+    poisson_prior: bool,
+    model: DetectionModel,
+    data: &BugCountData,
+    search: &GridSearch,
+    final_mcmc: McmcConfig,
+    recorder: &dyn Recorder,
+) -> TunedFit {
+    let span = Span::enter(recorder, "grid-search");
     let result = search.run(poisson_prior, model, data);
+    span.end();
     let best = result.best.clone();
     let prior = if poisson_prior {
         PriorSpec::Poisson {
@@ -51,7 +69,9 @@ pub fn tuned_fit(
             gamma_max: best.theta_max.max(1.0),
         },
     };
+    let span = Span::enter(recorder, "final-fit");
     let fit = Fit::run(prior, model, data, &config);
+    span.end();
     TunedFit {
         search: result,
         fit,

@@ -51,7 +51,9 @@ impl Args {
         let mut switches = Vec::new();
         while let Some(token) = iter.next() {
             let Some(name) = token.strip_prefix("--") else {
-                return Err(ArgError(format!("unexpected positional argument `{token}`")));
+                return Err(ArgError(format!(
+                    "unexpected positional argument `{token}`"
+                )));
             };
             if allowed_switches.contains(&name) {
                 switches.push(name.to_owned());
@@ -92,11 +94,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns [`ArgError`] on a malformed value.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v

@@ -2,9 +2,11 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::{load_data, parse_mcmc, parse_model, parse_prior};
+use crate::obs::{with_obs_flags, with_obs_switches, Observability};
 use srm_core::{Fit, FitConfig};
 use srm_mcmc::runner::RunOptions;
-use srm_mcmc::{FaultPlan, PosteriorSummary, RetryPolicy};
+use srm_mcmc::{AcceptanceSummary, FaultPlan, PosteriorSummary, RetryPolicy};
+use srm_obs::RunManifest;
 
 const FLAGS: &[&str] = &[
     "data",
@@ -29,11 +31,13 @@ const SWITCHES: &[&str] = &["diagnostics"];
 /// Returns [`ArgError`] on bad flags, unreadable data, or when every
 /// chain of the run is lost to faults.
 pub fn run(raw: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(raw, FLAGS, SWITCHES)?;
+    let args = Args::parse(raw, &with_obs_flags(FLAGS), &with_obs_switches(SWITCHES))?;
     let data = load_data(&args)?;
     let model = parse_model(&args)?;
     let prior = parse_prior(&args)?;
     let mcmc = parse_mcmc(&args)?;
+    let obs = Observability::from_args(&args)?;
+    obs.emit_run_start("fit", model.name(), prior.label(), mcmc.seed, &data);
 
     let inject: usize = args.get_parsed("inject-faults", 0usize)?;
     let options = RunOptions {
@@ -48,7 +52,7 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         },
     };
 
-    let tolerant = Fit::try_run(
+    let tolerant = Fit::try_run_traced(
         prior,
         model,
         &data,
@@ -57,9 +61,28 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             ..FitConfig::default()
         },
         &options,
+        obs.recorder(),
     )
     .map_err(|e| ArgError(format!("fit failed: {e}")))?;
     let fit = &tolerant.fit;
+
+    obs.finish_manifest(
+        RunManifest {
+            command: "fit".into(),
+            model: model.name().into(),
+            prior: prior.label().into(),
+            seed: mcmc.seed,
+            dataset_hash: srm_obs::dataset_hash(data.counts()),
+            chains: mcmc.chains,
+            burn_in: mcmc.burn_in,
+            samples: mcmc.samples,
+            thin: mcmc.thin,
+            converged: Some(fit.converged()),
+            waic: Some(fit.waic.total()),
+            ..RunManifest::default()
+        },
+        fit.residual_draws.len() as u64,
+    )?;
 
     let (lo, hi) = PosteriorSummary::credible_interval(&fit.residual_draws, 0.05);
     let (hlo, hhi) = PosteriorSummary::hpd_interval(&fit.residual_draws, 0.05);
@@ -69,7 +92,11 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         data.total(),
         data.len()
     ));
-    out.push_str(&format!("model     : {} | prior: {}\n", model, prior.label()));
+    out.push_str(&format!(
+        "model     : {} | prior: {}\n",
+        model,
+        prior.label()
+    ));
     out.push_str(&format!(
         "draws     : {} kept ({} of {} chains)\n",
         fit.residual_draws.len(),
@@ -90,6 +117,16 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         fit.waic.p_waic()
     ));
     out.push_str(&format!("converged : {}\n", fit.converged()));
+
+    let acceptance = AcceptanceSummary::from_reports(&tolerant.chain_reports);
+    if !acceptance.is_empty() {
+        let listed: Vec<String> = acceptance
+            .params
+            .iter()
+            .map(|p| format!("{} {:.1}%", p.parameter, p.rate() * 100.0))
+            .collect();
+        out.push_str(&format!("accepted  : {}\n", listed.join(" | ")));
+    }
 
     if tolerant.is_degraded() || tolerant.total_retries() > 0 || inject > 0 {
         out.push_str("\nfault report (per chain)\n");
@@ -203,5 +240,103 @@ mod tests {
         assert!(out.contains("fault report (per chain)"));
         assert!(out.contains("fault counters:"));
         assert!(out.contains("posterior of the residual bug count"));
+    }
+
+    #[test]
+    fn fit_writes_trace_and_manifest() {
+        let path = write_csv();
+        let trace = std::env::temp_dir().join("srm_cli_fit_trace.jsonl");
+        let manifest = std::env::temp_dir().join("srm_cli_fit_manifest.json");
+        let raw: Vec<String> = [
+            "fit",
+            "--data",
+            path.to_str().unwrap(),
+            "--model",
+            "model0",
+            "--chains",
+            "2",
+            "--samples",
+            "200",
+            "--burn-in",
+            "80",
+            "--seed",
+            "11",
+            "--inject-faults",
+            "1",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            manifest.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let out = run(&raw).unwrap();
+        assert!(out.contains("accepted  :"), "no acceptance line in:\n{out}");
+
+        // The trace holds typed events including the injection.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.lines().any(|l| l.contains("\"run-start\"")));
+        assert!(text.lines().any(|l| l.contains("\"fault-injected\"")));
+        assert!(text.lines().any(|l| l.contains("\"chain-report\"")));
+
+        // The manifest carries the run identity and counters.
+        let doc = srm_obs::json::parse(&std::fs::read_to_string(&manifest).unwrap()).unwrap();
+        assert_eq!(doc.get("command").unwrap().as_str(), Some("fit"));
+        assert_eq!(doc.get("model").unwrap().as_str(), Some("model0"));
+        assert_eq!(doc.get("seed").unwrap().as_f64(), Some(11.0));
+        assert_eq!(doc.get("faults_injected").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            doc.get("mcmc").unwrap().get("chains").unwrap().as_f64(),
+            Some(2.0)
+        );
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        assert!(
+            phases
+                .iter()
+                .any(|p| p.get("phase").unwrap().as_str() == Some("sampling")),
+            "manifest has no sampling phase"
+        );
+        assert!(doc.get("draws_per_sec").unwrap().as_f64() > Some(0.0));
+        let chains = doc.get("chains_report").unwrap().as_arr().unwrap();
+        assert_eq!(chains.len(), 2);
+        // The injected panic loses one of the two chains, so no PSRF
+        // is computable — the field must still be present (empty).
+        assert!(doc.get("diagnostics").unwrap().as_arr().is_some());
+        assert_eq!(
+            doc.get("fault_counters")
+                .unwrap()
+                .get("chain-panicked")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn failed_fit_appends_cli_diagnostic_to_trace() {
+        let trace = std::env::temp_dir().join("srm_cli_fit_err_trace.jsonl");
+        let _ = std::fs::remove_file(&trace);
+        let raw: Vec<String> = [
+            "fit",
+            "--data",
+            "/no/such/file.csv",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let err = crate::run(&raw).unwrap_err();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.contains("\"cli-diagnostic\""));
+        // Single formatting path: the trace carries the exact line
+        // the terminal shows.
+        let doc = srm_obs::json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(
+            doc.get("message").unwrap().as_str(),
+            Some(crate::diagnostic_line(&err).as_str())
+        );
+        assert_eq!(doc.get("level").unwrap().as_str(), Some("error"));
     }
 }

@@ -37,8 +37,16 @@ COMMON FLAGS:
     --max-retries N         per-chain sweep retries on faults (fit) [default: 3]
     --inject-faults N       inject N seed-deterministic faults (fit; testing)
 
+OBSERVABILITY (fit/select/trend):
+    --trace-out <run.jsonl>    typed JSONL event stream of the run
+    --metrics-out <run.json>   run manifest: seed, dataset hash, timings,
+                               acceptance, fault/retry counters, diagnostics
+    --progress                 throttled per-chain progress lines on stderr
+    --verbosity 0|1|2          progress detail                  [default: 1]
+
 EXAMPLES:
     srm fit --data counts.csv --model model1 --prior poisson
+    srm fit --data counts.csv --trace-out run.jsonl --metrics-out run.json
     srm simulate --bugs 200 --days 60 --p 0.05 --seed 1 > synth.csv
 "
     .to_owned()
@@ -47,8 +55,8 @@ EXAMPLES:
 /// Loads the `--data` CSV.
 pub(crate) fn load_data(args: &Args) -> Result<BugCountData, ArgError> {
     let path = args.require("data")?;
-    let file = std::fs::File::open(path)
-        .map_err(|e| ArgError(format!("cannot open `{path}`: {e}")))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot open `{path}`: {e}")))?;
     srm_data::csv::read_counts(file).map_err(|e| ArgError(format!("bad data in `{path}`: {e}")))
 }
 
@@ -107,8 +115,16 @@ mod tests {
         Args::parse(
             &raw,
             &[
-                "data", "model", "prior", "chains", "samples", "burn-in", "thin", "seed",
-                "lambda-max", "alpha-max",
+                "data",
+                "model",
+                "prior",
+                "chains",
+                "samples",
+                "burn-in",
+                "thin",
+                "seed",
+                "lambda-max",
+                "alpha-max",
             ],
             &[],
         )
@@ -127,7 +143,15 @@ mod tests {
 
     #[test]
     fn explicit_model_and_prior() {
-        let args = args_from(&["fit", "--model", "model3", "--prior", "negbinom", "--alpha-max", "40"]);
+        let args = args_from(&[
+            "fit",
+            "--model",
+            "model3",
+            "--prior",
+            "negbinom",
+            "--alpha-max",
+            "40",
+        ]);
         assert_eq!(parse_model(&args).unwrap(), DetectionModel::Pareto);
         assert!(matches!(
             parse_prior(&args).unwrap(),
@@ -144,7 +168,15 @@ mod tests {
     #[test]
     fn mcmc_flags_round_trip() {
         let args = args_from(&[
-            "fit", "--chains", "2", "--samples", "100", "--burn-in", "50", "--seed", "9",
+            "fit",
+            "--chains",
+            "2",
+            "--samples",
+            "100",
+            "--burn-in",
+            "50",
+            "--seed",
+            "9",
         ]);
         let mcmc = parse_mcmc(&args).unwrap();
         assert_eq!(mcmc.chains, 2);

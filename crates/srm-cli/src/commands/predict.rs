@@ -10,8 +10,17 @@ use srm_model::reliability::reliability_curve;
 use srm_model::{nb_posterior, poisson_posterior};
 
 const FLAGS: &[&str] = &[
-    "data", "model", "prior", "horizon", "chains", "samples", "burn-in", "thin", "seed",
-    "lambda-max", "alpha-max",
+    "data",
+    "model",
+    "prior",
+    "horizon",
+    "chains",
+    "samples",
+    "burn-in",
+    "thin",
+    "seed",
+    "lambda-max",
+    "alpha-max",
 ];
 
 /// Runs the subcommand.

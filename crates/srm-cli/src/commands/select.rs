@@ -2,13 +2,23 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::{load_data, parse_mcmc, parse_prior};
+use crate::obs::{with_obs_flags, with_obs_switches, Observability};
 use srm_mcmc::gibbs::GibbsSampler;
 use srm_model::{DetectionModel, ZetaBounds};
+use srm_obs::RunManifest;
 use srm_report::Table;
-use srm_select::waic::waic_for;
+use srm_select::waic::waic_for_traced;
 
 const FLAGS: &[&str] = &[
-    "data", "prior", "chains", "samples", "burn-in", "thin", "seed", "lambda-max", "alpha-max",
+    "data",
+    "prior",
+    "chains",
+    "samples",
+    "burn-in",
+    "thin",
+    "seed",
+    "lambda-max",
+    "alpha-max",
     "theta-max",
 ];
 
@@ -18,7 +28,7 @@ const FLAGS: &[&str] = &[
 ///
 /// Returns [`ArgError`] on bad flags or unreadable data.
 pub fn run(raw: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(raw, FLAGS, &[])?;
+    let args = Args::parse(raw, &with_obs_flags(FLAGS), &with_obs_switches(&[]))?;
     let data = load_data(&args)?;
     let prior = parse_prior(&args)?;
     let mcmc = parse_mcmc(&args)?;
@@ -27,6 +37,8 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         theta_max,
         gamma_max: theta_max.max(1.0),
     };
+    let obs = Observability::from_args(&args)?;
+    obs.emit_run_start("select", "all", prior.label(), mcmc.seed, &data);
 
     let mut table = Table::new(
         &format!(
@@ -40,7 +52,7 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
     let mut best = (DetectionModel::Constant, f64::INFINITY);
     for model in DetectionModel::ALL {
         let sampler = GibbsSampler::new(prior, model, bounds, &data);
-        let waic = waic_for(&sampler, &mcmc);
+        let waic = waic_for_traced(&sampler, &mcmc, obs.recorder());
         if waic.total() < best.1 {
             best = (model, waic.total());
         }
@@ -59,6 +71,23 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         "\nbest model: {} (WAIC {:.3}); smaller is better\n",
         best.0, best.1
     ));
+
+    obs.finish_manifest(
+        RunManifest {
+            command: "select".into(),
+            model: best.0.name().into(),
+            prior: prior.label().into(),
+            seed: mcmc.seed,
+            dataset_hash: srm_obs::dataset_hash(data.counts()),
+            chains: mcmc.chains,
+            burn_in: mcmc.burn_in,
+            samples: mcmc.samples,
+            thin: mcmc.thin,
+            waic: Some(best.1),
+            ..RunManifest::default()
+        },
+        (mcmc.samples * mcmc.chains * DetectionModel::ALL.len()) as u64,
+    )?;
     Ok(out)
 }
 

@@ -74,15 +74,17 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.starts_with("day,count\n"));
-        assert_eq!(out.lines().filter(|l| !l.starts_with(['d', '#'])).count(), 10);
+        assert_eq!(
+            out.lines().filter(|l| !l.starts_with(['d', '#'])).count(),
+            10
+        );
         assert!(out.contains("# true initial bugs: 100"));
     }
 
     #[test]
     fn model_schedule_accepted() {
         let out = run(&raw(&[
-            "simulate", "--bugs", "50", "--days", "8", "--model", "model1", "--params",
-            "0.9,0.1",
+            "simulate", "--bugs", "50", "--days", "8", "--model", "model1", "--params", "0.9,0.1",
         ]))
         .unwrap();
         assert!(out.contains("day,count"));
@@ -98,8 +100,10 @@ mod tests {
 
     #[test]
     fn output_round_trips_through_reader() {
-        let out = run(&raw(&["simulate", "--bugs", "80", "--days", "12", "--p", "0.07"]))
-            .unwrap();
+        let out = run(&raw(&[
+            "simulate", "--bugs", "80", "--days", "12", "--p", "0.07",
+        ]))
+        .unwrap();
         let data = srm_data::csv::read_counts(out.as_bytes()).unwrap();
         assert_eq!(data.len(), 12);
     }

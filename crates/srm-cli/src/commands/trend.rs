@@ -2,7 +2,9 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::load_data;
+use crate::obs::{with_obs_flags, with_obs_switches, Observability};
 use srm_data::analysis::{laplace_trend, running_laplace_trend, summarize, TrendVerdict};
+use srm_obs::{RunManifest, Span};
 use srm_report::ascii::{bar_chart, line_chart};
 
 const FLAGS: &[&str] = &["data"];
@@ -14,8 +16,11 @@ const SWITCHES: &[&str] = &["chart"];
 ///
 /// Returns [`ArgError`] on bad flags or unreadable data.
 pub fn run(raw: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(raw, FLAGS, SWITCHES)?;
+    let args = Args::parse(raw, &with_obs_flags(FLAGS), &with_obs_switches(SWITCHES))?;
     let data = load_data(&args)?;
+    let obs = Observability::from_args(&args)?;
+    obs.emit_run_start("trend", "-", "-", 0, &data);
+    let span = Span::enter(obs.recorder(), "trend");
     let s = summarize(&data);
 
     let mut out = String::new();
@@ -32,9 +37,7 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             let verdict = match t.verdict() {
                 TrendVerdict::Growth => "reliability growth (fit a decaying-hazard model)",
                 TrendVerdict::Stable => "no significant trend (model0 may suffice)",
-                TrendVerdict::Decay => {
-                    "reliability decay (use a time-aware model: model1/model2)"
-                }
+                TrendVerdict::Decay => "reliability decay (use a time-aware model: model1/model2)",
             };
             out.push_str(&format!(
                 "Laplace trend: u = {:.3}, p = {:.4} — {verdict}\n",
@@ -53,6 +56,17 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             out.push_str(&line_chart(&running, 8));
         }
     }
+    span.end();
+    obs.finish_manifest(
+        RunManifest {
+            command: "trend".into(),
+            model: "-".into(),
+            prior: "-".into(),
+            dataset_hash: srm_obs::dataset_hash(data.counts()),
+            ..RunManifest::default()
+        },
+        0,
+    )?;
     Ok(out)
 }
 

@@ -20,16 +20,35 @@
 
 pub mod args;
 pub mod commands;
+pub mod obs;
 
 pub use args::{ArgError, Args};
 
+/// Formats a top-level error exactly as the terminal shows it — the
+/// single formatting path shared by stderr and the `cli-diagnostic`
+/// trace event.
+#[must_use]
+pub fn diagnostic_line(e: &ArgError) -> String {
+    format!("srm: {e}")
+}
+
 /// Exit-status-friendly runner: dispatches a raw argument vector and
-/// returns the rendered output or a user-facing error.
+/// returns the rendered output or a user-facing error. Failures are
+/// also appended to the `--trace-out` file (when one was requested)
+/// as `cli-diagnostic` events.
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] for parse failures and command errors.
 pub fn run(raw: &[String]) -> Result<String, ArgError> {
+    let result = dispatch(raw);
+    if let Err(e) = &result {
+        obs::log_cli_diagnostic(raw, "error", &diagnostic_line(e));
+    }
+    result
+}
+
+fn dispatch(raw: &[String]) -> Result<String, ArgError> {
     let command = raw.first().map(String::as_str).unwrap_or("");
     match command {
         "fit" => commands::fit::run(raw),

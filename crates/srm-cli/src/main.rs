@@ -10,7 +10,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("srm: {e}");
+            eprintln!("{}", srm_cli::diagnostic_line(&e));
             eprintln!("try `srm help`");
             ExitCode::FAILURE
         }

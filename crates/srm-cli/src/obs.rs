@@ -1,0 +1,263 @@
+//! CLI wiring for the observability layer.
+//!
+//! Every estimation command accepts the same four controls:
+//!
+//! * `--trace-out <file.jsonl>` — typed event stream, one JSON object
+//!   per line ([`srm_obs::JsonlSink`]);
+//! * `--metrics-out <file.json>` — run manifest written on completion
+//!   ([`srm_obs::RunManifest`]);
+//! * `--progress` — throttled per-chain progress lines on stderr;
+//! * `--verbosity <0|1|2>` — how chatty `--progress` is.
+//!
+//! With none of them given, the assembled recorder is disabled and
+//! the pipeline runs on its zero-cost no-op path.
+
+use std::sync::Arc;
+
+use crate::args::{ArgError, Args};
+use srm_data::BugCountData;
+use srm_obs::{
+    dataset_hash, Event, JsonlSink, ManifestChain, ProgressSink, Recorder, RunManifest,
+    StatsCollector, Tee,
+};
+
+/// Flags every instrumented subcommand accepts.
+pub const OBS_FLAGS: &[&str] = &["trace-out", "metrics-out", "verbosity"];
+
+/// Switches every instrumented subcommand accepts.
+pub const OBS_SWITCHES: &[&str] = &["progress"];
+
+/// Appends the shared observability flag vocabulary to a command's
+/// own (both are 'static literals).
+#[must_use]
+pub fn with_obs_flags(own: &[&'static str]) -> Vec<&'static str> {
+    let mut all = Vec::with_capacity(own.len() + OBS_FLAGS.len());
+    all.extend_from_slice(own);
+    all.extend_from_slice(OBS_FLAGS);
+    all
+}
+
+/// Appends the shared observability switches to a command's own.
+#[must_use]
+pub fn with_obs_switches(own: &[&'static str]) -> Vec<&'static str> {
+    let mut all = Vec::with_capacity(own.len() + OBS_SWITCHES.len());
+    all.extend_from_slice(own);
+    all.extend_from_slice(OBS_SWITCHES);
+    all
+}
+
+/// Routes a top-level CLI diagnostic through the event sink when the
+/// raw argument vector names a `--trace-out` file: the exact line the
+/// terminal shows is appended as a `cli-diagnostic` event, so the
+/// trace and stderr share one formatting path. Best-effort — an
+/// unwritable trace file never masks the original error.
+pub fn log_cli_diagnostic(raw: &[String], level: &'static str, message: &str) {
+    let Some(path) = trace_out_path(raw) else {
+        return;
+    };
+    let event = Event::CliDiagnostic {
+        level,
+        message: message.to_owned(),
+    };
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        use std::io::Write as _;
+        let _ = writeln!(file, "{}", event.to_value().to_json());
+    }
+}
+
+fn trace_out_path(raw: &[String]) -> Option<&str> {
+    raw.iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| raw.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The sinks assembled for one CLI invocation.
+#[derive(Debug)]
+pub struct Observability {
+    recorder: Tee,
+    stats: Arc<StatsCollector>,
+    metrics_out: Option<String>,
+}
+
+impl Observability {
+    /// Builds the sink stack from the parsed arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when `--trace-out` cannot be created or
+    /// `--verbosity` is malformed.
+    pub fn from_args(args: &Args) -> Result<Self, ArgError> {
+        let verbosity: u8 = args.get_parsed("verbosity", 1u8)?;
+        let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+        if let Some(path) = args.get("trace-out") {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| ArgError(format!("cannot create trace file `{path}`: {e}")))?;
+            sinks.push(Arc::new(sink));
+        }
+        if args.has_switch("progress") {
+            sinks.push(Arc::new(ProgressSink::stderr(verbosity)));
+        }
+        let stats = Arc::new(StatsCollector::new());
+        let metrics_out = args.get("metrics-out").map(str::to_owned);
+        if metrics_out.is_some() {
+            sinks.push(Arc::clone(&stats) as Arc<dyn Recorder>);
+        }
+        Ok(Self {
+            recorder: Tee::new(sinks),
+            stats,
+            metrics_out,
+        })
+    }
+
+    /// The recorder to thread into the pipeline.
+    #[must_use]
+    pub fn recorder(&self) -> &dyn Recorder {
+        &self.recorder
+    }
+
+    /// The aggregating collector backing the manifest.
+    #[must_use]
+    pub fn stats(&self) -> &StatsCollector {
+        &self.stats
+    }
+
+    /// Whether a manifest will be written.
+    #[must_use]
+    pub fn writes_manifest(&self) -> bool {
+        self.metrics_out.is_some()
+    }
+
+    /// Emits the `run-start` event identifying the invocation.
+    pub fn emit_run_start(
+        &self,
+        command: &str,
+        model: &str,
+        prior: &str,
+        seed: u64,
+        data: &BugCountData,
+    ) {
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::RunStart {
+                command: command.to_owned(),
+                model: model.to_owned(),
+                prior: prior.to_owned(),
+                seed,
+                dataset_hash: dataset_hash(data.counts()),
+            });
+        }
+    }
+
+    /// Fills the stats-derived manifest fields (phases, acceptance,
+    /// fault/retry counters, diagnostics, WAIC, throughput) and
+    /// writes the document when `--metrics-out` was given.
+    ///
+    /// `kept_draws` is the total number of posterior draws the run
+    /// kept, for the draws/sec figure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the manifest file cannot be written.
+    pub fn finish_manifest(
+        &self,
+        mut manifest: RunManifest,
+        kept_draws: u64,
+    ) -> Result<(), ArgError> {
+        let Some(path) = &self.metrics_out else {
+            return Ok(());
+        };
+        let stats = &self.stats;
+        manifest.phases = stats.phase_ms();
+        let sampling_ms = stats.phase_total_ms("sampling");
+        manifest.draws_per_sec = if sampling_ms > 0.0 {
+            kept_draws as f64 / (sampling_ms / 1_000.0)
+        } else {
+            0.0
+        };
+        let accept = stats.chain_accept();
+        manifest.chain_reports = stats
+            .chain_reports()
+            .into_iter()
+            .map(|(chain, recovered, retries, fault)| ManifestChain {
+                chain,
+                recovered,
+                retries,
+                fault,
+                accept: accept
+                    .iter()
+                    .find(|(c, _)| *c == chain)
+                    .map(|(_, a)| a.clone())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        manifest.fault_counters = stats.fault_counters();
+        manifest.retries_total = stats.retries_total();
+        manifest.faults_injected = stats.faults_injected();
+        manifest.diagnostics = stats.diagnostics();
+        if manifest.waic.is_none() {
+            manifest.waic = stats.waic().map(|(_, total, _)| total);
+        }
+        manifest
+            .write(path)
+            .map_err(|e| ArgError(format!("cannot write manifest `{path}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn no_flags_means_disabled_recorder() {
+        let args = Args::parse(&raw(&["fit"]), OBS_FLAGS, OBS_SWITCHES).unwrap();
+        let obs = Observability::from_args(&args).unwrap();
+        assert!(!obs.recorder().enabled());
+        assert!(!obs.writes_manifest());
+    }
+
+    #[test]
+    fn metrics_out_enables_the_stats_sink() {
+        let path = std::env::temp_dir().join("srm_cli_obs_manifest.json");
+        let args = Args::parse(
+            &raw(&["fit", "--metrics-out", path.to_str().unwrap()]),
+            OBS_FLAGS,
+            OBS_SWITCHES,
+        )
+        .unwrap();
+        let obs = Observability::from_args(&args).unwrap();
+        assert!(obs.recorder().enabled());
+        obs.recorder().record(&Event::PhaseEnd {
+            phase: "sampling",
+            wall_ms: 100.0,
+        });
+        let manifest = RunManifest {
+            command: "fit".into(),
+            ..RunManifest::default()
+        };
+        obs.finish_manifest(manifest, 500).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = srm_obs::json::parse(&text).unwrap();
+        assert_eq!(doc.get("command").unwrap().as_str(), Some("fit"));
+        assert_eq!(doc.get("draws_per_sec").unwrap().as_f64(), Some(5_000.0));
+    }
+
+    #[test]
+    fn bad_trace_path_is_a_clean_error() {
+        let args = Args::parse(
+            &raw(&["fit", "--trace-out", "/no/such/dir/run.jsonl"]),
+            OBS_FLAGS,
+            OBS_SWITCHES,
+        )
+        .unwrap();
+        let err = Observability::from_args(&args).unwrap_err();
+        assert!(err.to_string().contains("cannot create trace file"));
+    }
+}

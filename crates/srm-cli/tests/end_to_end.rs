@@ -35,7 +35,15 @@ fn full_workflow_simulate_to_predict() {
 
     // 3. Select with short chains: the output lists all models.
     let select = run(&[
-        "select", "--data", path, "--chains", "1", "--samples", "200", "--burn-in", "80",
+        "select",
+        "--data",
+        path,
+        "--chains",
+        "1",
+        "--samples",
+        "200",
+        "--burn-in",
+        "80",
     ])
     .unwrap();
     for m in ["model0", "model1", "model2", "model3", "model4"] {
@@ -45,8 +53,19 @@ fn full_workflow_simulate_to_predict() {
 
     // 4. Fit the homogeneous model (matching the generator).
     let fit = run(&[
-        "fit", "--data", path, "--model", "model0", "--chains", "2", "--samples", "400",
-        "--burn-in", "150", "--seed", "3",
+        "fit",
+        "--data",
+        path,
+        "--model",
+        "model0",
+        "--chains",
+        "2",
+        "--samples",
+        "400",
+        "--burn-in",
+        "150",
+        "--seed",
+        "3",
     ])
     .unwrap();
     assert!(fit.contains("posterior of the residual bug count"));
@@ -54,8 +73,19 @@ fn full_workflow_simulate_to_predict() {
 
     // 5. Predict over a horizon.
     let predict = run(&[
-        "predict", "--data", path, "--model", "model0", "--horizon", "15", "--chains", "1",
-        "--samples", "300", "--burn-in", "100",
+        "predict",
+        "--data",
+        path,
+        "--model",
+        "model0",
+        "--horizon",
+        "15",
+        "--chains",
+        "1",
+        "--samples",
+        "300",
+        "--burn-in",
+        "100",
     ])
     .unwrap();
     assert!(predict.contains("expected detections in the next 15 days"));

@@ -71,11 +71,7 @@ impl BlockBootstrap {
     /// # Panics
     ///
     /// Panics if `data` is shorter than the block length.
-    pub fn resample_with<R: Rng + ?Sized>(
-        &self,
-        data: &BugCountData,
-        rng: &mut R,
-    ) -> BugCountData {
+    pub fn resample_with<R: Rng + ?Sized>(&self, data: &BugCountData, rng: &mut R) -> BugCountData {
         let counts = data.counts();
         let k = counts.len();
         assert!(
@@ -152,9 +148,7 @@ mod tests {
         let rep = boot.resample(&data, 3);
         let original = data.counts();
         for chunk in rep.counts().chunks(4) {
-            let found = original
-                .windows(chunk.len())
-                .any(|w| w == chunk);
+            let found = original.windows(chunk.len()).any(|w| w == chunk);
             assert!(found, "chunk {chunk:?} not a contiguous slice");
         }
     }

@@ -97,7 +97,10 @@ impl BugCountData {
     /// Total number of bugs detected, `s_k`.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.cumulative.last().copied().unwrap_or_else(|| unreachable!())
+        self.cumulative
+            .last()
+            .copied()
+            .unwrap_or_else(|| unreachable!())
     }
 
     /// Count on day `day` (1-based).
@@ -175,11 +178,7 @@ impl BugCountData {
     #[must_use]
     pub fn aggregated(&self, width: usize) -> Self {
         assert!(width > 0, "aggregation width must be positive");
-        let counts: Vec<u64> = self
-            .counts
-            .chunks(width)
-            .map(|c| c.iter().sum())
-            .collect();
+        let counts: Vec<u64> = self.counts.chunks(width).map(|c| c.iter().sum()).collect();
         Self::new(counts).unwrap_or_else(|_| unreachable!())
     }
 
@@ -192,7 +191,11 @@ impl BugCountData {
     /// Largest single-day count.
     #[must_use]
     pub fn max_daily(&self) -> u64 {
-        self.counts.iter().max().copied().unwrap_or_else(|| unreachable!())
+        self.counts
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or_else(|| unreachable!())
     }
 }
 

@@ -20,10 +20,9 @@ use crate::dataset::BugCountData;
 
 /// Daily counts of the primary dataset (see module docs).
 const MUSA_CC96: [u64; 96] = [
-    0, 0, 0, 2, 1, 0, 1, 0, 0, 0, 1, 0, 0, 3, 0, 0, 1, 1, 1, 0, 0, 1, 1, 3, 1, 0, 2, 1, 1, 1, 1,
-    0, 0, 1, 3, 1, 1, 2, 3, 0, 2, 1, 0, 1, 1, 0, 1, 2, 2, 1, 2, 2, 4, 3, 2, 2, 1, 3, 3, 5, 3, 1,
-    2, 3, 0, 2, 1, 3, 5, 1, 4, 4, 2, 5, 3, 3, 3, 2, 3, 3, 1, 1, 3, 1, 1, 0, 1, 0, 1, 0, 0, 0, 2,
-    0, 0, 0,
+    0, 0, 0, 2, 1, 0, 1, 0, 0, 0, 1, 0, 0, 3, 0, 0, 1, 1, 1, 0, 0, 1, 1, 3, 1, 0, 2, 1, 1, 1, 1, 0,
+    0, 1, 3, 1, 1, 2, 3, 0, 2, 1, 0, 1, 1, 0, 1, 2, 2, 1, 2, 2, 4, 3, 2, 2, 1, 3, 3, 5, 3, 1, 2, 3,
+    0, 2, 1, 3, 5, 1, 4, 4, 2, 5, 3, 3, 3, 2, 3, 3, 1, 1, 3, 1, 1, 0, 1, 0, 1, 0, 0, 0, 2, 0, 0, 0,
 ];
 
 /// The primary dataset: 136 bugs over 96 testing days (synthetic
@@ -160,9 +159,7 @@ mod tests {
     #[test]
     fn dataset_shapes_differ() {
         // First-half fraction distinguishes decaying / S / late-surge.
-        let frac = |d: &crate::BugCountData| {
-            d.detected_by(d.len() / 2) as f64 / d.total() as f64
-        };
+        let frac = |d: &crate::BugCountData| d.detected_by(d.len() / 2) as f64 / d.total() as f64;
         let decay = frac(&decaying_growth_60());
         let surge = frac(&late_surge_50());
         assert!(decay > 0.6, "decaying should front-load: {decay}");

@@ -159,8 +159,8 @@ impl RunningMoments {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.count = total;
     }
 }
@@ -218,8 +218,7 @@ mod tests {
         let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.173).collect();
         let m: RunningMoments = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!(approx_eq(m.mean(), mean, 1e-12));
         assert!(approx_eq(m.sample_variance(), var, 1e-12));
     }
@@ -243,7 +242,11 @@ mod tests {
         left.merge(&right);
         let combined: RunningMoments = a.iter().chain(b.iter()).copied().collect();
         assert!(approx_eq(left.mean(), combined.mean(), 1e-12));
-        assert!(approx_eq(left.sample_variance(), combined.sample_variance(), 1e-10));
+        assert!(approx_eq(
+            left.sample_variance(),
+            combined.sample_variance(),
+            1e-10
+        ));
         assert_eq!(left.count(), combined.count());
     }
 

@@ -76,7 +76,10 @@ pub fn norm_cdf(x: f64) -> f64 {
 /// ```
 #[must_use]
 pub fn norm_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "norm_quantile requires p in (0, 1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "norm_quantile requires p in (0, 1), got {p}"
+    );
 
     // Acklam's coefficients.
     const A: [f64; 6] = [

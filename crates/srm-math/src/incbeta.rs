@@ -30,7 +30,10 @@ fn ln_beta(a: f64, b: f64) -> f64 {
 /// ```
 #[must_use]
 pub fn inc_beta_reg(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "inc_beta_reg requires a, b > 0 (a = {a}, b = {b})");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "inc_beta_reg requires a, b > 0 (a = {a}, b = {b})"
+    );
     assert!((0.0..=1.0).contains(&x), "x must be in [0, 1], got {x}");
     if x == 0.0 {
         return 0.0;
@@ -111,7 +114,10 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
 /// ```
 #[must_use]
 pub fn inv_inc_beta_reg(a: f64, b: f64, p: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "inv_inc_beta_reg requires a, b > 0 (a = {a}, b = {b})");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "inv_inc_beta_reg requires a, b > 0 (a = {a}, b = {b})"
+    );
     assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
     if p == 0.0 {
         return 0.0;

@@ -253,11 +253,7 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
 /// assert!((h[0][1] - 3.0).abs() < 1e-5);
 /// assert!((h[1][1] - 10.0).abs() < 1e-4);
 /// ```
-pub fn numerical_hessian<F: Fn(&[f64]) -> f64>(
-    f: F,
-    x: &[f64],
-    rel_step: f64,
-) -> Vec<Vec<f64>> {
+pub fn numerical_hessian<F: Fn(&[f64]) -> f64>(f: F, x: &[f64], rel_step: f64) -> Vec<Vec<f64>> {
     assert!(!x.is_empty(), "hessian of a zero-dimensional function");
     assert!(rel_step > 0.0, "step must be positive");
     let n = x.len();
@@ -433,8 +429,7 @@ mod tests {
 
     #[test]
     fn minimises_rosenbrock() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = nelder_mead(rosen, &[-1.2, 1.0], None, &NelderMeadConfig::default());
         assert!(approx_eq(r.x[0], 1.0, 1e-3));
         assert!(approx_eq(r.x[1], 1.0, 1e-3));

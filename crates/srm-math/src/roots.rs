@@ -293,8 +293,14 @@ mod tests {
 
     #[test]
     fn brent_root_cubic() {
-        let r = brent_root(|x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 0.5), 0.0, 0.9, 1e-14, 100)
-            .unwrap();
+        let r = brent_root(
+            |x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 0.5),
+            0.0,
+            0.9,
+            1e-14,
+            100,
+        )
+        .unwrap();
         assert!(approx_eq(r, 0.5, 1e-9));
     }
 

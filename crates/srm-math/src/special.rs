@@ -206,7 +206,8 @@ pub fn digamma(x: f64) -> f64 {
     let inv = 1.0 / x;
     let inv2 = inv * inv;
     // Asymptotic expansion: ln x − 1/(2x) − Σ B_{2n} / (2n x^{2n}).
-    result + x.ln() - 0.5 * inv
+    result + x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
@@ -238,7 +239,10 @@ pub fn trigamma(x: f64) -> f64 {
     let inv = 1.0 / x;
     let inv2 = inv * inv;
     result
-        + inv * (1.0 + 0.5 * inv + inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))))
+        + inv
+            * (1.0
+                + 0.5 * inv
+                + inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))))
 }
 
 #[cfg(test)]
@@ -253,10 +257,7 @@ mod tests {
             if n > 1 {
                 fact *= (n - 1) as f64;
             }
-            assert!(
-                approx_eq(ln_gamma(n as f64), fact.ln(), 1e-12),
-                "n = {n}"
-            );
+            assert!(approx_eq(ln_gamma(n as f64), fact.ln(), 1e-12), "n = {n}");
         }
     }
 

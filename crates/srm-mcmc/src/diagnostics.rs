@@ -62,12 +62,14 @@ pub fn psrf(chains: &[&[f64]]) -> f64 {
     let nf = n as f64;
     let mf = m as f64;
 
-    let chain_stats: Vec<RunningMoments> = chains
-        .iter()
-        .map(|c| c.iter().copied().collect())
-        .collect();
+    let chain_stats: Vec<RunningMoments> =
+        chains.iter().map(|c| c.iter().copied().collect()).collect();
     // W: mean of within-chain variances.
-    let w: f64 = chain_stats.iter().map(RunningMoments::sample_variance).sum::<f64>() / mf;
+    let w: f64 = chain_stats
+        .iter()
+        .map(RunningMoments::sample_variance)
+        .sum::<f64>()
+        / mf;
     // B/n: variance of the chain means.
     let grand: f64 = chain_stats.iter().map(RunningMoments::mean).sum::<f64>() / mf;
     let b_over_n: f64 = chain_stats

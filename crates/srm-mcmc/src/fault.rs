@@ -91,7 +91,10 @@ impl fmt::Display for SrmError {
                 "non-finite likelihood for {parameter} at sweep {sweep} (value {value})"
             ),
             Self::SliceExhausted { parameter, sweep } => {
-                write!(f, "slice sampler exhausted for {parameter} at sweep {sweep}")
+                write!(
+                    f,
+                    "slice sampler exhausted for {parameter} at sweep {sweep}"
+                )
             }
             Self::DegeneratePosterior { detail, sweep } => {
                 write!(f, "degenerate posterior at sweep {sweep}: {detail}")
@@ -152,6 +155,16 @@ pub enum FaultKind {
 
 impl FaultKind {
     const ALL: [Self; 3] = [Self::Panic, Self::NanRate, Self::SliceExhausted];
+
+    /// Stable kebab-case label, for trace events and log lines.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Panic => "panic",
+            Self::NanRate => "nan-rate",
+            Self::SliceExhausted => "slice-exhausted",
+        }
+    }
 }
 
 /// One scheduled fault: which chain, which sweep, what kind.
@@ -273,6 +286,9 @@ pub struct RecoveryLog {
     pub retries: usize,
     /// The most recent fault recovered from (`None` for a clean run).
     pub last_fault: Option<SrmError>,
+    /// Per-parameter move statistics for the kernel-sampled (ζ)
+    /// parameters, accumulated over every attempted sweep.
+    pub accept: Vec<crate::metropolis::ParamAcceptance>,
 }
 
 /// A chain that could not complete: the fatal fault and the retries
@@ -297,12 +313,18 @@ pub struct ChainReport {
     pub retries: usize,
     /// Whether the chain contributed draws to the output.
     pub recovered: bool,
+    /// Per-parameter acceptance statistics (empty for lost chains).
+    pub accept: Vec<crate::metropolis::ParamAcceptance>,
 }
 
 impl fmt::Display for ChainReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let status = if self.recovered { "ok" } else { "lost" };
-        write!(f, "chain {}: {status}, {} retries", self.chain, self.retries)?;
+        write!(
+            f,
+            "chain {}: {status}, {} retries",
+            self.chain, self.retries
+        )?;
         if let Some(fault) = &self.fault {
             write!(f, ", last fault: {fault}")?;
         }
@@ -378,7 +400,11 @@ mod tests {
         let kinds: Vec<FaultKind> = plan.points().iter().map(|p| p.kind).collect();
         assert_eq!(
             kinds,
-            vec![FaultKind::Panic, FaultKind::NanRate, FaultKind::SliceExhausted]
+            vec![
+                FaultKind::Panic,
+                FaultKind::NanRate,
+                FaultKind::SliceExhausted
+            ]
         );
     }
 

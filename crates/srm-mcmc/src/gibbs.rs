@@ -18,11 +18,12 @@
 
 use crate::chain::Chain;
 use crate::fault::{ChainFailure, FaultInjector, FaultKind, RecoveryLog, RetryPolicy, SrmError};
-use crate::metropolis::AdaptiveRw;
+use crate::metropolis::{AdaptiveRw, ParamAcceptance};
 use crate::slice::{try_slice_sample, SliceConfig, SliceError};
 use srm_data::BugCountData;
 use srm_math::special::ln_gamma;
 use srm_model::detection::OPEN_EPS;
+use srm_obs::{Event, Recorder, NOOP};
 
 /// Tiny positive shift keeping exact conditionals strictly inside
 /// their open supports after floating-point round-off.
@@ -323,8 +324,7 @@ impl GibbsSampler {
     fn nb_collapsed_kernel(&self, alpha0: f64, beta0: f64, survival: f64) -> f64 {
         let s_k = self.total as f64;
         let beta_k = (1.0 - (1.0 - beta0) * survival).max(OPEN_SHIFT);
-        ln_gamma(alpha0 + s_k) - ln_gamma(alpha0) + alpha0 * beta0.ln()
-            + s_k * (1.0 - beta0).ln()
+        ln_gamma(alpha0 + s_k) - ln_gamma(alpha0) + alpha0 * beta0.ln() + s_k * (1.0 - beta0).ln()
             - (alpha0 + s_k) * beta_k.ln()
     }
 
@@ -393,6 +393,37 @@ impl GibbsSampler {
         injector: &mut FaultInjector,
         observer: &mut dyn FnMut(&SweepRecord<'_>),
     ) -> Result<(Chain, RecoveryLog), ChainFailure> {
+        self.try_run_chain_traced(
+            rng, burn_in, samples, thin, retry, injector, observer, 0, &NOOP,
+        )
+    }
+
+    /// [`GibbsSampler::try_run_chain`] with instrumentation: typed
+    /// events are emitted to `recorder` (tagged with `chain_id`) for
+    /// sweep progress, fault injections, faults, retries, Metropolis
+    /// decisions and chain completion.
+    ///
+    /// The recorder never touches `rng`, so for any recorder the
+    /// draws are bit-identical to the untraced call; with a disabled
+    /// recorder (`enabled() == false`) no event is even constructed
+    /// and the only cost is one branch per sweep.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`GibbsSampler::try_run_chain`].
+    #[allow(clippy::too_many_arguments)] // the traced superset of try_run_chain
+    pub fn try_run_chain_traced<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        burn_in: usize,
+        samples: usize,
+        thin: usize,
+        retry: &RetryPolicy,
+        injector: &mut FaultInjector,
+        observer: &mut dyn FnMut(&SweepRecord<'_>),
+        chain_id: usize,
+        recorder: &dyn Recorder,
+    ) -> Result<(Chain, RecoveryLog), ChainFailure> {
         let invalid = |detail: String| ChainFailure {
             fault: SrmError::InvalidConfig { detail },
             retries: 0,
@@ -408,10 +439,10 @@ impl GibbsSampler {
         let zeta_bounds = self.model.bounds(&self.bounds);
         let mut rw_kernels = Vec::with_capacity(zeta_bounds.len());
         for &(lo, hi) in &zeta_bounds {
-            rw_kernels.push(AdaptiveRw::try_new(0.0, lo, hi).map_err(|fault| ChainFailure {
-                fault,
-                retries: 0,
-            })?);
+            rw_kernels.push(
+                AdaptiveRw::try_new(0.0, lo, hi)
+                    .map_err(|fault| ChainFailure { fault, retries: 0 })?,
+            );
         }
         let (lambda0, alpha0, beta0) = match self.prior {
             PriorSpec::Poisson { lambda_max } => {
@@ -421,7 +452,10 @@ impl GibbsSampler {
             PriorSpec::NegBinomial { alpha_max } => (f64::NAN, 0.5 * alpha_max, 0.5),
         };
         let mut state = SweepState {
-            zeta: zeta_bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect(),
+            zeta: zeta_bounds
+                .iter()
+                .map(|&(lo, hi)| 0.5 * (lo + hi))
+                .collect(),
             lambda0,
             alpha0,
             beta0,
@@ -438,6 +472,31 @@ impl GibbsSampler {
         let mut kept = 0usize;
         let mut log = RecoveryLog::default();
 
+        // Instrumentation: `on` is hoisted so the disabled path costs
+        // one branch per sweep, and nothing below ever touches `rng`.
+        let on = recorder.enabled();
+        let stride = if on {
+            recorder.sweep_stride().max(1)
+        } else {
+            usize::MAX
+        };
+        let zeta_names = self.model.param_names();
+        let mut tally: Vec<ParamAcceptance> = zeta_names
+            .iter()
+            .map(|&name| ParamAcceptance {
+                parameter: name,
+                steps: 0,
+                accepted: 0,
+            })
+            .collect();
+        let mut prev_zeta = vec![0.0f64; state.zeta.len()];
+        if on {
+            recorder.record(&Event::ChainStart {
+                chain: chain_id,
+                sweeps: total_sweeps,
+            });
+        }
+
         let mut sweep = 0usize;
         while sweep < total_sweeps {
             if sweep == burn_in {
@@ -445,8 +504,25 @@ impl GibbsSampler {
                     kernel.freeze();
                 }
             }
+            let trace_sweep = on && sweep.is_multiple_of(stride);
+            if trace_sweep {
+                recorder.record(&Event::SweepStart {
+                    chain: chain_id,
+                    sweep,
+                    total: total_sweeps,
+                });
+            }
             // Consume-once injection: a retried sweep runs clean.
             let forced = injector.take(sweep);
+            if let Some(kind) = forced {
+                if on {
+                    recorder.record(&Event::FaultInjected {
+                        chain: chain_id,
+                        sweep,
+                        kind: kind.label().to_string(),
+                    });
+                }
+            }
             if matches!(forced, Some(FaultKind::Panic)) {
                 panic!("injected fault: chain panic at sweep {sweep}");
             }
@@ -455,6 +531,7 @@ impl GibbsSampler {
             let snapshot = (retry.max_retries > 0).then(|| state.clone());
             let will_record =
                 sweep >= burn_in && (sweep - burn_in).is_multiple_of(thin) && kept < samples;
+            prev_zeta.copy_from_slice(&state.zeta);
 
             let outcome = self
                 .try_sweep(&mut state, &zeta_bounds, rng, sweep, forced)
@@ -497,14 +574,54 @@ impl GibbsSampler {
                             probs: &probs,
                         });
                     }
+                    // The ζ parameters update exactly once per sweep,
+                    // so before/after comparison is the kernel's
+                    // accept/reject decision (for slice sampling, its
+                    // shrink-to-start give-up).
+                    for (j, t) in tally.iter_mut().enumerate() {
+                        let moved = state.zeta[j].to_bits() != prev_zeta[j].to_bits();
+                        t.steps += 1;
+                        t.accepted += u64::from(moved);
+                        if trace_sweep && matches!(self.zeta_kernel, ZetaKernel::AdaptiveRw) {
+                            recorder.record(&Event::Metropolis {
+                                chain: chain_id,
+                                sweep,
+                                parameter: t.parameter,
+                                accepted: moved,
+                            });
+                        }
+                    }
+                    if trace_sweep {
+                        recorder.record(&Event::SweepEnd {
+                            chain: chain_id,
+                            sweep,
+                            total: total_sweeps,
+                            kept,
+                        });
+                    }
                     sweep += 1;
                 }
                 Err(fault) => {
+                    if on {
+                        recorder.record(&Event::SweepFault {
+                            chain: chain_id,
+                            sweep,
+                            kind: fault.kind().to_string(),
+                            detail: fault.to_string(),
+                        });
+                    }
                     if log.retries < retry.max_retries {
                         log.retries += 1;
                         log.last_fault = Some(fault);
                         if let Some(snap) = snapshot {
                             state = snap;
+                        }
+                        if on {
+                            recorder.record(&Event::Retry {
+                                chain: chain_id,
+                                sweep,
+                                retries: log.retries as u64,
+                            });
                         }
                         // Re-run the same sweep on fresh draws.
                     } else {
@@ -515,6 +632,22 @@ impl GibbsSampler {
                     }
                 }
             }
+        }
+        log.accept = tally;
+        if on {
+            recorder.record(&Event::ChainDone {
+                chain: chain_id,
+                retries: log.retries as u64,
+                accept: log
+                    .accept
+                    .iter()
+                    .map(|t| srm_obs::AcceptStat {
+                        parameter: t.parameter.to_string(),
+                        steps: t.steps,
+                        accepted: t.accepted,
+                    })
+                    .collect(),
+            });
         }
         Ok((chain, log))
     }
@@ -551,8 +684,7 @@ impl GibbsSampler {
                         // Jeffreys hyper-prior shifts the shape
                         // by −1/2.
                         let w_sum = (1.0 - survival).max(OPEN_SHIFT);
-                        let shape =
-                            (self.total as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
+                        let shape = (self.total as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
                         state.lambda0 = TruncatedGamma::new(shape, 1.0 / w_sum, lambda_max)
                             .map_err(|e| degenerate("lambda0 conditional", &e, sweep))?
                             .sample(rng);
@@ -561,8 +693,7 @@ impl GibbsSampler {
                         // β0 | α0, ζ, x via the collapsed kernel.
                         let a0 = state.alpha0;
                         let ln_f_beta = |b: f64| {
-                            self.nb_collapsed_kernel(a0, b, survival)
-                                + self.ln_beta0_hyper_prior(b)
+                            self.nb_collapsed_kernel(a0, b, survival) + self.ln_beta0_hyper_prior(b)
                         };
                         state.beta0 = try_slice_sample(
                             ln_f_beta,
@@ -599,27 +730,18 @@ impl GibbsSampler {
                         z[j] = v;
                         let (sum_x_ln_w, ln_qz) = self.collapsed_stats(&z);
                         match self.prior {
-                            PriorSpec::Poisson { .. } => {
-                                sum_x_ln_w - lambda0 * (1.0 - ln_qz.exp())
-                            }
+                            PriorSpec::Poisson { .. } => sum_x_ln_w - lambda0 * (1.0 - ln_qz.exp()),
                             PriorSpec::NegBinomial { .. } => {
-                                let beta_k = (1.0 - (1.0 - beta0) * ln_qz.exp())
-                                    .max(OPEN_SHIFT);
-                                sum_x_ln_w
-                                    - (alpha0 + self.total as f64) * beta_k.ln()
+                                let beta_k = (1.0 - (1.0 - beta0) * ln_qz.exp()).max(OPEN_SHIFT);
+                                sum_x_ln_w - (alpha0 + self.total as f64) * beta_k.ln()
                             }
                         }
                     };
                     state.zeta[j] = match self.zeta_kernel {
-                        ZetaKernel::Slice => try_slice_sample(
-                            ln_f,
-                            current,
-                            lo,
-                            hi,
-                            &self.slice_config,
-                            rng,
-                        )
-                        .map_err(|e| slice_fault(e, zeta_names[j], sweep))?,
+                        ZetaKernel::Slice => {
+                            try_slice_sample(ln_f, current, lo, hi, &self.slice_config, rng)
+                                .map_err(|e| slice_fault(e, zeta_names[j], sweep))?
+                        }
                         ZetaKernel::AdaptiveRw => state.rw_kernels[j]
                             .try_step(ln_f, current, rng)
                             .map_err(|value| SrmError::NonFiniteLikelihood {
@@ -658,9 +780,8 @@ impl GibbsSampler {
                         // α0 | N, β0 ∝ Γ(N + α0)/Γ(α0) · β0^{α0}.
                         let beta0 = state.beta0;
                         let last_n = state.last_n;
-                        let ln_target = |a: f64| {
-                            ln_gamma(last_n as f64 + a) - ln_gamma(a) + a * beta0.ln()
-                        };
+                        let ln_target =
+                            |a: f64| ln_gamma(last_n as f64 + a) - ln_gamma(a) + a * beta0.ln();
                         state.alpha0 = try_slice_sample(
                             ln_target,
                             state.alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
@@ -685,15 +806,10 @@ impl GibbsSampler {
                         self.zeta_log_target(&z, last_n)
                     };
                     state.zeta[j] = match self.zeta_kernel {
-                        ZetaKernel::Slice => try_slice_sample(
-                            ln_f,
-                            current,
-                            lo,
-                            hi,
-                            &self.slice_config,
-                            rng,
-                        )
-                        .map_err(|e| slice_fault(e, zeta_names[j], sweep))?,
+                        ZetaKernel::Slice => {
+                            try_slice_sample(ln_f, current, lo, hi, &self.slice_config, rng)
+                                .map_err(|e| slice_fault(e, zeta_names[j], sweep))?
+                        }
                         ZetaKernel::AdaptiveRw => state.rw_kernels[j]
                             .try_step(ln_f, current, rng)
                             .map_err(|value| SrmError::NonFiniteLikelihood {

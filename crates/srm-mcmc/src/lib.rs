@@ -58,7 +58,9 @@ pub use fault::{
     RetryPolicy, SrmError,
 };
 pub use gibbs::{GibbsSampler, HyperPrior, PriorSpec, SweepKind, SweepRecord, ZetaKernel};
+pub use metropolis::ParamAcceptance;
 pub use runner::{
-    run_chains, run_chains_fault_tolerant, FaultTolerantRun, McmcConfig, McmcOutput, RunOptions,
+    run_chains, run_chains_fault_tolerant, run_chains_fault_tolerant_traced, FaultTolerantRun,
+    McmcConfig, McmcOutput, RunOptions,
 };
-pub use summary::PosteriorSummary;
+pub use summary::{AcceptanceSummary, PosteriorSummary};

@@ -14,6 +14,36 @@ use srm_rand::{Distribution, Normal, Rng};
 /// (Roberts–Gelman–Gilks optimum ≈ 0.44 in one dimension).
 pub const TARGET_ACCEPTANCE: f64 = 0.44;
 
+/// Move statistics for one sampled parameter over a chain: how many
+/// kernel steps it took and on how many the parameter actually moved.
+///
+/// For [`AdaptiveRw`] a "move" is exactly a Metropolis acceptance; for
+/// the slice kernel it means the shrinkage loop found a new point
+/// (returning the current point is the slice sampler's degenerate
+/// give-up outcome). Collected per sweep by the Gibbs loop and carried
+/// home in [`crate::fault::RecoveryLog::accept`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParamAcceptance {
+    /// The parameter's name (from the model's parameter table).
+    pub parameter: &'static str,
+    /// Kernel steps taken.
+    pub steps: u64,
+    /// Steps on which the parameter moved.
+    pub accepted: u64,
+}
+
+impl ParamAcceptance {
+    /// Fraction of steps accepted (0 when no steps were taken).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.steps as f64
+        }
+    }
+}
+
 /// One adaptive random-walk Metropolis updater for a scalar parameter
 /// restricted to `(lo, hi)` (proposals outside the box are rejected,
 /// which is a valid Metropolis move against the truncated target).
@@ -105,6 +135,28 @@ impl AdaptiveRw {
             1.0
         } else {
             self.accepted as f64 / self.steps as f64
+        }
+    }
+
+    /// Total Metropolis steps taken so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Accepted proposals so far.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// The kernel's counters as a named [`ParamAcceptance`] record.
+    #[must_use]
+    pub fn acceptance(&self, parameter: &'static str) -> ParamAcceptance {
+        ParamAcceptance {
+            parameter,
+            steps: self.steps,
+            accepted: self.accepted,
         }
     }
 
@@ -208,8 +260,7 @@ mod tests {
         let (draws, kernel) = run_chain(|x| -0.5 * x * x, -20.0, 20.0, 3.0, 80_000, 301);
         let tail = &draws[20_000..];
         let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
-        let var: f64 =
-            tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / tail.len() as f64;
+        let var: f64 = tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / tail.len() as f64;
         assert!(mean.abs() < 0.05, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.1, "var = {var}");
         let rate = kernel.acceptance_rate();

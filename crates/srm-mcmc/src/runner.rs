@@ -11,10 +11,9 @@
 //! the process.
 
 use crate::chain::Chain;
-use crate::fault::{
-    panic_message, ChainReport, FaultPlan, RecoveryLog, RetryPolicy, SrmError,
-};
+use crate::fault::{panic_message, ChainReport, FaultPlan, RecoveryLog, RetryPolicy, SrmError};
 use crate::gibbs::{GibbsSampler, SweepRecord};
+use srm_obs::{Event, Recorder, NOOP};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Run-length and seeding configuration for an MCMC run.
@@ -184,6 +183,28 @@ pub fn run_chains_fault_tolerant(
     config: &McmcConfig,
     options: &RunOptions,
 ) -> Result<FaultTolerantRun, SrmError> {
+    run_chains_fault_tolerant_traced(sampler, config, options, &NOOP)
+}
+
+/// [`run_chains_fault_tolerant`] with instrumentation: chain worker
+/// threads emit sweep/fault/retry events to `recorder`, contained
+/// panics are reported as [`Event::ChainPanicked`], and — after the
+/// run is assembled — one [`Event::ChainReport`] per surviving chain,
+/// so event-derived fault counters match the returned
+/// [`FaultTolerantRun::reports`] exactly.
+///
+/// The recorder is observation-only: draws are bit-identical to the
+/// untraced call for any recorder.
+///
+/// # Errors
+///
+/// Exactly as [`run_chains_fault_tolerant`].
+pub fn run_chains_fault_tolerant_traced(
+    sampler: &GibbsSampler,
+    config: &McmcConfig,
+    options: &RunOptions,
+    recorder: &dyn Recorder,
+) -> Result<FaultTolerantRun, SrmError> {
     if config.chains == 0 {
         return Err(SrmError::InvalidConfig {
             detail: "at least one chain is required".into(),
@@ -199,7 +220,7 @@ pub fn run_chains_fault_tolerant(
             let retry = options.retry;
             scope.spawn(move || {
                 let caught = catch_unwind(AssertUnwindSafe(|| {
-                    sampler.try_run_chain(
+                    sampler.try_run_chain_traced(
                         &mut rng,
                         config.burn_in,
                         config.samples,
@@ -207,16 +228,26 @@ pub fn run_chains_fault_tolerant(
                         &retry,
                         &mut injector,
                         &mut |_| {},
+                        i,
+                        recorder,
                     )
                 }));
                 *slot = Some(match caught {
-                    Ok(Ok((chain, RecoveryLog { retries, last_fault }))) => (
+                    Ok(Ok((
+                        chain,
+                        RecoveryLog {
+                            retries,
+                            last_fault,
+                            accept,
+                        },
+                    ))) => (
                         Some(chain),
                         ChainReport {
                             chain: i,
                             fault: last_fault,
                             retries,
                             recovered: true,
+                            accept,
                         },
                     ),
                     Ok(Err(failure)) => (
@@ -226,20 +257,28 @@ pub fn run_chains_fault_tolerant(
                             fault: Some(failure.fault),
                             retries: failure.retries,
                             recovered: false,
+                            accept: Vec::new(),
                         },
                     ),
-                    Err(payload) => (
-                        None,
-                        ChainReport {
-                            chain: i,
-                            fault: Some(SrmError::ChainPanicked {
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        if recorder.enabled() {
+                            recorder.record(&Event::ChainPanicked {
                                 chain: i,
-                                message: panic_message(payload.as_ref()),
-                            }),
-                            retries: 0,
-                            recovered: false,
-                        },
-                    ),
+                                detail: message.clone(),
+                            });
+                        }
+                        (
+                            None,
+                            ChainReport {
+                                chain: i,
+                                fault: Some(SrmError::ChainPanicked { chain: i, message }),
+                                retries: 0,
+                                recovered: false,
+                                accept: Vec::new(),
+                            },
+                        )
+                    }
                 });
             });
         }
@@ -253,13 +292,26 @@ pub fn run_chains_fault_tolerant(
         reports.push(report);
     }
     if chains.is_empty() {
-        let fault = reports
-            .iter()
-            .find_map(|r| r.fault.clone())
-            .unwrap_or(SrmError::InvalidConfig {
-                detail: "no chains produced output".into(),
-            });
+        let fault =
+            reports
+                .iter()
+                .find_map(|r| r.fault.clone())
+                .unwrap_or(SrmError::InvalidConfig {
+                    detail: "no chains produced output".into(),
+                });
         return Err(fault);
+    }
+    if recorder.enabled() {
+        // Post-assembly summaries: counting these reproduces the
+        // returned reports' fault/retry totals exactly.
+        for report in &reports {
+            recorder.record(&Event::ChainReport {
+                chain: report.chain,
+                recovered: report.recovered,
+                retries: report.retries as u64,
+                fault: report.fault.as_ref().map(|f| f.kind().to_string()),
+            });
+        }
     }
     Ok(FaultTolerantRun {
         output: McmcOutput { chains },

@@ -231,8 +231,7 @@ mod tests {
         let draws = run_chain(|x| -0.5 * x * x, -10.0, 10.0, 1.0, 60_000, 71);
         let burn = &draws[5_000..];
         let mean: f64 = burn.iter().sum::<f64>() / burn.len() as f64;
-        let var: f64 =
-            burn.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / burn.len() as f64;
+        let var: f64 = burn.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / burn.len() as f64;
         assert!(mean.abs() < 0.03, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.05, "var = {var}");
     }

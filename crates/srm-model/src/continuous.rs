@@ -77,12 +77,8 @@ impl Lifetime {
             Self::Exponential { rate } => -(-rate * t).exp_m1(),
             Self::Weibull { shape, scale } => -(-(t / scale).powf(shape)).exp_m1(),
             Self::Pareto { alpha, sigma } => 1.0 - (1.0 + t / sigma).powf(-alpha),
-            Self::LogLogistic { alpha, beta } => {
-                1.0 / (1.0 + (t / alpha).powf(-beta))
-            }
-            Self::DelayedSShaped { rate } => {
-                1.0 - (1.0 + rate * t) * (-rate * t).exp()
-            }
+            Self::LogLogistic { alpha, beta } => 1.0 / (1.0 + (t / alpha).powf(-beta)),
+            Self::DelayedSShaped { rate } => 1.0 - (1.0 + rate * t) * (-rate * t).exp(),
         }
     }
 
@@ -111,7 +107,9 @@ impl Lifetime {
     /// The full discrete schedule `p_1..p_horizon`.
     #[must_use]
     pub fn discrete_schedule(&self, horizon: usize) -> Vec<f64> {
-        (1..=horizon as u64).map(|i| self.discrete_hazard(i)).collect()
+        (1..=horizon as u64)
+            .map(|i| self.discrete_hazard(i))
+            .collect()
     }
 }
 
@@ -160,9 +158,18 @@ mod tests {
     fn cdfs_are_valid() {
         let models = [
             Lifetime::Exponential { rate: 0.2 },
-            Lifetime::Weibull { shape: 0.7, scale: 15.0 },
-            Lifetime::Pareto { alpha: 1.5, sigma: 10.0 },
-            Lifetime::LogLogistic { alpha: 20.0, beta: 2.0 },
+            Lifetime::Weibull {
+                shape: 0.7,
+                scale: 15.0,
+            },
+            Lifetime::Pareto {
+                alpha: 1.5,
+                sigma: 10.0,
+            },
+            Lifetime::LogLogistic {
+                alpha: 20.0,
+                beta: 2.0,
+            },
             Lifetime::DelayedSShaped { rate: 0.1 },
         ];
         for m in models {
@@ -189,9 +196,7 @@ mod tests {
             assert!(approx_eq(lt.discrete_hazard(i), expected, 1e-12), "i = {i}");
         }
         // And matches model0 with μ = 1 − e^{−b}.
-        let p_model0 = DetectionModel::Constant
-            .prob(&[expected], 17)
-            .unwrap();
+        let p_model0 = DetectionModel::Constant.prob(&[expected], 17).unwrap();
         assert!(approx_eq(lt.discrete_hazard(17), p_model0, 1e-9));
     }
 
@@ -206,7 +211,10 @@ mod tests {
         // continuous Weibull: S(i)/S(i−1) = e^{−((i/λ)^k − ((i−1)/λ)^k)}.
         let (k, lambda) = (0.6f64, 12.0f64);
         let mu = (-(1.0 / lambda).powf(k)).exp();
-        let lt = Lifetime::Weibull { shape: k, scale: lambda };
+        let lt = Lifetime::Weibull {
+            shape: k,
+            scale: lambda,
+        };
         for i in 1..60u64 {
             let continuous = lt.discrete_hazard(i);
             let discrete = DetectionModel::Weibull.prob(&[mu, k], i).unwrap();
@@ -219,7 +227,10 @@ mod tests {
 
     #[test]
     fn pareto_hazard_decays_like_model3() {
-        let lt = Lifetime::Pareto { alpha: 1.2, sigma: 5.0 };
+        let lt = Lifetime::Pareto {
+            alpha: 1.2,
+            sigma: 5.0,
+        };
         let schedule = lt.discrete_schedule(100);
         for w in schedule.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
@@ -263,7 +274,10 @@ mod tests {
         // the exact simulator; expected detections match ω F(t).
         let srm = ContinuousSrm {
             omega: 400.0,
-            lifetime: Lifetime::Weibull { shape: 0.8, scale: 20.0 },
+            lifetime: Lifetime::Weibull {
+                shape: 0.8,
+                scale: 20.0,
+            },
         };
         let schedule = srm.lifetime.discrete_schedule(30);
         let sim = srm_data::DetectionSimulator::new(400, schedule);

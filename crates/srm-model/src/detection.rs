@@ -384,15 +384,26 @@ mod tests {
 
     #[test]
     fn validation_rejects_wrong_dimension() {
-        let err = DetectionModel::PadgettSpurrier.validate(&[0.5]).unwrap_err();
-        assert!(matches!(err, ModelError::WrongDimension { expected: 2, got: 1, .. }));
+        let err = DetectionModel::PadgettSpurrier
+            .validate(&[0.5])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::WrongDimension {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn validation_rejects_out_of_range() {
         assert!(DetectionModel::Constant.validate(&[0.0]).is_err());
         assert!(DetectionModel::Constant.validate(&[1.0]).is_err());
-        assert!(DetectionModel::PadgettSpurrier.validate(&[0.5, 0.0]).is_err());
+        assert!(DetectionModel::PadgettSpurrier
+            .validate(&[0.5, 0.0])
+            .is_err());
         assert!(DetectionModel::Weibull.validate(&[0.5, 1.0]).is_err());
         assert!(DetectionModel::LogLogistic
             .validate(&[0.5, f64::INFINITY])

@@ -139,9 +139,16 @@ impl GroupedLikelihood {
     /// Panics if `day` is 0 or beyond the horizon.
     #[must_use]
     pub fn ln_pointwise(&self, n: u64, probs: &[f64], day: usize) -> f64 {
-        assert!(day >= 1 && day <= self.counts.len(), "day {day} out of range");
+        assert!(
+            day >= 1 && day <= self.counts.len(),
+            "day {day} out of range"
+        );
         let x = self.counts[day - 1];
-        let s_prev = if day == 1 { 0 } else { self.cumulative[day - 2] };
+        let s_prev = if day == 1 {
+            0
+        } else {
+            self.cumulative[day - 2]
+        };
         if n < s_prev + x {
             return f64::NEG_INFINITY;
         }

@@ -184,9 +184,7 @@ pub fn forward_filter(
                     f64::NEG_INFINITY
                 }
             } else {
-                ln_binomial(m as u64, x as u64)
-                    + x as f64 * ln_p
-                    + (m - x) as f64 * ln_q
+                ln_binomial(m as u64, x as u64) + x as f64 * ln_p + (m - x) as f64 * ln_q
             };
             if ln_trans > f64::NEG_INFINITY {
                 next[m - x] += w * ln_trans.exp();
@@ -230,7 +228,9 @@ pub fn forward_filter(
 /// ```
 #[must_use]
 pub fn truncated_prior_pmf(prior: &crate::prior::BugPrior, support_max: usize) -> Vec<f64> {
-    (0..=support_max as u64).map(|n| prior.ln_pmf(n).exp()).collect()
+    (0..=support_max as u64)
+        .map(|n| prior.ln_pmf(n).exp())
+        .collect()
 }
 
 #[cfg(test)]

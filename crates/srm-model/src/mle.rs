@@ -115,10 +115,7 @@ fn profile_loglik(counts: &[u64], probs: &[f64]) -> (f64, f64) {
     let weight_sum: f64 = weights.iter().sum();
     if weight_sum <= 0.0 || total == 0 {
         // No detectability (or no data): λ̂0 → 0; define ll at limit.
-        let ll = -counts
-            .iter()
-            .map(|&x| ln_factorial(x))
-            .sum::<f64>();
+        let ll = -counts.iter().map(|&x| ln_factorial(x)).sum::<f64>();
         return (0.0, if total == 0 { ll } else { f64::NEG_INFINITY });
     }
     let lambda0 = total as f64 / weight_sum;
@@ -275,11 +272,9 @@ mod tests {
         // (model1, model2) must clearly beat the rest on this
         // dataset, mirroring the paper's WAIC ranking where model1
         // dominates and model2 trails it closely.
-        let aic_of = |target: DetectionModel| {
-            lls.iter().find(|(m, _, _)| *m == target).unwrap().2
-        };
-        let hetero_best = aic_of(DetectionModel::PadgettSpurrier)
-            .min(aic_of(DetectionModel::LogLogistic));
+        let aic_of = |target: DetectionModel| lls.iter().find(|(m, _, _)| *m == target).unwrap().2;
+        let hetero_best =
+            aic_of(DetectionModel::PadgettSpurrier).min(aic_of(DetectionModel::LogLogistic));
         for loser in [
             DetectionModel::Constant,
             DetectionModel::Pareto,
@@ -304,7 +299,9 @@ mod tests {
             &ZetaBounds::default(),
         )
         .unwrap();
-        let ses = fit.standard_errors(&project.data).expect("information exists");
+        let ses = fit
+            .standard_errors(&project.data)
+            .expect("information exists");
         assert_eq!(ses.len(), 2); // (λ0, μ)
         assert!(ses[0] > 1.0, "λ0 SE = {}", ses[0]);
         assert!(
@@ -342,8 +339,12 @@ mod tests {
     #[test]
     fn expected_residual_decreases_with_horizon() {
         let data = datasets::musa_cc96();
-        let fit =
-            fit_nhpp(&data, DetectionModel::PadgettSpurrier, &ZetaBounds::default()).unwrap();
+        let fit = fit_nhpp(
+            &data,
+            DetectionModel::PadgettSpurrier,
+            &ZetaBounds::default(),
+        )
+        .unwrap();
         let r96 = fit.expected_residual(96);
         let r146 = fit.expected_residual(146);
         assert!(r146 < r96);

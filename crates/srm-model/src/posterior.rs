@@ -64,9 +64,7 @@ impl ResidualPosterior {
     pub fn variance(&self) -> f64 {
         match *self {
             Self::Poisson { lambda_k } => lambda_k,
-            Self::NegBinomial { alpha_k, beta_k } => {
-                alpha_k * (1.0 - beta_k) / (beta_k * beta_k)
-            }
+            Self::NegBinomial { alpha_k, beta_k } => alpha_k * (1.0 - beta_k) / (beta_k * beta_k),
         }
     }
 
@@ -288,7 +286,10 @@ pub(crate) mod tests {
         for (r, &b) in brute.iter().enumerate().take(150) {
             max_err = max_err.max((printed.ln_pmf(r as u64).exp() - b).abs());
         }
-        assert!(max_err > 1e-3, "printed update unexpectedly close: {max_err}");
+        assert!(
+            max_err > 1e-3,
+            "printed update unexpectedly close: {max_err}"
+        );
     }
 
     #[test]
@@ -315,11 +316,7 @@ pub(crate) mod tests {
         let post = nb_posterior(3.0, 0.4, &probs, &data);
         let prior = BugPrior::neg_binomial(3.0, 0.4).unwrap();
         for r in 0..50u64 {
-            assert!(approx_eq(
-                post.ln_pmf(r).exp(),
-                prior.ln_pmf(r).exp(),
-                1e-9
-            ));
+            assert!(approx_eq(post.ln_pmf(r).exp(), prior.ln_pmf(r).exp(), 1e-9));
         }
     }
 

@@ -38,7 +38,11 @@ pub fn next_day_predictive(posterior: &ResidualPosterior, p_next: f64) -> Residu
             // another NB with the same size.
             let w = 1.0 - beta_k; // "failure" weight of the residual
             let denom = 1.0 - (1.0 - p_next) * w;
-            let new_fail = if denom <= 0.0 { 0.0 } else { p_next * w / denom };
+            let new_fail = if denom <= 0.0 {
+                0.0
+            } else {
+                p_next * w / denom
+            };
             ResidualPosterior::NegBinomial {
                 alpha_k,
                 beta_k: 1.0 - new_fail,
@@ -60,7 +64,10 @@ pub fn expected_future_detections(
     future_probs: &[f64],
     horizon: usize,
 ) -> f64 {
-    assert!(future_probs.len() >= horizon, "schedule shorter than horizon");
+    assert!(
+        future_probs.len() >= horizon,
+        "schedule shorter than horizon"
+    );
     let mut survival = 1.0;
     let mut expected = 0.0;
     let residual_mean = posterior.mean();

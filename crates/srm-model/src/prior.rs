@@ -47,7 +47,11 @@ pub struct PriorError {
 
 impl std::fmt::Display for PriorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid prior parameter `{}` = {}", self.name, self.value)
+        write!(
+            f,
+            "invalid prior parameter `{}` = {}",
+            self.name, self.value
+        )
     }
 }
 
@@ -121,9 +125,7 @@ impl BugPrior {
     #[must_use]
     pub fn ln_pmf(&self, n: u64) -> f64 {
         match *self {
-            Self::Poisson { lambda0 } => {
-                n as f64 * lambda0.ln() - lambda0 - ln_factorial(n)
-            }
+            Self::Poisson { lambda0 } => n as f64 * lambda0.ln() - lambda0 - ln_factorial(n),
             Self::NegBinomial { alpha0, beta0 } => {
                 ln_nb_coeff(alpha0, n) + alpha0 * beta0.ln() + n as f64 * (1.0 - beta0).ln()
             }
@@ -191,8 +193,7 @@ mod tests {
             BugPrior::neg_binomial(5.0, 0.25).unwrap(),
         ] {
             let n = 50_000;
-            let m: f64 =
-                (0..n).map(|_| prior.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+            let m: f64 = (0..n).map(|_| prior.sample(&mut rng) as f64).sum::<f64>() / n as f64;
             assert!(
                 (m - prior.mean()).abs() < 0.03 * prior.mean(),
                 "{}: {m} vs {}",

@@ -32,7 +32,10 @@ use crate::posterior::ResidualPosterior;
 /// ```
 #[must_use]
 pub fn pgf(posterior: &ResidualPosterior, z: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&z), "pgf requires z in [0, 1], got {z}");
+    assert!(
+        (0.0..=1.0).contains(&z),
+        "pgf requires z in [0, 1], got {z}"
+    );
     match *posterior {
         ResidualPosterior::Poisson { lambda_k } => (lambda_k * (z - 1.0)).exp(),
         ResidualPosterior::NegBinomial { alpha_k, beta_k } => {
@@ -68,11 +71,7 @@ pub fn pgf(posterior: &ResidualPosterior, z: f64) -> f64 {
 /// assert!((0.0..=1.0).contains(&r30));
 /// ```
 #[must_use]
-pub fn reliability(
-    posterior: &ResidualPosterior,
-    future_probs: &[f64],
-    horizon: usize,
-) -> f64 {
+pub fn reliability(posterior: &ResidualPosterior, future_probs: &[f64], horizon: usize) -> f64 {
     assert!(
         future_probs.len() >= horizon,
         "schedule shorter than horizon"

@@ -1,0 +1,667 @@
+//! The typed event taxonomy emitted by the instrumented engine.
+//!
+//! Every observable moment in a run maps to one [`Event`] variant.
+//! Sinks receive events by reference and decide independently what to
+//! do with them (format a progress line, append a JSONL record, bump a
+//! counter). Serialisation lives here — `kind()` gives the stable
+//! kebab-case discriminator written to the `"type"` field, and
+//! `to_value()` the full JSON payload — so every sink shares a single
+//! formatting path.
+
+use crate::json::Value;
+
+/// Per-parameter accept statistics carried by [`Event::ChainDone`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptStat {
+    /// Parameter name (e.g. `"zeta0"`).
+    pub parameter: String,
+    /// Kernel steps taken for this parameter.
+    pub steps: u64,
+    /// Steps on which the parameter actually moved.
+    pub accepted: u64,
+}
+
+impl AcceptStat {
+    /// Fraction of steps accepted (0 when no steps were taken).
+    pub fn rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.steps as f64
+        }
+    }
+}
+
+/// A structured, typed trace event.
+///
+/// Numeric context (chain index, sweep index) is carried inline so an
+/// event is meaningful on its own line of a JSONL trace even when
+/// chains interleave.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A top-level invocation began (one per CLI run).
+    RunStart {
+        /// CLI command (`fit`, `select`, `trend`, …).
+        command: String,
+        /// Detection-model identifier, if the run has one.
+        model: String,
+        /// Prior family (`poisson` / `negbinom`), if applicable.
+        prior: String,
+        /// Root RNG seed.
+        seed: u64,
+        /// FNV-1a hash of the dataset's daily counts, hex-encoded.
+        dataset_hash: String,
+    },
+    /// A named phase (sampling, waic, summary, diagnostics, …) began.
+    PhaseStart {
+        /// Phase name.
+        phase: &'static str,
+    },
+    /// A named phase finished.
+    PhaseEnd {
+        /// Phase name.
+        phase: &'static str,
+        /// Wall-clock duration in milliseconds.
+        wall_ms: f64,
+    },
+    /// A chain's sweep loop began.
+    ChainStart {
+        /// Chain index.
+        chain: usize,
+        /// Total sweeps this chain will attempt (burn-in + kept·thin).
+        sweeps: usize,
+    },
+    /// A sweep is about to run (emitted at the sink's stride).
+    SweepStart {
+        /// Chain index.
+        chain: usize,
+        /// Sweep index within the chain.
+        sweep: usize,
+        /// Total sweeps planned for the chain.
+        total: usize,
+    },
+    /// A sweep completed (emitted at the sink's stride).
+    SweepEnd {
+        /// Chain index.
+        chain: usize,
+        /// Sweep index within the chain.
+        sweep: usize,
+        /// Total sweeps planned for the chain.
+        total: usize,
+        /// Post-thinning draws kept so far.
+        kept: usize,
+    },
+    /// One Metropolis accept/reject decision (stride-sampled).
+    Metropolis {
+        /// Chain index.
+        chain: usize,
+        /// Sweep index.
+        sweep: usize,
+        /// Parameter the random-walk kernel updated.
+        parameter: &'static str,
+        /// Whether the proposal was accepted.
+        accepted: bool,
+    },
+    /// A sweep failed with a recoverable fault (slice-expansion
+    /// exhaustion, non-finite rate, injected fault, …).
+    SweepFault {
+        /// Chain index.
+        chain: usize,
+        /// Sweep index that faulted.
+        sweep: usize,
+        /// `SrmError::kind()` kebab-case label.
+        kind: String,
+        /// Human-readable error rendering.
+        detail: String,
+    },
+    /// A faulted sweep is being retried from the pre-sweep state.
+    Retry {
+        /// Chain index.
+        chain: usize,
+        /// Sweep index being retried.
+        sweep: usize,
+        /// Retries consumed so far on this chain (including this one).
+        retries: u64,
+    },
+    /// The deterministic fault-injection harness fired.
+    FaultInjected {
+        /// Chain index.
+        chain: usize,
+        /// Sweep index the fault was planted on.
+        sweep: usize,
+        /// Injected fault kind label.
+        kind: String,
+    },
+    /// A chain panicked and was contained by the runner.
+    ChainPanicked {
+        /// Chain index.
+        chain: usize,
+        /// Panic payload rendering.
+        detail: String,
+    },
+    /// A chain's sweep loop finished (successfully).
+    ChainDone {
+        /// Chain index.
+        chain: usize,
+        /// Retries the chain consumed.
+        retries: u64,
+        /// Per-parameter acceptance statistics.
+        accept: Vec<AcceptStat>,
+    },
+    /// One entry of a fault-tolerant run's final report. Emitted once
+    /// per surviving chain after the run is assembled, so counting
+    /// these (plus `CellFailure`) reproduces the engine's own fault
+    /// counters exactly.
+    ChainReport {
+        /// Chain index.
+        chain: usize,
+        /// Whether the chain recovered after a fault.
+        recovered: bool,
+        /// Retries consumed.
+        retries: u64,
+        /// First-fault kind label, if any fault occurred.
+        fault: Option<String>,
+    },
+    /// An experiment cell began.
+    CellStart {
+        /// Prior family label.
+        prior: String,
+        /// Detection-model name.
+        model: String,
+        /// Observation-point day.
+        day: usize,
+    },
+    /// An experiment cell finished.
+    CellEnd {
+        /// Prior family label.
+        prior: String,
+        /// Detection-model name.
+        model: String,
+        /// Observation-point day.
+        day: usize,
+        /// Wall-clock duration in milliseconds.
+        wall_ms: f64,
+    },
+    /// An experiment cell was abandoned with an error.
+    CellFailure {
+        /// Prior family label.
+        prior: String,
+        /// Detection-model name.
+        model: String,
+        /// Observation-point day.
+        day: usize,
+        /// `SrmError::kind()` label of the terminal error.
+        kind: String,
+    },
+    /// A WAIC evaluation completed.
+    Waic {
+        /// Model the criterion was computed for.
+        model: String,
+        /// WAIC total (deviance scale).
+        total: f64,
+        /// Effective number of parameters.
+        p_waic: f64,
+        /// Posterior draws the estimate used.
+        draws: usize,
+    },
+    /// Final convergence diagnostics for one parameter.
+    Diagnostic {
+        /// Parameter name.
+        parameter: String,
+        /// Potential scale reduction factor.
+        psrf: f64,
+        /// Geweke z-score.
+        geweke_z: f64,
+        /// Effective sample size.
+        ess: f64,
+    },
+    /// A one-line CLI diagnostic (the same string printed to stderr).
+    CliDiagnostic {
+        /// Severity label (`error`, `warning`).
+        level: &'static str,
+        /// The diagnostic message.
+        message: String,
+    },
+}
+
+/// Every `kind()` label, for schema validation.
+pub const EVENT_KINDS: &[&str] = &[
+    "run-start",
+    "phase-start",
+    "phase-end",
+    "chain-start",
+    "sweep-start",
+    "sweep-end",
+    "metropolis",
+    "sweep-fault",
+    "retry",
+    "fault-injected",
+    "chain-panicked",
+    "chain-done",
+    "chain-report",
+    "cell-start",
+    "cell-end",
+    "cell-failure",
+    "waic",
+    "diagnostic",
+    "cli-diagnostic",
+];
+
+impl Event {
+    /// Stable kebab-case discriminator, written as the `"type"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run-start",
+            Event::PhaseStart { .. } => "phase-start",
+            Event::PhaseEnd { .. } => "phase-end",
+            Event::ChainStart { .. } => "chain-start",
+            Event::SweepStart { .. } => "sweep-start",
+            Event::SweepEnd { .. } => "sweep-end",
+            Event::Metropolis { .. } => "metropolis",
+            Event::SweepFault { .. } => "sweep-fault",
+            Event::Retry { .. } => "retry",
+            Event::FaultInjected { .. } => "fault-injected",
+            Event::ChainPanicked { .. } => "chain-panicked",
+            Event::ChainDone { .. } => "chain-done",
+            Event::ChainReport { .. } => "chain-report",
+            Event::CellStart { .. } => "cell-start",
+            Event::CellEnd { .. } => "cell-end",
+            Event::CellFailure { .. } => "cell-failure",
+            Event::Waic { .. } => "waic",
+            Event::Diagnostic { .. } => "diagnostic",
+            Event::CliDiagnostic { .. } => "cli-diagnostic",
+        }
+    }
+
+    /// The chain index this event concerns, if it is chain-scoped.
+    pub fn chain(&self) -> Option<usize> {
+        match self {
+            Event::ChainStart { chain, .. }
+            | Event::SweepStart { chain, .. }
+            | Event::SweepEnd { chain, .. }
+            | Event::Metropolis { chain, .. }
+            | Event::SweepFault { chain, .. }
+            | Event::Retry { chain, .. }
+            | Event::FaultInjected { chain, .. }
+            | Event::ChainPanicked { chain, .. }
+            | Event::ChainDone { chain, .. }
+            | Event::ChainReport { chain, .. } => Some(*chain),
+            _ => None,
+        }
+    }
+
+    /// Full JSON payload, including the `"type"` discriminator.
+    pub fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> =
+            vec![("type".to_string(), Value::Str(self.kind().to_string()))];
+        let mut push = |k: &str, v: Value| pairs.push((k.to_string(), v));
+        match self {
+            Event::RunStart {
+                command,
+                model,
+                prior,
+                seed,
+                dataset_hash,
+            } => {
+                push("command", Value::Str(command.clone()));
+                push("model", Value::Str(model.clone()));
+                push("prior", Value::Str(prior.clone()));
+                push("seed", Value::Num(*seed as f64));
+                push("dataset_hash", Value::Str(dataset_hash.clone()));
+            }
+            Event::PhaseStart { phase } => push("phase", Value::Str(phase.to_string())),
+            Event::PhaseEnd { phase, wall_ms } => {
+                push("phase", Value::Str(phase.to_string()));
+                push("wall_ms", Value::Num(*wall_ms));
+            }
+            Event::ChainStart { chain, sweeps } => {
+                push("chain", Value::Num(*chain as f64));
+                push("sweeps", Value::Num(*sweeps as f64));
+            }
+            Event::SweepStart {
+                chain,
+                sweep,
+                total,
+            } => {
+                push("chain", Value::Num(*chain as f64));
+                push("sweep", Value::Num(*sweep as f64));
+                push("total", Value::Num(*total as f64));
+            }
+            Event::SweepEnd {
+                chain,
+                sweep,
+                total,
+                kept,
+            } => {
+                push("chain", Value::Num(*chain as f64));
+                push("sweep", Value::Num(*sweep as f64));
+                push("total", Value::Num(*total as f64));
+                push("kept", Value::Num(*kept as f64));
+            }
+            Event::Metropolis {
+                chain,
+                sweep,
+                parameter,
+                accepted,
+            } => {
+                push("chain", Value::Num(*chain as f64));
+                push("sweep", Value::Num(*sweep as f64));
+                push("parameter", Value::Str(parameter.to_string()));
+                push("accepted", Value::Bool(*accepted));
+            }
+            Event::SweepFault {
+                chain,
+                sweep,
+                kind,
+                detail,
+            } => {
+                push("chain", Value::Num(*chain as f64));
+                push("sweep", Value::Num(*sweep as f64));
+                push("kind", Value::Str(kind.clone()));
+                push("detail", Value::Str(detail.clone()));
+            }
+            Event::Retry {
+                chain,
+                sweep,
+                retries,
+            } => {
+                push("chain", Value::Num(*chain as f64));
+                push("sweep", Value::Num(*sweep as f64));
+                push("retries", Value::Num(*retries as f64));
+            }
+            Event::FaultInjected { chain, sweep, kind } => {
+                push("chain", Value::Num(*chain as f64));
+                push("sweep", Value::Num(*sweep as f64));
+                push("kind", Value::Str(kind.clone()));
+            }
+            Event::ChainPanicked { chain, detail } => {
+                push("chain", Value::Num(*chain as f64));
+                push("detail", Value::Str(detail.clone()));
+            }
+            Event::ChainDone {
+                chain,
+                retries,
+                accept,
+            } => {
+                push("chain", Value::Num(*chain as f64));
+                push("retries", Value::Num(*retries as f64));
+                push(
+                    "accept",
+                    Value::Arr(
+                        accept
+                            .iter()
+                            .map(|a| {
+                                Value::obj(vec![
+                                    ("parameter", Value::Str(a.parameter.clone())),
+                                    ("steps", Value::Num(a.steps as f64)),
+                                    ("accepted", Value::Num(a.accepted as f64)),
+                                    ("rate", Value::Num(a.rate())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+            Event::ChainReport {
+                chain,
+                recovered,
+                retries,
+                fault,
+            } => {
+                push("chain", Value::Num(*chain as f64));
+                push("recovered", Value::Bool(*recovered));
+                push("retries", Value::Num(*retries as f64));
+                push(
+                    "fault",
+                    match fault {
+                        Some(kind) => Value::Str(kind.clone()),
+                        None => Value::Null,
+                    },
+                );
+            }
+            Event::CellStart { prior, model, day } => {
+                push("prior", Value::Str(prior.clone()));
+                push("model", Value::Str(model.clone()));
+                push("day", Value::Num(*day as f64));
+            }
+            Event::CellEnd {
+                prior,
+                model,
+                day,
+                wall_ms,
+            } => {
+                push("prior", Value::Str(prior.clone()));
+                push("model", Value::Str(model.clone()));
+                push("day", Value::Num(*day as f64));
+                push("wall_ms", Value::Num(*wall_ms));
+            }
+            Event::CellFailure {
+                prior,
+                model,
+                day,
+                kind,
+            } => {
+                push("prior", Value::Str(prior.clone()));
+                push("model", Value::Str(model.clone()));
+                push("day", Value::Num(*day as f64));
+                push("kind", Value::Str(kind.clone()));
+            }
+            Event::Waic {
+                model,
+                total,
+                p_waic,
+                draws,
+            } => {
+                push("model", Value::Str(model.clone()));
+                push("total", Value::Num(*total));
+                push("p_waic", Value::Num(*p_waic));
+                push("draws", Value::Num(*draws as f64));
+            }
+            Event::Diagnostic {
+                parameter,
+                psrf,
+                geweke_z,
+                ess,
+            } => {
+                push("parameter", Value::Str(parameter.clone()));
+                push("psrf", Value::Num(*psrf));
+                push("geweke_z", Value::Num(*geweke_z));
+                push("ess", Value::Num(*ess));
+            }
+            Event::CliDiagnostic { level, message } => {
+                push("level", Value::Str(level.to_string()));
+                push("message", Value::Str(message.clone()));
+            }
+        }
+        Value::Obj(pairs)
+    }
+}
+
+/// The non-`type` fields required for a given event kind, for schema
+/// validation of JSONL traces.
+pub fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
+    Some(match kind {
+        "run-start" => &["command", "model", "prior", "seed", "dataset_hash"],
+        "phase-start" => &["phase"],
+        "phase-end" => &["phase", "wall_ms"],
+        "chain-start" => &["chain", "sweeps"],
+        "sweep-start" => &["chain", "sweep", "total"],
+        "sweep-end" => &["chain", "sweep", "total", "kept"],
+        "metropolis" => &["chain", "sweep", "parameter", "accepted"],
+        "sweep-fault" => &["chain", "sweep", "kind", "detail"],
+        "retry" => &["chain", "sweep", "retries"],
+        "fault-injected" => &["chain", "sweep", "kind"],
+        "chain-panicked" => &["chain", "detail"],
+        "chain-done" => &["chain", "retries", "accept"],
+        "chain-report" => &["chain", "recovered", "retries", "fault"],
+        "cell-start" => &["prior", "model", "day"],
+        "cell-end" => &["prior", "model", "day", "wall_ms"],
+        "cell-failure" => &["prior", "model", "day", "kind"],
+        "waic" => &["model", "total", "p_waic", "draws"],
+        "diagnostic" => &["parameter", "psrf", "geweke_z", "ess"],
+        "cli-diagnostic" => &["level", "message"],
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_registered_and_fields_complete() {
+        let samples: Vec<Event> = vec![
+            Event::RunStart {
+                command: "fit".into(),
+                model: "model2".into(),
+                prior: "poisson".into(),
+                seed: 7,
+                dataset_hash: "deadbeef".into(),
+            },
+            Event::PhaseStart { phase: "sampling" },
+            Event::PhaseEnd {
+                phase: "sampling",
+                wall_ms: 12.5,
+            },
+            Event::ChainStart {
+                chain: 0,
+                sweeps: 100,
+            },
+            Event::SweepStart {
+                chain: 0,
+                sweep: 0,
+                total: 100,
+            },
+            Event::SweepEnd {
+                chain: 0,
+                sweep: 0,
+                total: 100,
+                kept: 0,
+            },
+            Event::Metropolis {
+                chain: 1,
+                sweep: 3,
+                parameter: "zeta0",
+                accepted: true,
+            },
+            Event::SweepFault {
+                chain: 1,
+                sweep: 9,
+                kind: "slice-exhausted".into(),
+                detail: "slice expansion exhausted".into(),
+            },
+            Event::Retry {
+                chain: 1,
+                sweep: 9,
+                retries: 1,
+            },
+            Event::FaultInjected {
+                chain: 1,
+                sweep: 9,
+                kind: "nan-rate".into(),
+            },
+            Event::ChainPanicked {
+                chain: 2,
+                detail: "boom".into(),
+            },
+            Event::ChainDone {
+                chain: 0,
+                retries: 0,
+                accept: vec![AcceptStat {
+                    parameter: "zeta0".into(),
+                    steps: 10,
+                    accepted: 4,
+                }],
+            },
+            Event::ChainReport {
+                chain: 0,
+                recovered: true,
+                retries: 1,
+                fault: Some("panic".into()),
+            },
+            Event::CellStart {
+                prior: "poisson".into(),
+                model: "model1".into(),
+                day: 48,
+            },
+            Event::CellEnd {
+                prior: "poisson".into(),
+                model: "model1".into(),
+                day: 48,
+                wall_ms: 3.0,
+            },
+            Event::CellFailure {
+                prior: "negbinom".into(),
+                model: "model4".into(),
+                day: 48,
+                kind: "degenerate-posterior".into(),
+            },
+            Event::Waic {
+                model: "model3".into(),
+                total: 211.4,
+                p_waic: 2.1,
+                draws: 4000,
+            },
+            Event::Diagnostic {
+                parameter: "residual".into(),
+                psrf: 1.01,
+                geweke_z: 0.3,
+                ess: 950.0,
+            },
+            Event::CliDiagnostic {
+                level: "error",
+                message: "unknown flag".into(),
+            },
+        ];
+        assert_eq!(samples.len(), EVENT_KINDS.len());
+        for event in &samples {
+            assert!(EVENT_KINDS.contains(&event.kind()), "{}", event.kind());
+            let value = event.to_value();
+            assert_eq!(
+                value.get("type").and_then(|v| v.as_str()),
+                Some(event.kind())
+            );
+            let required = required_fields(event.kind()).unwrap();
+            for field in required {
+                assert!(
+                    value.get(field).is_some(),
+                    "{} missing field {field}",
+                    event.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_scope_is_reported() {
+        let e = Event::Retry {
+            chain: 3,
+            sweep: 5,
+            retries: 1,
+        };
+        assert_eq!(e.chain(), Some(3));
+        let e = Event::PhaseStart { phase: "waic" };
+        assert_eq!(e.chain(), None);
+    }
+
+    #[test]
+    fn accept_stat_rate_handles_zero_steps() {
+        let a = AcceptStat {
+            parameter: "zeta0".into(),
+            steps: 0,
+            accepted: 0,
+        };
+        assert_eq!(a.rate(), 0.0);
+        let a = AcceptStat {
+            parameter: "zeta0".into(),
+            steps: 8,
+            accepted: 2,
+        };
+        assert!((a.rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_kind_has_no_schema() {
+        assert!(required_fields("not-an-event").is_none());
+    }
+}

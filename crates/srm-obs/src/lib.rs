@@ -1,0 +1,44 @@
+//! # srm-obs — observability for the MCMC engine
+//!
+//! A zero-cost-when-disabled instrumentation layer: the sampler and
+//! orchestration code hold a [`Recorder`] reference and emit typed
+//! [`Event`]s; sinks decide what to do with them. The contract is:
+//!
+//! * **Zero cost when disabled.** [`NoopRecorder::enabled`] returns
+//!   `false`; instrumented loops hoist that into a local bool and
+//!   never construct an event. The disabled path adds one predictable
+//!   branch per sweep.
+//! * **Never perturbs the run.** Recorders have no access to the
+//!   sampler's RNG and no way to feed data back; a traced run and an
+//!   untraced run of the same seed are bit-identical.
+//! * **Best-effort I/O.** A full disk or broken pipe degrades the
+//!   trace, never the estimate.
+//!
+//! Building blocks:
+//!
+//! | item | role |
+//! |------|------|
+//! | [`Recorder`] / [`NoopRecorder`] / [`Tee`] | the consumer trait, its default and fan-out |
+//! | [`Event`] | the typed event taxonomy (kebab-case `type` discriminators) |
+//! | [`Span`], [`Counter`], [`FixedHistogram`] | span timers, monotonic counters, fixed-bucket histograms |
+//! | [`JsonlSink`] | `--trace-out`: one JSON object per event |
+//! | [`ProgressSink`] | `--progress`: throttled human lines on stderr |
+//! | [`StatsCollector`] | aggregates events into manifest numbers |
+//! | [`RunManifest`] | the `--metrics-out` document |
+//! | [`json`] | dependency-free JSON writer + parser |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod manifest;
+pub mod recorder;
+pub mod sinks;
+pub mod stats;
+
+pub use event::{required_fields, AcceptStat, Event, EVENT_KINDS};
+pub use manifest::{dataset_hash, fnv1a_hex, ManifestChain, RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use recorder::{Counter, FixedHistogram, NoopRecorder, Recorder, Span, Tee, NOOP};
+pub use sinks::{JsonlSink, ProgressSink};
+pub use stats::{DiagnosticStat, StatsCollector};

@@ -1,0 +1,292 @@
+//! The machine-readable run manifest written by `--metrics-out`.
+//!
+//! One JSON document per invocation: enough to reproduce the run
+//! (seed, dataset hash, model, MCMC shape) and to judge it (per-phase
+//! wall time, draws/sec, per-chain acceptance, fault/retry counters,
+//! final convergence diagnostics). `schema_version` is bumped on any
+//! breaking field change.
+
+use std::io;
+
+use crate::event::AcceptStat;
+use crate::json::Value;
+use crate::stats::DiagnosticStat;
+
+/// Manifest schema version written to every document.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a (64-bit) over a byte slice, hex-encoded — the dataset
+/// fingerprint recorded in manifests and `run-start` events.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Fingerprints a dataset by its daily counts (little-endian u64s).
+pub fn dataset_hash(counts: &[u64]) -> String {
+    let mut bytes = Vec::with_capacity(counts.len() * 8);
+    for &c in counts {
+        bytes.extend_from_slice(&c.to_le_bytes());
+    }
+    fnv1a_hex(&bytes)
+}
+
+/// One chain's entry in the manifest.
+#[derive(Debug, Clone, Default)]
+pub struct ManifestChain {
+    /// Chain index.
+    pub chain: usize,
+    /// Whether the chain recovered after a fault.
+    pub recovered: bool,
+    /// Retries consumed.
+    pub retries: u64,
+    /// First-fault kind, if any.
+    pub fault: Option<String>,
+    /// Per-parameter acceptance statistics.
+    pub accept: Vec<AcceptStat>,
+}
+
+/// The `--metrics-out` document.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// CLI command (`fit`, `select`, `trend`).
+    pub command: String,
+    /// Detection-model identifier (or a command-specific label).
+    pub model: String,
+    /// Prior family, when the command has one.
+    pub prior: String,
+    /// Root RNG seed (0 for commands that draw nothing).
+    pub seed: u64,
+    /// FNV-1a fingerprint of the dataset counts.
+    pub dataset_hash: String,
+    /// Number of chains run.
+    pub chains: usize,
+    /// Burn-in sweeps per chain.
+    pub burn_in: usize,
+    /// Kept draws per chain.
+    pub samples: usize,
+    /// Thinning interval.
+    pub thin: usize,
+    /// Per-phase wall time `(phase, ms)`.
+    pub phases: Vec<(String, f64)>,
+    /// Kept draws per second of sampling wall time (0 when unknown).
+    pub draws_per_sec: f64,
+    /// Per-chain outcomes.
+    pub chain_reports: Vec<ManifestChain>,
+    /// Fault counters `(kind, count)`.
+    pub fault_counters: Vec<(String, u64)>,
+    /// Total retries across chains.
+    pub retries_total: u64,
+    /// Faults injected by the test harness.
+    pub faults_injected: u64,
+    /// Final per-parameter convergence diagnostics.
+    pub diagnostics: Vec<DiagnosticStat>,
+    /// Overall convergence verdict, when computed.
+    pub converged: Option<bool>,
+    /// WAIC total of the (selected) model, when computed.
+    pub waic: Option<f64>,
+}
+
+impl RunManifest {
+    /// Serialises the manifest to its JSON document model.
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("schema_version", Value::Num(MANIFEST_SCHEMA_VERSION as f64)),
+            ("command", Value::Str(self.command.clone())),
+            ("model", Value::Str(self.model.clone())),
+            ("prior", Value::Str(self.prior.clone())),
+            ("seed", Value::Num(self.seed as f64)),
+            ("dataset_hash", Value::Str(self.dataset_hash.clone())),
+            (
+                "mcmc",
+                Value::obj(vec![
+                    ("chains", Value::Num(self.chains as f64)),
+                    ("burn_in", Value::Num(self.burn_in as f64)),
+                    ("samples", Value::Num(self.samples as f64)),
+                    ("thin", Value::Num(self.thin as f64)),
+                ]),
+            ),
+            (
+                "phases",
+                Value::Arr(
+                    self.phases
+                        .iter()
+                        .map(|(name, ms)| {
+                            Value::obj(vec![
+                                ("phase", Value::Str(name.clone())),
+                                ("wall_ms", Value::Num(*ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("draws_per_sec", Value::Num(self.draws_per_sec)),
+            (
+                "chains_report",
+                Value::Arr(
+                    self.chain_reports
+                        .iter()
+                        .map(|c| {
+                            Value::obj(vec![
+                                ("chain", Value::Num(c.chain as f64)),
+                                ("recovered", Value::Bool(c.recovered)),
+                                ("retries", Value::Num(c.retries as f64)),
+                                (
+                                    "fault",
+                                    c.fault
+                                        .as_ref()
+                                        .map_or(Value::Null, |k| Value::Str(k.clone())),
+                                ),
+                                (
+                                    "accept",
+                                    Value::Arr(
+                                        c.accept
+                                            .iter()
+                                            .map(|a| {
+                                                Value::obj(vec![
+                                                    ("parameter", Value::Str(a.parameter.clone())),
+                                                    ("steps", Value::Num(a.steps as f64)),
+                                                    ("accepted", Value::Num(a.accepted as f64)),
+                                                    ("rate", Value::Num(a.rate())),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fault_counters",
+                Value::Obj(
+                    self.fault_counters
+                        .iter()
+                        .map(|(kind, n)| (kind.clone(), Value::Num(*n as f64)))
+                        .collect(),
+                ),
+            ),
+            ("retries_total", Value::Num(self.retries_total as f64)),
+            ("faults_injected", Value::Num(self.faults_injected as f64)),
+            (
+                "diagnostics",
+                Value::Arr(
+                    self.diagnostics
+                        .iter()
+                        .map(|d| {
+                            Value::obj(vec![
+                                ("parameter", Value::Str(d.parameter.clone())),
+                                ("psrf", Value::Num(d.psrf)),
+                                ("geweke_z", Value::Num(d.geweke_z)),
+                                ("ess", Value::Num(d.ess)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("converged", self.converged.map_or(Value::Null, Value::Bool)),
+            ("waic", self.waic.map_or(Value::Null, Value::Num)),
+        ])
+    }
+
+    /// Writes the manifest (pretty-printed) to `path`.
+    pub fn write(&self, path: &str) -> io::Result<()> {
+        std::fs::write(path, self.to_value().to_json_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex(b"a"), "af63dc4c8601ec8c");
+        assert_eq!(fnv1a_hex(b"foobar"), "85944171f73967e8");
+    }
+
+    #[test]
+    fn dataset_hash_depends_on_counts_and_order() {
+        let a = dataset_hash(&[1, 2, 3]);
+        let b = dataset_hash(&[3, 2, 1]);
+        let c = dataset_hash(&[1, 2, 3]);
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let manifest = RunManifest {
+            command: "fit".into(),
+            model: "model2".into(),
+            prior: "poisson".into(),
+            seed: 42,
+            dataset_hash: dataset_hash(&[5, 3, 1]),
+            chains: 4,
+            burn_in: 100,
+            samples: 200,
+            thin: 2,
+            phases: vec![("sampling".into(), 12.0), ("waic".into(), 3.0)],
+            draws_per_sec: 6500.0,
+            chain_reports: vec![ManifestChain {
+                chain: 0,
+                recovered: true,
+                retries: 1,
+                fault: Some("nan-rate".into()),
+                accept: vec![AcceptStat {
+                    parameter: "zeta0".into(),
+                    steps: 300,
+                    accepted: 120,
+                }],
+            }],
+            fault_counters: vec![("nan-rate".into(), 1)],
+            retries_total: 1,
+            faults_injected: 1,
+            diagnostics: vec![DiagnosticStat {
+                parameter: "residual".into(),
+                psrf: 1.01,
+                geweke_z: 0.2,
+                ess: 900.0,
+            }],
+            converged: Some(true),
+            waic: Some(210.7),
+        };
+        let doc = parse(&manifest.to_value().to_json_pretty()).unwrap();
+        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(doc.get("seed").unwrap().as_f64(), Some(42.0));
+        assert_eq!(
+            doc.get("mcmc").unwrap().get("chains").unwrap().as_f64(),
+            Some(4.0)
+        );
+        let chains = doc.get("chains_report").unwrap().as_arr().unwrap();
+        assert_eq!(chains[0].get("fault").unwrap().as_str(), Some("nan-rate"));
+        let accept = chains[0].get("accept").unwrap().as_arr().unwrap();
+        assert_eq!(accept[0].get("rate").unwrap().as_f64(), Some(0.4));
+        assert_eq!(
+            doc.get("fault_counters")
+                .unwrap()
+                .get("nan-rate")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(doc.get("converged").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn default_manifest_serialises_with_nulls() {
+        let doc = parse(&RunManifest::default().to_value().to_json()).unwrap();
+        assert_eq!(doc.get("waic").unwrap(), &Value::Null);
+        assert_eq!(doc.get("converged").unwrap(), &Value::Null);
+        assert_eq!(doc.get("phases").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

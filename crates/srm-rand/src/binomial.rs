@@ -39,7 +39,12 @@ impl Binomial {
     /// Returns an error unless `p ∈ [0, 1]`. (`n = 0` is allowed: the
     /// distribution is the point mass at 0.)
     pub fn new(n: u64, p: f64) -> Result<Self, DistributionError> {
-        require(p.is_finite() && (0.0..=1.0).contains(&p), "p", p, "must be in [0, 1]")?;
+        require(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "p",
+            p,
+            "must be in [0, 1]",
+        )?;
         Ok(Self { n, p })
     }
 
@@ -80,9 +85,7 @@ impl Binomial {
         if self.p == 1.0 {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
-        ln_binomial(self.n, k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (1.0 - self.p).ln()
+        ln_binomial(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
     }
 
     /// Sequential CDF inversion, O(np) expected — used for small `n`.

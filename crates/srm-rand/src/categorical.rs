@@ -21,7 +21,7 @@ use crate::{Distribution, Rng};
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Categorical {
-    prob: Vec<f64>,  // scaled acceptance probabilities
+    prob: Vec<f64>, // scaled acceptance probabilities
     alias: Vec<usize>,
     weights: Vec<f64>, // normalised input weights (for pmf queries)
 }
@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_inputs() {
-        assert_eq!(Categorical::new(&[]), Err(DistributionError::DegenerateWeights));
+        assert_eq!(
+            Categorical::new(&[]),
+            Err(DistributionError::DegenerateWeights)
+        );
         assert_eq!(
             Categorical::new(&[0.0, 0.0]),
             Err(DistributionError::DegenerateWeights)

@@ -34,8 +34,18 @@ impl Gamma {
     ///
     /// Returns an error unless both parameters are finite and positive.
     pub fn new(shape: f64, scale: f64) -> Result<Self, DistributionError> {
-        require(shape.is_finite() && shape > 0.0, "shape", shape, "must be > 0")?;
-        require(scale.is_finite() && scale > 0.0, "scale", scale, "must be > 0")?;
+        require(
+            shape.is_finite() && shape > 0.0,
+            "shape",
+            shape,
+            "must be > 0",
+        )?;
+        require(
+            scale.is_finite() && scale > 0.0,
+            "scale",
+            scale,
+            "must be > 0",
+        )?;
         Ok(Self { shape, scale })
     }
 
@@ -79,7 +89,8 @@ impl Gamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        (self.shape - 1.0) * x.ln() - x / self.scale
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
             - ln_gamma(self.shape)
             - self.shape * self.scale.ln()
     }
@@ -100,9 +111,7 @@ impl Gamma {
             let v3 = v * v * v;
             let u = rng.next_open_f64();
             // Squeeze test, then the full acceptance test.
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
                 return d * v3;
             }
         }
@@ -195,8 +204,7 @@ mod tests {
     #[test]
     fn ln_pdf_integrates_to_one() {
         let g = Gamma::new(2.5, 1.3).unwrap();
-        let total =
-            srm_math::quadrature::integrate(|x| g.ln_pdf(x).exp(), 1e-9, 60.0, 1e-10);
+        let total = srm_math::quadrature::integrate(|x| g.ln_pdf(x).exp(), 1e-9, 60.0, 1e-10);
         assert!((total - 1.0).abs() < 1e-6, "total = {total}");
     }
 

@@ -31,7 +31,12 @@ impl Geometric {
     ///
     /// Returns an error unless `p ∈ (0, 1]`.
     pub fn new(p: f64) -> Result<Self, DistributionError> {
-        require(p.is_finite() && p > 0.0 && p <= 1.0, "p", p, "must be in (0, 1]")?;
+        require(
+            p.is_finite() && p > 0.0 && p <= 1.0,
+            "p",
+            p,
+            "must be in (0, 1]",
+        )?;
         Ok(Self { p })
     }
 

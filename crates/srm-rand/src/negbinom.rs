@@ -191,7 +191,11 @@ mod tests {
         let d = NegativeBinomial::new(2.7, 0.3).unwrap();
         let (m, v) = empirical(2.7, 0.3, 43, 200_000);
         assert!((m - d.mean()).abs() < 0.1, "mean = {m} vs {}", d.mean());
-        assert!((v - d.variance()).abs() < 1.5, "var = {v} vs {}", d.variance());
+        assert!(
+            (v - d.variance()).abs() < 1.5,
+            "var = {v} vs {}",
+            d.variance()
+        );
     }
 
     #[test]

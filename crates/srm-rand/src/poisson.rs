@@ -127,8 +127,7 @@ impl Poisson {
             if k < 0.0 || (us < 0.013 && v > us) {
                 continue;
             }
-            let ln_accept =
-                k * mu.ln() - mu - ln_factorial(k as u64);
+            let ln_accept = k * mu.ln() - mu - ln_factorial(k as u64);
             if (v * inv_alpha / (a / (us * us) + b)).ln() <= ln_accept {
                 return k as u64;
             }

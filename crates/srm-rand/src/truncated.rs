@@ -45,7 +45,12 @@ impl TruncatedGamma {
     /// `upper > 0`.
     pub fn new(shape: f64, scale: f64, upper: f64) -> Result<Self, DistributionError> {
         let inner = Gamma::new(shape, scale)?;
-        require(upper.is_finite() && upper > 0.0, "upper", upper, "must be > 0")?;
+        require(
+            upper.is_finite() && upper > 0.0,
+            "upper",
+            upper,
+            "must be > 0",
+        )?;
         let kept_mass = inc_gamma_p(shape, upper / scale);
         Ok(Self {
             inner,
@@ -151,7 +156,10 @@ mod tests {
         assert!(mean < tg.base().mean());
         // Analytic truncated-gamma mean: kθ · P(k+1, u/θ) / P(k, u/θ).
         let analytic = 4.0 * 2.0 * inc_gamma_p(5.0, 3.0) / inc_gamma_p(4.0, 3.0);
-        assert!((mean - analytic).abs() < 0.02, "mean = {mean} vs {analytic}");
+        assert!(
+            (mean - analytic).abs() < 0.02,
+            "mean = {mean} vs {analytic}"
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ where
 #[test]
 fn uniform_passes_ks() {
     let u = Uniform::new(-2.0, 3.0).unwrap();
-    ks_check("uniform(-2,3)", &u, |x| ((x + 2.0) / 5.0).clamp(0.0, 1.0), 9_001);
+    ks_check(
+        "uniform(-2,3)",
+        &u,
+        |x| ((x + 2.0) / 5.0).clamp(0.0, 1.0),
+        9_001,
+    );
 }
 
 #[test]
@@ -63,7 +68,12 @@ fn gamma_passes_ks_across_shapes() {
 fn beta_passes_ks_across_shapes() {
     for (i, &(a, b)) in [(0.5, 0.5), (2.0, 5.0), (7.0, 3.0)].iter().enumerate() {
         let d = Beta::new(a, b).unwrap();
-        ks_check(&format!("beta({a},{b})"), &d, |x| d.cdf(x), 9_020 + i as u64);
+        ks_check(
+            &format!("beta({a},{b})"),
+            &d,
+            |x| d.cdf(x),
+            9_020 + i as u64,
+        );
     }
 }
 

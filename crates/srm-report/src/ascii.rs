@@ -20,11 +20,23 @@ pub fn bar_chart(values: &[u64], height: usize) -> String {
     assert!(!values.is_empty(), "no values to chart");
     assert!(height > 0, "height must be positive");
     // Non-emptiness is asserted just above.
-    let max = *values.iter().max().unwrap_or_else(|| unreachable!()).max(&1);
+    let max = *values
+        .iter()
+        .max()
+        .unwrap_or_else(|| unreachable!())
+        .max(&1);
     let mut out = String::new();
     for row in (1..=height).rev() {
         let threshold = max as f64 * row as f64 / height as f64;
-        let _ = write!(out, "{:>4} |", if row == height { max.to_string() } else { String::new() });
+        let _ = write!(
+            out,
+            "{:>4} |",
+            if row == height {
+                max.to_string()
+            } else {
+                String::new()
+            }
+        );
         for &v in values {
             out.push(if v as f64 >= threshold { '#' } else { ' ' });
         }
@@ -181,7 +193,7 @@ mod tests {
         let chart = bar_chart(&[1, 3, 0, 2], 3);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 4); // 3 rows + axis
-        // The tallest bar reaches the top row.
+                                    // The tallest bar reaches the top row.
         assert!(lines[0].contains('#'));
         // Zero column never gets a glyph.
         for line in &lines[..3] {

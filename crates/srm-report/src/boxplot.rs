@@ -75,9 +75,7 @@ pub fn render_boxes(boxes: &[(&str, BoxStats)], width: usize) -> String {
     }
     let span = hi - lo;
     let label_width = boxes.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
-    let scale = |v: f64| -> usize {
-        (((v - lo) / span) * (width - 1) as f64).round() as usize
-    };
+    let scale = |v: f64| -> usize { (((v - lo) / span) * (width - 1) as f64).round() as usize };
 
     let mut out = String::new();
     for (label, b) in boxes {

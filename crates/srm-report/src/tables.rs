@@ -147,8 +147,7 @@ impl Table {
 
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
-        let total: usize =
-            label_width + widths.iter().map(|w| w + 2).sum::<usize>();
+        let total: usize = label_width + widths.iter().map(|w| w + 2).sum::<usize>();
         let _ = writeln!(out, "{}", "-".repeat(total));
         let _ = write!(out, "{:label_width$}", "");
         for (name, w) in self.columns.iter().zip(&widths) {
@@ -215,7 +214,11 @@ impl Table {
             for cell in cells {
                 match cell.deviation {
                     Some(d) => {
-                        let _ = write!(out, ",{:.*};{:.*}", cell.decimals, cell.value, cell.decimals, d);
+                        let _ = write!(
+                            out,
+                            ",{:.*};{:.*}",
+                            cell.decimals, cell.value, cell.decimals, d
+                        );
                     }
                     None => {
                         let _ = write!(out, ",{:.*}", cell.decimals, cell.value);
@@ -234,9 +237,10 @@ mod tests {
 
     #[test]
     fn renders_paper_like_layout() {
-        let mut t = Table::new("TABLE I: Comparison of WAIC (Poisson prior)", &[
-            "model0", "model1", "model2", "model3", "model4",
-        ]);
+        let mut t = Table::new(
+            "TABLE I: Comparison of WAIC (Poisson prior)",
+            &["model0", "model1", "model2", "model3", "model4"],
+        );
         t.row("48days", &[171.812, 168.560, 171.834, 223.083, 174.228]);
         t.row("146days", &[483.698, 401.167, 483.773, 635.581, 485.625]);
         let s = t.render();

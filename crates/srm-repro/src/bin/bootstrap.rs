@@ -32,7 +32,9 @@ fn main() {
         let mut best = (usize::MAX, f64::INFINITY);
         for (idx, model) in DetectionModel::ALL.iter().enumerate() {
             let sampler = GibbsSampler::new(
-                PriorSpec::Poisson { lambda_max: 2_000.0 },
+                PriorSpec::Poisson {
+                    lambda_max: 2_000.0,
+                },
                 *model,
                 ZetaBounds::default(),
                 &sample,

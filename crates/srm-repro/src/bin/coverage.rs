@@ -20,7 +20,12 @@ fn main() {
     let days = [48usize, 67, 86];
 
     for (label, prior) in [
-        ("poisson", PriorSpec::Poisson { lambda_max: 2_000.0 }),
+        (
+            "poisson",
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
+        ),
         ("negbinom", PriorSpec::NegBinomial { alpha_max: 100.0 }),
     ] {
         let mut table = Table::new(
@@ -41,8 +46,7 @@ fn main() {
                         ..FitConfig::default()
                     },
                 );
-                let (lo, hi) =
-                    PosteriorSummary::credible_interval(&fit.residual_draws, 0.05);
+                let (lo, hi) = PosteriorSummary::credible_interval(&fit.residual_draws, 0.05);
                 let covered = (lo..=hi).contains(&(truth as f64));
                 table.row(
                     &format!("{} {day}d", model.name()),

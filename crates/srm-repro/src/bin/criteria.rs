@@ -19,7 +19,12 @@ fn main() {
     let mcmc = srm_repro::mcmc_config();
 
     for (label, prior) in [
-        ("poisson", PriorSpec::Poisson { lambda_max: 2_000.0 }),
+        (
+            "poisson",
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
+        ),
         ("negbinom", PriorSpec::NegBinomial { alpha_max: 100.0 }),
     ] {
         let mut table = Table::new(

@@ -13,12 +13,12 @@ use srm_report::Table;
 
 fn main() {
     let named = datasets::all_named();
-    let named_refs: Vec<(&str, srm_data::BugCountData)> = named
-        .iter()
-        .map(|(n, d)| (*n, d.clone()))
-        .collect();
+    let named_refs: Vec<(&str, srm_data::BugCountData)> =
+        named.iter().map(|(n, d)| (*n, d.clone())).collect();
     let priors = [
-        PriorSpec::Poisson { lambda_max: 2_000.0 },
+        PriorSpec::Poisson {
+            lambda_max: 2_000.0,
+        },
         PriorSpec::NegBinomial { alpha_max: 100.0 },
     ];
     let config = FitConfig {

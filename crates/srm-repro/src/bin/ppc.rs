@@ -15,7 +15,12 @@ fn main() {
     let n_rep = if srm_repro::fast_mode() { 100 } else { 400 };
 
     for (label, prior) in [
-        ("poisson", PriorSpec::Poisson { lambda_max: 2_000.0 }),
+        (
+            "poisson",
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
+        ),
         ("negbinom", PriorSpec::NegBinomial { alpha_max: 100.0 }),
     ] {
         let mut table = Table::new(
@@ -39,8 +44,7 @@ fn main() {
                     ..FitConfig::default()
                 },
             );
-            let results =
-                posterior_predictive_check(&fit, &data, n_rep, srm_repro::seed() + 17);
+            let results = posterior_predictive_check(&fit, &data, n_rep, srm_repro::seed() + 17);
             let row: Vec<f64> = results.iter().map(|r| r.p_value).collect();
             table.row(model.name(), &row);
         }

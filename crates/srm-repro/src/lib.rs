@@ -150,11 +150,7 @@ pub fn render_table1(results: &ExperimentResults, prior_label: &str) -> Table {
 
 /// Renders one of Tables II–V for one prior family.
 #[must_use]
-pub fn render_stat_table(
-    results: &ExperimentResults,
-    prior_label: &str,
-    stat: Statistic,
-) -> Table {
+pub fn render_stat_table(results: &ExperimentResults, prior_label: &str, stat: Statistic) -> Table {
     let title = format!(
         "Comparison of {} of the posterior distributions — {} prior",
         stat.caption(),

@@ -95,7 +95,9 @@ mod tests {
     fn run(model: DetectionModel, seed: u64) -> (McmcOutput, srm_data::BugCountData) {
         let data = datasets::musa_cc96().truncated(48).unwrap();
         let sampler = GibbsSampler::new(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             model,
             ZetaBounds::default(),
             &data,
@@ -110,9 +112,7 @@ mod tests {
         assert!(dic.deviance_at_plugin.is_finite());
         assert!(dic.mean_deviance >= dic.deviance_at_plugin, "{dic:?}");
         assert!(dic.p_d >= 0.0, "p_D = {}", dic.p_d);
-        assert!(
-            (dic.value() - (2.0 * dic.mean_deviance - dic.deviance_at_plugin)).abs() < 1e-9
-        );
+        assert!((dic.value() - (2.0 * dic.mean_deviance - dic.deviance_at_plugin)).abs() < 1e-9);
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub mod waic;
 
 pub use grid::{GridSearch, GridSearchResult};
 pub use loo::{loo_for, Loo, LooAccumulator};
-pub use waic::{waic_for, Waic, WaicAccumulator};
+pub use waic::{waic_for, waic_for_traced, Waic, WaicAccumulator};

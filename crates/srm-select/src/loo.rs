@@ -77,8 +77,7 @@ impl LooAccumulator {
             let log_ratios: Vec<f64> = terms.iter().map(|&lp| -lp).collect();
             let log_mean_ratio = srm_math::log_mean_exp(&log_ratios);
             let cap = log_mean_ratio + sqrt_s.ln();
-            let truncated: Vec<f64> =
-                log_ratios.iter().map(|&lr| lr.min(cap)).collect();
+            let truncated: Vec<f64> = log_ratios.iter().map(|&lr| lr.min(cap)).collect();
             let elpd_i = -srm_math::log_mean_exp(&truncated);
             pointwise.push(elpd_i);
             elpd += elpd_i;
@@ -129,7 +128,9 @@ mod tests {
         let data = datasets::musa_cc96().truncated(48).unwrap();
         (
             GibbsSampler::new(
-                PriorSpec::Poisson { lambda_max: 2_000.0 },
+                PriorSpec::Poisson {
+                    lambda_max: 2_000.0,
+                },
                 model,
                 ZetaBounds::default(),
                 &data,

@@ -19,6 +19,7 @@ use srm_mcmc::gibbs::{GibbsSampler, SweepRecord};
 use srm_mcmc::runner::{run_chains_observed, McmcConfig, McmcOutput};
 use srm_mcmc::SrmError;
 use srm_model::GroupedLikelihood;
+use srm_obs::{Event, Recorder, Span};
 
 /// Streaming WAIC accumulator over posterior draws.
 #[derive(Debug, Clone)]
@@ -164,6 +165,62 @@ pub fn waic_for(sampler: &GibbsSampler, config: &McmcConfig) -> Waic {
     waic_and_chains(sampler, config).0
 }
 
+/// [`waic_for`] with instrumentation: wraps the evaluation in a
+/// `waic` phase span and emits an [`Event::Waic`] when the recorder
+/// is enabled. The criterion itself is bit-identical to the untraced
+/// path — the recorder never touches the sampler's RNG.
+#[must_use]
+pub fn waic_for_traced(
+    sampler: &GibbsSampler,
+    config: &McmcConfig,
+    recorder: &dyn Recorder,
+) -> Waic {
+    let span = Span::enter(recorder, "waic");
+    let (waic, output) = waic_and_chains(sampler, config);
+    span.end();
+    emit_waic(sampler, &waic, draws_in(&output), recorder);
+    waic
+}
+
+/// [`waic_from_output`] with instrumentation: wraps the replay in a
+/// `waic` phase span and emits an [`Event::Waic`] on success.
+///
+/// # Errors
+///
+/// Propagates the same errors as [`waic_from_output`].
+pub fn waic_from_output_traced(
+    sampler: &GibbsSampler,
+    output: &McmcOutput,
+    recorder: &dyn Recorder,
+) -> Result<Waic, SrmError> {
+    let span = Span::enter(recorder, "waic");
+    let result = waic_from_output(sampler, output);
+    span.end();
+    if let Ok(waic) = &result {
+        emit_waic(sampler, waic, draws_in(output), recorder);
+    }
+    result
+}
+
+fn draws_in(output: &McmcOutput) -> usize {
+    output
+        .chains
+        .iter()
+        .map(|c| c.draws("n").map_or(0, <[f64]>::len))
+        .sum()
+}
+
+fn emit_waic(sampler: &GibbsSampler, waic: &Waic, draws: usize, recorder: &dyn Recorder) {
+    if recorder.enabled() {
+        recorder.record(&Event::Waic {
+            model: sampler.model().name().to_owned(),
+            total: waic.total(),
+            p_waic: waic.p_waic(),
+            draws,
+        });
+    }
+}
+
 /// Runs the sampler once, returning both WAIC and the chains — the
 /// experiment pipeline needs both without paying for two runs.
 #[must_use]
@@ -245,12 +302,7 @@ mod tests {
     use srm_mcmc::gibbs::PriorSpec;
     use srm_model::{DetectionModel, ZetaBounds};
 
-    fn smoke_waic(
-        prior: PriorSpec,
-        model: DetectionModel,
-        day: usize,
-        seed: u64,
-    ) -> Waic {
+    fn smoke_waic(prior: PriorSpec, model: DetectionModel, day: usize, seed: u64) -> Waic {
         let data = datasets::musa_cc96().truncated(day).unwrap();
         let sampler = GibbsSampler::new(prior, model, ZetaBounds::default(), &data);
         waic_for(&sampler, &McmcConfig::smoke(seed))
@@ -332,7 +384,9 @@ mod tests {
         // the same order of magnitude — tens to a few hundred nats —
         // rather than the exact level.
         let w = smoke_waic(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::Constant,
             48,
             11,
@@ -352,13 +406,17 @@ mod tests {
         // The paper's central ranking: the Padgett–Spurrier model
         // dominates the Pareto model at every observation point.
         let w1 = smoke_waic(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::PadgettSpurrier,
             48,
             21,
         );
         let w3 = smoke_waic(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::Pareto,
             48,
             22,

@@ -16,7 +16,9 @@ use srm::report::Table;
 fn main() {
     let data = datasets::musa_cc96().truncated(48).expect("valid day");
     let sampler = GibbsSampler::new(
-        PriorSpec::Poisson { lambda_max: 2_000.0 },
+        PriorSpec::Poisson {
+            lambda_max: 2_000.0,
+        },
         DetectionModel::PadgettSpurrier,
         ZetaBounds::default(),
         &data,

@@ -45,7 +45,12 @@ fn main() {
     );
     table.row(
         "poisson(200) Prop.1",
-        &[analytic.mean(), analytic.sd(), analytic.median() as f64, f64::NAN],
+        &[
+            analytic.mean(),
+            analytic.sd(),
+            analytic.median() as f64,
+            f64::NAN,
+        ],
     );
 
     // 2. NB prior — filter must equal the corrected Proposition 2.
@@ -64,7 +69,12 @@ fn main() {
     );
     table.row(
         "nb(4,0.02) Prop.2",
-        &[analytic.mean(), analytic.sd(), analytic.median() as f64, f64::NAN],
+        &[
+            analytic.mean(),
+            analytic.sd(),
+            analytic.median() as f64,
+            f64::NAN,
+        ],
     );
 
     // 3. Something neither Proposition covers: an expert's two-point

@@ -15,12 +15,7 @@ use srm::prelude::*;
 use srm::rand::Xoshiro256StarStar;
 use srm::report::Table;
 
-fn ess_of(
-    prior: PriorSpec,
-    sweep: SweepKind,
-    kernel: ZetaKernel,
-    seed: u64,
-) -> (f64, f64) {
+fn ess_of(prior: PriorSpec, sweep: SweepKind, kernel: ZetaKernel, seed: u64) -> (f64, f64) {
     let data = datasets::musa_cc96();
     let sampler = GibbsSampler::new(
         prior,
@@ -34,12 +29,8 @@ fn ess_of(
     let chain = sampler.run_chain(&mut rng, 500, 2_000, 1, &mut |_| {});
     let residual = effective_sample_size(chain.draws("residual").unwrap());
     let hyper = match prior {
-        PriorSpec::Poisson { .. } => {
-            effective_sample_size(chain.draws("lambda0").unwrap())
-        }
-        PriorSpec::NegBinomial { .. } => {
-            effective_sample_size(chain.draws("alpha0").unwrap())
-        }
+        PriorSpec::Poisson { .. } => effective_sample_size(chain.draws("lambda0").unwrap()),
+        PriorSpec::NegBinomial { .. } => effective_sample_size(chain.draws("alpha0").unwrap()),
     };
     (residual, hyper)
 }
@@ -52,19 +43,25 @@ fn main() {
     let cases: [(&str, PriorSpec, SweepKind, ZetaKernel); 6] = [
         (
             "poisson collapsed+slice",
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             SweepKind::Collapsed,
             ZetaKernel::Slice,
         ),
         (
             "poisson naive+slice",
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             SweepKind::Naive,
             ZetaKernel::Slice,
         ),
         (
             "poisson collapsed+rw",
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             SweepKind::Collapsed,
             ZetaKernel::AdaptiveRw,
         ),

@@ -30,7 +30,9 @@ fn main() {
     for model in DetectionModel::ALL {
         let mle = fit_nhpp(&data, model, &ZetaBounds::default()).expect("fit succeeds");
         let sampler = GibbsSampler::new(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             model,
             ZetaBounds::default(),
             &data,

@@ -30,7 +30,12 @@ fn main() {
     );
 
     for (label, prior) in [
-        ("poisson", PriorSpec::Poisson { lambda_max: 2_000.0 }),
+        (
+            "poisson",
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
+        ),
         ("negbinom", PriorSpec::NegBinomial { alpha_max: 100.0 }),
     ] {
         let mut row = Vec::new();

@@ -32,14 +32,19 @@ fn main() {
         ..srm::core::FitConfig::default()
     };
     let fit = srm::core::Fit::run(
-        PriorSpec::Poisson { lambda_max: 2_000.0 },
+        PriorSpec::Poisson {
+            lambda_max: 2_000.0,
+        },
         DetectionModel::PadgettSpurrier,
         &window,
         &config,
     );
 
     println!("\nPosterior of the residual bug count after day 48:");
-    println!("  mean   : {:8.2}   (true residual: {truth})", fit.residual.mean);
+    println!(
+        "  mean   : {:8.2}   (true residual: {truth})",
+        fit.residual.mean
+    );
     println!("  median : {:8.2}", fit.residual.median);
     println!("  mode   : {:8.2}", fit.residual.mode);
     println!("  sd     : {:8.2}", fit.residual.sd);

@@ -33,7 +33,12 @@ fn main() {
             .window(&base)
             .expect("valid observation point");
         for (label, prior) in [
-            ("poisson", PriorSpec::Poisson { lambda_max: 2_000.0 }),
+            (
+                "poisson",
+                PriorSpec::Poisson {
+                    lambda_max: 2_000.0,
+                },
+            ),
             ("negbinom", PriorSpec::NegBinomial { alpha_max: 100.0 }),
         ] {
             let fit = srm::core::Fit::run(
@@ -57,7 +62,11 @@ fn main() {
             let horizon = 50;
             let k = window.len();
             let future: Vec<f64> = ((k + 1) as u64..=(k + horizon) as u64)
-                .map(|i| DetectionModel::PadgettSpurrier.prob(&zeta, i).expect("valid"))
+                .map(|i| {
+                    DetectionModel::PadgettSpurrier
+                        .prob(&zeta, i)
+                        .expect("valid")
+                })
                 .collect();
             let schedule = DetectionModel::PadgettSpurrier
                 .probs(&zeta, k)
@@ -75,8 +84,8 @@ fn main() {
             };
 
             let curve = reliability_curve(&posterior, &future, horizon);
-            let crossing = days_until_reliability_below(&posterior, &future, 0.9)
-                .map_or(-1.0, |d| d as f64);
+            let crossing =
+                days_until_reliability_below(&posterior, &future, 0.9).map_or(-1.0, |d| d as f64);
             table.row(
                 &format!("{observe_at}d {label}"),
                 &[curve[9], curve[29], curve[49], crossing],

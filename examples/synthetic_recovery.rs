@@ -29,7 +29,9 @@ fn main() {
     for rep in 0..replications {
         let project = sim.run(1_000 + rep);
         let fit = srm::core::Fit::run(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             DetectionModel::Constant,
             &project.data,
             &srm::core::FitConfig {

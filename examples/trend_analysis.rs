@@ -34,9 +34,7 @@ fn main() {
     println!("\nRunning Laplace statistic on the primary dataset (one point per prefix):");
     let running = running_laplace_trend(&datasets::musa_cc96());
     print!("{}", line_chart(&running, 12));
-    println!(
-        "\nThe statistic climbs while detection activity intensifies mid-campaign and"
-    );
+    println!("\nThe statistic climbs while detection activity intensifies mid-campaign and");
     println!("only turns after the quiet tail — a clearly non-homogeneous environment,");
     println!("which is why the time-aware models (model1/model2) dominate the WAIC table.");
 }

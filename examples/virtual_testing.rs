@@ -24,14 +24,22 @@ fn main() {
 
     let mut table = Table::new(
         "Posterior residual bugs by observation point — model1",
-        &["poisson mean", "poisson sd", "negbinom mean", "negbinom sd", "true"],
+        &[
+            "poisson mean",
+            "poisson sd",
+            "negbinom mean",
+            "negbinom sd",
+            "true",
+        ],
     );
 
     for point in plan.points() {
         let window = point.window(&data).expect("valid plan");
         let mut row = Vec::new();
         for prior in [
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             PriorSpec::NegBinomial { alpha_max: 100.0 },
         ] {
             let fit = srm::core::Fit::run(

@@ -29,7 +29,9 @@ fn main() {
     let mut rows = Vec::new();
     for model in DetectionModel::ALL {
         let sampler = GibbsSampler::new(
-            PriorSpec::Poisson { lambda_max: 2_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
             model,
             ZetaBounds::default(),
             &data,

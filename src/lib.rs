@@ -20,6 +20,7 @@
 //! | [`select`] | `srm-select` | WAIC / DIC / grid search |
 //! | [`core`] | `srm-core` | fit & experiment pipeline |
 //! | [`report`] | `srm-report` | tables, box plots, ASCII charts |
+//! | [`obs`] | `srm-obs` | tracing events, metric sinks, run manifests |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use srm_data as data;
 pub use srm_math as math;
 pub use srm_mcmc as mcmc;
 pub use srm_model as model;
+pub use srm_obs as obs;
 pub use srm_rand as rand;
 pub use srm_report as report;
 pub use srm_select as select;
@@ -59,7 +61,9 @@ pub use srm_select as select;
 /// Convenience prelude pulling in the types most programs need.
 pub mod prelude {
     pub use srm_core::{Experiment, ExperimentConfig, Fit, FitConfig};
-    pub use srm_data::{datasets, BugCountData, DetectionSimulator, ObservationPlan, ObservationPoint};
+    pub use srm_data::{
+        datasets, BugCountData, DetectionSimulator, ObservationPlan, ObservationPoint,
+    };
     pub use srm_mcmc::gibbs::{GibbsSampler, PriorSpec};
     pub use srm_mcmc::runner::{run_chains, McmcConfig};
     pub use srm_mcmc::PosteriorSummary;

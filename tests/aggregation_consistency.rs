@@ -46,7 +46,9 @@ fn fitted_posterior_consistent_across_aggregation() {
 
     let fit_view = |data: &BugCountData, seed: u64| {
         let fit = Fit::run(
-            PriorSpec::Poisson { lambda_max: 4_000.0 },
+            PriorSpec::Poisson {
+                lambda_max: 4_000.0,
+            },
             DetectionModel::Constant,
             data,
             &FitConfig {

@@ -39,7 +39,9 @@ fn sampler_is_bit_reproducible() {
 fn parallel_equals_serial() {
     let data = datasets::musa_cc96().truncated(40).unwrap();
     let sampler = GibbsSampler::new(
-        PriorSpec::Poisson { lambda_max: 1_500.0 },
+        PriorSpec::Poisson {
+            lambda_max: 1_500.0,
+        },
         DetectionModel::LogLogistic,
         ZetaBounds::default(),
         &data,
@@ -78,7 +80,9 @@ fn experiment_reproducible_end_to_end() {
 fn waic_deterministic_via_observer() {
     let data = datasets::musa_cc96().truncated(48).unwrap();
     let sampler = GibbsSampler::new(
-        PriorSpec::Poisson { lambda_max: 2_000.0 },
+        PriorSpec::Poisson {
+            lambda_max: 2_000.0,
+        },
         DetectionModel::Constant,
         ZetaBounds::default(),
         &data,

@@ -8,7 +8,9 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use srm::data::datasets;
-use srm::mcmc::runner::{run_chains, run_chains_fault_tolerant, McmcConfig, McmcOutput, RunOptions};
+use srm::mcmc::runner::{
+    run_chains, run_chains_fault_tolerant, McmcConfig, McmcOutput, RunOptions,
+};
 use srm::mcmc::{FaultKind, FaultPlan, FaultPoint, RetryPolicy, SrmError};
 use srm::prelude::*;
 
@@ -24,7 +26,9 @@ fn small_config(chains: usize, seed: u64) -> McmcConfig {
 
 fn make_sampler(data: &BugCountData) -> GibbsSampler {
     GibbsSampler::new(
-        PriorSpec::Poisson { lambda_max: 2_000.0 },
+        PriorSpec::Poisson {
+            lambda_max: 2_000.0,
+        },
         DetectionModel::Constant,
         ZetaBounds::default(),
         data,

@@ -1,0 +1,336 @@
+//! Integration tests for the observability layer (PR 2).
+//!
+//! Three contracts from the design:
+//!
+//! 1. **Never perturbs the run** — a fit traced through live JSONL +
+//!    progress sinks is bit-identical to the untraced fit on the same
+//!    seed (the recorder has no RNG access).
+//! 2. **Typed, schema-valid traces** — under deterministic fault
+//!    injection every JSONL line parses, carries a known `type`, has
+//!    that type's required fields, and every injected fault / retry /
+//!    contained panic appears as its typed event.
+//! 3. **Manifest counters match the engine** — the
+//!    [`srm::obs::StatsCollector`] aggregates (which fill the
+//!    `--metrics-out` manifest) must equal
+//!    `ExperimentResults::fault_counters` / `total_retries` exactly.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use srm::core::{Experiment, ExperimentConfig, Fit, FitConfig};
+use srm::data::{datasets, ObservationPlan};
+use srm::mcmc::runner::{McmcConfig, RunOptions};
+use srm::mcmc::{FaultKind, FaultPlan, FaultPoint, RetryPolicy};
+use srm::model::DetectionModel;
+use srm::obs::json::{parse, Value};
+use srm::obs::{
+    required_fields, Event, JsonlSink, ProgressSink, Recorder, StatsCollector, Tee, EVENT_KINDS,
+    NOOP,
+};
+use srm::prelude::PriorSpec;
+
+/// A `Write` handle into a shared buffer, for capturing sink output.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn fit_config(chains: usize, seed: u64) -> FitConfig {
+    FitConfig {
+        mcmc: McmcConfig {
+            chains,
+            burn_in: 150,
+            samples: 200,
+            thin: 1,
+            seed,
+        },
+        ..FitConfig::default()
+    }
+}
+
+const PRIOR: PriorSpec = PriorSpec::Poisson {
+    lambda_max: 2_000.0,
+};
+
+#[test]
+fn traced_fit_is_bit_identical_to_untraced() {
+    let data = datasets::musa_cc96().truncated(48).unwrap();
+    let config = fit_config(2, 4_242);
+
+    let plain = Fit::try_run(
+        PRIOR,
+        DetectionModel::Constant,
+        &data,
+        &config,
+        &RunOptions::default(),
+    )
+    .unwrap();
+
+    // Live sinks: JSONL at stride 1 (every sweep) plus a progress
+    // sink, the most invasive configuration a user can request.
+    let trace = SharedBuf::default();
+    let progress = SharedBuf::default();
+    let tee = Tee::new(vec![
+        Arc::new(JsonlSink::from_writer(Box::new(trace.clone())).with_sweep_stride(1)),
+        Arc::new(ProgressSink::to_writer(Box::new(progress.clone()), 2)),
+    ]);
+    let traced = Fit::try_run_traced(
+        PRIOR,
+        DetectionModel::Constant,
+        &data,
+        &config,
+        &RunOptions::default(),
+        &tee,
+    )
+    .unwrap();
+
+    // And the explicit no-op recorder, for completeness.
+    let noop = Fit::try_run_traced(
+        PRIOR,
+        DetectionModel::Constant,
+        &data,
+        &config,
+        &RunOptions::default(),
+        &NOOP,
+    )
+    .unwrap();
+
+    for other in [&traced, &noop] {
+        assert_eq!(
+            plain.fit.residual_draws.len(),
+            other.fit.residual_draws.len()
+        );
+        for (a, b) in plain
+            .fit
+            .residual_draws
+            .iter()
+            .zip(&other.fit.residual_draws)
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "draws diverged under tracing");
+        }
+        assert_eq!(
+            plain.fit.waic.total().to_bits(),
+            other.fit.waic.total().to_bits()
+        );
+        assert_eq!(
+            plain.fit.residual.mean.to_bits(),
+            other.fit.residual.mean.to_bits()
+        );
+    }
+
+    // The trace actually captured the run.
+    assert!(!trace.contents().is_empty());
+    assert!(!progress.contents().is_empty());
+}
+
+#[test]
+fn jsonl_trace_is_schema_valid_under_fault_injection() {
+    let data = datasets::musa_cc96().truncated(48).unwrap();
+    let config = fit_config(2, 77);
+    let options = RunOptions {
+        retry: RetryPolicy { max_retries: 3 },
+        fault_plan: FaultPlan::new(vec![
+            FaultPoint {
+                chain: 0,
+                sweep: 5,
+                kind: FaultKind::NanRate,
+            },
+            FaultPoint {
+                chain: 0,
+                sweep: 9,
+                kind: FaultKind::SliceExhausted,
+            },
+            FaultPoint {
+                chain: 1,
+                sweep: 3,
+                kind: FaultKind::Panic,
+            },
+        ]),
+    };
+
+    let trace = SharedBuf::default();
+    let sink = JsonlSink::from_writer(Box::new(trace.clone()));
+    let tolerant = Fit::try_run_traced(
+        PRIOR,
+        DetectionModel::Constant,
+        &data,
+        &config,
+        &options,
+        &sink,
+    )
+    .unwrap();
+    drop(sink); // flush
+
+    let text = trace.contents();
+    let mut kinds_seen = std::collections::BTreeMap::<String, usize>::new();
+    for line in text.lines() {
+        let doc = parse(line).unwrap_or_else(|e| panic!("bad JSONL line `{line}`: {e:?}"));
+        let kind = doc
+            .get("type")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("line without type: {line}"))
+            .to_owned();
+        assert!(
+            EVENT_KINDS.contains(&kind.as_str()),
+            "unknown event type `{kind}`"
+        );
+        for field in required_fields(&kind).unwrap() {
+            assert!(
+                doc.get(field).is_some(),
+                "event `{kind}` missing required field `{field}`: {line}"
+            );
+        }
+        // Every event carries the wall-clock stamp the sink adds.
+        assert!(doc.get("ms").is_some(), "event without ms stamp: {line}");
+        *kinds_seen.entry(kind).or_insert(0) += 1;
+    }
+
+    // All three injected faults surfaced as typed events.
+    assert_eq!(kinds_seen.get("fault-injected").copied(), Some(3));
+    // The two recoverable faults on chain 0 produced sweep-fault +
+    // retry pairs; the panic on chain 1 was contained and reported.
+    assert!(kinds_seen.get("sweep-fault").copied() >= Some(2));
+    assert!(kinds_seen.get("retry").copied() >= Some(2));
+    assert_eq!(kinds_seen.get("chain-panicked").copied(), Some(1));
+    // Post-assembly reports: one per configured chain.
+    assert_eq!(kinds_seen.get("chain-report").copied(), Some(2));
+    // Phase spans from the orchestration layer.
+    assert!(kinds_seen.contains_key("phase-start"));
+    assert!(kinds_seen.contains_key("phase-end"));
+    assert!(kinds_seen.contains_key("waic"));
+
+    // The trace agrees with the engine's own report.
+    assert!(tolerant.is_degraded());
+    assert_eq!(tolerant.total_retries(), 2);
+}
+
+#[test]
+fn stats_collector_matches_experiment_fault_counters() {
+    let mut config = ExperimentConfig::smoke(9_119);
+    config.models = vec![DetectionModel::Constant];
+    config.mcmc = McmcConfig {
+        chains: 2,
+        burn_in: 100,
+        samples: 150,
+        thin: 1,
+        seed: 9_119,
+    };
+    let exp = Experiment::new(datasets::musa_cc96(), config)
+        .with_plan(ObservationPlan::from_days(&[48, 96]));
+    let options = RunOptions {
+        retry: RetryPolicy::none(),
+        fault_plan: FaultPlan::new(vec![FaultPoint {
+            chain: 1,
+            sweep: 3,
+            kind: FaultKind::Panic,
+        }]),
+    };
+
+    let stats = StatsCollector::new();
+    let results = exp.try_run_traced(&options, &stats).unwrap();
+
+    // The collector's counters — the numbers the manifest reports —
+    // must equal the engine's own aggregation exactly.
+    let engine: Vec<(String, u64)> = results
+        .fault_counters()
+        .into_iter()
+        .map(|(kind, n)| (kind, n as u64))
+        .collect();
+    assert_eq!(stats.fault_counters(), engine);
+    assert!(!engine.is_empty(), "injection produced no counters");
+    assert_eq!(stats.retries_total(), results.total_retries() as u64);
+
+    // Live-event counters line up with the design: one injected fault
+    // per cell (2 priors × 1 model × 2 days = 4 cells), each panicking
+    // chain contained.
+    assert_eq!(stats.faults_injected(), 4);
+    assert_eq!(stats.panics_contained(), 4);
+    // One cell-end per successful cell feeding the wall-time histogram.
+    assert_eq!(stats.cell_wall_ms().count(), results.cells().len() as u64);
+    // Per-chain reports collected for every configured chain.
+    assert_eq!(
+        stats.chain_reports().len(),
+        results
+            .cells()
+            .iter()
+            .map(|c| c.chain_reports.len())
+            .sum::<usize>()
+    );
+}
+
+#[test]
+fn stats_collector_counts_whole_cell_failures_once() {
+    // Single-chain cells whose only chain panics: the engine folds
+    // each lost cell into `failures()`; the collector must count the
+    // cell-failure event, not the per-chain panic, so totals still
+    // match (no double counting).
+    let mut config = ExperimentConfig::smoke(31);
+    config.models = vec![DetectionModel::Constant];
+    config.mcmc = McmcConfig {
+        chains: 1,
+        burn_in: 80,
+        samples: 120,
+        thin: 1,
+        seed: 31,
+    };
+    let exp =
+        Experiment::new(datasets::musa_cc96(), config).with_plan(ObservationPlan::from_days(&[48]));
+    let options = RunOptions {
+        retry: RetryPolicy::none(),
+        fault_plan: FaultPlan::new(vec![FaultPoint {
+            chain: 0,
+            sweep: 2,
+            kind: FaultKind::Panic,
+        }]),
+    };
+
+    let stats = StatsCollector::new();
+    let results = exp.try_run_traced(&options, &stats).unwrap();
+    assert!(results.cells().is_empty());
+    assert_eq!(results.failures().len(), 2); // 2 priors × 1 model × 1 day
+
+    let engine: Vec<(String, u64)> = results
+        .fault_counters()
+        .into_iter()
+        .map(|(kind, n)| (kind, n as u64))
+        .collect();
+    assert_eq!(stats.fault_counters(), engine);
+    assert_eq!(engine, vec![("chain-panicked".to_owned(), 2)]);
+}
+
+#[test]
+fn tee_fans_out_and_noop_stays_disabled() {
+    let trace = SharedBuf::default();
+    let stats = Arc::new(StatsCollector::new());
+    let tee = Tee::new(vec![
+        Arc::new(JsonlSink::from_writer(Box::new(trace.clone()))),
+        Arc::clone(&stats) as Arc<dyn Recorder>,
+    ]);
+    assert!(tee.enabled());
+    tee.record(&Event::PhaseEnd {
+        phase: "sampling",
+        wall_ms: 5.0,
+    });
+    assert_eq!(stats.phase_total_ms("sampling"), 5.0);
+    assert!(!NOOP.enabled());
+
+    // An empty tee is disabled: the zero-cost path with no sinks.
+    assert!(!Tee::new(Vec::new()).enabled());
+}

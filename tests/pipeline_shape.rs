@@ -40,7 +40,11 @@ fn paper_shape_claims_hold() {
                 let wm = waic(m);
                 // MC slack: model2's bimodal μ can transiently deflate
                 // its WAIC on short chains, so it gets a wider band.
-                let slack = if m == DetectionModel::LogLogistic { 8.0 } else { 2.0 };
+                let slack = if m == DetectionModel::LogLogistic {
+                    8.0
+                } else {
+                    2.0
+                };
                 assert!(
                     w1 <= wm + slack,
                     "{prior} {day}d: model1 ({w1:.1}) beaten by {m} ({wm:.1})"

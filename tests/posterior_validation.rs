@@ -76,9 +76,15 @@ fn moments_from_log_masses(log_masses: &[f64]) -> (f64, f64) {
     (mean, (second - mean * mean).sqrt())
 }
 
-fn gibbs_residual_moments(data: &BugCountData, kind: srm::mcmc::gibbs::SweepKind, seed: u64) -> (f64, f64) {
+fn gibbs_residual_moments(
+    data: &BugCountData,
+    kind: srm::mcmc::gibbs::SweepKind,
+    seed: u64,
+) -> (f64, f64) {
     let sampler = GibbsSampler::new(
-        PriorSpec::Poisson { lambda_max: 2_000.0 },
+        PriorSpec::Poisson {
+            lambda_max: 2_000.0,
+        },
         DetectionModel::Constant,
         ZetaBounds::default(),
         data,
@@ -114,8 +120,7 @@ fn naive_gibbs_targets_the_same_posterior() {
     let data = test_data();
     let exact = quadrature_posterior(&data, 2_000.0, 700);
     let (exact_mean, _) = moments_from_log_masses(&exact);
-    let (naive_mean, _) =
-        gibbs_residual_moments(&data, srm::mcmc::gibbs::SweepKind::Naive, 102);
+    let (naive_mean, _) = gibbs_residual_moments(&data, srm::mcmc::gibbs::SweepKind::Naive, 102);
     // The naive sweep mixes far more slowly, so allow a wider band —
     // but it must still be in the neighbourhood of the true mean.
     assert!(

@@ -186,7 +186,10 @@ fn virtual_testing_monotone() {
         let probs_long = model.probs(&zeta, extended.len()).unwrap();
         let short = poisson_posterior(lambda0, &probs_short, &data).mean();
         let long = poisson_posterior(lambda0, &probs_long, &extended).mean();
-        assert!(long <= short + 1e-9, "extension raised mean: {short} -> {long}");
+        assert!(
+            long <= short + 1e-9,
+            "extension raised mean: {short} -> {long}"
+        );
     }
 }
 
@@ -283,9 +286,7 @@ fn forward_filter_matches_proposition_one() {
         let analytic = poisson_posterior(lambda0, &probs, &data);
         assert!((filtered.mean() - analytic.mean()).abs() < 1e-6);
         for r in [0usize, 1, 5] {
-            assert!(
-                (filtered.residual_pmf[r] - analytic.ln_pmf(r as u64).exp()).abs() < 1e-8
-            );
+            assert!((filtered.residual_pmf[r] - analytic.ln_pmf(r as u64).exp()).abs() < 1e-8);
         }
     }
 }

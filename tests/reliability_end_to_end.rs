@@ -20,7 +20,9 @@ fn fitted_reliability_predicts_continuation() {
 
     // Fit with the Poisson prior + constant model.
     let fit = Fit::run(
-        PriorSpec::Poisson { lambda_max: 3_000.0 },
+        PriorSpec::Poisson {
+            lambda_max: 3_000.0,
+        },
         DetectionModel::Constant,
         &project.data,
         &FitConfig {
@@ -129,7 +131,10 @@ fn reliability_grows_with_virtual_testing() {
     let r96 = rel_at(96);
     let r116 = rel_at(116);
     let r146 = rel_at(146);
-    assert!(r96 < r116 && r116 < r146, "{r96} < {r116} < {r146} violated");
+    assert!(
+        r96 < r116 && r116 < r146,
+        "{r96} < {r116} < {r146} violated"
+    );
     assert!(r146 > 0.8, "r146 = {r146}");
 }
 
