@@ -1,0 +1,70 @@
+//! Benchmarks of the parallel multi-chain runner: the Musa-T1 fit
+//! (4 chains) at 1 worker thread versus 4, plus the sufficient-
+//! statistics cache ablation. The acceptance bar for the threading
+//! layer is a ≥2× wall-clock speedup at 4 chains / 4 threads; the
+//! determinism contract (same seed ⇒ bit-identical draws at any
+//! thread count) is enforced by the test suite, so these numbers
+//! measure pure scheduling overhead.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench setup
+
+use srm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srm_data::datasets;
+use srm_mcmc::gibbs::{GibbsSampler, PriorSpec};
+use srm_mcmc::runner::{run_chains_fault_tolerant, McmcConfig, RunOptions};
+use srm_model::{DetectionModel, ZetaBounds};
+use std::hint::black_box;
+
+fn musa_sampler() -> GibbsSampler {
+    GibbsSampler::new(
+        PriorSpec::Poisson {
+            lambda_max: 2_000.0,
+        },
+        DetectionModel::PadgettSpurrier,
+        ZetaBounds::default(),
+        &datasets::musa_cc96(),
+    )
+}
+
+fn run_fit(sampler: &GibbsSampler, threads: usize) -> f64 {
+    let config = McmcConfig {
+        chains: 4,
+        burn_in: 200,
+        samples: 300,
+        thin: 1,
+        seed: 4_242,
+    };
+    let run =
+        run_chains_fault_tolerant(sampler, &config, &RunOptions::with_threads(threads)).unwrap();
+    run.output.pooled("residual").iter().sum()
+}
+
+/// The headline number: a 4-chain Musa-T1 fit by worker count.
+fn bench_fit_by_threads(c: &mut Criterion) {
+    let sampler = musa_sampler();
+    let mut group = c.benchmark_group("parallel/musa_fit_4_chains");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &sampler, |b, s| {
+            b.iter(|| black_box(run_fit(s, threads)));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the per-day sufficient-statistics cache on and off for
+/// the same serial run (cache wins scale with the ζ dimension).
+fn bench_suffstats_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/suffstats_cache");
+    group.sample_size(10);
+    for (label, cached) in [("cached", true), ("uncached", false)] {
+        let sampler = musa_sampler().with_cached_stats(cached);
+        group.bench_with_input(BenchmarkId::new("suffstats", label), &sampler, |b, s| {
+            b.iter(|| black_box(run_fit(s, 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_by_threads, bench_suffstats_cache);
+criterion_main!(benches);

@@ -513,6 +513,7 @@ mod tests {
                 sweep: 3,
                 kind: srm_mcmc::FaultKind::Panic,
             }]),
+            threads: 0,
         };
         let results = exp.try_run(&options).unwrap();
         // 2 priors × 1 model × 1 day, each losing chain 1 of 2.
@@ -536,6 +537,7 @@ mod tests {
                 sweep: 2,
                 kind: srm_mcmc::FaultKind::Panic,
             }]),
+            threads: 0,
         };
         let results = exp.try_run(&options).unwrap();
         // The only chain of every cell panics: no cells, all failures,

@@ -323,6 +323,7 @@ mod tests {
                 sweep: 5,
                 kind: FaultKind::Panic,
             }]),
+            threads: 0,
         };
         let out = Fit::try_run(
             PriorSpec::Poisson {

@@ -21,6 +21,7 @@ const FLAGS: &[&str] = &[
     "alpha-max",
     "max-retries",
     "inject-faults",
+    "threads",
 ];
 const SWITCHES: &[&str] = &["diagnostics"];
 
@@ -40,6 +41,7 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
     obs.emit_run_start("fit", model.name(), prior.label(), mcmc.seed, &data);
 
     let inject: usize = args.get_parsed("inject-faults", 0usize)?;
+    let threads: usize = args.get_parsed("threads", 0usize)?;
     let options = RunOptions {
         retry: RetryPolicy {
             max_retries: args.get_parsed("max-retries", 3usize)?,
@@ -50,6 +52,7 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             let total_sweeps = mcmc.burn_in + mcmc.samples * mcmc.thin;
             FaultPlan::from_seed(mcmc.seed, mcmc.chains, total_sweeps, inject)
         },
+        threads,
     };
 
     let tolerant = Fit::try_run_traced(
@@ -77,6 +80,7 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             burn_in: mcmc.burn_in,
             samples: mcmc.samples,
             thin: mcmc.thin,
+            threads: srm_mcmc::effective_threads(threads, mcmc.chains),
             converged: Some(fit.converged()),
             waic: Some(fit.waic.total()),
             ..RunManifest::default()

@@ -33,6 +33,9 @@ COMMON FLAGS:
     --model model0..model4  detection model        [default: model1]
     --prior poisson|negbinom                        [default: poisson]
     --chains N --samples N --burn-in N --thin N --seed N
+    --threads N             worker threads for parallel chains (fit/select)
+                            [default: 0 = min(chains, cores)]; any value
+                            yields bit-identical results for a given seed
     --lambda-max X --alpha-max X
     --max-retries N         per-chain sweep retries on faults (fit) [default: 3]
     --inject-faults N       inject N seed-deterministic faults (fit; testing)

@@ -4,10 +4,11 @@ use crate::args::{ArgError, Args};
 use crate::commands::{load_data, parse_mcmc, parse_prior};
 use crate::obs::{with_obs_flags, with_obs_switches, Observability};
 use srm_mcmc::gibbs::GibbsSampler;
+use srm_mcmc::runner::RunOptions;
 use srm_model::{DetectionModel, ZetaBounds};
 use srm_obs::RunManifest;
 use srm_report::Table;
-use srm_select::waic::waic_for_traced;
+use srm_select::waic::waic_parallel_traced;
 
 const FLAGS: &[&str] = &[
     "data",
@@ -20,6 +21,7 @@ const FLAGS: &[&str] = &[
     "lambda-max",
     "alpha-max",
     "theta-max",
+    "threads",
 ];
 
 /// Runs the subcommand.
@@ -37,6 +39,8 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         theta_max,
         gamma_max: theta_max.max(1.0),
     };
+    let threads: usize = args.get_parsed("threads", 0usize)?;
+    let options = RunOptions::with_threads(threads);
     let obs = Observability::from_args(&args)?;
     obs.emit_run_start("select", "all", prior.label(), mcmc.seed, &data);
 
@@ -52,7 +56,8 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
     let mut best = (DetectionModel::Constant, f64::INFINITY);
     for model in DetectionModel::ALL {
         let sampler = GibbsSampler::new(prior, model, bounds, &data);
-        let waic = waic_for_traced(&sampler, &mcmc, obs.recorder());
+        let waic = waic_parallel_traced(&sampler, &mcmc, &options, obs.recorder())
+            .map_err(|e| ArgError(format!("select failed on {model}: {e}")))?;
         if waic.total() < best.1 {
             best = (model, waic.total());
         }
@@ -83,6 +88,7 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             burn_in: mcmc.burn_in,
             samples: mcmc.samples,
             thin: mcmc.thin,
+            threads: srm_mcmc::effective_threads(threads, mcmc.chains),
             waic: Some(best.1),
             ..RunManifest::default()
         },

@@ -182,17 +182,20 @@ impl Observability {
         manifest.chain_reports = stats
             .chain_reports()
             .into_iter()
-            .map(|(chain, recovered, retries, fault)| ManifestChain {
-                chain,
-                recovered,
-                retries,
-                fault,
-                accept: accept
-                    .iter()
-                    .find(|(c, _)| *c == chain)
-                    .map(|(_, a)| a.clone())
-                    .unwrap_or_default(),
-            })
+            .map(
+                |(chain, recovered, retries, fault, wall_ms)| ManifestChain {
+                    chain,
+                    recovered,
+                    retries,
+                    fault,
+                    wall_ms,
+                    accept: accept
+                        .iter()
+                        .find(|(c, _)| *c == chain)
+                        .map(|(_, a)| a.clone())
+                        .unwrap_or_default(),
+                },
+            )
             .collect();
         manifest.fault_counters = stats.fault_counters();
         manifest.retries_total = stats.retries_total();

@@ -24,6 +24,7 @@ use srm_data::BugCountData;
 use srm_math::special::ln_gamma;
 use srm_model::detection::OPEN_EPS;
 use srm_obs::{Event, Recorder, NOOP};
+use std::cell::RefCell;
 
 /// Tiny positive shift keeping exact conditionals strictly inside
 /// their open supports after floating-point round-off.
@@ -140,6 +141,78 @@ pub enum SweepKind {
     Naive,
 }
 
+/// Parameters pinned to fixed values for the whole run.
+///
+/// A pinned parameter is initialised to its fixed value and its Gibbs
+/// update is skipped, so the chain samples the conditional posterior
+/// *given* those values. This is the lever the conjugate golden tests
+/// use: with `ζ` and the prior hyper-parameters pinned, the `N`-step
+/// draws i.i.d. from the closed-form posteriors of Props. 1–2.
+///
+/// Pinning changes how much randomness each sweep consumes, so a
+/// pinned run is *not* bit-comparable to an unpinned one (it is still
+/// deterministic given the seed).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FixedParams {
+    /// Pin the detection parameters `ζ` (length must match the model).
+    pub zeta: Option<Vec<f64>>,
+    /// Pin `λ0` (used under the Poisson prior).
+    pub lambda0: Option<f64>,
+    /// Pin `α0` (used under the NB prior).
+    pub alpha0: Option<f64>,
+    /// Pin `β0` (used under the NB prior).
+    pub beta0: Option<f64>,
+}
+
+impl FixedParams {
+    /// Whether nothing is pinned (the default).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.zeta.is_none()
+            && self.lambda0.is_none()
+            && self.alpha0.is_none()
+            && self.beta0.is_none()
+    }
+}
+
+/// One-entry memo of [`GibbsSampler::collapsed_stats`] keyed on the
+/// exact bit pattern of `ζ`.
+///
+/// Within a sweep the same `ζ` vector is evaluated repeatedly — the
+/// hyper-parameter step, the first evaluation of each coordinate's
+/// slice target, and the final `N`-step all visit the current point —
+/// so a single-entry cache removes the duplicate passes over the
+/// schedule without any invalidation protocol: a stored entry is a
+/// pure function of its key, so stale entries are merely unused, never
+/// wrong (retry/restore included).
+#[derive(Debug, Clone, Default)]
+struct SuffStatsCache {
+    zeta_bits: Vec<u64>,
+    sum_x_ln_w: f64,
+    ln_q: f64,
+    valid: bool,
+}
+
+impl SuffStatsCache {
+    fn lookup(&self, zeta: &[f64]) -> Option<(f64, f64)> {
+        (self.valid
+            && self.zeta_bits.len() == zeta.len()
+            && zeta
+                .iter()
+                .zip(&self.zeta_bits)
+                .all(|(z, &bits)| z.to_bits() == bits))
+        .then_some((self.sum_x_ln_w, self.ln_q))
+    }
+
+    fn store(&mut self, zeta: &[f64], (sum_x_ln_w, ln_q): (f64, f64)) {
+        self.zeta_bits.clear();
+        self.zeta_bits.extend(zeta.iter().map(|z| z.to_bits()));
+        self.sum_x_ln_w = sum_x_ln_w;
+        self.ln_q = ln_q;
+        self.valid = true;
+    }
+}
+
 /// The Gibbs sampler for one (prior, detection-model, dataset)
 /// combination.
 ///
@@ -152,12 +225,17 @@ pub struct GibbsSampler {
     bounds: ZetaBounds,
     lik: GroupedLikelihood,
     cumulative: Vec<u64>,
+    /// Daily counts as exact `f64`s (values < 2^53), precomputed so
+    /// the sweep's hot loops skip the integer conversions.
+    counts_f: Vec<f64>,
     total: u64,
     horizon: usize,
     slice_config: SliceConfig,
     sweep_kind: SweepKind,
     hyper_prior: HyperPrior,
     zeta_kernel: ZetaKernel,
+    cache_stats: bool,
+    fixed: FixedParams,
 }
 
 impl GibbsSampler {
@@ -175,12 +253,15 @@ impl GibbsSampler {
             bounds,
             lik: GroupedLikelihood::new(data),
             cumulative: data.cumulative().to_vec(),
+            counts_f: data.counts().iter().map(|&c| c as f64).collect(),
             total: data.total(),
             horizon: data.len(),
             slice_config: SliceConfig::default(),
             sweep_kind: SweepKind::default(),
             hyper_prior: HyperPrior::default(),
             zeta_kernel: ZetaKernel::default(),
+            cache_stats: true,
+            fixed: FixedParams::default(),
         }
     }
 
@@ -221,6 +302,44 @@ impl GibbsSampler {
     #[must_use]
     pub fn hyper_prior(&self) -> HyperPrior {
         self.hyper_prior
+    }
+
+    /// Enables or disables the per-sweep sufficient-statistics cache
+    /// (enabled by default). `false` selects the uncached reference
+    /// sweep that recomputes every statistic from scratch; the two
+    /// paths are bit-identical (asserted in tests), so the switch
+    /// exists purely as a correctness oracle and ablation target.
+    #[must_use]
+    pub fn with_cached_stats(mut self, on: bool) -> Self {
+        self.cache_stats = on;
+        self
+    }
+
+    /// Whether the sufficient-statistics cache is enabled.
+    #[must_use]
+    pub fn cached_stats(&self) -> bool {
+        self.cache_stats
+    }
+
+    /// Pins parameters to fixed values; their Gibbs updates are
+    /// skipped (see [`FixedParams`]).
+    #[must_use]
+    pub fn with_fixed(mut self, fixed: FixedParams) -> Self {
+        self.fixed = fixed;
+        self
+    }
+
+    /// The pinned parameters (empty by default).
+    #[must_use]
+    pub fn fixed_params(&self) -> &FixedParams {
+        &self.fixed
+    }
+
+    /// Per-coordinate `(lo, hi)` bounds of `ζ` under this model and
+    /// bounds box.
+    #[must_use]
+    pub fn zeta_bounds(&self) -> Vec<(f64, f64)> {
+        self.model.bounds(&self.bounds)
     }
 
     /// The extra Gamma-shape mass contributed by the λ0 hyper-prior:
@@ -284,12 +403,11 @@ impl GibbsSampler {
     /// The detection-data part of the log posterior as a function of
     /// `ζ` for fixed `N` (the slice-sampling target).
     fn zeta_log_target(&self, zeta: &[f64], n: u64) -> f64 {
-        let counts = self.lik.counts();
         let mut ll = 0.0;
-        for (i, (&count, &cum)) in counts.iter().zip(&self.cumulative).enumerate() {
+        for (i, (&count_f, &cum)) in self.counts_f.iter().zip(&self.cumulative).enumerate() {
             let p = self.model.prob_unchecked(zeta, (i + 1) as u64);
             let q = 1.0 - p;
-            ll += count as f64 * p.ln() + (n - cum) as f64 * q.ln();
+            ll += count_f * p.ln() + (n - cum) as f64 * q.ln();
         }
         ll
     }
@@ -304,17 +422,36 @@ impl GibbsSampler {
     /// with `w_i = p_i Π_{j<i} q_j` — the sufficient statistics of
     /// the collapsed (N-marginalised) likelihood.
     fn collapsed_stats(&self, zeta: &[f64]) -> (f64, f64) {
-        let counts = self.lik.counts();
         let mut cum_ln_q = 0.0;
         let mut sum_x_ln_w = 0.0;
-        for (i, &count) in counts.iter().enumerate() {
+        for (i, &count_f) in self.counts_f.iter().enumerate() {
             let p = self.model.prob_unchecked(zeta, (i + 1) as u64);
-            if count > 0 {
-                sum_x_ln_w += count as f64 * (p.ln() + cum_ln_q);
+            if count_f > 0.0 {
+                sum_x_ln_w += count_f * (p.ln() + cum_ln_q);
             }
             cum_ln_q += (1.0 - p).ln();
         }
         (sum_x_ln_w, cum_ln_q)
+    }
+
+    /// [`GibbsSampler::collapsed_stats`] through the one-entry memo.
+    ///
+    /// Bit-identical to the direct call: a hit returns values the
+    /// direct call produced earlier for the *same* `ζ` bit pattern,
+    /// and `collapsed_stats` is deterministic. The second component
+    /// equals [`GibbsSampler::ln_survival`] bit-for-bit (same
+    /// sequential accumulation over the same days; asserted in tests),
+    /// which is what lets the `N`-step share the memo.
+    fn stats_cached(&self, zeta: &[f64], cache: &RefCell<SuffStatsCache>) -> (f64, f64) {
+        if !self.cache_stats {
+            return self.collapsed_stats(zeta);
+        }
+        if let Some(hit) = cache.borrow().lookup(zeta) {
+            return hit;
+        }
+        let stats = self.collapsed_stats(zeta);
+        cache.borrow_mut().store(zeta, stats);
+        stats
     }
 
     /// Collapsed log marginal of the data as a function of the NB
@@ -326,6 +463,100 @@ impl GibbsSampler {
         let beta_k = (1.0 - (1.0 - beta0) * survival).max(OPEN_SHIFT);
         ln_gamma(alpha0 + s_k) - ln_gamma(alpha0) + alpha0 * beta0.ln() + s_k * (1.0 - beta0).ln()
             - (alpha0 + s_k) * beta_k.ln()
+    }
+
+    /// Builds the deterministic pre-sweep state: ζ at the bound
+    /// midpoints (or its pinned value), hyper-parameters at their
+    /// data-informed initials (or their pinned values), `N` at `s_k`.
+    fn build_initial_state(&self) -> Result<(Vec<(f64, f64)>, SweepState), SrmError> {
+        let zeta_bounds = self.model.bounds(&self.bounds);
+        let mut rw_kernels = Vec::with_capacity(zeta_bounds.len());
+        for &(lo, hi) in &zeta_bounds {
+            rw_kernels.push(AdaptiveRw::try_new(0.0, lo, hi)?);
+        }
+        let (lambda0, alpha0, beta0) = match self.prior {
+            PriorSpec::Poisson { lambda_max } => {
+                let init = (2.0 * self.total as f64 + 10.0).min(0.9 * lambda_max);
+                (init.max(OPEN_SHIFT), f64::NAN, f64::NAN)
+            }
+            PriorSpec::NegBinomial { alpha_max } => (f64::NAN, 0.5 * alpha_max, 0.5),
+        };
+        let zeta = match &self.fixed.zeta {
+            Some(z) => {
+                if z.len() != zeta_bounds.len() {
+                    return Err(SrmError::InvalidConfig {
+                        detail: format!(
+                            "fixed zeta has {} components, model needs {}",
+                            z.len(),
+                            zeta_bounds.len()
+                        ),
+                    });
+                }
+                if z.iter().any(|v| !v.is_finite()) {
+                    return Err(SrmError::InvalidConfig {
+                        detail: "fixed zeta must be finite".into(),
+                    });
+                }
+                z.clone()
+            }
+            None => zeta_bounds
+                .iter()
+                .map(|&(lo, hi)| 0.5 * (lo + hi))
+                .collect(),
+        };
+        let state = SweepState {
+            zeta,
+            lambda0: self.fixed.lambda0.unwrap_or(lambda0),
+            alpha0: self.fixed.alpha0.unwrap_or(alpha0),
+            beta0: self.fixed.beta0.unwrap_or(beta0),
+            // The N the naive sweep conditions on (initialised at s_k).
+            last_n: self.total,
+            rw_kernels,
+        };
+        Ok((zeta_bounds, state))
+    }
+
+    /// A fresh [`GibbsState`] for single-sweep driving (Geweke-style
+    /// joint-distribution tests and custom schedulers). The state is
+    /// only meaningful with the sampler that created it — the embedded
+    /// statistics memo is keyed on ζ alone, so reusing a state across
+    /// samplers with different data would read stale statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SrmError::InvalidConfig`] when pinned parameters are
+    /// inconsistent with the model (see [`FixedParams`]).
+    pub fn init_state(&self) -> Result<GibbsState, SrmError> {
+        let (zeta_bounds, state) = self.build_initial_state()?;
+        Ok(GibbsState {
+            state,
+            zeta_bounds,
+            cache: RefCell::new(SuffStatsCache::default()),
+        })
+    }
+
+    /// Advances `state` by exactly one Gibbs sweep (hyper-parameters,
+    /// ζ, then the exact `N`-step), returning the new residual draw.
+    /// Equivalent to one iteration of the chain loop with no burn-in
+    /// bookkeeping, no fault injection and no instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault when a conditional degenerates or a slice
+    /// bracket is exhausted, exactly as the chain loop would.
+    pub fn sweep_state<R: Rng + ?Sized>(
+        &self,
+        state: &mut GibbsState,
+        rng: &mut R,
+    ) -> Result<u64, SrmError> {
+        self.try_sweep(
+            &mut state.state,
+            &state.zeta_bounds,
+            rng,
+            0,
+            None,
+            &state.cache,
+        )
     }
 
     /// Runs one chain, returning the kept draws. `observer` is called
@@ -436,33 +667,10 @@ impl GibbsSampler {
         }
 
         // --- Initial state -------------------------------------------------
-        let zeta_bounds = self.model.bounds(&self.bounds);
-        let mut rw_kernels = Vec::with_capacity(zeta_bounds.len());
-        for &(lo, hi) in &zeta_bounds {
-            rw_kernels.push(
-                AdaptiveRw::try_new(0.0, lo, hi)
-                    .map_err(|fault| ChainFailure { fault, retries: 0 })?,
-            );
-        }
-        let (lambda0, alpha0, beta0) = match self.prior {
-            PriorSpec::Poisson { lambda_max } => {
-                let init = (2.0 * self.total as f64 + 10.0).min(0.9 * lambda_max);
-                (init.max(OPEN_SHIFT), f64::NAN, f64::NAN)
-            }
-            PriorSpec::NegBinomial { alpha_max } => (f64::NAN, 0.5 * alpha_max, 0.5),
-        };
-        let mut state = SweepState {
-            zeta: zeta_bounds
-                .iter()
-                .map(|&(lo, hi)| 0.5 * (lo + hi))
-                .collect(),
-            lambda0,
-            alpha0,
-            beta0,
-            // The N the naive sweep conditions on (initialised at s_k).
-            last_n: self.total,
-            rw_kernels,
-        };
+        let (zeta_bounds, mut state) = self
+            .build_initial_state()
+            .map_err(|fault| ChainFailure { fault, retries: 0 })?;
+        let cache = RefCell::new(SuffStatsCache::default());
 
         let names = self.param_names();
         let mut chain = Chain::new(&names);
@@ -534,7 +742,7 @@ impl GibbsSampler {
             prev_zeta.copy_from_slice(&state.zeta);
 
             let outcome = self
-                .try_sweep(&mut state, &zeta_bounds, rng, sweep, forced)
+                .try_sweep(&mut state, &zeta_bounds, rng, sweep, forced, &cache)
                 .and_then(|residual| {
                     if will_record {
                         let probs = self.model.probs(&state.zeta, self.horizon).map_err(|e| {
@@ -661,6 +869,7 @@ impl GibbsSampler {
         rng: &mut R,
         sweep: usize,
         forced: Option<FaultKind>,
+        cache: &RefCell<SuffStatsCache>,
     ) -> Result<u64, SrmError> {
         // A forced exhaustion fires before any RNG use, so a retried
         // sweep replays exactly what the unfaulted sweep would have.
@@ -674,7 +883,7 @@ impl GibbsSampler {
         match self.sweep_kind {
             SweepKind::Collapsed => {
                 // --- 1. Hyper-parameters | ζ (N marginalised out) -----
-                let (_, ln_q) = self.collapsed_stats(&state.zeta);
+                let (_, ln_q) = self.stats_cached(&state.zeta, cache);
                 let survival = ln_q.exp();
                 match self.prior {
                     PriorSpec::Poisson { lambda_max } => {
@@ -683,52 +892,65 @@ impl GibbsSampler {
                         // on (0, λ_max); Σ w_i = 1 − Π q_i. The
                         // Jeffreys hyper-prior shifts the shape
                         // by −1/2.
-                        let w_sum = (1.0 - survival).max(OPEN_SHIFT);
-                        let shape = (self.total as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
-                        state.lambda0 = TruncatedGamma::new(shape, 1.0 / w_sum, lambda_max)
-                            .map_err(|e| degenerate("lambda0 conditional", &e, sweep))?
-                            .sample(rng);
+                        if self.fixed.lambda0.is_none() {
+                            let w_sum = (1.0 - survival).max(OPEN_SHIFT);
+                            let shape =
+                                (self.total as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
+                            state.lambda0 = TruncatedGamma::new(shape, 1.0 / w_sum, lambda_max)
+                                .map_err(|e| degenerate("lambda0 conditional", &e, sweep))?
+                                .sample(rng);
+                        }
                     }
                     PriorSpec::NegBinomial { alpha_max } => {
                         // β0 | α0, ζ, x via the collapsed kernel.
-                        let a0 = state.alpha0;
-                        let ln_f_beta = |b: f64| {
-                            self.nb_collapsed_kernel(a0, b, survival) + self.ln_beta0_hyper_prior(b)
-                        };
-                        state.beta0 = try_slice_sample(
-                            ln_f_beta,
-                            state.beta0.clamp(OPEN_EPS, 1.0 - OPEN_EPS),
-                            OPEN_EPS,
-                            1.0 - OPEN_EPS,
-                            &self.slice_config,
-                            rng,
-                        )
-                        .map_err(|e| slice_fault(e, "beta0", sweep))?;
+                        if self.fixed.beta0.is_none() {
+                            let a0 = state.alpha0;
+                            let ln_f_beta = |b: f64| {
+                                self.nb_collapsed_kernel(a0, b, survival)
+                                    + self.ln_beta0_hyper_prior(b)
+                            };
+                            state.beta0 = try_slice_sample(
+                                ln_f_beta,
+                                state.beta0.clamp(OPEN_EPS, 1.0 - OPEN_EPS),
+                                OPEN_EPS,
+                                1.0 - OPEN_EPS,
+                                &self.slice_config,
+                                rng,
+                            )
+                            .map_err(|e| slice_fault(e, "beta0", sweep))?;
+                        }
                         // α0 | β0, ζ, x via the same kernel.
-                        let b0 = state.beta0;
-                        let ln_f_alpha = |a: f64| self.nb_collapsed_kernel(a, b0, survival);
-                        state.alpha0 = try_slice_sample(
-                            ln_f_alpha,
-                            state.alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
-                            OPEN_EPS,
-                            alpha_max,
-                            &self.slice_config,
-                            rng,
-                        )
-                        .map_err(|e| slice_fault(e, "alpha0", sweep))?;
+                        if self.fixed.alpha0.is_none() {
+                            let b0 = state.beta0;
+                            let ln_f_alpha = |a: f64| self.nb_collapsed_kernel(a, b0, survival);
+                            state.alpha0 = try_slice_sample(
+                                ln_f_alpha,
+                                state.alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
+                                OPEN_EPS,
+                                alpha_max,
+                                &self.slice_config,
+                                rng,
+                            )
+                            .map_err(|e| slice_fault(e, "alpha0", sweep))?;
+                        }
                     }
                 }
 
                 // --- 2. ζ | hyper-parameters (N marginalised) ----------
                 let (lambda0, alpha0, beta0) = (state.lambda0, state.alpha0, state.beta0);
-                for j in 0..state.zeta.len() {
+                let zeta_len = if self.fixed.zeta.is_some() {
+                    0
+                } else {
+                    state.zeta.len()
+                };
+                for j in 0..zeta_len {
                     let (lo, hi) = zeta_bounds[j];
                     let current = state.zeta[j].clamp(lo, hi);
                     let snapshot = state.zeta.clone();
                     let ln_f = |v: f64| {
                         let mut z = snapshot.clone();
                         z[j] = v;
-                        let (sum_x_ln_w, ln_qz) = self.collapsed_stats(&z);
+                        let (sum_x_ln_w, ln_qz) = self.stats_cached(&z, cache);
                         match self.prior {
                             PriorSpec::Poisson { .. } => sum_x_ln_w - lambda0 * (1.0 - ln_qz.exp()),
                             PriorSpec::NegBinomial { .. } => {
@@ -758,45 +980,56 @@ impl GibbsSampler {
                     PriorSpec::Poisson { lambda_max } => {
                         // λ0 | N ∝ hyper(λ0) · λ0^N e^{−λ0} on
                         // (0, λ_max).
-                        let shape =
-                            (state.last_n as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
-                        state.lambda0 = TruncatedGamma::new(shape, 1.0, lambda_max)
-                            .map_err(|e| degenerate("lambda0 conditional", &e, sweep))?
-                            .sample(rng);
+                        if self.fixed.lambda0.is_none() {
+                            let shape =
+                                (state.last_n as f64 + 1.0 + self.lambda_shape_shift()).max(0.5);
+                            state.lambda0 = TruncatedGamma::new(shape, 1.0, lambda_max)
+                                .map_err(|e| degenerate("lambda0 conditional", &e, sweep))?
+                                .sample(rng);
+                        }
                     }
                     PriorSpec::NegBinomial { alpha_max } => {
                         // β0 | N, α0 ~ Beta(α0 + 1 + a, N + 1 + b)
                         // where (a, b) = (−1/2, −1/2) under the
                         // arcsine Jeffreys hyper-prior.
-                        let (da, db) = match self.hyper_prior {
-                            HyperPrior::Uniform => (0.0, 0.0),
-                            HyperPrior::Jeffreys => (-0.5, -0.5),
-                        };
-                        state.beta0 =
-                            Beta::new(state.alpha0 + 1.0 + da, state.last_n as f64 + 1.0 + db)
-                                .map_err(|e| degenerate("beta0 conditional", &e, sweep))?
-                                .sample(rng)
-                                .clamp(OPEN_SHIFT, 1.0 - OPEN_SHIFT);
+                        if self.fixed.beta0.is_none() {
+                            let (da, db) = match self.hyper_prior {
+                                HyperPrior::Uniform => (0.0, 0.0),
+                                HyperPrior::Jeffreys => (-0.5, -0.5),
+                            };
+                            state.beta0 =
+                                Beta::new(state.alpha0 + 1.0 + da, state.last_n as f64 + 1.0 + db)
+                                    .map_err(|e| degenerate("beta0 conditional", &e, sweep))?
+                                    .sample(rng)
+                                    .clamp(OPEN_SHIFT, 1.0 - OPEN_SHIFT);
+                        }
                         // α0 | N, β0 ∝ Γ(N + α0)/Γ(α0) · β0^{α0}.
-                        let beta0 = state.beta0;
-                        let last_n = state.last_n;
-                        let ln_target =
-                            |a: f64| ln_gamma(last_n as f64 + a) - ln_gamma(a) + a * beta0.ln();
-                        state.alpha0 = try_slice_sample(
-                            ln_target,
-                            state.alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
-                            OPEN_EPS,
-                            alpha_max,
-                            &self.slice_config,
-                            rng,
-                        )
-                        .map_err(|e| slice_fault(e, "alpha0", sweep))?;
+                        if self.fixed.alpha0.is_none() {
+                            let beta0 = state.beta0;
+                            let last_n = state.last_n;
+                            let ln_target =
+                                |a: f64| ln_gamma(last_n as f64 + a) - ln_gamma(a) + a * beta0.ln();
+                            state.alpha0 = try_slice_sample(
+                                ln_target,
+                                state.alpha0.clamp(OPEN_EPS, alpha_max - OPEN_EPS),
+                                OPEN_EPS,
+                                alpha_max,
+                                &self.slice_config,
+                                rng,
+                            )
+                            .map_err(|e| slice_fault(e, "alpha0", sweep))?;
+                        }
                     }
                 }
 
                 // --- 2. ζ | current N --------------------------------
                 let last_n = state.last_n;
-                for j in 0..state.zeta.len() {
+                let zeta_len = if self.fixed.zeta.is_some() {
+                    0
+                } else {
+                    state.zeta.len()
+                };
+                for j in 0..zeta_len {
                     let (lo, hi) = zeta_bounds[j];
                     let current = state.zeta[j].clamp(lo, hi);
                     let snapshot = state.zeta.clone();
@@ -823,7 +1056,16 @@ impl GibbsSampler {
         }
 
         // --- 3. N | everything else (exact, Props. 1–2) ----------------
-        let ln_q = self.ln_survival(&state.zeta);
+        // On the cached collapsed path the memo already holds ln Π q_i
+        // at the current ζ (the last ζ evaluation stored it), and
+        // `collapsed_stats` accumulates that sum in exactly
+        // `ln_survival`'s order, so the shared value is bit-identical
+        // to the uncached recomputation (asserted in tests).
+        let ln_q = if self.cache_stats && matches!(self.sweep_kind, SweepKind::Collapsed) {
+            self.stats_cached(&state.zeta, cache).1
+        } else {
+            self.ln_survival(&state.zeta)
+        };
         let survival = ln_q.exp();
         let force_nan = matches!(forced, Some(FaultKind::NanRate));
         let residual = match self.prior {
@@ -882,6 +1124,87 @@ struct SweepState {
     beta0: f64,
     last_n: u64,
     rw_kernels: Vec<AdaptiveRw>,
+}
+
+/// The full mutable state of one chain, exposed for single-sweep
+/// driving via [`GibbsSampler::init_state`] /
+/// [`GibbsSampler::sweep_state`].
+///
+/// The setters exist for joint-distribution (Geweke-style) tests that
+/// alternate the sampler's transition with a data simulator; a state
+/// must only be driven by the sampler that created it (see
+/// [`GibbsSampler::init_state`]).
+#[derive(Debug, Clone)]
+pub struct GibbsState {
+    state: SweepState,
+    zeta_bounds: Vec<(f64, f64)>,
+    cache: RefCell<SuffStatsCache>,
+}
+
+impl GibbsState {
+    /// Current detection parameters `ζ`.
+    #[must_use]
+    pub fn zeta(&self) -> &[f64] {
+        &self.state.zeta
+    }
+
+    /// Overwrites `ζ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the length does not match the model.
+    pub fn set_zeta(&mut self, zeta: &[f64]) {
+        assert_eq!(
+            zeta.len(),
+            self.state.zeta.len(),
+            "zeta length must match the model"
+        );
+        self.state.zeta.copy_from_slice(zeta);
+    }
+
+    /// Current `λ0` (NaN under the NB prior).
+    #[must_use]
+    pub fn lambda0(&self) -> f64 {
+        self.state.lambda0
+    }
+
+    /// Overwrites `λ0`.
+    pub fn set_lambda0(&mut self, lambda0: f64) {
+        self.state.lambda0 = lambda0;
+    }
+
+    /// Current `α0` (NaN under the Poisson prior).
+    #[must_use]
+    pub fn alpha0(&self) -> f64 {
+        self.state.alpha0
+    }
+
+    /// Overwrites `α0`.
+    pub fn set_alpha0(&mut self, alpha0: f64) {
+        self.state.alpha0 = alpha0;
+    }
+
+    /// Current `β0` (NaN under the Poisson prior).
+    #[must_use]
+    pub fn beta0(&self) -> f64 {
+        self.state.beta0
+    }
+
+    /// Overwrites `β0`.
+    pub fn set_beta0(&mut self, beta0: f64) {
+        self.state.beta0 = beta0;
+    }
+
+    /// The initial bug content `N` the naive sweep conditions on.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.state.last_n
+    }
+
+    /// Overwrites `N`.
+    pub fn set_n(&mut self, n: u64) {
+        self.state.last_n = n;
+    }
 }
 
 /// Maps a [`SliceError`] onto the workspace taxonomy with the sweep
@@ -1164,6 +1487,141 @@ mod tests {
         for &b in chain.draws("beta0").unwrap() {
             assert!(b > 0.0 && b < 1.0);
         }
+    }
+
+    #[test]
+    fn ln_survival_matches_collapsed_stats_bitwise() {
+        // The N-step's cached path reads `collapsed_stats(ζ).1` where
+        // the uncached path computes `ln_survival(ζ)`; bit-equality of
+        // the two is what makes the cache invisible to the draws.
+        let data = small_data();
+        let mut rng = Xoshiro256StarStar::seed_from(77);
+        for model in DetectionModel::ALL {
+            let sampler = GibbsSampler::new(
+                PriorSpec::Poisson { lambda_max: 1e3 },
+                model,
+                ZetaBounds::default(),
+                &data,
+            );
+            let bounds = sampler.zeta_bounds();
+            for _ in 0..50 {
+                let zeta: Vec<f64> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| lo + (hi - lo) * rng.next_f64())
+                    .collect();
+                let direct = sampler.ln_survival(&zeta);
+                let (_, via_stats) = sampler.collapsed_stats(&zeta);
+                assert_eq!(
+                    direct.to_bits(),
+                    via_stats.to_bits(),
+                    "{model:?} at {zeta:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_sweeps_are_bit_identical() {
+        let data = small_data();
+        for prior in [
+            PriorSpec::Poisson { lambda_max: 2e3 },
+            PriorSpec::NegBinomial { alpha_max: 50.0 },
+        ] {
+            for kernel in [ZetaKernel::Slice, ZetaKernel::AdaptiveRw] {
+                let build = |cached| {
+                    GibbsSampler::new(
+                        prior,
+                        DetectionModel::PadgettSpurrier,
+                        ZetaBounds::default(),
+                        &data,
+                    )
+                    .with_zeta_kernel(kernel)
+                    .with_cached_stats(cached)
+                };
+                assert!(build(true).cached_stats());
+                assert!(!build(false).cached_stats());
+                let run = |sampler: GibbsSampler| {
+                    let mut rng = Xoshiro256StarStar::seed_from(4_040);
+                    sampler.run_chain(&mut rng, 100, 150, 1, &mut |_| {})
+                };
+                assert_eq!(
+                    run(build(true)),
+                    run(build(false)),
+                    "{prior:?}/{kernel:?} diverged under caching"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_params_pin_values_and_skip_updates() {
+        let data = small_data();
+        let sampler = GibbsSampler::new(
+            PriorSpec::Poisson { lambda_max: 2e3 },
+            DetectionModel::Constant,
+            ZetaBounds::default(),
+            &data,
+        )
+        .with_fixed(FixedParams {
+            zeta: Some(vec![0.05]),
+            lambda0: Some(120.0),
+            ..FixedParams::default()
+        });
+        assert!(!sampler.fixed_params().is_empty());
+        let mut rng = Xoshiro256StarStar::seed_from(606);
+        let chain = sampler.run_chain(&mut rng, 0, 200, 1, &mut |_| {});
+        for &l in chain.draws("lambda0").unwrap() {
+            assert_eq!(l.to_bits(), 120.0f64.to_bits());
+        }
+        for &m in chain.draws("mu").unwrap() {
+            assert_eq!(m.to_bits(), 0.05f64.to_bits());
+        }
+        // The residual still moves: only the N-step consumes RNG.
+        let r = chain.draws("residual").unwrap();
+        assert!(r.iter().any(|&x| x.to_bits() != r[0].to_bits()));
+    }
+
+    #[test]
+    fn fixed_zeta_of_wrong_length_is_invalid_config() {
+        let data = small_data();
+        let sampler = GibbsSampler::new(
+            PriorSpec::Poisson { lambda_max: 2e3 },
+            DetectionModel::PadgettSpurrier, // two ζ components
+            ZetaBounds::default(),
+            &data,
+        )
+        .with_fixed(FixedParams {
+            zeta: Some(vec![0.1]),
+            ..FixedParams::default()
+        });
+        let err = sampler.init_state().unwrap_err();
+        assert!(matches!(err, SrmError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn sweep_state_api_matches_chain_semantics() {
+        let data = small_data();
+        let sampler = GibbsSampler::new(
+            PriorSpec::Poisson { lambda_max: 2e3 },
+            DetectionModel::Constant,
+            ZetaBounds::default(),
+            &data,
+        );
+        let mut state = sampler.init_state().unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from(9_009);
+        for _ in 0..20 {
+            let residual = sampler.sweep_state(&mut state, &mut rng).unwrap();
+            assert_eq!(state.n(), data.total() + residual);
+            assert!(state.lambda0() > 0.0 && state.lambda0() < 2e3);
+            assert!(state.zeta()[0] > 0.0 && state.zeta()[0] < 1.0);
+        }
+        // Setters round-trip (the Geweke driver relies on these).
+        state.set_lambda0(42.0);
+        state.set_n(500);
+        state.set_zeta(&[0.25]);
+        assert_eq!(state.lambda0().to_bits(), 42.0f64.to_bits());
+        assert_eq!(state.n(), 500);
+        assert_eq!(state.zeta(), &[0.25]);
     }
 
     #[test]

@@ -57,10 +57,13 @@ pub use fault::{
     ChainFailure, ChainReport, FaultInjector, FaultKind, FaultPlan, FaultPoint, RecoveryLog,
     RetryPolicy, SrmError,
 };
-pub use gibbs::{GibbsSampler, HyperPrior, PriorSpec, SweepKind, SweepRecord, ZetaKernel};
+pub use gibbs::{
+    FixedParams, GibbsSampler, GibbsState, HyperPrior, PriorSpec, SweepKind, SweepRecord,
+    ZetaKernel,
+};
 pub use metropolis::ParamAcceptance;
 pub use runner::{
-    run_chains, run_chains_fault_tolerant, run_chains_fault_tolerant_traced, FaultTolerantRun,
-    McmcConfig, McmcOutput, RunOptions,
+    effective_threads, run_chains, run_chains_fault_tolerant, run_chains_fault_tolerant_traced,
+    FaultTolerantRun, McmcConfig, McmcOutput, RunOptions,
 };
 pub use summary::{AcceptanceSummary, PosteriorSummary};

@@ -1,11 +1,17 @@
 //! Multi-chain parallel MCMC driver.
 //!
-//! Chains run on std scoped threads; chain `i` draws from the
-//! `i`-th xoshiro256\*\* jump stream of the seed, so results are
-//! bit-identical whether chains run serially or in parallel.
+//! Chains run across a bounded pool of std scoped threads
+//! ([`RunOptions::threads`]; default `min(chains, cores)`). Chain `i`
+//! draws from the `i`-th xoshiro256\*\* jump stream of the seed and
+//! workers pull chain indices from an atomic dispenser, so the draws
+//! are bit-identical for any thread count — scheduling decides only
+//! *when* a chain runs, never what it computes. Each worker buffers
+//! its chains' trace events and the driver replays them in chain
+//! order after the pool drains, so recorded traces are deterministic
+//! too.
 //!
 //! [`run_chains_fault_tolerant`] is the panic-contained entry point:
-//! each chain thread is wrapped in `catch_unwind`, faulted sweeps are
+//! each chain is wrapped in `catch_unwind`, faulted sweeps are
 //! retried per [`RetryPolicy`], and a failed chain degrades the run to
 //! partial output with an explicit [`ChainReport`] instead of aborting
 //! the process.
@@ -15,6 +21,9 @@ use crate::fault::{panic_message, ChainReport, FaultPlan, RecoveryLog, RetryPoli
 use crate::gibbs::{GibbsSampler, SweepRecord};
 use srm_obs::{Event, Recorder, NOOP};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
 
 /// Run-length and seeding configuration for an MCMC run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,23 +120,97 @@ impl McmcOutput {
     }
 }
 
-/// Fault-handling configuration for [`run_chains_fault_tolerant`].
+/// Fault-handling and scheduling configuration for
+/// [`run_chains_fault_tolerant`].
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Per-chain retry budget for faulted sweeps.
     pub retry: RetryPolicy,
     /// Deterministic fault injection (empty = none).
     pub fault_plan: FaultPlan,
+    /// Worker threads running the chains: `0` (the default) means
+    /// auto, `min(chains, cores)`. Any value yields bit-identical
+    /// draws — see [`effective_threads`].
+    pub threads: usize,
 }
 
 impl RunOptions {
-    /// No retries, no injection: the strictest configuration.
+    /// No retries, no injection, auto thread count: the strictest
+    /// configuration.
     #[must_use]
     pub fn none() -> Self {
         Self {
             retry: RetryPolicy::none(),
             fault_plan: FaultPlan::none(),
+            threads: 0,
         }
+    }
+
+    /// [`RunOptions::none`] pinned to `threads` workers.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::none()
+        }
+    }
+}
+
+/// Resolves a requested worker count against the chain count and the
+/// machine: `0` means auto (`min(chains, available cores)`), anything
+/// else is clamped to `[1, chains]`. More workers than chains would
+/// only idle, so the clamp is loss-free.
+#[must_use]
+pub fn effective_threads(requested: usize, chains: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if requested == 0 {
+        chains.min(cores).max(1)
+    } else {
+        requested.min(chains.max(1))
+    }
+}
+
+/// Buffers one chain's trace events on the worker thread so the
+/// driver can replay them in chain order after the pool drains —
+/// recorded traces stay deterministic under any scheduling.
+///
+/// `enabled`/`sweep_stride` delegate to the real recorder, so stride
+/// gating (and the disabled fast path) behave exactly as they would
+/// with direct recording.
+struct BufferRecorder<'a> {
+    inner: &'a dyn Recorder,
+    events: Mutex<Vec<Event>>,
+}
+
+impl<'a> BufferRecorder<'a> {
+    fn new(inner: &'a dyn Recorder) -> Self {
+        Self {
+            inner,
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn into_events(self) -> Vec<Event> {
+        self.events
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Recorder for BufferRecorder<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn sweep_stride(&self) -> usize {
+        self.inner.sweep_stride()
+    }
+
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
     }
 }
 
@@ -186,15 +269,22 @@ pub fn run_chains_fault_tolerant(
     run_chains_fault_tolerant_traced(sampler, config, options, &NOOP)
 }
 
-/// [`run_chains_fault_tolerant`] with instrumentation: chain worker
-/// threads emit sweep/fault/retry events to `recorder`, contained
-/// panics are reported as [`Event::ChainPanicked`], and — after the
-/// run is assembled — one [`Event::ChainReport`] per surviving chain,
-/// so event-derived fault counters match the returned
+/// One chain's finished work: its draws (absent when lost), its
+/// report, its buffered trace events, and its wall time.
+type Slot = (Option<Chain>, ChainReport, Vec<Event>, f64);
+
+/// [`run_chains_fault_tolerant`] with instrumentation: chain workers
+/// emit sweep/fault/retry events to per-chain buffers that are
+/// replayed into `recorder` in chain order once the pool drains,
+/// contained panics are reported as [`Event::ChainPanicked`], and —
+/// after the run is assembled — one [`Event::ChainReport`] per
+/// configured chain (carrying that chain's wall time), so
+/// event-derived fault counters match the returned
 /// [`FaultTolerantRun::reports`] exactly.
 ///
 /// The recorder is observation-only: draws are bit-identical to the
-/// untraced call for any recorder.
+/// untraced call for any recorder, and the replayed event stream is
+/// identical for any thread count (wall-time stamps excepted).
 ///
 /// # Errors
 ///
@@ -211,85 +301,75 @@ pub fn run_chains_fault_tolerant_traced(
         });
     }
     let base = srm_rand::Xoshiro256StarStar::seed_from(config.seed);
-    type Slot = Option<(Option<Chain>, ChainReport)>;
-    let mut slots: Vec<Slot> = (0..config.chains).map(|_| None).collect();
+    let pool = effective_threads(options.threads, config.chains);
+    let on = recorder.enabled();
+    let mut slots: Vec<Option<Slot>> = (0..config.chains).map(|_| None).collect();
+    // Workers pull chain indices from this dispenser; the RNG stream,
+    // fault plan and events of chain `i` depend only on `i`, so the
+    // pull order is free to vary with scheduling.
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            let mut rng = base.split_stream(i as u64);
-            let mut injector = options.fault_plan.injector_for(i);
-            let retry = options.retry;
-            scope.spawn(move || {
-                let caught = catch_unwind(AssertUnwindSafe(|| {
-                    sampler.try_run_chain_traced(
-                        &mut rng,
-                        config.burn_in,
-                        config.samples,
-                        config.thin,
-                        &retry,
-                        &mut injector,
-                        &mut |_| {},
-                        i,
-                        recorder,
-                    )
-                }));
-                *slot = Some(match caught {
-                    Ok(Ok((
-                        chain,
-                        RecoveryLog {
-                            retries,
-                            last_fault,
-                            accept,
-                        },
-                    ))) => (
-                        Some(chain),
-                        ChainReport {
-                            chain: i,
-                            fault: last_fault,
-                            retries,
-                            recovered: true,
-                            accept,
-                        },
-                    ),
-                    Ok(Err(failure)) => (
-                        None,
-                        ChainReport {
-                            chain: i,
-                            fault: Some(failure.fault),
-                            retries: failure.retries,
-                            recovered: false,
-                            accept: Vec::new(),
-                        },
-                    ),
-                    Err(payload) => {
-                        let message = panic_message(payload.as_ref());
-                        if recorder.enabled() {
-                            recorder.record(&Event::ChainPanicked {
-                                chain: i,
-                                detail: message.clone(),
-                            });
+        let handles: Vec<_> = (0..pool)
+            .map(|_| {
+                let (next, base) = (&next, &base);
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, Slot)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= config.chains {
+                            break;
                         }
-                        (
-                            None,
-                            ChainReport {
-                                chain: i,
-                                fault: Some(SrmError::ChainPanicked { chain: i, message }),
-                                retries: 0,
-                                recovered: false,
-                                accept: Vec::new(),
-                            },
-                        )
+                        done.push((
+                            i,
+                            run_one_chain(sampler, base, config, options, recorder, on, i),
+                        ));
                     }
-                });
-            });
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Ok(done) = handle.join() {
+                for (i, slot) in done {
+                    slots[i] = Some(slot);
+                }
+            }
         }
     });
 
     let mut chains = Vec::with_capacity(config.chains);
     let mut reports = Vec::with_capacity(config.chains);
-    for slot in slots.into_iter().flatten() {
-        let (chain, report) = slot;
+    let mut walls = Vec::with_capacity(config.chains);
+    for (i, slot) in slots.into_iter().enumerate() {
+        // A missing slot means a worker died outside `catch_unwind` —
+        // defensively reported as a lost chain rather than a panic.
+        let (chain, report, events, wall_ms) = slot.unwrap_or_else(|| {
+            (
+                None,
+                ChainReport {
+                    chain: i,
+                    fault: Some(SrmError::ChainPanicked {
+                        chain: i,
+                        message: "chain worker thread lost".into(),
+                    }),
+                    retries: 0,
+                    recovered: false,
+                    accept: Vec::new(),
+                },
+                Vec::new(),
+                0.0,
+            )
+        });
+        if on {
+            // Replay in chain order: the merged trace is deterministic
+            // for any thread count.
+            for event in &events {
+                recorder.record(event);
+            }
+        }
         chains.extend(chain);
         reports.push(report);
+        walls.push(wall_ms);
     }
     if chains.is_empty() {
         let fault =
@@ -301,15 +381,16 @@ pub fn run_chains_fault_tolerant_traced(
                 });
         return Err(fault);
     }
-    if recorder.enabled() {
+    if on {
         // Post-assembly summaries: counting these reproduces the
         // returned reports' fault/retry totals exactly.
-        for report in &reports {
+        for (report, wall_ms) in reports.iter().zip(&walls) {
             recorder.record(&Event::ChainReport {
                 chain: report.chain,
                 recovered: report.recovered,
                 retries: report.retries as u64,
                 fault: report.fault.as_ref().map(|f| f.kind().to_string()),
+                wall_ms: *wall_ms,
             });
         }
     }
@@ -317,6 +398,89 @@ pub fn run_chains_fault_tolerant_traced(
         output: McmcOutput { chains },
         reports,
     })
+}
+
+/// Runs chain `i` with panic containment on the calling worker
+/// thread, buffering its events for ordered replay.
+#[allow(clippy::too_many_arguments)] // internal plumbing of the pool
+fn run_one_chain(
+    sampler: &GibbsSampler,
+    base: &srm_rand::Xoshiro256StarStar,
+    config: &McmcConfig,
+    options: &RunOptions,
+    recorder: &dyn Recorder,
+    on: bool,
+    i: usize,
+) -> Slot {
+    let mut rng = base.split_stream(i as u64);
+    let mut injector = options.fault_plan.injector_for(i);
+    let retry = options.retry;
+    let buffer = BufferRecorder::new(recorder);
+    let chain_recorder: &dyn Recorder = if on { &buffer } else { &NOOP };
+    let started = Instant::now();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        sampler.try_run_chain_traced(
+            &mut rng,
+            config.burn_in,
+            config.samples,
+            config.thin,
+            &retry,
+            &mut injector,
+            &mut |_| {},
+            i,
+            chain_recorder,
+        )
+    }));
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let (chain, report) = match caught {
+        Ok(Ok((
+            chain,
+            RecoveryLog {
+                retries,
+                last_fault,
+                accept,
+            },
+        ))) => (
+            Some(chain),
+            ChainReport {
+                chain: i,
+                fault: last_fault,
+                retries,
+                recovered: true,
+                accept,
+            },
+        ),
+        Ok(Err(failure)) => (
+            None,
+            ChainReport {
+                chain: i,
+                fault: Some(failure.fault),
+                retries: failure.retries,
+                recovered: false,
+                accept: Vec::new(),
+            },
+        ),
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            if on {
+                buffer.record(&Event::ChainPanicked {
+                    chain: i,
+                    detail: message.clone(),
+                });
+            }
+            (
+                None,
+                ChainReport {
+                    chain: i,
+                    fault: Some(SrmError::ChainPanicked { chain: i, message }),
+                    retries: 0,
+                    recovered: false,
+                    accept: Vec::new(),
+                },
+            )
+        }
+    };
+    (chain, report, buffer.into_events(), wall_ms)
 }
 
 /// Runs `config.chains` chains of `sampler` in parallel and collects
@@ -444,7 +608,7 @@ mod tests {
             &config,
             &RunOptions {
                 retry: RetryPolicy::default(),
-                fault_plan: FaultPlan::none(),
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -495,5 +659,38 @@ mod tests {
         let c = McmcConfig::default();
         assert_eq!(c.chains, 4);
         assert!(c.samples >= 10_000);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto_and_clamps() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(effective_threads(0, 4), 4.min(cores).max(1));
+        assert_eq!(effective_threads(1, 4), 1);
+        assert_eq!(effective_threads(4, 4), 4);
+        // More workers than chains would idle: clamped down.
+        assert_eq!(effective_threads(64, 4), 4);
+        // Degenerate inputs stay positive.
+        assert_eq!(effective_threads(0, 0), 1);
+        assert_eq!(effective_threads(3, 0), 1);
+    }
+
+    #[test]
+    fn any_thread_count_is_bit_identical() {
+        let data = datasets::musa_cc96().truncated(25).unwrap();
+        let s = sampler(&data);
+        let config = McmcConfig {
+            chains: 4,
+            burn_in: 100,
+            samples: 150,
+            thin: 1,
+            seed: 4_321,
+        };
+        let serial = run_chains_observed(&s, &config, &mut |_| {});
+        for threads in [1usize, 2, 4, 0] {
+            let run =
+                run_chains_fault_tolerant(&s, &config, &RunOptions::with_threads(threads)).unwrap();
+            assert_eq!(run.output, serial, "threads={threads} diverged");
+            assert_eq!(run.reports.len(), config.chains);
+        }
     }
 }

@@ -161,6 +161,9 @@ pub enum Event {
         retries: u64,
         /// First-fault kind label, if any fault occurred.
         fault: Option<String>,
+        /// Wall-clock time the chain spent on its worker thread, in
+        /// milliseconds.
+        wall_ms: f64,
     },
     /// An experiment cell began.
     CellStart {
@@ -407,6 +410,7 @@ impl Event {
                 recovered,
                 retries,
                 fault,
+                wall_ms,
             } => {
                 push("chain", Value::Num(*chain as f64));
                 push("recovered", Value::Bool(*recovered));
@@ -418,6 +422,7 @@ impl Event {
                         None => Value::Null,
                     },
                 );
+                push("wall_ms", Value::Num(*wall_ms));
             }
             Event::CellStart { prior, model, day } => {
                 push("prior", Value::Str(prior.clone()));
@@ -493,7 +498,7 @@ pub fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
         "fault-injected" => &["chain", "sweep", "kind"],
         "chain-panicked" => &["chain", "detail"],
         "chain-done" => &["chain", "retries", "accept"],
-        "chain-report" => &["chain", "recovered", "retries", "fault"],
+        "chain-report" => &["chain", "recovered", "retries", "fault", "wall_ms"],
         "cell-start" => &["prior", "model", "day"],
         "cell-end" => &["prior", "model", "day", "wall_ms"],
         "cell-failure" => &["prior", "model", "day", "kind"],
@@ -578,6 +583,7 @@ mod tests {
                 recovered: true,
                 retries: 1,
                 fault: Some("panic".into()),
+                wall_ms: 12.5,
             },
             Event::CellStart {
                 prior: "poisson".into(),

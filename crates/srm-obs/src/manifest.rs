@@ -46,6 +46,8 @@ pub struct ManifestChain {
     pub retries: u64,
     /// First-fault kind, if any.
     pub fault: Option<String>,
+    /// Wall-clock time the chain spent on its worker thread, ms.
+    pub wall_ms: f64,
     /// Per-parameter acceptance statistics.
     pub accept: Vec<AcceptStat>,
 }
@@ -71,6 +73,8 @@ pub struct RunManifest {
     pub samples: usize,
     /// Thinning interval.
     pub thin: usize,
+    /// Worker threads used for parallel chains (0 when not recorded).
+    pub threads: usize,
     /// Per-phase wall time `(phase, ms)`.
     pub phases: Vec<(String, f64)>,
     /// Kept draws per second of sampling wall time (0 when unknown).
@@ -108,6 +112,7 @@ impl RunManifest {
                     ("burn_in", Value::Num(self.burn_in as f64)),
                     ("samples", Value::Num(self.samples as f64)),
                     ("thin", Value::Num(self.thin as f64)),
+                    ("threads", Value::Num(self.threads as f64)),
                 ]),
             ),
             (
@@ -141,6 +146,7 @@ impl RunManifest {
                                         .as_ref()
                                         .map_or(Value::Null, |k| Value::Str(k.clone())),
                                 ),
+                                ("wall_ms", Value::Num(c.wall_ms)),
                                 (
                                     "accept",
                                     Value::Arr(
@@ -235,6 +241,7 @@ mod tests {
             burn_in: 100,
             samples: 200,
             thin: 2,
+            threads: 4,
             phases: vec![("sampling".into(), 12.0), ("waic".into(), 3.0)],
             draws_per_sec: 6500.0,
             chain_reports: vec![ManifestChain {
@@ -242,6 +249,7 @@ mod tests {
                 recovered: true,
                 retries: 1,
                 fault: Some("nan-rate".into()),
+                wall_ms: 11.25,
                 accept: vec![AcceptStat {
                     parameter: "zeta0".into(),
                     steps: 300,
@@ -267,8 +275,13 @@ mod tests {
             doc.get("mcmc").unwrap().get("chains").unwrap().as_f64(),
             Some(4.0)
         );
+        assert_eq!(
+            doc.get("mcmc").unwrap().get("threads").unwrap().as_f64(),
+            Some(4.0)
+        );
         let chains = doc.get("chains_report").unwrap().as_arr().unwrap();
         assert_eq!(chains[0].get("fault").unwrap().as_str(), Some("nan-rate"));
+        assert_eq!(chains[0].get("wall_ms").unwrap().as_f64(), Some(11.25));
         let accept = chains[0].get("accept").unwrap().as_arr().unwrap();
         assert_eq!(accept[0].get("rate").unwrap().as_f64(), Some(0.4));
         assert_eq!(

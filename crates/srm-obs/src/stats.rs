@@ -41,7 +41,7 @@ struct Inner {
     fault_counts: BTreeMap<String, u64>,
     report_retries: u64,
     chain_accept: Vec<(usize, Vec<AcceptStat>)>,
-    chain_reports: Vec<(usize, bool, u64, Option<String>)>,
+    chain_reports: Vec<(usize, bool, u64, Option<String>, f64)>,
     diagnostics: Vec<DiagnosticStat>,
     waic: Option<(String, f64, f64)>,
 }
@@ -136,9 +136,10 @@ impl StatsCollector {
         out
     }
 
-    /// Per-chain report tuples `(chain, recovered, retries, fault)`
-    /// from `chain-report` events, sorted by chain index.
-    pub fn chain_reports(&self) -> Vec<(usize, bool, u64, Option<String>)> {
+    /// Per-chain report tuples
+    /// `(chain, recovered, retries, fault, wall_ms)` from
+    /// `chain-report` events, sorted by chain index.
+    pub fn chain_reports(&self) -> Vec<(usize, bool, u64, Option<String>, f64)> {
         let mut out = lock_ignoring_poison(&self.inner).chain_reports.clone();
         out.sort_by_key(|(chain, ..)| *chain);
         out
@@ -190,6 +191,7 @@ impl Recorder for StatsCollector {
                 recovered,
                 retries,
                 fault,
+                wall_ms,
             } => {
                 let mut inner = lock_ignoring_poison(&self.inner);
                 inner.report_retries += retries;
@@ -198,7 +200,7 @@ impl Recorder for StatsCollector {
                 }
                 inner
                     .chain_reports
-                    .push((*chain, *recovered, *retries, fault.clone()));
+                    .push((*chain, *recovered, *retries, fault.clone(), *wall_ms));
             }
             Event::CellEnd { wall_ms, .. } => {
                 self.cell_wall_ms.observe(*wall_ms);
@@ -268,12 +270,14 @@ mod tests {
             recovered: true,
             retries: 2,
             fault: Some("nan-rate".into()),
+            wall_ms: 8.0,
         });
         stats.record(&Event::ChainReport {
             chain: 1,
             recovered: false,
             retries: 0,
             fault: None,
+            wall_ms: 3.5,
         });
         stats.record(&Event::CellFailure {
             prior: "poisson".into(),
@@ -292,7 +296,10 @@ mod tests {
             vec![("nan-rate".to_string(), 2), ("panic".to_string(), 1)]
         );
         assert_eq!(stats.retries_total(), 2);
-        assert_eq!(stats.chain_reports().len(), 2);
+        let reports = stats.chain_reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].4, 8.0);
+        assert_eq!(reports[1].4, 3.5);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use srm_math::accum::RunningMoments;
 use srm_math::logsumexp::StreamingLogSumExp;
 use srm_mcmc::gibbs::{GibbsSampler, SweepRecord};
-use srm_mcmc::runner::{run_chains_observed, McmcConfig, McmcOutput};
+use srm_mcmc::runner::{
+    run_chains_fault_tolerant_traced, run_chains_observed, McmcConfig, McmcOutput, RunOptions,
+};
 use srm_mcmc::SrmError;
 use srm_model::GroupedLikelihood;
 use srm_obs::{Event, Recorder, Span};
@@ -200,6 +202,29 @@ pub fn waic_from_output_traced(
         emit_waic(sampler, waic, draws_in(output), recorder);
     }
     result
+}
+
+/// Runs the chains across the parallel worker pool and computes WAIC
+/// by replaying the merged output.
+///
+/// For a fault-free run this is bit-identical to [`waic_for`] /
+/// [`waic_for_traced`]: the parallel runner merges the same per-chain
+/// draws in chain order, and the replay recomputes each draw's
+/// detection schedule deterministically from its stored `ζ`, feeding
+/// the accumulator in the same order as the streaming observer.
+///
+/// # Errors
+///
+/// Returns the runner's error when every chain is lost, and the
+/// replay errors of [`waic_from_output`].
+pub fn waic_parallel_traced(
+    sampler: &GibbsSampler,
+    config: &McmcConfig,
+    options: &RunOptions,
+    recorder: &dyn Recorder,
+) -> Result<Waic, SrmError> {
+    let run = run_chains_fault_tolerant_traced(sampler, config, options, recorder)?;
+    waic_from_output_traced(sampler, &run.output, recorder)
 }
 
 fn draws_in(output: &McmcOutput) -> usize {
@@ -399,6 +424,37 @@ mod tests {
         // Per-observation loss must be a small positive number of nats.
         let per = w.per_observation();
         assert!((0.2..8.0).contains(&per), "per-obs = {per}");
+    }
+
+    #[test]
+    fn parallel_waic_is_bit_identical_to_streaming() {
+        let data = datasets::musa_cc96().truncated(20).unwrap();
+        let sampler = GibbsSampler::new(
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
+            DetectionModel::Constant,
+            ZetaBounds::default(),
+            &data,
+        );
+        let config = McmcConfig {
+            chains: 3,
+            burn_in: 80,
+            samples: 120,
+            thin: 1,
+            seed: 707,
+        };
+        let serial = waic_for(&sampler, &config);
+        for threads in [1usize, 4] {
+            let parallel = waic_parallel_traced(
+                &sampler,
+                &config,
+                &RunOptions::with_threads(threads),
+                &srm_obs::NOOP,
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
     }
 
     #[test]

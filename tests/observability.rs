@@ -163,6 +163,7 @@ fn jsonl_trace_is_schema_valid_under_fault_injection() {
                 kind: FaultKind::Panic,
             },
         ]),
+        threads: 0,
     };
 
     let trace = SharedBuf::default();
@@ -241,6 +242,7 @@ fn stats_collector_matches_experiment_fault_counters() {
             sweep: 3,
             kind: FaultKind::Panic,
         }]),
+        threads: 0,
     };
 
     let stats = StatsCollector::new();
@@ -299,6 +301,7 @@ fn stats_collector_counts_whole_cell_failures_once() {
             sweep: 2,
             kind: FaultKind::Panic,
         }]),
+        threads: 0,
     };
 
     let stats = StatsCollector::new();

@@ -319,3 +319,97 @@ fn simulator_conserves_bugs() {
         assert_eq!(project.data.len(), horizon);
     }
 }
+
+/// One random (prior, model) sampler pairing for the MCMC properties.
+fn random_sampler(rng: &mut SplitMix64, data: &BugCountData) -> srm::mcmc::GibbsSampler {
+    let prior = if rng.next_below(2) == 0 {
+        srm::mcmc::PriorSpec::Poisson {
+            lambda_max: f64_in(rng, 500.0, 4_000.0),
+        }
+    } else {
+        srm::mcmc::PriorSpec::NegBinomial {
+            alpha_max: f64_in(rng, 20.0, 200.0),
+        }
+    };
+    let model = DetectionModel::ALL[rng.next_below(5) as usize];
+    srm::mcmc::GibbsSampler::new(prior, model, srm::model::ZetaBounds::default(), data)
+}
+
+/// Parallel execution is bit-identical to the serial path for any
+/// seed, prior/model pairing and worker count: chain `i` is a pure
+/// function of `(seed, i)` regardless of scheduling.
+#[test]
+fn parallel_chains_bit_identical_to_serial() {
+    use srm::mcmc::runner::{run_chains, run_chains_fault_tolerant, McmcConfig, RunOptions};
+    let mut rng = SplitMix64::seed_from(0x5EED_000E);
+    // MCMC is orders of magnitude costlier than the closed-form
+    // properties above, so this property draws fewer cases.
+    for _ in 0..6 {
+        let data = BugCountData::new(counts(&mut rng, 10, 30, 6)).unwrap();
+        if data.total() == 0 {
+            continue;
+        }
+        let sampler = random_sampler(&mut rng, &data);
+        let config = McmcConfig {
+            chains: 3,
+            burn_in: 60,
+            samples: 80,
+            thin: 1,
+            seed: rng.next_below(1 << 40),
+        };
+        let serial = run_chains(&sampler, &config);
+        for threads in [1usize, 4] {
+            let run =
+                run_chains_fault_tolerant(&sampler, &config, &RunOptions::with_threads(threads))
+                    .unwrap();
+            assert_eq!(run.output.chains.len(), serial.chains.len());
+            for (ca, cb) in serial.chains.iter().zip(&run.output.chains) {
+                for name in ca.names() {
+                    let da = ca.draws(name).unwrap();
+                    let db = cb.draws(name).unwrap();
+                    assert!(
+                        da.iter().zip(db).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "threads {threads}, param {name}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The sufficient-statistics cache is exact: cached and uncached
+/// sweeps agree to the bit (0 ULP) on random datasets, because the
+/// memoised quantities are recomputed in the identical sequential
+/// accumulation order.
+#[test]
+fn cached_sweeps_bit_identical_to_uncached() {
+    use srm::mcmc::runner::{run_chains, McmcConfig};
+    let mut rng = SplitMix64::seed_from(0x5EED_000F);
+    for _ in 0..6 {
+        let data = BugCountData::new(counts(&mut rng, 10, 30, 6)).unwrap();
+        if data.total() == 0 {
+            continue;
+        }
+        let cached = random_sampler(&mut rng, &data);
+        let uncached = cached.clone().with_cached_stats(false);
+        let config = McmcConfig {
+            chains: 2,
+            burn_in: 60,
+            samples: 80,
+            thin: 1,
+            seed: rng.next_below(1 << 40),
+        };
+        let a = run_chains(&cached, &config);
+        let b = run_chains(&uncached, &config);
+        for (ca, cb) in a.chains.iter().zip(&b.chains) {
+            for name in ca.names() {
+                let da = ca.draws(name).unwrap();
+                let db = cb.draws(name).unwrap();
+                assert!(
+                    da.iter().zip(db).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "param {name}"
+                );
+            }
+        }
+    }
+}
