@@ -34,6 +34,7 @@ pub mod experiment;
 pub mod fit;
 pub mod multidata;
 pub mod ppc;
+pub mod predict;
 pub mod tuning;
 
 pub use experiment::{
@@ -42,4 +43,5 @@ pub use experiment::{
 pub use fit::{FaultTolerantFit, Fit, FitConfig};
 pub use multidata::{compare_across_datasets, MultiDatasetResults};
 pub use ppc::{posterior_predictive_check, PpcResult};
+pub use predict::{predict_from_fit, Prediction};
 pub use tuning::{tuned_fit, tuned_fit_traced, TunedFit};

@@ -10,6 +10,7 @@ use srm_obs::RunManifest;
 
 const FLAGS: &[&str] = &[
     "data",
+    "dataset",
     "model",
     "prior",
     "chains",

@@ -3,8 +3,10 @@
 pub mod fit;
 pub mod predict;
 pub mod select;
+pub mod serve;
 pub mod simulate;
 pub mod trend;
+pub mod version;
 
 use crate::args::{ArgError, Args};
 use srm_data::BugCountData;
@@ -26,10 +28,15 @@ COMMANDS:
     predict   Reliability and expected detections over a future horizon
     trend     Laplace trend test and dataset summary
     simulate  Generate synthetic bug-count data (CSV on stdout)
+    serve     Long-running HTTP estimation service (job queue + fit cache)
+    version   Print crate and schema versions
     help      Show this message
 
 COMMON FLAGS:
     --data <file.csv>       day,count input data (fit/select/predict/trend)
+    --dataset <name>        bundled dataset instead of --data
+                            (musa_cc96, decaying_growth_60, s_shaped_80,
+                             short_campaign_25, plateau_100, late_surge_50)
     --model model0..model4  detection model        [default: model1]
     --prior poisson|negbinom                        [default: poisson]
     --chains N --samples N --burn-in N --thin N --seed N
@@ -47,20 +54,55 @@ OBSERVABILITY (fit/select/trend):
     --progress                 throttled per-chain progress lines on stderr
     --verbosity 0|1|2          progress detail                  [default: 1]
 
+SERVING (srm serve):
+    --addr <ip:port>        bind address            [default: 127.0.0.1:8377]
+                            (port 0 picks an ephemeral port)
+    --workers N             job worker threads                  [default: 2]
+    --queue-capacity N      bounded queue; overflow gets 429    [default: 16]
+    --trace-dir <dir>       per-job JSONL traces and run manifests
+    --port-file <file>      write the bound port here (for scripts)
+    --retry-after N         Retry-After seconds on 429          [default: 1]
+
 EXAMPLES:
     srm fit --data counts.csv --model model1 --prior poisson
     srm fit --data counts.csv --trace-out run.jsonl --metrics-out run.json
     srm simulate --bugs 200 --days 60 --p 0.05 --seed 1 > synth.csv
+    srm serve --addr 127.0.0.1:0 --port-file srm.port --trace-dir runs/
 "
     .to_owned()
 }
 
-/// Loads the `--data` CSV.
+/// Loads input data: `--data <file.csv>` or `--dataset <name>` (one of
+/// the bundled named datasets). Exactly one must be given.
 pub(crate) fn load_data(args: &Args) -> Result<BugCountData, ArgError> {
-    let path = args.require("data")?;
-    let file =
-        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot open `{path}`: {e}")))?;
-    srm_data::csv::read_counts(file).map_err(|e| ArgError(format!("bad data in `{path}`: {e}")))
+    match (args.get("data"), args.get("dataset")) {
+        (Some(_), Some(_)) => Err(ArgError(
+            "`--data` and `--dataset` are mutually exclusive".into(),
+        )),
+        (Some(path), None) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| ArgError(format!("cannot open `{path}`: {e}")))?;
+            srm_data::csv::read_counts(file)
+                .map_err(|e| ArgError(format!("bad data in `{path}`: {e}")))
+        }
+        (None, Some(name)) => srm_data::datasets::all_named()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| d)
+            .ok_or_else(|| {
+                let names: Vec<&str> = srm_data::datasets::all_named()
+                    .into_iter()
+                    .map(|(n, _)| n)
+                    .collect();
+                ArgError(format!(
+                    "unknown dataset `{name}` (one of: {})",
+                    names.join(", ")
+                ))
+            }),
+        (None, None) => Err(ArgError(
+            "missing required flag `--data` (or `--dataset <name>`)".into(),
+        )),
+    }
 }
 
 /// Parses `--model`.

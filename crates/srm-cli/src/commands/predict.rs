@@ -3,14 +3,11 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::{load_data, parse_mcmc, parse_model, parse_prior};
-use srm_core::{Fit, FitConfig};
-use srm_mcmc::gibbs::PriorSpec;
-use srm_model::predictive::expected_future_detections;
-use srm_model::reliability::reliability_curve;
-use srm_model::{nb_posterior, poisson_posterior};
+use srm_core::{predict_from_fit, Fit, FitConfig};
 
 const FLAGS: &[&str] = &[
     "data",
+    "dataset",
     "model",
     "prior",
     "horizon",
@@ -49,29 +46,10 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         },
     );
 
-    // Plug-in analytic posterior at the posterior-mean parameters.
-    let mean_of = |name: &str| -> f64 {
-        let d = fit.output.pooled(name);
-        d.iter().sum::<f64>() / d.len() as f64
-    };
-    let zeta: Vec<f64> = model.param_names().iter().map(|n| mean_of(n)).collect();
-    let schedule = model
-        .probs(&zeta, data.len())
-        .map_err(|e| ArgError(format!("fitted parameters invalid: {e}")))?;
-    let posterior = match prior {
-        PriorSpec::Poisson { .. } => poisson_posterior(mean_of("lambda0"), &schedule, &data),
-        PriorSpec::NegBinomial { .. } => nb_posterior(
-            mean_of("alpha0").max(1e-9),
-            mean_of("beta0").clamp(1e-9, 1.0 - 1e-9),
-            &schedule,
-            &data,
-        ),
-    };
-    let future: Vec<f64> = ((data.len() + 1) as u64..=(data.len() + horizon) as u64)
-        .map(|i| model.prob_unchecked(&zeta, i))
-        .collect();
-    let curve = reliability_curve(&posterior, &future, horizon);
-    let expected = expected_future_detections(&posterior, &future, horizon);
+    let prediction = predict_from_fit(&fit, &data, horizon)
+        .map_err(|e| ArgError(format!("prediction failed: {e}")))?;
+    let curve = &prediction.reliability;
+    let expected = prediction.expected_detections;
 
     let mut out = String::new();
     out.push_str(&format!(

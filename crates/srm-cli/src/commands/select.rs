@@ -12,6 +12,7 @@ use srm_select::waic::waic_parallel_traced;
 
 const FLAGS: &[&str] = &[
     "data",
+    "dataset",
     "prior",
     "chains",
     "samples",

@@ -1,0 +1,136 @@
+//! `srm serve` — run the long-lived estimation service.
+//!
+//! Binds the srm-serve HTTP server, writes the chosen port to
+//! `--port-file` (so scripts can bind port 0 and discover the real
+//! port), and blocks until SIGTERM/SIGINT. Shutdown is graceful: the
+//! listener stops, every accepted job finishes, then the drain
+//! summary is printed.
+
+use crate::args::{ArgError, Args};
+use srm_serve::{signal, Server, ServerConfig, ServerState};
+
+const FLAGS: &[&str] = &[
+    "addr",
+    "workers",
+    "queue-capacity",
+    "trace-dir",
+    "port-file",
+    "retry-after",
+];
+
+/// Runs the subcommand. Blocks until a termination signal arrives.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] on bad flags or when the listener cannot
+/// bind.
+pub fn run(raw: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(raw, FLAGS, &[])?;
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8377").to_owned(),
+        workers: args.get_parsed("workers", 2usize)?.max(1),
+        queue_capacity: args.get_parsed("queue-capacity", 16usize)?,
+        trace_dir: args.get("trace-dir").map(str::to_owned),
+        retry_after_secs: args.get_parsed("retry-after", 1u64)?,
+        watch_signals: true,
+        gate: None,
+    };
+    serve(config, args.get("port-file"))
+}
+
+/// Starts the server and blocks until the process-wide signal flag
+/// raises; split from [`run`] so tests can drive it with an ephemeral
+/// port and a programmatic shutdown.
+pub(crate) fn serve(config: ServerConfig, port_file: Option<&str>) -> Result<String, ArgError> {
+    // Clear any stale flag first: a handler is not installed yet, so
+    // a real signal in this window still takes the default action.
+    signal::reset();
+    signal::install_handlers();
+    let server =
+        Server::start(config).map_err(|e| ArgError(format!("cannot start server: {e}")))?;
+    let addr = server.addr();
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{}\n", addr.port()))
+            .map_err(|e| ArgError(format!("cannot write port file `{path}`: {e}")))?;
+    }
+    eprintln!("srm serve: listening on http://{addr} (SIGTERM/SIGINT to drain)");
+    let state = server.join();
+    Ok(summary(&state))
+}
+
+fn summary(state: &ServerState) -> String {
+    let (queued, running, done, failed, cancelled) = state.store.counts();
+    format!(
+        "srm serve: drained and stopped\n\
+         jobs      : {done} done, {failed} failed, {cancelled} cancelled, \
+         {queued} queued, {running} running\n\
+         cache     : {} hits, {} misses, {} entries\n\
+         rejected  : {} (queue full)\n",
+        state.cache.hits(),
+        state.cache.misses(),
+        state.cache.len(),
+        state.metrics.jobs_rejected.get(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn serves_until_signalled_and_prints_drain_summary() {
+        let port_file = std::env::temp_dir().join(format!("srm_serve_port_{}", std::process::id()));
+        let port_path = port_file.to_str().unwrap().to_owned();
+        let handle = std::thread::spawn(move || {
+            serve(
+                ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    watch_signals: true,
+                    ..ServerConfig::default()
+                },
+                Some(&port_path),
+            )
+        });
+
+        // Discover the ephemeral port the way scripts do.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let port: u16 = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(port) = text.trim().parse() {
+                    break port;
+                }
+            }
+            assert!(Instant::now() < deadline, "port file never appeared");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: srm\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("crate_version"), "{response}");
+
+        // A raised signal flag is exactly what SIGTERM would leave.
+        signal::request();
+        let out = handle.join().unwrap().unwrap();
+        signal::reset();
+        assert!(out.contains("drained and stopped"), "{out}");
+        assert!(out.contains("cache"), "{out}");
+        let _ = std::fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let raw: Vec<String> = ["serve", "--bogus", "1"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert!(run(&raw).is_err());
+    }
+}

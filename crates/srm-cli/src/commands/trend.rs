@@ -7,7 +7,7 @@ use srm_data::analysis::{laplace_trend, running_laplace_trend, summarize, TrendV
 use srm_obs::{RunManifest, Span};
 use srm_report::ascii::{bar_chart, line_chart};
 
-const FLAGS: &[&str] = &["data"];
+const FLAGS: &[&str] = &["data", "dataset"];
 const SWITCHES: &[&str] = &["chart"];
 
 /// Runs the subcommand.

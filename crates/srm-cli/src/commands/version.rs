@@ -1,0 +1,51 @@
+//! `srm version` — build and schema versions.
+//!
+//! The same three numbers appear in the `/healthz` build block and in
+//! every run manifest (see [`srm_obs::build_info_value`]), so any
+//! artifact can be matched to the binary that produced it.
+
+use crate::args::{ArgError, Args};
+use srm_obs::{EVENT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION};
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] on stray flags (the command takes none).
+pub fn run(raw: &[String]) -> Result<String, ArgError> {
+    let _ = Args::parse(raw, &[], &[])?;
+    Ok(format!(
+        "srm {}\nmanifest schema: {MANIFEST_SCHEMA_VERSION}\nevent schema: {EVENT_SCHEMA_VERSION}\n",
+        env!("CARGO_PKG_VERSION"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn prints_crate_and_schema_versions() {
+        let out = run(&raw(&["version"])).unwrap();
+        assert!(out.starts_with(&format!("srm {}\n", env!("CARGO_PKG_VERSION"))));
+        assert!(out.contains(&format!("manifest schema: {MANIFEST_SCHEMA_VERSION}")));
+        assert!(out.contains(&format!("event schema: {EVENT_SCHEMA_VERSION}")));
+    }
+
+    #[test]
+    fn matches_the_shared_build_info_block() {
+        let out = run(&raw(&["version"])).unwrap();
+        let build = srm_obs::build_info_value();
+        let version = build.get("crate_version").unwrap().as_str().unwrap();
+        assert!(out.contains(version));
+    }
+
+    #[test]
+    fn rejects_flags() {
+        assert!(run(&raw(&["version", "--data", "x.csv"])).is_err());
+    }
+}

@@ -10,6 +10,8 @@
 //! srm predict  --data counts.csv --model model1 --horizon 30
 //! srm trend    --data counts.csv
 //! srm simulate --bugs 200 --days 60 --p 0.05 --seed 1
+//! srm serve    --addr 127.0.0.1:0 --port-file srm.port
+//! srm version
 //! ```
 //!
 //! Everything is implemented as library functions returning strings,
@@ -56,6 +58,8 @@ fn dispatch(raw: &[String]) -> Result<String, ArgError> {
         "predict" => commands::predict::run(raw),
         "trend" => commands::trend::run(raw),
         "simulate" => commands::simulate::run(raw),
+        "serve" => commands::serve::run(raw),
+        "version" | "--version" | "-V" => commands::version::run(raw),
         "help" | "--help" | "-h" | "" => Ok(commands::help_text()),
         other => Err(ArgError(format!(
             "unknown command `{other}` (try `srm help`)"

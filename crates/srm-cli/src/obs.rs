@@ -17,8 +17,7 @@ use std::sync::Arc;
 use crate::args::{ArgError, Args};
 use srm_data::BugCountData;
 use srm_obs::{
-    dataset_hash, Event, JsonlSink, ManifestChain, ProgressSink, Recorder, RunManifest,
-    StatsCollector, Tee,
+    dataset_hash, Event, JsonlSink, ProgressSink, Recorder, RunManifest, StatsCollector, Tee,
 };
 
 /// Flags every instrumented subcommand accepts.
@@ -170,40 +169,7 @@ impl Observability {
         let Some(path) = &self.metrics_out else {
             return Ok(());
         };
-        let stats = &self.stats;
-        manifest.phases = stats.phase_ms();
-        let sampling_ms = stats.phase_total_ms("sampling");
-        manifest.draws_per_sec = if sampling_ms > 0.0 {
-            kept_draws as f64 / (sampling_ms / 1_000.0)
-        } else {
-            0.0
-        };
-        let accept = stats.chain_accept();
-        manifest.chain_reports = stats
-            .chain_reports()
-            .into_iter()
-            .map(
-                |(chain, recovered, retries, fault, wall_ms)| ManifestChain {
-                    chain,
-                    recovered,
-                    retries,
-                    fault,
-                    wall_ms,
-                    accept: accept
-                        .iter()
-                        .find(|(c, _)| *c == chain)
-                        .map(|(_, a)| a.clone())
-                        .unwrap_or_default(),
-                },
-            )
-            .collect();
-        manifest.fault_counters = stats.fault_counters();
-        manifest.retries_total = stats.retries_total();
-        manifest.faults_injected = stats.faults_injected();
-        manifest.diagnostics = stats.diagnostics();
-        if manifest.waic.is_none() {
-            manifest.waic = stats.waic().map(|(_, total, _)| total);
-        }
+        manifest.fill_from_stats(&self.stats, kept_draws);
         manifest
             .write(path)
             .map_err(|e| ArgError(format!("cannot write manifest `{path}`: {e}")))

@@ -192,4 +192,62 @@ mod tests {
         let err = read_counts("1,2\nday,count\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("invalid day"));
     }
+
+    #[test]
+    fn rejects_completely_empty_file() {
+        let err = read_counts("".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Empty));
+    }
+
+    #[test]
+    fn rejects_comment_only_file() {
+        let err = read_counts("# nothing here\n\n# still nothing\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Empty));
+    }
+
+    #[test]
+    fn rejects_out_of_order_days() {
+        // Days running backwards mean the cumulative series would not
+        // be monotone — a typed error, never a silent re-sort.
+        let err = read_counts("1,2\n3,1\n2,4\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("expected day 2"));
+    }
+
+    #[test]
+    fn rejects_duplicate_day() {
+        let err = read_counts("1,2\n1,3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_day_zero_start() {
+        let err = read_counts("0,2\n1,3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected day 1, found 0"));
+    }
+
+    #[test]
+    fn rejects_negative_day_past_header() {
+        let err = read_counts("1,2\n-2,3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid day"));
+    }
+
+    #[test]
+    fn rejects_count_overflow() {
+        // One digit past u64::MAX must be a parse error, not a wrap.
+        let err = read_counts("1,184467440737095516160\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("invalid count"));
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let data = read_counts("day,count\r\n1,4\r\n2,0\r\n".as_bytes()).unwrap();
+        assert_eq!(data.counts(), &[4, 0]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers_through_display() {
+        let err = read_counts("day,count\n1,4\n2,oops\n".as_bytes()).unwrap_err();
+        assert_eq!(err.to_string(), "line 3: invalid count `oops`");
+    }
 }

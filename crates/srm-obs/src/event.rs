@@ -10,6 +10,12 @@
 
 use crate::json::Value;
 
+/// Version of the event taxonomy below. Bumped whenever a kind is
+/// added, removed, or changes its required fields, so trace consumers
+/// can detect schema drift. Version 1 was the PR 2 taxonomy; version 2
+/// adds the `srm-serve` job lifecycle and cache events.
+pub const EVENT_SCHEMA_VERSION: u64 = 2;
+
 /// Per-parameter accept statistics carried by [`Event::ChainDone`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AcceptStat {
@@ -225,6 +231,39 @@ pub enum Event {
         /// The diagnostic message.
         message: String,
     },
+    /// A service job left the queue and began executing (or was
+    /// answered directly from the fit cache).
+    JobStart {
+        /// Server-assigned job id.
+        job_id: String,
+        /// Job kind (`fit`, `select`, `predict`).
+        kind: String,
+        /// Content-addressed cache key of the job.
+        cache_key: String,
+    },
+    /// A service job reached a terminal state.
+    JobDone {
+        /// Server-assigned job id.
+        job_id: String,
+        /// Terminal status (`done`, `failed`, `cancelled`).
+        status: String,
+        /// Whether the result was served from the fit cache.
+        cached: bool,
+        /// Wall-clock time from submission to the terminal state, ms.
+        wall_ms: f64,
+    },
+    /// A job's cache key was found in the fit cache — the stored
+    /// result is returned verbatim and no sampling happens.
+    CacheHit {
+        /// Content-addressed cache key that matched.
+        cache_key: String,
+    },
+    /// A job's cache key was absent from the fit cache — the job runs
+    /// the full pipeline and its result is stored under this key.
+    CacheMiss {
+        /// Content-addressed cache key that missed.
+        cache_key: String,
+    },
 }
 
 /// Every `kind()` label, for schema validation.
@@ -248,6 +287,10 @@ pub const EVENT_KINDS: &[&str] = &[
     "waic",
     "diagnostic",
     "cli-diagnostic",
+    "job-start",
+    "job-done",
+    "cache-hit",
+    "cache-miss",
 ];
 
 impl Event {
@@ -273,6 +316,10 @@ impl Event {
             Event::Waic { .. } => "waic",
             Event::Diagnostic { .. } => "diagnostic",
             Event::CliDiagnostic { .. } => "cli-diagnostic",
+            Event::JobStart { .. } => "job-start",
+            Event::JobDone { .. } => "job-done",
+            Event::CacheHit { .. } => "cache-hit",
+            Event::CacheMiss { .. } => "cache-miss",
         }
     }
 
@@ -477,6 +524,32 @@ impl Event {
                 push("level", Value::Str(level.to_string()));
                 push("message", Value::Str(message.clone()));
             }
+            Event::JobStart {
+                job_id,
+                kind,
+                cache_key,
+            } => {
+                push("job_id", Value::Str(job_id.clone()));
+                push("kind", Value::Str(kind.clone()));
+                push("cache_key", Value::Str(cache_key.clone()));
+            }
+            Event::JobDone {
+                job_id,
+                status,
+                cached,
+                wall_ms,
+            } => {
+                push("job_id", Value::Str(job_id.clone()));
+                push("status", Value::Str(status.clone()));
+                push("cached", Value::Bool(*cached));
+                push("wall_ms", Value::Num(*wall_ms));
+            }
+            Event::CacheHit { cache_key } => {
+                push("cache_key", Value::Str(cache_key.clone()));
+            }
+            Event::CacheMiss { cache_key } => {
+                push("cache_key", Value::Str(cache_key.clone()));
+            }
         }
         Value::Obj(pairs)
     }
@@ -505,6 +578,10 @@ pub fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
         "waic" => &["model", "total", "p_waic", "draws"],
         "diagnostic" => &["parameter", "psrf", "geweke_z", "ess"],
         "cli-diagnostic" => &["level", "message"],
+        "job-start" => &["job_id", "kind", "cache_key"],
+        "job-done" => &["job_id", "status", "cached", "wall_ms"],
+        "cache-hit" => &["cache_key"],
+        "cache-miss" => &["cache_key"],
         _ => return None,
     })
 }
@@ -617,6 +694,23 @@ mod tests {
             Event::CliDiagnostic {
                 level: "error",
                 message: "unknown flag".into(),
+            },
+            Event::JobStart {
+                job_id: "j1".into(),
+                kind: "fit".into(),
+                cache_key: "0123456789abcdef".into(),
+            },
+            Event::JobDone {
+                job_id: "j1".into(),
+                status: "done".into(),
+                cached: false,
+                wall_ms: 80.5,
+            },
+            Event::CacheHit {
+                cache_key: "0123456789abcdef".into(),
+            },
+            Event::CacheMiss {
+                cache_key: "0123456789abcdef".into(),
             },
         ];
         assert_eq!(samples.len(), EVENT_KINDS.len());

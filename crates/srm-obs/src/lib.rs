@@ -37,8 +37,10 @@ pub mod recorder;
 pub mod sinks;
 pub mod stats;
 
-pub use event::{required_fields, AcceptStat, Event, EVENT_KINDS};
-pub use manifest::{dataset_hash, fnv1a_hex, ManifestChain, RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use event::{required_fields, AcceptStat, Event, EVENT_KINDS, EVENT_SCHEMA_VERSION};
+pub use manifest::{
+    build_info_value, dataset_hash, fnv1a_hex, ManifestChain, RunManifest, MANIFEST_SCHEMA_VERSION,
+};
 pub use recorder::{Counter, FixedHistogram, NoopRecorder, Recorder, Span, Tee, NOOP};
 pub use sinks::{JsonlSink, ProgressSink};
 pub use stats::{DiagnosticStat, StatsCollector};

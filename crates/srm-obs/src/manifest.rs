@@ -8,12 +8,34 @@
 
 use std::io;
 
-use crate::event::AcceptStat;
+use crate::event::{AcceptStat, EVENT_SCHEMA_VERSION};
 use crate::json::Value;
-use crate::stats::DiagnosticStat;
+use crate::stats::{DiagnosticStat, StatsCollector};
 
 /// Manifest schema version written to every document.
 pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// The build-info block shared by `srm version`, the `/healthz`
+/// endpoint, and every run manifest: crate version plus the two
+/// document schema versions, so any artifact can be traced back to
+/// the code and schemas that produced it. (All workspace crates share
+/// one version, so this crate's own version identifies the build.)
+pub fn build_info_value() -> Value {
+    Value::obj(vec![
+        (
+            "crate_version",
+            Value::Str(env!("CARGO_PKG_VERSION").into()),
+        ),
+        (
+            "manifest_schema_version",
+            Value::Num(MANIFEST_SCHEMA_VERSION as f64),
+        ),
+        (
+            "event_schema_version",
+            Value::Num(EVENT_SCHEMA_VERSION as f64),
+        ),
+    ])
+}
 
 /// FNV-1a (64-bit) over a byte slice, hex-encoded — the dataset
 /// fingerprint recorded in manifests and `run-start` events.
@@ -96,10 +118,53 @@ pub struct RunManifest {
 }
 
 impl RunManifest {
+    /// Fills the stats-derived fields (per-phase wall time,
+    /// throughput, per-chain reports, fault/retry counters,
+    /// diagnostics, and the WAIC fallback) from an aggregating
+    /// collector. `kept_draws` is the total number of posterior draws
+    /// the run kept, for the draws/sec figure. Identity fields
+    /// (command, model, seed, …) are left untouched.
+    pub fn fill_from_stats(&mut self, stats: &StatsCollector, kept_draws: u64) {
+        self.phases = stats.phase_ms();
+        let sampling_ms = stats.phase_total_ms("sampling");
+        self.draws_per_sec = if sampling_ms > 0.0 {
+            kept_draws as f64 / (sampling_ms / 1_000.0)
+        } else {
+            0.0
+        };
+        let accept = stats.chain_accept();
+        self.chain_reports = stats
+            .chain_reports()
+            .into_iter()
+            .map(
+                |(chain, recovered, retries, fault, wall_ms)| ManifestChain {
+                    chain,
+                    recovered,
+                    retries,
+                    fault,
+                    wall_ms,
+                    accept: accept
+                        .iter()
+                        .find(|(c, _)| *c == chain)
+                        .map(|(_, a)| a.clone())
+                        .unwrap_or_default(),
+                },
+            )
+            .collect();
+        self.fault_counters = stats.fault_counters();
+        self.retries_total = stats.retries_total();
+        self.faults_injected = stats.faults_injected();
+        self.diagnostics = stats.diagnostics();
+        if self.waic.is_none() {
+            self.waic = stats.waic().map(|(_, total, _)| total);
+        }
+    }
+
     /// Serialises the manifest to its JSON document model.
     pub fn to_value(&self) -> Value {
         Value::obj(vec![
             ("schema_version", Value::Num(MANIFEST_SCHEMA_VERSION as f64)),
+            ("build", build_info_value()),
             ("command", Value::Str(self.command.clone())),
             ("model", Value::Str(self.model.clone())),
             ("prior", Value::Str(self.prior.clone())),
@@ -270,6 +335,19 @@ mod tests {
         };
         let doc = parse(&manifest.to_value().to_json_pretty()).unwrap();
         assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(1.0));
+        let build = doc.get("build").unwrap();
+        assert_eq!(
+            build.get("crate_version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            build.get("manifest_schema_version").unwrap().as_f64(),
+            Some(MANIFEST_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            build.get("event_schema_version").unwrap().as_f64(),
+            Some(EVENT_SCHEMA_VERSION as f64)
+        );
         assert_eq!(doc.get("seed").unwrap().as_f64(), Some(42.0));
         assert_eq!(
             doc.get("mcmc").unwrap().get("chains").unwrap().as_f64(),

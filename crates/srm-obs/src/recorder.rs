@@ -231,8 +231,15 @@ impl FixedHistogram {
         if n == 0 {
             0.0
         } else {
-            self.sum_millis.load(Ordering::Relaxed) as f64 / 1e3 / n as f64
+            self.sum() / n as f64
         }
+    }
+
+    /// Sum of the recorded observations (thousandth-resolution, as
+    /// tracked internally) — the `_sum` series of a Prometheus
+    /// histogram exposition.
+    pub fn sum(&self) -> f64 {
+        self.sum_millis.load(Ordering::Relaxed) as f64 / 1e3
     }
 
     /// Snapshot of `(upper_bound, count)` pairs; the final entry uses

@@ -1,0 +1,104 @@
+//! The content-addressed fit cache.
+//!
+//! Results are keyed by [`crate::job::JobSpec::cache_key`] — an
+//! FNV-1a digest over everything that determines the posterior
+//! bit-for-bit: dataset hash, model, prior (family and limits), MCMC
+//! shape, seed, and the kind-specific knobs (horizon, θ_max). Worker
+//! thread count is deliberately *excluded*: the engine produces
+//! bit-identical draws for any thread count, so one entry serves all
+//! parallelism levels. A hit returns the stored result document
+//! unchanged, so repeated identical jobs are served without
+//! re-sampling.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use srm_obs::json::Value;
+use srm_obs::Counter;
+
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An in-memory result cache with hit/miss counters.
+#[derive(Debug, Default)]
+pub struct FitCache {
+    entries: Mutex<HashMap<String, Value>>,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl FitCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a result, recording a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<Value> {
+        let found = lock_ignoring_poison(&self.entries).get(key).cloned();
+        if found.is_some() {
+            self.hits.incr();
+        } else {
+            self.misses.incr();
+        }
+        found
+    }
+
+    /// Stores a completed job's result under its cache key.
+    pub fn insert(&self, key: &str, result: Value) {
+        lock_ignoring_poison(&self.entries).insert(key.to_owned(), result);
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Number of stored results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock_ignoring_poison(&self.entries).len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = FitCache::new();
+        assert!(cache.lookup("k").is_none());
+        cache.insert("k", Value::Num(1.0));
+        assert_eq!(cache.lookup("k"), Some(Value::Num(1.0)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let cache = FitCache::new();
+        cache.insert("k", Value::Num(1.0));
+        cache.insert("k", Value::Num(2.0));
+        assert_eq!(cache.lookup("k"), Some(Value::Num(2.0)));
+        assert_eq!(cache.len(), 1);
+    }
+}

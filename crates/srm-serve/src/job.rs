@@ -1,0 +1,534 @@
+//! Job specifications, lifecycle states, and the in-memory job store.
+//!
+//! A job is one estimation request — `fit`, `select`, or `predict` —
+//! parsed from the `POST /v1/jobs` JSON body into a [`JobSpec`]. The
+//! spec's [`cache_key`](JobSpec::cache_key) is the content address
+//! used by the fit cache: FNV-1a over every field that determines the
+//! posterior bit-for-bit (dataset hash, model, prior family + limits,
+//! MCMC shape, seed, horizon/θ_max), and nothing that does not
+//! (thread count, timeout).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use srm_data::BugCountData;
+use srm_mcmc::gibbs::PriorSpec;
+use srm_mcmc::runner::McmcConfig;
+use srm_model::DetectionModel;
+use srm_obs::json::Value;
+use srm_obs::{dataset_hash, fnv1a_hex};
+
+/// What a job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One model/prior fit with posterior summary and WAIC.
+    Fit,
+    /// WAIC comparison across all five detection models.
+    Select,
+    /// Reliability and expected detections over a future horizon.
+    Predict,
+}
+
+impl JobKind {
+    /// The wire label (`fit` / `select` / `predict`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Fit => "fit",
+            Self::Select => "select",
+            Self::Predict => "predict",
+        }
+    }
+
+    fn parse(label: &str) -> Option<Self> {
+        match label {
+            "fit" => Some(Self::Fit),
+            "select" => Some(Self::Select),
+            "predict" => Some(Self::Predict),
+            _ => None,
+        }
+    }
+}
+
+/// A fully validated job request.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// What to compute.
+    pub kind: JobKind,
+    /// Where the data came from (`dataset` name or `inline`).
+    pub dataset_label: String,
+    /// The bug-count data to fit.
+    pub data: BugCountData,
+    /// Detection model (ignored by `select`, which sweeps all five).
+    pub model: DetectionModel,
+    /// Prior on the initial bug content.
+    pub prior: PriorSpec,
+    /// MCMC run lengths and seed.
+    pub mcmc: McmcConfig,
+    /// Worker threads for parallel chains (0 = auto). Not part of the
+    /// cache key: any value yields bit-identical results.
+    pub threads: usize,
+    /// Prediction horizon in days (`predict` only).
+    pub horizon: usize,
+    /// ζ-bound for `select` (mirrors the CLI's `--theta-max`).
+    pub theta_max: f64,
+    /// Cooperative timeout; checked at phase boundaries, not
+    /// mid-sampling.
+    pub timeout_ms: Option<u64>,
+}
+
+fn num_field(body: &Value, name: &str) -> Result<Option<f64>, String> {
+    match body.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(format!("field `{name}` must be a number")),
+    }
+}
+
+fn usize_field(body: &Value, name: &str, default: usize) -> Result<usize, String> {
+    match num_field(body, name)? {
+        None => Ok(default),
+        Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => Ok(n as usize),
+        Some(n) => Err(format!(
+            "field `{name}` must be a non-negative integer, got {n}"
+        )),
+    }
+}
+
+impl JobSpec {
+    /// Parses and validates a `POST /v1/jobs` body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message on a missing/unknown `kind`,
+    /// missing or malformed data, unknown model/prior, or run lengths
+    /// the sampler cannot execute.
+    pub fn from_json(body: &Value) -> Result<Self, String> {
+        let kind_label = body
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("missing field `kind` (fit|select|predict)")?;
+        let kind = JobKind::parse(kind_label)
+            .ok_or_else(|| format!("unknown kind `{kind_label}` (fit|select|predict)"))?;
+
+        let (dataset_label, data) = parse_data(body)?;
+
+        let model_name = body
+            .get("model")
+            .and_then(Value::as_str)
+            .unwrap_or("model1");
+        let model = DetectionModel::ALL
+            .into_iter()
+            .find(|m| m.name() == model_name)
+            .ok_or_else(|| format!("unknown model `{model_name}` (model0..model4)"))?;
+
+        let prior = match body
+            .get("prior")
+            .and_then(Value::as_str)
+            .unwrap_or("poisson")
+        {
+            "poisson" => PriorSpec::Poisson {
+                lambda_max: num_field(body, "lambda_max")?.unwrap_or(2_000.0),
+            },
+            "negbinom" => PriorSpec::NegBinomial {
+                alpha_max: num_field(body, "alpha_max")?.unwrap_or(100.0),
+            },
+            other => return Err(format!("unknown prior `{other}` (poisson|negbinom)")),
+        };
+
+        let mcmc = McmcConfig {
+            chains: usize_field(body, "chains", 4)?,
+            burn_in: usize_field(body, "burn_in", 1_000)?,
+            samples: usize_field(body, "samples", 4_000)?,
+            thin: usize_field(body, "thin", 1)?,
+            seed: usize_field(body, "seed", 2_024)? as u64,
+        };
+        for (name, value) in [
+            ("chains", mcmc.chains),
+            ("samples", mcmc.samples),
+            ("thin", mcmc.thin),
+        ] {
+            if value == 0 {
+                return Err(format!("field `{name}` must be at least 1"));
+            }
+        }
+
+        let horizon = usize_field(body, "horizon", 30)?;
+        if kind == JobKind::Predict && horizon == 0 {
+            return Err("field `horizon` must be at least 1".into());
+        }
+        let theta_max = num_field(body, "theta_max")?.unwrap_or(10.0);
+        let timeout_ms = match usize_field(body, "timeout_ms", 0)? {
+            0 => None,
+            ms => Some(ms as u64),
+        };
+
+        Ok(Self {
+            kind,
+            dataset_label,
+            data,
+            model,
+            prior,
+            mcmc,
+            threads: usize_field(body, "threads", 0)?,
+            horizon,
+            theta_max,
+            timeout_ms,
+        })
+    }
+
+    /// The content address of this job's result: an FNV-1a digest of
+    /// every input that determines the posterior bit-for-bit. Thread
+    /// count and timeout are excluded on purpose — neither changes a
+    /// single bit of the output.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        let prior_part = match self.prior {
+            PriorSpec::Poisson { lambda_max } => format!("poisson:{lambda_max}"),
+            PriorSpec::NegBinomial { alpha_max } => format!("negbinom:{alpha_max}"),
+        };
+        let mut canonical = format!(
+            "kind={};data={};model={};prior={};chains={};burn_in={};samples={};thin={};seed={}",
+            self.kind.label(),
+            dataset_hash(self.data.counts()),
+            self.model.name(),
+            prior_part,
+            self.mcmc.chains,
+            self.mcmc.burn_in,
+            self.mcmc.samples,
+            self.mcmc.thin,
+            self.mcmc.seed,
+        );
+        match self.kind {
+            JobKind::Fit => {}
+            JobKind::Select => canonical.push_str(&format!(";theta_max={}", self.theta_max)),
+            JobKind::Predict => canonical.push_str(&format!(";horizon={}", self.horizon)),
+        }
+        fnv1a_hex(canonical.as_bytes())
+    }
+}
+
+fn parse_data(body: &Value) -> Result<(String, BugCountData), String> {
+    match (body.get("dataset"), body.get("counts")) {
+        (Some(_), Some(_)) => Err("`dataset` and `counts` are mutually exclusive".into()),
+        (Some(name), None) => {
+            let name = name
+                .as_str()
+                .ok_or("field `dataset` must be a string")?
+                .to_owned();
+            let data = srm_data::datasets::all_named()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, d)| d)
+                .ok_or_else(|| {
+                    let names: Vec<&str> = srm_data::datasets::all_named()
+                        .into_iter()
+                        .map(|(n, _)| n)
+                        .collect();
+                    format!("unknown dataset `{name}` (one of: {})", names.join(", "))
+                })?;
+            let data = match usize_field(body, "truncate", 0)? {
+                0 => data,
+                day => data
+                    .truncated(day)
+                    .map_err(|e| format!("bad `truncate`: {e}"))?,
+            };
+            Ok((name, data))
+        }
+        (None, Some(counts)) => {
+            let items = counts.as_arr().ok_or("field `counts` must be an array")?;
+            let mut daily = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_f64() {
+                    Some(n) if n >= 0.0 && n.fract() == 0.0 => daily.push(n as u64),
+                    _ => return Err("`counts` entries must be non-negative integers".into()),
+                }
+            }
+            let data = BugCountData::new(daily).map_err(|e| format!("bad `counts`: {e}"))?;
+            Ok(("inline".into(), data))
+        }
+        (None, None) => Err("missing data: provide `dataset` (a named dataset) or `counts`".into()),
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Being computed.
+    Running,
+    /// Finished; result available under `/v1/results/{id}`.
+    Done,
+    /// Failed; error kind/message recorded.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The wire label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Done => "done",
+            Self::Failed => "failed",
+            Self::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One job's record in the store.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id (`job-N`).
+    pub id: String,
+    /// What the job computes.
+    pub kind: JobKind,
+    /// Content address of the result.
+    pub cache_key: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Whether the result came from the cache without sampling.
+    pub cached: bool,
+    /// Set by `DELETE /v1/jobs/{id}`; honoured at phase boundaries.
+    pub cancel_requested: bool,
+    /// The result document, once done.
+    pub result: Option<Value>,
+    /// Failure `(kind, message)` using the engine's error taxonomy
+    /// (plus the server-level `timeout`).
+    pub error: Option<(String, String)>,
+    /// Wall-clock milliseconds spent computing (0 for cache hits).
+    pub wall_ms: f64,
+}
+
+impl JobRecord {
+    /// A fresh record in the given state.
+    #[must_use]
+    pub fn new(id: String, kind: JobKind, cache_key: String, status: JobStatus) -> Self {
+        Self {
+            id,
+            kind,
+            cache_key,
+            status,
+            cached: false,
+            cancel_requested: false,
+            result: None,
+            error: None,
+            wall_ms: 0.0,
+        }
+    }
+
+    /// The `GET /v1/jobs/{id}` document.
+    #[must_use]
+    pub fn status_value(&self) -> Value {
+        Value::obj(vec![
+            ("id", Value::Str(self.id.clone())),
+            ("kind", Value::Str(self.kind.label().to_owned())),
+            ("status", Value::Str(self.status.label().to_owned())),
+            ("cached", Value::Bool(self.cached)),
+            ("cache_key", Value::Str(self.cache_key.clone())),
+            ("wall_ms", Value::Num(self.wall_ms)),
+            (
+                "error",
+                self.error.as_ref().map_or(Value::Null, |(kind, message)| {
+                    Value::obj(vec![
+                        ("kind", Value::Str(kind.clone())),
+                        ("message", Value::Str(message.clone())),
+                    ])
+                }),
+            ),
+        ])
+    }
+}
+
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Thread-safe registry of every job the server has seen.
+#[derive(Debug, Default)]
+pub struct JobStore {
+    records: Mutex<HashMap<String, JobRecord>>,
+    next_id: AtomicU64,
+}
+
+impl JobStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next job id (`job-1`, `job-2`, …).
+    pub fn allocate_id(&self) -> String {
+        format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Inserts (or replaces) a record.
+    pub fn insert(&self, record: JobRecord) {
+        lock_ignoring_poison(&self.records).insert(record.id.clone(), record);
+    }
+
+    /// Snapshot of one record.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<JobRecord> {
+        lock_ignoring_poison(&self.records).get(id).cloned()
+    }
+
+    /// Removes a record (used when a push is rejected after the id was
+    /// allocated, so 429'd submissions leave no trace in the store).
+    pub fn remove(&self, id: &str) -> Option<JobRecord> {
+        lock_ignoring_poison(&self.records).remove(id)
+    }
+
+    /// Runs `f` on a record under the lock; `None` for unknown ids.
+    pub fn with<R>(&self, id: &str, f: impl FnOnce(&mut JobRecord) -> R) -> Option<R> {
+        lock_ignoring_poison(&self.records).get_mut(id).map(f)
+    }
+
+    /// Per-status job counts
+    /// `(queued, running, done, failed, cancelled)`.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
+        let records = lock_ignoring_poison(&self.records);
+        let mut counts = (0, 0, 0, 0, 0);
+        for record in records.values() {
+            match record.status {
+                JobStatus::Queued => counts.0 += 1,
+                JobStatus::Running => counts.1 += 1,
+                JobStatus::Done => counts.2 += 1,
+                JobStatus::Failed => counts.3 += 1,
+                JobStatus::Cancelled => counts.4 += 1,
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srm_obs::json::parse;
+
+    fn spec_from(json: &str) -> Result<JobSpec, String> {
+        JobSpec::from_json(&parse(json).map_err(|e| e.to_string())?)
+    }
+
+    #[test]
+    fn parses_a_full_fit_request() {
+        let spec = spec_from(
+            r#"{"kind":"fit","dataset":"musa_cc96","truncate":48,"model":"model2",
+                "prior":"negbinom","alpha_max":50,"chains":2,"samples":500,
+                "burn_in":200,"seed":7,"threads":2,"timeout_ms":60000}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.kind, JobKind::Fit);
+        assert_eq!(spec.dataset_label, "musa_cc96");
+        assert_eq!(spec.data.len(), 48);
+        assert_eq!(spec.model.name(), "model2");
+        assert!(matches!(spec.prior, PriorSpec::NegBinomial { alpha_max } if alpha_max == 50.0));
+        assert_eq!(spec.mcmc.chains, 2);
+        assert_eq!(spec.mcmc.seed, 7);
+        assert_eq!(spec.threads, 2);
+        assert_eq!(spec.timeout_ms, Some(60_000));
+    }
+
+    #[test]
+    fn inline_counts_are_accepted() {
+        let spec = spec_from(r#"{"kind":"fit","counts":[3,1,4,1,5]}"#).unwrap();
+        assert_eq!(spec.dataset_label, "inline");
+        assert_eq!(spec.data.counts(), &[3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_messages() {
+        for (json, needle) in [
+            (r#"{"dataset":"musa_cc96"}"#, "missing field `kind`"),
+            (r#"{"kind":"dance","dataset":"musa_cc96"}"#, "unknown kind"),
+            (r#"{"kind":"fit"}"#, "missing data"),
+            (r#"{"kind":"fit","dataset":"nope"}"#, "unknown dataset"),
+            (
+                r#"{"kind":"fit","dataset":"musa_cc96","model":"model9"}"#,
+                "unknown model",
+            ),
+            (
+                r#"{"kind":"fit","dataset":"musa_cc96","prior":"cauchy"}"#,
+                "unknown prior",
+            ),
+            (
+                r#"{"kind":"fit","dataset":"musa_cc96","chains":0}"#,
+                "must be at least 1",
+            ),
+            (r#"{"kind":"fit","counts":[1,-2]}"#, "non-negative integers"),
+            (
+                r#"{"kind":"predict","dataset":"musa_cc96","horizon":0}"#,
+                "`horizon` must be at least 1",
+            ),
+        ] {
+            let err = spec_from(json).unwrap_err();
+            assert!(err.contains(needle), "`{json}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn cache_key_ignores_threads_and_timeout() {
+        let a = spec_from(r#"{"kind":"fit","dataset":"musa_cc96","threads":1}"#).unwrap();
+        let b = spec_from(r#"{"kind":"fit","dataset":"musa_cc96","threads":4,"timeout_ms":5000}"#)
+            .unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn cache_key_separates_everything_else() {
+        let base = r#"{"kind":"fit","dataset":"musa_cc96"}"#;
+        let variants = [
+            r#"{"kind":"predict","dataset":"musa_cc96"}"#,
+            r#"{"kind":"fit","dataset":"s_shaped_80"}"#,
+            r#"{"kind":"fit","dataset":"musa_cc96","truncate":48}"#,
+            r#"{"kind":"fit","dataset":"musa_cc96","model":"model3"}"#,
+            r#"{"kind":"fit","dataset":"musa_cc96","prior":"negbinom"}"#,
+            r#"{"kind":"fit","dataset":"musa_cc96","lambda_max":999}"#,
+            r#"{"kind":"fit","dataset":"musa_cc96","chains":2}"#,
+            r#"{"kind":"fit","dataset":"musa_cc96","seed":1}"#,
+        ];
+        let base_key = spec_from(base).unwrap().cache_key();
+        for v in variants {
+            assert_ne!(spec_from(v).unwrap().cache_key(), base_key, "{v}");
+        }
+    }
+
+    #[test]
+    fn predict_horizon_is_in_the_key_but_not_fit_horizon() {
+        let fit_a = spec_from(r#"{"kind":"fit","dataset":"musa_cc96","horizon":10}"#).unwrap();
+        let fit_b = spec_from(r#"{"kind":"fit","dataset":"musa_cc96","horizon":20}"#).unwrap();
+        assert_eq!(fit_a.cache_key(), fit_b.cache_key());
+        let p_a = spec_from(r#"{"kind":"predict","dataset":"musa_cc96","horizon":10}"#).unwrap();
+        let p_b = spec_from(r#"{"kind":"predict","dataset":"musa_cc96","horizon":20}"#).unwrap();
+        assert_ne!(p_a.cache_key(), p_b.cache_key());
+    }
+
+    #[test]
+    fn store_tracks_lifecycle_counts() {
+        let store = JobStore::new();
+        assert_eq!(store.allocate_id(), "job-1");
+        assert_eq!(store.allocate_id(), "job-2");
+        let mut record =
+            JobRecord::new("job-1".into(), JobKind::Fit, "k".into(), JobStatus::Queued);
+        store.insert(record.clone());
+        record.id = "job-2".into();
+        record.status = JobStatus::Done;
+        store.insert(record);
+        assert_eq!(store.counts(), (1, 0, 1, 0, 0));
+        store.with("job-1", |r| r.status = JobStatus::Cancelled);
+        assert_eq!(store.counts(), (0, 0, 1, 0, 1));
+        assert!(store.get("job-9").is_none());
+        let doc = store.get("job-2").unwrap().status_value();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Service counters and the Prometheus text exposition (`/metrics`).
+//!
+//! Two layers feed the page: the server's own counters (requests,
+//! submissions, completions, rejections, job wall-time histogram) and
+//! the engine-level aggregates from the global
+//! [`StatsCollector`](srm_obs::StatsCollector) every job's recorder
+//! tees into (retries, contained panics, event volume). Exposition
+//! format 0.0.4 — counters end in `_total`, histograms emit
+//! `_bucket`/`_sum`/`_count`.
+
+use std::fmt::Write as _;
+
+use srm_obs::{Counter, FixedHistogram, StatsCollector};
+
+use crate::cache::FitCache;
+
+/// Mutable-through-&self counters for the HTTP and job layers.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// HTTP requests handled (any route, any status).
+    pub http_requests: Counter,
+    /// Jobs accepted onto the queue or served from cache.
+    pub jobs_submitted: Counter,
+    /// Jobs rejected with 429 (queue full).
+    pub jobs_rejected: Counter,
+    /// Jobs that finished with status `done` (cache hits included).
+    pub jobs_done: Counter,
+    /// Jobs that finished with status `failed`.
+    pub jobs_failed: Counter,
+    /// Jobs cancelled before completing.
+    pub jobs_cancelled: Counter,
+    /// Wall-time distribution of executed (non-cached) jobs, ms.
+    pub job_wall_ms: FixedHistogram,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            http_requests: Counter::new(),
+            jobs_submitted: Counter::new(),
+            jobs_rejected: Counter::new(),
+            jobs_done: Counter::new(),
+            jobs_failed: Counter::new(),
+            jobs_cancelled: Counter::new(),
+            // Job wall times from 1 ms to ~100 s.
+            job_wall_ms: FixedHistogram::exponential(1.0, 10.0, 6),
+        }
+    }
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn histogram(out: &mut String, name: &str, help: &str, hist: &FixedHistogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (bound, count) in hist.snapshot() {
+        cumulative += count;
+        let le = if bound.is_infinite() {
+            "+Inf".to_owned()
+        } else {
+            format!("{bound}")
+        };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", hist.sum());
+    let _ = writeln!(out, "{name}_count {}", hist.count());
+}
+
+/// Renders the `/metrics` page.
+#[must_use]
+pub fn render_prometheus(
+    metrics: &ServeMetrics,
+    cache: &FitCache,
+    stats: &StatsCollector,
+    queue_depth: usize,
+    jobs_running: u64,
+) -> String {
+    let mut out = String::new();
+    counter(
+        &mut out,
+        "srm_serve_http_requests_total",
+        "HTTP requests handled.",
+        metrics.http_requests.get(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_jobs_submitted_total",
+        "Jobs accepted (queued or served from cache).",
+        metrics.jobs_submitted.get(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_jobs_rejected_total",
+        "Jobs rejected with 429 because the queue was full.",
+        metrics.jobs_rejected.get(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_jobs_done_total",
+        "Jobs completed successfully.",
+        metrics.jobs_done.get(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_jobs_failed_total",
+        "Jobs that failed.",
+        metrics.jobs_failed.get(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_jobs_cancelled_total",
+        "Jobs cancelled before completion.",
+        metrics.jobs_cancelled.get(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_cache_hits_total",
+        "Fit-cache hits (results served without re-sampling).",
+        cache.hits(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_cache_misses_total",
+        "Fit-cache misses.",
+        cache.misses(),
+    );
+    gauge(
+        &mut out,
+        "srm_serve_cache_entries",
+        "Results stored in the fit cache.",
+        cache.len() as f64,
+    );
+    gauge(
+        &mut out,
+        "srm_serve_queue_depth",
+        "Jobs waiting on the queue.",
+        queue_depth as f64,
+    );
+    gauge(
+        &mut out,
+        "srm_serve_jobs_running",
+        "Jobs currently being computed.",
+        jobs_running as f64,
+    );
+    histogram(
+        &mut out,
+        "srm_serve_job_wall_ms",
+        "Wall time of executed (non-cached) jobs, milliseconds.",
+        &metrics.job_wall_ms,
+    );
+    counter(
+        &mut out,
+        "srm_serve_engine_retries_total",
+        "Sweep retries across all jobs (from the engine's trace).",
+        stats.retries_seen(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_engine_panics_contained_total",
+        "Chain panics contained across all jobs.",
+        stats.panics_contained(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_engine_events_total",
+        "Trace events aggregated from all jobs.",
+        stats.events_seen(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_has_counters_gauges_and_histogram_series() {
+        let metrics = ServeMetrics::new();
+        metrics.http_requests.add(3);
+        metrics.jobs_submitted.incr();
+        metrics.job_wall_ms.observe(42.0);
+        let cache = FitCache::new();
+        let stats = StatsCollector::new();
+        let page = render_prometheus(&metrics, &cache, &stats, 2, 1);
+        assert!(page.contains("srm_serve_http_requests_total 3"));
+        assert!(page.contains("srm_serve_jobs_submitted_total 1"));
+        assert!(page.contains("srm_serve_queue_depth 2"));
+        assert!(page.contains("srm_serve_jobs_running 1"));
+        assert!(page.contains("srm_serve_job_wall_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(page.contains("srm_serve_job_wall_ms_count 1"));
+        assert!(page.contains("srm_serve_job_wall_ms_sum 42"));
+        // Buckets are cumulative: the 100-bound bucket already counts
+        // the 42 ms observation.
+        assert!(page.contains("srm_serve_job_wall_ms_bucket{le=\"100\"} 1"));
+        // Every HELP line pairs with a TYPE line.
+        assert_eq!(
+            page.matches("# HELP").count(),
+            page.matches("# TYPE").count()
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The bounded job queue between the HTTP front end and the worker
+//! pool.
+//!
+//! Backpressure lives here: [`JobQueue::push`] fails immediately with
+//! [`PushError::Full`] when the queue is at capacity (the HTTP layer
+//! turns that into `429 Too Many Requests` + `Retry-After`), and a
+//! closed queue rejects new work while still draining what was
+//! accepted — the graceful-shutdown contract.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::job::JobSpec;
+
+/// One accepted job waiting for a worker.
+pub struct QueuedJob {
+    /// Job id (`job-N`).
+    pub id: String,
+    /// The parsed request.
+    pub spec: JobSpec,
+    /// Cooperative deadline derived from the request's `timeout_ms`.
+    pub deadline: Option<Instant>,
+    /// Per-job trace sink opened at submit time, if tracing is on.
+    pub trace: Option<std::sync::Arc<srm_obs::JsonlSink>>,
+}
+
+impl std::fmt::Debug for QueuedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueuedJob").field("id", &self.id).finish()
+    }
+}
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — try again later (HTTP 429).
+    Full,
+    /// The queue is closed for new work (HTTP 503, shutting down).
+    Closed,
+}
+
+struct Inner {
+    items: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO of accepted jobs.
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` waiting jobs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job, failing fast when full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`JobQueue::close`].
+    pub fn push(&self, job: QueuedJob) -> Result<(), PushError> {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue is closed *and*
+    /// drained; `None` tells the worker to exit.
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        loop {
+            if let Some(job) = inner.items.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: no new pushes, waiting jobs still drain.
+    pub fn close(&self) {
+        lock_ignoring_poison(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of jobs currently waiting.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock_ignoring_poison(&self.inner).items.len()
+    }
+
+    /// Whether no jobs are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use srm_obs::json::parse;
+
+    fn spec() -> JobSpec {
+        let body = parse(r#"{"kind":"fit","dataset":"short_campaign_25"}"#).unwrap();
+        JobSpec::from_json(&body).unwrap()
+    }
+
+    fn job(id: &str) -> QueuedJob {
+        QueuedJob {
+            id: id.into(),
+            spec: spec(),
+            deadline: None,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = JobQueue::new(4);
+        q.push(job("a")).unwrap();
+        q.push(job("b")).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().id, "a");
+        assert_eq!(q.pop().unwrap().id, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let q = JobQueue::new(1);
+        q.push(job("a")).unwrap();
+        assert_eq!(q.push(job("b")).unwrap_err(), PushError::Full);
+    }
+
+    #[test]
+    fn closed_queue_rejects_but_drains() {
+        let q = JobQueue::new(4);
+        q.push(job("a")).unwrap();
+        q.close();
+        assert_eq!(q.push(job("b")).unwrap_err(), PushError::Closed);
+        assert_eq!(q.pop().unwrap().id, "a");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_wakes_on_close() {
+        let q = std::sync::Arc::new(JobQueue::new(2));
+        let q2 = std::sync::Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop().is_none());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -1,0 +1,795 @@
+//! The HTTP server: accept loop, routing, worker pool, and the
+//! graceful-shutdown drain.
+//!
+//! One thread owns a non-blocking [`TcpListener`] and polls it
+//! alongside the shutdown flag; requests are handled inline on that
+//! thread (every route is cheap — the expensive work happens on the
+//! worker pool, which feeds off the bounded [`JobQueue`]). On
+//! shutdown the accept loop stops taking connections, closes the
+//! queue, and the workers finish every job that was already accepted
+//! before exiting — the drain contract documented in DESIGN.md §11.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use srm_obs::json::{parse, Value};
+use srm_obs::{build_info_value, Event, JsonlSink, Recorder, StatsCollector, Tee};
+
+use crate::cache::FitCache;
+use crate::engine::run_job;
+use crate::http::{read_request, Request, Response};
+use crate::job::{JobRecord, JobSpec, JobStatus, JobStore};
+use crate::metrics::{render_prometheus, ServeMetrics};
+use crate::queue::{JobQueue, PushError, QueuedJob};
+use crate::signal;
+
+/// How often the accept loop re-checks the shutdown flag while idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+/// Per-connection read timeout (slow or silent clients).
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A test latch that holds workers at the top of job execution.
+///
+/// While paused, every worker blocks in [`Gate::wait_ready`] right
+/// after popping a job — the queue stays drained of exactly one job
+/// per worker and nothing else moves. Tests use this to fill the
+/// queue deterministically and assert the 429 backpressure path
+/// without racing the workers.
+#[derive(Debug, Default)]
+pub struct Gate {
+    paused: Mutex<bool>,
+    ready: Condvar,
+}
+
+impl Gate {
+    /// A new, open gate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Holds workers at the gate until [`Gate::release`].
+    pub fn pause(&self) {
+        *lock_ignoring_poison(&self.paused) = true;
+    }
+
+    /// Opens the gate and wakes every waiting worker.
+    pub fn release(&self) {
+        *lock_ignoring_poison(&self.paused) = false;
+        self.ready.notify_all();
+    }
+
+    /// Blocks while the gate is paused.
+    pub fn wait_ready(&self) {
+        let mut paused = lock_ignoring_poison(&self.paused);
+        while *paused {
+            paused = self
+                .ready
+                .wait(paused)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it get 429.
+    pub queue_capacity: usize,
+    /// Directory for per-job trace and manifest files (created if
+    /// missing). `None` disables per-job files.
+    pub trace_dir: Option<String>,
+    /// Value of the `Retry-After` header on 429 responses.
+    pub retry_after_secs: u64,
+    /// Whether the accept loop also honours the process-wide
+    /// [`signal`] flag (SIGTERM/SIGINT). CLI servers set this; tests
+    /// use [`Server::request_shutdown`] so parallel servers don't
+    /// shut each other down.
+    pub watch_signals: bool,
+    /// Optional worker latch for deterministic backpressure tests.
+    pub gate: Option<Arc<Gate>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 16,
+            trace_dir: None,
+            retry_after_secs: 1,
+            watch_signals: false,
+            gate: None,
+        }
+    }
+}
+
+/// Shared state behind every server thread.
+#[derive(Debug)]
+pub struct ServerState {
+    /// Every job the server has seen.
+    pub store: JobStore,
+    /// The bounded queue between the HTTP layer and the workers.
+    pub queue: JobQueue,
+    /// Content-addressed result cache.
+    pub cache: FitCache,
+    /// HTTP/job counters for `/metrics`.
+    pub metrics: ServeMetrics,
+    /// Engine-level aggregates teed from every job's recorder.
+    pub stats: Arc<StatsCollector>,
+    shutdown: AtomicBool,
+    running: AtomicU64,
+    trace_dir: Option<String>,
+    retry_after_secs: u64,
+    watch_signals: bool,
+    gate: Option<Arc<Gate>>,
+}
+
+impl ServerState {
+    /// Whether shutdown has begun.
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || (self.watch_signals && signal::requested())
+    }
+
+    /// Jobs currently executing on workers.
+    #[must_use]
+    pub fn jobs_running(&self) -> u64 {
+        self.running.load(Ordering::SeqCst)
+    }
+
+    fn trace_path(&self, id: &str) -> Option<String> {
+        self.trace_dir
+            .as_ref()
+            .map(|dir| format!("{dir}/{id}.trace.jsonl"))
+    }
+
+    fn manifest_path(&self, id: &str) -> Option<String> {
+        self.trace_dir
+            .as_ref()
+            .map(|dir| format!("{dir}/{id}.manifest.json"))
+    }
+}
+
+/// A running estimation service.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the bind fails or the trace
+    /// directory cannot be created.
+    pub fn start(config: ServerConfig) -> std::io::Result<Self> {
+        if let Some(dir) = &config.trace_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            store: JobStore::new(),
+            queue: JobQueue::new(config.queue_capacity),
+            cache: FitCache::new(),
+            metrics: ServeMetrics::new(),
+            stats: Arc::new(StatsCollector::new()),
+            shutdown: AtomicBool::new(false),
+            running: AtomicU64::new(0),
+            trace_dir: config.trace_dir,
+            retry_after_secs: config.retry_after_secs,
+            watch_signals: config.watch_signals,
+            gate: config.gate,
+        });
+
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_state));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let worker_state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&worker_state))
+            })
+            .collect();
+        Ok(Self {
+            addr,
+            state,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for inspection by tests and the CLI.
+    #[must_use]
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Begins graceful shutdown: stop accepting, drain the queue.
+    pub fn request_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the accept loop has exited and every worker has
+    /// drained; returns the final state for summary reporting.
+    #[must_use]
+    pub fn join(mut self) -> Arc<ServerState> {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        Arc::clone(&self.state)
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        if state.shutting_down() {
+            state.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(state, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    // No new connections from here on; reject new pushes but let the
+    // workers finish what was already accepted.
+    state.queue.close();
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    state.metrics.http_requests.incr();
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(state, &request),
+        Err(e) => Response::error(400, "bad-request", &format!("malformed request: {e}")),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/v1/jobs") => submit_job(state, &request.body),
+        ("GET", "/healthz") => health(state),
+        ("GET", "/metrics") => Response::text(
+            200,
+            render_prometheus(
+                &state.metrics,
+                &state.cache,
+                &state.stats,
+                state.queue.len(),
+                state.jobs_running(),
+            ),
+        ),
+        (method, _) => {
+            if let Some(id) = path.strip_prefix("/v1/jobs/") {
+                match method {
+                    "GET" => job_status(state, id),
+                    "DELETE" => cancel_job(state, id),
+                    _ => Response::error(405, "method-not-allowed", "use GET or DELETE"),
+                }
+            } else if let Some(id) = path.strip_prefix("/v1/results/") {
+                if method == "GET" {
+                    job_result(state, id)
+                } else {
+                    Response::error(405, "method-not-allowed", "use GET")
+                }
+            } else if matches!(path, "/v1/jobs" | "/healthz" | "/metrics") {
+                Response::error(405, "method-not-allowed", "wrong method for this path")
+            } else {
+                Response::error(404, "not-found", &format!("no route for `{path}`"))
+            }
+        }
+    }
+}
+
+fn health(state: &Arc<ServerState>) -> Response {
+    let (queued, running, done, failed, cancelled) = state.store.counts();
+    let status = if state.shutting_down() {
+        "draining"
+    } else {
+        "ok"
+    };
+    Response::json(
+        200,
+        &Value::obj(vec![
+            ("status", Value::Str(status.to_owned())),
+            ("build", build_info_value()),
+            (
+                "jobs",
+                Value::obj(vec![
+                    ("queued", Value::Num(queued as f64)),
+                    ("running", Value::Num(running as f64)),
+                    ("done", Value::Num(done as f64)),
+                    ("failed", Value::Num(failed as f64)),
+                    ("cancelled", Value::Num(cancelled as f64)),
+                ]),
+            ),
+            ("queue_depth", Value::Num(state.queue.len() as f64)),
+            ("jobs_running", Value::Num(state.jobs_running() as f64)),
+        ]),
+    )
+}
+
+fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Response {
+    if state.shutting_down() {
+        return Response::error(503, "shutting-down", "server is draining; retry elsewhere");
+    }
+    let text = String::from_utf8_lossy(body);
+    let json = match parse(&text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, "bad-json", &format!("body is not JSON: {e}")),
+    };
+    let spec = match JobSpec::from_json(&json) {
+        Ok(s) => s,
+        Err(message) => return Response::error(400, "bad-request", &message),
+    };
+    let cache_key = spec.cache_key();
+
+    if let Some(result) = state.cache.lookup(&cache_key) {
+        return serve_from_cache(state, &spec, &cache_key, result);
+    }
+
+    let id = state.store.allocate_id();
+    let mut record = JobRecord::new(id.clone(), spec.kind, cache_key.clone(), JobStatus::Queued);
+    record.cached = false;
+    state.store.insert(record);
+
+    let trace = open_trace(state, &id);
+    let recorder = job_recorder(state, trace.as_ref());
+    recorder.record(&Event::JobStart {
+        job_id: id.clone(),
+        kind: spec.kind.label().to_owned(),
+        cache_key: cache_key.clone(),
+    });
+    recorder.record(&Event::CacheMiss {
+        cache_key: cache_key.clone(),
+    });
+
+    let deadline = spec
+        .timeout_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let push = state.queue.push(QueuedJob {
+        id: id.clone(),
+        spec,
+        deadline,
+        trace,
+    });
+    match push {
+        Ok(()) => {
+            state.metrics.jobs_submitted.incr();
+            Response::json(
+                202,
+                &Value::obj(vec![
+                    ("id", Value::Str(id)),
+                    ("status", Value::Str("queued".to_owned())),
+                    ("cached", Value::Bool(false)),
+                    ("cache_key", Value::Str(cache_key)),
+                ]),
+            )
+        }
+        Err(reject) => {
+            state.store.remove(&id);
+            if let Some(path) = state.trace_path(&id) {
+                let _ = std::fs::remove_file(path);
+            }
+            match reject {
+                PushError::Full => {
+                    state.metrics.jobs_rejected.incr();
+                    Response::error(429, "queue-full", "job queue is at capacity; retry later")
+                        .with_header("Retry-After", &state.retry_after_secs.to_string())
+                }
+                PushError::Closed => {
+                    Response::error(503, "shutting-down", "server is draining; retry elsewhere")
+                }
+            }
+        }
+    }
+}
+
+fn serve_from_cache(
+    state: &Arc<ServerState>,
+    spec: &JobSpec,
+    cache_key: &str,
+    result: Value,
+) -> Response {
+    let id = state.store.allocate_id();
+    let mut record = JobRecord::new(id.clone(), spec.kind, cache_key.to_owned(), JobStatus::Done);
+    record.cached = true;
+    record.result = Some(result);
+    state.store.insert(record);
+    state.metrics.jobs_submitted.incr();
+    state.metrics.jobs_done.incr();
+
+    let trace = open_trace(state, &id);
+    let recorder = job_recorder(state, trace.as_ref());
+    recorder.record(&Event::JobStart {
+        job_id: id.clone(),
+        kind: spec.kind.label().to_owned(),
+        cache_key: cache_key.to_owned(),
+    });
+    recorder.record(&Event::CacheHit {
+        cache_key: cache_key.to_owned(),
+    });
+    recorder.record(&Event::JobDone {
+        job_id: id.clone(),
+        status: "done".to_owned(),
+        cached: true,
+        wall_ms: 0.0,
+    });
+    if let Some(sink) = trace {
+        let _ = sink.flush();
+    }
+
+    Response::json(
+        201,
+        &Value::obj(vec![
+            ("id", Value::Str(id)),
+            ("status", Value::Str("done".to_owned())),
+            ("cached", Value::Bool(true)),
+            ("cache_key", Value::Str(cache_key.to_owned())),
+        ]),
+    )
+}
+
+fn open_trace(state: &Arc<ServerState>, id: &str) -> Option<Arc<JsonlSink>> {
+    let path = state.trace_path(id)?;
+    JsonlSink::create(&path).ok().map(Arc::new)
+}
+
+fn job_recorder(state: &Arc<ServerState>, trace: Option<&Arc<JsonlSink>>) -> Tee {
+    let mut sinks: Vec<Arc<dyn Recorder>> = vec![Arc::clone(&state.stats) as Arc<dyn Recorder>];
+    if let Some(sink) = trace {
+        sinks.push(Arc::clone(sink) as Arc<dyn Recorder>);
+    }
+    Tee::new(sinks)
+}
+
+fn job_status(state: &Arc<ServerState>, id: &str) -> Response {
+    state.store.get(id).map_or_else(
+        || Response::error(404, "not-found", &format!("unknown job `{id}`")),
+        |record| Response::json(200, &record.status_value()),
+    )
+}
+
+fn job_result(state: &Arc<ServerState>, id: &str) -> Response {
+    let Some(record) = state.store.get(id) else {
+        return Response::error(404, "not-found", &format!("unknown job `{id}`"));
+    };
+    match record.status {
+        JobStatus::Queued | JobStatus::Running => Response::json(202, &record.status_value()),
+        JobStatus::Cancelled => Response::error(410, "cancelled", "job was cancelled"),
+        JobStatus::Failed => {
+            let (kind, message) = record
+                .error
+                .unwrap_or_else(|| ("unknown".to_owned(), "job failed".to_owned()));
+            Response::error(500, &kind, &message)
+        }
+        JobStatus::Done => match record.result {
+            Some(result) => Response::json(200, &result),
+            None => Response::error(500, "missing-result", "done job has no stored result"),
+        },
+    }
+}
+
+fn cancel_job(state: &Arc<ServerState>, id: &str) -> Response {
+    let outcome = state.store.with(id, |record| match record.status {
+        JobStatus::Queued => {
+            record.cancel_requested = true;
+            record.status = JobStatus::Cancelled;
+            (200, "cancelled")
+        }
+        JobStatus::Running => {
+            record.cancel_requested = true;
+            (202, "cancelling")
+        }
+        JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled => (409, "finished"),
+    });
+    match outcome {
+        None => Response::error(404, "not-found", &format!("unknown job `{id}`")),
+        Some((409, _)) => Response::error(
+            409,
+            "already-finished",
+            "job already reached a terminal state",
+        ),
+        Some((status, label)) => {
+            if status == 200 {
+                state.metrics.jobs_cancelled.incr();
+            }
+            Response::json(
+                status,
+                &Value::obj(vec![
+                    ("id", Value::Str(id.to_owned())),
+                    ("status", Value::Str(label.to_owned())),
+                ]),
+            )
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    while let Some(job) = state.queue.pop() {
+        if let Some(gate) = &state.gate {
+            gate.wait_ready();
+        }
+        execute(state, &job);
+    }
+}
+
+fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
+    let recorder = job_recorder(state, job.trace.as_ref());
+    // Claim the job; a DELETE that landed while it was queued already
+    // moved it to Cancelled (and counted it), so just acknowledge.
+    let claimed = state
+        .store
+        .with(&job.id, |record| {
+            if record.status == JobStatus::Cancelled || record.cancel_requested {
+                record.status = JobStatus::Cancelled;
+                false
+            } else {
+                record.status = JobStatus::Running;
+                true
+            }
+        })
+        .unwrap_or(false);
+    if !claimed {
+        finish(job, &recorder, "cancelled", 0.0);
+        return;
+    }
+
+    state.running.fetch_add(1, Ordering::SeqCst);
+    let per_job = Arc::new(StatsCollector::new());
+    let mut sinks: Vec<Arc<dyn Recorder>> = vec![
+        Arc::clone(&state.stats) as Arc<dyn Recorder>,
+        Arc::clone(&per_job) as Arc<dyn Recorder>,
+    ];
+    if let Some(sink) = &job.trace {
+        sinks.push(Arc::clone(sink) as Arc<dyn Recorder>);
+    }
+    let engine_recorder = Tee::new(sinks);
+    let started = Instant::now();
+    let outcome = run_job(&job.spec, job.deadline, &engine_recorder);
+    let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    state.running.fetch_sub(1, Ordering::SeqCst);
+
+    let cancel_requested = state.store.get(&job.id).is_some_and(|r| r.cancel_requested);
+    if cancel_requested {
+        // The result is discarded, not cached: the client asked for
+        // the job to die and must not observe a partial success.
+        state.store.with(&job.id, |record| {
+            record.status = JobStatus::Cancelled;
+            record.wall_ms = wall_ms;
+        });
+        state.metrics.jobs_cancelled.incr();
+        finish(job, &recorder, "cancelled", wall_ms);
+        return;
+    }
+
+    match outcome {
+        Ok(output) => {
+            state
+                .cache
+                .insert(&job.spec.cache_key(), output.result.clone());
+            state.store.with(&job.id, |record| {
+                record.status = JobStatus::Done;
+                record.result = Some(output.result.clone());
+                record.wall_ms = wall_ms;
+            });
+            state.metrics.jobs_done.incr();
+            state.metrics.job_wall_ms.observe(wall_ms);
+            if let Some(path) = state.manifest_path(&job.id) {
+                let mut manifest = output.manifest;
+                manifest.fill_from_stats(&per_job, output.kept_draws);
+                let _ = manifest.write(&path);
+            }
+            finish(job, &recorder, "done", wall_ms);
+        }
+        Err(error) => {
+            state.store.with(&job.id, |record| {
+                record.status = JobStatus::Failed;
+                record.error = Some((error.kind().to_owned(), error.to_string()));
+                record.wall_ms = wall_ms;
+            });
+            state.metrics.jobs_failed.incr();
+            finish(job, &recorder, "failed", wall_ms);
+        }
+    }
+}
+
+fn finish(job: &QueuedJob, recorder: &Tee, status: &str, wall_ms: f64) {
+    recorder.record(&Event::JobDone {
+        job_id: job.id.clone(),
+        status: status.to_owned(),
+        cached: false,
+        wall_ms,
+    });
+    if let Some(sink) = &job.trace {
+        let _ = sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    pub(crate) fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: srm\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        let payload = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, payload)
+    }
+
+    #[test]
+    fn healthz_reports_build_and_counts() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let (status, body) = http(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert!(doc.get("build").unwrap().get("crate_version").is_some());
+        server.request_shutdown();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_rejected() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        assert_eq!(http(server.addr(), "GET", "/nope", "").0, 404);
+        assert_eq!(http(server.addr(), "PUT", "/healthz", "").0, 405);
+        assert_eq!(http(server.addr(), "PATCH", "/v1/jobs/job-1", "").0, 405);
+        assert_eq!(http(server.addr(), "GET", "/v1/jobs/job-9", "").0, 404);
+        assert_eq!(http(server.addr(), "GET", "/v1/results/job-9", "").0, 404);
+        assert_eq!(http(server.addr(), "DELETE", "/v1/jobs/job-9", "").0, 404);
+        server.request_shutdown();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn bad_submissions_get_400() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let (status, body) = http(server.addr(), "POST", "/v1/jobs", "not json");
+        assert_eq!(status, 400);
+        assert!(body.contains("bad-json"));
+        let (status, body) = http(server.addr(), "POST", "/v1/jobs", r#"{"kind":"fit"}"#);
+        assert_eq!(status, 400);
+        assert!(body.contains("missing data"));
+        server.request_shutdown();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn submit_poll_and_fetch_a_fit_job() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let (status, body) = http(
+            server.addr(),
+            "POST",
+            "/v1/jobs",
+            r#"{"kind":"fit","dataset":"short_campaign_25","model":"model0",
+                "chains":1,"samples":120,"burn_in":40,"seed":9}"#,
+        );
+        assert_eq!(status, 202);
+        let id = parse(&body)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (_, status_body) = http(server.addr(), "GET", &format!("/v1/jobs/{id}"), "");
+            let label = parse(&status_body)
+                .unwrap()
+                .get("status")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_owned();
+            if label == "done" {
+                break;
+            }
+            assert_ne!(label, "failed", "{status_body}");
+            assert!(Instant::now() < deadline, "job did not finish in time");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let (status, result) = http(server.addr(), "GET", &format!("/v1/results/{id}"), "");
+        assert_eq!(status, 200);
+        let doc = parse(&result).unwrap();
+        assert!(doc
+            .get("residual")
+            .unwrap()
+            .get("mean")
+            .unwrap()
+            .as_f64()
+            .is_some());
+        let (status, page) = http(server.addr(), "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(page.contains("srm_serve_jobs_done_total 1"));
+        server.request_shutdown();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn cancel_of_queued_job_is_immediate() {
+        // A paused gate keeps the single worker busy with nothing —
+        // the submitted job stays queued until we cancel it.
+        let gate = Arc::new(Gate::new());
+        gate.pause();
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            gate: Some(Arc::clone(&gate)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let (status, body) = http(
+            server.addr(),
+            "POST",
+            "/v1/jobs",
+            r#"{"kind":"fit","dataset":"short_campaign_25","chains":1,"samples":100,"burn_in":40}"#,
+        );
+        assert_eq!(status, 202);
+        let id = parse(&body)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let (status, _) = http(server.addr(), "DELETE", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200);
+        let (status, _) = http(server.addr(), "GET", &format!("/v1/results/{id}"), "");
+        assert_eq!(status, 410);
+        let (status, _) = http(server.addr(), "DELETE", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 409);
+        gate.release();
+        server.request_shutdown();
+        let state = server.join();
+        assert_eq!(state.metrics.jobs_cancelled.get(), 1);
+    }
+}

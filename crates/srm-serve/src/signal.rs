@@ -1,0 +1,93 @@
+//! SIGTERM/SIGINT handling for graceful shutdown.
+//!
+//! The handler does the only async-signal-safe thing possible: it
+//! stores into a process-wide [`AtomicBool`]. The accept loop polls
+//! that flag (servers started with
+//! [`crate::server::ServerConfig::watch_signals`]) and begins the
+//! drain sequence — stop accepting jobs, close the queue, join the
+//! workers — on its own thread, where arbitrary code is safe again.
+//!
+//! `std` links libc on every Unix target, so declaring `signal(2)`
+//! adds no dependency; on non-Unix targets installation is a no-op
+//! and shutdown is driven programmatically.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal (or a programmatic [`request`]) has
+/// been observed.
+#[must_use]
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Raises the process-wide shutdown flag, exactly as a signal would.
+/// Used by tests and by embedders without signal delivery.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (tests only — real servers exit after shutdown).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM and SIGINT handlers. Idempotent; a no-op off
+/// Unix.
+pub fn install_handlers() {
+    sys::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe; the handler pointer outlives the process.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reset_round_trip() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install_handlers();
+        install_handlers();
+    }
+}

@@ -1,0 +1,248 @@
+//! End-to-end tests of the serving contract: bit-identical results
+//! over HTTP, cache hits without re-sampling, and deterministic
+//! backpressure with a graceful drain.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use srm_core::{Fit, FitConfig};
+use srm_mcmc::runner::RunOptions;
+use srm_mcmc::RetryPolicy;
+use srm_obs::json::{parse, Value};
+use srm_serve::{Gate, JobSpec, JobStatus, Server, ServerConfig};
+
+/// One request over a fresh connection; returns (status, raw head,
+/// body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: srm\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let (head, payload) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_owned(), payload.to_owned())
+}
+
+fn submit(addr: SocketAddr, body: &str) -> (u16, Value) {
+    let (status, _, payload) = http(addr, "POST", "/v1/jobs", body);
+    (status, parse(&payload).expect("json response"))
+}
+
+fn wait_done(addr: SocketAddr, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, _, payload) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        let doc = parse(&payload).expect("status json");
+        match doc.get("status").and_then(Value::as_str) {
+            Some("done") => return,
+            Some("queued" | "running") => {}
+            other => panic!("job {id} ended as {other:?}: {payload}"),
+        }
+        assert!(Instant::now() < deadline, "job {id} did not finish");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+const FIT_JOB: &str = r#"{"kind":"fit","dataset":"musa_cc96","truncate":48,
+    "model":"model0","prior":"poisson","chains":2,"samples":200,
+    "burn_in":80,"seed":11}"#;
+
+#[test]
+fn http_fit_is_bit_identical_to_direct_fit() {
+    let server = Server::start(ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    let (status, doc) = submit(addr, FIT_JOB);
+    assert_eq!(status, 202, "{doc:?}");
+    let id = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("id")
+        .to_owned();
+    wait_done(addr, &id);
+    let (status, _, payload) = http(addr, "GET", &format!("/v1/results/{id}"), "");
+    assert_eq!(status, 200);
+    let result = parse(&payload).expect("result json");
+
+    // The same spec through the library, bypassing HTTP entirely.
+    let spec = JobSpec::from_json(&parse(FIT_JOB).expect("job json")).expect("spec");
+    let direct = Fit::try_run(
+        spec.prior,
+        spec.model,
+        &spec.data,
+        &FitConfig {
+            mcmc: spec.mcmc,
+            ..FitConfig::default()
+        },
+        &RunOptions {
+            retry: RetryPolicy::default(),
+            ..RunOptions::none()
+        },
+    )
+    .expect("direct fit");
+
+    // JSON numbers round-trip through srm-obs' shortest formatting,
+    // so equality here is bit-for-bit, not approximate.
+    for (path, expected) in [
+        (("residual", "mean"), direct.fit.residual.mean),
+        (("residual", "median"), direct.fit.residual.median),
+        (("residual", "sd"), direct.fit.residual.sd),
+        (("waic", "total"), direct.fit.waic.total()),
+        (("waic", "se"), direct.fit.waic.se()),
+    ] {
+        let got = result
+            .get(path.0)
+            .and_then(|v| v.get(path.1))
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("missing {path:?}"));
+        assert_eq!(
+            got.to_bits(),
+            expected.to_bits(),
+            "{path:?}: {got} != {expected}"
+        );
+    }
+
+    server.request_shutdown();
+    let _ = server.join();
+}
+
+#[test]
+fn repeat_submission_is_served_from_cache_without_sampling() {
+    let trace_dir = std::env::temp_dir().join(format!("srm-serve-cache-{}", std::process::id()));
+    let trace_dir_str = trace_dir.to_string_lossy().into_owned();
+    let server = Server::start(ServerConfig {
+        trace_dir: Some(trace_dir_str.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    let job = r#"{"kind":"fit","dataset":"short_campaign_25","model":"model0",
+        "chains":1,"samples":150,"burn_in":60,"seed":4}"#;
+    let (status, doc) = submit(addr, job);
+    assert_eq!(status, 202, "{doc:?}");
+    let first = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("id")
+        .to_owned();
+    wait_done(addr, &first);
+    let (_, _, first_result) = http(addr, "GET", &format!("/v1/results/{first}"), "");
+
+    // Identical job again — answered synchronously from the cache.
+    let (status, doc) = submit(addr, job);
+    assert_eq!(status, 201, "{doc:?}");
+    assert_eq!(doc.get("cached"), Some(&Value::Bool(true)));
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("done"));
+    let second = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("id")
+        .to_owned();
+    let (status, _, second_result) = http(addr, "GET", &format!("/v1/results/{second}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        first_result, second_result,
+        "cached result must be verbatim"
+    );
+
+    // The trace files are the proof of (no) work: the first job
+    // sampled (sweep/chain events after its cache miss), the second
+    // recorded a cache hit and nothing from the sampler.
+    let first_trace =
+        std::fs::read_to_string(trace_dir.join(format!("{first}.trace.jsonl"))).expect("trace 1");
+    assert!(first_trace.contains("\"cache-miss\""), "{first_trace}");
+    assert!(first_trace.contains("\"chain-start\""), "{first_trace}");
+    let second_trace =
+        std::fs::read_to_string(trace_dir.join(format!("{second}.trace.jsonl"))).expect("trace 2");
+    assert!(second_trace.contains("\"cache-hit\""), "{second_trace}");
+    assert!(!second_trace.contains("\"chain-start\""), "{second_trace}");
+    assert!(!second_trace.contains("\"sweep\""), "{second_trace}");
+
+    // The first job also leaves a manifest with the build block.
+    let manifest = std::fs::read_to_string(trace_dir.join(format!("{first}.manifest.json")))
+        .expect("manifest");
+    assert!(manifest.contains("\"serve:fit\""), "{manifest}");
+
+    let (_, _, metrics) = http(addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("srm_serve_cache_hits_total 1"),
+        "{metrics}"
+    );
+
+    server.request_shutdown();
+    let _ = server.join();
+    let _ = std::fs::remove_dir_all(trace_dir);
+}
+
+#[test]
+fn full_queue_gets_429_and_accepted_jobs_drain_on_shutdown() {
+    // One worker held at the gate + capacity-one queue makes the
+    // rejection deterministic: job A is in flight (paused), job B
+    // fills the queue, job C must bounce.
+    let gate = Arc::new(Gate::new());
+    gate.pause();
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_secs: 7,
+        gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    let job = |seed: u32| {
+        format!(
+            r#"{{"kind":"fit","dataset":"short_campaign_25","chains":1,
+                "samples":120,"burn_in":40,"seed":{seed}}}"#
+        )
+    };
+    let (status, doc_a) = submit(addr, &job(1));
+    assert_eq!(status, 202, "{doc_a:?}");
+    // Wait for the worker to pop job A and park at the gate, so the
+    // queue is observably empty before B and C go in.
+    let parked = Instant::now() + Duration::from_secs(10);
+    while !server.state().queue.is_empty() {
+        assert!(Instant::now() < parked, "worker never picked up job A");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, doc_b) = submit(addr, &job(2));
+    assert_eq!(status, 202, "{doc_b:?}");
+
+    let (status, head, payload) = http(addr, "POST", "/v1/jobs", &job(3));
+    assert_eq!(status, 429, "{payload}");
+    assert!(head.contains("Retry-After: 7"), "{head}");
+    assert!(payload.contains("queue-full"), "{payload}");
+    // The rejected job left nothing behind.
+    assert_eq!(server.state().metrics.jobs_rejected.get(), 1);
+
+    // Graceful shutdown with the gate still closed: the drain starts,
+    // then the worker is released and must finish A and B.
+    server.request_shutdown();
+    gate.release();
+    let state = server.join();
+
+    let id_a = doc_a.get("id").and_then(Value::as_str).expect("id a");
+    let id_b = doc_b.get("id").and_then(Value::as_str).expect("id b");
+    for id in [id_a, id_b] {
+        let record = state.store.get(id).expect("record");
+        assert_eq!(record.status, JobStatus::Done, "{id} not drained");
+        assert!(record.result.is_some(), "{id} has no result");
+    }
+    let (_queued, _running, done, failed, cancelled) = state.store.counts();
+    assert_eq!((done, failed, cancelled), (2, 0, 0));
+    assert!(state.queue.is_empty());
+}

@@ -21,6 +21,7 @@
 //! | [`core`] | `srm-core` | fit & experiment pipeline |
 //! | [`report`] | `srm-report` | tables, box plots, ASCII charts |
 //! | [`obs`] | `srm-obs` | tracing events, metric sinks, run manifests |
+//! | [`serve`] | `srm-serve` | HTTP estimation service: job queue, fit cache |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use srm_obs as obs;
 pub use srm_rand as rand;
 pub use srm_report as report;
 pub use srm_select as select;
+pub use srm_serve as serve;
 
 /// Convenience prelude pulling in the types most programs need.
 pub mod prelude {
