@@ -62,6 +62,8 @@ SERVING (srm serve):
     --trace-dir <dir>       per-job JSONL traces and run manifests
     --port-file <file>      write the bound port here (for scripts)
     --retry-after N         Retry-After seconds on 429          [default: 1]
+    --job-history N         terminal job records retained       [default: 1024]
+    --cache-capacity N      cached result documents (FIFO)      [default: 256]
 
 EXAMPLES:
     srm fit --data counts.csv --model model1 --prior poisson

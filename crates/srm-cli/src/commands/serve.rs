@@ -16,6 +16,8 @@ const FLAGS: &[&str] = &[
     "trace-dir",
     "port-file",
     "retry-after",
+    "job-history",
+    "cache-capacity",
 ];
 
 /// Runs the subcommand. Blocks until a termination signal arrives.
@@ -32,6 +34,8 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         queue_capacity: args.get_parsed("queue-capacity", 16usize)?,
         trace_dir: args.get("trace-dir").map(str::to_owned),
         retry_after_secs: args.get_parsed("retry-after", 1u64)?,
+        job_history_limit: args.get_parsed("job-history", 1_024usize)?.max(1),
+        cache_capacity: args.get_parsed("cache-capacity", 256usize)?.max(1),
         watch_signals: true,
         gate: None,
     };

@@ -12,6 +12,11 @@ pub enum DataError {
         /// The number of days available.
         len: usize,
     },
+    /// The cumulative count `s_i` exceeds `u64::MAX`.
+    Overflow {
+        /// The (1-based) day whose count overflowed the running sum.
+        day: usize,
+    },
 }
 
 impl std::fmt::Display for DataError {
@@ -20,6 +25,9 @@ impl std::fmt::Display for DataError {
             Self::Empty => write!(f, "dataset has no testing days"),
             Self::DayOutOfRange { day, len } => {
                 write!(f, "day {day} outside dataset of {len} days")
+            }
+            Self::Overflow { day } => {
+                write!(f, "cumulative bug count overflows u64 at day {day}")
             }
         }
     }
@@ -55,15 +63,19 @@ impl BugCountData {
     ///
     /// # Errors
     ///
-    /// Returns [`DataError::Empty`] for an empty vector.
+    /// Returns [`DataError::Empty`] for an empty vector and
+    /// [`DataError::Overflow`] when the cumulative sum exceeds
+    /// `u64::MAX`.
     pub fn new(counts: Vec<u64>) -> Result<Self, DataError> {
         if counts.is_empty() {
             return Err(DataError::Empty);
         }
         let mut cumulative = Vec::with_capacity(counts.len());
         let mut running = 0u64;
-        for &c in &counts {
-            running += c;
+        for (i, &c) in counts.iter().enumerate() {
+            running = running
+                .checked_add(c)
+                .ok_or(DataError::Overflow { day: i + 1 })?;
             cumulative.push(running);
         }
         Ok(Self { counts, cumulative })
@@ -230,6 +242,16 @@ mod tests {
     #[test]
     fn rejects_empty() {
         assert_eq!(BugCountData::new(vec![]), Err(DataError::Empty));
+    }
+
+    #[test]
+    fn rejects_cumulative_overflow() {
+        let err = BugCountData::new(vec![1, u64::MAX]).unwrap_err();
+        assert_eq!(err, DataError::Overflow { day: 2 });
+        assert!(err.to_string().contains("overflows u64 at day 2"));
+        // The boundary itself is fine.
+        let d = BugCountData::new(vec![u64::MAX - 1, 1]).unwrap();
+        assert_eq!(d.total(), u64::MAX);
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! parallelism levels. A hit returns the stored result document
 //! unchanged, so repeated identical jobs are served without
 //! re-sampling.
+//!
+//! The cache is bounded: beyond its capacity the oldest-inserted
+//! entry is evicted (FIFO), so a long-running server's memory stays
+//! capped at `capacity` result documents.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 
 use srm_obs::json::Value;
@@ -22,24 +26,52 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// An in-memory result cache with hit/miss counters.
+/// Default number of result documents retained.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
 #[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<String, Value>,
+    /// Keys in insertion order; the front is the eviction candidate.
+    order: VecDeque<String>,
+}
+
+/// A bounded in-memory result cache with hit/miss counters.
+#[derive(Debug)]
 pub struct FitCache {
-    entries: Mutex<HashMap<String, Value>>,
+    inner: Mutex<CacheInner>,
+    capacity: usize,
     hits: Counter,
     misses: Counter,
 }
 
+impl Default for FitCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl FitCache {
-    /// An empty cache.
+    /// An empty cache with [`DEFAULT_CACHE_CAPACITY`].
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` results.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
     }
 
     /// Looks up a result, recording a hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<Value> {
-        let found = lock_ignoring_poison(&self.entries).get(key).cloned();
+        let found = lock_ignoring_poison(&self.inner).entries.get(key).cloned();
         if found.is_some() {
             self.hits.incr();
         } else {
@@ -48,9 +80,20 @@ impl FitCache {
         found
     }
 
-    /// Stores a completed job's result under its cache key.
+    /// Stores a completed job's result under its cache key, evicting
+    /// the oldest entry when the cache is at capacity.
     pub fn insert(&self, key: &str, result: Value) {
-        lock_ignoring_poison(&self.entries).insert(key.to_owned(), result);
+        let mut inner = lock_ignoring_poison(&self.inner);
+        if inner.entries.insert(key.to_owned(), result).is_some() {
+            return; // overwrite keeps the original insertion order
+        }
+        inner.order.push_back(key.to_owned());
+        while inner.entries.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            inner.entries.remove(&oldest);
+        }
     }
 
     /// Cache hits so far.
@@ -68,7 +111,7 @@ impl FitCache {
     /// Number of stored results.
     #[must_use]
     pub fn len(&self) -> usize {
-        lock_ignoring_poison(&self.entries).len()
+        lock_ignoring_poison(&self.inner).entries.len()
     }
 
     /// Whether the cache is empty.
@@ -100,5 +143,22 @@ mod tests {
         cache.insert("k", Value::Num(2.0));
         assert_eq!(cache.lookup("k"), Some(Value::Num(2.0)));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_entry_beyond_capacity() {
+        let cache = FitCache::with_capacity(2);
+        cache.insert("a", Value::Num(1.0));
+        cache.insert("b", Value::Num(2.0));
+        cache.insert("c", Value::Num(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("a").is_none());
+        assert_eq!(cache.lookup("b"), Some(Value::Num(2.0)));
+        assert_eq!(cache.lookup("c"), Some(Value::Num(3.0)));
+        // Overwriting does not grow the cache or change the order.
+        cache.insert("b", Value::Num(9.0));
+        cache.insert("d", Value::Num(4.0));
+        assert!(cache.lookup("b").is_none());
+        assert_eq!(cache.lookup("d"), Some(Value::Num(4.0)));
     }
 }

@@ -6,7 +6,8 @@
 //! used by the fit cache: FNV-1a over every field that determines the
 //! posterior bit-for-bit (dataset hash, model, prior family + limits,
 //! MCMC shape, seed, horizon/θ_max), and nothing that does not
-//! (thread count, timeout).
+//! (thread count, timeout, and — for `select`, which sweeps all five
+//! models — the request's irrelevant `model` field).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -181,7 +182,9 @@ impl JobSpec {
     /// The content address of this job's result: an FNV-1a digest of
     /// every input that determines the posterior bit-for-bit. Thread
     /// count and timeout are excluded on purpose — neither changes a
-    /// single bit of the output.
+    /// single bit of the output. `select` additionally omits the model
+    /// field: it sweeps all five models regardless of what the request
+    /// happened to carry.
     #[must_use]
     pub fn cache_key(&self) -> String {
         let prior_part = match self.prior {
@@ -189,10 +192,9 @@ impl JobSpec {
             PriorSpec::NegBinomial { alpha_max } => format!("negbinom:{alpha_max}"),
         };
         let mut canonical = format!(
-            "kind={};data={};model={};prior={};chains={};burn_in={};samples={};thin={};seed={}",
+            "kind={};data={};prior={};chains={};burn_in={};samples={};thin={};seed={}",
             self.kind.label(),
             dataset_hash(self.data.counts()),
-            self.model.name(),
             prior_part,
             self.mcmc.chains,
             self.mcmc.burn_in,
@@ -201,9 +203,13 @@ impl JobSpec {
             self.mcmc.seed,
         );
         match self.kind {
-            JobKind::Fit => {}
+            JobKind::Fit => canonical.push_str(&format!(";model={}", self.model.name())),
             JobKind::Select => canonical.push_str(&format!(";theta_max={}", self.theta_max)),
-            JobKind::Predict => canonical.push_str(&format!(";horizon={}", self.horizon)),
+            JobKind::Predict => canonical.push_str(&format!(
+                ";model={};horizon={}",
+                self.model.name(),
+                self.horizon
+            )),
         }
         fnv1a_hex(canonical.as_bytes())
     }
@@ -240,9 +246,18 @@ fn parse_data(body: &Value) -> Result<(String, BugCountData), String> {
             let items = counts.as_arr().ok_or("field `counts` must be an array")?;
             let mut daily = Vec::with_capacity(items.len());
             for item in items {
+                // Same per-value bound as `usize_field`: u32::MAX per
+                // day keeps the cumulative sum far from u64 overflow.
                 match item.as_f64() {
-                    Some(n) if n >= 0.0 && n.fract() == 0.0 => daily.push(n as u64),
-                    _ => return Err("`counts` entries must be non-negative integers".into()),
+                    Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => {
+                        daily.push(n as u64);
+                    }
+                    _ => {
+                        return Err(format!(
+                            "`counts` entries must be non-negative integers <= {}",
+                            u32::MAX
+                        ))
+                    }
                 }
             }
             let data = BugCountData::new(daily).map_err(|e| format!("bad `counts`: {e}"))?;
@@ -278,6 +293,13 @@ impl JobStatus {
             Self::Failed => "failed",
             Self::Cancelled => "cancelled",
         }
+    }
+
+    /// Whether the job can no longer change state (done, failed, or
+    /// cancelled). Only terminal records are eligible for eviction.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Self::Done | Self::Failed | Self::Cancelled)
     }
 }
 
@@ -351,18 +373,49 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Thread-safe registry of every job the server has seen.
-#[derive(Debug, Default)]
+/// Thread-safe registry of the jobs the server has seen.
+///
+/// Retention is bounded: at most `terminal_limit` records in a
+/// terminal state ([`JobStatus::is_terminal`]) are kept, and the
+/// oldest (lowest `job-N`) are evicted first — a long-running server
+/// holds a window of recent history instead of growing without bound.
+/// Queued and running records are never evicted.
+#[derive(Debug)]
 pub struct JobStore {
     records: Mutex<HashMap<String, JobRecord>>,
     next_id: AtomicU64,
+    terminal_limit: usize,
+}
+
+impl Default for JobStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Numeric suffix of a `job-N` id, for oldest-first eviction order.
+fn job_index(id: &str) -> u64 {
+    id.rsplit('-')
+        .next()
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(u64::MAX)
 }
 
 impl JobStore {
-    /// An empty store.
+    /// An empty store with unbounded retention (tests, embedders).
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_limit(usize::MAX)
+    }
+
+    /// An empty store keeping at most `limit` terminal records.
+    #[must_use]
+    pub fn with_limit(limit: usize) -> Self {
+        Self {
+            records: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            terminal_limit: limit.max(1),
+        }
     }
 
     /// Allocates the next job id (`job-1`, `job-2`, …).
@@ -370,9 +423,31 @@ impl JobStore {
         format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
-    /// Inserts (or replaces) a record.
+    fn evict_excess_terminal(&self, records: &mut HashMap<String, JobRecord>) {
+        if records.len() <= self.terminal_limit {
+            return;
+        }
+        let mut terminal: Vec<(u64, String)> = records
+            .values()
+            .filter(|r| r.status.is_terminal())
+            .map(|r| (job_index(&r.id), r.id.clone()))
+            .collect();
+        if terminal.len() <= self.terminal_limit {
+            return;
+        }
+        let excess = terminal.len() - self.terminal_limit;
+        terminal.sort_unstable();
+        for (_, id) in terminal.into_iter().take(excess) {
+            records.remove(&id);
+        }
+    }
+
+    /// Inserts (or replaces) a record, evicting the oldest terminal
+    /// records beyond the retention limit.
     pub fn insert(&self, record: JobRecord) {
-        lock_ignoring_poison(&self.records).insert(record.id.clone(), record);
+        let mut records = lock_ignoring_poison(&self.records);
+        records.insert(record.id.clone(), record);
+        self.evict_excess_terminal(&mut records);
     }
 
     /// Snapshot of one record.
@@ -388,8 +463,21 @@ impl JobStore {
     }
 
     /// Runs `f` on a record under the lock; `None` for unknown ids.
+    /// A transition into a terminal state triggers the same eviction
+    /// pass as [`JobStore::insert`].
     pub fn with<R>(&self, id: &str, f: impl FnOnce(&mut JobRecord) -> R) -> Option<R> {
-        lock_ignoring_poison(&self.records).get_mut(id).map(f)
+        let mut records = lock_ignoring_poison(&self.records);
+        let (out, terminal) = match records.get_mut(id) {
+            Some(record) => {
+                let out = f(record);
+                (Some(out), record.status.is_terminal())
+            }
+            None => (None, false),
+        };
+        if terminal {
+            self.evict_excess_terminal(&mut records);
+        }
+        out
     }
 
     /// Per-status job counts
@@ -466,6 +554,16 @@ mod tests {
                 "must be at least 1",
             ),
             (r#"{"kind":"fit","counts":[1,-2]}"#, "non-negative integers"),
+            // Values this large would overflow the u64 cumulative sum
+            // downstream; the per-entry bound rejects them up front.
+            (
+                r#"{"kind":"fit","counts":[1e19,1e19]}"#,
+                "non-negative integers",
+            ),
+            (
+                r#"{"kind":"fit","counts":[4294967296]}"#,
+                "non-negative integers",
+            ),
             (
                 r#"{"kind":"predict","dataset":"musa_cc96","horizon":0}"#,
                 "`horizon` must be at least 1",
@@ -504,6 +602,24 @@ mod tests {
     }
 
     #[test]
+    fn select_key_ignores_the_irrelevant_model_field() {
+        // `select` sweeps all five models, so the request's `model`
+        // must not split the cache.
+        let a = spec_from(r#"{"kind":"select","dataset":"musa_cc96","model":"model0"}"#).unwrap();
+        let b = spec_from(r#"{"kind":"select","dataset":"musa_cc96","model":"model3"}"#).unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        // But fit and predict keys still depend on the model.
+        let fit_a = spec_from(r#"{"kind":"fit","dataset":"musa_cc96","model":"model0"}"#).unwrap();
+        let fit_b = spec_from(r#"{"kind":"fit","dataset":"musa_cc96","model":"model3"}"#).unwrap();
+        assert_ne!(fit_a.cache_key(), fit_b.cache_key());
+        let p_a =
+            spec_from(r#"{"kind":"predict","dataset":"musa_cc96","model":"model0"}"#).unwrap();
+        let p_b =
+            spec_from(r#"{"kind":"predict","dataset":"musa_cc96","model":"model3"}"#).unwrap();
+        assert_ne!(p_a.cache_key(), p_b.cache_key());
+    }
+
+    #[test]
     fn predict_horizon_is_in_the_key_but_not_fit_horizon() {
         let fit_a = spec_from(r#"{"kind":"fit","dataset":"musa_cc96","horizon":10}"#).unwrap();
         let fit_b = spec_from(r#"{"kind":"fit","dataset":"musa_cc96","horizon":20}"#).unwrap();
@@ -530,5 +646,40 @@ mod tests {
         assert!(store.get("job-9").is_none());
         let doc = store.get("job-2").unwrap().status_value();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+    }
+
+    #[test]
+    fn store_evicts_oldest_terminal_records_beyond_the_limit() {
+        let store = JobStore::with_limit(2);
+        // A live (queued) record older than everything terminal.
+        store.insert(JobRecord::new(
+            "job-1".into(),
+            JobKind::Fit,
+            "k".into(),
+            JobStatus::Queued,
+        ));
+        for n in 2..=5 {
+            store.insert(JobRecord::new(
+                format!("job-{n}"),
+                JobKind::Fit,
+                "k".into(),
+                JobStatus::Done,
+            ));
+        }
+        // Only the two newest terminal records survive; the queued
+        // record is never evicted, however old.
+        assert!(store.get("job-1").is_some());
+        assert!(store.get("job-2").is_none());
+        assert!(store.get("job-3").is_none());
+        assert!(store.get("job-4").is_some());
+        assert!(store.get("job-5").is_some());
+
+        // A transition into a terminal state also triggers eviction.
+        store.with("job-1", |r| r.status = JobStatus::Cancelled);
+        let remaining: Vec<bool> = (1..=5)
+            .map(|n| store.get(&format!("job-{n}")).is_some())
+            .collect();
+        assert_eq!(remaining.iter().filter(|&&kept| kept).count(), 2);
+        assert_eq!(store.counts().0, 0);
     }
 }

@@ -2,12 +2,17 @@
 //! graceful-shutdown drain.
 //!
 //! One thread owns a non-blocking [`TcpListener`] and polls it
-//! alongside the shutdown flag; requests are handled inline on that
-//! thread (every route is cheap — the expensive work happens on the
-//! worker pool, which feeds off the bounded [`JobQueue`]). On
-//! shutdown the accept loop stops taking connections, closes the
-//! queue, and the workers finish every job that was already accepted
-//! before exiting — the drain contract documented in DESIGN.md §11.
+//! alongside the shutdown flag; each accepted connection is handled
+//! on a short-lived thread with both read and write timeouts, so a
+//! slow or stalled client can delay only its own response, never the
+//! accept loop or the other endpoints. Handler threads are capped —
+//! beyond the cap the accept loop falls back to serial (inline)
+//! handling, which the timeouts keep bounded. The expensive work
+//! happens on the worker pool, which feeds off the bounded
+//! [`JobQueue`]. On shutdown the accept loop stops taking
+//! connections, joins in-flight handlers, closes the queue, and the
+//! workers finish every job that was already accepted before
+//! exiting — the drain contract documented in DESIGN.md §11.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -30,6 +35,11 @@ use crate::signal;
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
 /// Per-connection read timeout (slow or silent clients).
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Per-connection write timeout (clients that stop reading).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Cap on concurrent connection-handler threads; beyond it new
+/// connections are handled inline on the accept thread.
+const MAX_CONNECTION_THREADS: usize = 64;
 
 /// A test latch that holds workers at the top of job execution.
 ///
@@ -94,6 +104,12 @@ pub struct ServerConfig {
     pub trace_dir: Option<String>,
     /// Value of the `Retry-After` header on 429 responses.
     pub retry_after_secs: u64,
+    /// Max terminal (done/failed/cancelled) job records retained;
+    /// the oldest are evicted first, so a very old job id eventually
+    /// answers 404. Queued and running jobs are never evicted.
+    pub job_history_limit: usize,
+    /// Max result documents in the fit cache (FIFO eviction).
+    pub cache_capacity: usize,
     /// Whether the accept loop also honours the process-wide
     /// [`signal`] flag (SIGTERM/SIGINT). CLI servers set this; tests
     /// use [`Server::request_shutdown`] so parallel servers don't
@@ -111,6 +127,8 @@ impl Default for ServerConfig {
             queue_capacity: 16,
             trace_dir: None,
             retry_after_secs: 1,
+            job_history_limit: 1_024,
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
             watch_signals: false,
             gate: None,
         }
@@ -188,9 +206,9 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
-            store: JobStore::new(),
+            store: JobStore::with_limit(config.job_history_limit),
             queue: JobQueue::new(config.queue_capacity),
-            cache: FitCache::new(),
+            cache: FitCache::with_capacity(config.cache_capacity),
             metrics: ServeMetrics::new(),
             stats: Arc::new(StatsCollector::new()),
             shutdown: AtomicBool::new(false),
@@ -249,26 +267,45 @@ impl Server {
 }
 
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     loop {
+        handlers.retain(|h| !h.is_finished());
         if state.shutting_down() {
             state.shutdown.store(true, Ordering::SeqCst);
             break;
         }
         match listener.accept() {
-            Ok((stream, _)) => handle_connection(state, stream),
+            Ok((stream, _)) => {
+                if handlers.len() >= MAX_CONNECTION_THREADS {
+                    // Saturated: degrade to serial handling (the
+                    // read/write timeouts bound the stall) rather
+                    // than spawn without limit.
+                    handle_connection(state, stream);
+                } else {
+                    let conn_state = Arc::clone(state);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(&conn_state, stream)
+                    }));
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
             }
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
     }
-    // No new connections from here on; reject new pushes but let the
-    // workers finish what was already accepted.
+    // Let in-flight responses finish (bounded by the timeouts), then
+    // close the queue: new pushes are rejected but the workers finish
+    // what was already accepted.
+    for handler in handlers {
+        let _ = handler.join();
+    }
     state.queue.close();
 }
 
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     state.metrics.http_requests.incr();
     let response = match read_request(&mut stream) {
         Ok(request) => route(state, &request),
