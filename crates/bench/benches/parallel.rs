@@ -11,9 +11,13 @@
 use srm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srm_data::datasets;
 use srm_mcmc::gibbs::{GibbsSampler, PriorSpec};
-use srm_mcmc::runner::{run_chains_fault_tolerant, McmcConfig, RunOptions};
+use srm_mcmc::runner::{
+    run_chains_fault_tolerant, run_chains_fault_tolerant_traced, McmcConfig, RunOptions,
+};
 use srm_model::{DetectionModel, ZetaBounds};
+use srm_obs::{Event, Recorder};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn musa_sampler() -> GibbsSampler {
     GibbsSampler::new(
@@ -66,5 +70,57 @@ fn bench_suffstats_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fit_by_threads, bench_suffstats_cache);
+/// An enabled recorder that only counts events — the cheapest sink
+/// that still forces the runner onto its instrumented path, so the
+/// off/on delta isolates the streaming-accumulator cost itself.
+#[derive(Debug, Default)]
+struct CountingRecorder(AtomicU64);
+
+impl Recorder for CountingRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, _event: &Event) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Streaming-checkpoint overhead: the same traced 4-chain fit with
+/// checkpoints off versus every 50 sweeps. The acceptance budget for
+/// PR 5 is < 3% wall-clock overhead at the serve cadence (50).
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let sampler = musa_sampler();
+    let config = McmcConfig {
+        chains: 4,
+        burn_in: 200,
+        samples: 300,
+        thin: 1,
+        seed: 4_242,
+    };
+    let mut group = c.benchmark_group("parallel/checkpoint_overhead");
+    group.sample_size(10);
+    for (label, every) in [("off", 0usize), ("every50", 50)] {
+        let options = RunOptions {
+            checkpoint_every: every,
+            ..RunOptions::none()
+        };
+        group.bench_with_input(BenchmarkId::new("checkpoint", label), &sampler, |b, s| {
+            b.iter(|| {
+                let recorder = CountingRecorder::default();
+                let run =
+                    run_chains_fault_tolerant_traced(s, &config, &options, &recorder).unwrap();
+                black_box(run.output.pooled("residual").iter().sum::<f64>())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fit_by_threads,
+    bench_suffstats_cache,
+    bench_checkpoint_overhead
+);
 criterion_main!(benches);

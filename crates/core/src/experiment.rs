@@ -514,6 +514,7 @@ mod tests {
                 kind: srm_mcmc::FaultKind::Panic,
             }]),
             threads: 0,
+            checkpoint_every: 0,
         };
         let results = exp.try_run(&options).unwrap();
         // 2 priors × 1 model × 1 day, each losing chain 1 of 2.
@@ -538,6 +539,7 @@ mod tests {
                 kind: srm_mcmc::FaultKind::Panic,
             }]),
             threads: 0,
+            checkpoint_every: 0,
         };
         let results = exp.try_run(&options).unwrap();
         // The only chain of every cell panics: no cells, all failures,

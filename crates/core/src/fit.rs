@@ -324,6 +324,7 @@ mod tests {
                 kind: FaultKind::Panic,
             }]),
             threads: 0,
+            checkpoint_every: 0,
         };
         let out = Fit::try_run(
             PriorSpec::Poisson {

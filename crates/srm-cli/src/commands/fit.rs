@@ -54,6 +54,7 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             FaultPlan::from_seed(mcmc.seed, mcmc.chains, total_sweeps, inject)
         },
         threads,
+        checkpoint_every: args.get_parsed("checkpoint-every", 0usize)?,
     };
 
     let tolerant = Fit::try_run_traced(

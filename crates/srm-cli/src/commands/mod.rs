@@ -5,6 +5,7 @@ pub mod predict;
 pub mod select;
 pub mod serve;
 pub mod simulate;
+pub mod trace;
 pub mod trend;
 pub mod version;
 
@@ -29,6 +30,7 @@ COMMANDS:
     trend     Laplace trend test and dataset summary
     simulate  Generate synthetic bug-count data (CSV on stdout)
     serve     Long-running HTTP estimation service (job queue + fit cache)
+    trace     Analyse JSONL traces: summarize | diff | lint
     version   Print crate and schema versions
     help      Show this message
 
@@ -53,6 +55,14 @@ OBSERVABILITY (fit/select/trend):
                                acceptance, fault/retry counters, diagnostics
     --progress                 throttled per-chain progress lines on stderr
     --verbosity 0|1|2          progress detail                  [default: 1]
+    --checkpoint-every K       streaming convergence checkpoints every K
+                               sweeps (0 = off; never changes the draws)
+
+TRACE ANALYSIS (srm trace):
+    srm trace summarize --file run.jsonl     counts, phase timings, and the
+                                             convergence trajectory
+    srm trace diff --a run1.jsonl --b run2.jsonl
+    srm trace lint --file run.jsonl --strict schema validation (CI gate)
 
 SERVING (srm serve):
     --addr <ip:port>        bind address            [default: 127.0.0.1:8377]

@@ -41,7 +41,8 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         gamma_max: theta_max.max(1.0),
     };
     let threads: usize = args.get_parsed("threads", 0usize)?;
-    let options = RunOptions::with_threads(threads);
+    let mut options = RunOptions::with_threads(threads);
+    options.checkpoint_every = args.get_parsed("checkpoint-every", 0usize)?;
     let obs = Observability::from_args(&args)?;
     obs.emit_run_start("select", "all", prior.label(), mcmc.seed, &data);
 

@@ -11,6 +11,7 @@
 //! srm trend    --data counts.csv
 //! srm simulate --bugs 200 --days 60 --p 0.05 --seed 1
 //! srm serve    --addr 127.0.0.1:0 --port-file srm.port
+//! srm trace    summarize --file run.jsonl
 //! srm version
 //! ```
 //!
@@ -59,6 +60,7 @@ fn dispatch(raw: &[String]) -> Result<String, ArgError> {
         "trend" => commands::trend::run(raw),
         "simulate" => commands::simulate::run(raw),
         "serve" => commands::serve::run(raw),
+        "trace" => commands::trace::run(raw),
         "version" | "--version" | "-V" => commands::version::run(raw),
         "help" | "--help" | "-h" | "" => Ok(commands::help_text()),
         other => Err(ArgError(format!(

@@ -1,13 +1,16 @@
 //! CLI wiring for the observability layer.
 //!
-//! Every estimation command accepts the same four controls:
+//! Every estimation command accepts the same five controls:
 //!
 //! * `--trace-out <file.jsonl>` — typed event stream, one JSON object
 //!   per line ([`srm_obs::JsonlSink`]);
 //! * `--metrics-out <file.json>` — run manifest written on completion
 //!   ([`srm_obs::RunManifest`]);
 //! * `--progress` — throttled per-chain progress lines on stderr;
-//! * `--verbosity <0|1|2>` — how chatty `--progress` is.
+//! * `--verbosity <0|1|2>` — how chatty `--progress` is;
+//! * `--checkpoint-every <K>` — emit a streaming
+//!   `diagnostic-checkpoint` per chain every K sweeps (0 disables;
+//!   never perturbs the sampled values).
 //!
 //! With none of them given, the assembled recorder is disabled and
 //! the pipeline runs on its zero-cost no-op path.
@@ -21,7 +24,7 @@ use srm_obs::{
 };
 
 /// Flags every instrumented subcommand accepts.
-pub const OBS_FLAGS: &[&str] = &["trace-out", "metrics-out", "verbosity"];
+pub const OBS_FLAGS: &[&str] = &["trace-out", "metrics-out", "verbosity", "checkpoint-every"];
 
 /// Switches every instrumented subcommand accepts.
 pub const OBS_SWITCHES: &[&str] = &["progress"];

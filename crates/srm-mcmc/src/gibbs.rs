@@ -29,6 +29,19 @@ use std::cell::RefCell;
 /// Tiny positive shift keeping exact conditionals strictly inside
 /// their open supports after floating-point round-off.
 const OPEN_SHIFT: f64 = 1e-12;
+
+/// Converts the sampler's live acceptance tally into the owned form
+/// carried by `chain-done` and `diagnostic-checkpoint` events.
+fn accept_stats(tally: &[ParamAcceptance]) -> Vec<srm_obs::AcceptStat> {
+    tally
+        .iter()
+        .map(|t| srm_obs::AcceptStat {
+            parameter: t.parameter.to_string(),
+            steps: t.steps,
+            accepted: t.accepted,
+        })
+        .collect()
+}
 use srm_model::{DetectionModel, GroupedLikelihood, ZetaBounds};
 use srm_rand::{Beta, Distribution, NegativeBinomial, Poisson, Rng, TruncatedGamma};
 
@@ -625,7 +638,7 @@ impl GibbsSampler {
         observer: &mut dyn FnMut(&SweepRecord<'_>),
     ) -> Result<(Chain, RecoveryLog), ChainFailure> {
         self.try_run_chain_traced(
-            rng, burn_in, samples, thin, retry, injector, observer, 0, &NOOP,
+            rng, burn_in, samples, thin, retry, injector, observer, 0, &NOOP, 0,
         )
     }
 
@@ -638,6 +651,13 @@ impl GibbsSampler {
     /// draws are bit-identical to the untraced call; with a disabled
     /// recorder (`enabled() == false`) no event is even constructed
     /// and the only cost is one branch per sweep.
+    ///
+    /// `checkpoint_every > 0` additionally maintains streaming
+    /// convergence accumulators over the kept draws and emits a
+    /// [`Event::DiagnosticCheckpoint`] every that many sweeps (plus a
+    /// final one at chain completion). The accumulators read only rows
+    /// the chain already kept and never touch `rng`, so checkpointed
+    /// runs remain bit-identical too.
     ///
     /// # Errors
     ///
@@ -654,6 +674,7 @@ impl GibbsSampler {
         observer: &mut dyn FnMut(&SweepRecord<'_>),
         chain_id: usize,
         recorder: &dyn Recorder,
+        checkpoint_every: usize,
     ) -> Result<(Chain, RecoveryLog), ChainFailure> {
         let invalid = |detail: String| ChainFailure {
             fault: SrmError::InvalidConfig { detail },
@@ -675,6 +696,9 @@ impl GibbsSampler {
         let names = self.param_names();
         let mut chain = Chain::new(&names);
         chain.reserve(samples);
+        let mut streaming = (checkpoint_every > 0 && recorder.enabled())
+            .then(|| crate::streaming::ChainAccumulator::new(&names, samples));
+        let mut last_checkpoint: Option<usize> = None;
 
         let total_sweeps = burn_in + samples * thin;
         let mut kept = 0usize;
@@ -772,6 +796,9 @@ impl GibbsSampler {
                         row.extend_from_slice(&state.zeta);
                         chain.push(&row);
                         kept += 1;
+                        if let Some(acc) = streaming.as_mut() {
+                            acc.push_row(&row);
+                        }
                         observer(&SweepRecord {
                             n,
                             residual,
@@ -797,6 +824,19 @@ impl GibbsSampler {
                                 parameter: t.parameter,
                                 accepted: moved,
                             });
+                        }
+                    }
+                    if let Some(acc) = streaming.as_ref() {
+                        if kept > 0 && (sweep + 1).is_multiple_of(checkpoint_every) {
+                            recorder.record(&Event::DiagnosticCheckpoint {
+                                checkpoint: acc.checkpoint(
+                                    chain_id,
+                                    sweep,
+                                    kept,
+                                    accept_stats(&tally),
+                                ),
+                            });
+                            last_checkpoint = Some(sweep);
                         }
                     }
                     if trace_sweep {
@@ -839,6 +879,21 @@ impl GibbsSampler {
                         });
                     }
                 }
+            }
+        }
+        // A final checkpoint at chain completion (unless the cadence
+        // already landed one on the last sweep), so consumers always
+        // see the full-chain summary.
+        if let Some(acc) = streaming.as_ref() {
+            if last_checkpoint != Some(total_sweeps - 1) && kept > 0 {
+                recorder.record(&Event::DiagnosticCheckpoint {
+                    checkpoint: acc.checkpoint(
+                        chain_id,
+                        total_sweeps - 1,
+                        kept,
+                        accept_stats(&tally),
+                    ),
+                });
             }
         }
         log.accept = tally;

@@ -49,6 +49,7 @@ pub mod gibbs;
 pub mod metropolis;
 pub mod runner;
 pub mod slice;
+pub mod streaming;
 pub mod summary;
 
 pub use chain::Chain;
@@ -66,4 +67,5 @@ pub use runner::{
     effective_threads, run_chains, run_chains_fault_tolerant, run_chains_fault_tolerant_traced,
     FaultTolerantRun, McmcConfig, McmcOutput, RunOptions,
 };
+pub use streaming::{ChainAccumulator, ParamAccumulator, DEFAULT_LAG_WINDOW};
 pub use summary::{AcceptanceSummary, PosteriorSummary};

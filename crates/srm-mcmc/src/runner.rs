@@ -8,7 +8,8 @@
 //! *when* a chain runs, never what it computes. Each worker buffers
 //! its chains' trace events and the driver replays them in chain
 //! order after the pool drains, so recorded traces are deterministic
-//! too.
+//! too (streaming `diagnostic-checkpoint` events alone are delivered
+//! live, in arrival order, so progress can be observed mid-run).
 //!
 //! [`run_chains_fault_tolerant`] is the panic-contained entry point:
 //! each chain is wrapped in `catch_unwind`, faulted sweeps are
@@ -132,6 +133,10 @@ pub struct RunOptions {
     /// auto, `min(chains, cores)`. Any value yields bit-identical
     /// draws — see [`effective_threads`].
     pub threads: usize,
+    /// Streaming diagnostic-checkpoint cadence in sweeps; `0` (the
+    /// default) disables checkpoints. Checkpoints never touch the
+    /// sampler's RNG, so any cadence yields bit-identical draws.
+    pub checkpoint_every: usize,
 }
 
 impl RunOptions {
@@ -143,6 +148,7 @@ impl RunOptions {
             retry: RetryPolicy::none(),
             fault_plan: FaultPlan::none(),
             threads: 0,
+            checkpoint_every: 0,
         }
     }
 
@@ -177,6 +183,15 @@ pub fn effective_threads(requested: usize, chains: usize) -> usize {
 /// `enabled`/`sweep_stride` delegate to the real recorder, so stride
 /// gating (and the disabled fast path) behave exactly as they would
 /// with direct recording.
+///
+/// [`Event::DiagnosticCheckpoint`] is the one exception: it is
+/// forwarded to the real recorder immediately (and not buffered), so
+/// live progress consumers see convergence while the pool is still
+/// running. Checkpoint content is per-chain and deterministic for any
+/// thread count; only the cross-chain *interleaving* of checkpoint
+/// lines in a trace follows worker scheduling (single-threaded runs
+/// interleave deterministically, and per-chain order is always
+/// monotone in `sweep`).
 struct BufferRecorder<'a> {
     inner: &'a dyn Recorder,
     events: Mutex<Vec<Event>>,
@@ -207,6 +222,12 @@ impl Recorder for BufferRecorder<'_> {
     }
 
     fn record(&self, event: &Event) {
+        if matches!(event, Event::DiagnosticCheckpoint { .. }) {
+            // Live forwarding: progress consumers want checkpoints as
+            // they happen, not after the pool drains.
+            self.inner.record(event);
+            return;
+        }
         self.events
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -285,6 +306,12 @@ type Slot = (Option<Chain>, ChainReport, Vec<Event>, f64);
 /// The recorder is observation-only: draws are bit-identical to the
 /// untraced call for any recorder, and the replayed event stream is
 /// identical for any thread count (wall-time stamps excepted).
+/// `diagnostic-checkpoint` events are the one exception to ordered
+/// replay: they are forwarded live (for progress consumers) and so
+/// interleave across chains in arrival order — deterministic with one
+/// worker, scheduling-dependent otherwise; each chain's own
+/// checkpoints are always monotone in `sweep`, and their *content* is
+/// thread-count-invariant.
 ///
 /// # Errors
 ///
@@ -429,6 +456,7 @@ fn run_one_chain(
             &mut |_| {},
             i,
             chain_recorder,
+            options.checkpoint_every,
         )
     }));
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;

@@ -8,13 +8,15 @@
 //! `to_value()` the full JSON payload — so every sink shares a single
 //! formatting path.
 
+use crate::checkpoint::ChainCheckpoint;
 use crate::json::Value;
 
 /// Version of the event taxonomy below. Bumped whenever a kind is
 /// added, removed, or changes its required fields, so trace consumers
 /// can detect schema drift. Version 1 was the PR 2 taxonomy; version 2
-/// adds the `srm-serve` job lifecycle and cache events.
-pub const EVENT_SCHEMA_VERSION: u64 = 2;
+/// adds the `srm-serve` job lifecycle and cache events; version 3 adds
+/// the streaming `diagnostic-checkpoint` kind.
+pub const EVENT_SCHEMA_VERSION: u64 = 3;
 
 /// Per-parameter accept statistics carried by [`Event::ChainDone`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -264,6 +266,14 @@ pub enum Event {
         /// Content-addressed cache key that missed.
         cache_key: String,
     },
+    /// A periodic streaming-diagnostics snapshot for one chain:
+    /// per-parameter running moments, split halves, ESS/MCSE, and
+    /// acceptance so far. Emitted every `checkpoint_every` sweeps
+    /// (and once at chain end) when checkpoints are enabled.
+    DiagnosticCheckpoint {
+        /// The full per-chain checkpoint payload.
+        checkpoint: ChainCheckpoint,
+    },
 }
 
 /// Every `kind()` label, for schema validation.
@@ -291,6 +301,7 @@ pub const EVENT_KINDS: &[&str] = &[
     "job-done",
     "cache-hit",
     "cache-miss",
+    "diagnostic-checkpoint",
 ];
 
 impl Event {
@@ -320,6 +331,7 @@ impl Event {
             Event::JobDone { .. } => "job-done",
             Event::CacheHit { .. } => "cache-hit",
             Event::CacheMiss { .. } => "cache-miss",
+            Event::DiagnosticCheckpoint { .. } => "diagnostic-checkpoint",
         }
     }
 
@@ -336,6 +348,7 @@ impl Event {
             | Event::ChainPanicked { chain, .. }
             | Event::ChainDone { chain, .. }
             | Event::ChainReport { chain, .. } => Some(*chain),
+            Event::DiagnosticCheckpoint { checkpoint } => Some(checkpoint.chain),
             _ => None,
         }
     }
@@ -550,6 +563,32 @@ impl Event {
             Event::CacheMiss { cache_key } => {
                 push("cache_key", Value::Str(cache_key.clone()));
             }
+            Event::DiagnosticCheckpoint { checkpoint } => {
+                push("chain", Value::Num(checkpoint.chain as f64));
+                push("sweep", Value::Num(checkpoint.sweep as f64));
+                push("kept", Value::Num(checkpoint.kept as f64));
+                push(
+                    "params",
+                    Value::Arr(checkpoint.params.iter().map(|p| p.to_value()).collect()),
+                );
+                push(
+                    "accept",
+                    Value::Arr(
+                        checkpoint
+                            .accept
+                            .iter()
+                            .map(|a| {
+                                Value::obj(vec![
+                                    ("parameter", Value::Str(a.parameter.clone())),
+                                    ("steps", Value::Num(a.steps as f64)),
+                                    ("accepted", Value::Num(a.accepted as f64)),
+                                    ("rate", Value::Num(a.rate())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+            }
         }
         Value::Obj(pairs)
     }
@@ -582,6 +621,7 @@ pub fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
         "job-done" => &["job_id", "status", "cached", "wall_ms"],
         "cache-hit" => &["cache_key"],
         "cache-miss" => &["cache_key"],
+        "diagnostic-checkpoint" => &["chain", "sweep", "kept", "params", "accept"],
         _ => return None,
     })
 }
@@ -712,6 +752,34 @@ mod tests {
             Event::CacheMiss {
                 cache_key: "0123456789abcdef".into(),
             },
+            Event::DiagnosticCheckpoint {
+                checkpoint: ChainCheckpoint {
+                    chain: 0,
+                    sweep: 49,
+                    kept: 25,
+                    params: vec![crate::checkpoint::ParamCheckpoint {
+                        parameter: "residual".into(),
+                        moments: crate::checkpoint::MomentSummary {
+                            count: 25,
+                            mean: 4.2,
+                            variance: 1.1,
+                        },
+                        half1: crate::checkpoint::MomentSummary {
+                            count: 25,
+                            mean: 4.2,
+                            variance: 1.1,
+                        },
+                        half2: crate::checkpoint::MomentSummary::default(),
+                        ess: 18.0,
+                        mcse: 0.25,
+                    }],
+                    accept: vec![AcceptStat {
+                        parameter: "zeta0".into(),
+                        steps: 50,
+                        accepted: 21,
+                    }],
+                },
+            },
         ];
         assert_eq!(samples.len(), EVENT_KINDS.len());
         for event in &samples {
@@ -763,5 +831,48 @@ mod tests {
     #[test]
     fn unknown_kind_has_no_schema() {
         assert!(required_fields("not-an-event").is_none());
+    }
+
+    #[test]
+    fn diagnostic_checkpoint_round_trips_through_json() {
+        let checkpoint = ChainCheckpoint {
+            chain: 2,
+            sweep: 99,
+            kept: 50,
+            params: vec![crate::checkpoint::ParamCheckpoint {
+                parameter: "lambda0".into(),
+                moments: crate::checkpoint::MomentSummary {
+                    count: 50,
+                    mean: 0.5,
+                    variance: 0.01,
+                },
+                half1: crate::checkpoint::MomentSummary {
+                    count: 25,
+                    mean: 0.49,
+                    variance: 0.012,
+                },
+                half2: crate::checkpoint::MomentSummary {
+                    count: 25,
+                    mean: 0.51,
+                    variance: 0.008,
+                },
+                ess: 31.5,
+                mcse: 0.017,
+            }],
+            accept: vec![AcceptStat {
+                parameter: "zeta1".into(),
+                steps: 100,
+                accepted: 37,
+            }],
+        };
+        let event = Event::DiagnosticCheckpoint {
+            checkpoint: checkpoint.clone(),
+        };
+        let value = event.to_value();
+        assert_eq!(event.chain(), Some(2));
+        let text = value.to_json();
+        let parsed = crate::json::parse(&text).unwrap();
+        let back = ChainCheckpoint::from_value(&parsed).unwrap();
+        assert_eq!(back, checkpoint);
     }
 }

@@ -466,6 +466,47 @@ mod tests {
     }
 
     #[test]
+    fn every_control_character_round_trips() {
+        // U+0000..U+001F must all serialise to escapes that re-parse
+        // to the original string (satellite: JSON writer hardening).
+        let s: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Value::Str(s.clone());
+        let text = v.to_json();
+        assert!(
+            text.bytes().all(|b| (0x20..0x80).contains(&b)),
+            "control characters must leave the wire form: {text:?}"
+        );
+        assert_eq!(parse(&text).unwrap().as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn lossy_utf8_replacement_chars_round_trip() {
+        // Lone surrogates / invalid bytes can only enter a Rust &str
+        // as U+FFFD via from_utf8_lossy; they must survive the trip.
+        let lossy = String::from_utf8_lossy(&[0xf0, 0x9f, b'x', 0xed, 0xa0, 0x80]).into_owned();
+        assert!(lossy.contains('\u{FFFD}'));
+        let v = Value::Str(lossy.clone());
+        let text = v.to_json();
+        assert_eq!(parse(&text).unwrap().as_str(), Some(lossy.as_str()));
+    }
+
+    #[test]
+    fn non_finite_fields_still_produce_valid_documents() {
+        let doc = Value::obj(vec![
+            ("rhat", Value::Num(f64::NAN)),
+            ("ess", Value::Num(f64::INFINITY)),
+            ("mcse", Value::Num(f64::NEG_INFINITY)),
+            ("ok", Value::Num(1.5)),
+        ]);
+        let text = doc.to_json();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.get("rhat").unwrap(), &Value::Null);
+        assert_eq!(back.get("ess").unwrap(), &Value::Null);
+        assert_eq!(back.get("mcse").unwrap(), &Value::Null);
+        assert_eq!(back.get("ok").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
     fn parses_whitespace_and_unicode() {
         let v = parse(" { \"k\" : [ 1 , 2.5e1 , \"\\u00e9é\" ] } ").unwrap();
         let arr = v.get("k").unwrap().as_arr().unwrap();

@@ -25,11 +25,13 @@
 //! | [`ProgressSink`] | `--progress`: throttled human lines on stderr |
 //! | [`StatsCollector`] | aggregates events into manifest numbers |
 //! | [`RunManifest`] | the `--metrics-out` document |
+//! | [`ChainCheckpoint`] / [`aggregate`] | streaming `diagnostic-checkpoint` payloads and their cross-chain R̂/ESS aggregation |
 //! | [`json`] | dependency-free JSON writer + parser |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod event;
 pub mod json;
 pub mod manifest;
@@ -37,6 +39,10 @@ pub mod recorder;
 pub mod sinks;
 pub mod stats;
 
+pub use checkpoint::{
+    aggregate, psrf_from_moments, AggregateDiagnostic, ChainCheckpoint, MomentSummary,
+    ParamCheckpoint,
+};
 pub use event::{required_fields, AcceptStat, Event, EVENT_KINDS, EVENT_SCHEMA_VERSION};
 pub use manifest::{
     build_info_value, dataset_hash, fnv1a_hex, ManifestChain, RunManifest, MANIFEST_SCHEMA_VERSION,

@@ -8,6 +8,7 @@
 
 use std::io;
 
+use crate::checkpoint::{aggregate, AggregateDiagnostic};
 use crate::event::{AcceptStat, EVENT_SCHEMA_VERSION};
 use crate::json::Value;
 use crate::stats::{DiagnosticStat, StatsCollector};
@@ -115,6 +116,12 @@ pub struct RunManifest {
     pub converged: Option<bool>,
     /// WAIC total of the (selected) model, when computed.
     pub waic: Option<f64>,
+    /// `diagnostic-checkpoint` events the run emitted (0 when
+    /// checkpoints were disabled).
+    pub checkpoints_seen: u64,
+    /// Cross-chain convergence summary from the final checkpoint of
+    /// each chain (empty when checkpoints were disabled).
+    pub checkpoint_summary: Vec<AggregateDiagnostic>,
 }
 
 impl RunManifest {
@@ -158,6 +165,9 @@ impl RunManifest {
         if self.waic.is_none() {
             self.waic = stats.waic().map(|(_, total, _)| total);
         }
+        self.checkpoints_seen = stats.checkpoints_seen();
+        let latest = stats.latest_checkpoints();
+        self.checkpoint_summary = aggregate(&latest.iter().collect::<Vec<_>>());
     }
 
     /// Serialises the manifest to its JSON document model.
@@ -262,6 +272,21 @@ impl RunManifest {
             ),
             ("converged", self.converged.map_or(Value::Null, Value::Bool)),
             ("waic", self.waic.map_or(Value::Null, Value::Num)),
+            (
+                "checkpoints",
+                Value::obj(vec![
+                    ("seen", Value::Num(self.checkpoints_seen as f64)),
+                    (
+                        "summary",
+                        Value::Arr(
+                            self.checkpoint_summary
+                                .iter()
+                                .map(AggregateDiagnostic::to_value)
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -332,6 +357,15 @@ mod tests {
             }],
             converged: Some(true),
             waic: Some(210.7),
+            checkpoints_seen: 8,
+            checkpoint_summary: vec![AggregateDiagnostic {
+                parameter: "residual".into(),
+                mean: 4.5,
+                rhat: 1.02,
+                split_rhat: 1.03,
+                ess: 750.0,
+                mcse: 0.04,
+            }],
         };
         let doc = parse(&manifest.to_value().to_json_pretty()).unwrap();
         assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(1.0));
@@ -371,6 +405,15 @@ mod tests {
             Some(1.0)
         );
         assert_eq!(doc.get("converged").unwrap(), &Value::Bool(true));
+        let checkpoints = doc.get("checkpoints").unwrap();
+        assert_eq!(checkpoints.get("seen").unwrap().as_f64(), Some(8.0));
+        let summary = checkpoints.get("summary").unwrap().as_arr().unwrap();
+        assert_eq!(
+            summary[0].get("parameter").unwrap().as_str(),
+            Some("residual")
+        );
+        assert_eq!(summary[0].get("rhat").unwrap().as_f64(), Some(1.02));
+        assert_eq!(summary[0].get("ess").unwrap().as_f64(), Some(750.0));
     }
 
     #[test]

@@ -184,8 +184,13 @@ impl Counter {
 /// A fixed-bucket histogram over `f64` observations.
 ///
 /// Bucket upper bounds are fixed at construction; observations above
-/// the last bound land in an implicit overflow bucket. Recording is
-/// lock-free (atomic bumps), so worker threads can share one instance.
+/// the last bound land in an implicit overflow bucket. Buckets are
+/// **right-closed** (Prometheus `le` semantics): a value exactly equal
+/// to a bound lands in the bucket that bound labels, so `observe(1.0)`
+/// with bounds `[1.0, 10.0]` counts in the `le=1.0` bucket. Non-finite
+/// observations (NaN, ±∞) count in the overflow bucket and are
+/// excluded from the running sum. Recording is lock-free (atomic
+/// bumps), so worker threads can share one instance.
 #[derive(Debug)]
 pub struct FixedHistogram {
     bounds: Vec<f64>,
@@ -210,8 +215,15 @@ impl FixedHistogram {
         Self::new(&bounds)
     }
 
-    /// Records one observation.
+    /// Records one observation. Boundary values land in the bucket
+    /// whose upper bound equals them (right-closed buckets); NaN and
+    /// ±∞ land in the overflow bucket and do not contribute to the
+    /// sum.
     pub fn observe(&self, value: f64) {
+        if !value.is_finite() {
+            self.buckets[self.bounds.len()].fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let idx = self.bounds.partition_point(|b| *b < value);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         // Track the sum in thousandths so `mean` stays available
@@ -364,6 +376,40 @@ mod tests {
         assert_eq!(snap[3].1, 1);
         assert_eq!(h.count(), 5);
         assert!((h.mean() - 111.14).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_boundary_values_land_in_their_own_bucket() {
+        // Right-closed buckets: a value equal to a bound belongs to
+        // the bucket that bound labels (Prometheus `le` semantics).
+        let h = FixedHistogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(1.0);
+        h.observe(10.0);
+        h.observe(100.0);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], (1.0, 1));
+        assert_eq!(snap[1], (10.0, 1));
+        assert_eq!(snap[2], (100.0, 1));
+        assert_eq!(snap[3].1, 0);
+        // Just above a bound spills into the next bucket.
+        h.observe(1.0000001);
+        assert_eq!(h.snapshot()[1].1, 2);
+    }
+
+    #[test]
+    fn histogram_routes_non_finite_to_overflow_without_poisoning_sum() {
+        let h = FixedHistogram::new(&[1.0, 10.0]);
+        h.observe(5.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        let snap = h.snapshot();
+        assert_eq!(snap[0].1, 0);
+        assert_eq!(snap[1].1, 1);
+        assert_eq!(snap[2].1, 3, "non-finite values count as overflow");
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 5.0).abs() < 1e-9);
+        assert!(h.mean().is_finite());
     }
 
     #[test]

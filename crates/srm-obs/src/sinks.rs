@@ -269,6 +269,27 @@ impl Recorder for ProgressSink {
             Event::CliDiagnostic { level, message } => {
                 self.say(&format!("{level}: {message}"));
             }
+            Event::DiagnosticCheckpoint { checkpoint } if self.verbosity >= 1 => {
+                // Headline one parameter: the residual-bug count when
+                // present, otherwise the first column.
+                let headline = checkpoint
+                    .params
+                    .iter()
+                    .find(|p| p.parameter == "residual")
+                    .or_else(|| checkpoint.params.first());
+                if let Some(p) = headline {
+                    self.say(&format!(
+                        "chain {}: checkpoint @ sweep {}: {} kept; {} mean {:.2} ess {:.0} mcse {:.3}",
+                        checkpoint.chain,
+                        checkpoint.sweep + 1,
+                        checkpoint.kept,
+                        p.parameter,
+                        p.moments.mean,
+                        p.ess,
+                        p.mcse
+                    ));
+                }
+            }
             _ => {}
         }
     }
@@ -411,6 +432,57 @@ mod tests {
         let text = buf2.text();
         assert!(text.contains("chain 0: done (1 retries; accept: n/a)"));
         assert!(text.contains("cell poisson/model1@48"));
+    }
+
+    #[test]
+    fn checkpoints_print_headline_parameter_at_verbosity_one() {
+        use crate::checkpoint::{ChainCheckpoint, MomentSummary, ParamCheckpoint};
+        let checkpoint = ChainCheckpoint {
+            chain: 1,
+            sweep: 49,
+            kept: 25,
+            params: vec![
+                ParamCheckpoint {
+                    parameter: "n".into(),
+                    moments: MomentSummary {
+                        count: 25,
+                        mean: 90.0,
+                        variance: 4.0,
+                    },
+                    half1: MomentSummary::default(),
+                    half2: MomentSummary::default(),
+                    ess: 20.0,
+                    mcse: 0.4,
+                },
+                ParamCheckpoint {
+                    parameter: "residual".into(),
+                    moments: MomentSummary {
+                        count: 25,
+                        mean: 3.75,
+                        variance: 1.0,
+                    },
+                    half1: MomentSummary::default(),
+                    half2: MomentSummary::default(),
+                    ess: 18.0,
+                    mcse: 0.236,
+                },
+            ],
+            accept: vec![],
+        };
+        let quiet = SharedBuf::default();
+        ProgressSink::to_writer(Box::new(quiet.clone()), 0).record(&Event::DiagnosticCheckpoint {
+            checkpoint: checkpoint.clone(),
+        });
+        assert!(quiet.text().is_empty());
+
+        let buf = SharedBuf::default();
+        ProgressSink::to_writer(Box::new(buf.clone()), 1)
+            .record(&Event::DiagnosticCheckpoint { checkpoint });
+        let text = buf.text();
+        assert!(
+            text.contains("chain 1: checkpoint @ sweep 50: 25 kept; residual mean 3.75"),
+            "{text}"
+        );
     }
 
     #[test]

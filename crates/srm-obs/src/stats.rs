@@ -12,6 +12,7 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use crate::checkpoint::ChainCheckpoint;
 use crate::event::{AcceptStat, Event};
 use crate::recorder::{Counter, FixedHistogram, Recorder};
 
@@ -44,6 +45,7 @@ struct Inner {
     chain_reports: Vec<(usize, bool, u64, Option<String>, f64)>,
     diagnostics: Vec<DiagnosticStat>,
     waic: Option<(String, f64, f64)>,
+    checkpoints: BTreeMap<usize, ChainCheckpoint>,
 }
 
 /// Aggregates the event stream into manifest-ready statistics.
@@ -54,6 +56,7 @@ pub struct StatsCollector {
     faults_injected: Counter,
     panics_contained: Counter,
     events_seen: Counter,
+    checkpoints_seen: Counter,
     cell_wall_ms: FixedHistogram,
 }
 
@@ -72,6 +75,7 @@ impl StatsCollector {
             faults_injected: Counter::new(),
             panics_contained: Counter::new(),
             events_seen: Counter::new(),
+            checkpoints_seen: Counter::new(),
             // Cell wall times from ~1 ms to ~100 s.
             cell_wall_ms: FixedHistogram::exponential(1.0, 10.0, 6),
         }
@@ -159,6 +163,30 @@ impl StatsCollector {
     pub fn cell_wall_ms(&self) -> &FixedHistogram {
         &self.cell_wall_ms
     }
+
+    /// `diagnostic-checkpoint` events observed.
+    pub fn checkpoints_seen(&self) -> u64 {
+        self.checkpoints_seen.get()
+    }
+
+    /// The latest checkpoint of each chain, sorted by chain index.
+    pub fn latest_checkpoints(&self) -> Vec<ChainCheckpoint> {
+        lock_ignoring_poison(&self.inner)
+            .checkpoints
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Total sweeps completed across chains, as witnessed by the
+    /// latest checkpoint of each (0 when checkpoints are disabled).
+    pub fn sweeps_completed(&self) -> u64 {
+        lock_ignoring_poison(&self.inner)
+            .checkpoints
+            .values()
+            .map(|c| c.sweep as u64 + 1)
+            .sum()
+    }
 }
 
 impl Recorder for StatsCollector {
@@ -231,6 +259,15 @@ impl Recorder for StatsCollector {
             } => {
                 let mut inner = lock_ignoring_poison(&self.inner);
                 inner.waic = Some((model.clone(), *total, *p_waic));
+            }
+            Event::DiagnosticCheckpoint { checkpoint } => {
+                self.checkpoints_seen.incr();
+                let mut inner = lock_ignoring_poison(&self.inner);
+                // Per-chain sweeps are monotone, so "last write wins"
+                // keeps the latest snapshot per chain.
+                inner
+                    .checkpoints
+                    .insert(checkpoint.chain, checkpoint.clone());
             }
             _ => {}
         }
@@ -364,6 +401,36 @@ mod tests {
         assert_eq!(accept[1].1[0].accepted, 1);
         assert_eq!(stats.diagnostics()[0].parameter, "residual");
         assert_eq!(stats.waic().unwrap().0, "model2");
+    }
+
+    #[test]
+    fn keeps_latest_checkpoint_per_chain_and_counts_sweeps() {
+        fn checkpoint(chain: usize, sweep: usize) -> ChainCheckpoint {
+            ChainCheckpoint {
+                chain,
+                sweep,
+                kept: sweep / 2,
+                params: vec![],
+                accept: vec![],
+            }
+        }
+        let stats = StatsCollector::new();
+        assert_eq!(stats.sweeps_completed(), 0);
+        stats.record(&Event::DiagnosticCheckpoint {
+            checkpoint: checkpoint(0, 49),
+        });
+        stats.record(&Event::DiagnosticCheckpoint {
+            checkpoint: checkpoint(1, 49),
+        });
+        stats.record(&Event::DiagnosticCheckpoint {
+            checkpoint: checkpoint(0, 99),
+        });
+        assert_eq!(stats.checkpoints_seen(), 3);
+        let latest = stats.latest_checkpoints();
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest[0].sweep, 99);
+        assert_eq!(latest[1].sweep, 49);
+        assert_eq!(stats.sweeps_completed(), 150);
     }
 
     #[test]

@@ -11,14 +11,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use srm_data::BugCountData;
 use srm_mcmc::gibbs::PriorSpec;
 use srm_mcmc::runner::McmcConfig;
 use srm_model::DetectionModel;
 use srm_obs::json::Value;
-use srm_obs::{dataset_hash, fnv1a_hex};
+use srm_obs::{dataset_hash, fnv1a_hex, StatsCollector};
 
 /// What a job computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -325,6 +325,12 @@ pub struct JobRecord {
     pub error: Option<(String, String)>,
     /// Wall-clock milliseconds spent computing (0 for cache hits).
     pub wall_ms: f64,
+    /// The job's own stats collector, attached when a worker claims
+    /// the job. It receives every engine event — including streaming
+    /// `diagnostic-checkpoint`s — and backs
+    /// `GET /v1/jobs/{id}/progress` and the per-job `/metrics` gauges.
+    /// Kept after completion so the final checkpoint stays queryable.
+    pub progress: Option<Arc<StatsCollector>>,
 }
 
 impl JobRecord {
@@ -341,6 +347,7 @@ impl JobRecord {
             result: None,
             error: None,
             wall_ms: 0.0,
+            progress: None,
         }
     }
 
@@ -478,6 +485,21 @@ impl JobStore {
             self.evict_excess_terminal(&mut records);
         }
         out
+    }
+
+    /// `(id, progress collector)` for every currently running job, in
+    /// ascending job order — the deterministic feed for the per-job
+    /// convergence gauges on `/metrics`.
+    #[must_use]
+    pub fn running_progress(&self) -> Vec<(String, Arc<StatsCollector>)> {
+        let records = lock_ignoring_poison(&self.records);
+        let mut running: Vec<(String, Arc<StatsCollector>)> = records
+            .values()
+            .filter(|r| r.status == JobStatus::Running)
+            .filter_map(|r| r.progress.clone().map(|p| (r.id.clone(), p)))
+            .collect();
+        running.sort_by_key(|(id, _)| job_index(id));
+        running
     }
 
     /// Per-status job counts

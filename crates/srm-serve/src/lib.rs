@@ -26,14 +26,15 @@
 //!
 //! # Endpoints
 //!
-//! | Method & path          | Purpose                                  |
-//! |------------------------|------------------------------------------|
-//! | `POST /v1/jobs`        | Submit a fit/select/predict job          |
-//! | `GET /v1/jobs/{id}`    | Poll job status                          |
-//! | `GET /v1/results/{id}` | Fetch the result document                |
-//! | `DELETE /v1/jobs/{id}` | Cancel (cooperative at phase boundaries) |
-//! | `GET /healthz`         | Liveness, build info, job counts         |
-//! | `GET /metrics`         | Prometheus text exposition               |
+//! | Method & path                   | Purpose                                  |
+//! |---------------------------------|------------------------------------------|
+//! | `POST /v1/jobs`                 | Submit a fit/select/predict job          |
+//! | `GET /v1/jobs/{id}`             | Poll job status                          |
+//! | `GET /v1/jobs/{id}/progress`    | Live convergence state (checkpoints, R̂) |
+//! | `GET /v1/results/{id}`          | Fetch the result document                |
+//! | `DELETE /v1/jobs/{id}`          | Cancel (cooperative at phase boundaries) |
+//! | `GET /healthz`                  | Liveness, build info, job counts         |
+//! | `GET /metrics`                  | Prometheus text exposition               |
 
 // `signal` needs one audited `unsafe` block to install a SIGTERM
 // handler without adding a dependency, so `forbid` is one notch too
@@ -51,8 +52,8 @@ pub mod server;
 pub mod signal;
 
 pub use cache::FitCache;
-pub use engine::{run_job, JobError, JobOutput};
+pub use engine::{run_job, JobError, JobOutput, SERVE_CHECKPOINT_EVERY};
 pub use job::{JobKind, JobRecord, JobSpec, JobStatus, JobStore};
-pub use metrics::{render_prometheus, ServeMetrics};
+pub use metrics::{escape_label, render_prometheus, ServeMetrics};
 pub use queue::{JobQueue, PushError, QueuedJob};
 pub use server::{Gate, Server, ServerConfig, ServerState};

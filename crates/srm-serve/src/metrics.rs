@@ -10,9 +10,10 @@
 
 use std::fmt::Write as _;
 
-use srm_obs::{Counter, FixedHistogram, StatsCollector};
+use srm_obs::{aggregate, ChainCheckpoint, Counter, FixedHistogram, StatsCollector};
 
 use crate::cache::FitCache;
+use crate::job::JobStore;
 
 /// Mutable-through-&self counters for the HTTP and job layers.
 #[derive(Debug)]
@@ -68,6 +69,23 @@ fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
+/// Escapes a Prometheus label value per exposition format 0.0.4:
+/// backslash, double quote, and newline must be escaped; everything
+/// else passes through verbatim.
+#[must_use]
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 fn histogram(out: &mut String, name: &str, help: &str, hist: &FixedHistogram) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} histogram");
@@ -85,12 +103,62 @@ fn histogram(out: &mut String, name: &str, help: &str, hist: &FixedHistogram) {
     let _ = writeln!(out, "{name}_count {}", hist.count());
 }
 
+/// Per-running-job convergence gauges from the jobs' own stats
+/// collectors: sweeps completed, whole-chain R̂, and total ESS per
+/// parameter, labelled by (escaped) job id.
+fn job_progress_gauges(out: &mut String, store: &JobStore) {
+    let running = store.running_progress();
+    let _ = writeln!(
+        out,
+        "# HELP srm_job_sweeps_completed Sweeps completed so far across a running job's chains."
+    );
+    let _ = writeln!(out, "# TYPE srm_job_sweeps_completed gauge");
+    let _ = writeln!(
+        out,
+        "# HELP srm_job_rhat Whole-chain Gelman-Rubin R-hat at the latest checkpoint."
+    );
+    let _ = writeln!(out, "# TYPE srm_job_rhat gauge");
+    let _ = writeln!(
+        out,
+        "# HELP srm_job_ess Total effective sample size at the latest checkpoint."
+    );
+    let _ = writeln!(out, "# TYPE srm_job_ess gauge");
+    for (id, stats) in &running {
+        let job = escape_label(id);
+        let _ = writeln!(
+            out,
+            "srm_job_sweeps_completed{{job=\"{job}\"}} {}",
+            stats.sweeps_completed()
+        );
+        let latest = stats.latest_checkpoints();
+        let refs: Vec<&ChainCheckpoint> = latest.iter().collect();
+        for diag in aggregate(&refs) {
+            let parameter = escape_label(&diag.parameter);
+            if diag.rhat.is_finite() {
+                let _ = writeln!(
+                    out,
+                    "srm_job_rhat{{job=\"{job}\",parameter=\"{parameter}\"}} {}",
+                    diag.rhat
+                );
+            }
+            if diag.ess.is_finite() {
+                let _ = writeln!(
+                    out,
+                    "srm_job_ess{{job=\"{job}\",parameter=\"{parameter}\"}} {}",
+                    diag.ess
+                );
+            }
+        }
+    }
+}
+
 /// Renders the `/metrics` page.
 #[must_use]
 pub fn render_prometheus(
     metrics: &ServeMetrics,
     cache: &FitCache,
     stats: &StatsCollector,
+    store: &JobStore,
     queue_depth: usize,
     jobs_running: u64,
 ) -> String {
@@ -161,6 +229,25 @@ pub fn render_prometheus(
         "Jobs currently being computed.",
         jobs_running as f64,
     );
+    let (queued, running, done, failed, cancelled) = store.counts();
+    let _ = writeln!(
+        out,
+        "# HELP srm_serve_jobs_state Jobs in the store by lifecycle state."
+    );
+    let _ = writeln!(out, "# TYPE srm_serve_jobs_state gauge");
+    for (state_label, count) in [
+        ("queued", queued),
+        ("running", running),
+        ("done", done),
+        ("failed", failed),
+        ("cancelled", cancelled),
+    ] {
+        let _ = writeln!(
+            out,
+            "srm_serve_jobs_state{{state=\"{state_label}\"}} {count}"
+        );
+    }
+    job_progress_gauges(&mut out, store);
     histogram(
         &mut out,
         "srm_serve_job_wall_ms",
@@ -191,6 +278,44 @@ pub fn render_prometheus(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::{JobKind, JobRecord, JobStatus};
+    use srm_obs::{AcceptStat, Event, MomentSummary, ParamCheckpoint, Recorder as _};
+    use std::sync::Arc;
+
+    fn checkpoint_event(chain: usize, sweep: usize) -> Event {
+        Event::DiagnosticCheckpoint {
+            checkpoint: ChainCheckpoint {
+                chain,
+                sweep,
+                kept: sweep / 2 + 1,
+                params: vec![ParamCheckpoint {
+                    parameter: "residual".into(),
+                    moments: MomentSummary {
+                        count: 20,
+                        mean: 4.0 + chain as f64,
+                        variance: 1.5,
+                    },
+                    half1: MomentSummary {
+                        count: 10,
+                        mean: 4.0,
+                        variance: 1.4,
+                    },
+                    half2: MomentSummary {
+                        count: 10,
+                        mean: 4.1,
+                        variance: 1.6,
+                    },
+                    ess: 12.0,
+                    mcse: 0.35,
+                }],
+                accept: vec![AcceptStat {
+                    parameter: "zeta0".into(),
+                    steps: 40,
+                    accepted: 17,
+                }],
+            },
+        }
+    }
 
     #[test]
     fn exposition_has_counters_gauges_and_histogram_series() {
@@ -200,11 +325,20 @@ mod tests {
         metrics.job_wall_ms.observe(42.0);
         let cache = FitCache::new();
         let stats = StatsCollector::new();
-        let page = render_prometheus(&metrics, &cache, &stats, 2, 1);
+        let store = JobStore::new();
+        store.insert(JobRecord::new(
+            "job-1".into(),
+            JobKind::Fit,
+            "k".into(),
+            JobStatus::Queued,
+        ));
+        let page = render_prometheus(&metrics, &cache, &stats, &store, 2, 1);
         assert!(page.contains("srm_serve_http_requests_total 3"));
         assert!(page.contains("srm_serve_jobs_submitted_total 1"));
         assert!(page.contains("srm_serve_queue_depth 2"));
         assert!(page.contains("srm_serve_jobs_running 1"));
+        assert!(page.contains("srm_serve_jobs_state{state=\"queued\"} 1"));
+        assert!(page.contains("srm_serve_jobs_state{state=\"done\"} 0"));
         assert!(page.contains("srm_serve_job_wall_ms_bucket{le=\"+Inf\"} 1"));
         assert!(page.contains("srm_serve_job_wall_ms_count 1"));
         assert!(page.contains("srm_serve_job_wall_ms_sum 42"));
@@ -216,5 +350,56 @@ mod tests {
             page.matches("# HELP").count(),
             page.matches("# TYPE").count()
         );
+    }
+
+    #[test]
+    fn running_jobs_expose_convergence_gauges() {
+        let store = JobStore::new();
+        let progress = Arc::new(StatsCollector::new());
+        progress.record(&checkpoint_event(0, 49));
+        progress.record(&checkpoint_event(1, 49));
+        let mut record =
+            JobRecord::new("job-7".into(), JobKind::Fit, "k".into(), JobStatus::Running);
+        record.progress = Some(Arc::clone(&progress));
+        store.insert(record);
+        // A second running job with no progress attached is skipped.
+        store.insert(JobRecord::new(
+            "job-8".into(),
+            JobKind::Fit,
+            "k".into(),
+            JobStatus::Running,
+        ));
+
+        let page = render_prometheus(
+            &ServeMetrics::new(),
+            &FitCache::new(),
+            &StatsCollector::new(),
+            &store,
+            0,
+            2,
+        );
+        assert!(page.contains("srm_serve_jobs_state{state=\"running\"} 2"));
+        // Two chains at sweep 49 each → 100 sweeps completed.
+        assert!(
+            page.contains("srm_job_sweeps_completed{job=\"job-7\"} 100"),
+            "{page}"
+        );
+        assert!(
+            page.contains("srm_job_rhat{job=\"job-7\",parameter=\"residual\"}"),
+            "{page}"
+        );
+        assert!(
+            page.contains("srm_job_ess{job=\"job-7\",parameter=\"residual\"} 24"),
+            "{page}"
+        );
+        assert!(!page.contains("job-8\"}"), "{page}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label("line\nbreak"), "line\\nbreak");
     }
 }

@@ -21,7 +21,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use srm_obs::json::{parse, Value};
-use srm_obs::{build_info_value, Event, JsonlSink, Recorder, StatsCollector, Tee};
+use srm_obs::{
+    aggregate, build_info_value, ChainCheckpoint, Event, JsonlSink, Recorder, StatsCollector, Tee,
+};
 
 use crate::cache::FitCache;
 use crate::engine::run_job;
@@ -325,16 +327,25 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                 &state.metrics,
                 &state.cache,
                 &state.stats,
+                &state.store,
                 state.queue.len(),
                 state.jobs_running(),
             ),
         ),
         (method, _) => {
-            if let Some(id) = path.strip_prefix("/v1/jobs/") {
-                match method {
-                    "GET" => job_status(state, id),
-                    "DELETE" => cancel_job(state, id),
-                    _ => Response::error(405, "method-not-allowed", "use GET or DELETE"),
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                if let Some(id) = rest.strip_suffix("/progress") {
+                    if method == "GET" {
+                        job_progress(state, id)
+                    } else {
+                        Response::error(405, "method-not-allowed", "use GET")
+                    }
+                } else {
+                    match method {
+                        "GET" => job_status(state, rest),
+                        "DELETE" => cancel_job(state, rest),
+                        _ => Response::error(405, "method-not-allowed", "use GET or DELETE"),
+                    }
                 }
             } else if let Some(id) = path.strip_prefix("/v1/results/") {
                 if method == "GET" {
@@ -520,6 +531,59 @@ fn job_status(state: &Arc<ServerState>, id: &str) -> Response {
     )
 }
 
+/// `GET /v1/jobs/{id}/progress` — the job's live convergence state:
+/// sweeps completed, the latest per-chain checkpoint payloads, and
+/// the cross-chain aggregate (R̂, split-R̂, ESS, MCSE). A queued job
+/// (or a cache hit, which never samples) reports zero sweeps and
+/// empty arrays; a finished job keeps reporting its final checkpoint.
+fn job_progress(state: &Arc<ServerState>, id: &str) -> Response {
+    let Some(record) = state.store.get(id) else {
+        return Response::error(404, "not-found", &format!("unknown job `{id}`"));
+    };
+    let (sweeps, seen, chains, diagnostics) = match &record.progress {
+        Some(stats) => {
+            let latest = stats.latest_checkpoints();
+            let refs: Vec<&ChainCheckpoint> = latest.iter().collect();
+            let diagnostics = aggregate(&refs);
+            (
+                stats.sweeps_completed(),
+                stats.checkpoints_seen(),
+                latest,
+                diagnostics,
+            )
+        }
+        None => (0, 0, Vec::new(), Vec::new()),
+    };
+    let chain_values: Vec<Value> = chains
+        .iter()
+        .map(|c| {
+            Value::obj(vec![
+                ("chain", Value::Num(c.chain as f64)),
+                ("sweep", Value::Num(c.sweep as f64)),
+                ("kept", Value::Num(c.kept as f64)),
+                (
+                    "params",
+                    Value::Arr(c.params.iter().map(|p| p.to_value()).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Value::obj(vec![
+            ("id", Value::Str(record.id.clone())),
+            ("status", Value::Str(record.status.label().to_owned())),
+            ("sweeps_completed", Value::Num(sweeps as f64)),
+            ("checkpoints_seen", Value::Num(seen as f64)),
+            ("chains", Value::Arr(chain_values)),
+            (
+                "aggregate",
+                Value::Arr(diagnostics.iter().map(|d| d.to_value()).collect()),
+            ),
+        ]),
+    )
+}
+
 fn job_result(state: &Arc<ServerState>, id: &str) -> Response {
     let Some(record) = state.store.get(id) else {
         return Response::error(404, "not-found", &format!("unknown job `{id}`"));
@@ -607,6 +671,12 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
 
     state.running.fetch_add(1, Ordering::SeqCst);
     let per_job = Arc::new(StatsCollector::new());
+    // Attach the job's collector to its record so the progress
+    // endpoint and the per-job /metrics gauges can read the streaming
+    // checkpoints while the sampler runs.
+    state.store.with(&job.id, |record| {
+        record.progress = Some(Arc::clone(&per_job));
+    });
     let mut sinks: Vec<Arc<dyn Recorder>> = vec![
         Arc::clone(&state.stats) as Arc<dyn Recorder>,
         Arc::clone(&per_job) as Arc<dyn Recorder>,

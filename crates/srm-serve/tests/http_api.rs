@@ -188,6 +188,87 @@ fn repeat_submission_is_served_from_cache_without_sampling() {
 }
 
 #[test]
+fn progress_endpoint_reports_monotone_sweep_counts() {
+    // The paused gate parks the worker after it pops the job but
+    // before it claims it, so the first progress poll deterministically
+    // observes the queued state (zero sweeps, no checkpoints).
+    let gate = Arc::new(Gate::new());
+    gate.pause();
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        gate: Some(Arc::clone(&gate)),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = server.addr();
+
+    let job = r#"{"kind":"fit","dataset":"musa_cc96","truncate":48,"model":"model0",
+        "chains":2,"samples":2500,"burn_in":500,"seed":21}"#;
+    let (status, doc) = submit(addr, job);
+    assert_eq!(status, 202, "{doc:?}");
+    let id = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("id")
+        .to_owned();
+
+    let (status, _, payload) = http(addr, "GET", &format!("/v1/jobs/{id}/progress"), "");
+    assert_eq!(status, 200, "{payload}");
+    let doc = parse(&payload).expect("progress json");
+    assert_eq!(
+        doc.get("sweeps_completed").and_then(Value::as_f64),
+        Some(0.0)
+    );
+    assert_eq!(
+        doc.get("checkpoints_seen").and_then(Value::as_f64),
+        Some(0.0)
+    );
+
+    // Unknown ids 404 on the progress sub-resource like everywhere.
+    assert_eq!(http(addr, "GET", "/v1/jobs/job-999/progress", "").0, 404);
+
+    gate.release();
+    let mut observed = vec![0u64];
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, _, payload) = http(addr, "GET", &format!("/v1/jobs/{id}/progress"), "");
+        let doc = parse(&payload).expect("progress json");
+        let sweeps = doc
+            .get("sweeps_completed")
+            .and_then(Value::as_f64)
+            .expect("sweeps_completed") as u64;
+        assert!(
+            sweeps >= *observed.last().expect("non-empty"),
+            "sweep count went backwards: {observed:?} then {sweeps}"
+        );
+        observed.push(sweeps);
+        if doc.get("status").and_then(Value::as_str) == Some("done") {
+            // The final checkpoint lands on each chain's last sweep,
+            // so the finished job reports every sweep completed.
+            assert_eq!(sweeps, 2 * (500 + 2500), "{payload}");
+            let chains = doc.get("chains").and_then(Value::as_arr).expect("chains");
+            assert_eq!(chains.len(), 2, "{payload}");
+            let agg = doc
+                .get("aggregate")
+                .and_then(Value::as_arr)
+                .expect("aggregate");
+            assert!(
+                agg.iter()
+                    .any(|d| d.get("parameter").and_then(Value::as_str) == Some("residual")),
+                "{payload}"
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "job did not finish");
+    }
+    // The counter advanced from the queued zero to the final total.
+    assert!(observed.iter().any(|&s| s > 0));
+
+    server.request_shutdown();
+    let _ = server.join();
+}
+
+#[test]
 fn full_queue_gets_429_and_accepted_jobs_drain_on_shutdown() {
     // One worker held at the gate + capacity-one queue makes the
     // rejection deterministic: job A is in flight (paused), job B

@@ -63,6 +63,7 @@ fn fault_free_tolerant_run_is_bit_identical_to_strict() {
         retry: RetryPolicy::default(),
         fault_plan: FaultPlan::none(),
         threads: 0,
+        checkpoint_every: 0,
     };
     let tolerant = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
     assert!(tolerant
@@ -85,6 +86,7 @@ fn single_panicked_chain_yields_partial_output_naming_it() {
             kind: FaultKind::Panic,
         }]),
         threads: 0,
+        checkpoint_every: 0,
     };
     let run = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
 
@@ -135,6 +137,7 @@ fn same_seed_and_plan_reproduce_bit_identical_recovered_chains() {
             retry: RetryPolicy { max_retries: 4 },
             fault_plan: FaultPlan::from_seed(seed, config.chains, total_sweeps, 2),
             threads: 0,
+            checkpoint_every: 0,
         };
         let a = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
         let b = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
@@ -169,6 +172,7 @@ fn forced_slice_exhaustion_retry_replays_the_unfaulted_sweep() {
             kind: FaultKind::SliceExhausted,
         }]),
         threads: 0,
+        checkpoint_every: 0,
     };
     let recovered = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
     assert!(recovered.reports[0].recovered);
@@ -196,6 +200,7 @@ fn nan_rate_fault_recovers_with_retries_and_is_lost_without() {
         retry: RetryPolicy { max_retries: 3 },
         fault_plan: plan.clone(),
         threads: 0,
+        checkpoint_every: 0,
     };
     let run = run_chains_fault_tolerant(&sampler, &config, &with_retry).unwrap();
     assert_eq!(run.output.chains.len(), 2);
@@ -210,6 +215,7 @@ fn nan_rate_fault_recovers_with_retries_and_is_lost_without() {
         retry: RetryPolicy::none(),
         fault_plan: plan,
         threads: 0,
+        checkpoint_every: 0,
     };
     let degraded = run_chains_fault_tolerant(&sampler, &config, &without_retry).unwrap();
     assert_eq!(degraded.output.chains.len(), 1);
@@ -249,6 +255,7 @@ fn losing_every_chain_is_an_error_not_a_panic() {
             },
         ]),
         threads: 0,
+        checkpoint_every: 0,
     };
     let err = run_chains_fault_tolerant(&sampler, &config, &options).unwrap_err();
     assert!(matches!(err, SrmError::ChainPanicked { .. }));
@@ -285,6 +292,7 @@ fn injected_faults_report_identically_across_thread_counts() {
             retry: RetryPolicy { max_retries: 2 },
             fault_plan: plan.clone(),
             threads,
+            checkpoint_every: 0,
         };
         run_chains_fault_tolerant(&sampler, &config, &options).unwrap()
     };
