@@ -73,7 +73,16 @@ SERVING (srm serve):
     --port-file <file>      write the bound port here (for scripts)
     --retry-after N         Retry-After seconds on 429          [default: 1]
     --job-history N         terminal job records retained       [default: 1024]
-    --cache-capacity N      cached result documents (FIFO)      [default: 256]
+    --cache-capacity N      cached result documents (LRU)       [default: 256]
+    --state-dir <dir>       crash-durable state: WAL + snapshots; jobs and
+                            cache survive kill -9 and are recovered on boot
+    --wal-sync always|off   fsync the WAL on every append       [default: off]
+                            (off survives SIGKILL; always also power loss)
+    --snapshot-every N      WAL records between snapshots       [default: 256]
+    --shards N              job-store/cache lock shards         [default: 8]
+    --http-handlers N       reusable connection handler threads [default: 8]
+    --conn-backlog N        accepted-connection queue; overflow
+                            is shed with 503                    [default: 256]
 
 EXAMPLES:
     srm fit --data counts.csv --model model1 --prior poisson

@@ -5,9 +5,14 @@
 //! port), and blocks until SIGTERM/SIGINT. Shutdown is graceful: the
 //! listener stops, every accepted job finishes, then the drain
 //! summary is printed.
+//!
+//! With `--state-dir` the server is also crash-durable: completed
+//! jobs, the fit cache, and in-flight work are logged to a WAL and
+//! recovered after a kill — see the srm-serve `store` module.
 
 use crate::args::{ArgError, Args};
 use srm_serve::{signal, Server, ServerConfig, ServerState};
+use srm_store::SyncPolicy;
 
 const FLAGS: &[&str] = &[
     "addr",
@@ -18,6 +23,12 @@ const FLAGS: &[&str] = &[
     "retry-after",
     "job-history",
     "cache-capacity",
+    "state-dir",
+    "wal-sync",
+    "snapshot-every",
+    "shards",
+    "http-handlers",
+    "conn-backlog",
 ];
 
 /// Runs the subcommand. Blocks until a termination signal arrives.
@@ -36,6 +47,16 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         retry_after_secs: args.get_parsed("retry-after", 1u64)?,
         job_history_limit: args.get_parsed("job-history", 1_024usize)?.max(1),
         cache_capacity: args.get_parsed("cache-capacity", 256usize)?.max(1),
+        state_dir: args.get("state-dir").map(str::to_owned),
+        wal_sync: SyncPolicy::parse(args.get("wal-sync").unwrap_or("off")).map_err(ArgError)?,
+        snapshot_every: args
+            .get_parsed("snapshot-every", srm_serve::store::DEFAULT_SNAPSHOT_EVERY)?
+            .max(1),
+        shards: args
+            .get_parsed("shards", srm_serve::job::DEFAULT_SHARDS)?
+            .max(1),
+        http_handlers: args.get_parsed("http-handlers", 8usize)?.max(1),
+        conn_backlog: args.get_parsed("conn-backlog", 256usize)?.max(1),
         watch_signals: true,
         gate: None,
     };
@@ -54,8 +75,13 @@ pub(crate) fn serve(config: ServerConfig, port_file: Option<&str>) -> Result<Str
         Server::start(config).map_err(|e| ArgError(format!("cannot start server: {e}")))?;
     let addr = server.addr();
     if let Some(path) = port_file {
-        std::fs::write(path, format!("{}\n", addr.port()))
-            .map_err(|e| ArgError(format!("cannot write port file `{path}`: {e}")))?;
+        // Atomic (tmp + rename): a watcher polling the file never
+        // observes a half-written port.
+        srm_store::atomic_write_file(
+            std::path::Path::new(path),
+            format!("{}\n", addr.port()).as_bytes(),
+        )
+        .map_err(|e| ArgError(format!("cannot write port file `{path}`: {e}")))?;
     }
     eprintln!("srm serve: listening on http://{addr} (SIGTERM/SIGINT to drain)");
     let state = server.join();
@@ -64,7 +90,7 @@ pub(crate) fn serve(config: ServerConfig, port_file: Option<&str>) -> Result<Str
 
 fn summary(state: &ServerState) -> String {
     let (queued, running, done, failed, cancelled) = state.store.counts();
-    format!(
+    let mut out = format!(
         "srm serve: drained and stopped\n\
          jobs      : {done} done, {failed} failed, {cancelled} cancelled, \
          {queued} queued, {running} running\n\
@@ -74,7 +100,14 @@ fn summary(state: &ServerState) -> String {
         state.cache.misses(),
         state.cache.len(),
         state.metrics.jobs_rejected.get(),
-    )
+    );
+    if let Some(wal) = state.wal_stats() {
+        out.push_str(&format!(
+            "store     : {} wal records appended, {} snapshots, {} errors\n",
+            wal.appended, wal.snapshots, wal.errors,
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -122,7 +122,7 @@ fn checkpoints_by_sweep(events: &[Value]) -> BTreeMap<usize, BTreeMap<usize, Cha
 
 /// The headline parameter for one-line trajectory output: `residual`
 /// when present, otherwise the first parameter of the aggregate.
-fn headline<'a>(diagnostics: &'a [AggregateDiagnostic]) -> Option<&'a AggregateDiagnostic> {
+fn headline(diagnostics: &[AggregateDiagnostic]) -> Option<&AggregateDiagnostic> {
     diagnostics
         .iter()
         .find(|d| d.parameter == "residual")

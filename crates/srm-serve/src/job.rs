@@ -42,7 +42,9 @@ impl JobKind {
         }
     }
 
-    fn parse(label: &str) -> Option<Self> {
+    /// Parses the wire label back into a kind.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
         match label {
             "fit" => Some(Self::Fit),
             "select" => Some(Self::Select),
@@ -177,6 +179,75 @@ impl JobSpec {
             theta_max,
             timeout_ms,
         })
+    }
+
+    /// Serialises the spec for the write-ahead log and snapshots.
+    ///
+    /// The wire document is a valid `POST /v1/jobs` body (data always
+    /// inline as `counts`, every default resolved) plus a
+    /// `dataset_label` field so replay restores the original label
+    /// instead of reporting `inline`. All numeric fields are bounded
+    /// by `u32::MAX` at parse time, so the f64 JSON numbers round-trip
+    /// exactly.
+    #[must_use]
+    pub fn to_wire(&self) -> Value {
+        let mut fields: Vec<(&str, Value)> = vec![
+            ("kind", Value::Str(self.kind.label().to_owned())),
+            ("dataset_label", Value::Str(self.dataset_label.clone())),
+            (
+                "counts",
+                Value::Arr(
+                    self.data
+                        .counts()
+                        .iter()
+                        .map(|&c| Value::Num(c as f64))
+                        .collect(),
+                ),
+            ),
+            ("model", Value::Str(self.model.name().to_owned())),
+        ];
+        match self.prior {
+            PriorSpec::Poisson { lambda_max } => {
+                fields.push(("prior", Value::Str("poisson".to_owned())));
+                fields.push(("lambda_max", Value::Num(lambda_max)));
+            }
+            PriorSpec::NegBinomial { alpha_max } => {
+                fields.push(("prior", Value::Str("negbinom".to_owned())));
+                fields.push(("alpha_max", Value::Num(alpha_max)));
+            }
+        }
+        fields.extend([
+            ("chains", Value::Num(self.mcmc.chains as f64)),
+            ("burn_in", Value::Num(self.mcmc.burn_in as f64)),
+            ("samples", Value::Num(self.mcmc.samples as f64)),
+            ("thin", Value::Num(self.mcmc.thin as f64)),
+            ("seed", Value::Num(self.mcmc.seed as f64)),
+            ("threads", Value::Num(self.threads as f64)),
+            ("horizon", Value::Num(self.horizon as f64)),
+            ("theta_max", Value::Num(self.theta_max)),
+            (
+                "timeout_ms",
+                self.timeout_ms
+                    .map_or(Value::Null, |ms| Value::Num(ms as f64)),
+            ),
+        ]);
+        Value::obj(fields)
+    }
+
+    /// Rebuilds a spec from its [`to_wire`](JobSpec::to_wire) form,
+    /// running the full request validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same user-facing messages as
+    /// [`from_json`](JobSpec::from_json) when the stored document no
+    /// longer validates (e.g. hand-edited state files).
+    pub fn from_wire(body: &Value) -> Result<Self, String> {
+        let mut spec = Self::from_json(body)?;
+        if let Some(label) = body.get("dataset_label").and_then(Value::as_str) {
+            spec.dataset_label = label.to_owned();
+        }
+        Ok(spec)
     }
 
     /// The content address of this job's result: an FNV-1a digest of
@@ -382,6 +453,15 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Thread-safe registry of the jobs the server has seen.
 ///
+/// Records are hash-sharded across `N` independently locked maps
+/// (shard = FNV-1a of the job id, modulo `N`), so `/progress` polls
+/// on one job no longer serialize against submissions or completions
+/// of another. All per-id operations touch exactly one shard lock;
+/// only the cross-shard scans (`counts`, `running_progress`, the
+/// eviction pass on terminal transitions) visit every shard, one lock
+/// at a time — no lock is ever held while taking another, so the
+/// sharding cannot deadlock.
+///
 /// Retention is bounded: at most `terminal_limit` records in a
 /// terminal state ([`JobStatus::is_terminal`]) are kept, and the
 /// oldest (lowest `job-N`) are evicted first — a long-running server
@@ -389,10 +469,14 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// Queued and running records are never evicted.
 #[derive(Debug)]
 pub struct JobStore {
-    records: Mutex<HashMap<String, JobRecord>>,
+    shards: Vec<Mutex<HashMap<String, JobRecord>>>,
     next_id: AtomicU64,
     terminal_limit: usize,
 }
+
+/// Default shard count for [`JobStore`] and
+/// [`FitCache`](crate::cache::FitCache).
+pub const DEFAULT_SHARDS: usize = 8;
 
 impl Default for JobStore {
     fn default() -> Self {
@@ -418,11 +502,25 @@ impl JobStore {
     /// An empty store keeping at most `limit` terminal records.
     #[must_use]
     pub fn with_limit(limit: usize) -> Self {
+        Self::with_limit_and_shards(limit, DEFAULT_SHARDS)
+    }
+
+    /// An empty store with an explicit shard count (1 = the old
+    /// single-lock layout, useful for contention benchmarks).
+    #[must_use]
+    pub fn with_limit_and_shards(limit: usize, shards: usize) -> Self {
         Self {
-            records: Mutex::new(HashMap::new()),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             next_id: AtomicU64::new(0),
             terminal_limit: limit.max(1),
         }
+    }
+
+    fn shard(&self, id: &str) -> &Mutex<HashMap<String, JobRecord>> {
+        let index = srm_store::fnv1a64(id.as_bytes()) as usize % self.shards.len();
+        &self.shards[index]
     }
 
     /// Allocates the next job id (`job-1`, `job-2`, …).
@@ -430,50 +528,79 @@ impl JobStore {
         format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
-    fn evict_excess_terminal(&self, records: &mut HashMap<String, JobRecord>) {
-        if records.len() <= self.terminal_limit {
-            return;
+    /// Fast-forwards the id counter so the next allocation is
+    /// `job-{n}` — called once at boot after replaying persisted
+    /// state, so recovered ids are never re-issued.
+    pub fn set_next_id(&self, next: u64) {
+        self.next_id
+            .fetch_max(next.saturating_sub(1), Ordering::Relaxed);
+    }
+
+    /// The number the next [`allocate_id`](JobStore::allocate_id)
+    /// call will issue — persisted in snapshots so a restart never
+    /// re-uses an id.
+    #[must_use]
+    pub fn next_job_number(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed) + 1
+    }
+
+    /// Global eviction pass: keeps the newest `terminal_limit`
+    /// terminal records across all shards. Locks one shard at a time
+    /// (scan, then delete), so concurrent inserts may briefly exceed
+    /// the limit — the bound is enforced on the next terminal
+    /// transition.
+    fn evict_excess_terminal(&self) {
+        let mut total = 0usize;
+        let mut terminal: Vec<(u64, String)> = Vec::new();
+        for shard in &self.shards {
+            let records = lock_ignoring_poison(shard);
+            total += records.len();
+            terminal.extend(
+                records
+                    .values()
+                    .filter(|r| r.status.is_terminal())
+                    .map(|r| (job_index(&r.id), r.id.clone())),
+            );
         }
-        let mut terminal: Vec<(u64, String)> = records
-            .values()
-            .filter(|r| r.status.is_terminal())
-            .map(|r| (job_index(&r.id), r.id.clone()))
-            .collect();
-        if terminal.len() <= self.terminal_limit {
+        if total <= self.terminal_limit || terminal.len() <= self.terminal_limit {
             return;
         }
         let excess = terminal.len() - self.terminal_limit;
         terminal.sort_unstable();
         for (_, id) in terminal.into_iter().take(excess) {
-            records.remove(&id);
+            lock_ignoring_poison(self.shard(&id)).remove(&id);
         }
     }
 
     /// Inserts (or replaces) a record, evicting the oldest terminal
     /// records beyond the retention limit.
     pub fn insert(&self, record: JobRecord) {
-        let mut records = lock_ignoring_poison(&self.records);
-        records.insert(record.id.clone(), record);
-        self.evict_excess_terminal(&mut records);
+        let terminal = record.status.is_terminal();
+        lock_ignoring_poison(self.shard(&record.id)).insert(record.id.clone(), record);
+        // Non-terminal inserts cannot grow the terminal population,
+        // so the global pass only runs when it could evict something.
+        if terminal {
+            self.evict_excess_terminal();
+        }
     }
 
     /// Snapshot of one record.
     #[must_use]
     pub fn get(&self, id: &str) -> Option<JobRecord> {
-        lock_ignoring_poison(&self.records).get(id).cloned()
+        lock_ignoring_poison(self.shard(id)).get(id).cloned()
     }
 
     /// Removes a record (used when a push is rejected after the id was
     /// allocated, so 429'd submissions leave no trace in the store).
     pub fn remove(&self, id: &str) -> Option<JobRecord> {
-        lock_ignoring_poison(&self.records).remove(id)
+        lock_ignoring_poison(self.shard(id)).remove(id)
     }
 
-    /// Runs `f` on a record under the lock; `None` for unknown ids.
-    /// A transition into a terminal state triggers the same eviction
-    /// pass as [`JobStore::insert`].
+    /// Runs `f` on a record under its shard lock; `None` for unknown
+    /// ids. A transition into a terminal state triggers the same
+    /// eviction pass as [`JobStore::insert`].
     pub fn with<R>(&self, id: &str, f: impl FnOnce(&mut JobRecord) -> R) -> Option<R> {
-        let mut records = lock_ignoring_poison(&self.records);
+        let mut records = lock_ignoring_poison(self.shard(id));
         let (out, terminal) = match records.get_mut(id) {
             Some(record) => {
                 let out = f(record);
@@ -481,10 +608,23 @@ impl JobStore {
             }
             None => (None, false),
         };
+        drop(records);
         if terminal {
-            self.evict_excess_terminal(&mut records);
+            self.evict_excess_terminal();
         }
         out
+    }
+
+    /// Clones every record, in ascending job order — the snapshot
+    /// writer's feed.
+    #[must_use]
+    pub fn all_records(&self) -> Vec<JobRecord> {
+        let mut all: Vec<JobRecord> = Vec::new();
+        for shard in &self.shards {
+            all.extend(lock_ignoring_poison(shard).values().cloned());
+        }
+        all.sort_by_key(|r| job_index(&r.id));
+        all
     }
 
     /// `(id, progress collector)` for every currently running job, in
@@ -492,12 +632,16 @@ impl JobStore {
     /// convergence gauges on `/metrics`.
     #[must_use]
     pub fn running_progress(&self) -> Vec<(String, Arc<StatsCollector>)> {
-        let records = lock_ignoring_poison(&self.records);
-        let mut running: Vec<(String, Arc<StatsCollector>)> = records
-            .values()
-            .filter(|r| r.status == JobStatus::Running)
-            .filter_map(|r| r.progress.clone().map(|p| (r.id.clone(), p)))
-            .collect();
+        let mut running: Vec<(String, Arc<StatsCollector>)> = Vec::new();
+        for shard in &self.shards {
+            let records = lock_ignoring_poison(shard);
+            running.extend(
+                records
+                    .values()
+                    .filter(|r| r.status == JobStatus::Running)
+                    .filter_map(|r| r.progress.clone().map(|p| (r.id.clone(), p))),
+            );
+        }
         running.sort_by_key(|(id, _)| job_index(id));
         running
     }
@@ -506,15 +650,16 @@ impl JobStore {
     /// `(queued, running, done, failed, cancelled)`.
     #[must_use]
     pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
-        let records = lock_ignoring_poison(&self.records);
         let mut counts = (0, 0, 0, 0, 0);
-        for record in records.values() {
-            match record.status {
-                JobStatus::Queued => counts.0 += 1,
-                JobStatus::Running => counts.1 += 1,
-                JobStatus::Done => counts.2 += 1,
-                JobStatus::Failed => counts.3 += 1,
-                JobStatus::Cancelled => counts.4 += 1,
+        for shard in &self.shards {
+            for record in lock_ignoring_poison(shard).values() {
+                match record.status {
+                    JobStatus::Queued => counts.0 += 1,
+                    JobStatus::Running => counts.1 += 1,
+                    JobStatus::Done => counts.2 += 1,
+                    JobStatus::Failed => counts.3 += 1,
+                    JobStatus::Cancelled => counts.4 += 1,
+                }
             }
         }
         counts
@@ -649,6 +794,65 @@ mod tests {
         let p_a = spec_from(r#"{"kind":"predict","dataset":"musa_cc96","horizon":10}"#).unwrap();
         let p_b = spec_from(r#"{"kind":"predict","dataset":"musa_cc96","horizon":20}"#).unwrap();
         assert_ne!(p_a.cache_key(), p_b.cache_key());
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_the_spec_and_its_cache_key() {
+        for json in [
+            r#"{"kind":"fit","dataset":"musa_cc96","truncate":48,"model":"model2",
+                "prior":"negbinom","alpha_max":50,"chains":2,"samples":500,
+                "burn_in":200,"seed":7,"threads":2,"timeout_ms":60000}"#,
+            r#"{"kind":"select","counts":[3,1,4,1,5],"theta_max":12.5}"#,
+            r#"{"kind":"predict","dataset":"s_shaped_80","horizon":45,"lambda_max":500}"#,
+        ] {
+            let spec = spec_from(json).unwrap();
+            let back = JobSpec::from_wire(&spec.to_wire()).unwrap();
+            assert_eq!(back.kind, spec.kind, "{json}");
+            assert_eq!(back.dataset_label, spec.dataset_label, "{json}");
+            assert_eq!(back.data.counts(), spec.data.counts(), "{json}");
+            assert_eq!(back.model.name(), spec.model.name(), "{json}");
+            assert_eq!(back.threads, spec.threads, "{json}");
+            assert_eq!(back.horizon, spec.horizon, "{json}");
+            assert_eq!(back.timeout_ms, spec.timeout_ms, "{json}");
+            assert_eq!(back.mcmc.seed, spec.mcmc.seed, "{json}");
+            assert_eq!(back.cache_key(), spec.cache_key(), "{json}");
+            // And the wire form itself is stable under a round trip.
+            assert_eq!(back.to_wire().to_json(), spec.to_wire().to_json(), "{json}");
+        }
+    }
+
+    #[test]
+    fn sharded_store_behaves_like_a_single_map() {
+        for shards in [1, 3, 8] {
+            let store = JobStore::with_limit_and_shards(usize::MAX, shards);
+            for n in 1..=40 {
+                let id = store.allocate_id();
+                assert_eq!(id, format!("job-{n}"));
+                let status = if n % 2 == 0 {
+                    JobStatus::Done
+                } else {
+                    JobStatus::Queued
+                };
+                store.insert(JobRecord::new(id, JobKind::Fit, "k".into(), status));
+            }
+            assert_eq!(store.counts(), (20, 0, 20, 0, 0), "shards={shards}");
+            for n in 1..=40 {
+                assert!(store.get(&format!("job-{n}")).is_some(), "shards={shards}");
+            }
+            let all = store.all_records();
+            assert_eq!(all.len(), 40);
+            assert_eq!(all[0].id, "job-1");
+            assert_eq!(all[39].id, "job-40");
+        }
+    }
+
+    #[test]
+    fn set_next_id_fast_forwards_but_never_rewinds() {
+        let store = JobStore::new();
+        store.set_next_id(5);
+        assert_eq!(store.allocate_id(), "job-5");
+        store.set_next_id(2);
+        assert_eq!(store.allocate_id(), "job-6");
     }
 
     #[test]

@@ -50,10 +50,12 @@ pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod signal;
+pub mod store;
 
 pub use cache::FitCache;
 pub use engine::{run_job, JobError, JobOutput, SERVE_CHECKPOINT_EVERY};
 pub use job::{JobKind, JobRecord, JobSpec, JobStatus, JobStore};
-pub use metrics::{escape_label, render_prometheus, ServeMetrics};
+pub use metrics::{escape_label, render_prometheus, GaugeSnapshot, ServeMetrics};
 pub use queue::{JobQueue, PushError, QueuedJob};
 pub use server::{Gate, Server, ServerConfig, ServerState};
+pub use store::{Persister, RecoveredState, WalStats};

@@ -14,6 +14,7 @@ use srm_obs::{aggregate, ChainCheckpoint, Counter, FixedHistogram, StatsCollecto
 
 use crate::cache::FitCache;
 use crate::job::JobStore;
+use crate::store::WalStats;
 
 /// Mutable-through-&self counters for the HTTP and job layers.
 #[derive(Debug)]
@@ -30,8 +31,26 @@ pub struct ServeMetrics {
     pub jobs_failed: Counter,
     /// Jobs cancelled before completing.
     pub jobs_cancelled: Counter,
+    /// Connections turned away with 503 because the accept queue was
+    /// full.
+    pub conns_rejected: Counter,
+    /// Idle connections reaped (503) after waiting too long in the
+    /// accept queue.
+    pub conns_reaped: Counter,
     /// Wall-time distribution of executed (non-cached) jobs, ms.
     pub job_wall_ms: FixedHistogram,
+}
+
+/// Point-in-time gauge inputs for [`render_prometheus`], sampled by
+/// the caller right before rendering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GaugeSnapshot {
+    /// Jobs waiting on the job queue.
+    pub queue_depth: usize,
+    /// Jobs currently being computed.
+    pub jobs_running: u64,
+    /// Connections waiting in the accept queue.
+    pub conn_queue_depth: usize,
 }
 
 impl Default for ServeMetrics {
@@ -51,6 +70,8 @@ impl ServeMetrics {
             jobs_done: Counter::new(),
             jobs_failed: Counter::new(),
             jobs_cancelled: Counter::new(),
+            conns_rejected: Counter::new(),
+            conns_reaped: Counter::new(),
             // Job wall times from 1 ms to ~100 s.
             job_wall_ms: FixedHistogram::exponential(1.0, 10.0, 6),
         }
@@ -152,16 +173,22 @@ fn job_progress_gauges(out: &mut String, store: &JobStore) {
     }
 }
 
-/// Renders the `/metrics` page.
+/// Renders the `/metrics` page. `wal` is `None` when the server runs
+/// without a state directory (no persistence series emitted).
 #[must_use]
 pub fn render_prometheus(
     metrics: &ServeMetrics,
     cache: &FitCache,
     stats: &StatsCollector,
     store: &JobStore,
-    queue_depth: usize,
-    jobs_running: u64,
+    gauges: GaugeSnapshot,
+    wal: Option<WalStats>,
 ) -> String {
+    let GaugeSnapshot {
+        queue_depth,
+        jobs_running,
+        conn_queue_depth,
+    } = gauges;
     let mut out = String::new();
     counter(
         &mut out,
@@ -211,6 +238,56 @@ pub fn render_prometheus(
         "Fit-cache misses.",
         cache.misses(),
     );
+    counter(
+        &mut out,
+        "srm_store_evictions_total",
+        "Fit-cache entries evicted under capacity pressure (LRU).",
+        cache.evictions(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_conns_rejected_total",
+        "Connections rejected with 503 because the accept queue was full.",
+        metrics.conns_rejected.get(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_conns_reaped_total",
+        "Stale connections reaped with 503 from the accept queue.",
+        metrics.conns_reaped.get(),
+    );
+    gauge(
+        &mut out,
+        "srm_serve_conn_queue_depth",
+        "Connections waiting in the accept queue.",
+        conn_queue_depth as f64,
+    );
+    if let Some(wal) = wal {
+        gauge(
+            &mut out,
+            "srm_wal_bytes",
+            "Bytes currently in the write-ahead log.",
+            wal.bytes as f64,
+        );
+        counter(
+            &mut out,
+            "srm_wal_records_total",
+            "Records appended to the write-ahead log since boot.",
+            wal.appended,
+        );
+        counter(
+            &mut out,
+            "srm_store_snapshots_total",
+            "State snapshots written since boot.",
+            wal.snapshots,
+        );
+        counter(
+            &mut out,
+            "srm_store_errors_total",
+            "WAL appends or snapshots that failed (memory-only state).",
+            wal.errors,
+        );
+    }
     gauge(
         &mut out,
         "srm_serve_cache_entries",
@@ -332,11 +409,30 @@ mod tests {
             "k".into(),
             JobStatus::Queued,
         ));
-        let page = render_prometheus(&metrics, &cache, &stats, &store, 2, 1);
+        let page = render_prometheus(
+            &metrics,
+            &cache,
+            &stats,
+            &store,
+            GaugeSnapshot {
+                queue_depth: 2,
+                jobs_running: 1,
+                conn_queue_depth: 3,
+            },
+            None,
+        );
         assert!(page.contains("srm_serve_http_requests_total 3"));
         assert!(page.contains("srm_serve_jobs_submitted_total 1"));
         assert!(page.contains("srm_serve_queue_depth 2"));
         assert!(page.contains("srm_serve_jobs_running 1"));
+        assert!(page.contains("srm_serve_conn_queue_depth 3"));
+        assert!(page.contains("srm_store_evictions_total 0"));
+        assert!(page.contains("srm_serve_conns_rejected_total 0"));
+        assert!(page.contains("srm_serve_conns_reaped_total 0"));
+        assert!(
+            !page.contains("srm_wal_bytes"),
+            "no WAL series without a state dir"
+        );
         assert!(page.contains("srm_serve_jobs_state{state=\"queued\"} 1"));
         assert!(page.contains("srm_serve_jobs_state{state=\"done\"} 0"));
         assert!(page.contains("srm_serve_job_wall_ms_bucket{le=\"+Inf\"} 1"));
@@ -375,8 +471,11 @@ mod tests {
             &FitCache::new(),
             &StatsCollector::new(),
             &store,
-            0,
-            2,
+            GaugeSnapshot {
+                jobs_running: 2,
+                ..GaugeSnapshot::default()
+            },
+            None,
         );
         assert!(page.contains("srm_serve_jobs_state{state=\"running\"} 2"));
         // Two chains at sweep 49 each → 100 sweeps completed.
@@ -393,6 +492,32 @@ mod tests {
             "{page}"
         );
         assert!(!page.contains("job-8\"}"), "{page}");
+    }
+
+    #[test]
+    fn wal_series_appear_when_a_state_dir_is_configured() {
+        let page = render_prometheus(
+            &ServeMetrics::new(),
+            &FitCache::new(),
+            &StatsCollector::new(),
+            &JobStore::new(),
+            GaugeSnapshot::default(),
+            Some(WalStats {
+                bytes: 88,
+                records: 5,
+                appended: 12,
+                snapshots: 2,
+                errors: 0,
+            }),
+        );
+        assert!(page.contains("srm_wal_bytes 88"));
+        assert!(page.contains("srm_wal_records_total 12"));
+        assert!(page.contains("srm_store_snapshots_total 2"));
+        assert!(page.contains("srm_store_errors_total 0"));
+        assert_eq!(
+            page.matches("# HELP").count(),
+            page.matches("# TYPE").count()
+        );
     }
 
     #[test]

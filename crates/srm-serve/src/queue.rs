@@ -118,6 +118,25 @@ impl JobQueue {
         }
     }
 
+    /// Enqueues a job recovered from the state directory at boot,
+    /// bypassing the capacity check — recovered work was already
+    /// accepted (and 201'd) in a previous life, so it must not be
+    /// bounced by backpressure meant for *new* submissions.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] after [`JobQueue::close`].
+    pub fn requeue(&self, job: QueuedJob) -> Result<(), PushError> {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        inner.items.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
     /// Closes the queue: no new pushes, waiting jobs still drain.
     pub fn close(&self) {
         lock_ignoring_poison(&self.inner).closed = true;
@@ -173,6 +192,17 @@ mod tests {
         let q = JobQueue::new(1);
         q.push(job("a")).unwrap();
         assert_eq!(q.push(job("b")).unwrap_err(), PushError::Full);
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_but_not_close() {
+        let q = JobQueue::new(1);
+        q.push(job("a")).unwrap();
+        assert_eq!(q.push(job("b")).unwrap_err(), PushError::Full);
+        q.requeue(job("recovered")).unwrap();
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.requeue(job("late")).unwrap_err(), PushError::Closed);
     }
 
     #[test]

@@ -1,19 +1,28 @@
-//! The HTTP server: accept loop, routing, worker pool, and the
-//! graceful-shutdown drain.
+//! The HTTP server: accept loop, connection scheduler, routing,
+//! worker pool, and the graceful-shutdown drain.
 //!
 //! One thread owns a non-blocking [`TcpListener`] and polls it
-//! alongside the shutdown flag; each accepted connection is handled
-//! on a short-lived thread with both read and write timeouts, so a
-//! slow or stalled client can delay only its own response, never the
-//! accept loop or the other endpoints. Handler threads are capped —
-//! beyond the cap the accept loop falls back to serial (inline)
-//! handling, which the timeouts keep bounded. The expensive work
-//! happens on the worker pool, which feeds off the bounded
-//! [`JobQueue`]. On shutdown the accept loop stops taking
-//! connections, joins in-flight handlers, closes the queue, and the
-//! workers finish every job that was already accepted before
-//! exiting — the drain contract documented in DESIGN.md §11.
+//! alongside the shutdown flag. Accepted connections go onto a
+//! **bounded connection queue** serviced by a fixed pool of reusable
+//! handler threads — when the queue is full the accept thread answers
+//! 503 inline and moves on, and a connection that sat in the queue
+//! longer than the reap threshold is answered 503 without being read.
+//! Ten thousand slow pollers therefore cost at most `conn_backlog`
+//! queue slots and `http_handlers` threads, never a thread apiece.
+//! Each serviced connection gets read and write timeouts, so a
+//! stalled client can delay only its own handler.
+//!
+//! The expensive work happens on the worker pool, which feeds off the
+//! bounded [`JobQueue`]. With a `state_dir` configured, every job
+//! transition is appended to the write-ahead log (see
+//! [`crate::store`]) and boot replays it — completed results and
+//! cache entries survive `kill -9`, and in-flight jobs are re-queued.
+//! On shutdown the accept loop stops taking connections, the handler
+//! pool drains, the job queue closes, the workers finish every job
+//! that was already accepted, and a final snapshot is written — the
+//! drain contract documented in DESIGN.md §11 and §13.
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -24,14 +33,16 @@ use srm_obs::json::{parse, Value};
 use srm_obs::{
     aggregate, build_info_value, ChainCheckpoint, Event, JsonlSink, Recorder, StatsCollector, Tee,
 };
+use srm_store::SyncPolicy;
 
 use crate::cache::FitCache;
 use crate::engine::run_job;
 use crate::http::{read_request, Request, Response};
-use crate::job::{JobRecord, JobSpec, JobStatus, JobStore};
-use crate::metrics::{render_prometheus, ServeMetrics};
+use crate::job::{JobRecord, JobSpec, JobStatus, JobStore, DEFAULT_SHARDS};
+use crate::metrics::{render_prometheus, GaugeSnapshot, ServeMetrics};
 use crate::queue::{JobQueue, PushError, QueuedJob};
 use crate::signal;
+use crate::store::{Persister, DEFAULT_SNAPSHOT_EVERY};
 
 /// How often the accept loop re-checks the shutdown flag while idle.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
@@ -39,9 +50,66 @@ const POLL_INTERVAL: Duration = Duration::from_millis(10);
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
 /// Per-connection write timeout (clients that stop reading).
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
-/// Cap on concurrent connection-handler threads; beyond it new
-/// connections are handled inline on the accept thread.
-const MAX_CONNECTION_THREADS: usize = 64;
+/// A connection that waited longer than this in the accept queue is
+/// reaped with 503 instead of being read — its client has either
+/// timed out already or is part of a flood worth shedding.
+const CONN_REAP_AFTER: Duration = Duration::from_secs(10);
+
+/// A bounded FIFO of accepted-but-unserviced connections, between the
+/// accept thread and the handler pool.
+#[derive(Debug, Default)]
+struct ConnQueue {
+    inner: Mutex<ConnInner>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct ConnInner {
+    items: VecDeque<(TcpStream, Instant)>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    /// Enqueues an accepted connection; gives the stream back when
+    /// the queue is full or closed so the caller can shed it.
+    fn push(&self, stream: TcpStream, capacity: usize) -> Result<(), TcpStream> {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        if inner.closed || inner.items.len() >= capacity {
+            return Err(stream);
+        }
+        inner.items.push_back((stream, Instant::now()));
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available or the queue is closed
+    /// *and* drained; `None` tells the handler to exit.
+    fn pop(&self) -> Option<(TcpStream, Instant)> {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        lock_ignoring_poison(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        lock_ignoring_poison(&self.inner).items.len()
+    }
+}
 
 /// A test latch that holds workers at the top of job execution.
 ///
@@ -110,8 +178,26 @@ pub struct ServerConfig {
     /// the oldest are evicted first, so a very old job id eventually
     /// answers 404. Queued and running jobs are never evicted.
     pub job_history_limit: usize,
-    /// Max result documents in the fit cache (FIFO eviction).
+    /// Max result documents in the fit cache (LRU eviction).
     pub cache_capacity: usize,
+    /// State directory for the write-ahead log and snapshots.
+    /// `None` disables persistence (memory-only, the pre-durability
+    /// behaviour).
+    pub state_dir: Option<String>,
+    /// When WAL appends reach stable storage. [`SyncPolicy::Never`]
+    /// survives SIGKILL (the kernel holds the bytes);
+    /// [`SyncPolicy::Always`] also survives power loss.
+    pub wal_sync: SyncPolicy,
+    /// WAL appends between snapshots (snapshot + log truncation).
+    pub snapshot_every: u64,
+    /// Lock shards for the job store and fit cache.
+    pub shards: usize,
+    /// Reusable connection-handler threads servicing the accept
+    /// queue.
+    pub http_handlers: usize,
+    /// Bounded accept-queue capacity; beyond it new connections are
+    /// answered 503 inline.
+    pub conn_backlog: usize,
     /// Whether the accept loop also honours the process-wide
     /// [`signal`] flag (SIGTERM/SIGINT). CLI servers set this; tests
     /// use [`Server::request_shutdown`] so parallel servers don't
@@ -131,6 +217,12 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             job_history_limit: 1_024,
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            state_dir: None,
+            wal_sync: SyncPolicy::Never,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            shards: DEFAULT_SHARDS,
+            http_handlers: 8,
+            conn_backlog: 256,
             watch_signals: false,
             gate: None,
         }
@@ -150,6 +242,10 @@ pub struct ServerState {
     pub metrics: ServeMetrics,
     /// Engine-level aggregates teed from every job's recorder.
     pub stats: Arc<StatsCollector>,
+    /// The WAL + snapshot layer; `None` without a `state_dir`.
+    persister: Option<Persister>,
+    conns: ConnQueue,
+    conn_backlog: usize,
     shutdown: AtomicBool,
     running: AtomicU64,
     trace_dir: Option<String>,
@@ -182,6 +278,23 @@ impl ServerState {
             .as_ref()
             .map(|dir| format!("{dir}/{id}.manifest.json"))
     }
+
+    /// The persistence layer's counters, when a state dir is set.
+    #[must_use]
+    pub fn wal_stats(&self) -> Option<crate::store::WalStats> {
+        self.persister.as_ref().map(Persister::stats)
+    }
+
+    /// Logs a terminal transition for `id` and snapshots if the
+    /// cadence is due. No-op without a state dir.
+    fn persist_terminal(&self, id: &str) {
+        if let Some(persister) = &self.persister {
+            if let Some(record) = self.store.get(id) {
+                persister.record_terminal(&record);
+                persister.maybe_snapshot(&self.store, &self.cache);
+            }
+        }
+    }
 }
 
 /// A running estimation service.
@@ -190,29 +303,61 @@ pub struct Server {
     addr: SocketAddr,
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener and spawns the accept loop and worker pool.
+    /// Binds the listener and spawns the accept loop, the connection
+    /// handler pool, and the worker pool. With a `state_dir`, first
+    /// recovers persisted state (snapshot + WAL replay), re-queues
+    /// jobs that were in flight when the previous process died, and
+    /// compacts the log.
     ///
     /// # Errors
     ///
-    /// Returns [`std::io::Error`] when the bind fails or the trace
-    /// directory cannot be created.
+    /// Returns [`std::io::Error`] when the bind fails or the trace or
+    /// state directory cannot be initialised.
     pub fn start(config: ServerConfig) -> std::io::Result<Self> {
         if let Some(dir) = &config.trace_dir {
             std::fs::create_dir_all(dir)?;
         }
+        let mut recovered = crate::store::RecoveredState::default();
+        let persister = match &config.state_dir {
+            Some(dir) => {
+                let (persister, state) = Persister::open(
+                    std::path::Path::new(dir),
+                    config.wal_sync,
+                    config.snapshot_every,
+                )?;
+                recovered = state;
+                Some(persister)
+            }
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+
+        let store = JobStore::with_limit_and_shards(config.job_history_limit, config.shards);
+        let cache = FitCache::with_capacity_and_shards(config.cache_capacity, config.shards);
+        for record in recovered.jobs.drain(..) {
+            store.insert(record);
+        }
+        store.set_next_id(recovered.next_id);
+        for (key, result) in recovered.cache.drain(..) {
+            cache.insert(&key, result);
+        }
+
         let state = Arc::new(ServerState {
-            store: JobStore::with_limit(config.job_history_limit),
+            store,
             queue: JobQueue::new(config.queue_capacity),
-            cache: FitCache::with_capacity(config.cache_capacity),
+            cache,
             metrics: ServeMetrics::new(),
             stats: Arc::new(StatsCollector::new()),
+            persister,
+            conns: ConnQueue::default(),
+            conn_backlog: config.conn_backlog.max(1),
             shutdown: AtomicBool::new(false),
             running: AtomicU64::new(0),
             trace_dir: config.trace_dir,
@@ -221,8 +366,37 @@ impl Server {
             gate: config.gate,
         });
 
+        // Re-queue work that was queued or running when the previous
+        // process died. Deadlines restart from boot: the original
+        // submit time died with the old process, and punishing a
+        // recovered job for downtime it did not cause would make
+        // recovery lossy.
+        for (id, spec) in recovered.pending.drain(..) {
+            let trace = open_trace(&state, &id);
+            let deadline = spec
+                .timeout_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let _ = state.queue.requeue(QueuedJob {
+                id,
+                spec,
+                deadline,
+                trace,
+            });
+        }
+        // Boot-time compaction: fold the replayed WAL into a fresh
+        // snapshot so the next crash replays a short log.
+        if let Some(persister) = &state.persister {
+            persister.snapshot_now(&state.store, &state.cache);
+        }
+
         let accept_state = Arc::clone(&state);
         let accept = std::thread::spawn(move || accept_loop(&listener, &accept_state));
+        let handlers = (0..config.http_handlers.max(1))
+            .map(|_| {
+                let handler_state = Arc::clone(&state);
+                std::thread::spawn(move || handler_loop(&handler_state))
+            })
+            .collect();
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let worker_state = Arc::clone(&state);
@@ -233,6 +407,7 @@ impl Server {
             addr,
             state,
             accept: Some(accept),
+            handlers,
             workers,
         })
     }
@@ -254,40 +429,47 @@ impl Server {
         self.state.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Blocks until the accept loop has exited and every worker has
-    /// drained; returns the final state for summary reporting.
+    /// Blocks until the accept loop, handler pool, and worker pool
+    /// have drained (in that order), writes a final snapshot, and
+    /// returns the final state for summary reporting.
     #[must_use]
     pub fn join(mut self) -> Arc<ServerState> {
+        // The accept loop exits on shutdown and closes the conn
+        // queue; the handlers drain what was already accepted.
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        for handler in self.handlers.drain(..) {
+            let _ = handler.join();
+        }
+        // Only then close the job queue: a submission a handler was
+        // still writing is either on the queue (drained below) or was
+        // rejected — never silently dropped.
+        self.state.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(persister) = &self.state.persister {
+            persister.snapshot_now(&self.state.store, &self.state.cache);
         }
         Arc::clone(&self.state)
     }
 }
 
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     loop {
-        handlers.retain(|h| !h.is_finished());
         if state.shutting_down() {
             state.shutdown.store(true, Ordering::SeqCst);
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                if handlers.len() >= MAX_CONNECTION_THREADS {
-                    // Saturated: degrade to serial handling (the
-                    // read/write timeouts bound the stall) rather
-                    // than spawn without limit.
-                    handle_connection(state, stream);
-                } else {
-                    let conn_state = Arc::clone(state);
-                    handlers.push(std::thread::spawn(move || {
-                        handle_connection(&conn_state, stream)
-                    }));
+                if let Err(stream) = state.conns.push(stream, state.conn_backlog) {
+                    // Accept queue full: shed the connection with an
+                    // inline best-effort 503 — cheaper than parsing
+                    // its request, and the client learns to back off.
+                    state.metrics.conns_rejected.incr();
+                    shed_connection(stream, "overloaded", "accept queue is full; retry later");
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -296,13 +478,32 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
     }
-    // Let in-flight responses finish (bounded by the timeouts), then
-    // close the queue: new pushes are rejected but the workers finish
-    // what was already accepted.
-    for handler in handlers {
-        let _ = handler.join();
+    // Wake the handler pool; it drains already-accepted connections
+    // (bounded by the timeouts) and exits.
+    state.conns.close();
+}
+
+/// One reusable connection-handler thread: pops accepted connections,
+/// reaps the ones that waited past the threshold, services the rest.
+fn handler_loop(state: &Arc<ServerState>) {
+    while let Some((stream, accepted_at)) = state.conns.pop() {
+        if accepted_at.elapsed() > CONN_REAP_AFTER {
+            state.metrics.conns_reaped.incr();
+            shed_connection(stream, "overloaded", "connection waited too long; retry");
+            continue;
+        }
+        handle_connection(state, stream);
     }
-    state.queue.close();
+}
+
+/// Writes a 503 without reading the request; used for load shedding,
+/// where spending read-timeout seconds on the victim would defeat the
+/// point.
+fn shed_connection(mut stream: TcpStream, kind: &str, message: &str) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = Response::error(503, kind, message)
+        .with_header("Connection", "close")
+        .write_to(&mut stream);
 }
 
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
@@ -328,8 +529,12 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                 &state.cache,
                 &state.stats,
                 &state.store,
-                state.queue.len(),
-                state.jobs_running(),
+                GaugeSnapshot {
+                    queue_depth: state.queue.len(),
+                    jobs_running: state.jobs_running(),
+                    conn_queue_depth: state.conns.len(),
+                },
+                state.wal_stats(),
             ),
         ),
         (method, _) => {
@@ -413,6 +618,9 @@ fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Response {
     let mut record = JobRecord::new(id.clone(), spec.kind, cache_key.clone(), JobStatus::Queued);
     record.cached = false;
     state.store.insert(record);
+    if let Some(persister) = &state.persister {
+        persister.record_submit(&id, &spec);
+    }
 
     let trace = open_trace(state, &id);
     let recorder = job_recorder(state, trace.as_ref());
@@ -449,6 +657,9 @@ fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Response {
         }
         Err(reject) => {
             state.store.remove(&id);
+            if let Some(persister) = &state.persister {
+                persister.record_drop(&id);
+            }
             if let Some(path) = state.trace_path(&id) {
                 let _ = std::fs::remove_file(path);
             }
@@ -477,6 +688,7 @@ fn serve_from_cache(
     record.cached = true;
     record.result = Some(result);
     state.store.insert(record);
+    state.persist_terminal(&id);
     state.metrics.jobs_submitted.incr();
     state.metrics.jobs_done.incr();
 
@@ -627,6 +839,7 @@ fn cancel_job(state: &Arc<ServerState>, id: &str) -> Response {
         Some((status, label)) => {
             if status == 200 {
                 state.metrics.jobs_cancelled.incr();
+                state.persist_terminal(id);
             }
             Response::json(
                 status,
@@ -665,8 +878,12 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
         })
         .unwrap_or(false);
     if !claimed {
+        state.persist_terminal(&job.id);
         finish(job, &recorder, "cancelled", 0.0);
         return;
+    }
+    if let Some(persister) = &state.persister {
+        persister.record_claim(&job.id);
     }
 
     state.running.fetch_add(1, Ordering::SeqCst);
@@ -698,6 +915,7 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
             record.status = JobStatus::Cancelled;
             record.wall_ms = wall_ms;
         });
+        state.persist_terminal(&job.id);
         state.metrics.jobs_cancelled.incr();
         finish(job, &recorder, "cancelled", wall_ms);
         return;
@@ -713,6 +931,7 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
                 record.result = Some(output.result.clone());
                 record.wall_ms = wall_ms;
             });
+            state.persist_terminal(&job.id);
             state.metrics.jobs_done.incr();
             state.metrics.job_wall_ms.observe(wall_ms);
             if let Some(path) = state.manifest_path(&job.id) {
@@ -728,6 +947,7 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
                 record.error = Some((error.kind().to_owned(), error.to_string()));
                 record.wall_ms = wall_ms;
             });
+            state.persist_terminal(&job.id);
             state.metrics.jobs_failed.incr();
             finish(job, &recorder, "failed", wall_ms);
         }
@@ -898,5 +1118,57 @@ mod tests {
         server.request_shutdown();
         let state = server.join();
         assert_eq!(state.metrics.jobs_cancelled.get(), 1);
+    }
+
+    #[test]
+    fn restart_recovers_results_and_serves_repeats_from_cache() {
+        let dir = std::env::temp_dir().join(format!("srm_serve_restart_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServerConfig {
+            state_dir: Some(dir.to_string_lossy().into_owned()),
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let body = r#"{"kind":"fit","dataset":"short_campaign_25","model":"model0",
+            "chains":1,"samples":120,"burn_in":40,"seed":9}"#;
+
+        let server = Server::start(config()).unwrap();
+        let (status, submitted) = http(server.addr(), "POST", "/v1/jobs", body);
+        assert_eq!(status, 202);
+        let id = parse(&submitted)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let first = loop {
+            let (status, result) = http(server.addr(), "GET", &format!("/v1/results/{id}"), "");
+            if status == 200 {
+                break result;
+            }
+            assert_eq!(status, 202, "{result}");
+            assert!(Instant::now() < deadline, "job did not finish in time");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        server.request_shutdown();
+        let _ = server.join();
+
+        // Same state dir, new process-lifetime: the finished job, its
+        // byte-identical result, and the fit cache all come back.
+        let server = Server::start(config()).unwrap();
+        let (status, recovered) = http(server.addr(), "GET", &format!("/v1/results/{id}"), "");
+        assert_eq!(status, 200);
+        assert_eq!(recovered, first);
+        let (status, repeat) = http(server.addr(), "POST", "/v1/jobs", body);
+        assert_eq!(status, 201, "{repeat}");
+        assert!(matches!(
+            parse(&repeat).unwrap().get("cached"),
+            Some(Value::Bool(true))
+        ));
+        server.request_shutdown();
+        let _ = server.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,87 @@
+//! Test-only crash-point hook for the kill/restart fault harness.
+//!
+//! Production code sprinkles `crash_point("name")` calls at WAL and
+//! snapshot boundaries. They are free no-ops unless the process was
+//! started with
+//!
+//! ```text
+//! SRM_CRASH_POINT=<name>[:N]
+//! ```
+//!
+//! in its environment, in which case the N-th execution of that named
+//! point (default: the first) aborts the process — the same abrupt
+//! death as `kill -9`, but placed deterministically so recovery tests
+//! can exercise every boundary: "log written but state not yet
+//! applied", "snapshot tmp written but not renamed", and so on.
+//!
+//! The hook is armed per process via the environment rather than
+//! `cfg(test)` so integration tests can arm the *real* binary they
+//! spawn.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable that arms a crash point: `<name>` or
+/// `<name>:N` to abort on the N-th hit (1-based).
+pub const CRASH_POINT_ENV: &str = "SRM_CRASH_POINT";
+
+struct Armed {
+    name: String,
+    nth: u64,
+    hits: AtomicU64,
+}
+
+fn armed() -> Option<&'static Armed> {
+    static ARMED: OnceLock<Option<Armed>> = OnceLock::new();
+    ARMED
+        .get_or_init(|| {
+            let spec = std::env::var(CRASH_POINT_ENV).ok()?;
+            let spec = spec.trim();
+            if spec.is_empty() {
+                return None;
+            }
+            let (name, nth) = match spec.rsplit_once(':') {
+                Some((name, count)) => match count.parse::<u64>() {
+                    Ok(n) if n >= 1 => (name, n),
+                    // Not a count — treat the whole spec as a name.
+                    _ => (spec, 1),
+                },
+                None => (spec, 1),
+            };
+            Some(Armed {
+                name: name.to_string(),
+                nth,
+                hits: AtomicU64::new(0),
+            })
+        })
+        .as_ref()
+}
+
+/// Marks a named crash boundary. No-op unless this process was armed
+/// for `name` via [`CRASH_POINT_ENV`], in which case the configured
+/// hit aborts the process without unwinding or cleanup.
+pub fn crash_point(name: &str) {
+    let Some(armed) = armed() else { return };
+    if armed.name != name {
+        return;
+    }
+    let hit = armed.hits.fetch_add(1, Ordering::Relaxed) + 1;
+    if hit == armed.nth {
+        eprintln!("srm-store: crash point `{name}` hit {hit}: aborting");
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `armed()` latches the environment once per process, so these
+    // tests only cover the unarmed path (the integration harness
+    // covers armed aborts in spawned processes).
+    #[test]
+    fn unarmed_crash_point_is_a_no_op() {
+        crash_point("wal-append");
+        crash_point("snapshot-renamed");
+    }
+}

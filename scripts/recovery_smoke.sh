@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Recovery smoke test for `srm serve --state-dir`: boots a durable
+# server, completes one job, SIGKILLs the process while a second job
+# is still sampling, restarts on the same state directory, and checks
+# that (a) the finished result is byte-identical after recovery,
+# (b) the interrupted job is re-queued and re-fit to a byte-identical
+# result, and (c) the recovered fit cache answers a repeat submission
+# with a 201 cache hit. Finishes with the /metrics WAL series and a
+# graceful drain.
+#
+# Requires: a release build of the `srm` binary, curl, jq.
+set -euo pipefail
+
+SRM=${SRM:-target/release/srm}
+WORK=$(mktemp -d)
+SERVER_PID=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "recovery-smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$WORK/server.log" >&2 || true
+    exit 1
+}
+
+[ -x "$SRM" ] || fail "srm binary not found at $SRM (cargo build --release first)"
+
+STATE="$WORK/state"
+
+start_server() {
+    rm -f "$WORK/srm.port"
+    "$SRM" serve --addr 127.0.0.1:0 --port-file "$WORK/srm.port" \
+        --state-dir "$STATE" --workers 1 >>"$WORK/server.log" 2>&1 &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$WORK/srm.port" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+        sleep 0.1
+    done
+    [ -s "$WORK/srm.port" ] || fail "port file never appeared"
+    BASE="http://127.0.0.1:$(cat "$WORK/srm.port")"
+}
+
+wait_for_result() { # job-id out-file
+    local job="$1" out="$2" status
+    for _ in $(seq 1 600); do
+        status=$(curl -sf "$BASE/v1/jobs/$job" | jq -r .status)
+        case "$status" in
+            done) curl -sf "$BASE/v1/results/$job" >"$out"; return 0 ;;
+            failed | cancelled) fail "job $job ended $status" ;;
+        esac
+        sleep 0.2
+    done
+    fail "job $job still $status after timeout"
+}
+
+QUICK='{"kind":"fit","dataset":"short_campaign_25","model":"model0","chains":1,"samples":300,"burn_in":100,"seed":7}'
+SLOW='{"kind":"fit","dataset":"musa_cc96","model":"model1","chains":2,"samples":4000,"burn_in":800,"seed":42}'
+
+echo "recovery-smoke: starting durable server (state dir: $STATE)"
+start_server
+echo "recovery-smoke: listening on $BASE"
+
+echo "recovery-smoke: completing the first job"
+JOB_A=$(curl -sf -X POST "$BASE/v1/jobs" -d "$QUICK" | jq -r .id)
+wait_for_result "$JOB_A" "$WORK/result_a.json"
+
+echo "recovery-smoke: submitting a slow job, then kill -9 mid-fit"
+JOB_B=$(curl -sf -X POST "$BASE/v1/jobs" -d "$SLOW" | jq -r .id)
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "recovery-smoke: restarting on the same state dir"
+start_server
+echo "recovery-smoke: recovered server on $BASE"
+
+curl -sf "$BASE/v1/results/$JOB_A" >"$WORK/result_a_recovered.json" \
+    || fail "finished job $JOB_A lost after restart"
+cmp -s "$WORK/result_a.json" "$WORK/result_a_recovered.json" \
+    || fail "recovered result for $JOB_A is not byte-identical"
+echo "recovery-smoke: $JOB_A recovered byte-identical"
+
+echo "recovery-smoke: waiting for the interrupted job to re-fit"
+wait_for_result "$JOB_B" "$WORK/result_b.json"
+
+echo "recovery-smoke: crash-free reference fit for the same spec"
+REF_STATE="$WORK/ref_state" REF_PORT="$WORK/ref.port"
+"$SRM" serve --addr 127.0.0.1:0 --port-file "$REF_PORT" \
+    --state-dir "$REF_STATE" --workers 1 >"$WORK/ref.log" 2>&1 &
+REF_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$REF_PORT" ] && break
+    sleep 0.1
+done
+[ -s "$REF_PORT" ] || fail "reference server never came up"
+REF_BASE="http://127.0.0.1:$(cat "$REF_PORT")"
+REF_JOB=$(curl -sf -X POST "$REF_BASE/v1/jobs" -d "$SLOW" | jq -r .id)
+for _ in $(seq 1 600); do
+    [ "$(curl -sf "$REF_BASE/v1/jobs/$REF_JOB" | jq -r .status)" = "done" ] && break
+    sleep 0.2
+done
+curl -sf "$REF_BASE/v1/results/$REF_JOB" >"$WORK/result_b_ref.json"
+kill -9 "$REF_PID" 2>/dev/null || true
+wait "$REF_PID" 2>/dev/null || true
+cmp -s "$WORK/result_b.json" "$WORK/result_b_ref.json" \
+    || fail "re-fit after crash differs from the crash-free reference"
+echo "recovery-smoke: $JOB_B re-fit byte-identical to the reference"
+
+echo "recovery-smoke: repeat submission must hit the recovered cache"
+CODE=$(curl -s -o "$WORK/resubmit.json" -w '%{http_code}' -X POST "$BASE/v1/jobs" -d "$QUICK")
+[ "$CODE" = "201" ] || fail "repeat submission returned $CODE, expected 201 cache hit"
+[ "$(jq -r .cached "$WORK/resubmit.json")" = "true" ] || fail "repeat not served from cache"
+
+curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
+grep -q '^srm_wal_records_total ' "$WORK/metrics.txt" || fail "/metrics missing srm_wal_records_total"
+grep -q '^srm_wal_bytes ' "$WORK/metrics.txt" || fail "/metrics missing srm_wal_bytes"
+grep -q '^srm_store_snapshots_total ' "$WORK/metrics.txt" || fail "/metrics missing srm_store_snapshots_total"
+
+echo "recovery-smoke: SIGTERM drain"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+grep -q "drained and stopped" "$WORK/server.log" || fail "no drain summary in server log"
+
+echo "recovery-smoke: PASS"
