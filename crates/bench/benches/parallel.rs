@@ -117,10 +117,52 @@ fn bench_checkpoint_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Publishes ESS/sec telemetry and the profiler's phase-time
+/// breakdown next to the raw `threads/N` medians in
+/// `BENCH_mcmc.json`: one checkpointed, profiled run per thread
+/// count, with ESS per CPU-second taken from the final streaming
+/// checkpoints (the same figures the serve progress API reports).
+fn bench_ess_throughput(_c: &mut Criterion) {
+    let sampler = musa_sampler();
+    let config = McmcConfig {
+        chains: 4,
+        burn_in: 200,
+        samples: 300,
+        thin: 1,
+        seed: 4_242,
+    };
+    println!("\n== parallel/ess_throughput (derived metrics)");
+    for threads in [1usize, 2, 4] {
+        let profiler = std::sync::Arc::new(srm_obs::Profiler::new());
+        let stats = srm_obs::StatsCollector::new();
+        let options = RunOptions {
+            threads,
+            checkpoint_every: 50,
+            profiler: Some(std::sync::Arc::clone(&profiler)),
+            ..RunOptions::none()
+        };
+        run_chains_fault_tolerant_traced(&sampler, &config, &options, &stats).unwrap();
+        let latest = stats.latest_checkpoints();
+        let refs: Vec<&srm_obs::ChainCheckpoint> = latest.iter().collect();
+        let label = format!("threads/{threads}");
+        if let Some(diag) = srm_obs::aggregate(&refs)
+            .iter()
+            .find(|d| d.parameter == "residual")
+        {
+            srm_bench::record_metric(&label, "ess_per_sec", diag.ess_per_sec);
+            println!("  {label:<40} {:>12.1} ESS/cpu-sec", diag.ess_per_sec);
+        }
+        for phase in profiler.snapshot() {
+            srm_bench::record_phase_secs(&label, &phase.path, phase.total_ns as f64 / 1e9);
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_fit_by_threads,
     bench_suffstats_cache,
-    bench_checkpoint_overhead
+    bench_checkpoint_overhead,
+    bench_ess_throughput
 );
 criterion_main!(benches);

@@ -35,11 +35,46 @@ pub struct BenchResult {
 
 static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
 
+/// Extra numeric figures attached to a benchmark entry at write time
+/// (e.g. `ess_per_sec`), keyed `(label, key, value)`.
+static EXTRA_METRICS: Mutex<Vec<(String, String, f64)>> = Mutex::new(Vec::new());
+
+/// Per-benchmark phase-time breakdown `(label, phase, seconds)`,
+/// emitted as a nested `phases` object on the entry.
+static PHASE_METRICS: Mutex<Vec<(String, String, f64)>> = Mutex::new(Vec::new());
+
 fn record_result(result: BenchResult) {
     RESULTS
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .push(result);
+}
+
+/// Attaches an extra numeric metric to the benchmark entry with the
+/// given label — the hook the bench targets use to publish derived
+/// figures like `ess_per_sec` next to the raw timings. Recording the
+/// same `(label, key)` twice keeps the later value.
+pub fn record_metric(label: &str, key: &str, value: f64) {
+    let mut extras = EXTRA_METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match extras.iter_mut().find(|(l, k, _)| l == label && k == key) {
+        Some((_, _, slot)) => *slot = value,
+        None => extras.push((label.to_owned(), key.to_owned(), value)),
+    }
+}
+
+/// Attaches one phase's cumulative wall time (seconds) to the
+/// benchmark entry with the given label; all phases for a label are
+/// written as a nested `phases` object.
+pub fn record_phase_secs(label: &str, phase: &str, secs: f64) {
+    let mut phases = PHASE_METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match phases.iter_mut().find(|(l, p, _)| l == label && p == phase) {
+        Some((_, _, slot)) => *slot = secs,
+        None => phases.push((label.to_owned(), phase.to_owned(), secs)),
+    }
 }
 
 /// All results recorded by this process so far, in execution order.
@@ -55,14 +90,58 @@ pub fn recorded_results() -> Vec<BenchResult> {
 /// `SRM_BENCH_OUT` environment variable.
 pub const BENCH_OUT_DEFAULT: &str = "BENCH_mcmc.json";
 
+/// The `env` block stamped into every bench report: where and when
+/// the numbers were measured, so a regression diff can tell a code
+/// change from a machine change.
+fn env_value() -> Value {
+    let command_line = |program: &str, args: &[&str]| -> Option<String> {
+        std::process::Command::new(program)
+            .args(args)
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_owned())
+            .filter(|s| !s.is_empty())
+    };
+    let unknown = || "unknown".to_owned();
+    let epoch_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as f64)
+        .unwrap_or(0.0);
+    Value::obj(vec![
+        (
+            "git_rev",
+            Value::Str(command_line("git", &["rev-parse", "HEAD"]).unwrap_or_else(unknown)),
+        ),
+        (
+            "rustc",
+            Value::Str(command_line("rustc", &["--version"]).unwrap_or_else(unknown)),
+        ),
+        (
+            "cpus",
+            Value::Num(
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1) as f64,
+            ),
+        ),
+        ("timestamp_epoch_secs", Value::Num(epoch_secs)),
+    ])
+}
+
 /// Writes this process's measurements to the bench JSON document,
 /// merging with any existing file so the per-subsystem bench binaries
 /// accumulate into one report. Returns the path written.
 ///
 /// The document shape is
-/// `{"benchmarks": {"<label>": {"median_ns": …, "min_ns": …,
-/// "max_ns": …, "samples": …, "iters": …}}}`; re-running a benchmark
-/// replaces its entry.
+/// `{"env": {"git_rev": …, "rustc": …, "cpus": …,
+/// "timestamp_epoch_secs": …},
+/// "benchmarks": {"<label>": {"median_ns": …, "min_ns": …,
+/// "max_ns": …, "samples": …, "iters": …, <extra metrics>,
+/// "phases": {…}}}}`; re-running a benchmark replaces its entry, and
+/// the `env` block always reflects the latest writer. The write is
+/// atomic (temp file + rename), so a crash mid-write never truncates
+/// an existing report.
 ///
 /// # Errors
 ///
@@ -79,21 +158,48 @@ pub fn write_results() -> std::io::Result<String> {
             .unwrap_or_default(),
         Err(_) => Vec::new(),
     };
+    let extras = EXTRA_METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let phases = PHASE_METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
     for r in recorded_results() {
-        let entry = Value::obj(vec![
-            ("median_ns", Value::Num(r.median_ns)),
-            ("min_ns", Value::Num(r.min_ns)),
-            ("max_ns", Value::Num(r.max_ns)),
-            ("samples", Value::Num(r.samples as f64)),
-            ("iters", Value::Num(r.iters as f64)),
-        ]);
+        let mut pairs = vec![
+            ("median_ns".to_owned(), Value::Num(r.median_ns)),
+            ("min_ns".to_owned(), Value::Num(r.min_ns)),
+            ("max_ns".to_owned(), Value::Num(r.max_ns)),
+            ("samples".to_owned(), Value::Num(r.samples as f64)),
+            ("iters".to_owned(), Value::Num(r.iters as f64)),
+        ];
+        for (_, key, value) in extras.iter().filter(|(label, _, _)| *label == r.label) {
+            pairs.push((key.clone(), Value::Num(*value)));
+        }
+        let mine: Vec<(String, Value)> = phases
+            .iter()
+            .filter(|(label, _, _)| *label == r.label)
+            .map(|(_, phase, secs)| (phase.clone(), Value::Num(*secs)))
+            .collect();
+        if !mine.is_empty() {
+            pairs.push(("phases".to_owned(), Value::Obj(mine)));
+        }
+        let entry = Value::Obj(pairs);
         match entries.iter_mut().find(|(label, _)| *label == r.label) {
             Some((_, slot)) => *slot = entry,
             None => entries.push((r.label.clone(), entry)),
         }
     }
-    let doc = Value::obj(vec![("benchmarks", Value::Obj(entries))]);
-    std::fs::write(&path, doc.to_json_pretty())?;
+    let doc = Value::obj(vec![
+        ("env", env_value()),
+        ("benchmarks", Value::Obj(entries)),
+    ]);
+    // Atomic replace: a crash between the write and the rename leaves
+    // the previous report intact.
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, doc.to_json_pretty())?;
+    std::fs::rename(&tmp, &path)?;
     Ok(path)
 }
 
@@ -329,6 +435,9 @@ mod tests {
             r#"{"benchmarks": {"fast": {"median_ns": 1e9}, "other/bench": {"median_ns": 2.0}}}"#,
         )
         .unwrap_or_else(|_| unreachable!());
+        record_metric("fast", "ess_per_sec", 123.5);
+        record_metric("fast", "ess_per_sec", 124.5); // later value wins
+        record_phase_secs("fast", "chain/sweep", 0.25);
         std::env::set_var("SRM_BENCH_OUT", &path);
         let written = write_results().unwrap_or_else(|_| unreachable!());
         std::env::remove_var("SRM_BENCH_OUT");
@@ -338,7 +447,22 @@ mod tests {
         let benches = doc.get("benchmarks").unwrap_or_else(|| unreachable!());
         let fast = benches.get("fast").unwrap_or_else(|| unreachable!());
         assert!(fast.get("median_ns").and_then(Value::as_f64) < Some(1e9));
+        assert_eq!(fast.get("ess_per_sec").and_then(Value::as_f64), Some(124.5));
+        assert_eq!(
+            fast.get("phases")
+                .and_then(|p| p.get("chain/sweep"))
+                .and_then(Value::as_f64),
+            Some(0.25)
+        );
         assert!(benches.get("other/bench").is_some());
+        // The env block names the machine and toolchain.
+        let env = doc.get("env").unwrap_or_else(|| unreachable!());
+        assert!(env.get("git_rev").and_then(Value::as_str).is_some());
+        assert!(env.get("rustc").and_then(Value::as_str).is_some());
+        assert!(env.get("cpus").and_then(Value::as_f64) >= Some(1.0));
+        assert!(env.get("timestamp_epoch_secs").and_then(Value::as_f64) > Some(0.0));
+        // Atomic write leaves no temp file behind.
+        assert!(!std::path::Path::new(&format!("{written}.tmp")).exists());
     }
 
     #[test]

@@ -10,4 +10,6 @@
 
 pub mod harness;
 
-pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+pub use harness::{
+    record_metric, record_phase_secs, Bencher, BenchmarkGroup, BenchmarkId, Criterion,
+};

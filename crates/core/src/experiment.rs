@@ -515,6 +515,7 @@ mod tests {
             }]),
             threads: 0,
             checkpoint_every: 0,
+            profiler: None,
         };
         let results = exp.try_run(&options).unwrap();
         // 2 priors × 1 model × 1 day, each losing chain 1 of 2.
@@ -540,6 +541,7 @@ mod tests {
             }]),
             threads: 0,
             checkpoint_every: 0,
+            profiler: None,
         };
         let results = exp.try_run(&options).unwrap();
         // The only chain of every cell panics: no cells, all failures,

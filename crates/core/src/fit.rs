@@ -325,6 +325,7 @@ mod tests {
             }]),
             threads: 0,
             checkpoint_every: 0,
+            profiler: None,
         };
         let out = Fit::try_run(
             PriorSpec::Poisson {

@@ -1,0 +1,288 @@
+//! `srm bench diff` — regression gate over benchmark reports.
+//!
+//! Compares two `BENCH_mcmc.json` documents (written by the bench
+//! binaries in `crates/bench`) label by label:
+//!
+//! * `median_ns` — higher in NEW is a slowdown;
+//! * `ess_per_sec` — lower in NEW is a throughput loss.
+//!
+//! `srm bench diff OLD NEW` prints the comparison table;
+//! `--check` turns any regression beyond `--threshold` percent
+//! (default 10) into a non-zero exit, which is how CI gates merges
+//! against the committed baseline.
+
+use std::collections::BTreeMap;
+
+use crate::args::ArgError;
+use srm_obs::json::{parse, Value};
+
+const USAGE: &str = "usage: srm bench diff <OLD.json> <NEW.json> [--check] [--threshold PCT]";
+
+/// One benchmark entry's comparable figures.
+#[derive(Debug, Clone, Copy, Default)]
+struct Figures {
+    median_ns: Option<f64>,
+    ess_per_sec: Option<f64>,
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] on a missing/unknown mode, unreadable report
+/// files, or (with `--check`) any regression beyond the threshold.
+pub fn run(raw: &[String]) -> Result<String, ArgError> {
+    let mode = raw
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| ArgError(USAGE.into()))?;
+    if mode != "diff" {
+        return Err(ArgError(format!("unknown bench mode `{mode}` (diff)")));
+    }
+    // OLD and NEW are positionals, so the generic flag parser does
+    // not apply; walk the tail by hand.
+    let mut paths: Vec<&str> = Vec::new();
+    let mut check = false;
+    let mut threshold = 10.0f64;
+    let mut iter = raw[2..].iter();
+    while let Some(token) = iter.next() {
+        match token.as_str() {
+            "--check" => check = true,
+            "--threshold" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError("flag `--threshold` needs a value".into()))?;
+                threshold = value
+                    .parse()
+                    .map_err(|_| ArgError(format!("invalid value `{value}` for `--threshold`")))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(ArgError(format!("unknown flag `{other}`\n{USAGE}")));
+            }
+            path => paths.push(path),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(ArgError(USAGE.into()));
+    };
+    diff(old_path, new_path, check, threshold)
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, Figures>, ArgError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read bench report `{path}`: {e}")))?;
+    let doc = parse(&text).map_err(|e| ArgError(format!("`{path}` is not valid JSON: {e}")))?;
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Value::as_obj)
+        .ok_or_else(|| ArgError(format!("`{path}` has no `benchmarks` object")))?;
+    Ok(benches
+        .iter()
+        .map(|(label, entry)| {
+            (
+                label.clone(),
+                Figures {
+                    median_ns: entry.get("median_ns").and_then(Value::as_f64),
+                    ess_per_sec: entry.get("ess_per_sec").and_then(Value::as_f64),
+                },
+            )
+        })
+        .collect())
+}
+
+/// Percentage change from `old` to `new`; `None` when either side is
+/// missing or `old` is not a usable base.
+fn pct_change(old: Option<f64>, new: Option<f64>) -> Option<f64> {
+    match (old, new) {
+        (Some(o), Some(n)) if o > 0.0 => Some((n - o) / o * 100.0),
+        _ => None,
+    }
+}
+
+fn diff(old_path: &str, new_path: &str, check: bool, threshold: f64) -> Result<String, ArgError> {
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let mut out = format!("bench diff — {old_path} (old) vs {new_path} (new)\n");
+    out.push_str(&format!(
+        "{:<40} {:>12} {:>12} {:>8}  {}\n",
+        "benchmark", "old", "new", "Δ%", "verdict"
+    ));
+    let mut regressions: Vec<String> = Vec::new();
+    let labels: std::collections::BTreeSet<&String> = old.keys().chain(new.keys()).collect();
+    for label in labels {
+        match (old.get(label), new.get(label)) {
+            (Some(o), Some(n)) => {
+                if let Some(delta) = pct_change(o.median_ns, n.median_ns) {
+                    let slow = delta > threshold;
+                    if slow {
+                        regressions.push(format!("{label}: median {delta:+.1}% (> {threshold}%)"));
+                    }
+                    out.push_str(&format!(
+                        "{label:<40} {:>9.3} ms {:>9.3} ms {delta:>+7.1}%  {}\n",
+                        o.median_ns.unwrap_or(0.0) / 1e6,
+                        n.median_ns.unwrap_or(0.0) / 1e6,
+                        if slow { "SLOWER" } else { "ok" }
+                    ));
+                }
+                if let Some(delta) = pct_change(o.ess_per_sec, n.ess_per_sec) {
+                    // Throughput: a *drop* is the regression.
+                    let worse = delta < -threshold;
+                    if worse {
+                        regressions.push(format!(
+                            "{label}: ess_per_sec {delta:+.1}% (< -{threshold}%)"
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{:<40} {:>12.1} {:>12.1} {delta:>+7.1}%  {}\n",
+                        format!("{label} (ess/sec)"),
+                        o.ess_per_sec.unwrap_or(0.0),
+                        n.ess_per_sec.unwrap_or(0.0),
+                        if worse { "SLOWER" } else { "ok" }
+                    ));
+                }
+            }
+            (Some(_), None) => {
+                out.push_str(&format!("{label:<40} only in old report\n"));
+            }
+            (None, Some(_)) => {
+                out.push_str(&format!("{label:<40} only in new report\n"));
+            }
+            (None, None) => {}
+        }
+    }
+    out.push_str(&format!(
+        "\n{} regression(s) beyond {threshold}% threshold\n",
+        regressions.len()
+    ));
+    if check && !regressions.is_empty() {
+        return Err(ArgError(format!(
+            "bench regression check failed:\n  {}\n{out}",
+            regressions.join("\n  ")
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn write(name: &str, json: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, json).unwrap();
+        path
+    }
+
+    const OLD: &str = r#"{"benchmarks": {
+        "gibbs/poisson": {"median_ns": 1e6, "ess_per_sec": 100.0},
+        "gibbs/negbinom": {"median_ns": 2e6},
+        "gone": {"median_ns": 5e5}
+    }}"#;
+
+    #[test]
+    fn diff_reports_deltas_and_membership() {
+        let old = write("srm_bench_old.json", OLD);
+        let new = write(
+            "srm_bench_new.json",
+            r#"{"benchmarks": {
+                "gibbs/poisson": {"median_ns": 1.05e6, "ess_per_sec": 98.0},
+                "gibbs/negbinom": {"median_ns": 1.5e6},
+                "fresh": {"median_ns": 1e5}
+            }}"#,
+        );
+        let out = run(&raw(&[
+            "bench",
+            "diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("gibbs/poisson"), "{out}");
+        assert!(out.contains("+5.0%"), "{out}");
+        assert!(out.contains("(ess/sec)"), "{out}");
+        assert!(out.contains("-25.0%"), "{out}");
+        assert!(out.contains("gone"), "{out}");
+        assert!(out.contains("only in old report"), "{out}");
+        assert!(out.contains("only in new report"), "{out}");
+        assert!(out.contains("0 regression(s)"), "{out}");
+    }
+
+    #[test]
+    fn check_fails_on_median_slowdown_beyond_threshold() {
+        let old = write("srm_bench_check_old.json", OLD);
+        let new = write(
+            "srm_bench_check_new.json",
+            r#"{"benchmarks": {"gibbs/poisson": {"median_ns": 1.5e6, "ess_per_sec": 100.0}}}"#,
+        );
+        let args = raw(&[
+            "bench",
+            "diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--check",
+        ]);
+        let err = run(&args).unwrap_err();
+        assert!(err.to_string().contains("regression check failed"), "{err}");
+        assert!(err.to_string().contains("gibbs/poisson"), "{err}");
+
+        // A looser threshold lets the same pair pass.
+        let mut loose = args;
+        loose.extend(raw(&["--threshold", "60"]));
+        assert!(run(&loose).is_ok());
+    }
+
+    #[test]
+    fn check_fails_on_throughput_drop() {
+        let old = write("srm_bench_tp_old.json", OLD);
+        let new = write(
+            "srm_bench_tp_new.json",
+            r#"{"benchmarks": {"gibbs/poisson": {"median_ns": 1e6, "ess_per_sec": 50.0}}}"#,
+        );
+        let err = run(&raw(&[
+            "bench",
+            "diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--check",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("ess_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn bad_usage_errors_cleanly() {
+        assert!(run(&raw(&["bench"])).is_err());
+        assert!(run(&raw(&["bench", "dance"])).is_err());
+        assert!(run(&raw(&["bench", "diff", "one.json"])).is_err());
+        assert!(run(&raw(&["bench", "diff", "a", "b", "--bogus"])).is_err());
+        assert!(run(&raw(&["bench", "diff", "a", "b", "--threshold"])).is_err());
+        let err = run(&raw(&["bench", "diff", "/no/old.json", "/no/new.json"])).unwrap_err();
+        assert!(err.to_string().contains("cannot read bench report"));
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        let bad = write("srm_bench_bad.json", "not json");
+        let good = write("srm_bench_good.json", OLD);
+        assert!(run(&raw(&[
+            "bench",
+            "diff",
+            bad.to_str().unwrap(),
+            good.to_str().unwrap()
+        ]))
+        .is_err());
+        let empty = write("srm_bench_empty.json", "{}");
+        let err = run(&raw(&[
+            "bench",
+            "diff",
+            empty.to_str().unwrap(),
+            good.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no `benchmarks` object"), "{err}");
+    }
+}

@@ -55,8 +55,13 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         },
         threads,
         checkpoint_every: args.get_parsed("checkpoint-every", 0usize)?,
+        profiler: obs.profiler(),
     };
 
+    // Install the profiler on this thread too, so main-thread phases
+    // (WAIC scoring, summaries) land in the same profile as the
+    // worker-thread chains.
+    let profile_guard = srm_obs::profile::install(options.profiler.as_ref());
     let tolerant = Fit::try_run_traced(
         prior,
         model,
@@ -69,6 +74,8 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         obs.recorder(),
     )
     .map_err(|e| ArgError(format!("fit failed: {e}")))?;
+    drop(profile_guard);
+    obs.finish_profile();
     let fit = &tolerant.fit;
 
     obs.finish_manifest(

@@ -1,5 +1,6 @@
 //! The CLI subcommands.
 
+pub mod bench;
 pub mod fit;
 pub mod predict;
 pub mod select;
@@ -30,7 +31,8 @@ COMMANDS:
     trend     Laplace trend test and dataset summary
     simulate  Generate synthetic bug-count data (CSV on stdout)
     serve     Long-running HTTP estimation service (job queue + fit cache)
-    trace     Analyse JSONL traces: summarize | diff | lint
+    trace     Analyse JSONL traces: summarize | diff | lint | profile
+    bench     Compare benchmark reports: diff [--check]
     version   Print crate and schema versions
     help      Show this message
 
@@ -57,12 +59,24 @@ OBSERVABILITY (fit/select/trend):
     --verbosity 0|1|2          progress detail                  [default: 1]
     --checkpoint-every K       streaming convergence checkpoints every K
                                sweeps (0 = off; never changes the draws)
+    --profile                  hierarchical phase-time profile: table on
+                               stderr, `profile` event in the trace
+                               (never changes the draws)
 
 TRACE ANALYSIS (srm trace):
     srm trace summarize --file run.jsonl     counts, phase timings, and the
                                              convergence trajectory
     srm trace diff --a run1.jsonl --b run2.jsonl
     srm trace lint --file run.jsonl --strict schema validation (CI gate)
+    srm trace profile --file run.jsonl --top N
+                                             phase-time table from a
+                                             profiled run's trace
+
+BENCH REGRESSION (srm bench):
+    srm bench diff OLD.json NEW.json [--check] [--threshold PCT]
+                                             compare BENCH_mcmc.json reports;
+                                             --check exits non-zero on any
+                                             regression beyond PCT% (CI gate)
 
 SERVING (srm serve):
     --addr <ip:port>        bind address            [default: 127.0.0.1:8377]

@@ -44,7 +44,10 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
     let mut options = RunOptions::with_threads(threads);
     options.checkpoint_every = args.get_parsed("checkpoint-every", 0usize)?;
     let obs = Observability::from_args(&args)?;
+    options.profiler = obs.profiler();
     obs.emit_run_start("select", "all", prior.label(), mcmc.seed, &data);
+    // Main-thread install so WAIC scoring shares the workers' sink.
+    let profile_guard = srm_obs::profile::install(options.profiler.as_ref());
 
     let mut table = Table::new(
         &format!(
@@ -78,6 +81,8 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
         "\nbest model: {} (WAIC {:.3}); smaller is better\n",
         best.0, best.1
     ));
+    drop(profile_guard);
+    obs.finish_profile();
 
     obs.finish_manifest(
         RunManifest {

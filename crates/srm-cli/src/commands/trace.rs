@@ -11,15 +11,21 @@
 //! * `srm trace lint --file run.jsonl [--strict]` — schema validation:
 //!   unknown event kinds, missing required fields, missing/invalid
 //!   `ms` timestamps, unparseable lines. `--strict` turns any issue
-//!   into a non-zero exit.
+//!   into a non-zero exit;
+//! * `srm trace profile --file run.jsonl [--top N]` — the hierarchical
+//!   phase-time table from the trace's `profile` event (written by
+//!   runs with `--profile --trace-out`).
 
 use std::collections::BTreeMap;
 
 use crate::args::{ArgError, Args};
+use crate::obs::{render_profile_table, PROFILE_TABLE_TOP};
 use srm_obs::json::{parse, Value};
-use srm_obs::{aggregate, required_fields, AggregateDiagnostic, ChainCheckpoint, EVENT_KINDS};
+use srm_obs::{
+    aggregate, required_fields, AggregateDiagnostic, ChainCheckpoint, PhaseSnapshot, EVENT_KINDS,
+};
 
-const FLAGS: &[&str] = &["file", "a", "b"];
+const FLAGS: &[&str] = &["file", "a", "b", "top"];
 const SWITCHES: &[&str] = &["strict"];
 
 /// Runs the subcommand.
@@ -32,14 +38,18 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
     let mode = raw
         .get(1)
         .map(String::as_str)
-        .ok_or_else(|| ArgError("usage: srm trace <summarize|diff|lint> [flags]".into()))?;
+        .ok_or_else(|| ArgError("usage: srm trace <summarize|diff|lint|profile> [flags]".into()))?;
     let args = Args::parse(&raw[1..], FLAGS, SWITCHES)?;
     match mode {
         "summarize" => summarize(args.require("file")?),
         "diff" => diff(args.require("a")?, args.require("b")?),
         "lint" => lint(args.require("file")?, args.has_switch("strict")),
+        "profile" => profile(
+            args.require("file")?,
+            args.get_parsed("top", PROFILE_TABLE_TOP)?,
+        ),
         other => Err(ArgError(format!(
-            "unknown trace mode `{other}` (summarize|diff|lint)"
+            "unknown trace mode `{other}` (summarize|diff|lint|profile)"
         ))),
     }
 }
@@ -232,6 +242,27 @@ fn diff(path_a: &str, path_b: &str) -> Result<String, ArgError> {
             None => out.push_str(&format!("  {label}: no diagnostic checkpoints\n")),
         }
     }
+    Ok(out)
+}
+
+/// Renders the phase-time table from a trace's `profile` event. When
+/// a trace holds several (e.g. a concatenated log), the last one wins
+/// — it is the most complete picture of the run.
+fn profile(path: &str, top: usize) -> Result<String, ArgError> {
+    let events = read_events(path)?;
+    let phases: Vec<PhaseSnapshot> = events
+        .iter()
+        .rev()
+        .find(|e| kind_of(e) == Some("profile"))
+        .and_then(|e| e.get("phases").and_then(Value::as_arr))
+        .map(|arr| arr.iter().filter_map(PhaseSnapshot::from_value).collect())
+        .ok_or_else(|| {
+            ArgError(format!(
+                "`{path}` has no profile event; rerun the command with --profile --trace-out"
+            ))
+        })?;
+    let mut out = format!("phase-time profile — {path}\n");
+    out.push_str(&render_profile_table(&phases, top));
     Ok(out)
 }
 
@@ -456,6 +487,64 @@ mod tests {
         assert!(out.contains("* cache-miss"), "{out}");
         assert!(out.contains("final convergence (a / b)"), "{out}");
         assert!(out.contains("a: residual R-hat"), "{out}");
+    }
+
+    fn snapshot(path: &str, count: u64, total_ns: u64, self_ns: u64) -> PhaseSnapshot {
+        PhaseSnapshot {
+            path: path.into(),
+            count,
+            total_ns,
+            self_ns,
+            min_ns: total_ns / count.max(1),
+            max_ns: total_ns / count.max(1),
+            buckets: vec![0; srm_obs::HIST_BUCKETS],
+        }
+    }
+
+    #[test]
+    fn profile_mode_renders_phase_table() {
+        let path = std::env::temp_dir().join("srm_trace_profile.jsonl");
+        let event = Event::Profile {
+            phases: vec![
+                snapshot("chain", 2, 5_000_000, 1_000_000),
+                snapshot("chain/sweep", 400, 4_000_000, 4_000_000),
+            ],
+        };
+        std::fs::write(&path, format!("{}\n", event.to_value().to_json())).unwrap();
+        let out = run(&raw(&[
+            "trace",
+            "profile",
+            "--file",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("chain/sweep"), "{out}");
+        assert!(out.contains("self%"), "{out}");
+        // --top 1 keeps the heaviest phase and reports the cut.
+        let out = run(&raw(&[
+            "trace",
+            "profile",
+            "--file",
+            path.to_str().unwrap(),
+            "--top",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("chain/sweep"), "{out}");
+        assert!(out.contains("1 more phase"), "{out}");
+    }
+
+    #[test]
+    fn profile_mode_requires_a_profile_event() {
+        let path = write_fit_trace("srm_trace_profile_none.jsonl");
+        let err = run(&raw(&[
+            "trace",
+            "profile",
+            "--file",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no profile event"), "{err}");
     }
 
     #[test]

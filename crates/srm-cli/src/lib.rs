@@ -12,6 +12,7 @@
 //! srm simulate --bugs 200 --days 60 --p 0.05 --seed 1
 //! srm serve    --addr 127.0.0.1:0 --port-file srm.port
 //! srm trace    summarize --file run.jsonl
+//! srm bench    diff BENCH_old.json BENCH_new.json --check
 //! srm version
 //! ```
 //!
@@ -61,6 +62,7 @@ fn dispatch(raw: &[String]) -> Result<String, ArgError> {
         "simulate" => commands::simulate::run(raw),
         "serve" => commands::serve::run(raw),
         "trace" => commands::trace::run(raw),
+        "bench" => commands::bench::run(raw),
         "version" | "--version" | "-V" => commands::version::run(raw),
         "help" | "--help" | "-h" | "" => Ok(commands::help_text()),
         other => Err(ArgError(format!(

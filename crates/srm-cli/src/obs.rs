@@ -10,7 +10,10 @@
 //! * `--verbosity <0|1|2>` — how chatty `--progress` is;
 //! * `--checkpoint-every <K>` — emit a streaming
 //!   `diagnostic-checkpoint` per chain every K sweeps (0 disables;
-//!   never perturbs the sampled values).
+//!   never perturbs the sampled values);
+//! * `--profile` — collect the hierarchical phase-time profile,
+//!   print its table to stderr, and append a `profile` event to the
+//!   trace (never perturbs the sampled values).
 //!
 //! With none of them given, the assembled recorder is disabled and
 //! the pipeline runs on its zero-cost no-op path.
@@ -20,14 +23,64 @@ use std::sync::Arc;
 use crate::args::{ArgError, Args};
 use srm_data::BugCountData;
 use srm_obs::{
-    dataset_hash, Event, JsonlSink, ProgressSink, Recorder, RunManifest, StatsCollector, Tee,
+    dataset_hash, Event, JsonlSink, PhaseSnapshot, Profiler, ProgressSink, Recorder, RunManifest,
+    StatsCollector, Tee,
 };
 
 /// Flags every instrumented subcommand accepts.
 pub const OBS_FLAGS: &[&str] = &["trace-out", "metrics-out", "verbosity", "checkpoint-every"];
 
 /// Switches every instrumented subcommand accepts.
-pub const OBS_SWITCHES: &[&str] = &["progress"];
+pub const OBS_SWITCHES: &[&str] = &["progress", "profile"];
+
+/// Default row cap for rendered phase-time tables.
+pub const PROFILE_TABLE_TOP: usize = 20;
+
+/// Renders a phase-time table: one row per span path, sorted by self
+/// time, with total/self milliseconds and the share of the run's
+/// accumulated self time. `top` caps the rows (0 means unlimited).
+#[must_use]
+pub fn render_profile_table(phases: &[PhaseSnapshot], top: usize) -> String {
+    let total_self: u64 = phases.iter().map(|p| p.self_ns).sum();
+    let mut rows: Vec<&PhaseSnapshot> = phases.iter().collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.path.cmp(&b.path)));
+    let shown = if top == 0 {
+        rows.len()
+    } else {
+        rows.len().min(top)
+    };
+    let width = rows
+        .iter()
+        .take(shown)
+        .map(|p| p.path.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<width$}  {:>9}  {:>12}  {:>12}  {:>6}\n",
+        "phase", "count", "total(ms)", "self(ms)", "self%"
+    ));
+    for p in &rows[..shown] {
+        let pct = if total_self > 0 {
+            p.self_ns as f64 / total_self as f64 * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<width$}  {:>9}  {:>12.3}  {:>12.3}  {:>5.1}%\n",
+            p.path,
+            p.count,
+            p.total_ns as f64 / 1e6,
+            p.self_ns as f64 / 1e6,
+            pct
+        ));
+    }
+    if rows.len() > shown {
+        out.push_str(&format!("… {} more phases\n", rows.len() - shown));
+    }
+    out
+}
 
 /// Appends the shared observability flag vocabulary to a command's
 /// own (both are 'static literals).
@@ -84,6 +137,7 @@ pub struct Observability {
     recorder: Tee,
     stats: Arc<StatsCollector>,
     metrics_out: Option<String>,
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl Observability {
@@ -109,10 +163,14 @@ impl Observability {
         if metrics_out.is_some() {
             sinks.push(Arc::clone(&stats) as Arc<dyn Recorder>);
         }
+        let profiler = args
+            .has_switch("profile")
+            .then(|| Arc::new(Profiler::new()));
         Ok(Self {
             recorder: Tee::new(sinks),
             stats,
             metrics_out,
+            profiler,
         })
     }
 
@@ -132,6 +190,34 @@ impl Observability {
     #[must_use]
     pub fn writes_manifest(&self) -> bool {
         self.metrics_out.is_some()
+    }
+
+    /// The phase-time profiler, when `--profile` was given — hand it
+    /// to `RunOptions` so worker threads feed the same sink.
+    #[must_use]
+    pub fn profiler(&self) -> Option<Arc<Profiler>> {
+        self.profiler.clone()
+    }
+
+    /// Finishes a `--profile` run: appends the aggregate `profile`
+    /// event to the trace and prints the phase-time table to stderr.
+    /// Call after any main-thread install guard has been dropped, so
+    /// the snapshot includes this thread's spans. No-op without
+    /// `--profile`.
+    pub fn finish_profile(&self) {
+        let Some(profiler) = &self.profiler else {
+            return;
+        };
+        let phases = profiler.snapshot();
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::Profile {
+                phases: phases.clone(),
+            });
+        }
+        eprintln!(
+            "phase-time profile (top {PROFILE_TABLE_TOP} by self time)\n{}",
+            render_profile_table(&phases, PROFILE_TABLE_TOP)
+        );
     }
 
     /// Emits the `run-start` event identifying the invocation.

@@ -23,8 +23,9 @@ use crate::slice::{try_slice_sample, SliceConfig, SliceError};
 use srm_data::BugCountData;
 use srm_math::special::ln_gamma;
 use srm_model::detection::OPEN_EPS;
-use srm_obs::{Event, Recorder, NOOP};
+use srm_obs::{profile, Event, Recorder, NOOP};
 use std::cell::RefCell;
+use std::time::Instant;
 
 /// Tiny positive shift keeping exact conditionals strictly inside
 /// their open supports after floating-point round-off.
@@ -456,6 +457,7 @@ impl GibbsSampler {
     /// sequential accumulation over the same days; asserted in tests),
     /// which is what lets the `N`-step share the memo.
     fn stats_cached(&self, zeta: &[f64], cache: &RefCell<SuffStatsCache>) -> (f64, f64) {
+        let _span = profile::span("suffstats");
         if !self.cache_stats {
             return self.collapsed_stats(zeta);
         }
@@ -729,6 +731,9 @@ impl GibbsSampler {
             });
         }
 
+        // Wall clock for checkpoint `ess_per_sec` telemetry; read at
+        // checkpoint emission only, never by the sampler itself.
+        let chain_clock = Instant::now();
         let mut sweep = 0usize;
         while sweep < total_sweeps {
             if sweep == burn_in {
@@ -765,21 +770,23 @@ impl GibbsSampler {
                 sweep >= burn_in && (sweep - burn_in).is_multiple_of(thin) && kept < samples;
             prev_zeta.copy_from_slice(&state.zeta);
 
-            let outcome = self
-                .try_sweep(&mut state, &zeta_bounds, rng, sweep, forced, &cache)
-                .and_then(|residual| {
-                    if will_record {
-                        let probs = self.model.probs(&state.zeta, self.horizon).map_err(|e| {
-                            SrmError::DegeneratePosterior {
-                                detail: format!("detection schedule at kept draw: {e:?}"),
-                                sweep,
-                            }
-                        })?;
-                        Ok((residual, Some(probs)))
-                    } else {
-                        Ok((residual, None))
-                    }
-                });
+            let outcome = {
+                let _sweep_span = profile::span("sweep");
+                self.try_sweep(&mut state, &zeta_bounds, rng, sweep, forced, &cache)
+            }
+            .and_then(|residual| {
+                if will_record {
+                    let probs = self.model.probs(&state.zeta, self.horizon).map_err(|e| {
+                        SrmError::DegeneratePosterior {
+                            detail: format!("detection schedule at kept draw: {e:?}"),
+                            sweep,
+                        }
+                    })?;
+                    Ok((residual, Some(probs)))
+                } else {
+                    Ok((residual, None))
+                }
+            });
 
             match outcome {
                 Ok((residual, probs)) => {
@@ -833,6 +840,7 @@ impl GibbsSampler {
                                     chain_id,
                                     sweep,
                                     kept,
+                                    chain_clock.elapsed().as_secs_f64() * 1e3,
                                     accept_stats(&tally),
                                 ),
                             });
@@ -891,6 +899,7 @@ impl GibbsSampler {
                         chain_id,
                         total_sweeps - 1,
                         kept,
+                        chain_clock.elapsed().as_secs_f64() * 1e3,
                         accept_stats(&tally),
                     ),
                 });
@@ -1003,6 +1012,7 @@ impl GibbsSampler {
                     let current = state.zeta[j].clamp(lo, hi);
                     let snapshot = state.zeta.clone();
                     let ln_f = |v: f64| {
+                        let _span = profile::span("likelihood");
                         let mut z = snapshot.clone();
                         z[j] = v;
                         let (sum_x_ln_w, ln_qz) = self.stats_cached(&z, cache);
@@ -1089,6 +1099,7 @@ impl GibbsSampler {
                     let current = state.zeta[j].clamp(lo, hi);
                     let snapshot = state.zeta.clone();
                     let ln_f = |v: f64| {
+                        let _span = profile::span("likelihood");
                         let mut z = snapshot.clone();
                         z[j] = v;
                         self.zeta_log_target(&z, last_n)

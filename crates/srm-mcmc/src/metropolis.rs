@@ -169,6 +169,7 @@ impl AdaptiveRw {
         F: Fn(f64) -> f64,
         R: Rng + ?Sized,
     {
+        let _span = srm_obs::profile::span("proposal");
         let f0 = ln_f(x0);
         debug_assert!(f0.is_finite(), "starting point must be feasible");
         let proposal = x0 + self.step_size() * Normal::standard().sample(rng);

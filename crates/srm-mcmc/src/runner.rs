@@ -137,6 +137,11 @@ pub struct RunOptions {
     /// default) disables checkpoints. Checkpoints never touch the
     /// sampler's RNG, so any cadence yields bit-identical draws.
     pub checkpoint_every: usize,
+    /// Phase-time profiler, installed on every worker thread for the
+    /// duration of its chains. `None` (the default) leaves the span
+    /// probes inert. The profiler only reads clocks — draws are
+    /// bit-identical with it on or off.
+    pub profiler: Option<std::sync::Arc<srm_obs::Profiler>>,
 }
 
 impl RunOptions {
@@ -149,6 +154,7 @@ impl RunOptions {
             fault_plan: FaultPlan::none(),
             threads: 0,
             checkpoint_every: 0,
+            profiler: None,
         }
     }
 
@@ -444,6 +450,11 @@ fn run_one_chain(
     let retry = options.retry;
     let buffer = BufferRecorder::new(recorder);
     let chain_recorder: &dyn Recorder = if on { &buffer } else { &NOOP };
+    // Install (a no-op when this worker already carries the profiler
+    // from an earlier chain assignment — the outer guard wins) and
+    // wrap the whole chain in a root span.
+    let _profile_guard = srm_obs::profile::install(options.profiler.as_ref());
+    let _chain_span = srm_obs::profile::span("chain");
     let started = Instant::now();
     let caught = catch_unwind(AssertUnwindSafe(|| {
         sampler.try_run_chain_traced(

@@ -179,7 +179,9 @@ impl ParamAccumulator {
         }
     }
 
-    /// Snapshot of this parameter's streaming state.
+    /// Snapshot of this parameter's streaming state. `ess_per_sec`
+    /// is left at 0; [`ChainAccumulator::checkpoint`] fills it from
+    /// the chain's wall clock.
     #[must_use]
     pub fn checkpoint(&self, parameter: &str) -> ParamCheckpoint {
         ParamCheckpoint {
@@ -189,6 +191,7 @@ impl ParamAccumulator {
             half2: Self::summary(&self.half2),
             ess: self.ess(),
             mcse: self.mcse(),
+            ess_per_sec: 0.0,
         }
     }
 }
@@ -229,23 +232,38 @@ impl ChainAccumulator {
     }
 
     /// Snapshot of the whole chain's streaming state after `sweep`.
+    ///
+    /// `wall_ms` is the chain's wall-clock time so far; each
+    /// parameter's `ess_per_sec` is its streaming ESS divided by that
+    /// interval (0 while the clock has not advanced). The clock is
+    /// the only nondeterministic input and feeds telemetry fields
+    /// only — draw-derived statistics are untouched by it.
     #[must_use]
     pub fn checkpoint(
         &self,
         chain: usize,
         sweep: usize,
         kept: usize,
+        wall_ms: f64,
         accept: Vec<AcceptStat>,
     ) -> ChainCheckpoint {
+        let wall_secs = wall_ms / 1e3;
         ChainCheckpoint {
             chain,
             sweep,
             kept,
+            wall_ms,
             params: self
                 .names
                 .iter()
                 .zip(&self.params)
-                .map(|(name, acc)| acc.checkpoint(name))
+                .map(|(name, acc)| {
+                    let mut param = acc.checkpoint(name);
+                    if wall_secs > 0.0 && param.ess.is_finite() {
+                        param.ess_per_sec = param.ess / wall_secs;
+                    }
+                    param
+                })
                 .collect(),
             accept,
         }
@@ -425,6 +443,7 @@ mod tests {
             2,
             149,
             50,
+            2_000.0,
             vec![AcceptStat {
                 parameter: "zeta0".into(),
                 steps: 150,
@@ -434,11 +453,24 @@ mod tests {
         assert_eq!(cp.chain, 2);
         assert_eq!(cp.sweep, 149);
         assert_eq!(cp.kept, 50);
+        assert_eq!(cp.wall_ms, 2_000.0);
         assert_eq!(cp.params.len(), 2);
         assert_eq!(cp.params[0].parameter, "residual");
         assert_eq!(cp.params[0].moments.count, 50);
         assert!((cp.params[0].moments.mean - 24.5).abs() < 1e-12);
+        assert!((cp.params[0].ess_per_sec - cp.params[0].ess / 2.0).abs() < 1e-12);
         assert_eq!(cp.accept[0].accepted, 60);
+    }
+
+    #[test]
+    fn checkpoint_rate_is_zero_before_the_clock_advances() {
+        let mut acc = ChainAccumulator::new(&["x"], 10);
+        for i in 0..10 {
+            acc.push_row(&[i as f64]);
+        }
+        let cp = acc.checkpoint(0, 9, 10, 0.0, vec![]);
+        assert_eq!(cp.params[0].ess_per_sec, 0.0);
+        assert!(cp.params[0].ess > 0.0);
     }
 
     #[test]

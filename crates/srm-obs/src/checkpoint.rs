@@ -67,6 +67,9 @@ pub struct ParamCheckpoint {
     pub ess: f64,
     /// Per-chain Monte-Carlo standard error `sqrt(variance / ess)`.
     pub mcse: f64,
+    /// Effective samples per wall-clock second of this chain
+    /// (`ess / (wall_ms / 1000)`; 0 before the clock has advanced).
+    pub ess_per_sec: f64,
 }
 
 impl ParamCheckpoint {
@@ -82,6 +85,7 @@ impl ParamCheckpoint {
             ("half2", self.half2.to_value()),
             ("ess", Value::Num(self.ess)),
             ("mcse", Value::Num(self.mcse)),
+            ("ess_per_sec", Value::Num(self.ess_per_sec)),
         ])
     }
 
@@ -100,6 +104,11 @@ impl ParamCheckpoint {
             // Non-finite ESS/MCSE serialise as JSON null; recover NaN.
             ess: value.get("ess")?.as_f64().unwrap_or(f64::NAN),
             mcse: value.get("mcse")?.as_f64().unwrap_or(f64::NAN),
+            // Absent on schema ≤ 3 traces; default to 0.
+            ess_per_sec: value
+                .get("ess_per_sec")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
         })
     }
 }
@@ -114,6 +123,10 @@ pub struct ChainCheckpoint {
     pub sweep: usize,
     /// Post-thinning draws kept so far.
     pub kept: usize,
+    /// Wall-clock milliseconds since this chain started sampling,
+    /// measured at checkpoint emission. Nondeterministic (a clock
+    /// reading), unlike every other field.
+    pub wall_ms: f64,
     /// Per-parameter streaming summaries, in chain column order.
     pub params: Vec<ParamCheckpoint>,
     /// Per-parameter Metropolis acceptance so far.
@@ -147,6 +160,8 @@ impl ChainCheckpoint {
             chain: value.get("chain")?.as_f64()? as usize,
             sweep: value.get("sweep")?.as_f64()? as usize,
             kept: value.get("kept")?.as_f64()? as usize,
+            // Absent on schema ≤ 3 traces; default to 0.
+            wall_ms: value.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
             params,
             accept,
         })
@@ -170,6 +185,10 @@ pub struct AggregateDiagnostic {
     pub ess: f64,
     /// Aggregate MCSE: `sqrt(pooled variance / total ESS)`.
     pub mcse: f64,
+    /// Total ESS per total chain wall-clock second (ESS per
+    /// CPU-second of sampling: chains running in parallel sum their
+    /// clocks). 0 before any chain's clock has advanced.
+    pub ess_per_sec: f64,
 }
 
 impl AggregateDiagnostic {
@@ -183,6 +202,7 @@ impl AggregateDiagnostic {
             ("split_rhat", Value::Num(self.split_rhat)),
             ("ess", Value::Num(self.ess)),
             ("mcse", Value::Num(self.mcse)),
+            ("ess_per_sec", Value::Num(self.ess_per_sec)),
         ])
     }
 }
@@ -258,22 +278,33 @@ pub fn aggregate(checkpoints: &[&ChainCheckpoint]) -> Vec<AggregateDiagnostic> {
         .params
         .iter()
         .map(|lead| {
-            let per_chain: Vec<&ParamCheckpoint> = checkpoints
+            let per_chain: Vec<(&ChainCheckpoint, &ParamCheckpoint)> = checkpoints
                 .iter()
-                .filter_map(|c| c.params.iter().find(|p| p.parameter == lead.parameter))
+                .filter_map(|c| {
+                    c.params
+                        .iter()
+                        .find(|p| p.parameter == lead.parameter)
+                        .map(|p| (*c, p))
+                })
                 .collect();
-            let moments: Vec<MomentSummary> = per_chain.iter().map(|p| p.moments).collect();
+            let moments: Vec<MomentSummary> = per_chain.iter().map(|(_, p)| p.moments).collect();
             let halves: Vec<MomentSummary> = per_chain
                 .iter()
-                .flat_map(|p| [p.half1, p.half2])
+                .flat_map(|(_, p)| [p.half1, p.half2])
                 .filter(|h| h.count >= 2)
                 .collect();
             let pooled = merge_moments(&moments);
-            let ess: f64 = per_chain.iter().map(|p| p.ess).sum();
+            let ess: f64 = per_chain.iter().map(|(_, p)| p.ess).sum();
             let mcse = if ess > 0.0 {
                 (pooled.variance / ess).sqrt()
             } else {
                 f64::INFINITY
+            };
+            let wall_secs: f64 = per_chain.iter().map(|(c, _)| c.wall_ms).sum::<f64>() / 1e3;
+            let ess_per_sec = if wall_secs > 0.0 && ess.is_finite() {
+                ess / wall_secs
+            } else {
+                0.0
             };
             AggregateDiagnostic {
                 parameter: lead.parameter.clone(),
@@ -282,6 +313,7 @@ pub fn aggregate(checkpoints: &[&ChainCheckpoint]) -> Vec<AggregateDiagnostic> {
                 split_rhat: psrf_from_moments(&halves),
                 ess,
                 mcse,
+                ess_per_sec,
             }
         })
         .collect()
@@ -308,6 +340,7 @@ mod tests {
             chain,
             sweep: draws.len() - 1,
             kept: draws.len(),
+            wall_ms: 500.0,
             params: vec![ParamCheckpoint {
                 parameter: "residual".into(),
                 moments: moments_of(draws),
@@ -315,6 +348,7 @@ mod tests {
                 half2: moments_of(&draws[draws.len() - half..]),
                 ess,
                 mcse: (moments_of(draws).variance / ess).sqrt(),
+                ess_per_sec: ess / 0.5,
             }],
             accept: vec![AcceptStat {
                 parameter: "zeta0".into(),
@@ -380,6 +414,17 @@ mod tests {
         assert!((d.mcse - (expect.variance / 120.0).sqrt()).abs() < 1e-9);
         assert!(d.rhat.is_finite() && d.rhat >= 1.0);
         assert!(d.split_rhat.is_finite());
+        // Two chains at 500 ms each: 120 ESS over one CPU-second.
+        assert!((d.ess_per_sec - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_without_wall_time_reports_zero_rate() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64).cos()).collect();
+        let mut c = checkpoint(0, &a, 25.0);
+        c.wall_ms = 0.0;
+        let agg = aggregate(&[&c]);
+        assert_eq!(agg[0].ess_per_sec, 0.0);
     }
 
     #[test]
@@ -414,9 +459,35 @@ mod tests {
             },
             ess: 30.5,
             mcse: 0.09,
+            ess_per_sec: 61.0,
         };
         let back = ParamCheckpoint::from_value(&p.to_value()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn schema_v3_payloads_without_new_fields_still_parse() {
+        // A pre-v4 param entry: no ess_per_sec.
+        let p = ParamCheckpoint {
+            parameter: "n".into(),
+            moments: MomentSummary {
+                count: 10,
+                mean: 2.0,
+                variance: 1.0,
+            },
+            half1: MomentSummary::default(),
+            half2: MomentSummary::default(),
+            ess: 8.0,
+            mcse: 0.35,
+            ess_per_sec: 123.0,
+        };
+        let mut value = p.to_value();
+        if let Value::Obj(fields) = &mut value {
+            fields.retain(|(k, _)| k != "ess_per_sec");
+        }
+        let back = ParamCheckpoint::from_value(&value).unwrap();
+        assert_eq!(back.ess_per_sec, 0.0);
+        assert_eq!(back.ess, 8.0);
     }
 
     #[test]
@@ -429,6 +500,7 @@ mod tests {
             ("chain", Value::Num(c.chain as f64)),
             ("sweep", Value::Num(c.sweep as f64)),
             ("kept", Value::Num(c.kept as f64)),
+            ("wall_ms", Value::Num(c.wall_ms)),
             (
                 "params",
                 Value::Arr(c.params.iter().map(ParamCheckpoint::to_value).collect()),

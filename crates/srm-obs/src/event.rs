@@ -10,13 +10,16 @@
 
 use crate::checkpoint::ChainCheckpoint;
 use crate::json::Value;
+use crate::profile::PhaseSnapshot;
 
 /// Version of the event taxonomy below. Bumped whenever a kind is
 /// added, removed, or changes its required fields, so trace consumers
 /// can detect schema drift. Version 1 was the PR 2 taxonomy; version 2
 /// adds the `srm-serve` job lifecycle and cache events; version 3 adds
-/// the streaming `diagnostic-checkpoint` kind.
-pub const EVENT_SCHEMA_VERSION: u64 = 3;
+/// the streaming `diagnostic-checkpoint` kind; version 4 adds the
+/// `profile` phase-time kind and the `wall_ms`/`ess_per_sec` fields
+/// on `diagnostic-checkpoint`.
+pub const EVENT_SCHEMA_VERSION: u64 = 4;
 
 /// Per-parameter accept statistics carried by [`Event::ChainDone`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -274,6 +277,12 @@ pub enum Event {
         /// The full per-chain checkpoint payload.
         checkpoint: ChainCheckpoint,
     },
+    /// The run's phase-time profile — one aggregate snapshot of the
+    /// span profiler, emitted once at the end of a `--profile` run.
+    Profile {
+        /// Per-phase aggregates, sorted by `/`-joined span path.
+        phases: Vec<PhaseSnapshot>,
+    },
 }
 
 /// Every `kind()` label, for schema validation.
@@ -302,6 +311,7 @@ pub const EVENT_KINDS: &[&str] = &[
     "cache-hit",
     "cache-miss",
     "diagnostic-checkpoint",
+    "profile",
 ];
 
 impl Event {
@@ -332,6 +342,7 @@ impl Event {
             Event::CacheHit { .. } => "cache-hit",
             Event::CacheMiss { .. } => "cache-miss",
             Event::DiagnosticCheckpoint { .. } => "diagnostic-checkpoint",
+            Event::Profile { .. } => "profile",
         }
     }
 
@@ -567,6 +578,7 @@ impl Event {
                 push("chain", Value::Num(checkpoint.chain as f64));
                 push("sweep", Value::Num(checkpoint.sweep as f64));
                 push("kept", Value::Num(checkpoint.kept as f64));
+                push("wall_ms", Value::Num(checkpoint.wall_ms));
                 push(
                     "params",
                     Value::Arr(checkpoint.params.iter().map(|p| p.to_value()).collect()),
@@ -587,6 +599,12 @@ impl Event {
                             })
                             .collect(),
                     ),
+                );
+            }
+            Event::Profile { phases } => {
+                push(
+                    "phases",
+                    Value::Arr(phases.iter().map(PhaseSnapshot::to_value).collect()),
                 );
             }
         }
@@ -621,7 +639,8 @@ pub fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
         "job-done" => &["job_id", "status", "cached", "wall_ms"],
         "cache-hit" => &["cache_key"],
         "cache-miss" => &["cache_key"],
-        "diagnostic-checkpoint" => &["chain", "sweep", "kept", "params", "accept"],
+        "diagnostic-checkpoint" => &["chain", "sweep", "kept", "wall_ms", "params", "accept"],
+        "profile" => &["phases"],
         _ => return None,
     })
 }
@@ -757,6 +776,7 @@ mod tests {
                     chain: 0,
                     sweep: 49,
                     kept: 25,
+                    wall_ms: 120.0,
                     params: vec![crate::checkpoint::ParamCheckpoint {
                         parameter: "residual".into(),
                         moments: crate::checkpoint::MomentSummary {
@@ -772,6 +792,7 @@ mod tests {
                         half2: crate::checkpoint::MomentSummary::default(),
                         ess: 18.0,
                         mcse: 0.25,
+                        ess_per_sec: 150.0,
                     }],
                     accept: vec![AcceptStat {
                         parameter: "zeta0".into(),
@@ -779,6 +800,17 @@ mod tests {
                         accepted: 21,
                     }],
                 },
+            },
+            Event::Profile {
+                phases: vec![PhaseSnapshot {
+                    path: "chain/sweep".into(),
+                    count: 100,
+                    total_ns: 5_000_000,
+                    self_ns: 4_000_000,
+                    min_ns: 40_000,
+                    max_ns: 90_000,
+                    buckets: vec![0; crate::profile::HIST_BUCKETS],
+                }],
             },
         ];
         assert_eq!(samples.len(), EVENT_KINDS.len());
@@ -839,6 +871,7 @@ mod tests {
             chain: 2,
             sweep: 99,
             kept: 50,
+            wall_ms: 321.5,
             params: vec![crate::checkpoint::ParamCheckpoint {
                 parameter: "lambda0".into(),
                 moments: crate::checkpoint::MomentSummary {
@@ -858,6 +891,7 @@ mod tests {
                 },
                 ess: 31.5,
                 mcse: 0.017,
+                ess_per_sec: 98.0,
             }],
             accept: vec![AcceptStat {
                 parameter: "zeta1".into(),

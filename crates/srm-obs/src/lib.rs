@@ -26,6 +26,7 @@
 //! | [`StatsCollector`] | aggregates events into manifest numbers |
 //! | [`RunManifest`] | the `--metrics-out` document |
 //! | [`ChainCheckpoint`] / [`aggregate`] | streaming `diagnostic-checkpoint` payloads and their cross-chain R̂/ESS aggregation |
+//! | [`profile`] | hierarchical span profiler: per-phase count/total/min/max/histogram aggregates |
 //! | [`json`] | dependency-free JSON writer + parser |
 
 #![forbid(unsafe_code)]
@@ -35,6 +36,7 @@ pub mod checkpoint;
 pub mod event;
 pub mod json;
 pub mod manifest;
+pub mod profile;
 pub mod recorder;
 pub mod sinks;
 pub mod stats;
@@ -47,6 +49,7 @@ pub use event::{required_fields, AcceptStat, Event, EVENT_KINDS, EVENT_SCHEMA_VE
 pub use manifest::{
     build_info_value, dataset_hash, fnv1a_hex, ManifestChain, RunManifest, MANIFEST_SCHEMA_VERSION,
 };
+pub use profile::{PhaseSnapshot, Profiler, HIST_BUCKETS};
 pub use recorder::{Counter, FixedHistogram, NoopRecorder, Recorder, Span, Tee, NOOP};
 pub use sinks::{JsonlSink, ProgressSink};
 pub use stats::{DiagnosticStat, StatsCollector};

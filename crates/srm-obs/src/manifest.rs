@@ -365,6 +365,7 @@ mod tests {
                 split_rhat: 1.03,
                 ess: 750.0,
                 mcse: 0.04,
+                ess_per_sec: 620.0,
             }],
         };
         let doc = parse(&manifest.to_value().to_json_pretty()).unwrap();

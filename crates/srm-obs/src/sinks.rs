@@ -441,6 +441,7 @@ mod tests {
             chain: 1,
             sweep: 49,
             kept: 25,
+            wall_ms: 80.0,
             params: vec![
                 ParamCheckpoint {
                     parameter: "n".into(),
@@ -453,6 +454,7 @@ mod tests {
                     half2: MomentSummary::default(),
                     ess: 20.0,
                     mcse: 0.4,
+                    ess_per_sec: 250.0,
                 },
                 ParamCheckpoint {
                     parameter: "residual".into(),
@@ -465,6 +467,7 @@ mod tests {
                     half2: MomentSummary::default(),
                     ess: 18.0,
                     mcse: 0.236,
+                    ess_per_sec: 225.0,
                 },
             ],
             accept: vec![],

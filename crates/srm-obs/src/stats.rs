@@ -410,6 +410,7 @@ mod tests {
                 chain,
                 sweep,
                 kept: sweep / 2,
+                wall_ms: sweep as f64,
                 params: vec![],
                 accept: vec![],
             }

@@ -178,7 +178,10 @@ pub fn waic_for_traced(
     recorder: &dyn Recorder,
 ) -> Waic {
     let span = Span::enter(recorder, "waic");
-    let (waic, output) = waic_and_chains(sampler, config);
+    let (waic, output) = {
+        let _profile = srm_obs::profile::span("waic");
+        waic_and_chains(sampler, config)
+    };
     span.end();
     emit_waic(sampler, &waic, draws_in(&output), recorder);
     waic
@@ -196,7 +199,10 @@ pub fn waic_from_output_traced(
     recorder: &dyn Recorder,
 ) -> Result<Waic, SrmError> {
     let span = Span::enter(recorder, "waic");
-    let result = waic_from_output(sampler, output);
+    let result = {
+        let _profile = srm_obs::profile::span("waic");
+        waic_from_output(sampler, output)
+    };
     span.end();
     if let Ok(waic) = &result {
         emit_waic(sampler, waic, draws_in(output), recorder);

@@ -111,6 +111,10 @@ fn run_options(spec: &JobSpec) -> RunOptions {
         retry: RetryPolicy::default(),
         threads: spec.threads,
         checkpoint_every: SERVE_CHECKPOINT_EVERY,
+        // Forward whatever profiler the worker thread has installed
+        // (the server's always-on one) so chain threads flush their
+        // sweep/likelihood/proposal spans into the same profile.
+        profiler: srm_obs::profile::current(),
         ..RunOptions::none()
     }
 }
@@ -200,9 +204,13 @@ fn run_fit(spec: &JobSpec, recorder: &dyn Recorder) -> Result<JobOutput, JobErro
     let mut manifest = manifest_skeleton(spec, spec.model.name());
     manifest.converged = Some(fit.converged());
     manifest.waic = Some(fit.waic.total());
+    let result = {
+        let _span = srm_obs::profile::span("serialize");
+        fit_value(spec, &tolerant)
+    };
     Ok(JobOutput {
         kept_draws: fit.residual_draws.len() as u64,
-        result: fit_value(spec, &tolerant),
+        result,
         manifest,
     })
 }
@@ -240,14 +248,18 @@ fn run_select(
     let (best_model, best_waic) = best.ok_or(SrmError::InvalidConfig {
         detail: "no models to compare".into(),
     })?;
-    let mut pairs = identity_pairs(spec);
-    pairs.push(("models", Value::Arr(rows)));
-    pairs.push(("best_model", Value::Str(best_model.name().to_owned())));
-    pairs.push(("best_waic", Value::Num(best_waic)));
+    let result = {
+        let _span = srm_obs::profile::span("serialize");
+        let mut pairs = identity_pairs(spec);
+        pairs.push(("models", Value::Arr(rows)));
+        pairs.push(("best_model", Value::Str(best_model.name().to_owned())));
+        pairs.push(("best_waic", Value::Num(best_waic)));
+        Value::obj(pairs)
+    };
     let mut manifest = manifest_skeleton(spec, best_model.name());
     manifest.waic = Some(best_waic);
     Ok(JobOutput {
-        result: Value::obj(pairs),
+        result,
         manifest,
         kept_draws: (spec.mcmc.samples * spec.mcmc.chains * DetectionModel::ALL.len()) as u64,
     })
@@ -257,6 +269,7 @@ fn run_predict(spec: &JobSpec, recorder: &dyn Recorder) -> Result<JobOutput, Job
     let tolerant = fit_tolerant(spec, recorder)?;
     let fit = &tolerant.fit;
     let prediction = predict_from_fit(fit, &spec.data, spec.horizon)?;
+    let _serialize_span = srm_obs::profile::span("serialize");
     let mut pairs = identity_pairs(spec);
     pairs.push(("model", Value::Str(spec.model.name().to_owned())));
     pairs.push(("horizon", Value::Num(prediction.horizon as f64)));

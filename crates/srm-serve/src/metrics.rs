@@ -10,7 +10,10 @@
 
 use std::fmt::Write as _;
 
-use srm_obs::{aggregate, ChainCheckpoint, Counter, FixedHistogram, StatsCollector};
+use srm_obs::{
+    aggregate, ChainCheckpoint, Counter, FixedHistogram, PhaseSnapshot, StatsCollector,
+    EVENT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
+};
 
 use crate::cache::FitCache;
 use crate::job::JobStore;
@@ -43,7 +46,7 @@ pub struct ServeMetrics {
 
 /// Point-in-time gauge inputs for [`render_prometheus`], sampled by
 /// the caller right before rendering.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GaugeSnapshot {
     /// Jobs waiting on the job queue.
     pub queue_depth: usize,
@@ -51,6 +54,12 @@ pub struct GaugeSnapshot {
     pub jobs_running: u64,
     /// Connections waiting in the accept queue.
     pub conn_queue_depth: usize,
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Merged phase-time profile from the server's always-on
+    /// profiler (queue-wait, fit, serialize, wal-append, and the
+    /// sampler phases underneath).
+    pub phases: Vec<PhaseSnapshot>,
 }
 
 impl Default for ServeMetrics {
@@ -144,6 +153,11 @@ fn job_progress_gauges(out: &mut String, store: &JobStore) {
         "# HELP srm_job_ess Total effective sample size at the latest checkpoint."
     );
     let _ = writeln!(out, "# TYPE srm_job_ess gauge");
+    let _ = writeln!(
+        out,
+        "# HELP srm_job_ess_per_sec Effective samples per CPU-second of sampling at the latest checkpoint."
+    );
+    let _ = writeln!(out, "# TYPE srm_job_ess_per_sec gauge");
     for (id, stats) in &running {
         let job = escape_label(id);
         let _ = writeln!(
@@ -169,7 +183,42 @@ fn job_progress_gauges(out: &mut String, store: &JobStore) {
                     diag.ess
                 );
             }
+            if diag.ess_per_sec > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "srm_job_ess_per_sec{{job=\"{job}\",parameter=\"{parameter}\"}} {}",
+                    diag.ess_per_sec
+                );
+            }
         }
+    }
+}
+
+/// Phase-time totals from the server's profiler, one series pair per
+/// `/`-joined span path: cumulative seconds spent and entry count.
+fn phase_series(out: &mut String, phases: &[PhaseSnapshot]) {
+    let _ = writeln!(
+        out,
+        "# HELP srm_serve_phase_seconds_total Cumulative wall time inside each profiled phase."
+    );
+    let _ = writeln!(out, "# TYPE srm_serve_phase_seconds_total counter");
+    let _ = writeln!(
+        out,
+        "# HELP srm_serve_phase_entries_total Times each profiled phase was entered."
+    );
+    let _ = writeln!(out, "# TYPE srm_serve_phase_entries_total counter");
+    for phase in phases {
+        let label = escape_label(&phase.path);
+        let _ = writeln!(
+            out,
+            "srm_serve_phase_seconds_total{{phase=\"{label}\"}} {}",
+            phase.total_ns as f64 / 1e9
+        );
+        let _ = writeln!(
+            out,
+            "srm_serve_phase_entries_total{{phase=\"{label}\"}} {}",
+            phase.count
+        );
     }
 }
 
@@ -188,8 +237,28 @@ pub fn render_prometheus(
         queue_depth,
         jobs_running,
         conn_queue_depth,
+        uptime_secs,
+        phases,
     } = gauges;
     let mut out = String::new();
+    // Build identity first: the same fields `/healthz` reports, as a
+    // constant-1 gauge whose labels carry the values.
+    let _ = writeln!(
+        out,
+        "# HELP srm_build_info Build identity (value is always 1; labels carry the fields)."
+    );
+    let _ = writeln!(out, "# TYPE srm_build_info gauge");
+    let _ = writeln!(
+        out,
+        "srm_build_info{{version=\"{}\",manifest_schema=\"{MANIFEST_SCHEMA_VERSION}\",event_schema=\"{EVENT_SCHEMA_VERSION}\"}} 1",
+        escape_label(env!("CARGO_PKG_VERSION")),
+    );
+    gauge(
+        &mut out,
+        "srm_serve_uptime_seconds",
+        "Seconds since the server started.",
+        uptime_secs,
+    );
     counter(
         &mut out,
         "srm_serve_http_requests_total",
@@ -325,6 +394,7 @@ pub fn render_prometheus(
         );
     }
     job_progress_gauges(&mut out, store);
+    phase_series(&mut out, &phases);
     histogram(
         &mut out,
         "srm_serve_job_wall_ms",
@@ -365,6 +435,7 @@ mod tests {
                 chain,
                 sweep,
                 kept: sweep / 2 + 1,
+                wall_ms: 500.0,
                 params: vec![ParamCheckpoint {
                     parameter: "residual".into(),
                     moments: MomentSummary {
@@ -383,6 +454,7 @@ mod tests {
                         variance: 1.6,
                     },
                     ess: 12.0,
+                    ess_per_sec: 24.0,
                     mcse: 0.35,
                 }],
                 accept: vec![AcceptStat {
@@ -418,10 +490,27 @@ mod tests {
                 queue_depth: 2,
                 jobs_running: 1,
                 conn_queue_depth: 3,
+                uptime_secs: 12.5,
+                phases: vec![PhaseSnapshot {
+                    path: "fit/chain".into(),
+                    count: 4,
+                    total_ns: 2_000_000_000,
+                    self_ns: 2_000_000_000,
+                    min_ns: 400_000_000,
+                    max_ns: 600_000_000,
+                    buckets: vec![0; srm_obs::HIST_BUCKETS],
+                }],
             },
             None,
         );
         assert!(page.contains("srm_serve_http_requests_total 3"));
+        assert!(page.contains("srm_serve_uptime_seconds 12.5"));
+        assert!(page.contains(&format!(
+            "srm_build_info{{version=\"{}\",manifest_schema=\"{MANIFEST_SCHEMA_VERSION}\",event_schema=\"{EVENT_SCHEMA_VERSION}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
+        assert!(page.contains("srm_serve_phase_seconds_total{phase=\"fit/chain\"} 2"));
+        assert!(page.contains("srm_serve_phase_entries_total{phase=\"fit/chain\"} 4"));
         assert!(page.contains("srm_serve_jobs_submitted_total 1"));
         assert!(page.contains("srm_serve_queue_depth 2"));
         assert!(page.contains("srm_serve_jobs_running 1"));
@@ -489,6 +578,12 @@ mod tests {
         );
         assert!(
             page.contains("srm_job_ess{job=\"job-7\",parameter=\"residual\"} 24"),
+            "{page}"
+        );
+        // Two chains, 500 ms of sampling each: 24 ESS over one
+        // CPU-second.
+        assert!(
+            page.contains("srm_job_ess_per_sec{job=\"job-7\",parameter=\"residual\"} 24"),
             "{page}"
         );
         assert!(!page.contains("job-8\"}"), "{page}");

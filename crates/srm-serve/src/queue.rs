@@ -23,6 +23,10 @@ pub struct QueuedJob {
     pub deadline: Option<Instant>,
     /// Per-job trace sink opened at submit time, if tracing is on.
     pub trace: Option<std::sync::Arc<srm_obs::JsonlSink>>,
+    /// When the job entered the queue (or re-entered it at boot
+    /// recovery) — feeds the `queue-wait` phase of the server's
+    /// profile.
+    pub submitted: Instant,
 }
 
 impl std::fmt::Debug for QueuedJob {
@@ -173,6 +177,7 @@ mod tests {
             spec: spec(),
             deadline: None,
             trace: None,
+            submitted: Instant::now(),
         }
     }
 

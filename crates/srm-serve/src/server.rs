@@ -242,6 +242,11 @@ pub struct ServerState {
     pub metrics: ServeMetrics,
     /// Engine-level aggregates teed from every job's recorder.
     pub stats: Arc<StatsCollector>,
+    /// Request-lifecycle phase profiler (queue-wait, fit, serialize,
+    /// wal-append) feeding the `/metrics` phase gauges.
+    pub profiler: Arc<srm_obs::Profiler>,
+    /// When the server started — `/metrics` uptime gauge.
+    started: Instant,
     /// The WAL + snapshot layer; `None` without a `state_dir`.
     persister: Option<Persister>,
     conns: ConnQueue,
@@ -265,6 +270,12 @@ impl ServerState {
     #[must_use]
     pub fn jobs_running(&self) -> u64 {
         self.running.load(Ordering::SeqCst)
+    }
+
+    /// Seconds since the server booted.
+    #[must_use]
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 
     fn trace_path(&self, id: &str) -> Option<String> {
@@ -355,6 +366,8 @@ impl Server {
             cache,
             metrics: ServeMetrics::new(),
             stats: Arc::new(StatsCollector::new()),
+            profiler: Arc::new(srm_obs::Profiler::new()),
+            started: Instant::now(),
             persister,
             conns: ConnQueue::default(),
             conn_backlog: config.conn_backlog.max(1),
@@ -381,6 +394,7 @@ impl Server {
                 spec,
                 deadline,
                 trace,
+                submitted: Instant::now(),
             });
         }
         // Boot-time compaction: fold the replayed WAL into a fresh
@@ -533,6 +547,8 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                     queue_depth: state.queue.len(),
                     jobs_running: state.jobs_running(),
                     conn_queue_depth: state.conns.len(),
+                    uptime_secs: state.uptime_secs(),
+                    phases: state.profiler.snapshot(),
                 },
                 state.wal_stats(),
             ),
@@ -641,6 +657,7 @@ fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Response {
         spec,
         deadline,
         trace,
+        submitted: Instant::now(),
     });
     match push {
         Ok(()) => {
@@ -773,6 +790,7 @@ fn job_progress(state: &Arc<ServerState>, id: &str) -> Response {
                 ("chain", Value::Num(c.chain as f64)),
                 ("sweep", Value::Num(c.sweep as f64)),
                 ("kept", Value::Num(c.kept as f64)),
+                ("wall_ms", Value::Num(c.wall_ms)),
                 (
                     "params",
                     Value::Arr(c.params.iter().map(|p| p.to_value()).collect()),
@@ -862,6 +880,17 @@ fn worker_loop(state: &Arc<ServerState>) {
 }
 
 fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
+    // Install the server profiler for the whole job lifecycle so the
+    // fit span, the engine's serialize span, and the WAL appends from
+    // persist_terminal all land in the same profile; the engine
+    // forwards it to its chain workers via `profile::current()`.
+    let _profile_guard = srm_obs::profile::install(Some(&state.profiler));
+    // Queue wait is a cross-thread interval (submit happened on a
+    // handler thread), so it is recorded directly rather than spanned.
+    state.profiler.record_ns(
+        "queue-wait",
+        u64::try_from(job.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
     let recorder = job_recorder(state, job.trace.as_ref());
     // Claim the job; a DELETE that landed while it was queued already
     // moved it to Cancelled (and counted it), so just acknowledge.
@@ -903,7 +932,10 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
     }
     let engine_recorder = Tee::new(sinks);
     let started = Instant::now();
-    let outcome = run_job(&job.spec, job.deadline, &engine_recorder);
+    let outcome = {
+        let _fit_span = srm_obs::profile::span("fit");
+        run_job(&job.spec, job.deadline, &engine_recorder)
+    };
     let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
     state.running.fetch_sub(1, Ordering::SeqCst);
 

@@ -228,6 +228,7 @@ impl Persister {
     }
 
     fn append(&self, op: Value) {
+        let _span = srm_obs::profile::span("wal-append");
         let payload = op.to_json();
         let mut wal = lock_ignoring_poison(&self.wal);
         if let Err(e) = wal.append(payload.as_bytes()) {

@@ -92,8 +92,15 @@ curl -sf "$BASE/v1/results/$JOB2" >"$WORK/http_result2.json"
 cmp -s "$WORK/http_result.json" "$WORK/http_result2.json" \
     || fail "cached result is not byte-identical to the original"
 
-curl -sf "$BASE/metrics" | grep -q '^srm_serve_cache_hits_total 1$' \
+# Fetch to a file first: `curl | grep -q` under pipefail flakes when
+# grep matches early, closes the pipe, and curl dies with EPIPE.
+curl -sf "$BASE/metrics" >"$WORK/metrics.txt" || fail "/metrics fetch failed"
+grep -q '^srm_serve_cache_hits_total 1$' "$WORK/metrics.txt" \
     || fail "/metrics does not report the cache hit"
+grep -q '^srm_build_info{' "$WORK/metrics.txt" \
+    || fail "/metrics missing srm_build_info"
+grep -q '^srm_serve_phase_seconds_total{phase="fit"}' "$WORK/metrics.txt" \
+    || fail "/metrics missing the fit phase series"
 
 echo "serve-smoke: SIGTERM drain"
 kill -TERM "$SERVER_PID"

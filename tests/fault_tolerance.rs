@@ -64,6 +64,7 @@ fn fault_free_tolerant_run_is_bit_identical_to_strict() {
         fault_plan: FaultPlan::none(),
         threads: 0,
         checkpoint_every: 0,
+        profiler: None,
     };
     let tolerant = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
     assert!(tolerant
@@ -87,6 +88,7 @@ fn single_panicked_chain_yields_partial_output_naming_it() {
         }]),
         threads: 0,
         checkpoint_every: 0,
+        profiler: None,
     };
     let run = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
 
@@ -138,6 +140,7 @@ fn same_seed_and_plan_reproduce_bit_identical_recovered_chains() {
             fault_plan: FaultPlan::from_seed(seed, config.chains, total_sweeps, 2),
             threads: 0,
             checkpoint_every: 0,
+            profiler: None,
         };
         let a = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
         let b = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
@@ -173,6 +176,7 @@ fn forced_slice_exhaustion_retry_replays_the_unfaulted_sweep() {
         }]),
         threads: 0,
         checkpoint_every: 0,
+        profiler: None,
     };
     let recovered = run_chains_fault_tolerant(&sampler, &config, &options).unwrap();
     assert!(recovered.reports[0].recovered);
@@ -201,6 +205,7 @@ fn nan_rate_fault_recovers_with_retries_and_is_lost_without() {
         fault_plan: plan.clone(),
         threads: 0,
         checkpoint_every: 0,
+        profiler: None,
     };
     let run = run_chains_fault_tolerant(&sampler, &config, &with_retry).unwrap();
     assert_eq!(run.output.chains.len(), 2);
@@ -216,6 +221,7 @@ fn nan_rate_fault_recovers_with_retries_and_is_lost_without() {
         fault_plan: plan,
         threads: 0,
         checkpoint_every: 0,
+        profiler: None,
     };
     let degraded = run_chains_fault_tolerant(&sampler, &config, &without_retry).unwrap();
     assert_eq!(degraded.output.chains.len(), 1);
@@ -256,6 +262,7 @@ fn losing_every_chain_is_an_error_not_a_panic() {
         ]),
         threads: 0,
         checkpoint_every: 0,
+        profiler: None,
     };
     let err = run_chains_fault_tolerant(&sampler, &config, &options).unwrap_err();
     assert!(matches!(err, SrmError::ChainPanicked { .. }));
@@ -293,6 +300,7 @@ fn injected_faults_report_identically_across_thread_counts() {
             fault_plan: plan.clone(),
             threads,
             checkpoint_every: 0,
+            profiler: None,
         };
         run_chains_fault_tolerant(&sampler, &config, &options).unwrap()
     };

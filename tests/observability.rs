@@ -23,6 +23,16 @@
 //!    aggregating each chain's last `diagnostic-checkpoint` must
 //!    reproduce `diagnostics::report`: R̂ to round-off, ESS within 2%
 //!    (exact when Geyer truncation falls inside the lag window).
+//!
+//! PR 7 adds the profiling contracts:
+//!
+//! 6. **Profiling never perturbs the run** — across a pseudo-random
+//!    grid of models, priors, and seeds, draws with the span profiler
+//!    installed are bit-identical to the unprofiled run (the profiler
+//!    only reads clocks).
+//! 7. **`ess_per_sec` is consistent** — each checkpoint's rate equals
+//!    its ESS over its chain wall time exactly, and the aggregate rate
+//!    agrees with post-hoc ESS over the same wall clock within 2%.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
@@ -36,8 +46,8 @@ use srm::mcmc::{FaultKind, FaultPlan, FaultPoint, RetryPolicy};
 use srm::model::DetectionModel;
 use srm::obs::json::{parse, Value};
 use srm::obs::{
-    aggregate, required_fields, ChainCheckpoint, Event, JsonlSink, ProgressSink, Recorder,
-    StatsCollector, Tee, EVENT_KINDS, NOOP,
+    aggregate, required_fields, ChainCheckpoint, Event, JsonlSink, Profiler, ProgressSink,
+    Recorder, StatsCollector, Tee, EVENT_KINDS, NOOP,
 };
 use srm::prelude::PriorSpec;
 
@@ -175,6 +185,7 @@ fn jsonl_trace_is_schema_valid_under_fault_injection() {
         ]),
         threads: 0,
         checkpoint_every: 0,
+        profiler: None,
     };
 
     let trace = SharedBuf::default();
@@ -255,6 +266,7 @@ fn stats_collector_matches_experiment_fault_counters() {
         }]),
         threads: 0,
         checkpoint_every: 0,
+        profiler: None,
     };
 
     let stats = StatsCollector::new();
@@ -315,6 +327,7 @@ fn stats_collector_counts_whole_cell_failures_once() {
         }]),
         threads: 0,
         checkpoint_every: 0,
+        profiler: None,
     };
 
     let stats = StatsCollector::new();
@@ -502,6 +515,160 @@ fn final_streaming_checkpoint_agrees_with_post_hoc_diagnostics() {
             agg.parameter,
             agg.mcse,
             post.mcse
+        );
+    }
+}
+
+#[test]
+fn profiled_fit_is_bit_identical_to_unprofiled() {
+    let data = datasets::musa_cc96().truncated(48).unwrap();
+    // Pseudo-random grid of (model, prior, seed) cases from an LCG:
+    // deterministic for CI, varied enough to sweep the likelihood and
+    // proposal code paths the spans instrument.
+    let mut state = 0x5_DEEC_E66Du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 16
+    };
+    for case in 0..6 {
+        let r = next();
+        let model = DetectionModel::ALL[(r % 5) as usize];
+        let prior = if (r >> 8) % 2 == 0 {
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            }
+        } else {
+            PriorSpec::NegBinomial { alpha_max: 100.0 }
+        };
+        let config = FitConfig {
+            mcmc: McmcConfig {
+                chains: 2,
+                burn_in: 80,
+                samples: 120,
+                thin: 1,
+                seed: 1_000 + (r >> 16) % 9_000,
+            },
+            ..FitConfig::default()
+        };
+
+        let plain = Fit::try_run(prior, model, &data, &config, &RunOptions::none()).unwrap();
+
+        let profiler = Arc::new(Profiler::new());
+        let options = RunOptions {
+            profiler: Some(Arc::clone(&profiler)),
+            ..RunOptions::none()
+        };
+        let profiled = Fit::try_run_traced(prior, model, &data, &config, &options, &NOOP).unwrap();
+
+        assert_eq!(
+            plain.fit.residual_draws.len(),
+            profiled.fit.residual_draws.len(),
+            "case {case}: draw counts diverged under profiling"
+        );
+        for (a, b) in plain
+            .fit
+            .residual_draws
+            .iter()
+            .zip(&profiled.fit.residual_draws)
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "case {case} ({model:?}): draws diverged under profiling"
+            );
+        }
+        assert_eq!(
+            plain.fit.waic.total().to_bits(),
+            profiled.fit.waic.total().to_bits(),
+            "case {case}: WAIC diverged under profiling"
+        );
+
+        // The profiler was not a spectator: the span taxonomy from
+        // the chain workers landed in the merged profile.
+        let paths: Vec<String> = profiler.snapshot().iter().map(|p| p.path.clone()).collect();
+        for expected in ["chain", "chain/sweep"] {
+            assert!(
+                paths.iter().any(|p| p == expected),
+                "case {case}: no `{expected}` span in {paths:?}"
+            );
+        }
+        assert!(
+            paths.iter().any(|p| p.contains("likelihood")),
+            "case {case}: no likelihood span in {paths:?}"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_ess_per_sec_is_consistent_with_post_hoc_rate() {
+    let data = datasets::musa_cc96().truncated(48).unwrap();
+    let chains = 2;
+    let config = fit_config(chains, 5_225);
+    let stats = Arc::new(StatsCollector::new());
+    let tee = Tee::new(vec![Arc::clone(&stats) as Arc<dyn Recorder>]);
+    let options = RunOptions {
+        checkpoint_every: 50,
+        ..RunOptions::none()
+    };
+    let fitted = Fit::try_run_traced(
+        PRIOR,
+        DetectionModel::Constant,
+        &data,
+        &config,
+        &options,
+        &tee,
+    )
+    .unwrap();
+
+    let latest = stats.latest_checkpoints();
+    assert_eq!(latest.len(), chains);
+
+    // Per chain, the checkpoint's rate is definitionally its ESS over
+    // its own wall clock — round-off only.
+    for cp in &latest {
+        assert!(cp.wall_ms > 0.0, "chain {} has no wall clock", cp.chain);
+        for param in &cp.params {
+            if !param.ess.is_finite() {
+                continue;
+            }
+            let expected = param.ess / (cp.wall_ms / 1e3);
+            assert!(
+                (param.ess_per_sec - expected).abs() <= 1e-9 * expected.max(1.0),
+                "chain {} {}: rate {} vs ess/wall {}",
+                cp.chain,
+                param.parameter,
+                param.ess_per_sec,
+                expected
+            );
+        }
+    }
+
+    // The aggregate rate (total ESS per CPU-second of sampling) must
+    // agree with the post-hoc diagnostics' ESS over the same wall
+    // clock within the streaming layer's documented 2% ESS tolerance.
+    let total_wall_secs: f64 = latest.iter().map(|c| c.wall_ms / 1e3).sum();
+    let refs: Vec<&ChainCheckpoint> = latest.iter().collect();
+    for agg in aggregate(&refs) {
+        let (_, post) = fitted
+            .fit
+            .diagnostics
+            .iter()
+            .find(|(name, _)| *name == agg.parameter)
+            .unwrap_or_else(|| panic!("no post-hoc report for {}", agg.parameter));
+        let post_rate = post.ess / total_wall_secs;
+        assert!(
+            agg.ess_per_sec > 0.0,
+            "{}: aggregate rate not positive",
+            agg.parameter
+        );
+        assert!(
+            (agg.ess_per_sec - post_rate).abs() <= 0.02 * post_rate,
+            "{}: checkpoint rate {} vs post-hoc rate {} (> 2%)",
+            agg.parameter,
+            agg.ess_per_sec,
+            post_rate
         );
     }
 }
