@@ -1,0 +1,94 @@
+//! Benchmarks of the simulation-based calibration battery: one
+//! replication end-to-end (draw → fit → rank) and a small multi-rep
+//! cell, so `srm bench diff` can flag regressions in the SBC path
+//! alongside the parallel-runner numbers.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // bench setup
+
+use srm_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srm_mcmc::gibbs::PriorSpec;
+use srm_mcmc::runner::McmcConfig;
+use srm_model::DetectionModel;
+use srm_obs::NOOP;
+use srm_sbc::{draw_rep, rep_stream, run_sbc, GridSpec, SbcConfig};
+use std::hint::black_box;
+
+fn bench_grid() -> GridSpec {
+    GridSpec {
+        days: 20,
+        priors: vec![PriorSpec::Poisson { lambda_max: 60.0 }],
+        models: vec![DetectionModel::Constant],
+        lambda_max: 60.0,
+        alpha_max: 8.0,
+        bins: 4,
+        ..GridSpec::default()
+    }
+}
+
+fn bench_config(reps: usize, threads: usize) -> SbcConfig {
+    SbcConfig {
+        grid: bench_grid(),
+        reps,
+        mcmc: McmcConfig {
+            chains: 2,
+            burn_in: 100,
+            samples: 150,
+            thin: 1,
+            seed: 909,
+        },
+        threads,
+        inject_bias: 0.0,
+    }
+}
+
+/// The prior-predictive draw alone — the generative overhead every
+/// replication pays before its fit.
+fn bench_draw(c: &mut Criterion) {
+    let grid = bench_grid();
+    let cells = grid.cells();
+    let mut group = c.benchmark_group("sbc/draw");
+    // Labels carry an `sbc_` prefix: the harness keys results by the
+    // bench label alone (group names are display-only), and these
+    // merge into the same report as the parallel-runner keys.
+    group.bench_function("sbc_draw/rep", |b| {
+        b.iter(|| {
+            let mut rng = rep_stream(909, &cells[0], 1, 0);
+            black_box(draw_rep(&cells[0], &grid, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+/// One full replication: draw, fit, rank — the unit the battery
+/// scales by `cells × reps`.
+fn bench_single_rep(c: &mut Criterion) {
+    let config = bench_config(1, 1);
+    let mut group = c.benchmark_group("sbc/rep");
+    group.sample_size(10);
+    group.bench_function("sbc_rep/end_to_end", |b| {
+        b.iter(|| black_box(run_sbc(&config, &NOOP).unwrap()));
+    });
+    group.finish();
+}
+
+/// An 8-rep cell at 1 vs all worker threads: the pool's scaling on
+/// the replication axis.
+fn bench_cell_by_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbc/cell_8_reps");
+    group.sample_size(10);
+    for threads in [1usize, 0] {
+        let config = bench_config(8, threads);
+        let label = if threads == 0 { "auto" } else { "1" };
+        group.bench_with_input(
+            BenchmarkId::new("sbc_cell/threads", label),
+            &config,
+            |b, cfg| {
+                b.iter(|| black_box(run_sbc(cfg, &NOOP).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_draw, bench_single_rep, bench_cell_by_threads);
+criterion_main!(benches);

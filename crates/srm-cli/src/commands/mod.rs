@@ -3,6 +3,7 @@
 pub mod bench;
 pub mod fit;
 pub mod predict;
+pub mod sbc;
 pub mod select;
 pub mod serve;
 pub mod simulate;
@@ -30,6 +31,7 @@ COMMANDS:
     predict   Reliability and expected detections over a future horizon
     trend     Laplace trend test and dataset summary
     simulate  Generate synthetic bug-count data (CSV on stdout)
+    sbc       Simulation-based calibration battery over (prior, curve) cells
     serve     Long-running HTTP estimation service (job queue + fit cache)
     trace     Analyse JSONL traces: summarize | diff | lint | profile
     bench     Compare benchmark reports: diff [--check]
@@ -40,7 +42,9 @@ COMMON FLAGS:
     --data <file.csv>       day,count input data (fit/select/predict/trend)
     --dataset <name>        bundled dataset instead of --data
                             (musa_cc96, decaying_growth_60, s_shaped_80,
-                             short_campaign_25, plateau_100, late_surge_50)
+                             short_campaign_25, plateau_100, late_surge_50,
+                             ntds_26, tandem_20w, ohba_sshape_22w,
+                             musa_ss3_28)
     --model model0..model4  detection model        [default: model1]
     --prior poisson|negbinom                        [default: poisson]
     --chains N --samples N --burn-in N --thin N --seed N
@@ -71,6 +75,19 @@ TRACE ANALYSIS (srm trace):
     srm trace profile --file run.jsonl --top N
                                              phase-time table from a
                                              profiled run's trace
+
+CALIBRATION (srm sbc):
+    --grid <spec.json>      grid spec: days, priors, models, hyper-prior
+                            limits, bins, alpha  [default: full 5x2 battery]
+    --reps R                replications per (prior, curve) cell [default: 20]
+    --out <sbc.json>        deterministic report (byte-identical per seed)
+    --check                 exit non-zero when any cell fails the
+                            chi-square rank-uniformity gate (CI gate)
+    --inject-bias X         add X to posterior N draws before ranking
+                            (testing: proves the gate trips)
+    --chains/--samples/--burn-in/--thin/--seed/--threads as above
+                            [sbc defaults: 2 chains, 500 samples,
+                             300 burn-in, seed 2024]
 
 BENCH REGRESSION (srm bench):
     srm bench diff OLD.json NEW.json [--check] [--threshold PCT]
@@ -196,6 +213,7 @@ mod tests {
             &raw,
             &[
                 "data",
+                "dataset",
                 "model",
                 "prior",
                 "chains",
@@ -285,9 +303,35 @@ mod tests {
     }
 
     #[test]
+    fn every_registry_dataset_resolves_by_name() {
+        for (name, data) in srm_data::datasets::all_named() {
+            let args = args_from(&["fit", "--dataset", name]);
+            let loaded = load_data(&args).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(loaded.total(), data.total(), "{name}");
+            assert_eq!(loaded.len(), data.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_error_lists_the_registry() {
+        let args = args_from(&["fit", "--dataset", "no_such_series"]);
+        let err = load_data(&args).unwrap_err().to_string();
+        assert!(err.contains("unknown dataset `no_such_series`"), "{err}");
+        for name in [
+            "musa_cc96",
+            "ntds_26",
+            "tandem_20w",
+            "ohba_sshape_22w",
+            "musa_ss3_28",
+        ] {
+            assert!(err.contains(name), "error should list {name}: {err}");
+        }
+    }
+
+    #[test]
     fn help_mentions_all_commands() {
         let h = help_text();
-        for cmd in ["fit", "select", "predict", "trend", "simulate"] {
+        for cmd in ["fit", "select", "predict", "trend", "simulate", "sbc"] {
             assert!(h.contains(cmd), "missing {cmd}");
         }
     }

@@ -60,6 +60,7 @@ fn dispatch(raw: &[String]) -> Result<String, ArgError> {
         "predict" => commands::predict::run(raw),
         "trend" => commands::trend::run(raw),
         "simulate" => commands::simulate::run(raw),
+        "sbc" => commands::sbc::run(raw),
         "serve" => commands::serve::run(raw),
         "trace" => commands::trace::run(raw),
         "bench" => commands::bench::run(raw),

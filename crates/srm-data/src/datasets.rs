@@ -12,9 +12,18 @@
 //!   (recoverable from the parenthesised deviations in Tables II–IV);
 //! * a reliability-growth shape with a quiet tail after day 86.
 //!
-//! The remaining datasets are synthetic series with distinct growth
-//! shapes used by the multi-dataset extension experiment (§6 of the
-//! paper lists this as future work).
+//! The remaining datasets fall in two groups:
+//!
+//! * synthetic series with distinct growth shapes used by the
+//!   multi-dataset extension experiment (§6 of the paper lists this
+//!   as future work) — [`decaying_growth_60`] through
+//!   [`late_surge_50`];
+//! * documented synthetic stand-ins for classic SRM series from the
+//!   literature, each preserving the day count, total bug count and
+//!   overall growth shape of its namesake while using fabricated
+//!   daily counts (the originals are not redistributable) —
+//!   [`ntds_26`], [`tandem_20w`], [`ohba_sshape_22w`] and
+//!   [`musa_ss3_28`].
 
 use crate::dataset::BugCountData;
 
@@ -44,7 +53,7 @@ pub fn musa_cc96() -> BugCountData {
 }
 
 /// A steadily decaying series (classic exponential reliability
-/// growth): 86 bugs over 60 days, most found early.
+/// growth): 78 bugs over 60 days, most found early.
 #[must_use]
 pub fn decaying_growth_60() -> BugCountData {
     let counts: Vec<u64> = (0..60)
@@ -58,7 +67,7 @@ pub fn decaying_growth_60() -> BugCountData {
     BugCountData::new(counts).unwrap_or_else(|_| unreachable!())
 }
 
-/// An S-shaped series (slow start, burst, saturation): 120 bugs over
+/// An S-shaped series (slow start, burst, saturation): 94 bugs over
 /// 80 days — the delayed-S-shape often seen when test cases mature.
 #[must_use]
 pub fn s_shaped_80() -> BugCountData {
@@ -92,7 +101,7 @@ pub fn plateau_100() -> BugCountData {
 }
 
 /// A late-surge series: quiet start, most bugs near the end — the
-/// shape that penalises models assuming monotone growth. 70 bugs over
+/// shape that penalises models assuming monotone growth. 52 bugs over
 /// 50 days.
 #[must_use]
 pub fn late_surge_50() -> BugCountData {
@@ -106,8 +115,97 @@ pub fn late_surge_50() -> BugCountData {
     BugCountData::new(counts).unwrap_or_else(|_| unreachable!())
 }
 
+/// Daily counts of the NTDS stand-in (see [`ntds_26`]).
+const NTDS_26: [u64; 26] = [
+    3, 4, 3, 2, 3, 2, 2, 1, 2, 1, 1, 1, 1, 1, 0, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1, 1,
+];
+
+/// Synthetic stand-in for the NTDS (Naval Tactical Data System)
+/// series of Jelinski & Moranda (1972): 34 bugs over 26 periods with
+/// the classic near-geometric decay of the earliest SRM dataset.
+///
+/// # Examples
+///
+/// ```
+/// let d = srm_data::datasets::ntds_26();
+/// assert_eq!(d.len(), 26);
+/// assert_eq!(d.total(), 34);
+/// assert_eq!(d.detected_by(10), 23);
+/// ```
+#[must_use]
+pub fn ntds_26() -> BugCountData {
+    BugCountData::new(NTDS_26.to_vec()).unwrap_or_else(|_| unreachable!())
+}
+
+/// Weekly counts of the Tandem stand-in (see [`tandem_20w`]).
+const TANDEM_20W: [u64; 20] = [
+    13, 11, 10, 9, 8, 7, 7, 6, 5, 5, 4, 3, 3, 2, 2, 1, 1, 1, 1, 1,
+];
+
+/// Synthetic stand-in for Wood's Tandem Computers release-1 series
+/// (1996): 100 bugs over 20 testing weeks with smooth concave
+/// (exponential-order) growth — the canonical NHPP benchmark shape.
+///
+/// # Examples
+///
+/// ```
+/// let d = srm_data::datasets::tandem_20w();
+/// assert_eq!(d.len(), 20);
+/// assert_eq!(d.total(), 100);
+/// assert_eq!(d.detected_by(5), 51);
+/// ```
+#[must_use]
+pub fn tandem_20w() -> BugCountData {
+    BugCountData::new(TANDEM_20W.to_vec()).unwrap_or_else(|_| unreachable!())
+}
+
+/// Weekly counts of the Ohba stand-in (see [`ohba_sshape_22w`]).
+const OHBA_SSHAPE_22W: [u64; 22] = [
+    2, 3, 4, 6, 8, 11, 14, 16, 17, 16, 14, 12, 10, 8, 6, 4, 3, 2, 1, 1, 1, 1,
+];
+
+/// Synthetic stand-in for Ohba's delayed-S-shaped PL/I database
+/// application series (1984): 160 bugs over 22 weeks with the
+/// inflected growth that motivated the delayed-S-shaped NHPP model.
+///
+/// # Examples
+///
+/// ```
+/// let d = srm_data::datasets::ohba_sshape_22w();
+/// assert_eq!(d.len(), 22);
+/// assert_eq!(d.total(), 160);
+/// assert_eq!(d.detected_by(10), 97);
+/// ```
+#[must_use]
+pub fn ohba_sshape_22w() -> BugCountData {
+    BugCountData::new(OHBA_SSHAPE_22W.to_vec()).unwrap_or_else(|_| unreachable!())
+}
+
+/// Daily counts of the Musa SS3 stand-in (see [`musa_ss3_28`]).
+const MUSA_SS3_28: [u64; 28] = [
+    1, 2, 3, 2, 4, 3, 5, 4, 6, 5, 6, 7, 6, 5, 6, 5, 4, 5, 4, 3, 4, 3, 2, 3, 2, 2, 2, 1,
+];
+
+/// Synthetic stand-in for Musa's SS3 subscriber-system series (1979):
+/// 105 bugs over 28 periods with a slow ramp, broad plateau and
+/// gentle decay — a weakly S-shaped profile between [`tandem_20w`]
+/// and [`ohba_sshape_22w`].
+///
+/// # Examples
+///
+/// ```
+/// let d = srm_data::datasets::musa_ss3_28();
+/// assert_eq!(d.len(), 28);
+/// assert_eq!(d.total(), 105);
+/// assert_eq!(d.detected_by(14), 59);
+/// ```
+#[must_use]
+pub fn musa_ss3_28() -> BugCountData {
+    BugCountData::new(MUSA_SS3_28.to_vec()).unwrap_or_else(|_| unreachable!())
+}
+
 /// Every embedded dataset with a short identifying name, for the
-/// multi-dataset extension experiment.
+/// multi-dataset extension experiment and `--dataset` resolution.
 #[must_use]
 pub fn all_named() -> Vec<(&'static str, BugCountData)> {
     vec![
@@ -117,6 +215,10 @@ pub fn all_named() -> Vec<(&'static str, BugCountData)> {
         ("short_campaign_25", short_campaign_25()),
         ("plateau_100", plateau_100()),
         ("late_surge_50", late_surge_50()),
+        ("ntds_26", ntds_26()),
+        ("tandem_20w", tandem_20w()),
+        ("ohba_sshape_22w", ohba_sshape_22w()),
+        ("musa_ss3_28", musa_ss3_28()),
     ]
 }
 
@@ -147,7 +249,9 @@ mod tests {
     fn all_datasets_are_nonempty_and_consistent() {
         for (name, d) in all_named() {
             assert!(d.len() >= 20, "{name} too short");
-            assert!(d.total() >= 40, "{name} too sparse: {}", d.total());
+            // Floor 30: ntds_26's namesake genuinely has only 34
+            // faults, and the stand-in keeps that scale.
+            assert!(d.total() >= 30, "{name} too sparse: {}", d.total());
             assert_eq!(
                 d.total(),
                 d.counts().iter().sum::<u64>(),

@@ -1,0 +1,104 @@
+//! Golden tests pinning every registry dataset: day count, total
+//! bugs, cumulative pinch-points, and a CSV round-trip. Any silent
+//! edit to an embedded series breaks one of these before it can skew
+//! a committed experiment table.
+
+use srm_data::{csv, datasets};
+
+/// `(name, days, total, [(day, cumulative)…])` for every registry
+/// entry. The pinch-points sample each series' growth shape at its
+/// most characteristic days.
+type Golden = (&'static str, usize, u64, &'static [(usize, u64)]);
+
+const GOLDENS: &[Golden] = &[
+    (
+        "musa_cc96",
+        96,
+        136,
+        &[(48, 42), (67, 84), (86, 132), (96, 136)],
+    ),
+    (
+        "decaying_growth_60",
+        60,
+        78,
+        &[(15, 49), (30, 69), (60, 78)],
+    ),
+    ("s_shaped_80", 80, 94, &[(20, 2), (40, 61), (60, 94)]),
+    ("short_campaign_25", 25, 45, &[(5, 18), (13, 35), (25, 45)]),
+    ("plateau_100", 100, 150, &[(25, 37), (50, 75), (75, 114)]),
+    ("late_surge_50", 50, 52, &[(13, 0), (25, 5), (38, 22)]),
+    ("ntds_26", 26, 34, &[(10, 23), (20, 30), (26, 34)]),
+    ("tandem_20w", 20, 100, &[(5, 51), (10, 81), (20, 100)]),
+    ("ohba_sshape_22w", 22, 160, &[(5, 23), (10, 97), (22, 160)]),
+    ("musa_ss3_28", 28, 105, &[(5, 12), (14, 59), (25, 100)]),
+];
+
+#[test]
+fn registry_matches_the_golden_table() {
+    let named = datasets::all_named();
+    assert_eq!(
+        named.len(),
+        GOLDENS.len(),
+        "a dataset was added or removed without a golden entry"
+    );
+    for (name, days, total, pinches) in GOLDENS {
+        let (_, data) = named
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("dataset {name} missing from registry"));
+        assert_eq!(data.len(), *days, "{name} day count");
+        assert_eq!(data.total(), *total, "{name} total bugs");
+        for (day, cumulative) in *pinches {
+            assert_eq!(
+                data.detected_by(*day),
+                *cumulative,
+                "{name} cumulative at day {day}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_dataset_round_trips_through_csv() {
+    for (name, data) in datasets::all_named() {
+        let mut out = Vec::new();
+        csv::write_counts(&data, &mut out).unwrap_or_else(|e| panic!("{name} write: {e}"));
+        let back = csv::read_counts(out.as_slice()).unwrap_or_else(|e| panic!("{name} read: {e}"));
+        assert_eq!(back, data, "{name} CSV round-trip");
+    }
+}
+
+#[test]
+fn cumulative_counts_are_monotone_and_bounded() {
+    for (name, data) in datasets::all_named() {
+        let mut prev = 0;
+        for day in 1..=data.len() {
+            let cum = data.detected_by(day);
+            assert!(cum >= prev, "{name} not monotone at day {day}");
+            prev = cum;
+        }
+        assert_eq!(prev, data.total(), "{name} final cumulative");
+    }
+}
+
+#[test]
+fn stand_in_shapes_are_distinct() {
+    // First-half detected fraction orders the classic stand-ins:
+    // concave (tandem) front-loads, the S-shape sits near one half,
+    // and NTDS decays gently in between.
+    let frac = |d: &srm_data::BugCountData| d.detected_by(d.len() / 2) as f64 / d.total() as f64;
+    let tandem = frac(&datasets::tandem_20w());
+    let ntds = frac(&datasets::ntds_26());
+    let ohba = frac(&datasets::ohba_sshape_22w());
+    let musa_ss3 = frac(&datasets::musa_ss3_28());
+    assert!(tandem > 0.8, "tandem should front-load hardest: {tandem}");
+    assert!(tandem > ntds && ntds > ohba, "{tandem} > {ntds} > {ohba}");
+    assert!(
+        ohba > musa_ss3,
+        "the sharp S-shape should outpace the flat one: {ohba} vs {musa_ss3}"
+    );
+    assert!(
+        (0.5..0.6).contains(&musa_ss3),
+        "musa_ss3 should balance its halves: {musa_ss3}"
+    );
+}

@@ -18,8 +18,10 @@ use crate::profile::PhaseSnapshot;
 /// adds the `srm-serve` job lifecycle and cache events; version 3 adds
 /// the streaming `diagnostic-checkpoint` kind; version 4 adds the
 /// `profile` phase-time kind and the `wall_ms`/`ess_per_sec` fields
-/// on `diagnostic-checkpoint`.
-pub const EVENT_SCHEMA_VERSION: u64 = 4;
+/// on `diagnostic-checkpoint`; version 5 adds the simulation-based
+/// calibration kinds `sbc-cell-start` / `sbc-rep-done` /
+/// `sbc-cell-done`.
+pub const EVENT_SCHEMA_VERSION: u64 = 5;
 
 /// Per-parameter accept statistics carried by [`Event::ChainDone`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -283,6 +285,48 @@ pub enum Event {
         /// Per-phase aggregates, sorted by `/`-joined span path.
         phases: Vec<PhaseSnapshot>,
     },
+    /// A simulation-based-calibration cell was scheduled.
+    SbcCellStart {
+        /// Prior family label.
+        prior: String,
+        /// Detection-model name.
+        model: String,
+        /// Replications this cell will run.
+        reps: usize,
+    },
+    /// One SBC replication finished (successfully or not).
+    SbcRepDone {
+        /// Prior family label.
+        prior: String,
+        /// Detection-model name.
+        model: String,
+        /// Replication index within the cell.
+        rep: usize,
+        /// Rank of the true `N` in the thinned posterior, or the
+        /// `num_ranks` sentinel when the inner fit failed.
+        rank: usize,
+        /// Number of distinct rank values (`M + 1`).
+        num_ranks: usize,
+    },
+    /// A simulation-based-calibration cell was aggregated and gated.
+    SbcCellDone {
+        /// Prior family label.
+        prior: String,
+        /// Detection-model name.
+        model: String,
+        /// Replications attempted.
+        reps: usize,
+        /// Replications whose inner fit failed or degraded.
+        failures: usize,
+        /// Chi-square uniformity statistic of the `N` rank histogram.
+        chi2: f64,
+        /// Upper-tail p-value of `chi2`.
+        p_value: f64,
+        /// Whether the cell passed the uniformity gate.
+        passed: bool,
+        /// Wall-clock time the cell's replications took, ms.
+        wall_ms: f64,
+    },
 }
 
 /// Every `kind()` label, for schema validation.
@@ -312,6 +356,9 @@ pub const EVENT_KINDS: &[&str] = &[
     "cache-miss",
     "diagnostic-checkpoint",
     "profile",
+    "sbc-cell-start",
+    "sbc-rep-done",
+    "sbc-cell-done",
 ];
 
 impl Event {
@@ -343,6 +390,9 @@ impl Event {
             Event::CacheMiss { .. } => "cache-miss",
             Event::DiagnosticCheckpoint { .. } => "diagnostic-checkpoint",
             Event::Profile { .. } => "profile",
+            Event::SbcCellStart { .. } => "sbc-cell-start",
+            Event::SbcRepDone { .. } => "sbc-rep-done",
+            Event::SbcCellDone { .. } => "sbc-cell-done",
         }
     }
 
@@ -607,6 +657,43 @@ impl Event {
                     Value::Arr(phases.iter().map(PhaseSnapshot::to_value).collect()),
                 );
             }
+            Event::SbcCellStart { prior, model, reps } => {
+                push("prior", Value::Str(prior.clone()));
+                push("model", Value::Str(model.clone()));
+                push("reps", Value::Num(*reps as f64));
+            }
+            Event::SbcRepDone {
+                prior,
+                model,
+                rep,
+                rank,
+                num_ranks,
+            } => {
+                push("prior", Value::Str(prior.clone()));
+                push("model", Value::Str(model.clone()));
+                push("rep", Value::Num(*rep as f64));
+                push("rank", Value::Num(*rank as f64));
+                push("num_ranks", Value::Num(*num_ranks as f64));
+            }
+            Event::SbcCellDone {
+                prior,
+                model,
+                reps,
+                failures,
+                chi2,
+                p_value,
+                passed,
+                wall_ms,
+            } => {
+                push("prior", Value::Str(prior.clone()));
+                push("model", Value::Str(model.clone()));
+                push("reps", Value::Num(*reps as f64));
+                push("failures", Value::Num(*failures as f64));
+                push("chi2", Value::Num(*chi2));
+                push("p_value", Value::Num(*p_value));
+                push("passed", Value::Bool(*passed));
+                push("wall_ms", Value::Num(*wall_ms));
+            }
         }
         Value::Obj(pairs)
     }
@@ -641,6 +728,11 @@ pub fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
         "cache-miss" => &["cache_key"],
         "diagnostic-checkpoint" => &["chain", "sweep", "kept", "wall_ms", "params", "accept"],
         "profile" => &["phases"],
+        "sbc-cell-start" => &["prior", "model", "reps"],
+        "sbc-rep-done" => &["prior", "model", "rep", "rank", "num_ranks"],
+        "sbc-cell-done" => &[
+            "prior", "model", "reps", "failures", "chi2", "p_value", "passed", "wall_ms",
+        ],
         _ => return None,
     })
 }
@@ -811,6 +903,28 @@ mod tests {
                     max_ns: 90_000,
                     buckets: vec![0; crate::profile::HIST_BUCKETS],
                 }],
+            },
+            Event::SbcCellStart {
+                prior: "poisson".into(),
+                model: "model0".into(),
+                reps: 64,
+            },
+            Event::SbcRepDone {
+                prior: "poisson".into(),
+                model: "model0".into(),
+                rep: 5,
+                rank: 311,
+                num_ranks: 1000,
+            },
+            Event::SbcCellDone {
+                prior: "negbinom".into(),
+                model: "model3".into(),
+                reps: 64,
+                failures: 0,
+                chi2: 7.2,
+                p_value: 0.62,
+                passed: true,
+                wall_ms: 4200.0,
             },
         ];
         assert_eq!(samples.len(), EVENT_KINDS.len());

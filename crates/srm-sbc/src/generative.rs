@@ -1,0 +1,207 @@
+//! Prior-predictive replication draws.
+//!
+//! Each SBC replication draws a complete parameter vector from the
+//! *same* prior the sampler runs with — hyper-parameter, bug content
+//! `N`, detection parameters `ζ` — then simulates a bug-count series
+//! from the per-day binomial detection process. Exactness of the
+//! calibration check hinges on generative prior ≡ sampler prior, so
+//! nothing here truncates or re-weights: huge `λ0` draws and the
+//! negative-binomial atom at `N = 0` are kept as-is.
+//!
+//! # Stream semantics
+//!
+//! Every (cell, rep) pair owns one dedicated RNG stream, split from
+//! the master seed at the *flat* index `cell.id() × reps + rep`
+//! ([`rep_stream`]). Because [`crate::grid::Cell::id`] is canonical,
+//! the stream — and hence the simulated project, the inner fit seed,
+//! and the tie-break variate — depends only on `(master_seed, reps,
+//! cell identity, rep index)`, never on which grid subset is run or
+//! in what order.
+
+use crate::grid::{Cell, GridSpec};
+use srm_data::{DetectionSimulator, SimulatedProject};
+use srm_mcmc::gibbs::PriorSpec;
+use srm_model::BugPrior;
+use srm_rand::rng::{Rng, Xoshiro256StarStar};
+
+/// The ground-truth parameter vector behind one replication.
+#[derive(Debug, Clone)]
+pub struct TruthDraw {
+    /// True initial bug content `N`.
+    pub n: u64,
+    /// Continuous true parameters, in rank order: the hyper-parameters
+    /// (`lambda0` or `alpha0`, `beta0`) followed by the detection
+    /// parameters in [`srm_model::DetectionModel::param_names`] order.
+    pub params: Vec<(&'static str, f64)>,
+    /// True detection parameters alone (same values as the `ζ` tail
+    /// of `params`).
+    pub zeta: Vec<f64>,
+}
+
+/// One fully-drawn replication: truth, simulated data, and the
+/// deterministic auxiliaries consumed downstream.
+#[derive(Debug, Clone)]
+pub struct SbcRep {
+    /// The ground truth the posterior is ranked against.
+    pub truth: TruthDraw,
+    /// The simulated project (bug-count series + residual truth).
+    pub project: SimulatedProject,
+    /// Uniform variate for the discrete-rank tie-break
+    /// ([`crate::rank::rank_discrete`]).
+    pub tie_u: f64,
+    /// Seed handed to the inner MCMC fit.
+    pub fit_seed: u64,
+}
+
+/// The dedicated RNG stream of `(cell, rep)` under `master_seed`.
+///
+/// Streams are split at the flat index `cell.id() × reps + rep`, so
+/// two distinct (cell, rep) pairs can never collide as long as
+/// `rep < reps` — unlike nested per-cell/per-rep splitting, where
+/// (cell 0, rep 1) and (cell 1, rep 0) could land on the same jump
+/// offset.
+#[must_use]
+pub fn rep_stream(master_seed: u64, cell: &Cell, reps: u64, rep: u64) -> Xoshiro256StarStar {
+    debug_assert!(rep < reps, "rep index out of range");
+    Xoshiro256StarStar::seed_from(master_seed).split_stream(cell.id() * reps + rep)
+}
+
+/// Draws one replication for `cell` from `rng`.
+///
+/// The draw order is part of the reproducibility contract (changing
+/// it silently changes every rank in every committed report):
+/// 1. hyper-parameters — `λ0 = λ_max·U(0,1)` (open) for Poisson, or
+///    `α0 = α_max·U(0,1)` (open) then `β0 = U(0,1)` (open) for NB;
+/// 2. `N` from the bug-content prior;
+/// 3. each `ζ_j = lo + (hi − lo)·U(0,1)` over the model's bounds;
+/// 4. the simulated project;
+/// 5. the tie-break variate;
+/// 6. the inner fit seed.
+pub fn draw_rep<R: Rng + ?Sized>(cell: &Cell, spec: &GridSpec, rng: &mut R) -> SbcRep {
+    let mut params: Vec<(&'static str, f64)> = Vec::new();
+    let prior = match cell.prior {
+        PriorSpec::Poisson { lambda_max } => {
+            let lambda0 = lambda_max * rng.next_open_f64();
+            params.push(("lambda0", lambda0));
+            // Positive finite λ0 by construction of the open draw.
+            BugPrior::poisson(lambda0).unwrap_or_else(|_| unreachable!())
+        }
+        PriorSpec::NegBinomial { alpha_max } => {
+            let alpha0 = alpha_max * rng.next_open_f64();
+            let beta0 = rng.next_open_f64();
+            params.push(("alpha0", alpha0));
+            params.push(("beta0", beta0));
+            BugPrior::neg_binomial(alpha0, beta0).unwrap_or_else(|_| unreachable!())
+        }
+    };
+    let n = prior.sample(rng);
+
+    let bounds = cell.model.bounds(&spec.zeta_bounds);
+    let mut zeta = Vec::with_capacity(bounds.len());
+    for (&name, &(lo, hi)) in cell.model.param_names().iter().zip(&bounds) {
+        let value = lo + (hi - lo) * rng.next_f64();
+        params.push((name, value));
+        zeta.push(value);
+    }
+
+    // ζ came from the model's own bounds, so the schedule is valid.
+    let probs = cell
+        .model
+        .probs(&zeta, spec.days)
+        .unwrap_or_else(|_| unreachable!());
+    let project = DetectionSimulator::new(n, probs).run_with(rng);
+    let tie_u = rng.next_f64();
+    let fit_seed = rng.next_u64();
+
+    SbcRep {
+        truth: TruthDraw { n, params, zeta },
+        project,
+        tie_u,
+        fit_seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srm_model::DetectionModel;
+
+    fn spec() -> GridSpec {
+        GridSpec::default()
+    }
+
+    #[test]
+    fn streams_are_rep_order_independent() {
+        let spec = spec();
+        let cells = spec.cells();
+        let cell = &cells[7];
+        let mut fwd = rep_stream(99, cell, 16, 3);
+        let a = draw_rep(cell, &spec, &mut fwd);
+        // Re-derive the same stream after touching other streams.
+        let _ = rep_stream(99, cell, 16, 4).next_u64();
+        let _ = rep_stream(99, &cells[0], 16, 3).next_u64();
+        let mut again = rep_stream(99, cell, 16, 3);
+        let b = draw_rep(cell, &spec, &mut again);
+        assert_eq!(a.truth.n, b.truth.n);
+        assert_eq!(a.truth.params, b.truth.params);
+        assert_eq!(a.project.data.counts(), b.project.data.counts());
+        assert_eq!(a.fit_seed, b.fit_seed);
+        assert!(a.tie_u == b.tie_u);
+    }
+
+    #[test]
+    fn flat_index_prevents_cross_cell_collisions() {
+        let spec = spec();
+        let cells = spec.cells();
+        let reps = 8u64;
+        // (cell 0, rep 1) vs (cell 1, rep 0) collide under nested
+        // splitting; the flat index keeps them distinct.
+        let a = rep_stream(7, &cells[0], reps, 1).next_u64();
+        let b = rep_stream(7, &cells[1], reps, 0).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn truth_layout_matches_prior_and_model() {
+        let spec = spec();
+        for cell in spec.cells() {
+            let mut rng = rep_stream(11, &cell, 4, 0);
+            let rep = draw_rep(&cell, &spec, &mut rng);
+            let hyper = match cell.prior {
+                PriorSpec::Poisson { .. } => 1,
+                PriorSpec::NegBinomial { .. } => 2,
+            };
+            assert_eq!(rep.truth.params.len(), hyper + cell.model.dim());
+            assert_eq!(rep.truth.zeta.len(), cell.model.dim());
+            assert_eq!(rep.project.data.len(), spec.days);
+            assert_eq!(
+                rep.project.true_initial_bugs - rep.project.true_residual,
+                rep.project.data.total()
+            );
+            for (name, value) in &rep.truth.params {
+                assert!(value.is_finite(), "{name} not finite");
+            }
+        }
+    }
+
+    #[test]
+    fn zeta_respects_model_bounds() {
+        let spec = spec();
+        let cell = Cell {
+            prior: spec.priors[0],
+            model: DetectionModel::LogLogistic,
+        };
+        for rep in 0..32 {
+            let mut rng = rep_stream(5, &cell, 32, rep);
+            let draw = draw_rep(&cell, &spec, &mut rng);
+            for (z, (lo, hi)) in draw
+                .truth
+                .zeta
+                .iter()
+                .zip(cell.model.bounds(&spec.zeta_bounds))
+            {
+                assert!(*z >= lo && *z < hi);
+            }
+        }
+    }
+}

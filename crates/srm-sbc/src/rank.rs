@@ -1,0 +1,134 @@
+//! Rank statistics over thinned posterior draws.
+//!
+//! SBC checks that the rank of the true parameter among `M` posterior
+//! draws is uniform on `{0, …, M}` (Talts et al. 2018). Two details
+//! matter for a discrete-time SRM stack:
+//!
+//! * **Tie-breaking.** `N` and the residual are integers, so posterior
+//!   draws tie with the truth often. Counting ties as "below" (or
+//!   "above") skews ranks toward an edge even for a perfectly
+//!   calibrated sampler; [`rank_discrete`] instead places the truth
+//!   uniformly at random among its ties using a pre-drawn variate, so
+//!   the tie-break is reproducible from the rep's RNG stream.
+//! * **Binnable rank counts.** The rank takes `M + 1` values; for an
+//!   exact chi-square gate the histogram needs `bins | M + 1`.
+//!   [`thinned_len`] picks the largest such `M` not exceeding the
+//!   pooled draw count, and [`thin_indices`] spreads the kept draws
+//!   evenly across the pooled chain (which also dilutes
+//!   autocorrelation).
+
+/// The largest thinned draw count `M` with `bins | M + 1` and
+/// `M ≤ pooled`, or `None` when `pooled + 1 < bins`.
+#[must_use]
+pub fn thinned_len(pooled: usize, bins: usize) -> Option<usize> {
+    let l = (pooled + 1) / bins * bins;
+    if l >= bins {
+        Some(l - 1)
+    } else {
+        None
+    }
+}
+
+/// Evenly-spread indices selecting `m` of `pooled` draws
+/// (`m ≤ pooled`): `idx_i = ⌊i · pooled / m⌋`.
+#[must_use]
+pub fn thin_indices(pooled: usize, m: usize) -> Vec<usize> {
+    debug_assert!(m <= pooled);
+    (0..m).map(|i| i * pooled / m).collect()
+}
+
+/// Rank of `truth` among `draws` with a uniform tie-break: the number
+/// of draws strictly below, plus a `tie_u`-selected slot among the
+/// ties. Uniform on `{0, …, draws.len()}` when `truth` and `draws`
+/// are exchangeable.
+#[must_use]
+pub fn rank_discrete(draws: &[f64], truth: f64, tie_u: f64) -> usize {
+    let below = draws.iter().filter(|&&d| d < truth).count();
+    let ties = draws.iter().filter(|&&d| d == truth).count();
+    let slot = ((tie_u * (ties + 1) as f64) as usize).min(ties);
+    below + slot
+}
+
+/// Rank of `truth` among continuous `draws` (ties have measure zero):
+/// the count of draws strictly below.
+#[must_use]
+pub fn rank_continuous(draws: &[f64], truth: f64) -> usize {
+    draws.iter().filter(|&&d| d < truth).count()
+}
+
+/// Histogram bin of a rank on `{0, …, num_ranks − 1}` under `bins`
+/// equal bins (`bins | num_ranks` — guaranteed by [`thinned_len`]).
+#[must_use]
+pub fn bin_index(rank: usize, num_ranks: usize, bins: usize) -> usize {
+    debug_assert!(rank < num_ranks);
+    debug_assert_eq!(num_ranks % bins, 0);
+    rank * bins / num_ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thinned_len_is_divisible_and_maximal() {
+        for pooled in 1..200 {
+            for bins in 2..12 {
+                match thinned_len(pooled, bins) {
+                    Some(m) => {
+                        assert!(m <= pooled);
+                        assert_eq!((m + 1) % bins, 0);
+                        // Maximal: the next multiple would overshoot.
+                        assert!(m + 1 + bins > pooled + 1);
+                    }
+                    None => assert!(pooled + 1 < bins),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thin_indices_are_strictly_increasing_and_in_range() {
+        let idx = thin_indices(1000, 99);
+        assert_eq!(idx.len(), 99);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(*idx.last().unwrap_or(&usize::MAX) < 1000);
+        assert_eq!(thin_indices(5, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn discrete_rank_spreads_ties() {
+        let draws = [2.0, 3.0, 3.0, 3.0, 5.0];
+        // One draw below the truth, three tied: rank ∈ {1, 2, 3, 4}.
+        assert_eq!(rank_discrete(&draws, 3.0, 0.0), 1);
+        assert_eq!(rank_discrete(&draws, 3.0, 0.26), 2);
+        assert_eq!(rank_discrete(&draws, 3.0, 0.51), 3);
+        assert_eq!(rank_discrete(&draws, 3.0, 0.99), 4);
+        // tie_u exactly 1.0 must still stay in range.
+        assert_eq!(rank_discrete(&draws, 3.0, 1.0), 4);
+        // No ties: tie_u is irrelevant.
+        assert_eq!(rank_discrete(&draws, 4.0, 0.7), 4);
+        assert_eq!(rank_discrete(&draws, 0.0, 0.7), 0);
+        assert_eq!(rank_discrete(&draws, 9.0, 0.7), 5);
+    }
+
+    #[test]
+    fn continuous_rank_counts_below() {
+        let draws = [0.1, 0.4, 0.9];
+        assert_eq!(rank_continuous(&draws, 0.05), 0);
+        assert_eq!(rank_continuous(&draws, 0.5), 2);
+        assert_eq!(rank_continuous(&draws, 1.5), 3);
+    }
+
+    #[test]
+    fn bin_index_partitions_evenly() {
+        let num_ranks = 20;
+        let bins = 4;
+        let mut counts = [0usize; 4];
+        for rank in 0..num_ranks {
+            counts[bin_index(rank, num_ranks, bins)] += 1;
+        }
+        assert_eq!(counts, [5, 5, 5, 5]);
+        assert_eq!(bin_index(0, num_ranks, bins), 0);
+        assert_eq!(bin_index(num_ranks - 1, num_ranks, bins), bins - 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! SBC report document: per-cell rank histograms, chi-square gates,
+//! and the deterministic JSON serialization.
+//!
+//! The report is part of the reproducibility contract: reruns with
+//! the same master seed and grid must produce **byte-identical**
+//! JSON, so nothing time- or host-dependent (wall-clock, hostnames,
+//! thread counts actually used) is ever stored here — timings live in
+//! trace events and the run manifest instead.
+
+use srm_mcmc::runner::McmcConfig;
+use srm_obs::json::Value;
+
+use crate::grid::GridSpec;
+
+/// Version stamp of the report document layout.
+pub const SBC_SCHEMA_VERSION: u64 = 1;
+
+/// Calibration result of one ranked parameter within a cell.
+#[derive(Debug, Clone)]
+pub struct ParamCalibration {
+    /// Parameter name (`n`, `lambda0`, `alpha0`, `beta0`, `mu`, …).
+    pub name: String,
+    /// Rank-histogram counts over the grid's bins.
+    pub histogram: Vec<u64>,
+    /// Chi-square goodness-of-fit statistic against uniformity.
+    pub chi2: f64,
+    /// Upper-tail p-value of `chi2` at `bins − 1` dof.
+    pub p_value: f64,
+    /// Whether this parameter participates in the pass/fail gate
+    /// (only `n` is gated; continuous parameters from short
+    /// autocorrelated chains are reported for diagnosis).
+    pub gated: bool,
+    /// `p_value ≥ alpha` (informational for ungated parameters).
+    pub passed: bool,
+}
+
+/// Calibration result of one (prior, curve) cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Prior label (`poisson` / `negbinom`).
+    pub prior: String,
+    /// Curve label (`model0` … `model4`).
+    pub model: String,
+    /// Canonical cell identifier ([`crate::grid::Cell::id`]).
+    pub cell_id: u64,
+    /// Replications attempted.
+    pub reps: usize,
+    /// Replications whose inner fit failed or degraded (excluded
+    /// from the histograms; any failure fails the cell).
+    pub failures: usize,
+    /// Number of distinct rank values (`M + 1`, divisible by bins).
+    pub num_ranks: usize,
+    /// Raw per-replication ranks of the true `N`, in rep order
+    /// (`num_ranks` sentinel marks a failed rep).
+    pub n_ranks: Vec<usize>,
+    /// Per-parameter calibration, `n` first.
+    pub params: Vec<ParamCalibration>,
+    /// `failures == 0` and every gated parameter passed.
+    pub passed: bool,
+}
+
+/// The full SBC battery result.
+#[derive(Debug, Clone)]
+pub struct SbcReport {
+    /// Master seed every stream was split from.
+    pub master_seed: u64,
+    /// Replications per cell.
+    pub reps: usize,
+    /// Rank-histogram bins.
+    pub bins: usize,
+    /// Gate significance level.
+    pub alpha: f64,
+    /// Bias injected into the `N` draws before ranking (normally 0;
+    /// used by tests to prove the gate trips on a miscalibrated
+    /// sampler).
+    pub inject_bias: f64,
+    /// Inner-fit MCMC configuration.
+    pub mcmc: McmcConfig,
+    /// Grid the battery ran over.
+    pub grid: GridSpec,
+    /// Per-cell results, in grid order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SbcReport {
+    /// Whether every cell passed its gate.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.cells.iter().all(|c| c.passed)
+    }
+
+    /// Deterministic JSON document (no timestamps, no host state).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("sbc_schema_version", Value::Num(SBC_SCHEMA_VERSION as f64)),
+            ("master_seed", Value::Num(self.master_seed as f64)),
+            ("reps", Value::Num(self.reps as f64)),
+            ("bins", Value::Num(self.bins as f64)),
+            ("alpha", Value::Num(self.alpha)),
+            ("inject_bias", Value::Num(self.inject_bias)),
+            (
+                "mcmc",
+                Value::obj(vec![
+                    ("chains", Value::Num(self.mcmc.chains as f64)),
+                    ("burn_in", Value::Num(self.mcmc.burn_in as f64)),
+                    ("samples", Value::Num(self.mcmc.samples as f64)),
+                    ("thin", Value::Num(self.mcmc.thin as f64)),
+                ]),
+            ),
+            ("grid", self.grid.to_value()),
+            ("all_passed", Value::Bool(self.all_passed())),
+            (
+                "cells",
+                Value::Arr(self.cells.iter().map(CellReport::to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Fixed-width per-cell summary for terminal output.
+    #[must_use]
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>5} {:>5} {:>9} {:>9}  {}\n",
+            "cell", "reps", "fail", "chi2(n)", "p(n)", "gate"
+        ));
+        for cell in &self.cells {
+            let n = cell.params.first();
+            let (chi2, p) = n.map_or((f64::NAN, f64::NAN), |p| (p.chi2, p.p_value));
+            out.push_str(&format!(
+                "{:<18} {:>5} {:>5} {:>9.3} {:>9.5}  {}\n",
+                format!("{}/{}", cell.prior, cell.model),
+                cell.reps,
+                cell.failures,
+                chi2,
+                p,
+                if cell.passed { "pass" } else { "FAIL" },
+            ));
+        }
+        out.push_str(&format!(
+            "overall: {}\n",
+            if self.all_passed() { "pass" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+impl CellReport {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("prior", Value::Str(self.prior.clone())),
+            ("model", Value::Str(self.model.clone())),
+            ("cell_id", Value::Num(self.cell_id as f64)),
+            ("reps", Value::Num(self.reps as f64)),
+            ("failures", Value::Num(self.failures as f64)),
+            ("num_ranks", Value::Num(self.num_ranks as f64)),
+            (
+                "n_ranks",
+                Value::Arr(self.n_ranks.iter().map(|&r| Value::Num(r as f64)).collect()),
+            ),
+            (
+                "params",
+                Value::Arr(
+                    self.params
+                        .iter()
+                        .map(|p| {
+                            Value::obj(vec![
+                                ("name", Value::Str(p.name.clone())),
+                                (
+                                    "histogram",
+                                    Value::Arr(
+                                        p.histogram.iter().map(|&c| Value::Num(c as f64)).collect(),
+                                    ),
+                                ),
+                                ("chi2", Value::Num(p.chi2)),
+                                ("p_value", Value::Num(p.p_value)),
+                                ("gated", Value::Bool(p.gated)),
+                                ("passed", Value::Bool(p.passed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("passed", Value::Bool(self.passed)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srm_obs::json::parse;
+
+    fn sample_report() -> SbcReport {
+        SbcReport {
+            master_seed: 42,
+            reps: 4,
+            bins: 2,
+            alpha: 0.001,
+            inject_bias: 0.0,
+            mcmc: McmcConfig {
+                chains: 2,
+                burn_in: 10,
+                samples: 20,
+                thin: 1,
+                seed: 0,
+            },
+            grid: GridSpec::default(),
+            cells: vec![CellReport {
+                prior: "poisson".into(),
+                model: "model0".into(),
+                cell_id: 0,
+                reps: 4,
+                failures: 0,
+                num_ranks: 40,
+                n_ranks: vec![3, 17, 29, 38],
+                params: vec![ParamCalibration {
+                    name: "n".into(),
+                    histogram: vec![2, 2],
+                    chi2: 0.0,
+                    p_value: 1.0,
+                    gated: true,
+                    passed: true,
+                }],
+                passed: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let report = sample_report();
+        let text = report.to_value().to_json_pretty();
+        let doc = parse(&text).unwrap();
+        assert_eq!(
+            doc.get("sbc_schema_version").and_then(Value::as_f64),
+            Some(SBC_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(doc.get("all_passed"), Some(&Value::Bool(true)));
+        let cells = doc.get("cells").and_then(Value::as_arr).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(
+            cells[0]
+                .get("n_ranks")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let report = sample_report();
+        assert_eq!(
+            report.to_value().to_json_pretty(),
+            report.to_value().to_json_pretty()
+        );
+    }
+
+    #[test]
+    fn summary_table_marks_failures() {
+        let mut report = sample_report();
+        assert!(report.summary_table().contains("pass"));
+        if let Some(cell) = report.cells.first_mut() {
+            cell.passed = false;
+        }
+        let table = report.summary_table();
+        assert!(table.contains("FAIL"));
+        assert!(table.contains("overall: FAIL"));
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`model`] | `srm-model` | detection models, likelihood, priors, posteriors, MLE |
 //! | [`mcmc`] | `srm-mcmc` | Gibbs sampler, diagnostics, summaries |
 //! | [`select`] | `srm-select` | WAIC / DIC / grid search |
+//! | [`sbc`] | `srm-sbc` | simulation-based calibration battery |
 //! | [`core`] | `srm-core` | fit & experiment pipeline |
 //! | [`report`] | `srm-report` | tables, box plots, ASCII charts |
 //! | [`obs`] | `srm-obs` | tracing events, metric sinks, run manifests |
@@ -57,6 +58,7 @@ pub use srm_model as model;
 pub use srm_obs as obs;
 pub use srm_rand as rand;
 pub use srm_report as report;
+pub use srm_sbc as sbc;
 pub use srm_select as select;
 pub use srm_serve as serve;
 
