@@ -145,7 +145,32 @@ impl Fit {
         let span = Span::enter(recorder, "sampling");
         let run = run_chains_fault_tolerant_traced(&sampler, &config.mcmc, options, recorder)?;
         span.end();
-        let waic = waic_from_output_traced(&sampler, &run.output, recorder)?;
+        Self::from_run_traced(prior, model, &sampler, run, recorder)
+    }
+
+    /// Assembles a [`FaultTolerantFit`] from an externally produced
+    /// run: WAIC is replayed from the surviving chains, the residual
+    /// summary and convergence diagnostics are computed under
+    /// [`Span`]s, and each parameter's diagnostics are emitted as
+    /// [`Event::Diagnostic`] — the exact tail of
+    /// [`Fit::try_run_traced`] after its sampling phase. External
+    /// schedulers (the cross-dataset batch executor) pair this with
+    /// [`srm_mcmc::assemble_run`] to build fits bit-identical to the
+    /// single-dataset path.
+    ///
+    /// `sampler` must be the sampler the run was drawn from.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Fit::try_run`].
+    pub fn from_run_traced(
+        prior: PriorSpec,
+        model: DetectionModel,
+        sampler: &GibbsSampler,
+        run: srm_mcmc::FaultTolerantRun,
+        recorder: &dyn Recorder,
+    ) -> Result<FaultTolerantFit, SrmError> {
+        let waic = waic_from_output_traced(sampler, &run.output, recorder)?;
 
         let span = Span::enter(recorder, "summary");
         let residual_draws = run.output.pooled("residual");

@@ -1,0 +1,211 @@
+//! Columnar multi-dataset layout: shape-compatible datasets share one
+//! day grid, and each dataset's counts live in one contiguous column.
+//!
+//! A batch of N grouped bug-count series is stored as a small set of
+//! **groups**. Every dataset whose series spans the same number of
+//! days joins the same group and shares that group's day grid
+//! (`1..=days`); within a group, dataset `c`'s daily counts occupy the
+//! contiguous column `counts[c*days .. (c+1)*days]`, with the running
+//! cumulative totals (the sampler's exposure series) laid out the same
+//! way in `cumulative`. Columns are appended in item order, so the
+//! layout itself is deterministic for a given item sequence.
+//!
+//! The executor materialises one [`BugCountData`] per *distinct*
+//! dataset from its column ([`ColumnarBatch::item_data`]) right before
+//! sampling — columns keep the resident batch compact while the
+//! sampler keeps its validated-container API.
+
+use srm_data::BugCountData;
+
+/// One shape-compatible group: all member datasets span `days` days.
+#[derive(Debug, Clone)]
+pub struct ColumnGroup {
+    /// The shared day grid: every member observes days `1..=days`.
+    pub days: usize,
+    /// Original item indices of the member columns, in column order.
+    pub items: Vec<usize>,
+    /// Column-major daily counts: column `c` is
+    /// `counts[c*days .. (c+1)*days]`.
+    pub counts: Vec<u64>,
+    /// Column-major cumulative counts (exposure), same layout.
+    pub cumulative: Vec<u64>,
+}
+
+impl ColumnGroup {
+    /// Number of member columns.
+    #[must_use]
+    pub fn columns(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// A batch of labelled datasets in columnar form.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarBatch {
+    groups: Vec<ColumnGroup>,
+    /// Per item: `(group index, column index within the group)`.
+    slots: Vec<(usize, usize)>,
+    labels: Vec<String>,
+}
+
+impl ColumnarBatch {
+    /// Builds the columnar layout from `(label, data)` pairs, in item
+    /// order. Groups are created in order of first appearance of each
+    /// series length, so the layout is a pure function of the item
+    /// sequence.
+    #[must_use]
+    pub fn from_items(items: &[(String, BugCountData)]) -> Self {
+        let mut batch = Self::default();
+        for (label, data) in items {
+            let days = data.len();
+            let gi = match batch.groups.iter().position(|g| g.days == days) {
+                Some(gi) => gi,
+                None => {
+                    batch.groups.push(ColumnGroup {
+                        days,
+                        items: Vec::new(),
+                        counts: Vec::new(),
+                        cumulative: Vec::new(),
+                    });
+                    batch.groups.len() - 1
+                }
+            };
+            let group = &mut batch.groups[gi];
+            let column = group.columns();
+            group.items.push(batch.slots.len());
+            group.counts.extend_from_slice(data.counts());
+            group.cumulative.extend_from_slice(data.cumulative());
+            batch.slots.push((gi, column));
+            batch.labels.push(label.clone());
+        }
+        batch
+    }
+
+    /// Number of items in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the batch holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The shape-compatible groups, in first-appearance order.
+    #[must_use]
+    pub fn groups(&self) -> &[ColumnGroup] {
+        &self.groups
+    }
+
+    /// The label of item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Out-of-range `i` panics (slice indexing), as with any index
+    /// accessor.
+    #[must_use]
+    pub fn label(&self, i: usize) -> &str {
+        &self.labels[i]
+    }
+
+    /// The shared day-grid length of item `i`'s group, or `None` when
+    /// `i` is out of range.
+    #[must_use]
+    pub fn days(&self, i: usize) -> Option<usize> {
+        let &(gi, _) = self.slots.get(i)?;
+        Some(self.groups[gi].days)
+    }
+
+    /// Item `i`'s contiguous daily-count column, or `None` when `i`
+    /// is out of range.
+    #[must_use]
+    pub fn counts(&self, i: usize) -> Option<&[u64]> {
+        let &(gi, c) = self.slots.get(i)?;
+        let g = &self.groups[gi];
+        Some(&g.counts[c * g.days..(c + 1) * g.days])
+    }
+
+    /// Item `i`'s contiguous cumulative (exposure) column, or `None`
+    /// when `i` is out of range.
+    #[must_use]
+    pub fn cumulative(&self, i: usize) -> Option<&[u64]> {
+        let &(gi, c) = self.slots.get(i)?;
+        let g = &self.groups[gi];
+        Some(&g.cumulative[c * g.days..(c + 1) * g.days])
+    }
+
+    /// Materialises item `i` as a validated [`BugCountData`] from its
+    /// column, or `None` when `i` is out of range.
+    #[must_use]
+    pub fn item_data(&self, i: usize) -> Option<BugCountData> {
+        // The column came out of a validated container, so
+        // re-validation cannot fail; treat a (impossible) rejection
+        // like an out-of-range index rather than panicking.
+        BugCountData::new(self.counts(i)?.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(counts: &[u64]) -> BugCountData {
+        BugCountData::new(counts.to_vec()).unwrap()
+    }
+
+    fn items(specs: &[(&str, &[u64])]) -> Vec<(String, BugCountData)> {
+        specs
+            .iter()
+            .map(|(l, c)| ((*l).to_string(), data(c)))
+            .collect()
+    }
+
+    #[test]
+    fn shape_compatible_items_share_a_group() {
+        let batch = ColumnarBatch::from_items(&items(&[
+            ("a", &[1, 2, 3]),
+            ("b", &[0, 0, 5]),
+            ("c", &[7, 7]),
+            ("d", &[4, 0, 1]),
+        ]));
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.groups().len(), 2);
+        let g3 = &batch.groups()[0];
+        assert_eq!(g3.days, 3);
+        assert_eq!(g3.columns(), 3);
+        assert_eq!(g3.items, vec![0, 1, 3]);
+        // Column-major: three contiguous 3-day columns.
+        assert_eq!(g3.counts, vec![1, 2, 3, 0, 0, 5, 4, 0, 1]);
+        assert_eq!(g3.cumulative, vec![1, 3, 6, 0, 0, 5, 4, 4, 5]);
+        let g2 = &batch.groups()[1];
+        assert_eq!(g2.days, 2);
+        assert_eq!(g2.items, vec![2]);
+    }
+
+    #[test]
+    fn columns_and_materialised_items_round_trip() {
+        let source = items(&[("x", &[2, 0, 4]), ("y", &[1, 1]), ("z", &[9, 0, 0])]);
+        let batch = ColumnarBatch::from_items(&source);
+        for (i, (label, data)) in source.iter().enumerate() {
+            assert_eq!(batch.label(i), label);
+            assert_eq!(batch.days(i), Some(data.len()));
+            assert_eq!(batch.counts(i), Some(data.counts()));
+            assert_eq!(batch.cumulative(i), Some(data.cumulative()));
+            let back = batch.item_data(i).unwrap();
+            assert_eq!(back.counts(), data.counts());
+            assert_eq!(back.cumulative(), data.cumulative());
+        }
+        assert!(batch.item_data(3).is_none());
+        assert!(batch.counts(3).is_none());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let batch = ColumnarBatch::from_items(&[]);
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert!(batch.groups().is_empty());
+    }
+}

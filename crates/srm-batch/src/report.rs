@@ -1,0 +1,186 @@
+//! Batch results: one report per item, in submission order, plus
+//! batch-level rollups and a JSON rendering for tooling.
+
+use srm_core::FaultTolerantFit;
+use srm_obs::json::Value;
+
+/// Terminal state of one batch item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemStatus {
+    /// Fit completed with every chain intact.
+    Done,
+    /// Fit completed but at least one chain was lost.
+    Degraded,
+    /// No fit was produced.
+    Failed,
+}
+
+impl ItemStatus {
+    /// The wire label (`done` / `degraded` / `failed`) used in events
+    /// and JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Done => "done",
+            Self::Degraded => "degraded",
+            Self::Failed => "failed",
+        }
+    }
+}
+
+/// One item's outcome.
+#[derive(Debug, Clone)]
+pub struct ItemReport {
+    /// Item index in submission order.
+    pub index: usize,
+    /// Item label (file stem or caller-supplied name).
+    pub label: String,
+    /// Dataset fingerprint (hex FNV-1a over the counts), matching
+    /// [`srm_obs::dataset_hash`].
+    pub dataset_hash: String,
+    /// The content-keyed seed this item's chains were split from —
+    /// replaying `srm fit --seed <seed>` on the same dataset
+    /// reproduces the fit bit-for-bit.
+    pub seed: u64,
+    /// Whether the item was served from the in-batch duplicate cache
+    /// without sampling.
+    pub cached: bool,
+    /// Terminal status.
+    pub status: ItemStatus,
+    /// The failure, when `status` is [`ItemStatus::Failed`].
+    pub error: Option<String>,
+    /// The fit, when one was produced.
+    pub fit: Option<FaultTolerantFit>,
+    /// Wall-clock time attributed to the item, ms (sum of its chains'
+    /// worker time; `0` for cached items).
+    pub wall_ms: f64,
+}
+
+impl ItemReport {
+    /// The item summarised as a JSON object (no draws — residual
+    /// summary, convergence verdict, and WAIC only).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("index", Value::Num(self.index as f64)),
+            ("label", Value::Str(self.label.clone())),
+            ("dataset_hash", Value::Str(self.dataset_hash.clone())),
+            ("seed", Value::Num(self.seed as f64)),
+            ("cached", Value::Bool(self.cached)),
+            ("status", Value::Str(self.status.as_str().to_string())),
+        ];
+        if let Some(error) = &self.error {
+            pairs.push(("error", Value::Str(error.clone())));
+        }
+        if let Some(f) = &self.fit {
+            pairs.push((
+                "residual",
+                Value::obj(vec![
+                    ("mean", Value::Num(f.fit.residual.mean)),
+                    ("median", Value::Num(f.fit.residual.median)),
+                    ("sd", Value::Num(f.fit.residual.sd)),
+                ]),
+            ));
+            pairs.push(("converged", Value::Bool(f.fit.converged())));
+            pairs.push(("waic", Value::Num(f.fit.waic.total())));
+        }
+        Value::obj(pairs)
+    }
+}
+
+/// The outcome of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Batch identifier (`batch-N` on the service, seed-derived on
+    /// the CLI).
+    pub batch_id: String,
+    /// The master seed the per-item seeds were split from.
+    pub master_seed: u64,
+    /// Per-item reports, in submission order.
+    pub items: Vec<ItemReport>,
+    /// Items served from the in-batch duplicate cache.
+    pub cache_hits: usize,
+    /// Wall-clock time for the whole batch, ms.
+    pub wall_ms: f64,
+}
+
+impl BatchReport {
+    /// Number of items that ended [`ItemStatus::Failed`].
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| i.status == ItemStatus::Failed)
+            .count()
+    }
+
+    /// Whether every item failed (the batch produced nothing).
+    #[must_use]
+    pub fn all_failed(&self) -> bool {
+        !self.items.is_empty() && self.failed() == self.items.len()
+    }
+
+    /// The batch summarised as a JSON object.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("batch_id", Value::Str(self.batch_id.clone())),
+            ("master_seed", Value::Num(self.master_seed as f64)),
+            ("items", Value::Num(self.items.len() as f64)),
+            ("failed", Value::Num(self.failed() as f64)),
+            ("cache_hits", Value::Num(self.cache_hits as f64)),
+            (
+                "results",
+                Value::Arr(self.items.iter().map(ItemReport::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failed_item(index: usize) -> ItemReport {
+        ItemReport {
+            index,
+            label: format!("item{index}"),
+            dataset_hash: "00".into(),
+            seed: 7,
+            cached: false,
+            status: ItemStatus::Failed,
+            error: Some("boom".into()),
+            fit: None,
+            wall_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn rollups_count_failures() {
+        let report = BatchReport {
+            batch_id: "batch-1".into(),
+            master_seed: 9,
+            items: vec![failed_item(0), failed_item(1)],
+            cache_hits: 0,
+            wall_ms: 1.0,
+        };
+        assert_eq!(report.failed(), 2);
+        assert!(report.all_failed());
+        let json = report.to_value().to_json();
+        assert!(json.contains("\"failed\":2"));
+        assert!(json.contains("\"status\":\"failed\""));
+        assert!(json.contains("\"error\":\"boom\""));
+    }
+
+    #[test]
+    fn empty_batch_is_not_all_failed() {
+        let report = BatchReport {
+            batch_id: "batch-0".into(),
+            master_seed: 1,
+            items: Vec::new(),
+            cache_hits: 0,
+            wall_ms: 0.0,
+        };
+        assert!(!report.all_failed());
+    }
+}

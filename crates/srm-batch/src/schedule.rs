@@ -1,0 +1,92 @@
+//! Cross-dataset work-unit scheduling.
+//!
+//! A batch of P distinct datasets × C chains is flattened into
+//! `P * C` **work units**; unit `u` is chain `u % C` of dataset
+//! `u / C`. Units are handed to a fixed pool of scoped workers
+//! through an atomic dispenser — exactly the discipline the
+//! single-dataset runner uses for its chains, lifted one level so
+//! chains of *different* datasets fill the pool together (no
+//! per-dataset barrier, no idle workers while a slow dataset
+//! finishes).
+//!
+//! Determinism: a unit's result depends only on the unit index (each
+//! chain task derives its RNG from its item's seed and its chain
+//! index), and results land in a slot vector indexed by unit — so the
+//! returned vector is bit-identical for any worker count and any
+//! dispatch interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// The `(item, chain)` coordinates of work unit `u` under `chains`
+/// chains per item.
+#[must_use]
+pub fn unit_coords(u: usize, chains: usize) -> (usize, usize) {
+    (u / chains, u % chains)
+}
+
+/// Runs `task(u)` for every unit `0..units` on `workers` scoped
+/// threads and returns the results in unit order.
+///
+/// Slots are `Option` so a worker dying outside the task's own panic
+/// containment degrades to a missing slot instead of poisoning the
+/// whole pool (the caller decides how to report it). `workers <= 1`
+/// runs serially on the calling thread.
+pub fn run_pool<T, F>(units: usize, workers: usize, task: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 {
+        return (0..units).map(|u| Some(task(u))).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(units);
+    slots.resize_with(units, || None);
+    let slots = Mutex::new(slots);
+    let dispenser = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(units) {
+            scope.spawn(|| loop {
+                let u = dispenser.fetch_add(1, Ordering::Relaxed);
+                if u >= units {
+                    break;
+                }
+                let out = task(u);
+                let mut guard = slots.lock().unwrap_or_else(PoisonError::into_inner);
+                guard[u] = Some(out);
+            });
+        }
+    });
+    slots.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_cover_the_grid_in_unit_order() {
+        let coords: Vec<(usize, usize)> = (0..6).map(|u| unit_coords(u, 3)).collect();
+        assert_eq!(coords, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn pool_runs_every_unit_once_in_slot_order() {
+        for workers in [1, 2, 4, 9] {
+            let hits = AtomicUsize::new(0);
+            let out = run_pool(7, workers, |u| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                u * 10
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 7, "workers={workers}");
+            let values: Vec<usize> = out.into_iter().map(|s| s.unwrap()).collect();
+            assert_eq!(values, vec![0, 10, 20, 30, 40, 50, 60]);
+        }
+    }
+
+    #[test]
+    fn zero_units_is_a_no_op() {
+        let out = run_pool(0, 4, |u| u);
+        assert!(out.is_empty());
+    }
+}

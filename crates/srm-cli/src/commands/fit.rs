@@ -1,14 +1,17 @@
-//! `srm fit` — one Bayesian fit with full reporting.
+//! `srm fit` — one Bayesian fit with full reporting, or a whole
+//! directory of fits via `--batch`.
 
 use crate::args::{ArgError, Args};
 use crate::commands::{load_data, parse_mcmc, parse_model, parse_prior};
 use crate::obs::{with_obs_flags, with_obs_switches, Observability};
+use srm_batch::{run_batch_traced, BatchSpec};
 use srm_core::{Fit, FitConfig};
 use srm_mcmc::runner::RunOptions;
 use srm_mcmc::{AcceptanceSummary, FaultPlan, PosteriorSummary, RetryPolicy};
 use srm_obs::RunManifest;
 
 const FLAGS: &[&str] = &[
+    "batch",
     "data",
     "dataset",
     "model",
@@ -34,6 +37,9 @@ const SWITCHES: &[&str] = &["diagnostics"];
 /// chain of the run is lost to faults.
 pub fn run(raw: &[String]) -> Result<String, ArgError> {
     let args = Args::parse(raw, &with_obs_flags(FLAGS), &with_obs_switches(SWITCHES))?;
+    if args.get("batch").is_some() {
+        return run_batch_dir(&args);
+    }
     let data = load_data(&args)?;
     let model = parse_model(&args)?;
     let prior = parse_prior(&args)?;
@@ -171,6 +177,129 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
                 d.psrf, d.geweke_z, d.ess, d.mcse
             ));
         }
+    }
+    Ok(out)
+}
+
+/// `srm fit --batch dir/` — one spec fanned over every CSV in a
+/// directory through the columnar batch executor, with a per-item
+/// exit table. Each item's fit is bit-identical to a lone
+/// `srm fit --seed <derived>` on the same file.
+fn run_batch_dir(args: &Args) -> Result<String, ArgError> {
+    let dir = args.require("batch")?;
+    if args.get("data").is_some() || args.get("dataset").is_some() {
+        return Err(ArgError(
+            "--batch replaces --data/--dataset: the directory IS the data".into(),
+        ));
+    }
+    if args.get_parsed("inject-faults", 0usize)? != 0 {
+        return Err(ArgError(
+            "--inject-faults is a single-fit debugging tool; it does not compose with --batch"
+                .into(),
+        ));
+    }
+    let model = parse_model(args)?;
+    let prior = parse_prior(args)?;
+    let mcmc = parse_mcmc(args)?;
+    let obs = Observability::from_args(args)?;
+
+    let path = std::path::Path::new(dir);
+    let load = srm_data::load_dir(path)
+        .map_err(|e| ArgError(format!("cannot read batch directory {dir}: {e}")))?;
+    if load.items.is_empty() {
+        let detail = if load.has_errors() {
+            let listed: Vec<String> = load.errors.iter().map(ToString::to_string).collect();
+            format!("every CSV failed to load: {}", listed.join("; "))
+        } else {
+            "no CSV files".to_string()
+        };
+        return Err(ArgError(format!("batch directory {dir}: {detail}")));
+    }
+
+    let spec = BatchSpec {
+        prior,
+        model,
+        config: FitConfig {
+            mcmc,
+            ..FitConfig::default()
+        },
+        options: RunOptions {
+            retry: RetryPolicy {
+                max_retries: args.get_parsed("max-retries", 3usize)?,
+            },
+            fault_plan: FaultPlan::none(),
+            threads: args.get_parsed("threads", 0usize)?,
+            checkpoint_every: 0,
+            profiler: obs.profiler(),
+        },
+    };
+    let batch_id = format!(
+        "batch-{}",
+        path.file_name()
+            .map_or_else(|| "dir".into(), |n| n.to_string_lossy())
+    );
+
+    let profile_guard = srm_obs::profile::install(spec.options.profiler.as_ref());
+    let report = run_batch_traced(&spec, &load.items, &batch_id, obs.recorder())
+        .map_err(|e| ArgError(format!("batch failed: {e}")))?;
+    drop(profile_guard);
+    obs.finish_profile();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "batch     : {} dataset(s) from {dir}\n",
+        report.items.len()
+    ));
+    out.push_str(&format!(
+        "model     : {} | prior: {}\n",
+        model,
+        prior.label()
+    ));
+    out.push_str(&format!(
+        "master    : seed {} | {} chains x {} samples\n",
+        report.master_seed, mcmc.chains, mcmc.samples
+    ));
+    for err in &load.errors {
+        out.push_str(&format!("warning   : skipped {err}\n"));
+    }
+    out.push_str(&format!(
+        "\n  {:<20} {:>12} {:>8} {:>6} {:>12} {:>10} {:>12}\n",
+        "label", "seed", "status", "cached", "resid.mean", "resid.sd", "waic"
+    ));
+    for item in &report.items {
+        let (mean, sd, waic) = item.fit.as_ref().map_or_else(
+            || ("-".to_string(), "-".to_string(), "-".to_string()),
+            |f| {
+                (
+                    format!("{:.3}", f.fit.residual.mean),
+                    format!("{:.3}", f.fit.residual.sd),
+                    format!("{:.3}", f.fit.waic.total()),
+                )
+            },
+        );
+        out.push_str(&format!(
+            "  {:<20} {:>12} {:>8} {:>6} {:>12} {:>10} {:>12}\n",
+            item.label,
+            item.seed,
+            item.status.as_str(),
+            if item.cached { "yes" } else { "no" },
+            mean,
+            sd,
+            waic
+        ));
+        if let Some(error) = &item.error {
+            out.push_str(&format!("      error: {error}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "\nitems     : {} | failed {} | cache hits {} | skipped files {}\n",
+        report.items.len(),
+        report.failed(),
+        report.cache_hits,
+        load.errors.len()
+    ));
+    if report.all_failed() {
+        return Err(ArgError(format!("batch failed: every item failed\n{out}")));
     }
     Ok(out)
 }
@@ -324,6 +453,144 @@ mod tests {
                 .as_f64(),
             Some(1.0)
         );
+    }
+
+    fn batch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("srm_cli_batch_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn batch_args(dir: &std::path::Path) -> Vec<String> {
+        [
+            "fit",
+            "--batch",
+            dir.to_str().unwrap(),
+            "--model",
+            "model0",
+            "--chains",
+            "2",
+            "--samples",
+            "150",
+            "--burn-in",
+            "50",
+            "--seed",
+            "7",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect()
+    }
+
+    #[test]
+    fn batch_renders_per_item_table_and_warns_on_bad_files() {
+        let dir = batch_dir("table");
+        std::fs::write(dir.join("alpha.csv"), "1,5\n2,3\n3,4\n4,1\n5,2\n").unwrap();
+        std::fs::write(dir.join("beta.csv"), "1,2\n2,2\n3,1\n4,0\n5,1\n6,1\n").unwrap();
+        std::fs::write(dir.join("broken.csv"), "1,5\n4,2\n").unwrap(); // day gap
+        let out = run(&batch_args(&dir)).unwrap();
+        assert!(out.contains("batch     : 2 dataset(s)"), "{out}");
+        assert!(out.contains("alpha"), "{out}");
+        assert!(out.contains("beta"), "{out}");
+        assert!(out.contains("warning   : skipped broken.csv"), "{out}");
+        assert!(
+            out.contains("items     : 2 | failed 0 | cache hits 0"),
+            "{out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_item_matches_a_lone_fit_with_the_derived_seed() {
+        let dir = batch_dir("derived");
+        let csv = "1,5\n2,3\n3,4\n4,1\n5,2\n";
+        std::fs::write(dir.join("only.csv"), csv).unwrap();
+        let out = run(&batch_args(&dir)).unwrap();
+
+        // Recompute the content-keyed seed the batch derived and fit
+        // the same file alone with it: the summary statistics must
+        // agree to the table's full printed precision.
+        let data = srm_data::BugCountData::new(vec![5, 3, 4, 1, 2]).unwrap();
+        let seed = srm_batch::item_seed(7, &data);
+        assert!(out.contains(&format!(" {seed} ")), "{out}");
+        let single = dir.join("only.csv");
+        let raw: Vec<String> = [
+            "fit",
+            "--data",
+            single.to_str().unwrap(),
+            "--model",
+            "model0",
+            "--chains",
+            "2",
+            "--samples",
+            "150",
+            "--burn-in",
+            "50",
+            "--seed",
+            &seed.to_string(),
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let lone = run(&raw).unwrap();
+        let mean = lone
+            .lines()
+            .find(|l| l.starts_with("  mean"))
+            .unwrap()
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .to_string();
+        let sd = lone
+            .lines()
+            .find(|l| l.starts_with("  sd"))
+            .unwrap()
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .to_string();
+        assert!(out.contains(&mean), "mean {mean} not in:\n{out}");
+        assert!(out.contains(&sd), "sd {sd} not in:\n{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_coalesces_duplicate_datasets_and_is_rerun_stable() {
+        let dir = batch_dir("dup");
+        let csv = "1,4\n2,2\n3,3\n4,1\n5,0\n6,2\n";
+        std::fs::write(dir.join("twin_a.csv"), csv).unwrap();
+        std::fs::write(dir.join("twin_b.csv"), csv).unwrap();
+        let out = run(&batch_args(&dir)).unwrap();
+        assert!(out.contains("cache hits 1"), "{out}");
+        assert!(out.contains("yes"), "no cached item marker in:\n{out}");
+        // Same directory, same spec: the whole table is reproducible.
+        let again = run(&batch_args(&dir)).unwrap();
+        assert_eq!(out, again);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_rejects_conflicting_flags_and_empty_dirs() {
+        let dir = batch_dir("conflict");
+        std::fs::write(dir.join("a.csv"), "1,1\n").unwrap();
+        let mut raw = batch_args(&dir);
+        raw.extend(["--dataset".to_owned(), "short_campaign_25".to_owned()]);
+        let err = run(&raw).unwrap_err();
+        assert!(err.0.contains("--batch replaces --data/--dataset"), "{err}");
+
+        let mut faulty = batch_args(&dir);
+        faulty.extend(["--inject-faults".to_owned(), "1".to_owned()]);
+        let err = run(&faulty).unwrap_err();
+        assert!(err.0.contains("does not compose with --batch"), "{err}");
+
+        let empty = batch_dir("emptydir");
+        let err = run(&batch_args(&empty)).unwrap_err();
+        assert!(err.0.contains("no CSV files"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&empty);
     }
 
     #[test]

@@ -40,6 +40,8 @@ COMMANDS:
 
 COMMON FLAGS:
     --data <file.csv>       day,count input data (fit/select/predict/trend)
+    --batch <dir/>          fit every *.csv in a directory as one batch
+                            (fit only; per-item seeds derive from --seed)
     --dataset <name>        bundled dataset instead of --data
                             (musa_cc96, decaying_growth_60, s_shaped_80,
                              short_campaign_25, plateau_100, late_surge_50,
@@ -118,6 +120,7 @@ SERVING (srm serve):
 EXAMPLES:
     srm fit --data counts.csv --model model1 --prior poisson
     srm fit --data counts.csv --trace-out run.jsonl --metrics-out run.json
+    srm fit --batch projects/ --model model0 --seed 7
     srm simulate --bugs 200 --days 60 --p 0.05 --seed 1 > synth.csv
     srm serve --addr 127.0.0.1:0 --port-file srm.port --trace-dir runs/
 "

@@ -1,0 +1,301 @@
+//! Batch kill/restart fault harness: SIGKILLs a live `srm serve`
+//! mid-batch (and aborts one at the exact WAL append that records the
+//! batch), restarts on the same `--state-dir`, and asserts the batch
+//! recovery invariants:
+//!
+//! - the batch registry itself survives (`GET /v1/batches/{id}` keeps
+//!   answering with every item),
+//! - items that completed before the crash come back byte-for-byte,
+//! - interrupted items are re-queued and re-fit to results
+//!   byte-identical to a crash-free run of the same batch.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use srm_obs::json::{parse, Value};
+
+const SRM: &str = env!("CARGO_BIN_EXE_srm");
+
+/// One quick item and one slow one: with a single worker the quick
+/// item is done (and persisted) while the slow one is still sampling
+/// when the kill lands.
+const MIXED_BATCH: &str = r#"{"model":"model0","chains":1,"seed":7,
+    "items":[
+      {"label":"quick","dataset":"short_campaign_25","samples":200,"burn_in":60},
+      {"label":"slow","dataset":"s_shaped_80","samples":6000,"burn_in":1000,"chains":2}
+    ]}"#;
+
+/// Two quick items for the crash-point path, where the abort fires
+/// before any sampling starts.
+const QUICK_BATCH: &str = r#"{"model":"model0","chains":1,"samples":200,"burn_in":60,"seed":11,
+    "items":[
+      {"label":"a","dataset":"short_campaign_25"},
+      {"label":"b","dataset":"ntds_26"}
+    ]}"#;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srm_batchkill_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_server(state_dir: &Path, port_file: &Path, env: &[(&str, &str)]) -> Child {
+    let _ = std::fs::remove_file(port_file);
+    let mut cmd = Command::new(SRM);
+    cmd.args([
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "1",
+        "--state-dir",
+        state_dir.to_str().unwrap(),
+        "--port-file",
+        port_file.to_str().unwrap(),
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    for (key, value) in env {
+        cmd.env(key, value);
+    }
+    cmd.spawn().unwrap()
+}
+
+fn wait_for_port(port_file: &Path, child: &mut Child) -> u16 {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if let Ok(port) = text.trim().parse() {
+                return port;
+            }
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("server exited before writing the port file: {status}");
+        }
+        assert!(Instant::now() < deadline, "port file never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn http(port: u16, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: srm\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))?;
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+/// The item's job id, by label, from a batch rollup document.
+fn item_job(rollup: &Value, label: &str) -> String {
+    rollup
+        .get("items")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .find(|i| i.get("label").unwrap().as_str() == Some(label))
+        .unwrap()
+        .get("job")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned()
+}
+
+/// Polls the batch until its rollup reports `status: done`; returns
+/// the parsed rollup.
+fn wait_batch_done(port: u16, id: &str) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok((status, body)) = http(port, "GET", &format!("/v1/batches/{id}"), "") {
+            assert_eq!(status, 200, "{body}");
+            let doc = parse(&body).unwrap();
+            if doc.get("status").unwrap().as_str() == Some("done") {
+                return doc;
+            }
+        }
+        assert!(Instant::now() < deadline, "batch {id} never finished");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// Polls `/v1/results/{id}` until 200 and returns the exact bytes.
+fn wait_for_result(port: u16, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok((status, body)) = http(port, "GET", &format!("/v1/results/{id}"), "") {
+            if status == 200 {
+                return body;
+            }
+            assert!(status == 202, "job {id} failed: {body}");
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// Crash-free reference: runs `batch` on a throwaway server and
+/// returns `(label, result bytes)` for every item.
+fn reference_batch(tag: &str, batch: &str) -> Vec<(String, String)> {
+    let root = temp_root(tag);
+    let state = root.join("state");
+    let port_file = root.join("srm.port");
+    let mut child = spawn_server(&state, &port_file, &[]);
+    let port = wait_for_port(&port_file, &mut child);
+    let (status, body) = http(port, "POST", "/v1/batches", batch).unwrap();
+    assert_eq!(status, 202, "{body}");
+    let id = parse(&body)
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    let rollup = wait_batch_done(port, &id);
+    let results = rollup
+        .get("items")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|item| {
+            let label = item.get("label").unwrap().as_str().unwrap().to_owned();
+            let job = item.get("job").unwrap().as_str().unwrap();
+            (label, wait_for_result(port, job))
+        })
+        .collect();
+    child.kill().unwrap();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&root);
+    results
+}
+
+#[test]
+fn sigkill_mid_batch_then_restart_completes_it_byte_identically() {
+    let root = temp_root("sigkill");
+    let state = root.join("state");
+    let port_file = root.join("srm.port");
+
+    let mut first = spawn_server(&state, &port_file, &[]);
+    let port = wait_for_port(&port_file, &mut first);
+
+    let (status, body) = http(port, "POST", "/v1/batches", MIXED_BATCH).unwrap();
+    assert_eq!(status, 202, "{body}");
+    let submit = parse(&body).unwrap();
+    let batch_id = submit.get("id").unwrap().as_str().unwrap().to_owned();
+    let quick_job = item_job(&submit, "quick");
+    let slow_job = item_job(&submit, "slow");
+
+    // Wait until the quick item has landed, then kill while the slow
+    // one is still sampling.
+    let quick_result = wait_for_result(port, &quick_job);
+    first.kill().unwrap(); // SIGKILL — no drain, no snapshot
+    let _ = first.wait();
+
+    let mut second = spawn_server(&state, &port_file, &[]);
+    let port = wait_for_port(&port_file, &mut second);
+
+    // The batch registry survived the crash with every item intact.
+    let (status, body) = http(port, "GET", &format!("/v1/batches/{batch_id}"), "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let rollup = parse(&body).unwrap();
+    assert_eq!(item_job(&rollup, "quick"), quick_job);
+    assert_eq!(item_job(&rollup, "slow"), slow_job);
+
+    // The completed item's bytes come back from the log as-is.
+    let (status, recovered_quick) =
+        http(port, "GET", &format!("/v1/results/{quick_job}"), "").unwrap();
+    assert_eq!(status, 200, "{recovered_quick}");
+    assert_eq!(
+        recovered_quick, quick_result,
+        "completed item must recover byte-identical"
+    );
+
+    // The interrupted item is re-fit; the whole batch drains to done
+    // and every item matches a crash-free run of the same batch.
+    let rollup = wait_batch_done(port, &batch_id);
+    assert_eq!(
+        rollup
+            .get("progress")
+            .unwrap()
+            .get("done")
+            .unwrap()
+            .as_f64(),
+        Some(2.0),
+        "{}",
+        rollup.to_json()
+    );
+    let reference = reference_batch("sigkill_ref", MIXED_BATCH);
+    for (label, expected) in &reference {
+        let job = item_job(&rollup, label);
+        let recovered = wait_for_result(port, &job);
+        assert_eq!(
+            &recovered, expected,
+            "item {label} must be bit-identical to a crash-free batch"
+        );
+    }
+
+    second.kill().unwrap();
+    let _ = second.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn crash_point_at_the_batch_wal_append_recovers_and_finishes() {
+    let root = temp_root("crashpoint");
+    let state = root.join("state");
+    let port_file = root.join("srm.port");
+
+    // Submit order on a fresh store: append #1 and #2 are the two
+    // item submits, append #3 is the batch record itself — the items
+    // only reach the queue after that, so the abort lands with the
+    // batch durable but nothing claimed.
+    let mut first = spawn_server(&state, &port_file, &[("SRM_CRASH_POINT", "wal-appended:3")]);
+    let port = wait_for_port(&port_file, &mut first);
+    // The abort can race the 202, so the submit's outcome is ignored;
+    // ids are deterministic on a fresh store.
+    let _ = http(port, "POST", "/v1/batches", QUICK_BATCH);
+    let status = first.wait().unwrap();
+    assert!(!status.success(), "armed crash point must abort: {status}");
+
+    // Restart unarmed: batch-1 is recovered with both items pending,
+    // the jobs are re-queued, and the batch drains to done with
+    // results bit-identical to a crash-free run.
+    let mut second = spawn_server(&state, &port_file, &[]);
+    let port = wait_for_port(&port_file, &mut second);
+    let rollup = wait_batch_done(port, "batch-1");
+    let reference = reference_batch("crashpoint_ref", QUICK_BATCH);
+    assert_eq!(reference.len(), 2);
+    for (label, expected) in &reference {
+        let job = item_job(&rollup, label);
+        let recovered = wait_for_result(port, &job);
+        assert_eq!(
+            &recovered, expected,
+            "item {label} must be bit-identical to a crash-free batch"
+        );
+    }
+
+    second.kill().unwrap();
+    let _ = second.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}

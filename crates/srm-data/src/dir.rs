@@ -1,0 +1,189 @@
+//! Directory loader for batch estimation: every `*.csv` file in a
+//! directory becomes one labelled dataset.
+//!
+//! The contract is built for fleets, not single files:
+//!
+//! * **Deterministic order** — entries are sorted by file name
+//!   (byte-wise), so the same directory always yields the same item
+//!   order regardless of filesystem enumeration order.
+//! * **Per-file errors are collected, not fatal** — one malformed
+//!   CSV must not sink a 1 000-project batch; the caller decides how
+//!   to report the stragglers.
+//! * **Non-CSV files are skipped** silently (READMEs, lockfiles,
+//!   editor droppings), as are subdirectories.
+
+use crate::csv::{read_counts, CsvError};
+use crate::dataset::BugCountData;
+use std::path::Path;
+
+/// One file that failed to load, with the error it raised.
+#[derive(Debug)]
+pub struct DirEntryError {
+    /// The file name (not the full path) that failed.
+    pub file: String,
+    /// Why it failed.
+    pub error: CsvError,
+}
+
+impl std::fmt::Display for DirEntryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file, self.error)
+    }
+}
+
+/// The outcome of [`load_dir`]: the datasets that parsed, in sorted
+/// file-name order, plus the per-file errors of those that did not.
+#[derive(Debug, Default)]
+pub struct DirLoad {
+    /// `(label, data)` pairs in sorted file-name order. Labels are
+    /// file stems, disambiguated with the full file name when two
+    /// files share a stem (`a.csv` next to `a.CSV`).
+    pub items: Vec<(String, BugCountData)>,
+    /// Files that looked like CSV but failed to parse, in sorted
+    /// file-name order.
+    pub errors: Vec<DirEntryError>,
+}
+
+impl DirLoad {
+    /// Whether at least one file failed to load.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        !self.errors.is_empty()
+    }
+}
+
+/// Loads every `*.csv` file (extension matched case-insensitively)
+/// directly under `path`.
+///
+/// An empty directory (or one with no CSV files) yields an empty
+/// [`DirLoad`], not an error — emptiness is the caller's policy call.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] only when the directory itself cannot
+/// be read; individual file failures land in [`DirLoad::errors`].
+pub fn load_dir(path: &Path) -> std::io::Result<DirLoad> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(path)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_csv = Path::new(&name)
+            .extension()
+            .is_some_and(|ext| ext.eq_ignore_ascii_case("csv"));
+        if is_csv {
+            names.push(name);
+        }
+    }
+    names.sort();
+
+    let mut load = DirLoad::default();
+    let mut seen_stems: Vec<String> = Vec::new();
+    for name in names {
+        let stem = Path::new(&name)
+            .file_stem()
+            .map_or_else(|| name.clone(), |s| s.to_string_lossy().into_owned());
+        // Duplicate stems (e.g. `a.csv` and `a.CSV`): keep both, but
+        // the later file is labelled by its full name so labels stay
+        // unique and the first-sorted file keeps the natural label.
+        let label = if seen_stems.contains(&stem) {
+            name.clone()
+        } else {
+            stem.clone()
+        };
+        seen_stems.push(stem);
+        match std::fs::File::open(path.join(&name)) {
+            Ok(file) => match read_counts(file) {
+                Ok(data) => load.items.push((label, data)),
+                Err(error) => load.errors.push(DirEntryError { file: name, error }),
+            },
+            Err(e) => load.errors.push(DirEntryError {
+                file: name,
+                error: CsvError::Io(e),
+            }),
+        }
+    }
+    Ok(load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("srm_dir_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn empty_dir_loads_to_nothing() {
+        let dir = temp_dir("empty");
+        let load = load_dir(&dir).unwrap();
+        assert!(load.items.is_empty());
+        assert!(!load.has_errors());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_an_io_error() {
+        let dir = temp_dir("missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_dir(&dir).is_err());
+    }
+
+    #[test]
+    fn loads_in_sorted_order_and_skips_non_csv() {
+        let dir = temp_dir("sorted");
+        std::fs::write(dir.join("b.csv"), "1,2\n2,3\n").unwrap();
+        std::fs::write(dir.join("a.csv"), "1,1\n").unwrap();
+        std::fs::write(dir.join("README.md"), "not data").unwrap();
+        std::fs::write(dir.join("notes.txt"), "1,1\n").unwrap();
+        std::fs::create_dir_all(dir.join("sub.csv")).unwrap(); // a directory, not a file
+        let load = load_dir(&dir).unwrap();
+        let labels: Vec<&str> = load.items.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+        assert_eq!(load.items[1].1.counts(), &[2, 3]);
+        assert!(!load.has_errors());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn one_bad_file_among_good_ones_is_collected_not_fatal() {
+        let dir = temp_dir("badone");
+        std::fs::write(dir.join("good1.csv"), "1,4\n2,0\n").unwrap();
+        std::fs::write(dir.join("broken.csv"), "1,4\n3,1\n").unwrap(); // day gap
+        std::fs::write(dir.join("good2.csv"), "1,7\n").unwrap();
+        let load = load_dir(&dir).unwrap();
+        let labels: Vec<&str> = load.items.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["good1", "good2"]);
+        assert_eq!(load.errors.len(), 1);
+        assert_eq!(load.errors[0].file, "broken.csv");
+        assert!(load.errors[0].to_string().contains("expected day 2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_stems_get_disambiguated_labels() {
+        let dir = temp_dir("dupstem");
+        std::fs::write(dir.join("proj.csv"), "1,1\n").unwrap();
+        let mixed_case = dir.join("proj.CSV");
+        std::fs::write(&mixed_case, "1,2\n").unwrap();
+        let load = load_dir(&dir).unwrap();
+        if load.items.len() == 2 {
+            // Case-sensitive filesystem: both survive with unique
+            // labels — `proj.CSV` sorts first and keeps the stem.
+            let labels: Vec<&str> = load.items.iter().map(|(l, _)| l.as_str()).collect();
+            assert_eq!(labels, vec!["proj", "proj.csv"]);
+        } else {
+            // Case-insensitive filesystem: the second write replaced
+            // the first file; one item, natural label.
+            assert_eq!(load.items.len(), 1);
+            assert_eq!(load.items[0].0, "proj");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

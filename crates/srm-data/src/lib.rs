@@ -33,9 +33,11 @@ pub mod bootstrap;
 pub mod csv;
 pub mod dataset;
 pub mod datasets;
+pub mod dir;
 pub mod generator;
 pub mod observation;
 
 pub use dataset::{BugCountData, DataError};
+pub use dir::{load_dir, DirEntryError, DirLoad};
 pub use generator::{DetectionSimulator, SimulatedProject};
 pub use observation::{ObservationPlan, ObservationPoint};

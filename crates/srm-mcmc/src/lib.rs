@@ -64,8 +64,9 @@ pub use gibbs::{
 };
 pub use metropolis::ParamAcceptance;
 pub use runner::{
-    effective_threads, run_chains, run_chains_fault_tolerant, run_chains_fault_tolerant_traced,
-    FaultTolerantRun, McmcConfig, McmcOutput, RunOptions,
+    assemble_run, effective_threads, run_chain_task, run_chains, run_chains_fault_tolerant,
+    run_chains_fault_tolerant_traced, ChainOutcome, FaultTolerantRun, McmcConfig, McmcOutput,
+    RunOptions,
 };
 pub use streaming::{ChainAccumulator, ParamAccumulator, DEFAULT_LAG_WINDOW};
 pub use summary::{AcceptanceSummary, PosteriorSummary};

@@ -297,8 +297,26 @@ pub fn run_chains_fault_tolerant(
 }
 
 /// One chain's finished work: its draws (absent when lost), its
-/// report, its buffered trace events, and its wall time.
-type Slot = (Option<Chain>, ChainReport, Vec<Event>, f64);
+/// report, its buffered trace events awaiting ordered replay, and its
+/// wall time.
+///
+/// Produced by [`run_chain_task`] — the schedulable unit of a
+/// multi-chain run. External schedulers (the batch executor fits
+/// chains of *many* datasets on one pool) collect outcomes in any
+/// order and hand them to [`assemble_run`]; because an outcome
+/// depends only on its chain index, the result is bit-identical to
+/// [`run_chains_fault_tolerant_traced`] for any schedule.
+#[derive(Debug)]
+pub struct ChainOutcome {
+    /// The chain's draws; `None` when the chain was lost.
+    pub chain: Option<Chain>,
+    /// The chain's health report.
+    pub report: ChainReport,
+    /// Buffered trace events, replayed in chain order at assembly.
+    pub events: Vec<Event>,
+    /// Wall-clock time the chain spent on its worker thread, ms.
+    pub wall_ms: f64,
+}
 
 /// [`run_chains_fault_tolerant`] with instrumentation: chain workers
 /// emit sweep/fault/retry events to per-chain buffers that are
@@ -335,8 +353,7 @@ pub fn run_chains_fault_tolerant_traced(
     }
     let base = srm_rand::Xoshiro256StarStar::seed_from(config.seed);
     let pool = effective_threads(options.threads, config.chains);
-    let on = recorder.enabled();
-    let mut slots: Vec<Option<Slot>> = (0..config.chains).map(|_| None).collect();
+    let mut slots: Vec<Option<ChainOutcome>> = (0..config.chains).map(|_| None).collect();
     // Workers pull chain indices from this dispenser; the RNG stream,
     // fault plan and events of chain `i` depend only on `i`, so the
     // pull order is free to vary with scheduling.
@@ -346,7 +363,7 @@ pub fn run_chains_fault_tolerant_traced(
             .map(|_| {
                 let (next, base) = (&next, &base);
                 scope.spawn(move || {
-                    let mut done: Vec<(usize, Slot)> = Vec::new();
+                    let mut done: Vec<(usize, ChainOutcome)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= config.chains {
@@ -354,7 +371,7 @@ pub fn run_chains_fault_tolerant_traced(
                         }
                         done.push((
                             i,
-                            run_one_chain(sampler, base, config, options, recorder, on, i),
+                            run_chain_task(sampler, base, config, options, recorder, i),
                         ));
                     }
                     done
@@ -369,40 +386,61 @@ pub fn run_chains_fault_tolerant_traced(
             }
         }
     });
+    assemble_run(config, slots, recorder)
+}
 
+/// Assembles a [`FaultTolerantRun`] from per-chain outcomes collected
+/// by any scheduler: missing slots are reported as lost chains, each
+/// chain's buffered events are replayed into `recorder` in chain
+/// order, and one [`Event::ChainReport`] per configured chain is
+/// emitted after assembly. This is the exact tail of
+/// [`run_chains_fault_tolerant_traced`], exposed so external
+/// schedulers (e.g. the cross-dataset batch executor) produce
+/// bit-identical runs and traces.
+///
+/// `outcomes` must hold one entry per configured chain, in chain
+/// order (`outcomes.len() == config.chains`).
+///
+/// # Errors
+///
+/// Returns the first failed chain's fault when every chain is lost.
+pub fn assemble_run(
+    config: &McmcConfig,
+    slots: Vec<Option<ChainOutcome>>,
+    recorder: &dyn Recorder,
+) -> Result<FaultTolerantRun, SrmError> {
+    let on = recorder.enabled();
     let mut chains = Vec::with_capacity(config.chains);
     let mut reports = Vec::with_capacity(config.chains);
     let mut walls = Vec::with_capacity(config.chains);
     for (i, slot) in slots.into_iter().enumerate() {
         // A missing slot means a worker died outside `catch_unwind` —
         // defensively reported as a lost chain rather than a panic.
-        let (chain, report, events, wall_ms) = slot.unwrap_or_else(|| {
-            (
-                None,
-                ChainReport {
+        let outcome = slot.unwrap_or_else(|| ChainOutcome {
+            chain: None,
+            report: ChainReport {
+                chain: i,
+                fault: Some(SrmError::ChainPanicked {
                     chain: i,
-                    fault: Some(SrmError::ChainPanicked {
-                        chain: i,
-                        message: "chain worker thread lost".into(),
-                    }),
-                    retries: 0,
-                    recovered: false,
-                    accept: Vec::new(),
-                },
-                Vec::new(),
-                0.0,
-            )
+                    message: "chain worker thread lost".into(),
+                }),
+                retries: 0,
+                recovered: false,
+                accept: Vec::new(),
+            },
+            events: Vec::new(),
+            wall_ms: 0.0,
         });
         if on {
             // Replay in chain order: the merged trace is deterministic
             // for any thread count.
-            for event in &events {
+            for event in &outcome.events {
                 recorder.record(event);
             }
         }
-        chains.extend(chain);
-        reports.push(report);
-        walls.push(wall_ms);
+        chains.extend(outcome.chain);
+        reports.push(outcome.report);
+        walls.push(outcome.wall_ms);
     }
     if chains.is_empty() {
         let fault =
@@ -433,18 +471,25 @@ pub fn run_chains_fault_tolerant_traced(
     })
 }
 
-/// Runs chain `i` with panic containment on the calling worker
-/// thread, buffering its events for ordered replay.
-#[allow(clippy::too_many_arguments)] // internal plumbing of the pool
-fn run_one_chain(
+/// Runs chain `i` with panic containment on the calling thread,
+/// buffering its events for ordered replay at [`assemble_run`].
+///
+/// This is the schedulable unit of a run: chain `i` draws from the
+/// `i`-th jump stream of `base` (which must come from
+/// `Xoshiro256StarStar::seed_from(config.seed)`), so an outcome
+/// depends only on `(sampler, config, i)` — never on which worker ran
+/// it or when. `recorder` is consulted for `enabled`/stride gating
+/// and receives live `diagnostic-checkpoint` events; everything else
+/// is buffered into the outcome.
+pub fn run_chain_task(
     sampler: &GibbsSampler,
     base: &srm_rand::Xoshiro256StarStar,
     config: &McmcConfig,
     options: &RunOptions,
     recorder: &dyn Recorder,
-    on: bool,
     i: usize,
-) -> Slot {
+) -> ChainOutcome {
+    let on = recorder.enabled();
     let mut rng = base.split_stream(i as u64);
     let mut injector = options.fault_plan.injector_for(i);
     let retry = options.retry;
@@ -519,7 +564,12 @@ fn run_one_chain(
             )
         }
     };
-    (chain, report, buffer.into_events(), wall_ms)
+    ChainOutcome {
+        chain,
+        report,
+        events: buffer.into_events(),
+        wall_ms,
+    }
 }
 
 /// Runs `config.chains` chains of `sampler` in parallel and collects
@@ -711,6 +761,31 @@ mod tests {
         // Degenerate inputs stay positive.
         assert_eq!(effective_threads(0, 0), 1);
         assert_eq!(effective_threads(3, 0), 1);
+    }
+
+    #[test]
+    fn external_scheduling_matches_the_pooled_runner() {
+        // Collect chain outcomes in reverse order on the caller's
+        // thread — the most hostile legal schedule — and assemble.
+        let data = datasets::musa_cc96().truncated(25).unwrap();
+        let s = sampler(&data);
+        let config = McmcConfig {
+            chains: 3,
+            burn_in: 80,
+            samples: 120,
+            thin: 1,
+            seed: 777,
+        };
+        let options = RunOptions::none();
+        let base = srm_rand::Xoshiro256StarStar::seed_from(config.seed);
+        let mut slots: Vec<Option<ChainOutcome>> = (0..config.chains).map(|_| None).collect();
+        for i in (0..config.chains).rev() {
+            slots[i] = Some(run_chain_task(&s, &base, &config, &options, &NOOP, i));
+        }
+        let assembled = assemble_run(&config, slots, &NOOP).unwrap();
+        let pooled = run_chains_fault_tolerant(&s, &config, &options).unwrap();
+        assert_eq!(assembled.output, pooled.output);
+        assert_eq!(assembled.reports.len(), pooled.reports.len());
     }
 
     #[test]

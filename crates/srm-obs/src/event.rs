@@ -20,8 +20,9 @@ use crate::profile::PhaseSnapshot;
 /// `profile` phase-time kind and the `wall_ms`/`ess_per_sec` fields
 /// on `diagnostic-checkpoint`; version 5 adds the simulation-based
 /// calibration kinds `sbc-cell-start` / `sbc-rep-done` /
-/// `sbc-cell-done`.
-pub const EVENT_SCHEMA_VERSION: u64 = 5;
+/// `sbc-cell-done`; version 6 adds the multi-dataset batch kinds
+/// `batch-start` / `batch-item-done` / `batch-done`.
+pub const EVENT_SCHEMA_VERSION: u64 = 6;
 
 /// Per-parameter accept statistics carried by [`Event::ChainDone`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -327,6 +328,47 @@ pub enum Event {
         /// Wall-clock time the cell's replications took, ms.
         wall_ms: f64,
     },
+    /// A multi-dataset batch began executing.
+    BatchStart {
+        /// Batch identifier (`batch-N` on the service, the master
+        /// seed rendering on the CLI).
+        batch_id: String,
+        /// Number of items (datasets) in the batch.
+        items: usize,
+        /// Master seed the per-item seeds were split from.
+        master_seed: u64,
+    },
+    /// One batch item reached a terminal state.
+    BatchItemDone {
+        /// Batch identifier.
+        batch_id: String,
+        /// Item index within the batch (submission order).
+        item: usize,
+        /// Item label (file stem, dataset name, or caller-supplied).
+        label: String,
+        /// Terminal status (`done`, `degraded`, `failed`).
+        status: String,
+        /// Whether the item was served from a cache (the in-batch
+        /// duplicate-dataset cache or the service fit cache) without
+        /// sampling.
+        cached: bool,
+        /// Wall-clock time attributed to the item, ms (0 for cached
+        /// items).
+        wall_ms: f64,
+    },
+    /// A multi-dataset batch finished.
+    BatchDone {
+        /// Batch identifier.
+        batch_id: String,
+        /// Number of items in the batch.
+        items: usize,
+        /// Items that ended `failed`.
+        failed: usize,
+        /// Items served from a cache without sampling.
+        cache_hits: usize,
+        /// Wall-clock time for the whole batch, ms.
+        wall_ms: f64,
+    },
 }
 
 /// Every `kind()` label, for schema validation.
@@ -359,6 +401,9 @@ pub const EVENT_KINDS: &[&str] = &[
     "sbc-cell-start",
     "sbc-rep-done",
     "sbc-cell-done",
+    "batch-start",
+    "batch-item-done",
+    "batch-done",
 ];
 
 impl Event {
@@ -393,6 +438,9 @@ impl Event {
             Event::SbcCellStart { .. } => "sbc-cell-start",
             Event::SbcRepDone { .. } => "sbc-rep-done",
             Event::SbcCellDone { .. } => "sbc-cell-done",
+            Event::BatchStart { .. } => "batch-start",
+            Event::BatchItemDone { .. } => "batch-item-done",
+            Event::BatchDone { .. } => "batch-done",
         }
     }
 
@@ -694,6 +742,43 @@ impl Event {
                 push("passed", Value::Bool(*passed));
                 push("wall_ms", Value::Num(*wall_ms));
             }
+            Event::BatchStart {
+                batch_id,
+                items,
+                master_seed,
+            } => {
+                push("batch_id", Value::Str(batch_id.clone()));
+                push("items", Value::Num(*items as f64));
+                push("master_seed", Value::Num(*master_seed as f64));
+            }
+            Event::BatchItemDone {
+                batch_id,
+                item,
+                label,
+                status,
+                cached,
+                wall_ms,
+            } => {
+                push("batch_id", Value::Str(batch_id.clone()));
+                push("item", Value::Num(*item as f64));
+                push("label", Value::Str(label.clone()));
+                push("status", Value::Str(status.clone()));
+                push("cached", Value::Bool(*cached));
+                push("wall_ms", Value::Num(*wall_ms));
+            }
+            Event::BatchDone {
+                batch_id,
+                items,
+                failed,
+                cache_hits,
+                wall_ms,
+            } => {
+                push("batch_id", Value::Str(batch_id.clone()));
+                push("items", Value::Num(*items as f64));
+                push("failed", Value::Num(*failed as f64));
+                push("cache_hits", Value::Num(*cache_hits as f64));
+                push("wall_ms", Value::Num(*wall_ms));
+            }
         }
         Value::Obj(pairs)
     }
@@ -733,6 +818,9 @@ pub fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
         "sbc-cell-done" => &[
             "prior", "model", "reps", "failures", "chi2", "p_value", "passed", "wall_ms",
         ],
+        "batch-start" => &["batch_id", "items", "master_seed"],
+        "batch-item-done" => &["batch_id", "item", "label", "status", "cached", "wall_ms"],
+        "batch-done" => &["batch_id", "items", "failed", "cache_hits", "wall_ms"],
         _ => return None,
     })
 }
@@ -925,6 +1013,26 @@ mod tests {
                 p_value: 0.62,
                 passed: true,
                 wall_ms: 4200.0,
+            },
+            Event::BatchStart {
+                batch_id: "batch-1".into(),
+                items: 4,
+                master_seed: 2024,
+            },
+            Event::BatchItemDone {
+                batch_id: "batch-1".into(),
+                item: 2,
+                label: "musa_cc96".into(),
+                status: "done".into(),
+                cached: false,
+                wall_ms: 310.0,
+            },
+            Event::BatchDone {
+                batch_id: "batch-1".into(),
+                items: 4,
+                failed: 0,
+                cache_hits: 1,
+                wall_ms: 1250.0,
             },
         ];
         assert_eq!(samples.len(), EVENT_KINDS.len());

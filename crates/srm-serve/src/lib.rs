@@ -33,6 +33,8 @@
 //! | `GET /v1/jobs/{id}/progress`    | Live convergence state (checkpoints, R̂) |
 //! | `GET /v1/results/{id}`          | Fetch the result document                |
 //! | `DELETE /v1/jobs/{id}`          | Cancel (cooperative at phase boundaries) |
+//! | `POST /v1/batches`              | Fan one fit spec over many datasets      |
+//! | `GET /v1/batches/{id}`          | Batch rollup with per-item status/results|
 //! | `GET /healthz`                  | Liveness, build info, job counts         |
 //! | `GET /metrics`                  | Prometheus text exposition               |
 
@@ -42,6 +44,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod http;
@@ -52,6 +55,9 @@ pub mod server;
 pub mod signal;
 pub mod store;
 
+pub use batch::{
+    parse_batch, BatchItemRef, BatchRecord, BatchRequest, BatchStore, MAX_BATCH_ITEMS,
+};
 pub use cache::FitCache;
 pub use engine::{run_job, JobError, JobOutput, SERVE_CHECKPOINT_EVERY};
 pub use job::{JobKind, JobRecord, JobSpec, JobStatus, JobStore};

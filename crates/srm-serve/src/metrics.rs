@@ -42,6 +42,13 @@ pub struct ServeMetrics {
     pub conns_reaped: Counter,
     /// Wall-time distribution of executed (non-cached) jobs, ms.
     pub job_wall_ms: FixedHistogram,
+    /// Batches accepted via `POST /v1/batches`.
+    pub batches_submitted: Counter,
+    /// Batch items accepted (across all batches).
+    pub batch_items: Counter,
+    /// Batch items served without fresh sampling (in-batch duplicate
+    /// aliases plus fit-cache hits at submit).
+    pub batch_cache_hits: Counter,
 }
 
 /// Point-in-time gauge inputs for [`render_prometheus`], sampled by
@@ -60,6 +67,8 @@ pub struct GaugeSnapshot {
     /// profiler (queue-wait, fit, serialize, wal-append, and the
     /// sampler phases underneath).
     pub phases: Vec<PhaseSnapshot>,
+    /// Batches with at least one member job still pending.
+    pub batches_active: u64,
 }
 
 impl Default for ServeMetrics {
@@ -83,6 +92,9 @@ impl ServeMetrics {
             conns_reaped: Counter::new(),
             // Job wall times from 1 ms to ~100 s.
             job_wall_ms: FixedHistogram::exponential(1.0, 10.0, 6),
+            batches_submitted: Counter::new(),
+            batch_items: Counter::new(),
+            batch_cache_hits: Counter::new(),
         }
     }
 }
@@ -239,6 +251,7 @@ pub fn render_prometheus(
         conn_queue_depth,
         uptime_secs,
         phases,
+        batches_active,
     } = gauges;
     let mut out = String::new();
     // Build identity first: the same fields `/healthz` reports, as a
@@ -375,6 +388,30 @@ pub fn render_prometheus(
         "Jobs currently being computed.",
         jobs_running as f64,
     );
+    counter(
+        &mut out,
+        "srm_serve_batches_submitted_total",
+        "Batches accepted via POST /v1/batches.",
+        metrics.batches_submitted.get(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_batch_items_total",
+        "Batch items accepted across all batches.",
+        metrics.batch_items.get(),
+    );
+    counter(
+        &mut out,
+        "srm_serve_batch_cache_hits_total",
+        "Batch items served without fresh sampling (duplicates and cache hits).",
+        metrics.batch_cache_hits.get(),
+    );
+    gauge(
+        &mut out,
+        "srm_serve_batches_active",
+        "Batches with at least one member job still pending.",
+        batches_active as f64,
+    );
     let (queued, running, done, failed, cancelled) = store.counts();
     let _ = writeln!(
         out,
@@ -500,6 +537,7 @@ mod tests {
                     max_ns: 600_000_000,
                     buckets: vec![0; srm_obs::HIST_BUCKETS],
                 }],
+                ..GaugeSnapshot::default()
             },
             None,
         );
@@ -518,6 +556,10 @@ mod tests {
         assert!(page.contains("srm_store_evictions_total 0"));
         assert!(page.contains("srm_serve_conns_rejected_total 0"));
         assert!(page.contains("srm_serve_conns_reaped_total 0"));
+        assert!(page.contains("srm_serve_batches_submitted_total 0"));
+        assert!(page.contains("srm_serve_batch_items_total 0"));
+        assert!(page.contains("srm_serve_batch_cache_hits_total 0"));
+        assert!(page.contains("srm_serve_batches_active 0"));
         assert!(
             !page.contains("srm_wal_bytes"),
             "no WAL series without a state dir"

@@ -153,6 +153,12 @@ impl JobQueue {
         lock_ignoring_poison(&self.inner).items.len()
     }
 
+    /// The configured capacity (maximum waiting jobs for `push`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether no jobs are waiting.
     #[must_use]
     pub fn is_empty(&self) -> bool {

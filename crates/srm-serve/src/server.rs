@@ -35,6 +35,7 @@ use srm_obs::{
 };
 use srm_store::SyncPolicy;
 
+use crate::batch::{BatchItemRef, BatchRecord, BatchStore};
 use crate::cache::FitCache;
 use crate::engine::run_job;
 use crate::http::{read_request, Request, Response};
@@ -238,6 +239,9 @@ pub struct ServerState {
     pub queue: JobQueue,
     /// Content-addressed result cache.
     pub cache: FitCache,
+    /// Batch registry: batch ids, member jobs, and the reverse index
+    /// from job ids to batches awaiting them.
+    pub batches: BatchStore,
     /// HTTP/job counters for `/metrics`.
     pub metrics: ServeMetrics,
     /// Engine-level aggregates teed from every job's recorder.
@@ -302,7 +306,7 @@ impl ServerState {
         if let Some(persister) = &self.persister {
             if let Some(record) = self.store.get(id) {
                 persister.record_terminal(&record);
-                persister.maybe_snapshot(&self.store, &self.cache);
+                persister.maybe_snapshot(&self.store, &self.cache, &self.batches);
             }
         }
     }
@@ -359,11 +363,34 @@ impl Server {
         for (key, result) in recovered.cache.drain(..) {
             cache.insert(&key, result);
         }
+        // Rebuild the batch registry. A batch's `remaining` count is
+        // runtime state: recompute it as the distinct member jobs that
+        // are not terminal in the recovered store (in-flight jobs were
+        // reset to queued above and will be re-queued below).
+        let batches = BatchStore::new();
+        for wire in recovered.batches.drain(..) {
+            let Some(record) = BatchRecord::from_wire(&wire) else {
+                continue;
+            };
+            let mut pending: Vec<String> = Vec::new();
+            for item in &record.items {
+                if !pending.contains(&item.job_id)
+                    && store
+                        .get(&item.job_id)
+                        .is_some_and(|r| !r.status.is_terminal())
+                {
+                    pending.push(item.job_id.clone());
+                }
+            }
+            batches.insert(record, &pending);
+        }
+        batches.set_next_id(recovered.next_batch_id);
 
         let state = Arc::new(ServerState {
             store,
             queue: JobQueue::new(config.queue_capacity),
             cache,
+            batches,
             metrics: ServeMetrics::new(),
             stats: Arc::new(StatsCollector::new()),
             profiler: Arc::new(srm_obs::Profiler::new()),
@@ -400,7 +427,7 @@ impl Server {
         // Boot-time compaction: fold the replayed WAL into a fresh
         // snapshot so the next crash replays a short log.
         if let Some(persister) = &state.persister {
-            persister.snapshot_now(&state.store, &state.cache);
+            persister.snapshot_now(&state.store, &state.cache, &state.batches);
         }
 
         let accept_state = Arc::clone(&state);
@@ -464,7 +491,7 @@ impl Server {
             let _ = worker.join();
         }
         if let Some(persister) = &self.state.persister {
-            persister.snapshot_now(&self.state.store, &self.state.cache);
+            persister.snapshot_now(&self.state.store, &self.state.cache, &self.state.batches);
         }
         Arc::clone(&self.state)
     }
@@ -535,6 +562,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
         ("POST", "/v1/jobs") => submit_job(state, &request.body),
+        ("POST", "/v1/batches") => submit_batch(state, &request.body),
         ("GET", "/healthz") => health(state),
         ("GET", "/metrics") => Response::text(
             200,
@@ -549,6 +577,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                     conn_queue_depth: state.conns.len(),
                     uptime_secs: state.uptime_secs(),
                     phases: state.profiler.snapshot(),
+                    batches_active: state.batches.active(),
                 },
                 state.wal_stats(),
             ),
@@ -574,7 +603,13 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                 } else {
                     Response::error(405, "method-not-allowed", "use GET")
                 }
-            } else if matches!(path, "/v1/jobs" | "/healthz" | "/metrics") {
+            } else if let Some(id) = path.strip_prefix("/v1/batches/") {
+                if method == "GET" {
+                    batch_status(state, id)
+                } else {
+                    Response::error(405, "method-not-allowed", "use GET")
+                }
+            } else if matches!(path, "/v1/jobs" | "/v1/batches" | "/healthz" | "/metrics") {
                 Response::error(405, "method-not-allowed", "wrong method for this path")
             } else {
                 Response::error(404, "not-found", &format!("no route for `{path}`"))
@@ -700,6 +735,27 @@ fn serve_from_cache(
     cache_key: &str,
     result: Value,
 ) -> Response {
+    let id = cache_served_job(state, spec, cache_key, result);
+    Response::json(
+        201,
+        &Value::obj(vec![
+            ("id", Value::Str(id)),
+            ("status", Value::Str("done".to_owned())),
+            ("cached", Value::Bool(true)),
+            ("cache_key", Value::Str(cache_key.to_owned())),
+        ]),
+    )
+}
+
+/// Allocates an already-done job record for a fit-cache hit and emits
+/// its lifecycle events — the shared tail of [`serve_from_cache`] and
+/// batch submission.
+fn cache_served_job(
+    state: &Arc<ServerState>,
+    spec: &JobSpec,
+    cache_key: &str,
+    result: Value,
+) -> String {
     let id = state.store.allocate_id();
     let mut record = JobRecord::new(id.clone(), spec.kind, cache_key.to_owned(), JobStatus::Done);
     record.cached = true;
@@ -728,16 +784,7 @@ fn serve_from_cache(
     if let Some(sink) = trace {
         let _ = sink.flush();
     }
-
-    Response::json(
-        201,
-        &Value::obj(vec![
-            ("id", Value::Str(id)),
-            ("status", Value::Str("done".to_owned())),
-            ("cached", Value::Bool(true)),
-            ("cache_key", Value::Str(cache_key.to_owned())),
-        ]),
-    )
+    id
 }
 
 fn open_trace(state: &Arc<ServerState>, id: &str) -> Option<Arc<JsonlSink>> {
@@ -858,6 +905,7 @@ fn cancel_job(state: &Arc<ServerState>, id: &str) -> Response {
             if status == 200 {
                 state.metrics.jobs_cancelled.incr();
                 state.persist_terminal(id);
+                note_batch_terminal(state, id);
             }
             Response::json(
                 status,
@@ -866,6 +914,332 @@ fn cancel_job(state: &Arc<ServerState>, id: &str) -> Response {
                     ("status", Value::Str(label.to_owned())),
                 ]),
             )
+        }
+    }
+}
+
+/// What will become of one batch item, decided before anything is
+/// allocated so admission can stay all-or-nothing.
+enum ItemPlan {
+    /// Same cache key as an earlier item of this batch: share its job.
+    Alias(usize),
+    /// Fit-cache hit: allocate an already-done job around the result.
+    Cached(Value),
+    /// Needs sampling: allocate a queued job.
+    Fresh,
+}
+
+/// `POST /v1/batches` — fans one shared fit spec over N datasets.
+///
+/// Every item becomes an ordinary job (same submit path, cache, WAL,
+/// and workers as `POST /v1/jobs`), so item results are byte-identical
+/// to individually submitted jobs with the derived seeds. Admission is
+/// all-or-nothing: the whole batch is rejected with 429 unless every
+/// item that needs sampling fits on the job queue together.
+fn submit_batch(state: &Arc<ServerState>, body: &[u8]) -> Response {
+    if state.shutting_down() {
+        return Response::error(503, "shutting-down", "server is draining; retry elsewhere");
+    }
+    let text = String::from_utf8_lossy(body);
+    let json = match parse(&text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, "bad-json", &format!("body is not JSON: {e}")),
+    };
+    let request = match crate::batch::parse_batch(&json) {
+        Ok(r) => r,
+        Err(message) => return Response::error(400, "bad-request", &message),
+    };
+
+    // Plan first, mutate second: classify every item without touching
+    // the job store so a capacity rejection leaves no trace.
+    let mut plans: Vec<ItemPlan> = Vec::with_capacity(request.items.len());
+    let mut first_by_key: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for (index, (_, spec)) in request.items.iter().enumerate() {
+        let key = spec.cache_key();
+        if let Some(&first) = first_by_key.get(&key) {
+            plans.push(ItemPlan::Alias(first));
+            continue;
+        }
+        first_by_key.insert(key, index);
+        match state.cache.lookup(&spec.cache_key()) {
+            Some(result) => plans.push(ItemPlan::Cached(result)),
+            None => plans.push(ItemPlan::Fresh),
+        }
+    }
+    let fresh = plans
+        .iter()
+        .filter(|p| matches!(p, ItemPlan::Fresh))
+        .count();
+    if state.queue.len() + fresh > state.queue.capacity() {
+        state.metrics.jobs_rejected.add(fresh as u64);
+        return Response::error(
+            429,
+            "queue-full",
+            "job queue cannot take the whole batch; retry later",
+        )
+        .with_header("Retry-After", &state.retry_after_secs.to_string());
+    }
+
+    let batch_id = state.batches.allocate_id();
+    let mut items: Vec<BatchItemRef> = Vec::with_capacity(plans.len());
+    let mut queued: Vec<QueuedJob> = Vec::new();
+    let mut pending_ids: Vec<String> = Vec::new();
+    let mut cache_hits = 0u64;
+    for (plan, (label, spec)) in plans.into_iter().zip(request.items) {
+        let seed = spec.mcmc.seed;
+        match plan {
+            ItemPlan::Alias(first) => {
+                cache_hits += 1;
+                let job_id = items[first].job_id.clone();
+                items.push(BatchItemRef {
+                    label,
+                    job_id,
+                    seed,
+                    cached: true,
+                });
+            }
+            ItemPlan::Cached(result) => {
+                cache_hits += 1;
+                let key = spec.cache_key();
+                let job_id = cache_served_job(state, &spec, &key, result);
+                items.push(BatchItemRef {
+                    label,
+                    job_id,
+                    seed,
+                    cached: true,
+                });
+            }
+            ItemPlan::Fresh => {
+                let key = spec.cache_key();
+                let id = state.store.allocate_id();
+                state.store.insert(JobRecord::new(
+                    id.clone(),
+                    spec.kind,
+                    key.clone(),
+                    JobStatus::Queued,
+                ));
+                if let Some(persister) = &state.persister {
+                    persister.record_submit(&id, &spec);
+                }
+                let trace = open_trace(state, &id);
+                let recorder = job_recorder(state, trace.as_ref());
+                recorder.record(&Event::JobStart {
+                    job_id: id.clone(),
+                    kind: spec.kind.label().to_owned(),
+                    cache_key: key.clone(),
+                });
+                recorder.record(&Event::CacheMiss { cache_key: key });
+                state.metrics.jobs_submitted.incr();
+                let deadline = spec
+                    .timeout_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                queued.push(QueuedJob {
+                    id: id.clone(),
+                    spec,
+                    deadline,
+                    trace,
+                    submitted: Instant::now(),
+                });
+                pending_ids.push(id.clone());
+                items.push(BatchItemRef {
+                    label,
+                    job_id: id,
+                    seed,
+                    cached: false,
+                });
+            }
+        }
+    }
+
+    let record = BatchRecord {
+        id: batch_id.clone(),
+        master_seed: request.master_seed,
+        items,
+        cache_hits,
+        remaining: 0, // set by BatchStore::insert
+        submitted: Instant::now(),
+    };
+    state.stats.record(&Event::BatchStart {
+        batch_id: batch_id.clone(),
+        items: record.items.len(),
+        master_seed: request.master_seed,
+    });
+    // Register the batch BEFORE queueing its jobs so a fast worker's
+    // terminal transition always finds it in the reverse index.
+    state.batches.insert(record.clone(), &pending_ids);
+    if let Some(persister) = &state.persister {
+        persister.record_batch(&record);
+    }
+    state.metrics.batches_submitted.incr();
+    state.metrics.batch_items.add(record.items.len() as u64);
+    state.metrics.batch_cache_hits.add(cache_hits);
+
+    // Items terminal at submit (cache-served jobs and their aliases)
+    // never pass through a worker, so their batch events fire here.
+    let pending: std::collections::HashSet<&String> = pending_ids.iter().collect();
+    for (index, item) in record.items.iter().enumerate() {
+        if !pending.contains(&item.job_id) {
+            state.stats.record(&Event::BatchItemDone {
+                batch_id: batch_id.clone(),
+                item: index,
+                label: item.label.clone(),
+                status: "done".to_owned(),
+                cached: true,
+                wall_ms: 0.0,
+            });
+        }
+    }
+    if pending_ids.is_empty() {
+        state.stats.record(&Event::BatchDone {
+            batch_id: batch_id.clone(),
+            items: record.items.len(),
+            failed: 0,
+            cache_hits: cache_hits as usize,
+            wall_ms: 0.0,
+        });
+    }
+
+    for job in queued {
+        let id = job.id.clone();
+        // Capacity was pre-checked; requeue only fails once shutdown
+        // closed the queue, in which case the job dies cancelled.
+        if state.queue.requeue(job).is_err() {
+            state.store.with(&id, |r| {
+                r.status = JobStatus::Cancelled;
+            });
+            state.persist_terminal(&id);
+            state.metrics.jobs_cancelled.incr();
+            note_batch_terminal(state, &id);
+        }
+    }
+
+    match state.batches.get(&batch_id) {
+        Some(registered) => Response::json(202, &batch_rollup(state, &registered)),
+        None => Response::error(500, "missing-batch", "batch vanished during submission"),
+    }
+}
+
+/// `GET /v1/batches/{id}` — per-item status/results and the progress
+/// rollup.
+fn batch_status(state: &Arc<ServerState>, id: &str) -> Response {
+    match state.batches.get(id) {
+        Some(record) => Response::json(200, &batch_rollup(state, &record)),
+        None => Response::error(404, "not-found", &format!("unknown batch `{id}`")),
+    }
+}
+
+/// Renders a batch document: per-item status (with the result inlined
+/// once the item's job is done) plus lifecycle counts.
+fn batch_rollup(state: &Arc<ServerState>, record: &BatchRecord) -> Value {
+    let mut counts = [0usize; 5]; // queued running done failed cancelled
+    let items: Vec<Value> = record
+        .items
+        .iter()
+        .map(|item| {
+            let job = state.store.get(&item.job_id);
+            let status = job.as_ref().map_or("unknown", |r| r.status.label());
+            if let Some(r) = &job {
+                counts[match r.status {
+                    JobStatus::Queued => 0,
+                    JobStatus::Running => 1,
+                    JobStatus::Done => 2,
+                    JobStatus::Failed => 3,
+                    JobStatus::Cancelled => 4,
+                }] += 1;
+            }
+            let mut fields: Vec<(&str, Value)> = vec![
+                ("label", Value::Str(item.label.clone())),
+                ("job", Value::Str(item.job_id.clone())),
+                ("seed", Value::Num(item.seed as f64)),
+                ("cached", Value::Bool(item.cached)),
+                ("status", Value::Str(status.to_owned())),
+            ];
+            if let Some(r) = job {
+                fields.push(("wall_ms", Value::Num(r.wall_ms)));
+                if let Some(result) = r.result {
+                    fields.push(("result", result));
+                }
+                if let Some((kind, message)) = r.error {
+                    fields.push(("error_kind", Value::Str(kind)));
+                    fields.push(("error_message", Value::Str(message)));
+                }
+            }
+            Value::obj(fields)
+        })
+        .collect();
+    let status = if record.remaining == 0 {
+        "done"
+    } else {
+        "running"
+    };
+    Value::obj(vec![
+        ("id", Value::Str(record.id.clone())),
+        ("status", Value::Str(status.to_owned())),
+        ("master_seed", Value::Num(record.master_seed as f64)),
+        ("cache_hits", Value::Num(record.cache_hits as f64)),
+        ("remaining", Value::Num(record.remaining as f64)),
+        (
+            "progress",
+            Value::obj(vec![
+                ("total", Value::Num(record.items.len() as f64)),
+                ("queued", Value::Num(counts[0] as f64)),
+                ("running", Value::Num(counts[1] as f64)),
+                ("done", Value::Num(counts[2] as f64)),
+                ("failed", Value::Num(counts[3] as f64)),
+                ("cancelled", Value::Num(counts[4] as f64)),
+            ]),
+        ),
+        ("items", Value::Arr(items)),
+    ])
+}
+
+/// Tells the batch registry that `job_id` reached a terminal state and
+/// emits `batch-item-done` (per affected item) and `batch-done` (when
+/// a batch's last job finishes) into the server's event stream.
+fn note_batch_terminal(state: &Arc<ServerState>, job_id: &str) {
+    let progresses = state.batches.note_terminal(job_id);
+    if progresses.is_empty() {
+        return;
+    }
+    let (status, cached) = state.store.get(job_id).map_or_else(
+        || ("done".to_owned(), false),
+        |r| (r.status.label().to_owned(), r.cached),
+    );
+    for progress in progresses {
+        let Some(record) = state.batches.get(&progress.batch_id) else {
+            continue;
+        };
+        for index in &progress.item_indices {
+            let Some(item) = record.items.get(*index) else {
+                continue;
+            };
+            state.stats.record(&Event::BatchItemDone {
+                batch_id: progress.batch_id.clone(),
+                item: *index,
+                label: item.label.clone(),
+                status: status.clone(),
+                cached: cached || item.cached,
+                wall_ms: progress.wall_ms,
+            });
+        }
+        if progress.remaining == 0 {
+            let failed = record
+                .items
+                .iter()
+                .filter(|item| {
+                    state.store.get(&item.job_id).is_some_and(|r| {
+                        matches!(r.status, JobStatus::Failed | JobStatus::Cancelled)
+                    })
+                })
+                .count();
+            state.stats.record(&Event::BatchDone {
+                batch_id: progress.batch_id.clone(),
+                items: record.items.len(),
+                failed,
+                cache_hits: record.cache_hits as usize,
+                wall_ms: progress.wall_ms,
+            });
         }
     }
 }
@@ -908,6 +1282,7 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
         .unwrap_or(false);
     if !claimed {
         state.persist_terminal(&job.id);
+        note_batch_terminal(state, &job.id);
         finish(job, &recorder, "cancelled", 0.0);
         return;
     }
@@ -949,6 +1324,7 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
         });
         state.persist_terminal(&job.id);
         state.metrics.jobs_cancelled.incr();
+        note_batch_terminal(state, &job.id);
         finish(job, &recorder, "cancelled", wall_ms);
         return;
     }
@@ -966,6 +1342,7 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
             state.persist_terminal(&job.id);
             state.metrics.jobs_done.incr();
             state.metrics.job_wall_ms.observe(wall_ms);
+            note_batch_terminal(state, &job.id);
             if let Some(path) = state.manifest_path(&job.id) {
                 let mut manifest = output.manifest;
                 manifest.fill_from_stats(&per_job, output.kept_draws);
@@ -981,6 +1358,7 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
             });
             state.persist_terminal(&job.id);
             state.metrics.jobs_failed.incr();
+            note_batch_terminal(state, &job.id);
             finish(job, &recorder, "failed", wall_ms);
         }
     }
@@ -1150,6 +1528,179 @@ mod tests {
         server.request_shutdown();
         let state = server.join();
         assert_eq!(state.metrics.jobs_cancelled.get(), 1);
+    }
+
+    fn wait_batch_done(addr: SocketAddr, id: &str) -> Value {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let (status, body) = http(addr, "GET", &format!("/v1/batches/{id}"), "");
+            assert_eq!(status, 200, "{body}");
+            let doc = parse(&body).unwrap();
+            if doc.get("status").unwrap().as_str() == Some("done") {
+                return doc;
+            }
+            assert!(Instant::now() < deadline, "batch did not finish in time");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn wait_job_result(addr: SocketAddr, id: &str) -> String {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let (status, result) = http(addr, "GET", &format!("/v1/results/{id}"), "");
+            if status == 200 {
+                return result;
+            }
+            assert_eq!(status, 202, "{result}");
+            assert!(Instant::now() < deadline, "job did not finish in time");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    const BATCH_BODY: &str = r#"{"model":"model0","chains":1,"samples":120,"burn_in":40,"seed":7,
+        "items":[{"label":"named","dataset":"short_campaign_25"},
+                 {"label":"inline","counts":[5,3,4,1,2,0,1]}]}"#;
+
+    #[test]
+    fn batch_items_match_individually_submitted_jobs_byte_for_byte() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let (status, body) = http(server.addr(), "POST", "/v1/batches", BATCH_BODY);
+        assert_eq!(status, 202, "{body}");
+        let batch_id = parse(&body)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let doc = wait_batch_done(server.addr(), &batch_id);
+        let items = doc.get("items").unwrap().as_arr().unwrap().to_vec();
+        assert_eq!(items.len(), 2);
+        assert_eq!(
+            doc.get("progress").unwrap().get("done").unwrap().as_f64(),
+            Some(2.0)
+        );
+
+        // Re-run each item as a lone job on a FRESH server (no shared
+        // cache) with the batch's derived seed: results must be
+        // byte-identical — the batch item IS that job.
+        let lone = Server::start(ServerConfig::default()).unwrap();
+        let singles = [
+            r#"{"kind":"fit","dataset":"short_campaign_25","model":"model0","chains":1,"samples":120,"burn_in":40,"seed":SEED}"#,
+            r#"{"kind":"fit","counts":[5,3,4,1,2,0,1],"model":"model0","chains":1,"samples":120,"burn_in":40,"seed":SEED}"#,
+        ];
+        for (item, template) in items.iter().zip(singles) {
+            assert_eq!(item.get("status").unwrap().as_str(), Some("done"));
+            let seed = item.get("seed").unwrap().as_f64().unwrap() as u64;
+            let job_id = item.get("job").unwrap().as_str().unwrap();
+            let batched = wait_job_result(server.addr(), job_id);
+            // The rollup inlines the identical result document.
+            assert_eq!(
+                item.get("result").unwrap().to_json(),
+                parse(&batched).unwrap().to_json()
+            );
+            let (status, submitted) = http(
+                lone.addr(),
+                "POST",
+                "/v1/jobs",
+                &template.replace("SEED", &seed.to_string()),
+            );
+            assert_eq!(status, 202, "{submitted}");
+            let lone_id = parse(&submitted)
+                .unwrap()
+                .get("id")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_owned();
+            assert_eq!(wait_job_result(lone.addr(), &lone_id), batched);
+        }
+        lone.request_shutdown();
+        let _ = lone.join();
+        server.request_shutdown();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn batch_duplicates_alias_and_resubmission_is_fully_cached() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let body = r#"{"model":"model0","chains":1,"samples":100,"burn_in":40,"seed":3,
+            "items":[{"label":"a","counts":[4,2,1,0,1]},
+                     {"label":"twin","counts":[4,2,1,0,1]},
+                     {"label":"b","counts":[2,2,2,1]}]}"#;
+        let (status, first) = http(server.addr(), "POST", "/v1/batches", body);
+        assert_eq!(status, 202, "{first}");
+        let first = parse(&first).unwrap();
+        // The in-batch duplicate aliases item `a`'s job: same job id,
+        // no extra sampling.
+        assert_eq!(first.get("cache_hits").unwrap().as_f64(), Some(1.0));
+        let items = first.get("items").unwrap().as_arr().unwrap().to_vec();
+        assert_eq!(
+            items[0].get("job").unwrap().as_str(),
+            items[1].get("job").unwrap().as_str()
+        );
+        assert_eq!(items[1].get("cached"), Some(&Value::Bool(true)));
+        let batch_id = first.get("id").unwrap().as_str().unwrap().to_owned();
+        let _ = wait_batch_done(server.addr(), &batch_id);
+        let sampled_before = server.state().metrics.job_wall_ms.count();
+
+        // Resubmitting the identical batch answers entirely from the
+        // fit cache: done at submit, zero new sampling.
+        let (status, second) = http(server.addr(), "POST", "/v1/batches", body);
+        assert_eq!(status, 202, "{second}");
+        let second = parse(&second).unwrap();
+        assert_eq!(second.get("status").unwrap().as_str(), Some("done"));
+        assert_eq!(second.get("cache_hits").unwrap().as_f64(), Some(3.0));
+        assert_eq!(
+            server.state().metrics.job_wall_ms.count(),
+            sampled_before,
+            "cached batch must not execute any job"
+        );
+        let (_, page) = http(server.addr(), "GET", "/metrics", "");
+        assert!(page.contains("srm_serve_batches_submitted_total 2"));
+        assert!(page.contains("srm_serve_batch_items_total 6"));
+        assert!(page.contains("srm_serve_batch_cache_hits_total 4"));
+        assert!(page.contains("srm_serve_batches_active 0"));
+        server.request_shutdown();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn restart_recovers_the_batch_registry() {
+        let dir = std::env::temp_dir().join(format!("srm_serve_batchwal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServerConfig {
+            state_dir: Some(dir.to_string_lossy().into_owned()),
+            workers: 1,
+            ..ServerConfig::default()
+        };
+
+        let server = Server::start(config()).unwrap();
+        let (status, body) = http(server.addr(), "POST", "/v1/batches", BATCH_BODY);
+        assert_eq!(status, 202, "{body}");
+        let batch_id = parse(&body)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let done = wait_batch_done(server.addr(), &batch_id);
+        server.request_shutdown();
+        let _ = server.join();
+
+        // The registry, per-item job links, and results all survive a
+        // process death; new batch ids keep counting upward.
+        let server = Server::start(config()).unwrap();
+        let recovered = wait_batch_done(server.addr(), &batch_id);
+        assert_eq!(
+            recovered.get("items").unwrap().to_json(),
+            done.get("items").unwrap().to_json()
+        );
+        assert_eq!(server.state().batches.allocate_id(), "batch-2");
+        server.request_shutdown();
+        let _ = server.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use srm_obs::json::{parse, Value};
 use srm_obs::Counter;
 use srm_store::{crash_point, load_snapshot, read_records, write_snapshot, SyncPolicy, WalWriter};
 
+use crate::batch::{BatchRecord, BatchStore};
 use crate::job::{JobKind, JobRecord, JobSpec, JobStatus, JobStore};
 use crate::FitCache;
 
@@ -101,6 +102,12 @@ pub struct RecoveredState {
     pub cache: Vec<(String, Value)>,
     /// The job number the next allocation must use.
     pub next_id: u64,
+    /// Batch registry records in wire form, ascending batch order.
+    /// The server rebuilds [`BatchRecord`]s from these and recomputes
+    /// each batch's pending-job set against the recovered job store.
+    pub batches: Vec<Value>,
+    /// The batch number the next allocation must use.
+    pub next_batch_id: u64,
 }
 
 /// Counters the metrics endpoint exports for the persistence layer.
@@ -157,17 +164,26 @@ impl Persister {
         std::fs::create_dir_all(dir)?;
         let mut jobs: HashMap<String, ReplayJob> = HashMap::new();
         let mut cache: Vec<(String, Value)> = Vec::new();
+        let mut batches: HashMap<String, Value> = HashMap::new();
         let mut next_id: u64 = 1;
+        let mut next_batch_id: u64 = 1;
 
         if let Some(payload) = load_snapshot(&dir.join(SNAPSHOT_FILE))? {
             if let Ok(doc) = parse(&String::from_utf8_lossy(&payload)) {
-                apply_snapshot(&doc, &mut jobs, &mut cache, &mut next_id);
+                apply_snapshot(
+                    &doc,
+                    &mut jobs,
+                    &mut cache,
+                    &mut batches,
+                    &mut next_id,
+                    &mut next_batch_id,
+                );
             }
         }
         let (records, report) = read_records(&dir.join(WAL_FILE))?;
         for payload in &records {
             if let Ok(op) = parse(&String::from_utf8_lossy(payload)) {
-                apply_op(&op, &mut jobs, &mut cache);
+                apply_op(&op, &mut jobs, &mut cache, &mut batches);
             }
         }
         let wal = WalWriter::open(&dir.join(WAL_FILE), policy, &report)?;
@@ -176,6 +192,16 @@ impl Persister {
             cache,
             ..RecoveredState::default()
         };
+        let mut replayed_batches: Vec<Value> = batches.into_values().collect();
+        replayed_batches
+            .sort_by_key(|wire| wire.get("id").and_then(Value::as_str).map_or(0, job_number));
+        for wire in &replayed_batches {
+            if let Some(id) = wire.get("id").and_then(Value::as_str) {
+                next_batch_id = next_batch_id.max(job_number(id) + 1);
+            }
+        }
+        recovered.batches = replayed_batches;
+        recovered.next_batch_id = next_batch_id;
         let mut replayed: Vec<ReplayJob> = jobs.into_values().collect();
         replayed.sort_by_key(|j| job_number(&j.record.id));
         let mut pending_specs: HashMap<String, Value> = HashMap::new();
@@ -290,6 +316,17 @@ impl Persister {
         self.append(Value::obj(fields));
     }
 
+    /// Logs a batch registration (the full wire record). Batch
+    /// membership never changes after submit, so one op per batch is
+    /// the whole registry trail; item jobs persist through their own
+    /// ops.
+    pub fn record_batch(&self, record: &BatchRecord) {
+        self.append(Value::obj(vec![
+            ("op", Value::Str("batch".to_owned())),
+            ("batch", record.to_wire()),
+        ]));
+    }
+
     /// Logs the removal of a record whose queue push was rejected
     /// after the id was allocated (429), so replay drops it too.
     pub fn record_drop(&self, id: &str) {
@@ -302,9 +339,9 @@ impl Persister {
 
     /// Writes a snapshot and truncates the log if `snapshot_every`
     /// appends have accumulated. Call after terminal transitions.
-    pub fn maybe_snapshot(&self, store: &JobStore, cache: &FitCache) {
+    pub fn maybe_snapshot(&self, store: &JobStore, cache: &FitCache, batches: &BatchStore) {
         if self.appends_since_snapshot.load(Ordering::Relaxed) >= self.snapshot_every {
-            self.snapshot_now(store, cache);
+            self.snapshot_now(store, cache, batches);
         }
     }
 
@@ -314,11 +351,11 @@ impl Persister {
     /// transition that reached the store before collection is in the
     /// snapshot; any that had not yet appended lands in the fresh log
     /// and replays idempotently over the snapshot.
-    pub fn snapshot_now(&self, store: &JobStore, cache: &FitCache) {
+    pub fn snapshot_now(&self, store: &JobStore, cache: &FitCache, batches: &BatchStore) {
         let mut wal = lock_ignoring_poison(&self.wal);
         let doc = {
             let pending = lock_ignoring_poison(&self.pending_specs);
-            snapshot_doc(store, cache, &pending)
+            snapshot_doc(store, cache, batches, &pending)
         };
         crash_point("snapshot-write");
         if let Err(e) = write_snapshot(&self.dir.join(SNAPSHOT_FILE), doc.to_json().as_bytes()) {
@@ -351,7 +388,12 @@ impl Persister {
 }
 
 /// Serialises the full live state.
-fn snapshot_doc(store: &JobStore, cache: &FitCache, pending: &HashMap<String, Value>) -> Value {
+fn snapshot_doc(
+    store: &JobStore,
+    cache: &FitCache,
+    batches: &BatchStore,
+    pending: &HashMap<String, Value>,
+) -> Value {
     let jobs: Vec<Value> = store
         .all_records()
         .into_iter()
@@ -382,11 +424,21 @@ fn snapshot_doc(store: &JobStore, cache: &FitCache, pending: &HashMap<String, Va
         .into_iter()
         .map(|(key, result)| Value::obj(vec![("key", Value::Str(key)), ("result", result)]))
         .collect();
+    let batch_entries: Vec<Value> = batches
+        .all_records()
+        .into_iter()
+        .map(|record| record.to_wire())
+        .collect();
     Value::obj(vec![
         ("version", Value::Num(1.0)),
         ("next_id", Value::Num(store.next_job_number() as f64)),
+        (
+            "next_batch_id",
+            Value::Num(batches.next_batch_number() as f64),
+        ),
         ("jobs", Value::Arr(jobs)),
         ("cache", Value::Arr(cache_entries)),
+        ("batches", Value::Arr(batch_entries)),
     ])
 }
 
@@ -397,11 +449,18 @@ fn apply_snapshot(
     doc: &Value,
     jobs: &mut HashMap<String, ReplayJob>,
     cache: &mut Vec<(String, Value)>,
+    batches: &mut HashMap<String, Value>,
     next_id: &mut u64,
+    next_batch_id: &mut u64,
 ) {
     if let Some(n) = doc.get("next_id").and_then(Value::as_f64) {
         if n >= 1.0 {
             *next_id = n as u64;
+        }
+    }
+    if let Some(n) = doc.get("next_batch_id").and_then(Value::as_f64) {
+        if n >= 1.0 {
+            *next_batch_id = n as u64;
         }
     }
     for entry in doc.get("jobs").and_then(Value::as_arr).unwrap_or(&[]) {
@@ -418,6 +477,12 @@ fn apply_snapshot(
             continue;
         };
         cache.push((key.to_owned(), result.clone()));
+    }
+    for entry in doc.get("batches").and_then(Value::as_arr).unwrap_or(&[]) {
+        let Some(id) = entry.get("id").and_then(Value::as_str) else {
+            continue;
+        };
+        batches.insert(id.to_owned(), entry.clone());
     }
 }
 
@@ -448,10 +513,27 @@ fn replay_job_from(entry: &Value) -> Option<ReplayJob> {
 /// Applies one WAL op to the replay map. Ops are idempotent and
 /// status-monotone, so replaying an op the snapshot already captured
 /// is a no-op.
-fn apply_op(op: &Value, jobs: &mut HashMap<String, ReplayJob>, cache: &mut Vec<(String, Value)>) {
+fn apply_op(
+    op: &Value,
+    jobs: &mut HashMap<String, ReplayJob>,
+    cache: &mut Vec<(String, Value)>,
+    batches: &mut HashMap<String, Value>,
+) {
     let Some(name) = op.get("op").and_then(Value::as_str) else {
         return;
     };
+    if name == "batch" {
+        if let Some(id) = op
+            .get("batch")
+            .and_then(|wire| wire.get("id"))
+            .and_then(Value::as_str)
+        {
+            if let Some(wire) = op.get("batch") {
+                batches.insert(id.to_owned(), wire.clone());
+            }
+        }
+        return;
+    }
     let Some(id) = op.get("id").and_then(Value::as_str) else {
         return;
     };
@@ -626,7 +708,7 @@ mod tests {
             p.record_claim("job-1");
             p.record_terminal(&record);
             assert!(p.stats().records >= 3);
-            p.snapshot_now(&store, &cache);
+            p.snapshot_now(&store, &cache, &BatchStore::new());
             let stats = p.stats();
             assert_eq!(stats.records, 0, "log should be truncated");
             assert_eq!(stats.snapshots, 1);
@@ -652,7 +734,7 @@ mod tests {
             store.insert(record.clone());
             p.record_submit("job-1", &spec);
             p.record_terminal(&record);
-            p.snapshot_now(&store, &cache);
+            p.snapshot_now(&store, &cache, &BatchStore::new());
             // Crash between store mutation and snapshot can leave the
             // same terminal op in both snapshot and (fresh) WAL.
             p.record_terminal(&record);
@@ -725,6 +807,47 @@ mod tests {
     }
 
     #[test]
+    fn batch_ops_replay_through_log_and_snapshot() {
+        use crate::batch::{BatchItemRef, BatchRecord, BatchStore};
+        let dir = temp_dir("batch");
+        let record = BatchRecord {
+            id: "batch-3".to_owned(),
+            master_seed: 42,
+            items: vec![BatchItemRef {
+                label: "a".to_owned(),
+                job_id: "job-1".to_owned(),
+                seed: 7,
+                cached: false,
+            }],
+            cache_hits: 0,
+            remaining: 1,
+            submitted: std::time::Instant::now(),
+        };
+        {
+            let (p, _) = Persister::open(&dir, SyncPolicy::Never, 1_000).unwrap();
+            p.record_batch(&record);
+        }
+        // Replayed from the WAL alone.
+        let batches = BatchStore::new();
+        {
+            let (p, recovered) = Persister::open(&dir, SyncPolicy::Never, 1_000).unwrap();
+            assert_eq!(recovered.batches.len(), 1);
+            assert_eq!(recovered.next_batch_id, 4);
+            let back = BatchRecord::from_wire(&recovered.batches[0]).unwrap();
+            assert_eq!(back.id, "batch-3");
+            assert_eq!(back.items[0].job_id, "job-1");
+            batches.insert(back, &[]);
+            // Compact: the batch must survive via the snapshot too.
+            p.snapshot_now(&JobStore::new(), &FitCache::with_capacity(4), &batches);
+            assert_eq!(p.stats().records, 0);
+        }
+        let (_, recovered) = Persister::open(&dir, SyncPolicy::Never, 1_000).unwrap();
+        assert_eq!(recovered.batches.len(), 1);
+        assert_eq!(recovered.next_batch_id, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn maybe_snapshot_honours_the_cadence() {
         let dir = temp_dir("cadence");
         let spec = fit_spec(31);
@@ -732,11 +855,11 @@ mod tests {
         let cache = FitCache::with_capacity(8);
         let (p, _) = Persister::open(&dir, SyncPolicy::Never, 3).unwrap();
         p.record_submit("job-1", &spec);
-        p.maybe_snapshot(&store, &cache);
+        p.maybe_snapshot(&store, &cache, &BatchStore::new());
         assert_eq!(p.stats().snapshots, 0, "below cadence: no snapshot");
         p.record_claim("job-1");
         p.record_terminal(&done_record("job-1", &spec, 1.0));
-        p.maybe_snapshot(&store, &cache);
+        p.maybe_snapshot(&store, &cache, &BatchStore::new());
         assert_eq!(p.stats().snapshots, 1, "cadence reached: snapshot");
         assert_eq!(p.stats().records, 0);
         let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Smoke test for batch estimation: fans one fit spec over four
+# registry datasets through POST /v1/batches, checks every item's
+# posterior against an individual `srm fit` run with the item's
+# derived seed, re-submits the batch (must be fully cache-served),
+# and runs the same fleet through `srm fit --batch`.
+#
+# Requires: a release build of the `srm` binary, curl, jq.
+set -euo pipefail
+
+SRM=${SRM:-target/release/srm}
+WORK=$(mktemp -d)
+SERVER_PID=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "batch-smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$WORK/server.log" >&2 || true
+    exit 1
+}
+
+[ -x "$SRM" ] || fail "srm binary not found at $SRM (cargo build --release first)"
+
+MODEL=model0 CHAINS=2 SAMPLES=400 BURN_IN=150 SEED=11
+DATASETS="short_campaign_25 ntds_26 tandem_20w ohba_sshape_22w"
+
+echo "batch-smoke: starting server"
+"$SRM" serve --addr 127.0.0.1:0 --port-file "$WORK/srm.port" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$WORK/srm.port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+[ -s "$WORK/srm.port" ] || fail "port file never appeared"
+BASE="http://127.0.0.1:$(cat "$WORK/srm.port")"
+echo "batch-smoke: listening on $BASE"
+
+ITEMS=""
+for DS in $DATASETS; do
+    ITEMS="$ITEMS{\"label\":\"$DS\",\"dataset\":\"$DS\"},"
+done
+BODY=$(printf '{"model":"%s","chains":%d,"samples":%d,"burn_in":%d,"seed":%d,"items":[%s]}' \
+    "$MODEL" "$CHAINS" "$SAMPLES" "$BURN_IN" "$SEED" "${ITEMS%,}")
+
+echo "batch-smoke: submitting a 4-dataset batch"
+SUBMIT=$(curl -sf -X POST "$BASE/v1/batches" -d "$BODY")
+BATCH=$(echo "$SUBMIT" | jq -r .id)
+[ "$(echo "$SUBMIT" | jq -r '.progress.total')" = "4" ] || fail "batch did not admit 4 items"
+
+for _ in $(seq 1 600); do
+    ROLLUP=$(curl -sf "$BASE/v1/batches/$BATCH")
+    STATUS=$(echo "$ROLLUP" | jq -r .status)
+    [ "$STATUS" = "done" ] && break
+    sleep 0.2
+done
+[ "$STATUS" = "done" ] || fail "batch $BATCH still $STATUS after timeout"
+[ "$(echo "$ROLLUP" | jq -r '.progress.done')" = "4" ] || fail "not all items done: $ROLLUP"
+echo "$ROLLUP" >"$WORK/rollup.json"
+
+# Every item must match an individual `srm fit` run with the seed the
+# batch derived for it. The CLI prints summaries at 3 decimals; round
+# the HTTP doubles the same way and diff (the serve integration tests
+# already pin bit-identity of the underlying doubles).
+for DS in $DATASETS; do
+    ITEM=$(jq -c ".items[] | select(.label == \"$DS\")" "$WORK/rollup.json")
+    ITEM_SEED=$(echo "$ITEM" | jq -r .seed)
+    JOB=$(echo "$ITEM" | jq -r .job)
+    [ "$(echo "$ITEM" | jq -r .status)" = "done" ] || fail "item $DS not done: $ITEM"
+    curl -sf "$BASE/v1/results/$JOB" >"$WORK/http_$DS.json"
+    "$SRM" fit --dataset "$DS" --model "$MODEL" --chains "$CHAINS" \
+        --samples "$SAMPLES" --burn-in "$BURN_IN" --seed "$ITEM_SEED" \
+        >"$WORK/cli_$DS.txt"
+    for FIELD in mean median sd; do
+        CLI=$(awk -v f="$FIELD" '$1 == f && $2 == ":" { print $3 }' "$WORK/cli_$DS.txt")
+        HTTP=$(jq -r ".residual.$FIELD" "$WORK/http_$DS.json" | xargs printf '%.3f')
+        [ -n "$CLI" ] || fail "CLI output for $DS missing residual $FIELD"
+        [ "$CLI" = "$HTTP" ] || fail "$DS residual $FIELD differs: CLI=$CLI HTTP=$HTTP"
+    done
+    echo "batch-smoke: $DS matches a lone fit with seed $ITEM_SEED"
+done
+
+echo "batch-smoke: re-submitting (must be fully cache-served)"
+RESUBMIT=$(curl -sf -X POST "$BASE/v1/batches" -d "$BODY")
+[ "$(echo "$RESUBMIT" | jq -r .status)" = "done" ] || fail "cached resubmission not done at submit"
+[ "$(echo "$RESUBMIT" | jq -r .cache_hits)" = "4" ] || fail "expected 4 cache hits: $RESUBMIT"
+
+curl -sf "$BASE/metrics" >"$WORK/metrics.txt" || fail "/metrics fetch failed"
+grep -q '^srm_serve_batches_submitted_total 2$' "$WORK/metrics.txt" \
+    || fail "/metrics missing batches_submitted_total 2"
+grep -q '^srm_serve_batch_items_total 8$' "$WORK/metrics.txt" \
+    || fail "/metrics missing batch_items_total 8"
+grep -q '^srm_serve_batch_cache_hits_total 4$' "$WORK/metrics.txt" \
+    || fail "/metrics missing batch_cache_hits_total 4"
+grep -q '^srm_serve_batches_active 0$' "$WORK/metrics.txt" \
+    || fail "/metrics missing batches_active 0"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+
+echo "batch-smoke: running the same fleet through srm fit --batch"
+mkdir -p "$WORK/fleet"
+printf '1,5\n2,3\n3,4\n4,1\n5,2\n' >"$WORK/fleet/alpha.csv"
+printf '1,4\n2,4\n3,2\n4,2\n5,1\n6,1\n' >"$WORK/fleet/beta.csv"
+printf '1,4\n2,4\n3,2\n4,2\n5,1\n6,1\n' >"$WORK/fleet/beta_twin.csv"
+"$SRM" fit --batch "$WORK/fleet" --model "$MODEL" --chains "$CHAINS" \
+    --samples "$SAMPLES" --burn-in "$BURN_IN" --seed "$SEED" >"$WORK/batch_cli.txt"
+grep -q 'batch     : 3 dataset(s)' "$WORK/batch_cli.txt" \
+    || fail "--batch did not report 3 datasets"
+grep -q 'failed 0' "$WORK/batch_cli.txt" || fail "--batch reported failures"
+grep -q 'cache hits 1' "$WORK/batch_cli.txt" \
+    || fail "--batch did not coalesce the duplicate dataset"
+
+echo "batch-smoke: PASS"

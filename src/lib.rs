@@ -20,6 +20,7 @@
 //! | [`select`] | `srm-select` | WAIC / DIC / grid search |
 //! | [`sbc`] | `srm-sbc` | simulation-based calibration battery |
 //! | [`core`] | `srm-core` | fit & experiment pipeline |
+//! | [`batch`] | `srm-batch` | columnar multi-dataset batch executor |
 //! | [`report`] | `srm-report` | tables, box plots, ASCII charts |
 //! | [`obs`] | `srm-obs` | tracing events, metric sinks, run manifests |
 //! | [`serve`] | `srm-serve` | HTTP estimation service: job queue, fit cache |
@@ -50,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use srm_batch as batch;
 pub use srm_core as core;
 pub use srm_data as data;
 pub use srm_math as math;

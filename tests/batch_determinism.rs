@@ -1,0 +1,149 @@
+//! Batch determinism battery: a batch of N datasets must be
+//! bit-identical to N individual fits, invariant under item
+//! permutation and worker-thread count, and must coalesce duplicate
+//! datasets onto a single sampled fit.
+//!
+//! The crash-recovery half of the battery (kill -9 mid-batch via
+//! `SRM_CRASH_POINT`, restart, byte-identical completed items) lives
+//! in `crates/srm-cli/tests/batch_kill.rs` where the binary and the
+//! service are available.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test helpers
+
+use srm::batch::{item_seed, run_batch, BatchSpec, ItemStatus};
+use srm::core::{Fit, FitConfig};
+use srm::data::{datasets, BugCountData};
+use srm::mcmc::{McmcConfig, PriorSpec, RunOptions};
+use srm::model::DetectionModel;
+
+fn spec(master: u64) -> BatchSpec {
+    BatchSpec {
+        prior: PriorSpec::Poisson {
+            lambda_max: 2_000.0,
+        },
+        model: DetectionModel::PadgettSpurrier,
+        config: FitConfig {
+            mcmc: McmcConfig {
+                chains: 2,
+                burn_in: 100,
+                samples: 200,
+                thin: 1,
+                seed: master,
+            },
+            ..FitConfig::default()
+        },
+        options: RunOptions::none(),
+    }
+}
+
+/// Three observation windows of the paper's primary dataset plus one
+/// synthetic series — realistic shapes, mixed lengths.
+fn fleet() -> Vec<(String, BugCountData)> {
+    let musa = datasets::musa_cc96();
+    vec![
+        ("musa48".to_string(), musa.truncated(48).unwrap()),
+        ("musa72".to_string(), musa.truncated(72).unwrap()),
+        ("musa96".to_string(), musa.clone()),
+        (
+            "synth".to_string(),
+            BugCountData::new(vec![5, 3, 4, 1, 2, 0, 1, 0, 0, 1]).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn batch_of_n_is_bit_identical_to_n_single_fits() {
+    let spec = spec(2_024);
+    let items = fleet();
+    let report = run_batch(&spec, &items, "battery").unwrap();
+    assert_eq!(report.items.len(), items.len());
+    assert_eq!(report.cache_hits, 0);
+    for (item, (label, data)) in report.items.iter().zip(&items) {
+        assert_eq!(&item.label, label);
+        assert_eq!(item.status, ItemStatus::Done);
+        // The derived seed is the reproduction handle: a lone fit
+        // with it must match the batch item bit-for-bit.
+        assert_eq!(item.seed, item_seed(spec.master_seed(), data));
+        let mut config = spec.config;
+        config.mcmc.seed = item.seed;
+        let lone = Fit::try_run(spec.prior, spec.model, data, &config, &spec.options).unwrap();
+        let batched = item.fit.as_ref().unwrap();
+        assert_eq!(batched.fit.output, lone.fit.output, "{label}");
+        assert_eq!(
+            batched.fit.residual_draws, lone.fit.residual_draws,
+            "{label}"
+        );
+        assert_eq!(
+            batched.fit.residual.mean.to_bits(),
+            lone.fit.residual.mean.to_bits(),
+            "{label}"
+        );
+        assert_eq!(
+            batched.fit.waic.total().to_bits(),
+            lone.fit.waic.total().to_bits(),
+            "{label}"
+        );
+        for ((na, da), (nb, db)) in batched.fit.diagnostics.iter().zip(&lone.fit.diagnostics) {
+            assert_eq!(na, nb, "{label}");
+            assert_eq!(da.psrf.to_bits(), db.psrf.to_bits(), "{label}");
+        }
+    }
+}
+
+#[test]
+fn batch_results_survive_permutation_and_any_thread_count() {
+    let base_spec = spec(7);
+    let items = fleet();
+    let baseline = run_batch(&base_spec, &items, "battery").unwrap();
+
+    let mut permuted = items.clone();
+    permuted.reverse();
+    for threads in [1_usize, 2, 4] {
+        let mut spec_t = base_spec.clone();
+        spec_t.options = RunOptions::with_threads(threads);
+        let report = run_batch(&spec_t, &permuted, "battery").unwrap();
+        for item in &report.items {
+            let reference = baseline
+                .items
+                .iter()
+                .find(|r| r.label == item.label)
+                .unwrap();
+            assert_eq!(item.seed, reference.seed, "threads={threads}");
+            assert_eq!(item.dataset_hash, reference.dataset_hash);
+            let (a, b) = (item.fit.as_ref().unwrap(), reference.fit.as_ref().unwrap());
+            assert_eq!(
+                a.fit.output, b.fit.output,
+                "{} threads={threads}",
+                item.label
+            );
+            assert_eq!(
+                a.fit.residual_draws, b.fit.residual_draws,
+                "{} threads={threads}",
+                item.label
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicate_datasets_coalesce_onto_one_fit() {
+    let spec = spec(11);
+    let musa48 = datasets::musa_cc96().truncated(48).unwrap();
+    let items = vec![
+        ("a".to_string(), musa48.clone()),
+        ("b".to_string(), musa48.clone()),
+        ("c".to_string(), musa48),
+    ];
+    let report = run_batch(&spec, &items, "battery").unwrap();
+    assert_eq!(report.cache_hits, 2);
+    assert!(!report.items[0].cached);
+    assert!(report.items[1].cached && report.items[2].cached);
+    let first = report.items[0].fit.as_ref().unwrap();
+    for twin in &report.items[1..] {
+        assert_eq!(twin.seed, report.items[0].seed);
+        assert_eq!(
+            twin.fit.as_ref().unwrap().fit.residual_draws,
+            first.fit.residual_draws
+        );
+    }
+}
