@@ -108,6 +108,38 @@ impl Args {
     pub fn has_switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
+
+    /// FNV-1a fingerprint of the parsed invocation: command, flags
+    /// (sorted, so `HashMap` iteration order cannot leak in), and
+    /// switches. Two invocations with the same effective arguments
+    /// hash identically regardless of flag order on the command line;
+    /// this seeds the content half of the CLI run's trace id
+    /// (DESIGN.md §17).
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= u64::from(0x1fu8);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        eat(self.command.as_bytes());
+        let mut flags: Vec<(&String, &String)> = self.flags.iter().collect();
+        flags.sort();
+        for (k, v) in flags {
+            eat(k.as_bytes());
+            eat(v.as_bytes());
+        }
+        let mut switches: Vec<&String> = self.switches.iter().collect();
+        switches.sort();
+        for s in switches {
+            eat(s.as_bytes());
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +189,35 @@ mod tests {
     fn rejects_malformed_number() {
         let args = Args::parse(&raw(&["fit", "--seed", "abc"]), &["seed"], &[]).unwrap();
         assert!(args.get_parsed::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn content_hash_is_order_insensitive_but_value_sensitive() {
+        let flags = &["data", "seed"];
+        let a = Args::parse(
+            &raw(&["fit", "--data", "x.csv", "--seed", "7", "--verbose"]),
+            flags,
+            &["verbose"],
+        )
+        .unwrap();
+        let b = Args::parse(
+            &raw(&["fit", "--seed", "7", "--verbose", "--data", "x.csv"]),
+            flags,
+            &["verbose"],
+        )
+        .unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        let c = Args::parse(
+            &raw(&["fit", "--data", "x.csv", "--seed", "8", "--verbose"]),
+            flags,
+            &["verbose"],
+        )
+        .unwrap();
+        assert_ne!(a.content_hash(), c.content_hash());
+
+        // Separators keep `--a bc` distinct from `--ab c`-style splits.
+        let d = Args::parse(&raw(&["fit", "--data", "x.csvseed7"]), flags, &[]).unwrap();
+        assert_ne!(a.content_hash(), d.content_hash());
     }
 }

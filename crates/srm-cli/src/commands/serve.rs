@@ -9,6 +9,14 @@
 //! With `--state-dir` the server is also crash-durable: completed
 //! jobs, the fit cache, and in-flight work are logged to a WAL and
 //! recovered after a kill — see the srm-serve `store` module.
+//!
+//! Request correlation (DESIGN.md §17): `--access-log FILE` writes
+//! one JSONL line per request with the trace id and a latency
+//! breakdown (rotated at `--access-log-max-mb`), and
+//! `--flight-recorder` keeps a bounded in-memory ring of recent
+//! events (`--flightrec-capacity` per thread) that is dumped to the
+//! state dir on panic, engine failure, drain, or on demand via
+//! `POST /v1/debug/flightrec`.
 
 use crate::args::{ArgError, Args};
 use srm_serve::{signal, Server, ServerConfig, ServerState};
@@ -29,7 +37,12 @@ const FLAGS: &[&str] = &[
     "shards",
     "http-handlers",
     "conn-backlog",
+    "access-log",
+    "access-log-max-mb",
+    "flightrec-capacity",
 ];
+
+const SWITCHES: &[&str] = &["flight-recorder"];
 
 /// Runs the subcommand. Blocks until a termination signal arrives.
 ///
@@ -38,8 +51,15 @@ const FLAGS: &[&str] = &[
 /// Returns [`ArgError`] on bad flags or when the listener cannot
 /// bind.
 pub fn run(raw: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(raw, FLAGS, &[])?;
-    let config = ServerConfig {
+    let args = Args::parse(raw, FLAGS, SWITCHES)?;
+    let config = build_config(&args)?;
+    serve(config, args.get("port-file"))
+}
+
+/// Maps parsed flags onto a [`ServerConfig`]; split from [`run`] so
+/// tests can check the mapping without binding a listener.
+fn build_config(args: &Args) -> Result<ServerConfig, ArgError> {
+    Ok(ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:8377").to_owned(),
         workers: args.get_parsed("workers", 2usize)?.max(1),
         queue_capacity: args.get_parsed("queue-capacity", 16usize)?,
@@ -57,10 +77,22 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             .max(1),
         http_handlers: args.get_parsed("http-handlers", 8usize)?.max(1),
         conn_backlog: args.get_parsed("conn-backlog", 256usize)?.max(1),
+        access_log: args.get("access-log").map(str::to_owned),
+        access_log_max_bytes: args
+            .get_parsed(
+                "access-log-max-mb",
+                srm_serve::DEFAULT_ACCESS_LOG_MAX_BYTES / (1024 * 1024),
+            )?
+            .max(1)
+            * 1024
+            * 1024,
+        flight_recorder: args.has_switch("flight-recorder"),
+        flightrec_capacity: args
+            .get_parsed("flightrec-capacity", srm_obs::DEFAULT_FLIGHTREC_CAPACITY)?
+            .max(1),
         watch_signals: true,
         gate: None,
-    };
-    serve(config, args.get("port-file"))
+    })
 }
 
 /// Starts the server and blocks until the process-wide signal flag
@@ -160,6 +192,43 @@ mod tests {
         assert!(out.contains("drained and stopped"), "{out}");
         assert!(out.contains("cache"), "{out}");
         let _ = std::fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn maps_tracing_flags_onto_server_config() {
+        let raw: Vec<String> = [
+            "serve",
+            "--access-log",
+            "/tmp/access.jsonl",
+            "--access-log-max-mb",
+            "4",
+            "--flight-recorder",
+            "--flightrec-capacity",
+            "128",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let args = Args::parse(&raw, FLAGS, SWITCHES).unwrap();
+        let config = build_config(&args).unwrap();
+        assert_eq!(config.access_log.as_deref(), Some("/tmp/access.jsonl"));
+        assert_eq!(config.access_log_max_bytes, 4 * 1024 * 1024);
+        assert!(config.flight_recorder);
+        assert_eq!(config.flightrec_capacity, 128);
+
+        // Defaults: tracing extras are off unless asked for.
+        let bare = Args::parse(&["serve".to_owned()], FLAGS, SWITCHES).unwrap();
+        let config = build_config(&bare).unwrap();
+        assert_eq!(config.access_log, None);
+        assert_eq!(
+            config.access_log_max_bytes,
+            srm_serve::DEFAULT_ACCESS_LOG_MAX_BYTES
+        );
+        assert!(!config.flight_recorder);
+        assert_eq!(
+            config.flightrec_capacity,
+            srm_obs::DEFAULT_FLIGHTREC_CAPACITY
+        );
     }
 
     #[test]

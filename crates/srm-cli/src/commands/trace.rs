@@ -10,22 +10,37 @@
 //!   event counts, phase timings, and final convergence state;
 //! * `srm trace lint --file run.jsonl [--strict]` — schema validation:
 //!   unknown event kinds, missing required fields, missing/invalid
-//!   `ms` timestamps, unparseable lines. `--strict` turns any issue
-//!   into a non-zero exit;
+//!   `ms` timestamps, missing/malformed `trace_id` correlation ids
+//!   (schema v7), unparseable lines. `--strict` turns any issue into
+//!   a non-zero exit;
 //! * `srm trace profile --file run.jsonl [--top N]` — the hierarchical
 //!   phase-time table from the trace's `profile` event (written by
-//!   runs with `--profile --trace-out`).
+//!   runs with `--profile --trace-out`);
+//! * `srm trace grep --trace-id <hex> [--access-log F] [--trace-dir D]
+//!   [--file F]` — stitch every line carrying one correlation id into
+//!   a single causal timeline across the access log, per-job traces,
+//!   and any extra trace file (DESIGN.md §17).
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use crate::args::{ArgError, Args};
 use crate::obs::{render_profile_table, PROFILE_TABLE_TOP};
 use srm_obs::json::{parse, Value};
 use srm_obs::{
-    aggregate, required_fields, AggregateDiagnostic, ChainCheckpoint, PhaseSnapshot, EVENT_KINDS,
+    aggregate, required_fields, AggregateDiagnostic, ChainCheckpoint, PhaseSnapshot, TraceId,
+    EVENT_KINDS,
 };
 
-const FLAGS: &[&str] = &["file", "a", "b", "top"];
+const FLAGS: &[&str] = &[
+    "file",
+    "a",
+    "b",
+    "top",
+    "trace-id",
+    "access-log",
+    "trace-dir",
+];
 const SWITCHES: &[&str] = &["strict"];
 
 /// Runs the subcommand.
@@ -35,10 +50,9 @@ const SWITCHES: &[&str] = &["strict"];
 /// Returns [`ArgError`] on a missing/unknown mode, unreadable trace
 /// files, or (for `lint --strict`) any schema violation.
 pub fn run(raw: &[String]) -> Result<String, ArgError> {
-    let mode = raw
-        .get(1)
-        .map(String::as_str)
-        .ok_or_else(|| ArgError("usage: srm trace <summarize|diff|lint|profile> [flags]".into()))?;
+    let mode = raw.get(1).map(String::as_str).ok_or_else(|| {
+        ArgError("usage: srm trace <summarize|diff|lint|profile|grep> [flags]".into())
+    })?;
     let args = Args::parse(&raw[1..], FLAGS, SWITCHES)?;
     match mode {
         "summarize" => summarize(args.require("file")?),
@@ -48,8 +62,14 @@ pub fn run(raw: &[String]) -> Result<String, ArgError> {
             args.require("file")?,
             args.get_parsed("top", PROFILE_TABLE_TOP)?,
         ),
+        "grep" => grep(
+            args.require("trace-id")?,
+            args.get("access-log"),
+            args.get("trace-dir"),
+            args.get("file"),
+        ),
         other => Err(ArgError(format!(
-            "unknown trace mode `{other}` (summarize|diff|lint|profile)"
+            "unknown trace mode `{other}` (summarize|diff|lint|profile|grep)"
         ))),
     }
 }
@@ -266,12 +286,136 @@ fn profile(path: &str, top: usize) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// One line of the stitched timeline: the sink's monotonic `ms` stamp,
+/// the event kind, and every remaining field as compact `k=v` pairs
+/// (the matched `trace_id` itself is elided — it is the section
+/// header's job).
+fn timeline_line(event: &Value) -> String {
+    let ms = event
+        .get("ms")
+        .and_then(Value::as_f64)
+        .map_or_else(|| "       ?".to_owned(), |ms| format!("{ms:>10.3}"));
+    let kind = kind_of(event).unwrap_or("<untyped>");
+    let mut detail = String::new();
+    if let Some(pairs) = event.as_obj() {
+        for (key, value) in pairs {
+            if matches!(key.as_str(), "type" | "ms" | "trace_id") {
+                continue;
+            }
+            let rendered = match value {
+                Value::Str(s) => s.clone(),
+                other => other.to_json(),
+            };
+            if !detail.is_empty() {
+                detail.push(' ');
+            }
+            detail.push_str(&format!("{key}={rendered}"));
+            if detail.len() > 120 {
+                detail.truncate(120);
+                detail.push('…');
+                break;
+            }
+        }
+    }
+    format!("  {ms}  {kind:<22} {detail}\n")
+}
+
+/// Collects the lines of one source whose `trace_id` canonicalises to
+/// `target`; lines that fail to parse or carry no id never match.
+fn grep_source(path: &str, target: TraceId) -> Result<Vec<String>, ArgError> {
+    let mut matches = Vec::new();
+    for line in read_lines(path)? {
+        let Ok(event) = parse(&line) else { continue };
+        let id = event
+            .get("trace_id")
+            .and_then(Value::as_str)
+            .and_then(TraceId::parse);
+        if id == Some(target) {
+            matches.push(timeline_line(&event));
+        }
+    }
+    Ok(matches)
+}
+
+/// `*.jsonl` files under a trace directory, sorted by name so per-job
+/// traces appear in a stable order.
+fn trace_dir_files(dir: &str) -> Result<Vec<PathBuf>, ArgError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ArgError(format!("cannot read trace dir `{dir}`: {e}")))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().and_then(std::ffi::OsStr::to_str) == Some("jsonl"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn grep(
+    target: &str,
+    access_log: Option<&str>,
+    trace_dir: Option<&str>,
+    file: Option<&str>,
+) -> Result<String, ArgError> {
+    let id = TraceId::parse(target).ok_or_else(|| {
+        ArgError(format!(
+            "invalid value `{target}` for `--trace-id` (want 1-32 hex digits)"
+        ))
+    })?;
+    if access_log.is_none() && trace_dir.is_none() && file.is_none() {
+        return Err(ArgError(
+            "srm trace grep needs at least one source: --access-log, --trace-dir, or --file".into(),
+        ));
+    }
+    // Access log first (the request's point of entry), then per-job
+    // traces, then any explicit file; within a source, file order is
+    // write order, so each section reads as a causal timeline.
+    let mut sources: Vec<String> = Vec::new();
+    if let Some(path) = access_log {
+        sources.push(path.to_owned());
+    }
+    if let Some(dir) = trace_dir {
+        for path in trace_dir_files(dir)? {
+            sources.push(path.to_string_lossy().into_owned());
+        }
+    }
+    if let Some(path) = file {
+        sources.push(path.to_owned());
+    }
+    // Keep first occurrence when one path is named through several
+    // flags (e.g. an access log living inside the trace dir).
+    let mut seen = std::collections::BTreeSet::new();
+    sources.retain(|p| seen.insert(p.clone()));
+
+    let mut out = format!("trace grep — id {}\n", id.to_hex());
+    let mut total = 0usize;
+    let mut sources_with_matches = 0usize;
+    for path in &sources {
+        let matches = grep_source(path, id)?;
+        if matches.is_empty() {
+            continue;
+        }
+        total += matches.len();
+        sources_with_matches += 1;
+        out.push_str(&format!("\n{path} ({} line(s))\n", matches.len()));
+        for line in matches {
+            out.push_str(&line);
+        }
+    }
+    out.push_str(&format!(
+        "\ntotal: {total} line(s) across {sources_with_matches} of {} source(s)\n",
+        sources.len()
+    ));
+    Ok(out)
+}
+
 fn lint(path: &str, strict: bool) -> Result<String, ArgError> {
     let lines = read_lines(path)?;
     let mut parse_errors = 0usize;
     let mut unknown_kinds = 0usize;
     let mut missing_fields = 0usize;
     let mut bad_ms = 0usize;
+    let mut missing_trace_ids = 0usize;
     let mut examples: Vec<String> = Vec::new();
     let mut note = |counter: &mut usize, example: String| {
         *counter += 1;
@@ -291,6 +435,18 @@ fn lint(path: &str, strict: bool) -> Result<String, ArgError> {
             note(
                 &mut bad_ms,
                 format!("line {lineno}: missing or non-numeric `ms`"),
+            );
+        }
+        // Schema v7: every record carries its run's correlation id so
+        // `srm trace grep --trace-id` can stitch it into a timeline.
+        let id_ok = event
+            .get("trace_id")
+            .and_then(Value::as_str)
+            .is_some_and(|id| TraceId::parse(id).is_some());
+        if !id_ok {
+            note(
+                &mut missing_trace_ids,
+                format!("line {lineno}: missing or malformed `trace_id`"),
             );
         }
         let Some(kind) = kind_of(&event).map(str::to_owned) else {
@@ -319,13 +475,14 @@ fn lint(path: &str, strict: bool) -> Result<String, ArgError> {
         }
     }
 
-    let issues = parse_errors + unknown_kinds + missing_fields + bad_ms;
+    let issues = parse_errors + unknown_kinds + missing_fields + bad_ms + missing_trace_ids;
     let mut out = format!("trace lint — {path}\n");
     out.push_str(&format!("  lines checked  : {}\n", lines.len()));
     out.push_str(&format!("  parse errors   : {parse_errors}\n"));
     out.push_str(&format!("  unknown kinds  : {unknown_kinds}\n"));
     out.push_str(&format!("  missing fields : {missing_fields}\n"));
     out.push_str(&format!("  bad ms stamps  : {bad_ms}\n"));
+    out.push_str(&format!("  bad trace ids  : {missing_trace_ids}\n"));
     if !examples.is_empty() {
         out.push_str("  first issues:\n");
         for example in &examples {
@@ -348,7 +505,7 @@ fn lint(path: &str, strict: bool) -> Result<String, ArgError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use srm_obs::{Event, JsonlSink};
+    use srm_obs::{Event, JsonlSink, Recorder as _};
 
     fn raw(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| (*s).to_owned()).collect()
@@ -436,7 +593,7 @@ mod tests {
         std::fs::write(
             &path,
             concat!(
-                "{\"type\":\"phase-start\",\"ms\":1.0,\"phase\":\"sampling\"}\n",
+                "{\"type\":\"phase-start\",\"trace_id\":\"beef\",\"ms\":1.0,\"phase\":\"sampling\"}\n",
                 "{\"type\":\"made-up-kind\",\"ms\":2.0}\n",
                 "{\"type\":\"phase-end\",\"ms\":3.0}\n",
                 "{\"type\":\"sweep-end\",\"chain\":0,\"sweep\":1,\"total\":10,\"kept\":1}\n",
@@ -451,6 +608,9 @@ mod tests {
         assert!(out.contains("missing fields : 2"), "{out}");
         // The sweep-end line has no `ms` stamp.
         assert!(out.contains("bad ms stamps  : 1"), "{out}");
+        // Only the phase-start line carries a v7 correlation id; the
+        // other three parseable lines don't.
+        assert!(out.contains("bad trace ids  : 3"), "{out}");
         assert!(out.contains("result: issues found"), "{out}");
 
         let err = lint(path.to_str().unwrap(), true).unwrap_err();
@@ -545,6 +705,103 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("no profile event"), "{err}");
+    }
+
+    #[test]
+    fn grep_stitches_sources_into_one_timeline() {
+        let dir = std::env::temp_dir().join(format!("srm_trace_grep_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pinned = "00000000000000000000000000000abc";
+
+        // Access log outside the trace dir: one matching line (with a
+        // short-form id that canonicalises to `pinned`), one not.
+        let access = std::env::temp_dir().join(format!(
+            "srm_trace_grep_access_{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(
+            &access,
+            concat!(
+                "{\"type\":\"access\",\"trace_id\":\"abc\",\"ms\":1.5,\"method\":\"POST\",\
+                 \"path\":\"/v1/jobs\",\"status\":202}\n",
+                "{\"type\":\"access\",\"trace_id\":\"def\",\"ms\":2.5,\"method\":\"GET\",\
+                 \"path\":\"/healthz\",\"status\":200}\n",
+            ),
+        )
+        .unwrap();
+
+        // Two per-job traces in the dir; only job-1 carries the id.
+        let decoy = JsonlSink::create(dir.join("job-0.trace.jsonl").to_str().unwrap())
+            .unwrap()
+            .with_trace_id("dead");
+        decoy.record(&Event::PhaseEnd {
+            phase: "sampling",
+            wall_ms: 1.0,
+        });
+        decoy.flush().unwrap();
+        let sink = JsonlSink::create(dir.join("job-1.trace.jsonl").to_str().unwrap())
+            .unwrap()
+            .with_trace_id(pinned);
+        sink.record(&Event::PhaseEnd {
+            phase: "sampling",
+            wall_ms: 3.0,
+        });
+        sink.record(&Event::PhaseEnd {
+            phase: "report",
+            wall_ms: 0.5,
+        });
+        sink.flush().unwrap();
+
+        let out = run(&raw(&[
+            "trace",
+            "grep",
+            "--trace-id",
+            "abc",
+            "--access-log",
+            access.to_str().unwrap(),
+            "--trace-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains(&format!("trace grep — id {pinned}")), "{out}");
+        assert!(
+            out.contains("access") && out.contains("(1 line(s))"),
+            "{out}"
+        );
+        assert!(out.contains("method=POST"), "{out}");
+        assert!(out.contains("path=/v1/jobs"), "{out}");
+        assert!(!out.contains("method=GET"), "{out}");
+        assert!(out.contains("job-1.trace.jsonl (2 line(s))"), "{out}");
+        assert!(!out.contains("job-0.trace.jsonl"), "{out}");
+        assert!(out.contains("phase=report"), "{out}");
+        assert!(
+            out.contains("total: 3 line(s) across 2 of 3 source(s)"),
+            "{out}"
+        );
+        // The access-log section comes before the per-job trace.
+        let access_at = out.find("method=POST").unwrap();
+        let job_at = out.find("phase=report").unwrap();
+        assert!(access_at < job_at, "{out}");
+
+        let _ = std::fs::remove_file(&access);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grep_requires_a_source_and_a_well_formed_id() {
+        let err = run(&raw(&["trace", "grep", "--trace-id", "abc"])).unwrap_err();
+        assert!(err.to_string().contains("at least one source"), "{err}");
+        let err = run(&raw(&[
+            "trace",
+            "grep",
+            "--trace-id",
+            "zz-not-hex",
+            "--file",
+            "whatever.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--trace-id"), "{err}");
+        assert!(run(&raw(&["trace", "grep", "--file", "x.jsonl"])).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! artifact can be matched to the binary that produced it.
 
 use crate::args::{ArgError, Args};
-use srm_obs::{EVENT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION};
+use srm_obs::{EVENT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION, SCHEMA_VERSION};
 
 /// Runs the subcommand.
 ///
@@ -15,7 +15,7 @@ use srm_obs::{EVENT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION};
 pub fn run(raw: &[String]) -> Result<String, ArgError> {
     let _ = Args::parse(raw, &[], &[])?;
     Ok(format!(
-        "srm {}\nmanifest schema: {MANIFEST_SCHEMA_VERSION}\nevent schema: {EVENT_SCHEMA_VERSION}\n",
+        "srm {}\nschema: {SCHEMA_VERSION}\nmanifest schema: {MANIFEST_SCHEMA_VERSION}\nevent schema: {EVENT_SCHEMA_VERSION}\n",
         env!("CARGO_PKG_VERSION"),
     ))
 }
@@ -42,6 +42,33 @@ mod tests {
         let build = srm_obs::build_info_value();
         let version = build.get("crate_version").unwrap().as_str().unwrap();
         assert!(out.contains(version));
+    }
+
+    // One constant, three surfaces: `srm version`, the `/healthz`
+    // build block, and every run manifest must agree on the schema
+    // version (the build-info block is what /healthz and manifests
+    // embed verbatim).
+    #[test]
+    fn schema_version_is_centralized_across_surfaces() {
+        let out = run(&raw(&["version"])).unwrap();
+        assert!(
+            out.contains(&format!("schema: {SCHEMA_VERSION}\n")),
+            "{out}"
+        );
+
+        let build = srm_obs::build_info_value();
+        for key in ["event_schema_version", "manifest_schema_version"] {
+            let surfaced = build.get(key).and_then(srm_obs::json::Value::as_f64);
+            assert_eq!(surfaced, Some(SCHEMA_VERSION as f64), "{key}");
+        }
+
+        let manifest = srm_obs::RunManifest::default().to_value();
+        let in_manifest = manifest
+            .get("schema_version")
+            .and_then(srm_obs::json::Value::as_f64);
+        assert_eq!(in_manifest, Some(SCHEMA_VERSION as f64));
+        assert_eq!(MANIFEST_SCHEMA_VERSION, SCHEMA_VERSION);
+        assert_eq!(EVENT_SCHEMA_VERSION, SCHEMA_VERSION);
     }
 
     #[test]

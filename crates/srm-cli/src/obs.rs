@@ -13,7 +13,11 @@
 //!   never perturbs the sampled values);
 //! * `--profile` — collect the hierarchical phase-time profile,
 //!   print its table to stderr, and append a `profile` event to the
-//!   trace (never perturbs the sampled values).
+//!   trace (never perturbs the sampled values);
+//! * `--trace-id <hex>` — pin the run's correlation id (derived from
+//!   the invocation content when absent); every trace line and the
+//!   manifest carry it, so `srm trace grep --trace-id` can stitch a
+//!   CLI run into the same causal timeline as served jobs.
 //!
 //! With none of them given, the assembled recorder is disabled and
 //! the pipeline runs on its zero-cost no-op path.
@@ -23,12 +27,18 @@ use std::sync::Arc;
 use crate::args::{ArgError, Args};
 use srm_data::BugCountData;
 use srm_obs::{
-    dataset_hash, Event, JsonlSink, PhaseSnapshot, Profiler, ProgressSink, Recorder, RunManifest,
-    StatsCollector, Tee,
+    boot_nonce, dataset_hash, Event, JsonlSink, PhaseSnapshot, Profiler, ProgressSink, Recorder,
+    RunManifest, StatsCollector, Tee, TraceId,
 };
 
 /// Flags every instrumented subcommand accepts.
-pub const OBS_FLAGS: &[&str] = &["trace-out", "metrics-out", "verbosity", "checkpoint-every"];
+pub const OBS_FLAGS: &[&str] = &[
+    "trace-out",
+    "metrics-out",
+    "verbosity",
+    "checkpoint-every",
+    "trace-id",
+];
 
 /// Switches every instrumented subcommand accepts.
 pub const OBS_SWITCHES: &[&str] = &["progress", "profile"];
@@ -138,21 +148,39 @@ pub struct Observability {
     stats: Arc<StatsCollector>,
     metrics_out: Option<String>,
     profiler: Option<Arc<Profiler>>,
+    trace_id: TraceId,
 }
 
 impl Observability {
     /// Builds the sink stack from the parsed arguments.
     ///
+    /// The run's correlation id is `--trace-id` when given (any 1–32
+    /// hex digits, canonicalised to 32), otherwise derived from the
+    /// invocation's [`Args::content_hash`] and the per-boot nonce —
+    /// the same recipe srm-serve uses for headerless requests, so
+    /// repeating a command within one boot yields the same id while
+    /// different invocations (or boots) get distinct ones. Every
+    /// `--trace-out` line is stamped with it (schema v7).
+    ///
     /// # Errors
     ///
     /// Returns [`ArgError`] when `--trace-out` cannot be created or
-    /// `--verbosity` is malformed.
+    /// `--verbosity` / `--trace-id` is malformed.
     pub fn from_args(args: &Args) -> Result<Self, ArgError> {
         let verbosity: u8 = args.get_parsed("verbosity", 1u8)?;
+        let trace_id = match args.get("trace-id") {
+            Some(raw) => TraceId::parse(raw).ok_or_else(|| {
+                ArgError(format!(
+                    "invalid value `{raw}` for `--trace-id` (want 1-32 hex digits)"
+                ))
+            })?,
+            None => TraceId::derive(args.content_hash(), boot_nonce()),
+        };
         let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
         if let Some(path) = args.get("trace-out") {
             let sink = JsonlSink::create(path)
-                .map_err(|e| ArgError(format!("cannot create trace file `{path}`: {e}")))?;
+                .map_err(|e| ArgError(format!("cannot create trace file `{path}`: {e}")))?
+                .with_trace_id(&trace_id.to_hex());
             sinks.push(Arc::new(sink));
         }
         if args.has_switch("progress") {
@@ -171,6 +199,7 @@ impl Observability {
             stats,
             metrics_out,
             profiler,
+            trace_id,
         })
     }
 
@@ -178,6 +207,12 @@ impl Observability {
     #[must_use]
     pub fn recorder(&self) -> &dyn Recorder {
         &self.recorder
+    }
+
+    /// The correlation id for this invocation (pinned or derived).
+    #[must_use]
+    pub fn trace_id(&self) -> TraceId {
+        self.trace_id
     }
 
     /// The aggregating collector backing the manifest.
@@ -258,6 +293,9 @@ impl Observability {
         let Some(path) = &self.metrics_out else {
             return Ok(());
         };
+        if manifest.trace_id.is_empty() {
+            manifest.trace_id = self.trace_id.to_hex();
+        }
         manifest.fill_from_stats(&self.stats, kept_draws);
         manifest
             .write(path)
@@ -305,6 +343,77 @@ mod tests {
         let doc = srm_obs::json::parse(&text).unwrap();
         assert_eq!(doc.get("command").unwrap().as_str(), Some("fit"));
         assert_eq!(doc.get("draws_per_sec").unwrap().as_f64(), Some(5_000.0));
+    }
+
+    #[test]
+    fn pinned_trace_id_stamps_every_trace_line_and_the_manifest() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("srm_cli_obs_trace_{}.jsonl", std::process::id()));
+        let manifest_path = dir.join(format!("srm_cli_obs_tm_{}.json", std::process::id()));
+        let pinned = "00112233445566778899aabbccddeeff";
+        let args = Args::parse(
+            &raw(&[
+                "fit",
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--metrics-out",
+                manifest_path.to_str().unwrap(),
+                "--trace-id",
+                pinned,
+            ]),
+            OBS_FLAGS,
+            OBS_SWITCHES,
+        )
+        .unwrap();
+        let obs = Observability::from_args(&args).unwrap();
+        assert_eq!(obs.trace_id().to_hex(), pinned);
+        obs.recorder().record(&Event::PhaseEnd {
+            phase: "sampling",
+            wall_ms: 10.0,
+        });
+        obs.recorder().record(&Event::PhaseEnd {
+            phase: "report",
+            wall_ms: 2.0,
+        });
+        obs.finish_manifest(RunManifest::default(), 0).unwrap();
+        drop(obs);
+
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = srm_obs::json::parse(line).unwrap();
+            assert_eq!(v.get("trace_id").unwrap().as_str(), Some(pinned), "{line}");
+        }
+        let doc = srm_obs::json::parse(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        assert_eq!(doc.get("trace_id").unwrap().as_str(), Some(pinned));
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&manifest_path);
+    }
+
+    #[test]
+    fn derived_trace_id_is_content_stable_within_a_boot() {
+        let same = ["fit", "--verbosity", "2"];
+        let a = Args::parse(&raw(&same), OBS_FLAGS, OBS_SWITCHES).unwrap();
+        let b = Args::parse(&raw(&same), OBS_FLAGS, OBS_SWITCHES).unwrap();
+        let c = Args::parse(&raw(&["fit", "--verbosity", "1"]), OBS_FLAGS, OBS_SWITCHES).unwrap();
+        let id_a = Observability::from_args(&a).unwrap().trace_id();
+        let id_b = Observability::from_args(&b).unwrap().trace_id();
+        let id_c = Observability::from_args(&c).unwrap().trace_id();
+        assert_eq!(id_a, id_b);
+        assert_ne!(id_a, id_c);
+    }
+
+    #[test]
+    fn malformed_trace_id_is_a_clean_error() {
+        let args = Args::parse(
+            &raw(&["fit", "--trace-id", "not-hex"]),
+            OBS_FLAGS,
+            OBS_SWITCHES,
+        )
+        .unwrap();
+        let err = Observability::from_args(&args).unwrap_err();
+        assert!(err.to_string().contains("--trace-id"), "{err}");
     }
 
     #[test]

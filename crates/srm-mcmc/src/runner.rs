@@ -360,9 +360,9 @@ pub fn run_chains_fault_tolerant_traced(
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..pool)
-            .map(|_| {
+            .map(|w| {
                 let (next, base) = (&next, &base);
-                scope.spawn(move || {
+                let worker = move || {
                     let mut done: Vec<(usize, ChainOutcome)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -375,7 +375,17 @@ pub fn run_chains_fault_tolerant_traced(
                         ));
                     }
                     done
-                })
+                };
+                // Named workers so diagnostics that attribute by
+                // thread (the srm-obs flight recorder's per-thread
+                // rings, panic messages) read `srm-chain-N` instead
+                // of `<unnamed>`. Naming is best-effort: the worker
+                // closure only borrows, so it can be respawned
+                // anonymously if the named spawn fails.
+                std::thread::Builder::new()
+                    .name(format!("srm-chain-{w}"))
+                    .spawn_scoped(scope, worker)
+                    .unwrap_or_else(|_| scope.spawn(worker))
             })
             .collect();
         for handle in handles {

@@ -21,8 +21,16 @@ use crate::profile::PhaseSnapshot;
 /// on `diagnostic-checkpoint`; version 5 adds the simulation-based
 /// calibration kinds `sbc-cell-start` / `sbc-rep-done` /
 /// `sbc-cell-done`; version 6 adds the multi-dataset batch kinds
-/// `batch-start` / `batch-item-done` / `batch-done`.
-pub const EVENT_SCHEMA_VERSION: u64 = 6;
+/// `batch-start` / `batch-item-done` / `batch-done`; version 7 makes
+/// `trace_id` a required field on every trace line (injected by the
+/// sinks, not carried by the variants) and adds the request-
+/// correlation kinds `access` / `flightrec-dump`.
+pub const SCHEMA_VERSION: u64 = 7;
+
+/// The event-taxonomy version. Since v7 this is an alias of the
+/// workspace-wide [`SCHEMA_VERSION`] — the previously scattered
+/// per-document constants all resolve here.
+pub const EVENT_SCHEMA_VERSION: u64 = SCHEMA_VERSION;
 
 /// Per-parameter accept statistics carried by [`Event::ChainDone`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -369,6 +377,38 @@ pub enum Event {
         /// Wall-clock time for the whole batch, ms.
         wall_ms: f64,
     },
+    /// One HTTP request, as the structured access log records it. The
+    /// request's trace id is injected by the sink (like every other
+    /// line), so the variant carries only the request outcome.
+    Access {
+        /// Request method (`GET`, `POST`, …).
+        method: String,
+        /// Request path.
+        path: String,
+        /// Response status code.
+        status: u16,
+        /// Response body size in bytes.
+        bytes: u64,
+        /// Whether the request was answered from the fit cache.
+        cache_hit: bool,
+        /// Time the correlated work spent waiting on the job queue,
+        /// ms (0 when nothing queued during this request).
+        queue_wait_ms: f64,
+        /// Time spent inside the engine (`fit` spans) attributable to
+        /// this request, ms.
+        engine_ms: f64,
+        /// Time spent serialising responses/results, ms.
+        serialize_ms: f64,
+    },
+    /// The flight recorder dumped its rings to disk. Written as the
+    /// first line of every `flightrec-<ts>.jsonl` file.
+    FlightRecDump {
+        /// Why the dump happened (`panic`, `engine-failure`,
+        /// `sigterm`, `on-demand`, …).
+        reason: String,
+        /// Events captured in the dump.
+        events: u64,
+    },
 }
 
 /// Every `kind()` label, for schema validation.
@@ -404,6 +444,8 @@ pub const EVENT_KINDS: &[&str] = &[
     "batch-start",
     "batch-item-done",
     "batch-done",
+    "access",
+    "flightrec-dump",
 ];
 
 impl Event {
@@ -441,6 +483,8 @@ impl Event {
             Event::BatchStart { .. } => "batch-start",
             Event::BatchItemDone { .. } => "batch-item-done",
             Event::BatchDone { .. } => "batch-done",
+            Event::Access { .. } => "access",
+            Event::FlightRecDump { .. } => "flightrec-dump",
         }
     }
 
@@ -779,6 +823,29 @@ impl Event {
                 push("cache_hits", Value::Num(*cache_hits as f64));
                 push("wall_ms", Value::Num(*wall_ms));
             }
+            Event::Access {
+                method,
+                path,
+                status,
+                bytes,
+                cache_hit,
+                queue_wait_ms,
+                engine_ms,
+                serialize_ms,
+            } => {
+                push("method", Value::Str(method.clone()));
+                push("path", Value::Str(path.clone()));
+                push("status", Value::Num(f64::from(*status)));
+                push("bytes", Value::Num(*bytes as f64));
+                push("cache_hit", Value::Bool(*cache_hit));
+                push("queue_wait_ms", Value::Num(*queue_wait_ms));
+                push("engine_ms", Value::Num(*engine_ms));
+                push("serialize_ms", Value::Num(*serialize_ms));
+            }
+            Event::FlightRecDump { reason, events } => {
+                push("reason", Value::Str(reason.clone()));
+                push("events", Value::Num(*events as f64));
+            }
         }
         Value::Obj(pairs)
     }
@@ -821,6 +888,8 @@ pub fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
         "batch-start" => &["batch_id", "items", "master_seed"],
         "batch-item-done" => &["batch_id", "item", "label", "status", "cached", "wall_ms"],
         "batch-done" => &["batch_id", "items", "failed", "cache_hits", "wall_ms"],
+        "access" => &["method", "path", "status", "bytes", "cache_hit"],
+        "flightrec-dump" => &["reason", "events"],
         _ => return None,
     })
 }
@@ -1033,6 +1102,20 @@ mod tests {
                 failed: 0,
                 cache_hits: 1,
                 wall_ms: 1250.0,
+            },
+            Event::Access {
+                method: "POST".into(),
+                path: "/v1/jobs".into(),
+                status: 202,
+                bytes: 96,
+                cache_hit: false,
+                queue_wait_ms: 0.4,
+                engine_ms: 0.0,
+                serialize_ms: 0.1,
+            },
+            Event::FlightRecDump {
+                reason: "sigterm".into(),
+                events: 128,
             },
         ];
         assert_eq!(samples.len(), EVENT_KINDS.len());

@@ -27,6 +27,8 @@
 //! | [`RunManifest`] | the `--metrics-out` document |
 //! | [`ChainCheckpoint`] / [`aggregate`] | streaming `diagnostic-checkpoint` payloads and their cross-chain R̂/ESS aggregation |
 //! | [`profile`] | hierarchical span profiler: per-phase count/total/min/max/histogram aggregates |
+//! | [`trace_id`] | 128-bit request-correlation ids (schema v7 `trace_id` field) |
+//! | [`flightrec`] | bounded per-thread rings of recent events, dumped on panic/failure |
 //! | [`json`] | dependency-free JSON writer + parser |
 
 #![forbid(unsafe_code)]
@@ -34,22 +36,28 @@
 
 pub mod checkpoint;
 pub mod event;
+pub mod flightrec;
 pub mod json;
 pub mod manifest;
 pub mod profile;
 pub mod recorder;
 pub mod sinks;
 pub mod stats;
+pub mod trace_id;
 
 pub use checkpoint::{
     aggregate, psrf_from_moments, AggregateDiagnostic, ChainCheckpoint, MomentSummary,
     ParamCheckpoint,
 };
-pub use event::{required_fields, AcceptStat, Event, EVENT_KINDS, EVENT_SCHEMA_VERSION};
+pub use event::{
+    required_fields, AcceptStat, Event, EVENT_KINDS, EVENT_SCHEMA_VERSION, SCHEMA_VERSION,
+};
+pub use flightrec::{FlightRecStats, FlightRecorder, DEFAULT_FLIGHTREC_CAPACITY};
 pub use manifest::{
     build_info_value, dataset_hash, fnv1a_hex, ManifestChain, RunManifest, MANIFEST_SCHEMA_VERSION,
 };
-pub use profile::{PhaseSnapshot, Profiler, HIST_BUCKETS};
+pub use profile::{PhaseSnapshot, Profiler, TracedInterval, HIST_BUCKETS, RECENT_INTERVALS};
 pub use recorder::{Counter, FixedHistogram, NoopRecorder, Recorder, Span, Tee, NOOP};
 pub use sinks::{JsonlSink, ProgressSink};
 pub use stats::{DiagnosticStat, StatsCollector};
+pub use trace_id::{boot_nonce, process_trace_id, TraceId, TRACE_HEADER};

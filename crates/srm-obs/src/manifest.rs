@@ -9,24 +9,30 @@
 use std::io;
 
 use crate::checkpoint::{aggregate, AggregateDiagnostic};
-use crate::event::{AcceptStat, EVENT_SCHEMA_VERSION};
+use crate::event::{AcceptStat, EVENT_SCHEMA_VERSION, SCHEMA_VERSION};
 use crate::json::Value;
 use crate::stats::{DiagnosticStat, StatsCollector};
 
 /// Manifest schema version written to every document.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+///
+/// Since schema v7 the manifest tracks the single workspace-wide
+/// [`SCHEMA_VERSION`] rather than its own counter (the two document
+/// families were bumped in lock-step anyway; the jump from 1 to 7 is
+/// monotone and readers only compare for inequality).
+pub const MANIFEST_SCHEMA_VERSION: u64 = SCHEMA_VERSION;
 
 /// The build-info block shared by `srm version`, the `/healthz`
-/// endpoint, and every run manifest: crate version plus the two
-/// document schema versions, so any artifact can be traced back to
-/// the code and schemas that produced it. (All workspace crates share
-/// one version, so this crate's own version identifies the build.)
+/// endpoint, and every run manifest: crate version plus the schema
+/// versions, so any artifact can be traced back to the code and
+/// schemas that produced it. (All workspace crates share one version,
+/// so this crate's own version identifies the build.)
 pub fn build_info_value() -> Value {
     Value::obj(vec![
         (
             "crate_version",
             Value::Str(env!("CARGO_PKG_VERSION").into()),
         ),
+        ("schema_version", Value::Num(SCHEMA_VERSION as f64)),
         (
             "manifest_schema_version",
             Value::Num(MANIFEST_SCHEMA_VERSION as f64),
@@ -80,6 +86,9 @@ pub struct ManifestChain {
 pub struct RunManifest {
     /// CLI command (`fit`, `select`, `trend`).
     pub command: String,
+    /// Correlation id of the run that produced this manifest (the
+    /// canonical 32-hex form; empty when the producer predates v7).
+    pub trace_id: String,
     /// Detection-model identifier (or a command-specific label).
     pub model: String,
     /// Prior family, when the command has one.
@@ -174,6 +183,7 @@ impl RunManifest {
     pub fn to_value(&self) -> Value {
         Value::obj(vec![
             ("schema_version", Value::Num(MANIFEST_SCHEMA_VERSION as f64)),
+            ("trace_id", Value::Str(self.trace_id.clone())),
             ("build", build_info_value()),
             ("command", Value::Str(self.command.clone())),
             ("model", Value::Str(self.model.clone())),
@@ -323,6 +333,7 @@ mod tests {
     fn manifest_round_trips_through_json() {
         let manifest = RunManifest {
             command: "fit".into(),
+            trace_id: "00000000000000000000000000abcdef".into(),
             model: "model2".into(),
             prior: "poisson".into(),
             seed: 42,
@@ -369,11 +380,22 @@ mod tests {
             }],
         };
         let doc = parse(&manifest.to_value().to_json_pretty()).unwrap();
-        assert_eq!(doc.get("schema_version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_f64(),
+            Some(MANIFEST_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            doc.get("trace_id").unwrap().as_str(),
+            Some("00000000000000000000000000abcdef")
+        );
         let build = doc.get("build").unwrap();
         assert_eq!(
             build.get("crate_version").unwrap().as_str(),
             Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(
+            build.get("schema_version").unwrap().as_f64(),
+            Some(SCHEMA_VERSION as f64)
         );
         assert_eq!(
             build.get("manifest_schema_version").unwrap().as_f64(),

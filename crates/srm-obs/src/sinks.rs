@@ -20,12 +20,14 @@ fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Appends one JSON object per event to a writer (`--trace-out`).
 ///
-/// Each record is the event's [`Event::to_value`] payload plus an
-/// `"ms"` field: milliseconds since the sink was created.
+/// Each record is the event's [`Event::to_value`] payload plus a
+/// `"trace_id"` field (the correlation id, schema v7) and an `"ms"`
+/// field: milliseconds since the sink was created.
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
     started: Instant,
     stride: usize,
+    trace_id: String,
 }
 
 impl std::fmt::Debug for JsonlSink {
@@ -53,12 +55,20 @@ impl JsonlSink {
             out: Mutex::new(out),
             started: Instant::now(),
             stride: Self::DEFAULT_SWEEP_STRIDE,
+            trace_id: crate::trace_id::process_trace_id().to_hex(),
         }
     }
 
     /// Overrides the per-sweep sampling stride.
     pub fn with_sweep_stride(mut self, stride: usize) -> Self {
         self.stride = stride.max(1);
+        self
+    }
+
+    /// Overrides the correlation id stamped on every line (defaults to
+    /// the process-wide id).
+    pub fn with_trace_id(mut self, trace_id: &str) -> Self {
+        self.trace_id = trace_id.to_string();
         self
     }
 
@@ -94,6 +104,10 @@ impl Recorder for JsonlSink {
         if let Value::Obj(pairs) = &mut value {
             pairs.insert(
                 1,
+                ("trace_id".to_string(), Value::Str(self.trace_id.clone())),
+            );
+            pairs.insert(
+                2,
                 (
                     "ms".to_string(),
                     Value::Num(self.started.elapsed().as_secs_f64() * 1e3),
@@ -323,7 +337,7 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_lines_parse_and_carry_ms() {
+    fn jsonl_lines_parse_and_carry_ms_and_trace_id() {
         let buf = SharedBuf::default();
         let sink = JsonlSink::from_writer(Box::new(buf.clone()));
         sink.record(&Event::PhaseStart { phase: "sampling" });
@@ -336,11 +350,26 @@ mod tests {
         let text = buf.text();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
+        let default_id = crate::trace_id::process_trace_id().to_hex();
         for line in lines {
             let v = parse(line).unwrap();
             assert!(v.get("type").is_some());
             assert!(v.get("ms").unwrap().as_f64().unwrap() >= 0.0);
+            assert_eq!(
+                v.get("trace_id").unwrap().as_str(),
+                Some(default_id.as_str())
+            );
         }
+    }
+
+    #[test]
+    fn jsonl_with_trace_id_stamps_the_override() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::from_writer(Box::new(buf.clone())).with_trace_id("deadbeef");
+        sink.record(&Event::PhaseStart { phase: "sampling" });
+        sink.flush().unwrap();
+        let v = parse(buf.text().lines().next().unwrap()).unwrap();
+        assert_eq!(v.get("trace_id").unwrap().as_str(), Some("deadbeef"));
     }
 
     #[test]

@@ -122,6 +122,7 @@ fn run_options(spec: &JobSpec) -> RunOptions {
 fn manifest_skeleton(spec: &JobSpec, model_label: &str) -> RunManifest {
     RunManifest {
         command: format!("serve:{}", spec.kind.label()),
+        trace_id: spec.trace_id.clone(),
         model: model_label.to_owned(),
         prior: spec.prior.label().to_owned(),
         seed: spec.mcmc.seed,

@@ -23,8 +23,22 @@ pub struct Request {
     pub method: String,
     /// Request path, without query string.
     pub path: String,
+    /// Headers as `(lowercased-name, trimmed-value)` pairs, in wire
+    /// order.
+    pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given name (case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Reads one request from the stream.
@@ -68,16 +82,19 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let path = target.split('?').next().unwrap_or(target).to_owned();
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
             content_length = value
-                .trim()
                 .parse()
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
         }
+        headers.push((name, value));
     }
     if content_length > MAX_BODY_BYTES {
         return Err(io::Error::new(
@@ -87,7 +104,12 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     }
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 /// An HTTP response about to be written.
@@ -210,6 +232,18 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/jobs");
         assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn headers_are_lowercased_and_looked_up_case_insensitively() {
+        let req =
+            round_trip(b"GET /healthz HTTP/1.1\r\nX-Srm-Trace-Id:  ABC123 \r\nHost: h\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.header("x-srm-trace-id"), Some("ABC123"));
+        assert_eq!(req.header("X-SRM-TRACE-ID"), Some("ABC123"));
+        assert_eq!(req.header("absent"), None);
+        assert_eq!(req.headers[0].0, "x-srm-trace-id");
     }
 
     #[test]

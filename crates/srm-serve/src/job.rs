@@ -79,6 +79,10 @@ pub struct JobSpec {
     /// Cooperative timeout; checked at phase boundaries, not
     /// mid-sampling.
     pub timeout_ms: Option<u64>,
+    /// Correlation id of the originating request (canonical 32-hex
+    /// form; empty until the server mints or restores one). Never
+    /// part of the cache key: correlation must not split the cache.
+    pub trace_id: String,
 }
 
 fn num_field(body: &Value, name: &str) -> Result<Option<f64>, String> {
@@ -178,6 +182,7 @@ impl JobSpec {
             horizon,
             theta_max,
             timeout_ms,
+            trace_id: String::new(),
         })
     }
 
@@ -230,6 +235,7 @@ impl JobSpec {
                 self.timeout_ms
                     .map_or(Value::Null, |ms| Value::Num(ms as f64)),
             ),
+            ("trace_id", Value::Str(self.trace_id.clone())),
         ]);
         Value::obj(fields)
     }
@@ -246,6 +252,12 @@ impl JobSpec {
         let mut spec = Self::from_json(body)?;
         if let Some(label) = body.get("dataset_label").and_then(Value::as_str) {
             spec.dataset_label = label.to_owned();
+        }
+        // Absent in pre-v7 WAL frames; replay restores what was there
+        // and leaves the id empty otherwise — either way the fields
+        // never influence validation or the cache key.
+        if let Some(trace_id) = body.get("trace_id").and_then(Value::as_str) {
+            spec.trace_id = trace_id.to_owned();
         }
         Ok(spec)
     }
@@ -396,6 +408,9 @@ pub struct JobRecord {
     pub error: Option<(String, String)>,
     /// Wall-clock milliseconds spent computing (0 for cache hits).
     pub wall_ms: f64,
+    /// Correlation id of the submitting request (empty for records
+    /// recovered from pre-v7 state).
+    pub trace_id: String,
     /// The job's own stats collector, attached when a worker claims
     /// the job. It receives every engine event — including streaming
     /// `diagnostic-checkpoint`s — and backs
@@ -418,8 +433,16 @@ impl JobRecord {
             result: None,
             error: None,
             wall_ms: 0.0,
+            trace_id: String::new(),
             progress: None,
         }
+    }
+
+    /// Sets the correlation id (builder-style, used at submission).
+    #[must_use]
+    pub fn with_trace_id(mut self, trace_id: &str) -> Self {
+        self.trace_id = trace_id.to_owned();
+        self
     }
 
     /// The `GET /v1/jobs/{id}` document.
@@ -427,6 +450,7 @@ impl JobRecord {
     pub fn status_value(&self) -> Value {
         Value::obj(vec![
             ("id", Value::Str(self.id.clone())),
+            ("trace_id", Value::Str(self.trace_id.clone())),
             ("kind", Value::Str(self.kind.label().to_owned())),
             ("status", Value::Str(self.status.label().to_owned())),
             ("cached", Value::Bool(self.cached)),
@@ -747,6 +771,19 @@ mod tests {
         let b = spec_from(r#"{"kind":"fit","dataset":"musa_cc96","threads":4,"timeout_ms":5000}"#)
             .unwrap();
         assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn cache_key_ignores_the_trace_id_but_the_wire_preserves_it() {
+        let mut a = spec_from(r#"{"kind":"fit","dataset":"musa_cc96"}"#).unwrap();
+        let b = spec_from(r#"{"kind":"fit","dataset":"musa_cc96"}"#).unwrap();
+        a.trace_id = "0123456789abcdef0123456789abcdef".into();
+        assert_eq!(a.cache_key(), b.cache_key());
+        let back = JobSpec::from_wire(&a.to_wire()).unwrap();
+        assert_eq!(back.trace_id, a.trace_id);
+        // Pre-v7 wire frames (no trace_id field) replay to empty.
+        let legacy = spec_from(r#"{"kind":"fit","dataset":"musa_cc96"}"#).unwrap();
+        assert_eq!(JobSpec::from_wire(&legacy.to_wire()).unwrap().trace_id, "");
     }
 
     #[test]

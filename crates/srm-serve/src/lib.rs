@@ -44,6 +44,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access_log;
 pub mod batch;
 pub mod cache;
 pub mod engine;
@@ -55,13 +56,14 @@ pub mod server;
 pub mod signal;
 pub mod store;
 
+pub use access_log::{AccessLog, AccessLogStats, DEFAULT_ACCESS_LOG_MAX_BYTES};
 pub use batch::{
     parse_batch, BatchItemRef, BatchRecord, BatchRequest, BatchStore, MAX_BATCH_ITEMS,
 };
 pub use cache::FitCache;
 pub use engine::{run_job, JobError, JobOutput, SERVE_CHECKPOINT_EVERY};
 pub use job::{JobKind, JobRecord, JobSpec, JobStatus, JobStore};
-pub use metrics::{escape_label, render_prometheus, GaugeSnapshot, ServeMetrics};
+pub use metrics::{escape_label, lint_exposition, render_prometheus, GaugeSnapshot, ServeMetrics};
 pub use queue::{JobQueue, PushError, QueuedJob};
 pub use server::{Gate, Server, ServerConfig, ServerState};
 pub use store::{Persister, RecoveredState, WalStats};

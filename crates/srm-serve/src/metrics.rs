@@ -11,10 +11,11 @@
 use std::fmt::Write as _;
 
 use srm_obs::{
-    aggregate, ChainCheckpoint, Counter, FixedHistogram, PhaseSnapshot, StatsCollector,
-    EVENT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
+    aggregate, ChainCheckpoint, Counter, FixedHistogram, FlightRecStats, PhaseSnapshot,
+    StatsCollector, EVENT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 
+use crate::access_log::AccessLogStats;
 use crate::cache::FitCache;
 use crate::job::JobStore;
 use crate::store::WalStats;
@@ -49,6 +50,8 @@ pub struct ServeMetrics {
     /// Batch items served without fresh sampling (in-batch duplicate
     /// aliases plus fit-cache hits at submit).
     pub batch_cache_hits: Counter,
+    /// Requests to the read-only `/v1/debug/*` endpoints.
+    pub debug_requests: Counter,
 }
 
 /// Point-in-time gauge inputs for [`render_prometheus`], sampled by
@@ -69,6 +72,10 @@ pub struct GaugeSnapshot {
     pub phases: Vec<PhaseSnapshot>,
     /// Batches with at least one member job still pending.
     pub batches_active: u64,
+    /// Access-log counters (`None` when no access log is configured).
+    pub access_log: Option<AccessLogStats>,
+    /// Flight-recorder counters (zero/disabled when never enabled).
+    pub flightrec: FlightRecStats,
 }
 
 impl Default for ServeMetrics {
@@ -95,6 +102,7 @@ impl ServeMetrics {
             batches_submitted: Counter::new(),
             batch_items: Counter::new(),
             batch_cache_hits: Counter::new(),
+            debug_requests: Counter::new(),
         }
     }
 }
@@ -126,6 +134,162 @@ pub fn escape_label(value: &str) -> String {
         }
     }
     out
+}
+
+/// Parses one sample line's label block, returning the position after
+/// the closing `}` or an error describing the malformation.
+fn check_label_block(line: &str, start: usize) -> Result<usize, String> {
+    let bytes = line.as_bytes();
+    let mut i = start + 1; // past '{'
+    loop {
+        // Label name.
+        let name_start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        if i == name_start || i >= bytes.len() || bytes[i] != b'=' {
+            return Err(format!("bad label name in `{line}`"));
+        }
+        i += 1;
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err(format!("label value must be quoted in `{line}`"));
+        }
+        i += 1;
+        // Label value: only \\, \", \n escapes; no raw quote/backslash.
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("unterminated label value in `{line}`")),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => match bytes.get(i + 1) {
+                    Some(b'\\' | b'"' | b'n') => i += 2,
+                    _ => return Err(format!("invalid escape in label value in `{line}`")),
+                },
+                Some(_) => i += 1,
+            }
+        }
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(i + 1),
+            _ => return Err(format!("expected `,` or `}}` after label in `{line}`")),
+        }
+    }
+}
+
+/// Lints a Prometheus text exposition (format 0.0.4). Returns one
+/// message per violation (empty = clean):
+///
+/// - every sample's metric family must be announced by exactly one
+///   `# HELP` and one `# TYPE` line before its first sample;
+/// - no duplicate families (a family's samples may not restart after
+///   another family began);
+/// - `counter` families must end in `_total`; histogram samples must
+///   use the `_bucket`/`_sum`/`_count` suffixes;
+/// - label blocks must parse, with only `\\`, `\"` and `\n` escapes
+///   in values, and every sample needs a numeric value.
+#[must_use]
+pub fn lint_exposition(page: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut helped: Vec<String> = Vec::new();
+    let mut typed: Vec<(String, String)> = Vec::new();
+    let mut seen_samples: Vec<String> = Vec::new();
+    let type_of = |typed: &[(String, String)], family: &str| {
+        typed
+            .iter()
+            .find(|(f, _)| f == family)
+            .map(|(_, t)| t.clone())
+    };
+    for line in page.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some(family) = rest.split_whitespace().next() else {
+                violations.push(format!("HELP line without a family name: `{line}`"));
+                continue;
+            };
+            if helped.iter().any(|f| f == family) {
+                violations.push(format!("duplicate HELP for family `{family}`"));
+            }
+            helped.push(family.to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(family), Some(kind)) = (parts.next(), parts.next()) else {
+                violations.push(format!("malformed TYPE line: `{line}`"));
+                continue;
+            };
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                violations.push(format!("unknown TYPE `{kind}` for family `{family}`"));
+            }
+            if kind == "counter" && !family.ends_with("_total") {
+                violations.push(format!("counter family `{family}` must end in `_total`"));
+            }
+            if typed.iter().any(|(f, _)| f == family) {
+                violations.push(format!("duplicate TYPE for family `{family}`"));
+            }
+            typed.push((family.to_owned(), kind.to_owned()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // A sample line: name[{labels}] value
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let name = &line[..name_end];
+        if name.is_empty() {
+            violations.push(format!("sample without a metric name: `{line}`"));
+            continue;
+        }
+        // Resolve the family: histogram samples carry a suffix.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .filter_map(|suffix| name.strip_suffix(suffix))
+            .find(|base| type_of(&typed, base) == Some("histogram".to_owned()))
+            .unwrap_or(name)
+            .to_owned();
+        match type_of(&typed, &family) {
+            None => violations.push(format!("sample `{name}` has no TYPE line")),
+            Some(kind) => {
+                if kind == "histogram" && family == name {
+                    violations.push(format!(
+                        "histogram family `{family}` sampled without _bucket/_sum/_count"
+                    ));
+                }
+            }
+        }
+        if !helped.contains(&family) {
+            violations.push(format!("sample `{name}` has no HELP line"));
+        }
+        // Families must be contiguous: once another family's samples
+        // started, an earlier family may not emit more samples.
+        match seen_samples.iter().position(|f| *f == family) {
+            Some(at) if at + 1 != seen_samples.len() => {
+                violations.push(format!("family `{family}` restarted after another family"));
+            }
+            Some(_) => {}
+            None => seen_samples.push(family.clone()),
+        }
+        let after_labels = if line.as_bytes().get(name_end) == Some(&b'{') {
+            match check_label_block(line, name_end) {
+                Ok(end) => end,
+                Err(v) => {
+                    violations.push(v);
+                    continue;
+                }
+            }
+        } else {
+            name_end
+        };
+        let value = line[after_labels..].trim();
+        if value != "+Inf" && value != "-Inf" && value != "NaN" && value.parse::<f64>().is_err() {
+            violations.push(format!("non-numeric sample value `{value}` in `{line}`"));
+        }
+    }
+    violations
 }
 
 fn histogram(out: &mut String, name: &str, help: &str, hist: &FixedHistogram) {
@@ -252,6 +416,8 @@ pub fn render_prometheus(
         uptime_secs,
         phases,
         batches_active,
+        access_log,
+        flightrec,
     } = gauges;
     let mut out = String::new();
     // Build identity first: the same fields `/healthz` reports, as a
@@ -263,7 +429,7 @@ pub fn render_prometheus(
     let _ = writeln!(out, "# TYPE srm_build_info gauge");
     let _ = writeln!(
         out,
-        "srm_build_info{{version=\"{}\",manifest_schema=\"{MANIFEST_SCHEMA_VERSION}\",event_schema=\"{EVENT_SCHEMA_VERSION}\"}} 1",
+        "srm_build_info{{version=\"{}\",schema=\"{SCHEMA_VERSION}\",manifest_schema=\"{MANIFEST_SCHEMA_VERSION}\",event_schema=\"{EVENT_SCHEMA_VERSION}\"}} 1",
         escape_label(env!("CARGO_PKG_VERSION")),
     );
     gauge(
@@ -412,6 +578,62 @@ pub fn render_prometheus(
         "Batches with at least one member job still pending.",
         batches_active as f64,
     );
+    counter(
+        &mut out,
+        "srm_serve_debug_requests_total",
+        "Requests to the read-only /v1/debug endpoints.",
+        metrics.debug_requests.get(),
+    );
+    if let Some(log) = access_log {
+        counter(
+            &mut out,
+            "srm_serve_access_log_lines_total",
+            "Access-log lines appended.",
+            log.lines,
+        );
+        counter(
+            &mut out,
+            "srm_serve_access_log_errors_total",
+            "Access-log appends or rotations that failed (degraded).",
+            log.errors,
+        );
+        counter(
+            &mut out,
+            "srm_serve_access_log_rotations_total",
+            "Access-log size rotations completed.",
+            log.rotations,
+        );
+    }
+    gauge(
+        &mut out,
+        "srm_flightrec_enabled",
+        "Whether the flight recorder is capturing (1) or not (0).",
+        if flightrec.enabled { 1.0 } else { 0.0 },
+    );
+    gauge(
+        &mut out,
+        "srm_flightrec_threads",
+        "Threads with a registered flight-recorder ring.",
+        flightrec.threads as f64,
+    );
+    counter(
+        &mut out,
+        "srm_flightrec_recorded_total",
+        "Events captured by the flight recorder since boot.",
+        flightrec.recorded,
+    );
+    counter(
+        &mut out,
+        "srm_flightrec_dumps_total",
+        "Flight-recorder dumps written successfully.",
+        flightrec.dumps,
+    );
+    counter(
+        &mut out,
+        "srm_flightrec_dump_errors_total",
+        "Flight-recorder dump attempts that failed (degraded).",
+        flightrec.dump_errors,
+    );
     let (queued, running, done, failed, cancelled) = store.counts();
     let _ = writeln!(
         out,
@@ -544,7 +766,7 @@ mod tests {
         assert!(page.contains("srm_serve_http_requests_total 3"));
         assert!(page.contains("srm_serve_uptime_seconds 12.5"));
         assert!(page.contains(&format!(
-            "srm_build_info{{version=\"{}\",manifest_schema=\"{MANIFEST_SCHEMA_VERSION}\",event_schema=\"{EVENT_SCHEMA_VERSION}\"}} 1",
+            "srm_build_info{{version=\"{}\",schema=\"{SCHEMA_VERSION}\",manifest_schema=\"{MANIFEST_SCHEMA_VERSION}\",event_schema=\"{EVENT_SCHEMA_VERSION}\"}} 1",
             env!("CARGO_PKG_VERSION")
         )));
         assert!(page.contains("srm_serve_phase_seconds_total{phase=\"fit/chain\"} 2"));
@@ -577,6 +799,96 @@ mod tests {
             page.matches("# HELP").count(),
             page.matches("# TYPE").count()
         );
+    }
+
+    #[test]
+    fn exposition_lints_clean_with_debug_access_log_and_flightrec_series() {
+        let metrics = ServeMetrics::new();
+        metrics.debug_requests.incr();
+        let page = render_prometheus(
+            &metrics,
+            &FitCache::new(),
+            &StatsCollector::new(),
+            &JobStore::new(),
+            GaugeSnapshot {
+                access_log: Some(crate::access_log::AccessLogStats {
+                    lines: 9,
+                    errors: 1,
+                    rotations: 2,
+                }),
+                flightrec: srm_obs::FlightRecStats {
+                    enabled: true,
+                    capacity: 256,
+                    threads: 3,
+                    recorded: 17,
+                    dumps: 1,
+                    dump_errors: 0,
+                },
+                phases: vec![PhaseSnapshot {
+                    // Label escaping must survive the lint.
+                    path: "fit\"odd\\phase\n".into(),
+                    count: 1,
+                    total_ns: 1,
+                    self_ns: 1,
+                    min_ns: 1,
+                    max_ns: 1,
+                    buckets: vec![0; srm_obs::HIST_BUCKETS],
+                }],
+                ..GaugeSnapshot::default()
+            },
+            Some(WalStats {
+                bytes: 128,
+                records: 4,
+                appended: 4,
+                snapshots: 1,
+                errors: 0,
+            }),
+        );
+        assert!(page.contains("srm_serve_debug_requests_total 1"));
+        assert!(page.contains("srm_serve_access_log_lines_total 9"));
+        assert!(page.contains("srm_serve_access_log_errors_total 1"));
+        assert!(page.contains("srm_serve_access_log_rotations_total 2"));
+        assert!(page.contains("srm_flightrec_enabled 1"));
+        assert!(page.contains("srm_flightrec_threads 3"));
+        assert!(page.contains("srm_flightrec_recorded_total 17"));
+        assert!(page.contains("srm_flightrec_dumps_total 1"));
+        assert!(page.contains("srm_flightrec_dump_errors_total 0"));
+        let violations = lint_exposition(&page);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn lint_flags_malformed_expositions() {
+        // Sample without HELP/TYPE.
+        let v = lint_exposition("orphan_metric 1\n");
+        assert!(v.iter().any(|m| m.contains("no TYPE")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("no HELP")), "{v:?}");
+        // Duplicate family announcement.
+        let page = "# HELP a_total A.\n# TYPE a_total counter\na_total 1\n\
+                    # HELP a_total A again.\n# TYPE a_total counter\n";
+        let v = lint_exposition(page);
+        assert!(v.iter().any(|m| m.contains("duplicate HELP")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("duplicate TYPE")), "{v:?}");
+        // Counter not ending in _total.
+        let v = lint_exposition("# HELP a A.\n# TYPE a counter\na 1\n");
+        assert!(
+            v.iter().any(|m| m.contains("must end in `_total`")),
+            "{v:?}"
+        );
+        // Interleaved families.
+        let page = "# HELP a_total A.\n# TYPE a_total counter\na_total{k=\"1\"} 1\n\
+                    # HELP b_total B.\n# TYPE b_total counter\nb_total 1\n\
+                    a_total{k=\"2\"} 1\n";
+        let v = lint_exposition(page);
+        assert!(v.iter().any(|m| m.contains("restarted")), "{v:?}");
+        // Raw quote inside a label value (unescaped).
+        let page = "# HELP a_total A.\n# TYPE a_total counter\na_total{k=\"x\\qy\"} 1\n";
+        let v = lint_exposition(page);
+        assert!(v.iter().any(|m| m.contains("invalid escape")), "{v:?}");
+        // Non-numeric value.
+        let page = "# HELP g G.\n# TYPE g gauge\ng nope\n";
+        let v = lint_exposition(page);
+        assert!(v.iter().any(|m| m.contains("non-numeric")), "{v:?}");
     }
 
     #[test]

@@ -31,10 +31,12 @@ use std::time::{Duration, Instant};
 
 use srm_obs::json::{parse, Value};
 use srm_obs::{
-    aggregate, build_info_value, ChainCheckpoint, Event, JsonlSink, Recorder, StatsCollector, Tee,
+    aggregate, build_info_value, flightrec, process_trace_id, ChainCheckpoint, Event,
+    FlightRecorder, JsonlSink, Recorder, StatsCollector, Tee, TraceId, TRACE_HEADER,
 };
 use srm_store::SyncPolicy;
 
+use crate::access_log::{AccessLog, DEFAULT_ACCESS_LOG_MAX_BYTES};
 use crate::batch::{BatchItemRef, BatchRecord, BatchStore};
 use crate::cache::FitCache;
 use crate::engine::run_job;
@@ -206,6 +208,15 @@ pub struct ServerConfig {
     pub watch_signals: bool,
     /// Optional worker latch for deterministic backpressure tests.
     pub gate: Option<Arc<Gate>>,
+    /// Structured JSONL access-log path; `None` disables the log.
+    pub access_log: Option<String>,
+    /// Rotate the access log before it would exceed this many bytes.
+    pub access_log_max_bytes: u64,
+    /// Turn on the process-global flight recorder (see
+    /// [`srm_obs::flightrec`]) and tee every job's events into it.
+    pub flight_recorder: bool,
+    /// Per-thread flight-recorder ring capacity.
+    pub flightrec_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -226,6 +237,10 @@ impl Default for ServerConfig {
             conn_backlog: 256,
             watch_signals: false,
             gate: None,
+            access_log: None,
+            access_log_max_bytes: DEFAULT_ACCESS_LOG_MAX_BYTES,
+            flight_recorder: false,
+            flightrec_capacity: srm_obs::DEFAULT_FLIGHTREC_CAPACITY,
         }
     }
 }
@@ -251,6 +266,11 @@ pub struct ServerState {
     pub profiler: Arc<srm_obs::Profiler>,
     /// When the server started — `/metrics` uptime gauge.
     started: Instant,
+    /// Structured per-request JSONL log; `None` when disabled.
+    pub access_log: Option<AccessLog>,
+    /// Where flight-recorder dumps land (state dir, else trace dir);
+    /// `None` disables dumps.
+    flightrec_dir: Option<std::path::PathBuf>,
     /// The WAL + snapshot layer; `None` without a `state_dir`.
     persister: Option<Persister>,
     conns: ConnQueue,
@@ -298,6 +318,18 @@ impl ServerState {
     #[must_use]
     pub fn wal_stats(&self) -> Option<crate::store::WalStats> {
         self.persister.as_ref().map(Persister::stats)
+    }
+
+    /// Dumps the flight recorder into the configured dump directory.
+    /// `None` when the recorder is off or no directory is configured;
+    /// a failed write is already counted by the recorder (degradation
+    /// policy: count, keep serving).
+    pub fn dump_flightrec(&self, reason: &str) -> Option<std::path::PathBuf> {
+        if !flightrec::enabled() {
+            return None;
+        }
+        let dir = self.flightrec_dir.as_ref()?;
+        flightrec::dump_to_dir(dir, reason).ok()
     }
 
     /// Logs a terminal transition for `id` and snapshots if the
@@ -386,6 +418,22 @@ impl Server {
         }
         batches.set_next_id(recovered.next_batch_id);
 
+        let flightrec_dir = config
+            .state_dir
+            .clone()
+            .or_else(|| config.trace_dir.clone())
+            .map(std::path::PathBuf::from);
+        if config.flight_recorder {
+            flightrec::enable(config.flightrec_capacity);
+            if let Some(dir) = &flightrec_dir {
+                // One hook per process: every server sharing the
+                // process also shares the global recorder.
+                static PANIC_HOOK: std::sync::Once = std::sync::Once::new();
+                let dir = dir.clone();
+                PANIC_HOOK.call_once(move || flightrec::install_panic_hook(dir));
+            }
+        }
+
         let state = Arc::new(ServerState {
             store,
             queue: JobQueue::new(config.queue_capacity),
@@ -395,6 +443,10 @@ impl Server {
             stats: Arc::new(StatsCollector::new()),
             profiler: Arc::new(srm_obs::Profiler::new()),
             started: Instant::now(),
+            access_log: config
+                .access_log
+                .map(|path| AccessLog::new(path, config.access_log_max_bytes)),
+            flightrec_dir,
             persister,
             conns: ConnQueue::default(),
             conn_backlog: config.conn_backlog.max(1),
@@ -412,7 +464,7 @@ impl Server {
         // recovered job for downtime it did not cause would make
         // recovery lossy.
         for (id, spec) in recovered.pending.drain(..) {
-            let trace = open_trace(&state, &id);
+            let trace = open_trace(&state, &id, trace_id_of(&spec));
             let deadline = spec
                 .timeout_ms
                 .map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -493,6 +545,10 @@ impl Server {
         if let Some(persister) = &self.state.persister {
             persister.snapshot_now(&self.state.store, &self.state.cache, &self.state.batches);
         }
+        // Preserve the tail of the event stream across restarts: the
+        // drain dump is what `srm trace grep` stitches into a timeline
+        // when a SIGTERM interrupted an investigation.
+        let _ = self.state.dump_flightrec("drain");
         Arc::clone(&self.state)
     }
 }
@@ -528,12 +584,13 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
 /// reaps the ones that waited past the threshold, services the rest.
 fn handler_loop(state: &Arc<ServerState>) {
     while let Some((stream, accepted_at)) = state.conns.pop() {
-        if accepted_at.elapsed() > CONN_REAP_AFTER {
+        let queue_wait = accepted_at.elapsed();
+        if queue_wait > CONN_REAP_AFTER {
             state.metrics.conns_reaped.incr();
             shed_connection(stream, "overloaded", "connection waited too long; retry");
             continue;
         }
-        handle_connection(state, stream);
+        handle_connection(state, stream, queue_wait);
     }
 }
 
@@ -547,23 +604,110 @@ fn shed_connection(mut stream: TcpStream, kind: &str, message: &str) {
         .write_to(&mut stream);
 }
 
-fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+/// Per-request correlation context threaded through [`route`]: the
+/// minted trace id plus the flags the access log needs after the
+/// handler returns.
+struct RequestCtx {
+    trace_id: TraceId,
+    cache_hit: std::cell::Cell<bool>,
+}
+
+/// The request's trace id: the inbound `x-srm-trace-id` header when it
+/// parses, else an id derived from the request's content hash (FNV-1a
+/// over method, path, and body) and the per-boot nonce. Derivation is
+/// deterministic — identical content in the same boot maps to the same
+/// id — and never consumes sampler randomness.
+fn mint_trace_id(request: &Request) -> TraceId {
+    if let Some(id) = request.header(TRACE_HEADER).and_then(TraceId::parse) {
+        return id;
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for bytes in [
+        request.method.as_bytes(),
+        b"\n",
+        request.path.as_bytes(),
+        b"\n",
+        request.body.as_slice(),
+    ] {
+        for &b in bytes {
+            hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    TraceId::derive(hash, srm_obs::boot_nonce())
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, queue_wait: Duration) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     state.metrics.http_requests.incr();
-    let response = match read_request(&mut stream) {
-        Ok(request) => route(state, &request),
-        Err(e) => Response::error(400, "bad-request", &format!("malformed request: {e}")),
+    let handle_started = Instant::now();
+    let (response, method, path, trace_id, cache_hit) = match read_request(&mut stream) {
+        Ok(request) => {
+            let ctx = RequestCtx {
+                trace_id: mint_trace_id(&request),
+                cache_hit: std::cell::Cell::new(false),
+            };
+            let response = route(state, &request, &ctx);
+            (
+                response,
+                request.method,
+                request.path,
+                ctx.trace_id,
+                ctx.cache_hit.get(),
+            )
+        }
+        Err(e) => (
+            Response::error(400, "bad-request", &format!("malformed request: {e}")),
+            "?".to_owned(),
+            "?".to_owned(),
+            process_trace_id(),
+            false,
+        ),
     };
+    let trace_hex = trace_id.to_hex();
+    // Echo the id so clients learn derived ids without grepping logs.
+    let response = response.with_header(TRACE_HEADER, &trace_hex);
+    let handle_ns = u64::try_from(handle_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let serialize_started = Instant::now();
     let _ = response.write_to(&mut stream);
+    let serialize_ns = u64::try_from(serialize_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let queue_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+    state
+        .profiler
+        .record_ns_for("http/queue-wait", queue_ns, Some(&trace_hex));
+    state
+        .profiler
+        .record_ns_for("http/handle", handle_ns, Some(&trace_hex));
+    state
+        .profiler
+        .record_ns_for("http/serialize", serialize_ns, Some(&trace_hex));
+    let access = Event::Access {
+        method,
+        path,
+        status: response.status,
+        bytes: response.body.len() as u64,
+        cache_hit,
+        queue_wait_ms: queue_ns as f64 / 1e6,
+        engine_ms: handle_ns as f64 / 1e6,
+        serialize_ms: serialize_ns as f64 / 1e6,
+    };
+    if let Some(log) = &state.access_log {
+        log.log(&trace_hex, &access);
+    }
+    flightrec::record_event(&access, &trace_hex);
 }
 
-fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+fn route(state: &Arc<ServerState>, request: &Request, ctx: &RequestCtx) -> Response {
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
-        ("POST", "/v1/jobs") => submit_job(state, &request.body),
-        ("POST", "/v1/batches") => submit_batch(state, &request.body),
+        ("POST", "/v1/jobs") => submit_job(state, &request.body, ctx),
+        ("POST", "/v1/batches") => submit_batch(state, &request.body, ctx),
         ("GET", "/healthz") => health(state),
+        ("GET", "/v1/debug/profile") => debug_profile(state),
+        ("GET", "/v1/debug/events") => debug_events(state),
+        ("GET", "/v1/debug/queue") => debug_queue(state),
+        ("GET", "/v1/debug/store") => debug_store(state),
+        ("POST", "/v1/debug/flightrec") => debug_flightrec_dump(state),
         ("GET", "/metrics") => Response::text(
             200,
             render_prometheus(
@@ -578,6 +722,8 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                     uptime_secs: state.uptime_secs(),
                     phases: state.profiler.snapshot(),
                     batches_active: state.batches.active(),
+                    access_log: state.access_log.as_ref().map(AccessLog::stats),
+                    flightrec: flightrec::stats(),
                 },
                 state.wal_stats(),
             ),
@@ -609,7 +755,16 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Response {
                 } else {
                     Response::error(405, "method-not-allowed", "use GET")
                 }
-            } else if matches!(path, "/v1/jobs" | "/v1/batches" | "/healthz" | "/metrics") {
+            } else if matches!(path, "/v1/jobs" | "/v1/batches" | "/healthz" | "/metrics")
+                || matches!(
+                    path,
+                    "/v1/debug/profile"
+                        | "/v1/debug/events"
+                        | "/v1/debug/queue"
+                        | "/v1/debug/store"
+                        | "/v1/debug/flightrec"
+                )
+            {
                 Response::error(405, "method-not-allowed", "wrong method for this path")
             } else {
                 Response::error(404, "not-found", &format!("no route for `{path}`"))
@@ -646,7 +801,139 @@ fn health(state: &Arc<ServerState>) -> Response {
     )
 }
 
-fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Response {
+/// `GET /v1/debug/profile` — the live span-profiler state: per-phase
+/// aggregates plus the bounded ring of recent trace-tagged intervals.
+fn debug_profile(state: &Arc<ServerState>) -> Response {
+    state.metrics.debug_requests.incr();
+    let phases: Vec<Value> = state
+        .profiler
+        .snapshot()
+        .iter()
+        .map(|p| {
+            Value::obj(vec![
+                ("path", Value::Str(p.path.clone())),
+                ("count", Value::Num(p.count as f64)),
+                ("total_ns", Value::Num(p.total_ns as f64)),
+                ("self_ns", Value::Num(p.self_ns as f64)),
+                ("min_ns", Value::Num(p.min_ns as f64)),
+                ("max_ns", Value::Num(p.max_ns as f64)),
+            ])
+        })
+        .collect();
+    let recent: Vec<Value> = state
+        .profiler
+        .recent()
+        .iter()
+        .map(srm_obs::TracedInterval::to_value)
+        .collect();
+    Response::json(
+        200,
+        &Value::obj(vec![
+            ("phases", Value::Arr(phases)),
+            ("recent", Value::Arr(recent)),
+        ]),
+    )
+}
+
+/// `GET /v1/debug/events` — the flight recorder's counters and the
+/// merged contents of every thread ring, in capture order.
+fn debug_events(state: &Arc<ServerState>) -> Response {
+    state.metrics.debug_requests.incr();
+    let stats = flightrec::stats();
+    Response::json(
+        200,
+        &Value::obj(vec![
+            ("enabled", Value::Bool(stats.enabled)),
+            ("capacity", Value::Num(stats.capacity as f64)),
+            ("threads", Value::Num(stats.threads as f64)),
+            ("recorded", Value::Num(stats.recorded as f64)),
+            ("dumps", Value::Num(stats.dumps as f64)),
+            ("dump_errors", Value::Num(stats.dump_errors as f64)),
+            ("events", Value::Arr(flightrec::snapshot())),
+        ]),
+    )
+}
+
+/// `GET /v1/debug/queue` — job-queue and connection-queue depths.
+fn debug_queue(state: &Arc<ServerState>) -> Response {
+    state.metrics.debug_requests.incr();
+    Response::json(
+        200,
+        &Value::obj(vec![
+            ("queue_depth", Value::Num(state.queue.len() as f64)),
+            ("queue_capacity", Value::Num(state.queue.capacity() as f64)),
+            ("jobs_running", Value::Num(state.jobs_running() as f64)),
+            ("conn_queue_depth", Value::Num(state.conns.len() as f64)),
+            ("conn_backlog", Value::Num(state.conn_backlog as f64)),
+            ("uptime_secs", Value::Num(state.uptime_secs())),
+            ("draining", Value::Bool(state.shutting_down())),
+        ]),
+    )
+}
+
+/// `GET /v1/debug/store` — job counts, cache size, batch registry,
+/// WAL/snapshot counters, and access-log health.
+fn debug_store(state: &Arc<ServerState>) -> Response {
+    state.metrics.debug_requests.incr();
+    let (queued, running, done, failed, cancelled) = state.store.counts();
+    let mut fields: Vec<(&str, Value)> = vec![
+        (
+            "jobs",
+            Value::obj(vec![
+                ("queued", Value::Num(queued as f64)),
+                ("running", Value::Num(running as f64)),
+                ("done", Value::Num(done as f64)),
+                ("failed", Value::Num(failed as f64)),
+                ("cancelled", Value::Num(cancelled as f64)),
+            ]),
+        ),
+        ("cache_entries", Value::Num(state.cache.len() as f64)),
+        ("batches_active", Value::Num(state.batches.active() as f64)),
+    ];
+    if let Some(wal) = state.wal_stats() {
+        fields.push((
+            "wal",
+            Value::obj(vec![
+                ("bytes", Value::Num(wal.bytes as f64)),
+                ("records", Value::Num(wal.records as f64)),
+                ("appended", Value::Num(wal.appended as f64)),
+                ("snapshots", Value::Num(wal.snapshots as f64)),
+                ("errors", Value::Num(wal.errors as f64)),
+            ]),
+        ));
+    }
+    if let Some(log) = &state.access_log {
+        let stats = log.stats();
+        fields.push((
+            "access_log",
+            Value::obj(vec![
+                ("path", Value::Str(log.path().display().to_string())),
+                ("lines", Value::Num(stats.lines as f64)),
+                ("errors", Value::Num(stats.errors as f64)),
+                ("rotations", Value::Num(stats.rotations as f64)),
+            ]),
+        ));
+    }
+    Response::json(200, &Value::obj(fields))
+}
+
+/// `POST /v1/debug/flightrec` — dump the flight recorder on demand.
+fn debug_flightrec_dump(state: &Arc<ServerState>) -> Response {
+    state.metrics.debug_requests.incr();
+    match state.dump_flightrec("on-demand") {
+        Some(path) => Response::json(
+            200,
+            &Value::obj(vec![("dumped", Value::Str(path.display().to_string()))]),
+        ),
+        None => Response::error(
+            409,
+            "flightrec-unavailable",
+            "flight recorder is disabled, has no dump directory, or the dump failed",
+        ),
+    }
+}
+
+fn submit_job(state: &Arc<ServerState>, body: &[u8], ctx: &RequestCtx) -> Response {
     if state.shutting_down() {
         return Response::error(503, "shutting-down", "server is draining; retry elsewhere");
     }
@@ -655,26 +942,27 @@ fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Response {
         Ok(v) => v,
         Err(e) => return Response::error(400, "bad-json", &format!("body is not JSON: {e}")),
     };
-    let spec = match JobSpec::from_json(&json) {
+    let mut spec = match JobSpec::from_json(&json) {
         Ok(s) => s,
         Err(message) => return Response::error(400, "bad-request", &message),
     };
+    spec.trace_id = ctx.trace_id.to_hex();
     let cache_key = spec.cache_key();
 
     if let Some(result) = state.cache.lookup(&cache_key) {
-        return serve_from_cache(state, &spec, &cache_key, result);
+        return serve_from_cache(state, &spec, &cache_key, result, ctx);
     }
 
     let id = state.store.allocate_id();
-    let mut record = JobRecord::new(id.clone(), spec.kind, cache_key.clone(), JobStatus::Queued);
-    record.cached = false;
+    let record = JobRecord::new(id.clone(), spec.kind, cache_key.clone(), JobStatus::Queued)
+        .with_trace_id(&spec.trace_id);
     state.store.insert(record);
     if let Some(persister) = &state.persister {
         persister.record_submit(&id, &spec);
     }
 
-    let trace = open_trace(state, &id);
-    let recorder = job_recorder(state, trace.as_ref());
+    let trace = open_trace(state, &id, ctx.trace_id);
+    let recorder = job_recorder(state, trace.as_ref(), ctx.trace_id);
     recorder.record(&Event::JobStart {
         job_id: id.clone(),
         kind: spec.kind.label().to_owned(),
@@ -701,6 +989,7 @@ fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Response {
                 202,
                 &Value::obj(vec![
                     ("id", Value::Str(id)),
+                    ("trace_id", Value::Str(ctx.trace_id.to_hex())),
                     ("status", Value::Str("queued".to_owned())),
                     ("cached", Value::Bool(false)),
                     ("cache_key", Value::Str(cache_key)),
@@ -734,12 +1023,15 @@ fn serve_from_cache(
     spec: &JobSpec,
     cache_key: &str,
     result: Value,
+    ctx: &RequestCtx,
 ) -> Response {
+    ctx.cache_hit.set(true);
     let id = cache_served_job(state, spec, cache_key, result);
     Response::json(
         201,
         &Value::obj(vec![
             ("id", Value::Str(id)),
+            ("trace_id", Value::Str(spec.trace_id.clone())),
             ("status", Value::Str("done".to_owned())),
             ("cached", Value::Bool(true)),
             ("cache_key", Value::Str(cache_key.to_owned())),
@@ -757,7 +1049,8 @@ fn cache_served_job(
     result: Value,
 ) -> String {
     let id = state.store.allocate_id();
-    let mut record = JobRecord::new(id.clone(), spec.kind, cache_key.to_owned(), JobStatus::Done);
+    let mut record = JobRecord::new(id.clone(), spec.kind, cache_key.to_owned(), JobStatus::Done)
+        .with_trace_id(&spec.trace_id);
     record.cached = true;
     record.result = Some(result);
     state.store.insert(record);
@@ -765,8 +1058,8 @@ fn cache_served_job(
     state.metrics.jobs_submitted.incr();
     state.metrics.jobs_done.incr();
 
-    let trace = open_trace(state, &id);
-    let recorder = job_recorder(state, trace.as_ref());
+    let trace = open_trace(state, &id, trace_id_of(spec));
+    let recorder = job_recorder(state, trace.as_ref(), trace_id_of(spec));
     recorder.record(&Event::JobStart {
         job_id: id.clone(),
         kind: spec.kind.label().to_owned(),
@@ -787,16 +1080,29 @@ fn cache_served_job(
     id
 }
 
-fn open_trace(state: &Arc<ServerState>, id: &str) -> Option<Arc<JsonlSink>> {
-    let path = state.trace_path(id)?;
-    JsonlSink::create(&path).ok().map(Arc::new)
+/// The job's trace id, recovered from its spec; falls back to the
+/// process id for specs persisted before trace correlation existed.
+fn trace_id_of(spec: &JobSpec) -> TraceId {
+    TraceId::parse(&spec.trace_id).unwrap_or_else(process_trace_id)
 }
 
-fn job_recorder(state: &Arc<ServerState>, trace: Option<&Arc<JsonlSink>>) -> Tee {
+fn open_trace(state: &Arc<ServerState>, id: &str, trace_id: TraceId) -> Option<Arc<JsonlSink>> {
+    let path = state.trace_path(id)?;
+    JsonlSink::create(&path)
+        .ok()
+        .map(|sink| Arc::new(sink.with_trace_id(&trace_id.to_hex())))
+}
+
+fn job_recorder(
+    state: &Arc<ServerState>,
+    trace: Option<&Arc<JsonlSink>>,
+    trace_id: TraceId,
+) -> Tee {
     let mut sinks: Vec<Arc<dyn Recorder>> = vec![Arc::clone(&state.stats) as Arc<dyn Recorder>];
     if let Some(sink) = trace {
         sinks.push(Arc::clone(sink) as Arc<dyn Recorder>);
     }
+    sinks.push(Arc::new(FlightRecorder::new(trace_id)) as Arc<dyn Recorder>);
     Tee::new(sinks)
 }
 
@@ -849,6 +1155,7 @@ fn job_progress(state: &Arc<ServerState>, id: &str) -> Response {
         200,
         &Value::obj(vec![
             ("id", Value::Str(record.id.clone())),
+            ("trace_id", Value::Str(record.trace_id.clone())),
             ("status", Value::Str(record.status.label().to_owned())),
             ("sweeps_completed", Value::Num(sweeps as f64)),
             ("checkpoints_seen", Value::Num(seen as f64)),
@@ -936,7 +1243,7 @@ enum ItemPlan {
 /// to individually submitted jobs with the derived seeds. Admission is
 /// all-or-nothing: the whole batch is rejected with 429 unless every
 /// item that needs sampling fits on the job queue together.
-fn submit_batch(state: &Arc<ServerState>, body: &[u8]) -> Response {
+fn submit_batch(state: &Arc<ServerState>, body: &[u8], ctx: &RequestCtx) -> Response {
     if state.shutting_down() {
         return Response::error(503, "shutting-down", "server is draining; retry elsewhere");
     }
@@ -945,10 +1252,17 @@ fn submit_batch(state: &Arc<ServerState>, body: &[u8]) -> Response {
         Ok(v) => v,
         Err(e) => return Response::error(400, "bad-json", &format!("body is not JSON: {e}")),
     };
-    let request = match crate::batch::parse_batch(&json) {
+    let mut request = match crate::batch::parse_batch(&json) {
         Ok(r) => r,
         Err(message) => return Response::error(400, "bad-request", &message),
     };
+    // Every item inherits the batch's trace id: one submission, one
+    // correlation key across all member jobs. The id is excluded from
+    // cache keys, so inheriting it never splits the fit cache.
+    let batch_trace = ctx.trace_id.to_hex();
+    for (_, spec) in &mut request.items {
+        spec.trace_id = batch_trace.clone();
+    }
 
     // Plan first, mutate second: classify every item without touching
     // the job store so a capacity rejection leaves no trace.
@@ -1013,17 +1327,15 @@ fn submit_batch(state: &Arc<ServerState>, body: &[u8]) -> Response {
             ItemPlan::Fresh => {
                 let key = spec.cache_key();
                 let id = state.store.allocate_id();
-                state.store.insert(JobRecord::new(
-                    id.clone(),
-                    spec.kind,
-                    key.clone(),
-                    JobStatus::Queued,
-                ));
+                state.store.insert(
+                    JobRecord::new(id.clone(), spec.kind, key.clone(), JobStatus::Queued)
+                        .with_trace_id(&spec.trace_id),
+                );
                 if let Some(persister) = &state.persister {
                     persister.record_submit(&id, &spec);
                 }
-                let trace = open_trace(state, &id);
-                let recorder = job_recorder(state, trace.as_ref());
+                let trace = open_trace(state, &id, ctx.trace_id);
+                let recorder = job_recorder(state, trace.as_ref(), ctx.trace_id);
                 recorder.record(&Event::JobStart {
                     job_id: id.clone(),
                     kind: spec.kind.label().to_owned(),
@@ -1091,6 +1403,7 @@ fn submit_batch(state: &Arc<ServerState>, body: &[u8]) -> Response {
         }
     }
     if pending_ids.is_empty() {
+        ctx.cache_hit.set(true);
         state.stats.record(&Event::BatchDone {
             batch_id: batch_id.clone(),
             items: record.items.len(),
@@ -1156,6 +1469,7 @@ fn batch_rollup(state: &Arc<ServerState>, record: &BatchRecord) -> Value {
                 ("status", Value::Str(status.to_owned())),
             ];
             if let Some(r) = job {
+                fields.push(("trace_id", Value::Str(r.trace_id.clone())));
                 fields.push(("wall_ms", Value::Num(r.wall_ms)));
                 if let Some(result) = r.result {
                     fields.push(("result", result));
@@ -1173,8 +1487,17 @@ fn batch_rollup(state: &Arc<ServerState>, record: &BatchRecord) -> Value {
     } else {
         "running"
     };
+    // All member jobs inherit the submit request's trace id, so the
+    // first item's record carries the batch-level correlation key.
+    let batch_trace = record
+        .items
+        .first()
+        .and_then(|item| state.store.get(&item.job_id))
+        .map(|r| r.trace_id)
+        .unwrap_or_default();
     Value::obj(vec![
         ("id", Value::Str(record.id.clone())),
+        ("trace_id", Value::Str(batch_trace)),
         ("status", Value::Str(status.to_owned())),
         ("master_seed", Value::Num(record.master_seed as f64)),
         ("cache_hits", Value::Num(record.cache_hits as f64)),
@@ -1259,13 +1582,16 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
     // persist_terminal all land in the same profile; the engine
     // forwards it to its chain workers via `profile::current()`.
     let _profile_guard = srm_obs::profile::install(Some(&state.profiler));
+    let trace_id = trace_id_of(&job.spec);
+    let trace_hex = trace_id.to_hex();
     // Queue wait is a cross-thread interval (submit happened on a
     // handler thread), so it is recorded directly rather than spanned.
-    state.profiler.record_ns(
+    state.profiler.record_ns_for(
         "queue-wait",
         u64::try_from(job.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        Some(&trace_hex),
     );
-    let recorder = job_recorder(state, job.trace.as_ref());
+    let recorder = job_recorder(state, job.trace.as_ref(), trace_id);
     // Claim the job; a DELETE that landed while it was queued already
     // moved it to Cancelled (and counted it), so just acknowledge.
     let claimed = state
@@ -1305,6 +1631,7 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
     if let Some(sink) = &job.trace {
         sinks.push(Arc::clone(sink) as Arc<dyn Recorder>);
     }
+    sinks.push(Arc::new(FlightRecorder::new(trace_id)) as Arc<dyn Recorder>);
     let engine_recorder = Tee::new(sinks);
     let started = Instant::now();
     let outcome = {
@@ -1359,6 +1686,9 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
             state.persist_terminal(&job.id);
             state.metrics.jobs_failed.incr();
             note_batch_terminal(state, &job.id);
+            // An engine failure is exactly the moment the recent event
+            // history matters: capture it before the rings move on.
+            let _ = state.dump_flightrec("engine-failure");
             finish(job, &recorder, "failed", wall_ms);
         }
     }
@@ -1382,11 +1712,29 @@ mod tests {
     use std::io::{Read as _, Write as _};
 
     pub(crate) fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let (status, _, payload) = http_with_headers(addr, method, path, &[], body);
+        (status, payload)
+    }
+
+    /// Like [`http`] but sends extra request headers and returns the
+    /// raw response head for header assertions.
+    pub(crate) fn http_with_headers(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> (u16, String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: srm\r\nContent-Length: {}\r\n\r\n{body}",
+        let mut request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: srm\r\nContent-Length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            request.push_str(&format!("{name}: {value}\r\n"));
+        }
+        request.push_str("\r\n");
+        request.push_str(body);
         stream.write_all(request.as_bytes()).unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
@@ -1395,11 +1743,205 @@ mod tests {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .unwrap();
-        let payload = raw
+        let (head, payload) = raw
             .split_once("\r\n\r\n")
-            .map(|(_, b)| b.to_owned())
+            .map(|(h, b)| (h.to_owned(), b.to_owned()))
             .unwrap_or_default();
-        (status, payload)
+        (status, head, payload)
+    }
+
+    fn header_value(head: &str, name: &str) -> Option<String> {
+        head.lines().find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            (n.eq_ignore_ascii_case(name)).then(|| v.trim().to_owned())
+        })
+    }
+
+    #[test]
+    fn trace_header_is_honoured_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("srm_serve_trace_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = ServerConfig {
+            trace_dir: Some(dir.join("traces").to_string_lossy().into_owned()),
+            access_log: Some(dir.join("access.jsonl").to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let pinned = "00112233445566778899aabbccddeeff";
+        let (status, head, body) = http_with_headers(
+            server.addr(),
+            "POST",
+            "/v1/jobs",
+            &[(TRACE_HEADER, pinned)],
+            r#"{"kind":"fit","dataset":"short_campaign_25","model":"model0",
+                "chains":1,"samples":60,"burn_in":20,"seed":11}"#,
+        );
+        assert_eq!(status, 202, "{body}");
+        assert_eq!(header_value(&head, TRACE_HEADER).as_deref(), Some(pinned));
+        let doc = parse(&body).unwrap();
+        assert_eq!(doc.get("trace_id").unwrap().as_str(), Some(pinned));
+        let id = doc.get("id").unwrap().as_str().unwrap().to_owned();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (_, status_body) = http(server.addr(), "GET", &format!("/v1/jobs/{id}"), "");
+            let status_doc = parse(&status_body).unwrap();
+            // The poll itself carries no header, but the job's record
+            // keeps the id it was submitted under.
+            assert_eq!(status_doc.get("trace_id").unwrap().as_str(), Some(pinned));
+            if status_doc.get("status").unwrap().as_str() == Some("done") {
+                break;
+            }
+            assert_ne!(status_doc.get("status").unwrap().as_str(), Some("failed"));
+            assert!(Instant::now() < deadline, "job did not finish in time");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let (_, progress) = http(server.addr(), "GET", &format!("/v1/jobs/{id}/progress"), "");
+        assert_eq!(
+            parse(&progress).unwrap().get("trace_id").unwrap().as_str(),
+            Some(pinned)
+        );
+        // Every line of the per-job trace carries the pinned id.
+        let trace_text =
+            std::fs::read_to_string(dir.join("traces").join(format!("{id}.trace.jsonl"))).unwrap();
+        assert!(trace_text.lines().count() > 2);
+        for line in trace_text.lines() {
+            let value = parse(line).unwrap();
+            assert_eq!(
+                value.get("trace_id").unwrap().as_str(),
+                Some(pinned),
+                "{line}"
+            );
+        }
+        let state = server.state();
+        server.request_shutdown();
+        let _ = server.join();
+        // The access log wrote the submit line under the pinned id
+        // (the line lands after the response, so read it post-drain).
+        let log_text = std::fs::read_to_string(dir.join("access.jsonl")).unwrap();
+        let submit_line = log_text
+            .lines()
+            .find(|l| l.contains("POST") && l.contains(pinned))
+            .expect("no access-log line for the pinned submit");
+        let value = parse(submit_line).unwrap();
+        assert_eq!(value.get("type").unwrap().as_str(), Some("access"));
+        assert_eq!(value.get("path").unwrap().as_str(), Some("/v1/jobs"));
+        assert!(matches!(value.get("cache_hit"), Some(&Value::Bool(false))));
+        assert!(state.access_log.as_ref().unwrap().stats().lines >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn derived_trace_ids_are_deterministic_per_request_content() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let (_, head1, _) = http_with_headers(server.addr(), "GET", "/healthz", &[], "");
+        let (_, head2, _) = http_with_headers(server.addr(), "GET", "/healthz", &[], "");
+        let (_, head3, _) = http_with_headers(server.addr(), "GET", "/metrics", &[], "");
+        let id1 = header_value(&head1, TRACE_HEADER).unwrap();
+        let id2 = header_value(&head2, TRACE_HEADER).unwrap();
+        let id3 = header_value(&head3, TRACE_HEADER).unwrap();
+        assert_eq!(id1.len(), 32);
+        assert_eq!(id1, id2, "same content must derive the same id");
+        assert_ne!(id1, id3, "different content must derive different ids");
+        server.request_shutdown();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn debug_endpoints_expose_live_state() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let (status, body) = http(server.addr(), "GET", "/v1/debug/profile", "");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        assert!(doc.get("phases").is_some());
+        assert!(doc.get("recent").is_some());
+        let (status, body) = http(server.addr(), "GET", "/v1/debug/events", "");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        assert!(doc.get("recorded").is_some());
+        assert!(doc.get("events").is_some());
+        let (status, body) = http(server.addr(), "GET", "/v1/debug/queue", "");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        assert_eq!(doc.get("queue_capacity").unwrap().as_f64(), Some(16.0));
+        assert!(matches!(doc.get("draining"), Some(&Value::Bool(false))));
+        let (status, body) = http(server.addr(), "GET", "/v1/debug/store", "");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        assert!(doc.get("jobs").is_some());
+        assert!(doc.get("cache_entries").is_some());
+        assert_eq!(http(server.addr(), "GET", "/v1/debug/nope", "").0, 404);
+        assert_eq!(http(server.addr(), "POST", "/v1/debug/queue", "").0, 405);
+        let (_, page) = http(server.addr(), "GET", "/metrics", "");
+        assert!(page.contains("srm_serve_debug_requests_total 4"), "{page}");
+        server.request_shutdown();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn flight_recorder_captures_and_dumps_job_events() {
+        let dir = std::env::temp_dir().join(format!("srm_serve_flightrec_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = ServerConfig {
+            trace_dir: Some(dir.to_string_lossy().into_owned()),
+            flight_recorder: true,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let pinned = "feedfacecafebeef0000000000000042";
+        let (status, _, body) = http_with_headers(
+            server.addr(),
+            "POST",
+            "/v1/jobs",
+            &[(TRACE_HEADER, pinned)],
+            r#"{"kind":"fit","dataset":"short_campaign_25","model":"model0",
+                "chains":1,"samples":60,"burn_in":20,"seed":12}"#,
+        );
+        assert_eq!(status, 202, "{body}");
+        let id = parse(&body)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (_, status_body) = http(server.addr(), "GET", &format!("/v1/jobs/{id}"), "");
+            let label = parse(&status_body)
+                .unwrap()
+                .get("status")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_owned();
+            if label == "done" {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job did not finish in time");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let (status, body) = http(server.addr(), "GET", "/v1/debug/events", "");
+        assert_eq!(status, 200);
+        assert!(body.contains(pinned), "recorder missed the job's events");
+        let (status, body) = http(server.addr(), "POST", "/v1/debug/flightrec", "");
+        assert_eq!(status, 200, "{body}");
+        let dumped = parse(&body)
+            .unwrap()
+            .get("dumped")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let dump_text = std::fs::read_to_string(&dumped).unwrap();
+        let header = parse(dump_text.lines().next().unwrap()).unwrap();
+        assert_eq!(header.get("type").unwrap().as_str(), Some("flightrec-dump"));
+        assert_eq!(header.get("reason").unwrap().as_str(), Some("on-demand"));
+        assert!(dump_text.contains(pinned));
+        server.request_shutdown();
+        let _ = server.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

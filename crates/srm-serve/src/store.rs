@@ -306,6 +306,9 @@ impl Persister {
             ("cached", Value::Bool(record.cached)),
             ("wall_ms", Value::Num(record.wall_ms)),
         ];
+        if !record.trace_id.is_empty() {
+            fields.push(("trace_id", Value::Str(record.trace_id.clone())));
+        }
         if let Some(result) = &record.result {
             fields.push(("result", result.clone()));
         }
@@ -406,6 +409,9 @@ fn snapshot_doc(
                 ("cached", Value::Bool(record.cached)),
                 ("wall_ms", Value::Num(record.wall_ms)),
             ];
+            if !record.trace_id.is_empty() {
+                fields.push(("trace_id", Value::Str(record.trace_id.clone())));
+            }
             if let Some(spec) = pending.get(&record.id) {
                 fields.push(("spec", spec.clone()));
             }
@@ -496,6 +502,9 @@ fn replay_job_from(entry: &Value) -> Option<ReplayJob> {
     let mut record = JobRecord::new(id.to_owned(), kind, key.to_owned(), status);
     record.cached = entry.get("cached") == Some(&Value::Bool(true));
     record.wall_ms = entry.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0);
+    if let Some(trace_id) = entry.get("trace_id").and_then(Value::as_str) {
+        record.trace_id = trace_id.to_owned();
+    }
     record.result = entry.get("result").cloned();
     if let Some(kind) = entry.get("error_kind").and_then(Value::as_str) {
         let message = entry
@@ -551,7 +560,8 @@ fn apply_op(
                     spec.kind,
                     spec.cache_key(),
                     JobStatus::Queued,
-                ),
+                )
+                .with_trace_id(&spec.trace_id),
                 spec: Some(spec_wire.clone()),
             });
         }
@@ -577,6 +587,7 @@ fn apply_op(
                 "key",
                 "cached",
                 "wall_ms",
+                "trace_id",
                 "result",
                 "error_kind",
                 "error_message",
@@ -765,6 +776,45 @@ mod tests {
         assert_eq!(recovered.jobs.len(), 1);
         assert_eq!(recovered.jobs[0].status, JobStatus::Cancelled);
         assert!(recovered.pending.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_ids_survive_replay_through_wal_and_snapshot() {
+        let dir = temp_dir("traceid");
+        let mut spec = fit_spec(37);
+        spec.trace_id = "0123456789abcdef0123456789abcdef".into();
+        {
+            let (p, _) = Persister::open(&dir, SyncPolicy::Never, 1_000).unwrap();
+            p.record_submit("job-1", &spec);
+            let record =
+                done_record("job-2", &spec, 9.0).with_trace_id("fedcba9876543210fedcba9876543210");
+            p.record_submit("job-2", &spec);
+            p.record_terminal(&record);
+        }
+        // WAL replay restores both the pending and the terminal ids.
+        let store = JobStore::new();
+        let cache = FitCache::with_capacity(8);
+        {
+            let (p, recovered) = Persister::open(&dir, SyncPolicy::Never, 1_000).unwrap();
+            assert_eq!(recovered.jobs[0].trace_id, spec.trace_id);
+            assert_eq!(
+                recovered.jobs[1].trace_id,
+                "fedcba9876543210fedcba9876543210"
+            );
+            assert_eq!(recovered.pending[0].1.trace_id, spec.trace_id);
+            for job in recovered.jobs {
+                store.insert(job);
+            }
+            // Compact: the ids must survive the snapshot path too.
+            p.snapshot_now(&store, &cache, &BatchStore::new());
+        }
+        let (_, recovered) = Persister::open(&dir, SyncPolicy::Never, 1_000).unwrap();
+        assert_eq!(recovered.jobs[0].trace_id, spec.trace_id);
+        assert_eq!(
+            recovered.jobs[1].trace_id,
+            "fedcba9876543210fedcba9876543210"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

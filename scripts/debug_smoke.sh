@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Smoke test for end-to-end request correlation (DESIGN.md §17):
+# boots `srm serve` with the structured access log and flight
+# recorder, submits a fit with a pinned `x-srm-trace-id`, and checks
+# that the one id is retrievable verbatim from the access log, the
+# per-job JSONL trace, the progress endpoint, and `srm trace grep`.
+# Also walks all four read-only /v1/debug/* endpoints, dumps the
+# flight recorder on demand, and strict-lints both the job trace and
+# the access log against the event schema.
+#
+# Requires: a release build of the `srm` binary, curl, jq.
+set -euo pipefail
+
+SRM=${SRM:-target/release/srm}
+WORK=$(mktemp -d)
+SERVER_PID=""
+TRACE_ID="00112233445566778899aabbccddeeff"
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "debug-smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$WORK/server.log" >&2 || true
+    exit 1
+}
+
+[ -x "$SRM" ] || fail "srm binary not found at $SRM (cargo build --release first)"
+
+echo "debug-smoke: starting server (access log + flight recorder)"
+"$SRM" serve --addr 127.0.0.1:0 --port-file "$WORK/srm.port" \
+    --trace-dir "$WORK/runs" --state-dir "$WORK/state" \
+    --access-log "$WORK/access.jsonl" --flight-recorder \
+    >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$WORK/srm.port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+[ -s "$WORK/srm.port" ] || fail "port file never appeared"
+BASE="http://127.0.0.1:$(cat "$WORK/srm.port")"
+echo "debug-smoke: listening on $BASE"
+
+BODY='{"kind":"fit","dataset":"musa_cc96","model":"model1","prior":"poisson","chains":2,"samples":400,"burn_in":150,"seed":11}'
+
+echo "debug-smoke: submitting fit with pinned trace id"
+curl -sf -X POST "$BASE/v1/jobs" -H "x-srm-trace-id: $TRACE_ID" -d "$BODY" \
+    >"$WORK/submit.json"
+JOB=$(jq -r .id "$WORK/submit.json")
+[ "$(jq -r .trace_id "$WORK/submit.json")" = "$TRACE_ID" ] \
+    || fail "submit body does not carry the pinned trace id"
+
+# The response header must echo the id verbatim.
+curl -sfD "$WORK/head.txt" -o /dev/null "$BASE/v1/jobs/$JOB" -H "x-srm-trace-id: $TRACE_ID"
+grep -qi "^x-srm-trace-id: $TRACE_ID" "$WORK/head.txt" \
+    || fail "response header does not echo the trace id"
+
+for _ in $(seq 1 600); do
+    STATUS=$(curl -sf "$BASE/v1/jobs/$JOB" | jq -r .status)
+    case "$STATUS" in
+        done) break ;;
+        failed | cancelled) fail "job $JOB ended $STATUS" ;;
+    esac
+    sleep 0.2
+done
+[ "$STATUS" = "done" ] || fail "job $JOB still $STATUS after timeout"
+
+echo "debug-smoke: checking the progress endpoint"
+curl -sf "$BASE/v1/jobs/$JOB/progress" >"$WORK/progress.json"
+[ "$(jq -r .trace_id "$WORK/progress.json")" = "$TRACE_ID" ] \
+    || fail "progress endpoint lost the trace id"
+
+echo "debug-smoke: walking /v1/debug/*"
+curl -sf "$BASE/v1/debug/profile" >"$WORK/debug_profile.json"
+jq -e '.phases | length > 0' "$WORK/debug_profile.json" >/dev/null \
+    || fail "/v1/debug/profile has no phases"
+curl -sf "$BASE/v1/debug/events" >"$WORK/debug_events.json"
+jq -e '.enabled == true' "$WORK/debug_events.json" >/dev/null \
+    || fail "/v1/debug/events says the recorder is off"
+grep -q "$TRACE_ID" "$WORK/debug_events.json" \
+    || fail "flight-recorder ring does not carry the trace id"
+curl -sf "$BASE/v1/debug/queue" >"$WORK/debug_queue.json"
+jq -e 'has("queue_depth") and has("conn_backlog")' "$WORK/debug_queue.json" >/dev/null \
+    || fail "/v1/debug/queue missing queue depth"
+curl -sf "$BASE/v1/debug/store" >"$WORK/debug_store.json"
+jq -e '.jobs.done >= 1' "$WORK/debug_store.json" >/dev/null \
+    || fail "/v1/debug/store does not count the finished job"
+jq -e '.access_log.lines >= 1' "$WORK/debug_store.json" >/dev/null \
+    || fail "/v1/debug/store missing access-log stats"
+
+echo "debug-smoke: on-demand flight-recorder dump"
+curl -sf -X POST "$BASE/v1/debug/flightrec" >"$WORK/dump.json"
+DUMP=$(jq -r .dumped "$WORK/dump.json")
+[ -s "$DUMP" ] || fail "flight-recorder dump file $DUMP missing or empty"
+grep -q "$TRACE_ID" "$DUMP" || fail "dump does not carry the trace id"
+
+echo "debug-smoke: SIGTERM drain"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+
+TRACE_FILE="$WORK/runs/$JOB.trace.jsonl"
+[ -s "$TRACE_FILE" ] || fail "per-job trace missing"
+# Every job-trace line carries the pinned id.
+MISSING=$(jq -r 'select(.trace_id != "'"$TRACE_ID"'") | .type' "$TRACE_FILE" | wc -l)
+[ "$MISSING" = "0" ] || fail "$MISSING job-trace line(s) lost the trace id"
+grep -q "\"trace_id\":\"$TRACE_ID\"" "$WORK/access.jsonl" \
+    || fail "access log does not carry the trace id"
+
+echo "debug-smoke: strict-linting job trace and access log"
+"$SRM" trace lint --file "$TRACE_FILE" --strict >/dev/null \
+    || fail "job trace failed strict lint"
+"$SRM" trace lint --file "$WORK/access.jsonl" --strict >/dev/null \
+    || fail "access log failed strict lint"
+
+echo "debug-smoke: stitching the timeline with srm trace grep"
+"$SRM" trace grep --trace-id "$TRACE_ID" \
+    --access-log "$WORK/access.jsonl" --trace-dir "$WORK/runs" \
+    >"$WORK/grep.txt" || fail "srm trace grep failed"
+grep -q "trace grep — id $TRACE_ID" "$WORK/grep.txt" || fail "grep lost the id header"
+grep -q "access.jsonl" "$WORK/grep.txt" || fail "grep missed the access log"
+grep -q "$JOB.trace.jsonl" "$WORK/grep.txt" || fail "grep missed the job trace"
+grep -q "path=/v1/jobs" "$WORK/grep.txt" || fail "grep timeline missing the submit line"
+TOTAL=$(grep -o 'total: [0-9]*' "$WORK/grep.txt" | awk '{print $2}')
+[ "$TOTAL" -ge 3 ] || fail "grep stitched only $TOTAL line(s)"
+
+echo "debug-smoke: PASS"

@@ -1,0 +1,319 @@
+//! End-to-end request-correlation tests (DESIGN.md §17).
+//!
+//! Two contracts:
+//!
+//! 1. **One id, every surface** — a trace id pinned via the
+//!    `x-srm-trace-id` header is retrievable verbatim from the
+//!    response header, the submit body, the job status document, the
+//!    progress endpoint, every line of the per-job JSONL trace, and
+//!    the structured access log — while the result document stays
+//!    free of correlation fields (results are byte-compared by smoke
+//!    scripts and cache tests).
+//! 2. **Correlation never perturbs the run** — posterior draws and
+//!    result documents are bit-identical with the flight recorder and
+//!    access log enabled vs disabled, across a small grid of models,
+//!    priors, and seeds (the recorder and log sit strictly on the
+//!    observation path; they have no RNG access).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use srm::data::datasets;
+use srm::mcmc::gibbs::PriorSpec;
+use srm::mcmc::runner::McmcConfig;
+use srm::model::DetectionModel;
+use srm::obs::json::{parse, Value};
+use srm::obs::{flightrec, FlightRecorder, JsonlSink, Recorder, Tee, TraceId, NOOP};
+use srm::serve::{run_job, JobKind, JobSpec, Server, ServerConfig};
+
+const PINNED: &str = "00112233445566778899aabbccddeeff";
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("srm_corr_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One HTTP/1.1 exchange over a fresh connection; returns
+/// `(status, headers, body)`.
+fn http(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: srm\r\n");
+    for (name, value) in headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
+    request.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    let (head, payload) = response.split_once("\r\n\r\n").unwrap();
+    (status, head.to_owned(), payload.to_owned())
+}
+
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.eq_ignore_ascii_case(name)
+            .then(|| value.trim().to_owned())
+    })
+}
+
+fn fit_body(seed: u64) -> String {
+    format!(
+        "{{\"kind\":\"fit\",\"dataset\":\"musa_cc96\",\"model\":\"model1\",\
+         \"prior\":\"poisson\",\"chains\":2,\"samples\":150,\"burn_in\":60,\"seed\":{seed}}}"
+    )
+}
+
+fn poll_done(addr: std::net::SocketAddr, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, _, payload) = http(addr, "GET", &format!("/v1/jobs/{id}"), &[], "");
+        assert_eq!(status, 200);
+        let doc = parse(&payload).unwrap();
+        match doc.get("status").and_then(Value::as_str) {
+            Some("done") => return,
+            Some("failed") | Some("cancelled") => panic!("job ended badly: {payload}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job never finished");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn pinned_trace_id_correlates_every_surface() {
+    let dir = temp_dir("surface");
+    let access_path = dir.join("access.jsonl");
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        trace_dir: Some(dir.join("runs").to_string_lossy().into_owned()),
+        access_log: Some(access_path.to_string_lossy().into_owned()),
+        flight_recorder: true,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let (status, head, payload) = http(
+        addr,
+        "POST",
+        "/v1/jobs",
+        &[("x-srm-trace-id", PINNED)],
+        &fit_body(41),
+    );
+    assert_eq!(status, 202, "{payload}");
+    // Surface 1: the response header echoes the id verbatim.
+    assert_eq!(
+        header_value(&head, "x-srm-trace-id").as_deref(),
+        Some(PINNED)
+    );
+    // Surface 2: the submit body carries it.
+    let submit = parse(&payload).unwrap();
+    assert_eq!(submit.get("trace_id").and_then(Value::as_str), Some(PINNED));
+    let id = submit.get("id").and_then(Value::as_str).unwrap().to_owned();
+
+    poll_done(addr, &id);
+
+    // Surface 3: the status document.
+    let (_, _, payload) = http(addr, "GET", &format!("/v1/jobs/{id}"), &[], "");
+    let doc = parse(&payload).unwrap();
+    assert_eq!(doc.get("trace_id").and_then(Value::as_str), Some(PINNED));
+
+    // Surface 4: the progress endpoint.
+    let (status, _, payload) = http(addr, "GET", &format!("/v1/jobs/{id}/progress"), &[], "");
+    assert_eq!(status, 200);
+    let progress = parse(&payload).unwrap();
+    assert_eq!(
+        progress.get("trace_id").and_then(Value::as_str),
+        Some(PINNED)
+    );
+
+    // The result document itself stays correlation-free.
+    let (status, _, payload) = http(addr, "GET", &format!("/v1/results/{id}"), &[], "");
+    assert_eq!(status, 200);
+    assert!(!payload.contains("trace_id"), "{payload}");
+
+    // Surface 5: the flight recorder's ring saw the job's events.
+    let (_, _, payload) = http(addr, "GET", "/v1/debug/events", &[], "");
+    assert!(payload.contains(PINNED), "{payload}");
+
+    server.request_shutdown();
+    let _ = server.join();
+
+    // Surface 6: every line of the per-job JSONL trace.
+    let trace_path = dir.join("runs").join(format!("{id}.trace.jsonl"));
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(!trace.is_empty());
+    for line in trace.lines() {
+        let event = parse(line).unwrap();
+        assert_eq!(
+            event.get("trace_id").and_then(Value::as_str),
+            Some(PINNED),
+            "{line}"
+        );
+    }
+
+    // Surface 7: the structured access log, written after the
+    // response (read post-join so the submit line is flushed).
+    let access = std::fs::read_to_string(&access_path).unwrap();
+    let submit_line = access
+        .lines()
+        .map(|l| parse(l).unwrap())
+        .find(|v| {
+            v.get("method").and_then(Value::as_str) == Some("POST")
+                && v.get("path").and_then(Value::as_str) == Some("/v1/jobs")
+        })
+        .unwrap();
+    assert_eq!(
+        submit_line.get("trace_id").and_then(Value::as_str),
+        Some(PINNED)
+    );
+    assert_eq!(
+        submit_line.get("status").and_then(Value::as_f64),
+        Some(202.0)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn spec(model: DetectionModel, prior: PriorSpec, seed: u64) -> JobSpec {
+    JobSpec {
+        kind: JobKind::Fit,
+        dataset_label: "musa_cc96".into(),
+        data: datasets::musa_cc96().truncated(40).unwrap(),
+        model,
+        prior,
+        mcmc: McmcConfig {
+            chains: 2,
+            burn_in: 50,
+            samples: 120,
+            thin: 1,
+            seed,
+        },
+        threads: 1,
+        horizon: 0,
+        theta_max: 0.0,
+        timeout_ms: None,
+        trace_id: String::new(),
+    }
+}
+
+#[test]
+fn draws_bit_identical_with_correlation_machinery_on_and_off() {
+    let dir = temp_dir("bitident");
+    let grid = [
+        (
+            DetectionModel::Constant,
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
+            7u64,
+        ),
+        (
+            DetectionModel::PadgettSpurrier,
+            PriorSpec::Poisson {
+                lambda_max: 2_000.0,
+            },
+            19,
+        ),
+        (
+            DetectionModel::Constant,
+            PriorSpec::NegBinomial { alpha_max: 200.0 },
+            23,
+        ),
+    ];
+    for (i, (model, prior, seed)) in grid.into_iter().enumerate() {
+        // Off: the zero-cost no-op path.
+        let off = run_job(&spec(model, prior, seed), None, &NOOP).unwrap();
+
+        // On: flight recorder ring + JSONL sink + per-job recorder,
+        // i.e. strictly more observation than any production config.
+        flightrec::enable(srm::obs::DEFAULT_FLIGHTREC_CAPACITY);
+        let trace = dir.join(format!("run_{i}.trace.jsonl"));
+        let sink = JsonlSink::create(trace.to_str().unwrap())
+            .unwrap()
+            .with_trace_id(PINNED);
+        let tee = Tee::new(vec![
+            std::sync::Arc::new(sink) as std::sync::Arc<dyn Recorder>,
+            std::sync::Arc::new(FlightRecorder::new(TraceId::parse(PINNED).unwrap())),
+        ]);
+        let mut traced_spec = spec(model, prior, seed);
+        traced_spec.trace_id = PINNED.to_owned();
+        let on = run_job(&traced_spec, None, &tee).unwrap();
+        flightrec::disable();
+
+        assert_eq!(
+            off.result.to_json(),
+            on.result.to_json(),
+            "result drifted for grid point {i}"
+        );
+        assert_eq!(off.kept_draws, on.kept_draws);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn served_results_identical_with_and_without_correlation_sinks() {
+    let dir = temp_dir("serve_onoff");
+    let plain = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let instrumented = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        trace_dir: Some(dir.join("runs").to_string_lossy().into_owned()),
+        access_log: Some(dir.join("access.jsonl").to_string_lossy().into_owned()),
+        flight_recorder: true,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    let mut results = Vec::new();
+    for server in [&plain, &instrumented] {
+        let addr = server.addr();
+        let (status, _, payload) = http(
+            addr,
+            "POST",
+            "/v1/jobs",
+            &[("x-srm-trace-id", PINNED)],
+            &fit_body(59),
+        );
+        assert_eq!(status, 202, "{payload}");
+        let id = parse(&payload)
+            .unwrap()
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_owned();
+        poll_done(addr, &id);
+        let (status, _, payload) = http(addr, "GET", &format!("/v1/results/{id}"), &[], "");
+        assert_eq!(status, 200);
+        results.push(payload);
+    }
+    assert_eq!(results[0], results[1], "correlation sinks perturbed a fit");
+
+    plain.request_shutdown();
+    instrumented.request_shutdown();
+    let _ = plain.join();
+    let _ = instrumented.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
